@@ -1,0 +1,113 @@
+// Command fnpacker runs the FnPacker request router (§IV-C) in front of a
+// pool of SeMIRT action endpoints.
+//
+// Clients POST the same body as a SeMIRT /run call to
+// /invoke/{model}; FnPacker picks the endpoint per its packing policy and
+// forwards the request.
+//
+// Usage:
+//
+//	fnpacker -addr 127.0.0.1:7300 \
+//	  -pool pool-0=http://127.0.0.1:7200,pool-1=http://127.0.0.1:7201
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"sesemi/internal/fnpacker"
+	"sesemi/internal/vclock"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7300", "listen address")
+	pool := flag.String("pool", "", "comma-separated name=url endpoint pool")
+	interval := flag.Duration("exclusive-interval", fnpacker.DefaultExclusiveInterval,
+		"idle interval after which an exclusive endpoint is reclaimable")
+	flag.Parse()
+
+	endpoints := map[string]string{}
+	var names []string
+	for _, kv := range strings.Split(*pool, ",") {
+		if kv == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(kv, "=")
+		if !ok {
+			log.Fatalf("fnpacker: bad -pool entry %q (want name=url)", kv)
+		}
+		endpoints[name] = strings.TrimSuffix(url, "/")
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		log.Fatal("fnpacker: -pool is required")
+	}
+
+	sched, err := fnpacker.NewScheduler(vclock.System, *interval, names...)
+	if err != nil {
+		log.Fatalf("fnpacker: %v", err)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	invoker := fnpacker.InvokerFunc(func(ctx context.Context, endpoint string, payload []byte) ([]byte, error) {
+		url, ok := endpoints[endpoint]
+		if !ok {
+			return nil, fmt.Errorf("fnpacker: unknown endpoint %q", endpoint)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/run", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("fnpacker: endpoint %s: %s: %s", endpoint, resp.Status, body)
+		}
+		return body, nil
+	})
+	router := fnpacker.NewRouter(sched, invoker)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke/{model}", func(w http.ResponseWriter, r *http.Request) {
+		modelID := r.PathValue("model")
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := router.Handle(r.Context(), modelID, body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		for _, ep := range sched.Snapshot().Endpoints {
+			fmt.Fprintf(w, "%s pending=%d exclusive=%q last=%q\n", ep.Name, ep.Pending, ep.Exclusive, ep.LastModel)
+		}
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fnpacker: listen: %v", err)
+	}
+	fmt.Printf("fnpacker: routing %d endpoints on %s\n", len(names), ln.Addr())
+	log.Fatal(http.Serve(ln, mux))
+}

@@ -1,0 +1,75 @@
+// Command keyservice runs SeSeMI's always-on trust-establishment service
+// (§IV-A) inside a software enclave on a TCP listener.
+//
+// It also bootstraps the deployment directory: on first run it creates the
+// simulated attestation root (the "Intel" CA) and records its own address
+// and enclave identity E_K for clients and SeMIRT instances to pin.
+//
+// Usage:
+//
+//	keyservice -addr 127.0.0.1:7100 -state ./deploy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"sesemi/internal/cli"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/vclock"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	stateDir := flag.String("state", "./deploy", "deployment state directory")
+	tcs := flag.Int("tcs", keyservice.DefaultTCS, "enclave TCS count (max concurrent connections)")
+	hw := flag.String("hw", "sgx2", "hardware generation: sgx1 or sgx2")
+	timeScale := flag.Float64("timescale", 0, "scale modeled TEE latencies (0 = off, 1 = real time)")
+	flag.Parse()
+
+	state := cli.State{Dir: *stateDir}
+	ca, err := state.EnsureCA()
+	if err != nil {
+		log.Fatalf("keyservice: %v", err)
+	}
+	platKey, err := ca.Provision("keyservice-node")
+	if err != nil {
+		log.Fatalf("keyservice: %v", err)
+	}
+	gen := costmodel.SGX2
+	if *hw == "sgx1" {
+		gen = costmodel.SGX1
+	}
+	platform := enclave.NewPlatform(gen, vclock.Real{Scale: *timeScale}, platKey)
+
+	svc := keyservice.NewService()
+	enc, err := platform.Launch(keyservice.ManifestFor(*tcs), svc)
+	if err != nil {
+		log.Fatalf("keyservice: launch enclave: %v", err)
+	}
+	defer enc.Destroy()
+
+	srv, err := keyservice.NewServer(svc, ca.PublicKey())
+	if err != nil {
+		log.Fatalf("keyservice: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("keyservice: listen: %v", err)
+	}
+	if err := state.SaveKeyService(cli.KSInfo{
+		Addr:           ln.Addr().String(),
+		MeasurementHex: enc.Measurement().Hex(),
+	}); err != nil {
+		log.Fatalf("keyservice: %v", err)
+	}
+	fmt.Printf("keyservice: listening on %s\n", ln.Addr())
+	fmt.Printf("keyservice: enclave identity E_K = %s\n", enc.Measurement().Hex())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("keyservice: %v", err)
+	}
+}

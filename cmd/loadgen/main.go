@@ -1,0 +1,169 @@
+// Command loadgen replays a workload trace against a live SeMIRT action (or
+// a FnPacker router) and reports latency statistics — the open-loop load
+// driver used for ad-hoc measurements against the multi-process deployment.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:7200/run -model mbnet -pattern poisson \
+//	        -rate 5 -duration 30s -user-seed alice
+//	loadgen -via-packer http://127.0.0.1:7300/invoke -models m0,m1 \
+//	        -pattern mmpp -rate 5 -rate2 10 -duration 60s
+//
+// The request keys derive from the same seeds cmd/owctl uses, so a
+// deployment set up with `owctl deploy` is directly loadable.
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/metrics"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/tensor"
+	"sesemi/internal/workload"
+)
+
+func main() {
+	url := flag.String("url", "", "SeMIRT action /run URL (single model)")
+	packer := flag.String("via-packer", "", "FnPacker /invoke base URL (multi-model)")
+	modelsFlag := flag.String("models", "mbnet", "comma-separated model ids")
+	baseModel := flag.String("zoo", "mbnet", "zoo architecture for input shape")
+	userSeed := flag.String("user-seed", "alice", "user principal seed")
+	pattern := flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp")
+	rate := flag.Float64("rate", 2, "request rate (rps); MMPP low state")
+	rate2 := flag.Float64("rate2", 0, "MMPP high-state rate (default 2x rate)")
+	duration := flag.Duration("duration", 30*time.Second, "trace duration")
+	seed := flag.Int64("seed", 1, "trace seed")
+	conc := flag.Int("concurrency", 16, "max in-flight requests")
+	flag.Parse()
+
+	if *url == "" && *packer == "" {
+		log.Fatal("loadgen: one of -url or -via-packer is required")
+	}
+	modelIDs := strings.Split(*modelsFlag, ",")
+	if *rate2 <= 0 {
+		*rate2 = 2 * *rate
+	}
+
+	// Build the trace: one stream per model.
+	var traces []workload.Trace
+	for i, m := range modelIDs {
+		s := *seed + int64(i)
+		var tr workload.Trace
+		switch *pattern {
+		case "fixed":
+			tr = workload.FixedRate(*rate, *duration, m, *userSeed)
+		case "poisson":
+			tr = workload.Poisson(s, *rate, *duration, m, *userSeed)
+		case "mmpp":
+			tr = workload.MMPP(s, []float64{*rate, *rate2}, *duration/6, *duration, m, *userSeed)
+		default:
+			log.Fatalf("loadgen: unknown pattern %q", *pattern)
+		}
+		traces = append(traces, tr)
+	}
+	trace := workload.Merge(traces...)
+	fmt.Printf("loadgen: %d requests over %v (avg %.1f rps)\n", len(trace), *duration, trace.Rate())
+
+	// Prepare one encrypted payload per model.
+	base, err := model.NewFunctional(*baseModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := tensor.New(base.InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%17) * 0.05
+	}
+	uid := secure.IdentityOf(secure.KeyFromSeed("user:" + *userSeed))
+	bodies := map[string][]byte{}
+	for _, m := range modelIDs {
+		kr := secure.KeyFromSeed("kr:" + *userSeed + ":" + m)
+		payload, err := semirt.EncryptRequest(kr, m, inference.EncodeTensor(in))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := json.Marshal(map[string]any{"value": map[string]any{
+			"user_id":  string(uid),
+			"model_id": m,
+			"payload":  base64.StdEncoding.EncodeToString(payload),
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[m] = body
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var lat metrics.Latency
+	perKind := map[string]int{}
+	var mu sync.Mutex
+	var failures int
+	sem := make(chan struct{}, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, ev := range trace {
+		time.Sleep(time.Until(start.Add(ev.At)))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ev workload.Event) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			target := *url
+			if *packer != "" {
+				target = strings.TrimSuffix(*packer, "/") + "/" + ev.ModelID
+			}
+			t0 := time.Now()
+			resp, err := client.Post(target, "application/json", bytes.NewReader(bodies[ev.ModelID]))
+			if err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			d := time.Since(t0)
+			var rr struct {
+				Kind  string `json:"kind"`
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(raw, &rr)
+			mu.Lock()
+			if resp.StatusCode != http.StatusOK || rr.Error != "" {
+				failures++
+			} else {
+				lat.Add(d)
+				perKind[rr.Kind]++
+			}
+			mu.Unlock()
+		}(ev)
+	}
+	wg.Wait()
+
+	fmt.Printf("completed %d ok, %d failed\n", lat.Count(), failures)
+	if lat.Count() > 0 {
+		fmt.Printf("latency: mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+			lat.Mean().Round(time.Millisecond), lat.Percentile(50).Round(time.Millisecond),
+			lat.Percentile(95).Round(time.Millisecond), lat.Percentile(99).Round(time.Millisecond),
+			lat.Max().Round(time.Millisecond))
+	}
+	for _, k := range []string{"cold", "warm", "hot"} {
+		if perKind[k] > 0 {
+			fmt.Printf("%-5s %d\n", k+":", perKind[k])
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Command owctl is the model owner's and model user's client: it performs
+// the key-setup and service-deployment workflow of §III against a running
+// KeyService, and issues encrypted inference requests to SeMIRT endpoints.
+//
+// Principals are derived from seed strings so the demo is reproducible; in a
+// real deployment the long-term keys would come from a keystore.
+//
+// Subcommands:
+//
+//	owctl deploy -state ./deploy -models ./blobs -model mbnet -framework tvm \
+//	      -concurrency 2 -enclave-mb 64 -owner-seed hospital -user-seed alice
+//	    Builds the functional model, encrypts and uploads it, registers both
+//	    principals, deposits K_M and K_R, and grants access for the SeMIRT
+//	    enclave identity implied by the flags.
+//
+//	owctl invoke -state ./deploy -model mbnet -user-seed alice \
+//	      -url http://127.0.0.1:7200/run [-via-packer http://.../invoke]
+//	    Encrypts a request, sends it, decrypts the result, prints the
+//	    predicted class distribution.
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sesemi/internal/cli"
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/storage"
+	"sesemi/internal/tensor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		log.Fatal("owctl: subcommand required: deploy | invoke")
+	}
+	switch os.Args[1] {
+	case "deploy":
+		deploy(os.Args[2:])
+	case "invoke":
+		invoke(os.Args[2:])
+	default:
+		log.Fatalf("owctl: unknown subcommand %q", os.Args[1])
+	}
+}
+
+// keys derives the demo key material for a model/user pair.
+func modelKey(modelID string) secure.Key { return secure.KeyFromSeed("km:" + modelID) }
+func requestKey(userSeed, modelID string) secure.Key {
+	return secure.KeyFromSeed("kr:" + userSeed + ":" + modelID)
+}
+
+func mustClients(state cli.State, ownerSeed, userSeed string) (owner, user *keyservice.Client) {
+	ca, err := state.LoadCA()
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	ks, err := state.LoadKeyService()
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	meas, err := ks.Measurement()
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	dial := keyservice.TCPDialer(ks.Addr)
+	if ownerSeed != "" {
+		owner = keyservice.NewClient(dial, ca.PublicKey(), meas, secure.KeyFromSeed("owner:"+ownerSeed))
+	}
+	if userSeed != "" {
+		user = keyservice.NewClient(dial, ca.PublicKey(), meas, secure.KeyFromSeed("user:"+userSeed))
+	}
+	return owner, user
+}
+
+func deploy(args []string) {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	stateDir := fs.String("state", "./deploy", "deployment state directory")
+	modelsDir := fs.String("models", "./blobs", "encrypted model blob directory")
+	modelID := fs.String("model", "mbnet", "zoo model id: mbnet, rsnet, dsnet")
+	framework := fs.String("framework", "tvm", "target framework (part of ES)")
+	concurrency := fs.Int("concurrency", 2, "SeMIRT TCS count (part of ES)")
+	memMB := fs.Int64("enclave-mb", 64, "SeMIRT enclave MiB (part of ES)")
+	ownerSeed := fs.String("owner-seed", "hospital", "owner principal seed")
+	userSeed := fs.String("user-seed", "alice", "user principal seed")
+	_ = fs.Parse(args)
+
+	state := cli.State{Dir: *stateDir}
+	owner, user := mustClients(state, *ownerSeed, *userSeed)
+	defer owner.Close()
+	defer user.Close()
+
+	// Derive the SeMIRT enclave identity ES offline from its configuration,
+	// exactly as the paper's owners and users do.
+	cfg := semirt.Config{
+		Framework:          *framework,
+		Concurrency:        *concurrency,
+		EnclaveMemoryBytes: *memMB << 20,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	es := cfg.Manifest().Measure()
+
+	// Build, encrypt and upload the model.
+	m, err := model.NewFunctional(*modelID)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	data, err := model.Marshal(m)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	km := modelKey(*modelID)
+	ct, err := semirt.EncryptModel(km, *modelID, data)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	store, err := storage.NewDir(*modelsDir, nil, nil)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	if err := store.Put(semirt.ModelBlobName(*modelID), ct); err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+
+	// Key setup (workflow step 1) and access control.
+	if err := owner.Register(); err != nil {
+		log.Fatalf("owctl: owner register: %v", err)
+	}
+	if err := user.Register(); err != nil {
+		log.Fatalf("owctl: user register: %v", err)
+	}
+	if err := owner.AddModelKey(*modelID, km); err != nil {
+		log.Fatalf("owctl: add model key: %v", err)
+	}
+	if err := owner.GrantAccess(*modelID, es, user.ID()); err != nil {
+		log.Fatalf("owctl: grant access: %v", err)
+	}
+	kr := requestKey(*userSeed, *modelID)
+	if err := user.AddReqKey(*modelID, es, kr); err != nil {
+		log.Fatalf("owctl: add request key: %v", err)
+	}
+	fmt.Printf("deployed %s (%d bytes encrypted) for enclave ES=%s…\n", *modelID, len(ct), es.Hex()[:16])
+	fmt.Printf("owner %s…  user %s…\n", owner.ID()[:16], user.ID()[:16])
+}
+
+func invoke(args []string) {
+	fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+	stateDir := fs.String("state", "./deploy", "deployment state directory")
+	modelID := fs.String("model", "mbnet", "model id")
+	userSeed := fs.String("user-seed", "alice", "user principal seed")
+	url := fs.String("url", "http://127.0.0.1:7200/run", "SeMIRT action /run URL")
+	packer := fs.String("via-packer", "", "FnPacker base URL (overrides -url)")
+	seed := fs.Int("input-seed", 1, "deterministic input seed")
+	_ = fs.Parse(args)
+
+	_ = stateDir // state not needed for invocation; keys derive from seeds
+
+	base, err := model.NewFunctional(*modelID)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	in := tensor.New(base.InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32((i**seed)%17) * 0.05
+	}
+	kr := requestKey(*userSeed, *modelID)
+	payload, err := semirt.EncryptRequest(kr, *modelID, inference.EncodeTensor(in))
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	uid := secure.IdentityOf(secure.KeyFromSeed("user:" + *userSeed))
+	body, err := json.Marshal(map[string]any{"value": map[string]any{
+		"user_id":  string(uid),
+		"model_id": *modelID,
+		"payload":  base64.StdEncoding.EncodeToString(payload),
+	}})
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	target := *url
+	if *packer != "" {
+		target = *packer + "/" + *modelID
+	}
+	start := time.Now()
+	resp, err := (&http.Client{Timeout: 2 * time.Minute}).Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("owctl: %s: %s", resp.Status, raw)
+	}
+	var rr struct {
+		Payload string `json:"payload"`
+		Kind    string `json:"kind"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	if rr.Error != "" {
+		log.Fatalf("owctl: server: %s", rr.Error)
+	}
+	sealed, err := base64.StdEncoding.DecodeString(rr.Payload)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	plain, err := semirt.DecryptResponse(kr, *modelID, sealed)
+	if err != nil {
+		log.Fatalf("owctl: decrypt result: %v", err)
+	}
+	out, err := inference.DecodeTensor(plain)
+	if err != nil {
+		log.Fatalf("owctl: %v", err)
+	}
+	fmt.Printf("invocation: %s path, %.1f ms round trip\n", rr.Kind, float64(time.Since(start).Microseconds())/1000)
+	fmt.Printf("predicted class %d; distribution:", tensor.ArgMax(out))
+	for _, v := range out.Data() {
+		fmt.Printf(" %.3f", v)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,157 @@
+// Command semirt runs one SeMIRT serverless instance as an HTTP action
+// server conforming to an OpenWhisk-style action interface:
+//
+//	POST /init  — launch the enclave (pre-warm)
+//	POST /run   — {"value": {"user_id", "model_id", "payload"(base64)}}
+//	GET  /stats — invocation counters
+//
+// Encrypted models are read from a directory store ("cloud storage"); keys
+// are provisioned from the deployment's KeyService over mutual attestation.
+//
+// Usage:
+//
+//	semirt -addr 127.0.0.1:7200 -state ./deploy -models ./blobs -framework tvm
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"sesemi/internal/cli"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/storage"
+	"sesemi/internal/vclock"
+)
+
+type runRequest struct {
+	Value struct {
+		UserID  string `json:"user_id"`
+		ModelID string `json:"model_id"`
+		Payload string `json:"payload"` // base64
+	} `json:"value"`
+}
+
+type runResponse struct {
+	Payload string `json:"payload"` // base64
+	Kind    string `json:"kind"`
+	Error   string `json:"error,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7200", "listen address")
+	stateDir := flag.String("state", "./deploy", "deployment state directory")
+	modelsDir := flag.String("models", "./blobs", "encrypted model blob directory")
+	framework := flag.String("framework", "tvm", "inference framework: tvm or tflm")
+	concurrency := flag.Int("concurrency", 2, "enclave TCS count")
+	memMB := flag.Int64("enclave-mb", 64, "configured enclave size in MiB")
+	nodeName := flag.String("node", "semirt-node", "platform (machine) name")
+	timeScale := flag.Float64("timescale", 0, "scale modeled TEE latencies (0 = off)")
+	flag.Parse()
+
+	state := cli.State{Dir: *stateDir}
+	ca, err := state.LoadCA()
+	if err != nil {
+		log.Fatalf("semirt: %v", err)
+	}
+	ksInfo, err := state.LoadKeyService()
+	if err != nil {
+		log.Fatalf("semirt: %v", err)
+	}
+	ksMeas, err := ksInfo.Measurement()
+	if err != nil {
+		log.Fatalf("semirt: %v", err)
+	}
+	platKey, err := ca.Provision(*nodeName)
+	if err != nil {
+		log.Fatalf("semirt: %v", err)
+	}
+	clock := vclock.Real{Scale: *timeScale}
+	platform := enclave.NewPlatform(costmodel.SGX2, clock, platKey)
+	store, err := storage.NewDir(*modelsDir, clock, nil)
+	if err != nil {
+		log.Fatalf("semirt: %v", err)
+	}
+
+	cfg := semirt.Config{
+		Framework:          *framework,
+		Concurrency:        *concurrency,
+		EnclaveMemoryBytes: *memMB << 20,
+	}
+	rt, err := semirt.New(cfg, semirt.Deps{
+		Platform:    platform,
+		Store:       store,
+		KSDialer:    keyservice.TCPDialer(ksInfo.Addr),
+		CAPublicKey: ca.PublicKey(),
+		ExpectEK:    ksMeas,
+	})
+	if err != nil {
+		log.Fatalf("semirt: %v", err)
+	}
+	defer rt.Stop()
+	fmt.Printf("semirt: enclave identity ES = %s\n", rt.Measurement().Hex())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /init", func(w http.ResponseWriter, r *http.Request) {
+		if err := rt.Start(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		var req runRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
+			return
+		}
+		payload, err := base64.StdEncoding.DecodeString(req.Value.Payload)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, runResponse{Error: "payload is not base64"})
+			return
+		}
+		resp, err := rt.Handle(semirt.Request{
+			UserID:  secure.ID(req.Value.UserID),
+			ModelID: req.Value.ModelID,
+			Payload: payload,
+		})
+		if err != nil {
+			writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, runResponse{
+			Payload: base64.StdEncoding.EncodeToString(resp.Payload),
+			Kind:    resp.Kind.String(),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := rt.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"cold": st.Cold, "warm": st.Warm, "hot": st.Hot,
+			"loaded_model": rt.LoadedModel(),
+		})
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("semirt: listen: %v", err)
+	}
+	fmt.Printf("semirt: serving %s actions on %s\n", *framework, ln.Addr())
+	log.Fatal(http.Serve(ln, mux))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,172 @@
+// Hospital reproduces the paper's motivating scenario (Figure 1): a
+// hospital trains a disease-prediction model on electronic health records
+// and serves it to authorized patients through SeSeMI, so that neither the
+// cloud nor unauthorized users ever see the model or the patients' data in
+// the clear.
+//
+// The example shows:
+//   - two authorized patients with independent request keys,
+//   - an unauthorized user being refused keys by KeyService,
+//   - the cloud's view: only ciphertext in storage and on the wire,
+//   - a second model (a DenseNet screening model) served by the same
+//     runtime with per-model access control.
+//
+// Run with: go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/storage"
+	"sesemi/internal/tensor"
+	"sesemi/internal/vclock"
+)
+
+func main() {
+	// Cloud setup.
+	ca, err := attest.NewCA()
+	check(err)
+	clock := vclock.Real{Scale: 0}
+	ksKey, err := ca.Provision("cloud-ks")
+	check(err)
+	svc := keyservice.NewService()
+	ksEnc, err := enclave.NewPlatform(costmodel.SGX2, clock, ksKey).
+		Launch(keyservice.ManifestFor(keyservice.DefaultTCS), svc)
+	check(err)
+	defer ksEnc.Destroy()
+	srv, err := keyservice.NewServer(svc, ca.PublicKey())
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	dial := keyservice.TCPDialer(ln.Addr().String())
+
+	nodeKey, err := ca.Provision("cloud-worker")
+	check(err)
+	node := enclave.NewPlatform(costmodel.SGX2, clock, nodeKey)
+	store := storage.NewMemory(clock, nil)
+
+	// The hospital deploys two models behind one SeMIRT configuration.
+	cfg, err := semirt.DefaultConfig("tflm", "dsnet", 2)
+	check(err)
+	es := cfg.Manifest().Measure()
+
+	hospital := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("st-olaf-hospital"))
+	defer hospital.Close()
+	check(hospital.Register())
+
+	deploy := func(modelID string) secure.Key {
+		m, err := model.NewFunctional(modelID)
+		check(err)
+		data, err := model.Marshal(m)
+		check(err)
+		km := secure.KeyFromSeed("km:" + modelID)
+		ct, err := semirt.EncryptModel(km, modelID, data)
+		check(err)
+		check(store.Put(semirt.ModelBlobName(modelID), ct))
+		check(hospital.AddModelKey(modelID, km))
+		fmt.Printf("hospital uploaded %-5s: %6d encrypted bytes (cloud sees only ciphertext)\n", modelID, len(ct))
+		return km
+	}
+	deploy("dsnet") // disease-prediction model
+	deploy("mbnet") // screening model
+
+	// Patients: alice may use both models, bob only the screening model.
+	type patient struct {
+		name   string
+		client *keyservice.Client
+		reqKey secure.Key
+	}
+	newPatient := func(name string) *patient {
+		p := &patient{
+			name:   name,
+			client: keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("patient-"+name)),
+			reqKey: secure.KeyFromSeed("kr-" + name),
+		}
+		check(p.client.Register())
+		return p
+	}
+	alice := newPatient("alice")
+	bob := newPatient("bob")
+	defer alice.client.Close()
+	defer bob.client.Close()
+
+	grant := func(p *patient, modelID string) {
+		check(hospital.GrantAccess(modelID, es, p.client.ID()))
+		check(p.client.AddReqKey(modelID, es, p.reqKey))
+		fmt.Printf("hospital granted %-5s access to %s\n", p.name, modelID)
+	}
+	grant(alice, "dsnet")
+	grant(alice, "mbnet")
+	grant(bob, "mbnet")
+
+	// A serverless instance appears on demand.
+	rt, err := semirt.New(cfg, semirt.Deps{
+		Platform: node, Store: store, KSDialer: dial,
+		CAPublicKey: ca.PublicKey(), ExpectEK: ksEnc.Measurement(),
+	})
+	check(err)
+	defer rt.Stop()
+
+	infer := func(p *patient, modelID string, ehr []float32) {
+		m, err := model.NewFunctional(modelID)
+		check(err)
+		in := tensor.New(m.InputShape...)
+		copy(in.Data(), ehr)
+		payload, err := semirt.EncryptRequest(p.reqKey, modelID, inference.EncodeTensor(in))
+		check(err)
+		resp, err := rt.Handle(semirt.Request{UserID: p.client.ID(), ModelID: modelID, Payload: payload})
+		if err != nil {
+			fmt.Printf("%s → %-5s: DENIED (%v)\n", p.name, modelID, err)
+			return
+		}
+		plain, err := semirt.DecryptResponse(p.reqKey, modelID, resp.Payload)
+		check(err)
+		out, err := inference.DecodeTensor(plain)
+		check(err)
+		fmt.Printf("%s → %-5s: %-4s path, diagnosis class %d (p=%.2f)\n",
+			p.name, modelID, resp.Kind, tensor.ArgMax(out), out.Data()[tensor.ArgMax(out)])
+	}
+
+	// Alice's EHR-derived features, then Bob's.
+	ehrAlice := make([]float32, 16*16*3)
+	for i := range ehrAlice {
+		ehrAlice[i] = float32((i*7)%13) * 0.07
+	}
+	ehrBob := make([]float32, 16*16*3)
+	for i := range ehrBob {
+		ehrBob[i] = float32((i*3)%11) * 0.09
+	}
+
+	infer(alice, "dsnet", ehrAlice) // cold: enclave + keys + model
+	infer(alice, "dsnet", ehrAlice) // hot: everything cached
+	infer(bob, "mbnet", ehrBob)     // warm: model switch + bob's keys
+	infer(bob, "dsnet", ehrBob)     // denied: no grant for bob on dsnet
+
+	// Mallory never registered a request key; the enclave gets no keys.
+	mallory := newPatient("mallory")
+	defer mallory.client.Close()
+	infer(mallory, "dsnet", ehrBob) // denied
+
+	st := rt.Stats()
+	fmt.Printf("\nruntime served %d cold / %d warm / %d hot invocations\n", st.Cold, st.Warm, st.Hot)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Multimodel demonstrates FnPacker (§IV-C) routing five models over a
+// shared pool of serverless endpoints on the OpenWhisk-like platform
+// substrate.
+//
+// Two models (m0, m1) receive steady traffic and get exclusive endpoints;
+// three models (m2-m4) are queried sporadically and are packed onto shared
+// endpoints, avoiding three separate cold starts. Compare the cold-start
+// counters against the one-endpoint-per-model deployment printed at the end.
+//
+// Run with: go run ./examples/multimodel
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/fnpacker"
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/serverless"
+	"sesemi/internal/storage"
+	"sesemi/internal/tensor"
+	"sesemi/internal/vclock"
+)
+
+const nModels = 5
+
+func main() {
+	// Shared cloud: CA, KeyService, storage.
+	ca, err := attest.NewCA()
+	check(err)
+	clock := vclock.Real{Scale: 0}
+	ksKey, err := ca.Provision("ks")
+	check(err)
+	svc := keyservice.NewService()
+	ksEnc, err := enclave.NewPlatform(costmodel.SGX2, clock, ksKey).
+		Launch(keyservice.ManifestFor(32), svc)
+	check(err)
+	defer ksEnc.Destroy()
+	srv, err := keyservice.NewServer(svc, ca.PublicKey())
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	dial := keyservice.TCPDialer(ln.Addr().String())
+	store := storage.NewMemory(clock, nil)
+
+	// One SeMIRT configuration serves all pool models; its identity ES is
+	// what the owner authorizes.
+	cfg, err := semirt.DefaultConfig("tvm", "mbnet", 2)
+	check(err)
+	es := cfg.Manifest().Measure()
+
+	// Owner deploys five MobileNet-style models m0..m4 and one user.
+	owner := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("owner"))
+	user := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("user"))
+	defer owner.Close()
+	defer user.Close()
+	check(owner.Register())
+	check(user.Register())
+	reqKeys := map[string]secure.Key{}
+	var inputShape []int
+	for i := 0; i < nModels; i++ {
+		modelID := fmt.Sprintf("m%d", i)
+		m, err := model.NewFunctional("mbnet")
+		check(err)
+		m.Name = modelID
+		inputShape = m.InputShape
+		data, err := model.Marshal(m)
+		check(err)
+		km := secure.KeyFromSeed("km:" + modelID)
+		ct, err := semirt.EncryptModel(km, modelID, data)
+		check(err)
+		check(store.Put(semirt.ModelBlobName(modelID), ct))
+		check(owner.AddModelKey(modelID, km))
+		check(owner.GrantAccess(modelID, es, user.ID()))
+		kr := secure.KeyFromSeed("kr:" + modelID)
+		reqKeys[modelID] = kr
+		check(user.AddReqKey(modelID, es, kr))
+	}
+	fmt.Printf("deployed %d models behind ES=%s…\n", nModels, es.Hex()[:16])
+
+	// Serverless cluster: 2 nodes, and an Fnpool of 3 generic endpoints.
+	nodeA, err := ca.Provision("node-a")
+	check(err)
+	nodeB, err := ca.Provision("node-b")
+	check(err)
+	nodes := []*serverless.Node{
+		{Name: "node-a", MemoryBytes: 4 << 30, Extra: enclave.NewPlatform(costmodel.SGX2, clock, nodeA)},
+		{Name: "node-b", MemoryBytes: 4 << 30, Extra: enclave.NewPlatform(costmodel.SGX2, clock, nodeB)},
+	}
+	clusterCfg := serverless.DefaultConfig()
+	clusterCfg.Clock = clock
+	clusterCfg.SandboxStart = 0
+	cluster := serverless.NewCluster(clusterCfg, nodes...)
+	defer cluster.Close()
+
+	deps := func(n *serverless.Node) semirt.Deps {
+		return semirt.Deps{
+			Platform:    n.Extra.(*enclave.Platform),
+			Store:       store,
+			KSDialer:    dial,
+			CAPublicKey: ca.PublicKey(),
+			ExpectEK:    ksEnc.Measurement(),
+		}
+	}
+	endpoints := []string{"pool-0", "pool-1", "pool-2"}
+	for _, ep := range endpoints {
+		check(cluster.Deploy(&serverless.Action{
+			Name:         ep,
+			MemoryBudget: 256 << 20,
+			Concurrency:  cfg.Concurrency,
+			New: func(n *serverless.Node) (serverless.Instance, error) {
+				rt, err := semirt.New(cfg, deps(n))
+				if err != nil {
+					return nil, err
+				}
+				return &semirtInstance{rt: rt}, nil
+			},
+		}))
+	}
+
+	// FnPacker routes models onto the pool.
+	sched, err := fnpacker.NewScheduler(clock, fnpacker.DefaultExclusiveInterval, endpoints...)
+	check(err)
+	router := fnpacker.NewRouter(sched, clusterInvoker{cluster})
+
+	invoke := func(modelID string) string {
+		in := tensor.New(inputShape...)
+		payload, err := semirt.EncryptRequest(reqKeys[modelID], modelID, inference.EncodeTensor(in))
+		check(err)
+		req := semirtPayload{UserID: user.ID(), ModelID: modelID, Payload: payload}
+		out, err := router.Handle(context.Background(), modelID, req.marshal())
+		check(err)
+		resp := unmarshalResp(out)
+		_, err = semirt.DecryptResponse(reqKeys[modelID], modelID, resp.Payload)
+		check(err)
+		return resp.Kind
+	}
+
+	// Steady streams on m0 and m1 claim exclusive endpoints...
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, modelID := range []string{"m0", "m1"} {
+			wg.Add(1)
+			go func(m string) {
+				defer wg.Done()
+				invoke(m)
+			}(modelID)
+		}
+	}
+	wg.Wait()
+	// ...and the sporadic models pack onto what is left.
+	for _, modelID := range []string{"m2", "m3", "m4", "m2", "m3", "m4"} {
+		kind := invoke(modelID)
+		fmt.Printf("sporadic %s served via %s path\n", modelID, kind)
+	}
+
+	for _, ep := range sched.Snapshot().Endpoints {
+		fmt.Printf("endpoint %s: exclusive=%q lastModel=%q\n", ep.Name, ep.Exclusive, ep.LastModel)
+	}
+	st := cluster.Stats()
+	fmt.Printf("cluster: %d invocations, %d sandbox cold starts (one-to-one would need >= %d)\n",
+		st.Invocations, st.ColdStarts, nModels)
+}
+
+// semirtInstance adapts a SeMIRT runtime to the serverless Instance
+// interface using a compact JSON payload.
+type semirtInstance struct{ rt *semirt.Runtime }
+
+func (s *semirtInstance) Invoke(payload []byte) ([]byte, error) {
+	req := unmarshalReq(payload)
+	resp, err := s.rt.Handle(semirt.Request{UserID: req.UserID, ModelID: req.ModelID, Payload: req.Payload})
+	if err != nil {
+		return nil, err
+	}
+	return (&semirtResp{Payload: resp.Payload, Kind: resp.Kind.String()}).marshal(), nil
+}
+
+func (s *semirtInstance) Stop() { s.rt.Stop() }
+
+type clusterInvoker struct{ c *serverless.Cluster }
+
+func (ci clusterInvoker) Invoke(ctx context.Context, endpoint string, payload []byte) ([]byte, error) {
+	return ci.c.Invoke(ctx, endpoint, payload)
+}
+
+// Minimal framed payloads (length-prefixed fields) keep the example free of
+// reflection-heavy encoding in the hot path.
+type semirtPayload struct {
+	UserID  secure.ID
+	ModelID string
+	Payload []byte
+}
+
+func (p semirtPayload) marshal() []byte {
+	out := append(u32(len(p.UserID)), []byte(p.UserID)...)
+	out = append(out, u32(len(p.ModelID))...)
+	out = append(out, []byte(p.ModelID)...)
+	return append(out, p.Payload...)
+}
+
+func unmarshalReq(b []byte) semirtPayload {
+	ul := gi(b)
+	uid := string(b[4 : 4+ul])
+	rest := b[4+ul:]
+	ml := gi(rest)
+	return semirtPayload{
+		UserID:  secure.ID(uid),
+		ModelID: string(rest[4 : 4+ml]),
+		Payload: rest[4+ml:],
+	}
+}
+
+type semirtResp struct {
+	Payload []byte
+	Kind    string
+}
+
+func (r *semirtResp) marshal() []byte {
+	out := append(u32(len(r.Kind)), []byte(r.Kind)...)
+	return append(out, r.Payload...)
+}
+
+func unmarshalResp(b []byte) semirtResp {
+	kl := gi(b)
+	return semirtResp{Kind: string(b[4 : 4+kl]), Payload: b[4+kl:]}
+}
+
+func u32(n int) []byte {
+	return []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+func gi(b []byte) int {
+	return int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Quickstart runs the complete SeSeMI workflow (§III) in one process:
+//
+//  1. Key setup: owner and user attest KeyService and register keys.
+//  2. Service deployment: the owner encrypts a model, uploads it, and
+//     grants the user access through a pinned SeMIRT enclave identity.
+//  3. Request serving: the user sends an encrypted request; SeMIRT
+//     attests to KeyService, obtains the keys, decrypts, runs inference
+//     and returns an encrypted result only the user can read.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/storage"
+	"sesemi/internal/tensor"
+	"sesemi/internal/vclock"
+)
+
+func main() {
+	// --- Cloud infrastructure: attestation root, one SGX2 node, storage ---
+	ca, err := attest.NewCA()
+	check(err)
+	clock := vclock.Real{Scale: 0} // modeled TEE latencies off for the demo
+
+	ksKey, err := ca.Provision("ks-node")
+	check(err)
+	ksPlatform := enclave.NewPlatform(costmodel.SGX2, clock, ksKey)
+	svc := keyservice.NewService()
+	ksEnclave, err := ksPlatform.Launch(keyservice.ManifestFor(keyservice.DefaultTCS), svc)
+	check(err)
+	defer ksEnclave.Destroy()
+	srv, err := keyservice.NewServer(svc, ca.PublicKey())
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Printf("KeyService up, E_K = %s…\n", ksEnclave.Measurement().Hex()[:16])
+
+	workerKey, err := ca.Provision("worker-node")
+	check(err)
+	worker := enclave.NewPlatform(costmodel.SGX2, clock, workerKey)
+	store := storage.NewMemory(clock, nil)
+
+	// --- The SeMIRT build both sides agree on (its config defines ES) ---
+	cfg, err := semirt.DefaultConfig("tvm", "mbnet", 2)
+	check(err)
+	es := cfg.Manifest().Measure()
+	fmt.Printf("SeMIRT identity ES = %s… (derived offline by owner and user)\n", es.Hex()[:16])
+
+	// --- Model owner: encrypt + upload model, deposit K_M, grant access ---
+	dial := keyservice.TCPDialer(ln.Addr().String())
+	owner := keyservice.NewClient(dial, ca.PublicKey(), ksEnclave.Measurement(), secure.KeyFromSeed("owner"))
+	user := keyservice.NewClient(dial, ca.PublicKey(), ksEnclave.Measurement(), secure.KeyFromSeed("user"))
+	defer owner.Close()
+	defer user.Close()
+	check(owner.Register())
+	check(user.Register())
+
+	m, err := model.NewFunctional("mbnet")
+	check(err)
+	plaintext, err := model.Marshal(m)
+	check(err)
+	km := secure.KeyFromSeed("model-key")
+	ciphertext, err := semirt.EncryptModel(km, "mbnet", plaintext)
+	check(err)
+	check(store.Put(semirt.ModelBlobName("mbnet"), ciphertext))
+	check(owner.AddModelKey("mbnet", km))
+	check(owner.GrantAccess("mbnet", es, user.ID()))
+	fmt.Printf("owner uploaded %d encrypted bytes and granted %s…\n", len(ciphertext), user.ID()[:16])
+
+	// --- Model user: deposit request key K_R ---
+	kr := secure.KeyFromSeed("request-key")
+	check(user.AddReqKey("mbnet", es, kr))
+
+	// --- Serverless instance: SeMIRT runtime in a sandbox ---
+	rt, err := semirt.New(cfg, semirt.Deps{
+		Platform:    worker,
+		Store:       store,
+		KSDialer:    dial,
+		CAPublicKey: ca.PublicKey(),
+		ExpectEK:    ksEnclave.Measurement(),
+	})
+	check(err)
+	defer rt.Stop()
+
+	// --- Request serving: encrypted in, encrypted out ---
+	in := tensor.New(m.InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%17) * 0.05
+	}
+	payload, err := semirt.EncryptRequest(kr, "mbnet", inference.EncodeTensor(in))
+	check(err)
+	for i := 0; i < 3; i++ {
+		resp, err := rt.Handle(semirt.Request{UserID: user.ID(), ModelID: "mbnet", Payload: payload})
+		check(err)
+		plain, err := semirt.DecryptResponse(kr, "mbnet", resp.Payload)
+		check(err)
+		out, err := inference.DecodeTensor(plain)
+		check(err)
+		fmt.Printf("request %d: %-4s path → predicted class %d (p=%.3f)\n",
+			i+1, resp.Kind, tensor.ArgMax(out), out.Data()[tensor.ArgMax(out)])
+	}
+	st := rt.Stats()
+	fmt.Printf("invocations: %d cold, %d warm, %d hot\n", st.Cold, st.Warm, st.Hot)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package main_test's integration tests exercise the complete live stack —
+// KeyService, SeMIRT runtimes inside sandboxes on the serverless platform,
+// and FnPacker routing — over real TCP and real goroutines, asserting the
+// end-to-end security and caching behaviour the paper claims.
+package main_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/fnpacker"
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/serverless"
+	"sesemi/internal/storage"
+	"sesemi/internal/tensor"
+	"sesemi/internal/vclock"
+)
+
+// world is a complete live deployment.
+type world struct {
+	t       *testing.T
+	ca      *attest.CA
+	ksMeas  attest.Measurement
+	ksAddr  string
+	store   *storage.Memory
+	cluster *serverless.Cluster
+	owner   *keyservice.Client
+	user    *keyservice.Client
+	reqKeys map[string]secure.Key
+	cfg     semirt.Config
+	shape   []int
+}
+
+func newIntegrationWorld(t *testing.T, nodes int) *world {
+	t.Helper()
+	w := &world{t: t, reqKeys: map[string]secure.Key{}}
+	var err error
+	w.ca, err = attest.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.Real{Scale: 0}
+
+	ksKey, err := w.ca.Provision("ks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := keyservice.NewService()
+	ksEnc, err := enclave.NewPlatform(costmodel.SGX2, clock, ksKey).
+		Launch(keyservice.ManifestFor(64), svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ksEnc.Destroy)
+	w.ksMeas = ksEnc.Measurement()
+	srv, err := keyservice.NewServer(svc, w.ca.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	w.ksAddr = ln.Addr().String()
+
+	w.store = storage.NewMemory(clock, nil)
+	var ns []*serverless.Node
+	for i := 0; i < nodes; i++ {
+		key, err := w.ca.Provision(fmt.Sprintf("node-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, &serverless.Node{
+			Name:        fmt.Sprintf("node-%d", i),
+			MemoryBytes: 8 << 30,
+			Extra:       enclave.NewPlatform(costmodel.SGX2, clock, key),
+		})
+	}
+	ccfg := serverless.DefaultConfig()
+	ccfg.Clock = clock
+	ccfg.SandboxStart = 0
+	w.cluster = serverless.NewCluster(ccfg, ns...)
+	t.Cleanup(w.cluster.Close)
+
+	dial := keyservice.TCPDialer(w.ksAddr)
+	w.owner = keyservice.NewClient(dial, w.ca.PublicKey(), w.ksMeas, secure.KeyFromSeed("it-owner"))
+	w.user = keyservice.NewClient(dial, w.ca.PublicKey(), w.ksMeas, secure.KeyFromSeed("it-user"))
+	t.Cleanup(func() { w.owner.Close(); w.user.Close() })
+	if err := w.owner.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.user.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	w.cfg, err = semirt.DefaultConfig("tvm", "mbnet", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *world) deployModel(modelID string) {
+	w.t.Helper()
+	m, err := model.NewFunctional("mbnet")
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	m.Name = modelID
+	w.shape = m.InputShape
+	data, err := model.Marshal(m)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	km := secure.KeyFromSeed("it-km-" + modelID)
+	ct, err := semirt.EncryptModel(km, modelID, data)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	if err := w.store.Put(semirt.ModelBlobName(modelID), ct); err != nil {
+		w.t.Fatal(err)
+	}
+	es := w.cfg.Manifest().Measure()
+	if err := w.owner.AddModelKey(modelID, km); err != nil {
+		w.t.Fatal(err)
+	}
+	if err := w.owner.GrantAccess(modelID, es, w.user.ID()); err != nil {
+		w.t.Fatal(err)
+	}
+	kr := secure.KeyFromSeed("it-kr-" + modelID)
+	w.reqKeys[modelID] = kr
+	if err := w.user.AddReqKey(modelID, es, kr); err != nil {
+		w.t.Fatal(err)
+	}
+}
+
+// deployAction registers a serverless action running SeMIRT instances.
+func (w *world) deployAction(name string) {
+	w.t.Helper()
+	err := w.cluster.Deploy(&serverless.Action{
+		Name:         name,
+		MemoryBudget: 256 << 20,
+		Concurrency:  w.cfg.Concurrency,
+		New: func(n *serverless.Node) (serverless.Instance, error) {
+			rt, err := semirt.New(w.cfg, semirt.Deps{
+				Platform:    n.Extra.(*enclave.Platform),
+				Store:       w.store,
+				KSDialer:    keyservice.TCPDialer(w.ksAddr),
+				CAPublicKey: w.ca.PublicKey(),
+				ExpectEK:    w.ksMeas,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return jsonInstance{rt}, nil
+		},
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+}
+
+// jsonInstance adapts semirt.Runtime to serverless.Instance with JSON
+// payloads.
+type jsonInstance struct{ rt *semirt.Runtime }
+
+func (j jsonInstance) Invoke(payload []byte) ([]byte, error) {
+	var req semirt.Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	resp, err := j.rt.Handle(req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resp)
+}
+
+func (j jsonInstance) Stop() { j.rt.Stop() }
+
+// invoke sends one encrypted request through the cluster (optionally via a
+// FnPacker router) and decrypts the response.
+func (w *world) invoke(router *fnpacker.Router, action, modelID string, seed int) (semirt.Response, *tensor.Tensor) {
+	w.t.Helper()
+	in := tensor.New(w.shape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32((i+seed)%13) * 0.06
+	}
+	payload, err := semirt.EncryptRequest(w.reqKeys[modelID], modelID, inference.EncodeTensor(in))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	body, err := json.Marshal(semirt.Request{UserID: w.user.ID(), ModelID: modelID, Payload: payload})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	var raw []byte
+	if router != nil {
+		raw, err = router.Handle(context.Background(), modelID, body)
+	} else {
+		raw, err = w.cluster.Invoke(context.Background(), action, body)
+	}
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	var resp semirt.Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		w.t.Fatal(err)
+	}
+	plain, err := semirt.DecryptResponse(w.reqKeys[modelID], modelID, resp.Payload)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	out, err := inference.DecodeTensor(plain)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestIntegrationSingleActionLifecycle(t *testing.T) {
+	w := newIntegrationWorld(t, 1)
+	w.deployModel("mbnet")
+	w.deployAction("fn-mbnet")
+
+	r1, out1 := w.invoke(nil, "fn-mbnet", "mbnet", 1)
+	if r1.Kind != semirt.Cold {
+		t.Fatalf("first invocation %v, want cold", r1.Kind)
+	}
+	r2, out2 := w.invoke(nil, "fn-mbnet", "mbnet", 1)
+	if r2.Kind != semirt.Hot {
+		t.Fatalf("second invocation %v, want hot", r2.Kind)
+	}
+	for i := range out1.Data() {
+		if out1.Data()[i] != out2.Data()[i] {
+			t.Fatal("same input gave different outputs")
+		}
+	}
+	st := w.cluster.Stats()
+	if st.ColdStarts != 1 || st.Invocations != 2 {
+		t.Fatalf("cluster stats %+v", st)
+	}
+}
+
+func TestIntegrationConcurrentLoad(t *testing.T) {
+	w := newIntegrationWorld(t, 2)
+	w.deployModel("mbnet")
+	w.deployAction("fn-mbnet")
+	// Warm one sandbox.
+	w.invoke(nil, "fn-mbnet", "mbnet", 0)
+	var wg sync.WaitGroup
+	sums := make(chan float64, 48)
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, out := w.invoke(nil, "fn-mbnet", "mbnet", i)
+			var s float64
+			for _, v := range out.Data() {
+				s += float64(v)
+			}
+			sums <- s
+		}(i)
+	}
+	wg.Wait()
+	close(sums)
+	for s := range sums {
+		if s < 0.99 || s > 1.01 {
+			t.Fatalf("softmax sum %v", s)
+		}
+	}
+	if st := w.cluster.Stats(); st.Invocations != 49 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestIntegrationFnPackerOverCluster(t *testing.T) {
+	w := newIntegrationWorld(t, 2)
+	for _, m := range []string{"m0", "m1", "m2"} {
+		w.deployModel(m)
+	}
+	pool := []string{"pool-0", "pool-1"}
+	for _, ep := range pool {
+		w.deployAction(ep)
+	}
+	sched, err := fnpacker.NewScheduler(vclock.Real{Scale: 0}, fnpacker.DefaultExclusiveInterval, pool...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := fnpacker.NewRouter(sched, fnpacker.InvokerFunc(
+		func(ctx context.Context, endpoint string, payload []byte) ([]byte, error) {
+			return w.cluster.Invoke(ctx, endpoint, payload)
+		}))
+
+	// Three models over two endpoints: all requests succeed and decrypt.
+	for i, m := range []string{"m0", "m1", "m2", "m0", "m1", "m2"} {
+		resp, _ := w.invoke(router, "", m, i)
+		_ = resp
+	}
+	st := w.cluster.Stats()
+	if st.Invocations != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Both endpoints were provisioned at most once each per sandbox.
+	if st.ColdStarts > 4 {
+		t.Fatalf("too many cold starts: %d", st.ColdStarts)
+	}
+}
+
+func TestIntegrationTamperedPayloadRejectedEndToEnd(t *testing.T) {
+	w := newIntegrationWorld(t, 1)
+	w.deployModel("mbnet")
+	w.deployAction("fn-mbnet")
+	in := tensor.New(w.shape...)
+	payload, err := semirt.EncryptRequest(w.reqKeys["mbnet"], "mbnet", inference.EncodeTensor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)/2] ^= 1
+	body, err := json.Marshal(semirt.Request{UserID: w.user.ID(), ModelID: "mbnet", Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.cluster.Invoke(context.Background(), "fn-mbnet", body)
+	if err == nil || !strings.Contains(err.Error(), "decrypt") {
+		t.Fatalf("tampered payload: %v", err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package attest simulates SGX remote attestation.
+//
+// In real SGX, Intel provisions each platform with an attestation key; a
+// quoting enclave signs reports that bind the enclave's measurement
+// (MRENCLAVE) and 64 bytes of user report data, and relying parties verify
+// the signature chain up to Intel (via IAS for EPID on SGX1, or the ECDSA /
+// DCAP collateral on SGX2). This package reproduces that chain with real
+// ECDSA P-256 keys: a CA stands in for Intel, per-platform keys stand in for
+// provisioned attestation keys, and Quote carries measurement + report data
+// + platform info under a signature that verifiers check against the CA.
+//
+// The latency of quote generation and verification is modeled separately in
+// internal/costmodel (Figure 16) and charged by internal/enclave.
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// MeasurementSize is the MRENCLAVE size in bytes.
+const MeasurementSize = 32
+
+// ReportDataSize is the user report-data size in bytes (as in SGX).
+const ReportDataSize = 64
+
+// Measurement is the enclave identity hash (MRENCLAVE).
+type Measurement [MeasurementSize]byte
+
+// Hex returns the measurement in printable form.
+func (m Measurement) Hex() string { return fmt.Sprintf("%x", m[:]) }
+
+// Quote is a signed attestation statement.
+type Quote struct {
+	// Measurement identifies the enclave code (MRENCLAVE).
+	Measurement Measurement `json:"mrenclave"`
+	// ReportData is caller-chosen data bound into the quote; RA-TLS puts a
+	// hash of the channel public key here.
+	ReportData [ReportDataSize]byte `json:"report_data"`
+	// PlatformID names the attesting machine.
+	PlatformID string `json:"platform_id"`
+	// HW records the hardware generation ("sgx1" or "sgx2").
+	HW string `json:"hw"`
+	// TCBStatus reports platform patch level; verifiers reject anything but
+	// "up-to-date".
+	TCBStatus string `json:"tcb_status"`
+	// Sig is the platform key's ECDSA signature over the fields above.
+	Sig []byte `json:"sig"`
+	// PlatformCert chains the platform key to the CA.
+	PlatformCert PlatformCert `json:"platform_cert"`
+}
+
+// PlatformCert binds a platform's public key to its ID under the CA's
+// signature (the stand-in for Intel's provisioning certificates).
+type PlatformCert struct {
+	PlatformID string `json:"platform_id"`
+	PubKey     []byte `json:"pub_key"` // SEC1/X9.62 uncompressed point
+	CASig      []byte `json:"ca_sig"`
+}
+
+// CA simulates Intel's attestation root of trust.
+type CA struct {
+	priv *ecdsa.PrivateKey
+}
+
+// NewCA generates a fresh attestation root.
+func NewCA() (*CA, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generate CA key: %w", err)
+	}
+	return &CA{priv: priv}, nil
+}
+
+// PublicKey returns the CA verification key in marshaled form; distribute it
+// to verifiers out of band (it plays the role of Intel's root certificate).
+func (ca *CA) PublicKey() []byte {
+	pub, err := x509.MarshalPKIXPublicKey(&ca.priv.PublicKey)
+	if err != nil {
+		// P-256 public keys always marshal.
+		panic("attest: marshal CA key: " + err.Error())
+	}
+	return pub
+}
+
+// PlatformKey is a per-machine attestation key provisioned by the CA.
+type PlatformKey struct {
+	platformID string
+	priv       *ecdsa.PrivateKey
+	cert       PlatformCert
+}
+
+// Provision creates and certifies an attestation key for a platform.
+func (ca *CA) Provision(platformID string) (*PlatformKey, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generate platform key: %w", err)
+	}
+	pub, err := x509.MarshalPKIXPublicKey(&priv.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("attest: marshal platform key: %w", err)
+	}
+	digest := certDigest(platformID, pub)
+	sig, err := ecdsa.SignASN1(rand.Reader, ca.priv, digest)
+	if err != nil {
+		return nil, fmt.Errorf("attest: sign platform cert: %w", err)
+	}
+	return &PlatformKey{
+		platformID: platformID,
+		priv:       priv,
+		cert:       PlatformCert{PlatformID: platformID, PubKey: pub, CASig: sig},
+	}, nil
+}
+
+// PlatformID returns the machine name this key was provisioned for.
+func (pk *PlatformKey) PlatformID() string { return pk.platformID }
+
+// Sign produces a quote for the given enclave measurement and report data.
+func (pk *PlatformKey) Sign(m Measurement, reportData []byte, hw string) (Quote, error) {
+	q := Quote{
+		Measurement:  m,
+		PlatformID:   pk.platformID,
+		HW:           hw,
+		TCBStatus:    "up-to-date",
+		PlatformCert: pk.cert,
+	}
+	if len(reportData) > ReportDataSize {
+		return Quote{}, fmt.Errorf("attest: report data %d bytes, max %d", len(reportData), ReportDataSize)
+	}
+	copy(q.ReportData[:], reportData)
+	sig, err := ecdsa.SignASN1(rand.Reader, pk.priv, q.digest())
+	if err != nil {
+		return Quote{}, fmt.Errorf("attest: sign quote: %w", err)
+	}
+	q.Sig = sig
+	return q, nil
+}
+
+// Verification errors.
+var (
+	ErrBadSignature  = errors.New("attest: bad quote signature")
+	ErrBadCert       = errors.New("attest: platform certificate not signed by CA")
+	ErrTCBOutOfDate  = errors.New("attest: platform TCB out of date")
+	ErrWrongEnclave  = errors.New("attest: measurement not in allowed set")
+	ErrBadReportData = errors.New("attest: report data mismatch")
+)
+
+// Verify checks the quote's certificate chain and signature against the CA
+// public key (as distributed by CA.PublicKey).
+func Verify(q Quote, caPublicKey []byte) error {
+	pubAny, err := x509.ParsePKIXPublicKey(caPublicKey)
+	if err != nil {
+		return fmt.Errorf("attest: parse CA key: %w", err)
+	}
+	caPub, ok := pubAny.(*ecdsa.PublicKey)
+	if !ok {
+		return errors.New("attest: CA key is not ECDSA")
+	}
+	if q.PlatformCert.PlatformID != q.PlatformID {
+		return ErrBadCert
+	}
+	if !ecdsa.VerifyASN1(caPub, certDigest(q.PlatformCert.PlatformID, q.PlatformCert.PubKey), q.PlatformCert.CASig) {
+		return ErrBadCert
+	}
+	platAny, err := x509.ParsePKIXPublicKey(q.PlatformCert.PubKey)
+	if err != nil {
+		return ErrBadCert
+	}
+	platPub, ok := platAny.(*ecdsa.PublicKey)
+	if !ok {
+		return ErrBadCert
+	}
+	if !ecdsa.VerifyASN1(platPub, q.digest(), q.Sig) {
+		return ErrBadSignature
+	}
+	if q.TCBStatus != "up-to-date" {
+		return ErrTCBOutOfDate
+	}
+	return nil
+}
+
+// Policy is a relying party's acceptance policy: the CA root plus the set of
+// enclave measurements it trusts.
+type Policy struct {
+	// CAPublicKey is the attestation root (CA.PublicKey output).
+	CAPublicKey []byte
+	// Allowed lists trusted measurements. Empty means "any measurement",
+	// which only makes sense for logging/testing.
+	Allowed []Measurement
+}
+
+// Check verifies the quote cryptographically and against the measurement
+// allow-list, and confirms the report data matches expectData (if non-nil).
+func (p Policy) Check(q Quote, expectData []byte) error {
+	if err := Verify(q, p.CAPublicKey); err != nil {
+		return err
+	}
+	if len(p.Allowed) > 0 {
+		ok := false
+		for _, m := range p.Allowed {
+			if m == q.Measurement {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrWrongEnclave, q.Measurement.Hex())
+		}
+	}
+	if expectData != nil {
+		var want [ReportDataSize]byte
+		copy(want[:], expectData)
+		if q.ReportData != want {
+			return ErrBadReportData
+		}
+	}
+	return nil
+}
+
+// digest canonically hashes the signed fields of a quote.
+func (q Quote) digest() []byte {
+	h := sha256.New()
+	h.Write(q.Measurement[:])
+	h.Write(q.ReportData[:])
+	writeLV(h, []byte(q.PlatformID))
+	writeLV(h, []byte(q.HW))
+	writeLV(h, []byte(q.TCBStatus))
+	return h.Sum(nil)
+}
+
+func certDigest(platformID string, pub []byte) []byte {
+	h := sha256.New()
+	writeLV(h, []byte("sesemi-platform-cert"))
+	writeLV(h, []byte(platformID))
+	writeLV(h, pub)
+	return h.Sum(nil)
+}
+
+func writeLV(h interface{ Write([]byte) (int, error) }, b []byte) {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(b)))
+	h.Write(l[:])
+	h.Write(b)
+}
+
+// Marshal encodes a quote for transmission.
+func (q Quote) Marshal() ([]byte, error) { return json.Marshal(q) }
+
+// UnmarshalQuote decodes a transmitted quote.
+func UnmarshalQuote(data []byte) (Quote, error) {
+	var q Quote
+	if err := json.Unmarshal(data, &q); err != nil {
+		return Quote{}, fmt.Errorf("attest: decode quote: %w", err)
+	}
+	return q, nil
+}
+
+// MarshalPrivateKey serializes the CA's private key in PEM form so a
+// deployment can persist its simulated attestation root (the stand-in for
+// Intel's provisioning infrastructure shared by every machine).
+func (ca *CA) MarshalPrivateKey() ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(ca.priv)
+	if err != nil {
+		return nil, fmt.Errorf("attest: marshal CA private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der}), nil
+}
+
+// LoadCA restores a CA from MarshalPrivateKey output.
+func LoadCA(pemBytes []byte) (*CA, error) {
+	block, _ := pem.Decode(pemBytes)
+	if block == nil || block.Type != "EC PRIVATE KEY" {
+		return nil, errors.New("attest: no EC private key PEM block")
+	}
+	priv, err := x509.ParseECPrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("attest: parse CA private key: %w", err)
+	}
+	return &CA{priv: priv}, nil
+}

@@ -1,0 +1,170 @@
+package attest
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+func setup(t *testing.T) (*CA, *PlatformKey) {
+	t.Helper()
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := ca.Provision("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, pk
+}
+
+func TestQuoteSignVerify(t *testing.T) {
+	ca, pk := setup(t)
+	m := Measurement(sha256.Sum256([]byte("enclave-code")))
+	q, err := pk.Sign(m, []byte("channel-binding"), "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(q, ca.PublicKey()); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if q.PlatformID != "node-1" || q.HW != "sgx2" {
+		t.Fatalf("quote metadata %q/%q", q.PlatformID, q.HW)
+	}
+}
+
+func TestVerifyRejectsWrongCA(t *testing.T) {
+	_, pk := setup(t)
+	otherCA, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pk.Sign(Measurement{1}, nil, "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(q, otherCA.PublicKey()); err == nil {
+		t.Fatal("quote chained to wrong CA accepted")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	ca, pk := setup(t)
+	q, err := pk.Sign(Measurement{7}, []byte("data"), "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := q
+	tamper.Measurement[0] ^= 1
+	if err := Verify(tamper, ca.PublicKey()); err == nil {
+		t.Fatal("tampered measurement accepted")
+	}
+	tamper = q
+	tamper.ReportData[5] ^= 1
+	if err := Verify(tamper, ca.PublicKey()); err == nil {
+		t.Fatal("tampered report data accepted")
+	}
+	tamper = q
+	tamper.TCBStatus = "out-of-date"
+	if err := Verify(tamper, ca.PublicKey()); err == nil {
+		t.Fatal("stale TCB accepted")
+	}
+	tamper = q
+	tamper.PlatformID = "node-2"
+	if err := Verify(tamper, ca.PublicKey()); err == nil {
+		t.Fatal("platform spoof accepted")
+	}
+}
+
+func TestVerifyRejectsForeignPlatformKey(t *testing.T) {
+	// An attacker provisions their own platform key (not signed by the CA)
+	// and tries to pass its quotes off.
+	ca, _ := setup(t)
+	rogueCA, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roguePK, err := rogueCA.Provision("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := roguePK.Sign(Measurement{9}, nil, "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(q, ca.PublicKey()); err == nil {
+		t.Fatal("rogue platform key accepted")
+	}
+}
+
+func TestPolicyMeasurementAllowList(t *testing.T) {
+	ca, pk := setup(t)
+	good := Measurement(sha256.Sum256([]byte("semirt-v1")))
+	bad := Measurement(sha256.Sum256([]byte("evil")))
+	pol := Policy{CAPublicKey: ca.PublicKey(), Allowed: []Measurement{good}}
+	qGood, err := pk.Sign(good, nil, "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.Check(qGood, nil); err != nil {
+		t.Fatalf("allowed measurement rejected: %v", err)
+	}
+	qBad, err := pk.Sign(bad, nil, "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.Check(qBad, nil); err == nil {
+		t.Fatal("disallowed measurement accepted")
+	}
+}
+
+func TestPolicyReportDataBinding(t *testing.T) {
+	ca, pk := setup(t)
+	pol := Policy{CAPublicKey: ca.PublicKey()}
+	q, err := pk.Sign(Measurement{3}, []byte("pubkey-hash"), "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.Check(q, []byte("pubkey-hash")); err != nil {
+		t.Fatalf("matching report data rejected: %v", err)
+	}
+	if err := pol.Check(q, []byte("other-key")); err == nil {
+		t.Fatal("mismatched report data accepted")
+	}
+}
+
+func TestSignRejectsOversizedReportData(t *testing.T) {
+	_, pk := setup(t)
+	if _, err := pk.Sign(Measurement{}, make([]byte, ReportDataSize+1), "sgx2"); err == nil {
+		t.Fatal("oversized report data accepted")
+	}
+}
+
+func TestQuoteMarshalRoundTrip(t *testing.T) {
+	ca, pk := setup(t)
+	q, err := pk.Sign(Measurement{42}, []byte("rt"), "sgx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQuote(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(got, ca.PublicKey()); err != nil {
+		t.Fatalf("round-tripped quote rejected: %v", err)
+	}
+	if _, err := UnmarshalQuote([]byte("{garbage")); err == nil {
+		t.Fatal("garbage quote parsed")
+	}
+}
+
+func TestMeasurementHex(t *testing.T) {
+	m := Measurement{0xAB}
+	if got := m.Hex(); len(got) != 64 || got[:2] != "ab" {
+		t.Fatalf("Hex() = %q", got)
+	}
+}

@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/metrics"
+	"sesemi/internal/sim"
+	"sesemi/internal/workload"
+)
+
+// ---------- Figure 12: single-node throughput/latency ----------
+
+// ThroughputPoint is one (rate, p95) sample for one system.
+type ThroughputPoint struct {
+	Rate float64
+	P95  time.Duration
+	// Served is the fraction of requests completed within the run horizon;
+	// a saturated system leaves a growing queue behind.
+	Served float64
+}
+
+// Figure12 sweeps the offered rate on a single warmed node and reports the
+// p95 latency per system. Requests arriving in the first warmup window are
+// excluded from the percentile, mirroring the paper's warm-up protocol.
+func Figure12(system sim.System, hw costmodel.HW, framework, modelID string, rates []float64) ([]ThroughputPoint, error) {
+	const duration = 90 * time.Second
+	const warmup = 20 * time.Second
+	var out []ThroughputPoint
+	for _, rate := range rates {
+		cfg := sim.Config{
+			System:       system,
+			HW:           hw,
+			Nodes:        1,
+			CoresPerNode: costmodel.Cores,
+			Actions: []sim.ActionSpec{{
+				Name: "fn", Framework: framework, Concurrency: 1, DefaultModel: modelID,
+			}},
+		}
+		if hw == costmodel.SGX1 {
+			cfg.CoresPerNode = 10 // Xeon W-1290P
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr := workload.Poisson(11, rate, duration, modelID, "u")
+		res, err := s.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		var lat metrics.Latency
+		steady := 0
+		for _, r := range res.Requests {
+			if r.Arrive >= warmup {
+				lat.Add(r.Latency())
+				steady++
+			}
+		}
+		want := tr.CountInWindow(warmup, duration)
+		served := 1.0
+		if want > 0 {
+			served = float64(steady) / float64(want)
+		}
+		out = append(out, ThroughputPoint{Rate: rate, P95: lat.Percentile(95), Served: served})
+	}
+	return out, nil
+}
+
+func runFigure12(w io.Writer) error {
+	type panel struct {
+		title     string
+		hw        costmodel.HW
+		framework string
+		modelID   string
+		rates     []float64
+		systems   []sim.System
+	}
+	panels := []panel{
+		{"Figure 12a: TVM-MBNET (SGX2)", costmodel.SGX2, "tvm", "mbnet",
+			[]float64{30, 35, 40, 45, 50}, []sim.System{sim.SeSeMI, sim.IsoReuse}},
+		{"Figure 12b: TVM-RSNET (SGX2)", costmodel.SGX2, "tvm", "rsnet",
+			[]float64{1, 2, 3, 4, 5, 6}, []sim.System{sim.SeSeMI, sim.IsoReuse, sim.Native}},
+		{"Figure 12c: TVM-MBNET (SGX1)", costmodel.SGX1, "tvm", "mbnet",
+			[]float64{2, 5, 8, 11, 14, 16}, []sim.System{sim.SeSeMI, sim.IsoReuse, sim.Native}},
+		{"Figure 12d: TFLM-MBNET (SGX1)", costmodel.SGX1, "tflm", "mbnet",
+			[]float64{2, 5, 8, 11, 14, 16}, []sim.System{sim.SeSeMI, sim.IsoReuse, sim.Native}},
+	}
+	for _, p := range panels {
+		header(w, p.title+" — p95 latency vs request rate")
+		fmt.Fprintf(w, "%-8s", "rps")
+		for _, sys := range p.systems {
+			fmt.Fprintf(w, " %18s", sys)
+		}
+		fmt.Fprintln(w)
+		series := map[sim.System][]ThroughputPoint{}
+		for _, sys := range p.systems {
+			pts, err := Figure12(sys, p.hw, p.framework, p.modelID, p.rates)
+			if err != nil {
+				return err
+			}
+			series[sys] = pts
+		}
+		for i, rate := range p.rates {
+			fmt.Fprintf(w, "%-8.0f", rate)
+			for _, sys := range p.systems {
+				pt := series[sys][i]
+				mark := ""
+				if pt.Served < 0.95 {
+					mark = "*" // saturated: queue growing
+				}
+				fmt.Fprintf(w, " %16.3fs%1s", pt.P95.Seconds(), mark)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "(* = saturated: <95% of offered requests completed in the horizon)")
+	}
+	return nil
+}
+
+// ---------- Figure 13: MMPP multi-node latency over time ----------
+
+// MMPPResult is one system's run under the MMPP workload.
+type MMPPResult struct {
+	System sim.System
+	Mean   time.Duration
+	P95    time.Duration
+	// Series is the 30 s-bucketed average latency (seconds).
+	Series []metrics.Bucket
+	// Cold, Warm, Hot count invocation paths.
+	Cold, Warm, Hot int
+}
+
+// mmppTrace is the §VI-C workload: mean rate alternating 20 and 40 rps for
+// 900 s, preceded by a 60 s warm-up at 20 rps (excluded from stats by the
+// caller via the offset).
+func mmppTrace(seed int64, modelID string) workload.Trace {
+	warm := workload.Poisson(seed, 20, 60*time.Second, modelID, "u")
+	main := workload.MMPP(seed+1, []float64{20, 40}, 90*time.Second, 900*time.Second, modelID, "u")
+	for i := range main {
+		main[i].At += 60 * time.Second
+	}
+	return workload.Merge(warm, main)
+}
+
+// Figure13 runs the MMPP workload on an 8-node cluster for one system.
+// Concurrency per enclave is chosen so a node's TCS total matches its cores
+// (§VI-C configures invoker memory to that effect).
+func Figure13(system sim.System, modelID string, concurrency int) (*MMPPResult, error) {
+	spec := sim.ActionSpec{
+		Name: "fn", Framework: "tvm", Concurrency: concurrency, DefaultModel: modelID,
+	}
+	cfg := sim.Config{
+		System:       system,
+		HW:           costmodel.SGX2,
+		Nodes:        8,
+		CoresPerNode: costmodel.Cores,
+		// Invoker memory capped so TCS-per-node ≤ cores (Appendix F): each
+		// sandbox holds `concurrency` TCSs.
+		NodeMemory: int64(costmodel.Cores/concurrency) * costmodel.ContainerMemoryBudget(mustEnclaveBytes("tvm", modelID, concurrency)),
+		Actions:    []sim.ActionSpec{spec},
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run(mmppTrace(97, modelID))
+	if err != nil {
+		return nil, err
+	}
+	out := &MMPPResult{System: system, Cold: res.Cold, Warm: res.Warm, Hot: res.Hot}
+	var lat metrics.Latency
+	for _, r := range res.Requests {
+		if r.Arrive >= 60*time.Second { // drop warm-up
+			lat.Add(r.Latency())
+		}
+	}
+	out.Mean = lat.Mean()
+	out.P95 = lat.Percentile(95)
+	out.Series = res.LatencySeries.Buckets()
+	return out, nil
+}
+
+func mustEnclaveBytes(fw, modelID string, conc int) int64 {
+	b, err := costmodel.EnclaveConfigBytes(fw, modelID, conc)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func runFigure13(w io.Writer) error {
+	for _, modelID := range []string{"dsnet", "rsnet"} {
+		header(w, fmt.Sprintf("Figure 13: 8-node MMPP (20↔40 rps, 900 s), TVM-%s", modelID))
+		fmt.Fprintf(w, "%-10s %12s %12s %8s %8s %8s\n", "system", "avg latency", "p95", "cold", "warm", "hot")
+		for _, sys := range []sim.System{sim.SeSeMI, sim.IsoReuse, sim.Native} {
+			r, err := Figure13(sys, modelID, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %11.2fs %11.2fs %8d %8d %8d\n",
+				r.System, r.Mean.Seconds(), r.P95.Seconds(), r.Cold, r.Warm, r.Hot)
+		}
+	}
+	// Latency-over-time series for DSNET (the Figure 13b panel).
+	header(w, "Figure 13b series: avg latency per 30 s bucket, TVM-DSNET")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "t(s)", "SeSeMI", "Iso-reuse", "Native")
+	series := map[sim.System][]metrics.Bucket{}
+	for _, sys := range []sim.System{sim.SeSeMI, sim.IsoReuse, sim.Native} {
+		r, err := Figure13(sys, "dsnet", 1)
+		if err != nil {
+			return err
+		}
+		series[sys] = r.Series
+	}
+	for i := 0; i < 32; i++ {
+		at := time.Duration(i) * 30 * time.Second
+		fmt.Fprintf(w, "%-8.0f", at.Seconds())
+		for _, sys := range []sim.System{sim.SeSeMI, sim.IsoReuse, sim.Native} {
+			v := 0.0
+			for _, b := range series[sys] {
+				if b.Start == at {
+					v = b.Mean()
+					break
+				}
+			}
+			fmt.Fprintf(w, " %9.2fs", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ---------- Figure 14: memory usage and GB-s cost under MMPP ----------
+
+// CostResult is one TVM-n configuration's cost under the MMPP workload.
+type CostResult struct {
+	Label       string
+	Concurrency int
+	// GBSeconds is the billing integral.
+	GBSeconds float64
+	// PeakSandboxes and PeakMemoryGB summarize the Figure 14 panels.
+	PeakSandboxes int
+	PeakMemoryGB  float64
+}
+
+// Figure14 compares one thread vs four threads per enclave for a model.
+// Memory budgets follow §VI-C: 256/384 MiB for DSNET-1/-4 and 768/1536 MiB
+// for RSNET-1/-4.
+func Figure14(modelID string) ([]CostResult, error) {
+	budgets := map[string]map[int]int64{
+		"dsnet": {1: 256 << 20, 4: 384 << 20},
+		"rsnet": {1: 768 << 20, 4: 1536 << 20},
+	}
+	var out []CostResult
+	for _, conc := range []int{1, 4} {
+		spec := sim.ActionSpec{
+			Name: "fn", Framework: "tvm", Concurrency: conc, DefaultModel: modelID,
+			MemoryBudget: budgets[modelID][conc],
+		}
+		cfg := sim.Config{
+			System:       sim.SeSeMI,
+			HW:           costmodel.SGX2,
+			Nodes:        8,
+			CoresPerNode: costmodel.Cores,
+			NodeMemory:   int64(costmodel.Cores/conc) * spec.MemoryBudget,
+			Actions:      []sim.ActionSpec{spec},
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run(mmppTrace(97, modelID))
+		if err != nil {
+			return nil, err
+		}
+		cr := CostResult{
+			Label:       fmt.Sprintf("TVM-%s-%d", modelID, conc),
+			Concurrency: conc,
+			GBSeconds:   res.GBSeconds,
+		}
+		for _, b := range res.SandboxSeries.Buckets() {
+			if int(b.Max) > cr.PeakSandboxes {
+				cr.PeakSandboxes = int(b.Max)
+			}
+		}
+		for _, b := range res.MemorySeries.Buckets() {
+			if gb := b.Max / 1e9; gb > cr.PeakMemoryGB {
+				cr.PeakMemoryGB = gb
+			}
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+func runFigure14(w io.Writer) error {
+	for _, modelID := range []string{"dsnet", "rsnet"} {
+		header(w, fmt.Sprintf("Figure 14: memory cost under MMPP, TVM-%s (1 vs 4 threads/enclave)", modelID))
+		rows, err := Figure14(modelID)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %14s %14s %12s\n", "config", "GB-seconds", "peak sandboxes", "peak mem")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-14s %14.0f %14d %10.2fGB\n", r.Label, r.GBSeconds, r.PeakSandboxes, r.PeakMemoryGB)
+		}
+		if len(rows) == 2 && rows[0].GBSeconds > 0 {
+			saving := 1 - rows[1].GBSeconds/rows[0].GBSeconds
+			paper := map[string]float64{"dsnet": 0.59, "rsnet": 0.48}[modelID]
+			fmt.Fprintf(w, "cost reduction with 4 threads: %.0f%% (paper: %.0f%%)\n", 100*saving, 100*paper)
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "fig12", Title: "Figure 12: p95 latency vs request rate", Run: runFigure12})
+	register(Experiment{ID: "fig13", Title: "Figure 13: MMPP latency over time", Run: runFigure13})
+	register(Experiment{ID: "fig14", Title: "Figure 14: memory usage and cost", Run: runFigure14})
+}

@@ -1,0 +1,430 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/model"
+)
+
+// ---------- Table I: models for the evaluation ----------
+
+// Table1Row is one model's size line.
+type Table1Row struct {
+	Name                         string
+	ModelMB, TVMBufMB, TFLMBufMB float64
+	LambdaTVM, LambdaTFLM        float64
+}
+
+// Table1 computes the model/buffer sizes.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, id := range model.ZooIDs() {
+		s := model.Zoo[id]
+		rows = append(rows, Table1Row{
+			Name:       s.FullName,
+			ModelMB:    float64(s.ModelBytes) / model.MB,
+			TVMBufMB:   float64(s.TVMBufferBytes) / model.MB,
+			TFLMBufMB:  float64(s.TFLMBufferBytes) / model.MB,
+			LambdaTVM:  s.Lambda("tvm"),
+			LambdaTFLM: s.Lambda("tflm"),
+		})
+	}
+	return rows
+}
+
+func runTable1(w io.Writer) error {
+	header(w, "Table I: Models for the evaluation")
+	fmt.Fprintf(w, "%-14s %10s %14s %15s %8s %8s\n", "Name", "Model size", "TVM buffer", "TFLM buffer", "λ(tvm)", "λ(tflm)")
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%-14s %8.0fMB %12.0fMB %13.0fMB %8.2f %8.2f\n",
+			r.Name, r.ModelMB, r.TVMBufMB, r.TFLMBufMB, r.LambdaTVM, r.LambdaTFLM)
+	}
+	return nil
+}
+
+// ---------- Figure 8: latency ratio of serving stages ----------
+
+// StageRatios is the cold-path share of each serving stage.
+type StageRatios struct {
+	Combo                                                    string
+	EnclaveInit, KeyFetch, ModelLoad, RuntimeInit, ModelExec float64
+}
+
+// Figure8 computes the cold-invocation stage shares per combination.
+func Figure8() ([]StageRatios, error) {
+	var out []StageRatios
+	for _, c := range costmodel.Combos() {
+		s, err := costmodel.Stages(costmodel.SGX2, c.Framework, c.Model)
+		if err != nil {
+			return nil, err
+		}
+		total := s.ColdPath().Seconds()
+		out = append(out, StageRatios{
+			Combo:       fmt.Sprintf("%s-%s", c.Framework, c.Model),
+			EnclaveInit: s.EnclaveInit.Seconds() / total,
+			KeyFetch:    s.KeyFetchCold.Seconds() / total,
+			ModelLoad:   s.ModelLoad.Seconds() / total,
+			RuntimeInit: s.RuntimeInit.Seconds() / total,
+			ModelExec:   (s.ModelExec + s.RequestCrypto).Seconds() / total,
+		})
+	}
+	return out, nil
+}
+
+func runFigure8(w io.Writer) error {
+	header(w, "Figure 8: Latency ratio of serving stages (cold invocation)")
+	rows, err := Figure8()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s %9s\n", "combo", "enclave", "keyfetch", "load", "rt-init", "exec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			r.Combo, 100*r.EnclaveInit, 100*r.KeyFetch, 100*r.ModelLoad, 100*r.RuntimeInit, 100*r.ModelExec)
+	}
+	return nil
+}
+
+// ---------- Figure 9: execution time under different invocations ----------
+
+// InvocationTimes holds Figure 9's five bars for one combination.
+type InvocationTimes struct {
+	Combo                                      string
+	Hot, Warm, Cold, Untrusted, UntrustedReuse time.Duration
+}
+
+// Figure9 computes the five invocation-path latencies per combination.
+func Figure9() ([]InvocationTimes, error) {
+	var out []InvocationTimes
+	for _, c := range costmodel.Combos() {
+		sgx, err := costmodel.Stages(costmodel.SGX2, c.Framework, c.Model)
+		if err != nil {
+			return nil, err
+		}
+		nat, err := costmodel.Stages(costmodel.Native, c.Framework, c.Model)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InvocationTimes{
+			Combo:          fmt.Sprintf("%s-%s", c.Framework, c.Model),
+			Hot:            sgx.HotPath(),
+			Warm:           sgx.WarmPath(),
+			Cold:           sgx.ColdPath(),
+			Untrusted:      nat.ModelLoad + nat.RuntimeInit + nat.ModelExec,
+			UntrustedReuse: nat.ModelExec,
+		})
+	}
+	return out, nil
+}
+
+func runFigure9(w io.Writer) error {
+	header(w, "Figure 9: Execution time under different invocations")
+	rows, err := Figure9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %10s %14s\n", "combo", "hot", "warm", "cold", "untrusted", "untrusted(reuse)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %7.2fs %7.2fs %7.2fs %9.2fs %13.2fs\n",
+			r.Combo, r.Hot.Seconds(), r.Warm.Seconds(), r.Cold.Seconds(),
+			r.Untrusted.Seconds(), r.UntrustedReuse.Seconds())
+	}
+	for _, r := range rows {
+		if r.Combo == "tvm-mbnet" {
+			fmt.Fprintf(w, "TVM-MBNET speedups: hot %.0fx, warm %.0fx over cold (paper: 21x, 11x)\n",
+				r.Cold.Seconds()/r.Hot.Seconds(), r.Cold.Seconds()/r.Warm.Seconds())
+		}
+	}
+	return nil
+}
+
+// ---------- Figure 10: enclave memory saving ----------
+
+// MemorySaving is one framework/model saving curve.
+type MemorySaving struct {
+	Framework, Model string
+	Lambda           float64
+	// SavingAt maps concurrency (2,4,8) to the saving ratio.
+	SavingAt map[int]float64
+}
+
+// Figure10 computes the memory-saving ratios.
+func Figure10() ([]MemorySaving, error) {
+	var out []MemorySaving
+	for _, fw := range []string{"tvm", "tflm"} {
+		for _, id := range model.ZooIDs() {
+			ms := MemorySaving{Framework: fw, Model: id, Lambda: model.Zoo[id].Lambda(fw), SavingAt: map[int]float64{}}
+			for _, n := range []int{2, 4, 8} {
+				sv, err := costmodel.MemorySavingRatio(fw, id, n)
+				if err != nil {
+					return nil, err
+				}
+				ms.SavingAt[n] = sv
+			}
+			out = append(out, ms)
+		}
+	}
+	return out, nil
+}
+
+func runFigure10(w io.Writer) error {
+	header(w, "Figure 10: Enclave memory saving (1 enclave, n threads vs n enclaves)")
+	rows, err := Figure10()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %-7s %7s %8s %8s %8s\n", "fw", "model", "λ", "n=2", "n=4", "n=8")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-7s %7.2f %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Framework, r.Model, r.Lambda, 100*r.SavingAt[2], 100*r.SavingAt[4], 100*r.SavingAt[8])
+	}
+	return nil
+}
+
+// ---------- Table II: strong isolation overhead ----------
+
+// IsolationRow compares hot-path latency with and without strong isolation.
+type IsolationRow struct {
+	Model         string
+	Without, With time.Duration
+}
+
+// Table2 computes the strong-isolation overhead for the TVM models.
+func Table2() ([]IsolationRow, error) {
+	var out []IsolationRow
+	for _, id := range model.ZooIDs() {
+		s, err := costmodel.Stages(costmodel.SGX2, "tvm", id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IsolationRow{Model: id, Without: s.HotPath(), With: s.IsolatedHotPath()})
+	}
+	return out, nil
+}
+
+func runTable2(w io.Writer) error {
+	header(w, "Table II: Overhead of stronger isolation on hot invocations")
+	rows, err := Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s %8s\n", "model (TVM)", "without", "with", "factor")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10.2fms %10.2fms %7.2fx\n",
+			r.Model, float64(r.Without.Microseconds())/1000, float64(r.With.Microseconds())/1000,
+			float64(r.With)/float64(r.Without))
+	}
+	return nil
+}
+
+// ---------- Figure 11: latency vs concurrent requests ----------
+
+// ConcurrencyPoint is one (n, latency) sample.
+type ConcurrencyPoint struct {
+	Concurrent int
+	Latency    time.Duration
+}
+
+// Figure11SGX2 sweeps concurrency on an SGX2 node for the given combination
+// (EPC is never the bottleneck; the knee is the 12-core CPU).
+func Figure11SGX2(framework, modelID string, maxN int) ([]ConcurrencyPoint, error) {
+	s, err := costmodel.Stages(costmodel.SGX2, framework, modelID)
+	if err != nil {
+		return nil, err
+	}
+	var out []ConcurrencyPoint
+	for n := 1; n <= maxN; n++ {
+		lat := costmodel.ExecUnderLoad(s.ModelExec, n, costmodel.Cores)
+		out = append(out, ConcurrencyPoint{Concurrent: n, Latency: lat + s.RequestCrypto})
+	}
+	return out, nil
+}
+
+// Figure11SGX1 sweeps concurrency for MBNET on an SGX1 node where the EPC
+// (128 MiB) binds: threadsPerEnclave requests share one enclave, so total
+// enclave memory grows with ceil(n/threads).
+func Figure11SGX1(framework string, threadsPerEnclave, maxN int) ([]ConcurrencyPoint, error) {
+	s, err := costmodel.Stages(costmodel.SGX1, framework, "mbnet")
+	if err != nil {
+		return nil, err
+	}
+	perEnclave, err := costmodel.EnclaveConfigBytes(framework, "mbnet", threadsPerEnclave)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := costmodel.ExecWorkingSet(framework, "mbnet", threadsPerEnclave)
+	if err != nil {
+		return nil, err
+	}
+	var out []ConcurrencyPoint
+	for n := 1; n <= maxN; n++ {
+		enclaves := (n + threadsPerEnclave - 1) / threadsPerEnclave
+		resident := int64(enclaves) * perEnclave
+		lat := costmodel.ExecUnderLoad(s.ModelExec, n, 10) +
+			costmodel.PagingDelay(ws, n, resident, costmodel.SGX1.EPCBytes())
+		out = append(out, ConcurrencyPoint{Concurrent: n, Latency: lat + s.RequestCrypto})
+	}
+	return out, nil
+}
+
+func runFigure11(w io.Writer) error {
+	header(w, "Figure 11a: Latency vs concurrent requests (SGX2, knee at 12 cores)")
+	combos := []struct{ fw, m string }{
+		{"tvm", "mbnet"}, {"tvm", "rsnet"}, {"tvm", "dsnet"}, {"tflm", "mbnet"}, {"tflm", "dsnet"},
+	}
+	fmt.Fprintf(w, "%-12s", "n")
+	for _, c := range combos {
+		fmt.Fprintf(w, " %12s", c.fw+"-"+c.m)
+	}
+	fmt.Fprintln(w)
+	series := make([][]ConcurrencyPoint, len(combos))
+	for i, c := range combos {
+		pts, err := Figure11SGX2(c.fw, c.m, 32)
+		if err != nil {
+			return err
+		}
+		series[i] = pts
+	}
+	for _, n := range []int{1, 4, 8, 12, 16, 24, 32} {
+		fmt.Fprintf(w, "%-12d", n)
+		for i := range combos {
+			fmt.Fprintf(w, " %11.2fs", series[i][n-1].Latency.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+
+	header(w, "Figure 11b: MBNET latency vs concurrency on SGX1 (EPC 128 MiB binds)")
+	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s\n", "n", "TVM-1", "TVM-4", "TFLM-1", "TFLM-4")
+	tvm1, err := Figure11SGX1("tvm", 1, 16)
+	if err != nil {
+		return err
+	}
+	tvm4, err := Figure11SGX1("tvm", 4, 16)
+	if err != nil {
+		return err
+	}
+	tflm1, err := Figure11SGX1("tflm", 1, 16)
+	if err != nil {
+		return err
+	}
+	tflm4, err := Figure11SGX1("tflm", 4, 16)
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{1, 2, 4, 8, 12, 16} {
+		fmt.Fprintf(w, "%-6d %9.2fs %9.2fs %9.2fs %9.2fs\n", n,
+			tvm1[n-1].Latency.Seconds(), tvm4[n-1].Latency.Seconds(),
+			tflm1[n-1].Latency.Seconds(), tflm4[n-1].Latency.Seconds())
+	}
+	return nil
+}
+
+// ---------- Figures 15-18: appendix micro-benchmarks ----------
+
+func runFigure15(w io.Writer) error {
+	header(w, "Figure 15: Enclave initialization overhead (avg per enclave)")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "#enclaves", "sgx2/128MB", "sgx2/256MB", "sgx1/128MB", "sgx1/256MB")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		fmt.Fprintf(w, "%-10d %11.2fs %11.2fs %11.2fs %11.2fs\n", n,
+			costmodel.EnclaveInit(costmodel.SGX2, 128<<20, n).Seconds(),
+			costmodel.EnclaveInit(costmodel.SGX2, 256<<20, n).Seconds(),
+			costmodel.EnclaveInit(costmodel.SGX1, 128<<20, n).Seconds(),
+			costmodel.EnclaveInit(costmodel.SGX1, 256<<20, n).Seconds())
+	}
+	return nil
+}
+
+func runFigure16(w io.Writer) error {
+	header(w, "Figure 16: Remote attestation overhead")
+	fmt.Fprintf(w, "%-10s %14s %14s\n", "#enclaves", "sgx2 (ECDSA)", "sgx1 (EPID)")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		fmt.Fprintf(w, "%-10d %13.2fs %13.2fs\n", n,
+			costmodel.ECDSAAttestation(n).Seconds(),
+			costmodel.EPIDAttestation(n).Seconds())
+	}
+	return nil
+}
+
+// Breakdown is one stage-decomposition row (Figures 17 and 18).
+type Breakdown struct {
+	Combo                                               string
+	EnclaveInit, KeyFetch, ModelLoad, RuntimeInit, Exec time.Duration
+}
+
+// Figure17 returns the SGX2 per-stage execution breakdown.
+func Figure17() ([]Breakdown, error) {
+	var out []Breakdown
+	for _, c := range costmodel.Combos() {
+		s, err := costmodel.Stages(costmodel.SGX2, c.Framework, c.Model)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Breakdown{
+			Combo:       fmt.Sprintf("%s-%s", c.Framework, c.Model),
+			EnclaveInit: s.EnclaveInit, KeyFetch: s.KeyFetchCold,
+			ModelLoad: s.ModelLoad, RuntimeInit: s.RuntimeInit, Exec: s.ModelExec,
+		})
+	}
+	return out, nil
+}
+
+// Figure18 returns the no-TEE per-stage breakdown.
+func Figure18() ([]Breakdown, error) {
+	var out []Breakdown
+	for _, c := range costmodel.Combos() {
+		s, err := costmodel.Stages(costmodel.Native, c.Framework, c.Model)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Breakdown{
+			Combo:     fmt.Sprintf("%s-%s", c.Framework, c.Model),
+			ModelLoad: s.ModelLoad, RuntimeInit: s.RuntimeInit, Exec: s.ModelExec,
+		})
+	}
+	return out, nil
+}
+
+func runFigure17(w io.Writer) error {
+	header(w, "Figure 17: Execution time breakdown inside SGX2")
+	rows, err := Figure17()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %12s %10s %11s %12s %12s\n", "combo", "enclave init", "key fetch", "model load", "runtime init", "model exec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %11.3fs %9.3fs %10.4fs %11.4fs %11.3fs\n",
+			r.Combo, r.EnclaveInit.Seconds(), r.KeyFetch.Seconds(),
+			r.ModelLoad.Seconds(), r.RuntimeInit.Seconds(), r.Exec.Seconds())
+	}
+	return nil
+}
+
+func runFigure18(w io.Writer) error {
+	header(w, "Figure 18: Execution time breakdown outside SGX")
+	rows, err := Figure18()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %11s %12s %12s\n", "combo", "model load", "runtime init", "model exec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10.4fs %11.5fs %11.3fs\n",
+			r.Combo, r.ModelLoad.Seconds(), r.RuntimeInit.Seconds(), r.Exec.Seconds())
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "table1", Title: "Table I: model sizes", Run: runTable1})
+	register(Experiment{ID: "fig8", Title: "Figure 8: stage latency ratios", Run: runFigure8})
+	register(Experiment{ID: "fig9", Title: "Figure 9: invocation paths", Run: runFigure9})
+	register(Experiment{ID: "fig10", Title: "Figure 10: memory saving", Run: runFigure10})
+	register(Experiment{ID: "table2", Title: "Table II: isolation overhead", Run: runTable2})
+	register(Experiment{ID: "fig11", Title: "Figure 11: concurrency scaling", Run: runFigure11})
+	register(Experiment{ID: "fig15", Title: "Figure 15: enclave init overhead", Run: runFigure15})
+	register(Experiment{ID: "fig16", Title: "Figure 16: attestation overhead", Run: runFigure16})
+	register(Experiment{ID: "fig17", Title: "Figure 17: SGX2 breakdown", Run: runFigure17})
+	register(Experiment{ID: "fig18", Title: "Figure 18: native breakdown", Run: runFigure18})
+}

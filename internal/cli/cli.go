@@ -1,0 +1,103 @@
+// Package cli holds the deployment-state conventions shared by the
+// standalone binaries (cmd/keyservice, cmd/semirt, cmd/fnpacker, cmd/owctl).
+//
+// A deployment directory plays the role of the out-of-band trust
+// distribution in the paper: it holds the simulated attestation root (the
+// "Intel" CA that provisions every platform), the KeyService address, and
+// the KeyService measurement E_K that owners and users pin.
+package cli
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sesemi/internal/attest"
+)
+
+// State is a deployment directory.
+type State struct {
+	// Dir is the directory path.
+	Dir string
+}
+
+const (
+	caKeyFile = "ca.key"
+	ksFile    = "keyservice.json"
+)
+
+// EnsureCA loads the deployment's attestation root, creating it on first
+// use.
+func (s State) EnsureCA() (*attest.CA, error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(s.Dir, caKeyFile)
+	if data, err := os.ReadFile(path); err == nil {
+		return attest.LoadCA(data)
+	}
+	ca, err := attest.NewCA()
+	if err != nil {
+		return nil, err
+	}
+	pemBytes, err := ca.MarshalPrivateKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, pemBytes, 0o600); err != nil {
+		return nil, err
+	}
+	return ca, nil
+}
+
+// LoadCA loads the attestation root, failing if absent.
+func (s State) LoadCA() (*attest.CA, error) {
+	data, err := os.ReadFile(filepath.Join(s.Dir, caKeyFile))
+	if err != nil {
+		return nil, fmt.Errorf("cli: deployment has no CA (run the keyservice first): %w", err)
+	}
+	return attest.LoadCA(data)
+}
+
+// KSInfo records where the KeyService runs and its enclave identity E_K.
+type KSInfo struct {
+	// Addr is the TCP address of the KeyService.
+	Addr string `json:"addr"`
+	// MeasurementHex is E_K in hex.
+	MeasurementHex string `json:"measurement"`
+}
+
+// Measurement decodes E_K.
+func (k KSInfo) Measurement() (attest.Measurement, error) {
+	var m attest.Measurement
+	raw, err := hex.DecodeString(k.MeasurementHex)
+	if err != nil || len(raw) != len(m) {
+		return m, fmt.Errorf("cli: bad measurement %q", k.MeasurementHex)
+	}
+	copy(m[:], raw)
+	return m, nil
+}
+
+// SaveKeyService records the KeyService coordinates.
+func (s State) SaveKeyService(info KSInfo) error {
+	data, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.Dir, ksFile), data, 0o644)
+}
+
+// LoadKeyService reads the KeyService coordinates.
+func (s State) LoadKeyService() (KSInfo, error) {
+	data, err := os.ReadFile(filepath.Join(s.Dir, ksFile))
+	if err != nil {
+		return KSInfo{}, fmt.Errorf("cli: deployment has no keyservice info: %w", err)
+	}
+	var info KSInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return KSInfo{}, err
+	}
+	return info, nil
+}

@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sesemi/internal/attest"
+)
+
+func TestEnsureCARoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := State{Dir: filepath.Join(dir, "deploy")}
+	ca1, err := s.EnsureCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second call loads the same CA.
+	ca2, err := s.EnsureCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca1.PublicKey()) != string(ca2.PublicKey()) {
+		t.Fatal("EnsureCA regenerated the CA")
+	}
+	ca3, err := s.LoadCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca1.PublicKey()) != string(ca3.PublicKey()) {
+		t.Fatal("LoadCA returned a different CA")
+	}
+	// A quote provisioned by the loaded CA verifies against the original.
+	pk, err := ca3.Provision("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pk.Sign(attest.Measurement{1}, nil, "sgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attest.Verify(q, ca1.PublicKey()); err != nil {
+		t.Fatalf("cross-instance verification failed: %v", err)
+	}
+}
+
+func TestLoadCAMissing(t *testing.T) {
+	s := State{Dir: t.TempDir()}
+	if _, err := s.LoadCA(); err == nil {
+		t.Fatal("LoadCA succeeded without a CA")
+	}
+}
+
+func TestKeyServiceInfoRoundTrip(t *testing.T) {
+	s := State{Dir: t.TempDir()}
+	m := attest.Measurement{7, 7, 7}
+	if err := s.SaveKeyService(KSInfo{Addr: "127.0.0.1:7100", MeasurementHex: m.Hex()}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.LoadKeyService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Addr != "127.0.0.1:7100" {
+		t.Fatalf("addr %q", info.Addr)
+	}
+	got, err := info.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatal("measurement corrupted")
+	}
+}
+
+func TestKSInfoBadMeasurement(t *testing.T) {
+	if _, err := (KSInfo{MeasurementHex: "zz"}).Measurement(); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := (KSInfo{MeasurementHex: "abcd"}).Measurement(); err == nil {
+		t.Fatal("short measurement accepted")
+	}
+}
+
+func TestLoadKeyServiceMissing(t *testing.T) {
+	s := State{Dir: t.TempDir()}
+	if _, err := s.LoadKeyService(); err == nil {
+		t.Fatal("LoadKeyService succeeded without info")
+	}
+}

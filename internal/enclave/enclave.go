@@ -1,0 +1,298 @@
+// Package enclave simulates Intel SGX enclaves in software.
+//
+// It reproduces the SGX properties SeSeMI's design and evaluation depend on:
+//
+//   - Code identity: an enclave's measurement (MRENCLAVE) is a SHA-256 over
+//     its manifest — code hash and configuration — so changing the enclave
+//     configuration (e.g. TCS count, isolation settings) changes its
+//     identity, exactly as §V relies on ("the settings are part of the
+//     enclave codes").
+//   - EPC accounting: each platform has an enclave page cache; launches
+//     reserve their configured memory, and oversubscription is visible to
+//     callers as a paging factor (the SGX1 effects of Figures 11b and 15b).
+//   - TCS-bounded concurrency: threads enter the enclave through a fixed
+//     number of thread control structures; ECall blocks when all are in use.
+//   - Launch and attestation contention: concurrent launches and quote
+//     generations on one machine slow each other down (Figures 15 and 16),
+//     charged through the platform's clock using internal/costmodel.
+//
+// What is deliberately not simulated: memory encryption and page-table
+// isolation (irrelevant to latency/cost shapes), and side channels (out of
+// the paper's threat model).
+package enclave
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/vclock"
+)
+
+// Manifest describes the enclave's code and configuration; it is the input
+// to the measurement, so any change yields a different identity.
+type Manifest struct {
+	// Name is a human-readable enclave name (not part of security claims).
+	Name string
+	// CodeHash commits to the enclave's code. Builders use a hash of the
+	// program version string plus configuration knobs.
+	CodeHash [32]byte
+	// TCSCount is the number of thread control structures (max concurrent
+	// enclave threads).
+	TCSCount int
+	// MemoryBytes is the configured enclave size reserved from the EPC.
+	MemoryBytes int64
+}
+
+// Measure computes the enclave identity (MRENCLAVE) over the manifest.
+func (m Manifest) Measure() attest.Measurement {
+	h := sha256.New()
+	h.Write([]byte("sesemi-enclave-manifest"))
+	h.Write(m.CodeHash[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.TCSCount))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.MemoryBytes))
+	h.Write(buf[:])
+	var out attest.Measurement
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// CodeIdentity hashes an enclave program version plus its configuration
+// strings into a CodeHash. Model owners and users call the same function
+// offline to derive the expected measurement ES (§III: "Given the codes, the
+// model owner and users can derive ES independently").
+func CodeIdentity(program string, config ...string) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(program))
+	for _, c := range config {
+		h.Write([]byte{0})
+		h.Write([]byte(c))
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Platform is one SGX-capable machine: it owns the EPC, the provisioned
+// attestation key, and the contention state for launches and quoting.
+type Platform struct {
+	hw    costmodel.HW
+	clock vclock.Clock
+	key   *attest.PlatformKey
+
+	mu        sync.Mutex
+	epcUsed   int64
+	launching int
+	quoting   int
+	enclaves  int
+}
+
+// NewPlatform creates a machine of the given hardware generation. The
+// platform key should come from the shared CA (attest.CA.Provision).
+func NewPlatform(hw costmodel.HW, clock vclock.Clock, key *attest.PlatformKey) *Platform {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Platform{hw: hw, clock: clock, key: key}
+}
+
+// HW returns the platform's hardware generation.
+func (p *Platform) HW() costmodel.HW { return p.hw }
+
+// EPCBytes returns the platform's enclave page cache capacity.
+func (p *Platform) EPCBytes() int64 { return p.hw.EPCBytes() }
+
+// EPCUsed returns the memory currently reserved by live enclaves.
+func (p *Platform) EPCUsed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epcUsed
+}
+
+// Enclaves returns the number of live enclaves.
+func (p *Platform) Enclaves() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enclaves
+}
+
+// PagingFactor reports the current EPC oversubscription ratio (1.0 when the
+// working set fits). SeMIRT uses it to scale execution costs on SGX1.
+func (p *Platform) PagingFactor() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	epc := p.hw.EPCBytes()
+	if epc <= 0 || p.epcUsed <= epc {
+		return 1
+	}
+	return float64(p.epcUsed) / float64(epc)
+}
+
+// Program is the trusted code of an enclave. Init runs once inside the
+// launch; it receives the enclave handle so the program can generate quotes
+// from inside.
+type Program interface {
+	Init(e *Enclave) error
+}
+
+// Launch creates an enclave running the given program. It charges the
+// modeled creation latency (Figure 15), which grows with the configured size
+// and with the number of launches in flight on this platform.
+func (p *Platform) Launch(m Manifest, prog Program) (*Enclave, error) {
+	if m.TCSCount <= 0 {
+		return nil, fmt.Errorf("enclave: manifest %q: TCSCount must be positive", m.Name)
+	}
+	if m.MemoryBytes <= 0 {
+		return nil, fmt.Errorf("enclave: manifest %q: MemoryBytes must be positive", m.Name)
+	}
+	p.mu.Lock()
+	p.launching++
+	concurrent := p.launching
+	p.mu.Unlock()
+
+	p.clock.Sleep(costmodel.EnclaveInit(p.hw, m.MemoryBytes, concurrent))
+
+	p.mu.Lock()
+	p.launching--
+	p.epcUsed += m.MemoryBytes
+	p.enclaves++
+	p.mu.Unlock()
+
+	e := &Enclave{
+		platform:    p,
+		manifest:    m,
+		measurement: m.Measure(),
+		tcs:         make(chan struct{}, m.TCSCount),
+		prog:        prog,
+	}
+	for i := 0; i < m.TCSCount; i++ {
+		e.tcs <- struct{}{}
+	}
+	if prog != nil {
+		if err := prog.Init(e); err != nil {
+			e.Destroy()
+			return nil, fmt.Errorf("enclave: init %q: %w", m.Name, err)
+		}
+	}
+	return e, nil
+}
+
+// Enclave is a live software enclave.
+type Enclave struct {
+	platform    *Platform
+	manifest    Manifest
+	measurement attest.Measurement
+	tcs         chan struct{}
+	prog        Program
+
+	mu        sync.Mutex
+	destroyed bool
+}
+
+// Errors returned by enclave entry points.
+var (
+	ErrDestroyed = errors.New("enclave: destroyed")
+	ErrNoTCS     = errors.New("enclave: all TCSs busy")
+)
+
+// Measurement returns the enclave identity.
+func (e *Enclave) Measurement() attest.Measurement { return e.measurement }
+
+// Manifest returns the launch manifest.
+func (e *Enclave) Manifest() Manifest { return e.manifest }
+
+// Platform returns the hosting machine.
+func (e *Enclave) Platform() *Platform { return e.platform }
+
+// Clock returns the platform clock; enclave programs use it to charge
+// modeled in-enclave costs.
+func (e *Enclave) Clock() vclock.Clock { return e.platform.clock }
+
+// ECall enters the enclave on a free TCS and runs fn, blocking while all
+// TCSs are busy — the behaviour SeMIRT gets by sizing its thread pool to the
+// TCS count.
+func (e *Enclave) ECall(fn func() error) error {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return ErrDestroyed
+	}
+	e.mu.Unlock()
+	<-e.tcs
+	defer func() { e.tcs <- struct{}{} }()
+	return fn()
+}
+
+// TryECall enters the enclave only if a TCS is immediately free, returning
+// ErrNoTCS otherwise — the raw SGX_ERROR_OUT_OF_TCS behaviour.
+func (e *Enclave) TryECall(fn func() error) error {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return ErrDestroyed
+	}
+	e.mu.Unlock()
+	select {
+	case <-e.tcs:
+	default:
+		return ErrNoTCS
+	}
+	defer func() { e.tcs <- struct{}{} }()
+	return fn()
+}
+
+// Quote generates an attestation quote with the given report data, charging
+// the modeled quote-generation latency (Figure 16) under the platform's
+// current quoting contention.
+func (e *Enclave) Quote(reportData []byte) (attest.Quote, error) {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return attest.Quote{}, ErrDestroyed
+	}
+	e.mu.Unlock()
+	p := e.platform
+	if p.key == nil {
+		return attest.Quote{}, errors.New("enclave: platform has no attestation key")
+	}
+	p.mu.Lock()
+	p.quoting++
+	concurrent := p.quoting
+	p.mu.Unlock()
+	p.clock.Sleep(costmodel.Attestation(p.hw, concurrent))
+	p.mu.Lock()
+	p.quoting--
+	p.mu.Unlock()
+	return p.key.Sign(e.measurement, reportData, p.hw.String())
+}
+
+// Destroy tears the enclave down and releases its EPC reservation. It is
+// idempotent.
+func (e *Enclave) Destroy() {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return
+	}
+	e.destroyed = true
+	e.mu.Unlock()
+	p := e.platform
+	p.mu.Lock()
+	p.epcUsed -= e.manifest.MemoryBytes
+	p.enclaves--
+	p.mu.Unlock()
+}
+
+// ChargeExec sleeps for an execution cost adjusted for the platform's EPC
+// paging factor, used by enclave programs for compute stages.
+func (e *Enclave) ChargeExec(base time.Duration) {
+	f := e.platform.PagingFactor()
+	e.platform.clock.Sleep(time.Duration(float64(base) * f))
+}

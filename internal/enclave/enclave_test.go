@@ -1,0 +1,345 @@
+package enclave
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/vclock"
+)
+
+func newTestPlatform(t *testing.T, hw costmodel.HW) (*Platform, *attest.CA, *vclock.Manual) {
+	t.Helper()
+	ca, err := attest.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ca.Provision("test-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.NewManual()
+	return NewPlatform(hw, clock, key), ca, clock
+}
+
+func manifest(tcs int, mem int64) Manifest {
+	return Manifest{
+		Name:        "m",
+		CodeHash:    CodeIdentity("prog-v1"),
+		TCSCount:    tcs,
+		MemoryBytes: mem,
+	}
+}
+
+type nopProgram struct{ initErr error }
+
+func (p nopProgram) Init(*Enclave) error { return p.initErr }
+
+func TestMeasurementDeterministicAndSensitive(t *testing.T) {
+	m1 := manifest(4, 1<<20)
+	m2 := manifest(4, 1<<20)
+	if m1.Measure() != m2.Measure() {
+		t.Fatal("identical manifests measure differently")
+	}
+	m3 := m1
+	m3.TCSCount = 1
+	if m1.Measure() == m3.Measure() {
+		t.Fatal("TCS count change did not change measurement")
+	}
+	m4 := m1
+	m4.CodeHash = CodeIdentity("prog-v2")
+	if m1.Measure() == m4.Measure() {
+		t.Fatal("code change did not change measurement")
+	}
+	m5 := m1
+	m5.MemoryBytes = 2 << 20
+	if m1.Measure() == m5.Measure() {
+		t.Fatal("memory config change did not change measurement")
+	}
+}
+
+func TestCodeIdentityConfigSensitive(t *testing.T) {
+	a := CodeIdentity("semirt", "tcs=8", "keycache=on")
+	b := CodeIdentity("semirt", "tcs=8", "keycache=off")
+	if a == b {
+		t.Fatal("configuration not part of code identity")
+	}
+	// ("ab","c") vs ("a","bc") must differ (separator matters).
+	if CodeIdentity("p", "ab", "c") == CodeIdentity("p", "a", "bc") {
+		t.Fatal("ambiguous config hashing")
+	}
+}
+
+func TestLaunchChargesInitCost(t *testing.T) {
+	p, _, clock := newTestPlatform(t, costmodel.SGX2)
+	e, err := p.Launch(manifest(1, 256<<20), nopProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	want := costmodel.EnclaveInit(costmodel.SGX2, 256<<20, 1)
+	if got := clock.TotalSlept(); got != want {
+		t.Fatalf("launch slept %v, want %v", got, want)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	p, _, _ := newTestPlatform(t, costmodel.SGX2)
+	if _, err := p.Launch(manifest(0, 1<<20), nil); err == nil {
+		t.Fatal("accepted zero TCS")
+	}
+	if _, err := p.Launch(manifest(1, 0), nil); err == nil {
+		t.Fatal("accepted zero memory")
+	}
+}
+
+func TestLaunchInitFailureReleasesEPC(t *testing.T) {
+	p, _, _ := newTestPlatform(t, costmodel.SGX2)
+	_, err := p.Launch(manifest(1, 64<<20), nopProgram{initErr: errors.New("boom")})
+	if err == nil {
+		t.Fatal("init error swallowed")
+	}
+	if p.EPCUsed() != 0 {
+		t.Fatalf("EPC leaked: %d", p.EPCUsed())
+	}
+	if p.Enclaves() != 0 {
+		t.Fatalf("enclave count leaked: %d", p.Enclaves())
+	}
+}
+
+func TestEPCAccounting(t *testing.T) {
+	p, _, _ := newTestPlatform(t, costmodel.SGX1)
+	e1, err := p.Launch(manifest(1, 100<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PagingFactor() != 1 {
+		t.Fatalf("paging factor %v with EPC underused", p.PagingFactor())
+	}
+	e2, err := p.Launch(manifest(1, 100<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EPCUsed() != 200<<20 {
+		t.Fatalf("EPCUsed = %d", p.EPCUsed())
+	}
+	// 200 MiB over a 128 MiB EPC → paging factor 1.5625.
+	if f := p.PagingFactor(); f < 1.5 || f > 1.6 {
+		t.Fatalf("paging factor %v, want ≈1.56", f)
+	}
+	e1.Destroy()
+	e1.Destroy() // idempotent
+	if p.EPCUsed() != 100<<20 {
+		t.Fatalf("EPC not released: %d", p.EPCUsed())
+	}
+	e2.Destroy()
+	if p.Enclaves() != 0 {
+		t.Fatalf("enclaves remaining: %d", p.Enclaves())
+	}
+}
+
+// barrierClock blocks every Sleep until released, so the test can force
+// launches to be genuinely concurrent, then inspects the requested
+// durations.
+type barrierClock struct {
+	mu      sync.Mutex
+	pending []time.Duration
+	arrived chan struct{}
+	release chan struct{}
+}
+
+func (b *barrierClock) Now() time.Time { return time.Time{} }
+
+func (b *barrierClock) Sleep(d time.Duration) {
+	b.mu.Lock()
+	b.pending = append(b.pending, d)
+	b.mu.Unlock()
+	b.arrived <- struct{}{}
+	<-b.release
+}
+
+func TestConcurrentLaunchContention(t *testing.T) {
+	// Launching many enclaves at once must cost more per enclave than alone
+	// (Figure 15). Force all launches in flight simultaneously, then check
+	// the charged durations reflect the contention each launch observed.
+	ca, err := attest.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ca.Provision("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	clock := &barrierClock{arrived: make(chan struct{}, n), release: make(chan struct{})}
+	p := NewPlatform(costmodel.SGX2, clock, key)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := p.Launch(manifest(1, 128<<20), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer e.Destroy()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-clock.arrived
+	}
+	close(clock.release)
+	wg.Wait()
+	solo := costmodel.EnclaveInit(costmodel.SGX2, 128<<20, 1)
+	worst := costmodel.EnclaveInit(costmodel.SGX2, 128<<20, n)
+	var max time.Duration
+	for _, d := range clock.pending {
+		if d > max {
+			max = d
+		}
+	}
+	if max <= solo {
+		t.Fatalf("max charged launch %v, want > solo %v", max, solo)
+	}
+	if max != worst {
+		t.Fatalf("max charged launch %v, want %v for %d-way contention", max, worst, n)
+	}
+}
+
+func TestECallTCSLimit(t *testing.T) {
+	p, _, _ := newTestPlatform(t, costmodel.SGX2)
+	e, err := p.Launch(manifest(2, 1<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	var inFlight, maxSeen int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := e.ECall(func() error {
+				cur := atomic.AddInt32(&inFlight, 1)
+				for {
+					seen := atomic.LoadInt32(&maxSeen)
+					if cur <= seen || atomic.CompareAndSwapInt32(&maxSeen, seen, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt32(&inFlight, -1)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > 2 {
+		t.Fatalf("%d threads inside a 2-TCS enclave", maxSeen)
+	}
+}
+
+func TestTryECallNoTCS(t *testing.T) {
+	p, _, _ := newTestPlatform(t, costmodel.SGX2)
+	e, err := p.Launch(manifest(1, 1<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = e.ECall(func() error {
+			close(blocked)
+			<-release
+			return nil
+		})
+	}()
+	<-blocked
+	if err := e.TryECall(func() error { return nil }); !errors.Is(err, ErrNoTCS) {
+		t.Fatalf("TryECall = %v, want ErrNoTCS", err)
+	}
+	close(release)
+}
+
+func TestECallAfterDestroy(t *testing.T) {
+	p, _, _ := newTestPlatform(t, costmodel.SGX2)
+	e, err := p.Launch(manifest(1, 1<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Destroy()
+	if err := e.ECall(func() error { return nil }); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("ECall after destroy = %v", err)
+	}
+	if _, err := e.Quote(nil); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("Quote after destroy = %v", err)
+	}
+}
+
+func TestQuoteVerifiesAndChargesCost(t *testing.T) {
+	p, ca, clock := newTestPlatform(t, costmodel.SGX2)
+	e, err := p.Launch(manifest(1, 16<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	before := clock.TotalSlept()
+	q, err := e.Quote([]byte("bind-me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.TotalSlept()-before != costmodel.ECDSAAttestation(1) {
+		t.Fatalf("quote charged %v", clock.TotalSlept()-before)
+	}
+	if err := attest.Verify(q, ca.PublicKey()); err != nil {
+		t.Fatalf("quote does not verify: %v", err)
+	}
+	if q.Measurement != e.Measurement() {
+		t.Fatal("quote carries wrong measurement")
+	}
+	if q.HW != "sgx2" {
+		t.Fatalf("quote HW %q", q.HW)
+	}
+}
+
+func TestChargeExecAppliesPagingFactor(t *testing.T) {
+	p, _, clock := newTestPlatform(t, costmodel.SGX1)
+	e, err := p.Launch(manifest(1, 256<<20), nil) // 2x the 128 MiB EPC
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	before := clock.TotalSlept()
+	e.ChargeExec(time.Second)
+	got := clock.TotalSlept() - before
+	if got != 2*time.Second {
+		t.Fatalf("ChargeExec slept %v, want 2s at paging factor 2", got)
+	}
+}
+
+func TestPlatformDefaults(t *testing.T) {
+	p := NewPlatform(costmodel.SGX2, nil, nil)
+	if p.HW() != costmodel.SGX2 {
+		t.Fatal("HW lost")
+	}
+	if p.EPCBytes() != costmodel.SGX2.EPCBytes() {
+		t.Fatal("EPC capacity mismatch")
+	}
+	e, err := p.Launch(Manifest{Name: "k", CodeHash: CodeIdentity("x"), TCSCount: 1, MemoryBytes: 1 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	if _, err := e.Quote(nil); err == nil {
+		t.Fatal("Quote without platform key succeeded")
+	}
+}

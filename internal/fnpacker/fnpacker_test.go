@@ -1,0 +1,279 @@
+package fnpacker
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+func newSched(t *testing.T, clock vclock.Clock, eps ...string) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(clock, DefaultExclusiveInterval, eps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchedulerNeedsEndpoints(t *testing.T) {
+	if _, err := NewScheduler(nil, 0); err == nil {
+		t.Fatal("accepted empty pool")
+	}
+}
+
+func TestPendingModelSticksToEndpointAndBecomesExclusive(t *testing.T) {
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0", "e1")
+	ep1, err := s.Route("m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request while the first is pending: same endpoint, now
+	// exclusive (§IV-C rule 1).
+	ep2, err := s.Route("m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1 != ep2 {
+		t.Fatalf("pending model moved endpoints: %s vs %s", ep1, ep2)
+	}
+	snap := s.Snapshot()
+	for _, e := range snap.Endpoints {
+		if e.Name == ep1 && e.Exclusive != "m0" {
+			t.Fatalf("endpoint %s not marked exclusive: %+v", ep1, e)
+		}
+	}
+}
+
+func TestIdleModelAvoidsExclusiveEndpoint(t *testing.T) {
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0", "e1")
+	// Make e0 exclusive to m0.
+	e0, _ := s.Route("m0")
+	if _, err := s.Route("m0"); err != nil {
+		t.Fatal(err)
+	}
+	// A different model must not land on the exclusive endpoint.
+	eOther, err := s.Route("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOther == e0 {
+		t.Fatal("m1 routed to endpoint exclusive to m0")
+	}
+}
+
+func TestStaleExclusivityReclaimed(t *testing.T) {
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0")
+	// Only endpoint becomes exclusive to m0.
+	e0, _ := s.Route("m0")
+	if _, err := s.Route("m0"); err != nil {
+		t.Fatal(err)
+	}
+	s.Done(e0, "m0")
+	s.Done(e0, "m0")
+	// Immediately after, m1 has no free endpoint: the fallback queues it on
+	// the least-pending endpoint (still e0). Advance past the interval and
+	// exclusivity must expire via rule 2c.
+	clock.Advance(DefaultExclusiveInterval + time.Second)
+	ep, err := s.Route("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != "e0" {
+		t.Fatalf("routed to %s", ep)
+	}
+	snap := s.Snapshot()
+	if snap.Endpoints[0].Exclusive != "" {
+		t.Fatalf("stale exclusivity kept: %+v", snap.Endpoints[0])
+	}
+}
+
+func TestAffinityPrefersWarmEndpoint(t *testing.T) {
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0", "e1")
+	// m0 used e0 once and finished; m1 packs onto e0 too (first fit, the
+	// paper's packing of sporadic models).
+	e0, _ := s.Route("m0")
+	s.Done(e0, "m0")
+	e1m1, _ := s.Route("m1")
+	if e1m1 != e0 {
+		t.Fatalf("m1 routed to %s, want first-fit %s", e1m1, e0)
+	}
+	s.Done(e1m1, "m1")
+	// A model that matches an idle endpoint's last-served model goes back
+	// there, avoiding a switch: make e1 serve m2 once, then ask again.
+	e2, _ := s.Route("m2") // e0 lastModel=m1, so first fit is still e0...
+	s.Done(e2, "m2")
+	again, _ := s.Route("m2")
+	if again != e2 {
+		t.Fatalf("m2 routed to %s, want warm %s", again, e2)
+	}
+}
+
+func TestInterleavedPoissonStreamsGetDistinctExclusiveEndpoints(t *testing.T) {
+	// The Table III scenario: two models with continuous traffic end up on
+	// two distinct exclusive endpoints and never interfere.
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0", "e1", "e2")
+	m0ep := map[string]bool{}
+	m1ep := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		a, err := s.Route("m0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Route("m1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m0ep[a] = true
+		m1ep[b] = true
+		clock.Advance(100 * time.Millisecond)
+		// Overlapping completions: keep one pending each so exclusivity
+		// persists.
+		if i > 0 {
+			s.Done(a, "m0")
+			s.Done(b, "m1")
+		}
+	}
+	if len(m0ep) != 1 || len(m1ep) != 1 {
+		t.Fatalf("streams wandered: m0 %v, m1 %v", m0ep, m1ep)
+	}
+	for e := range m0ep {
+		if m1ep[e] {
+			t.Fatal("both streams share an endpoint")
+		}
+	}
+}
+
+func TestFallbackLeastPending(t *testing.T) {
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0", "e1")
+	// Saturate both endpoints with exclusive traffic.
+	e0, _ := s.Route("m0")
+	s.Route("m0")
+	e1, _ := s.Route("m1")
+	s.Route("m1")
+	s.Route("m1")
+	if e0 == e1 {
+		t.Fatal("setup: streams should separate")
+	}
+	// A third model arrives while everything is busy: it must queue on the
+	// endpoint with fewer pending requests (e0: 2 vs e1: 3).
+	ep, err := s.Route("m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != e0 {
+		t.Fatalf("fallback chose %s, want least-pending %s", ep, e0)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	s := newSched(t, vclock.NewManual(), "e0")
+	if _, err := s.Route(""); err == nil {
+		t.Fatal("empty model id accepted")
+	}
+	if _, err := (OneToOne{EndpointFor: func(m string) string { return "fn-" + m }}).Route(""); err == nil {
+		t.Fatal("OneToOne accepted empty model id")
+	}
+	if _, err := (AllInOne{Endpoint: "fn"}).Route(""); err == nil {
+		t.Fatal("AllInOne accepted empty model id")
+	}
+}
+
+func TestDoneUnderflowHarmless(t *testing.T) {
+	s := newSched(t, vclock.NewManual(), "e0")
+	s.Done("e0", "m0")
+	s.Done("ghost", "m0")
+	if snap := s.Snapshot(); snap.Endpoints[0].Pending != 0 {
+		t.Fatalf("pending went negative: %+v", snap.Endpoints[0])
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	oto := OneToOne{EndpointFor: func(m string) string { return "fn-" + m }}
+	ep, err := oto.Route("m3")
+	if err != nil || ep != "fn-m3" {
+		t.Fatalf("OneToOne: %s, %v", ep, err)
+	}
+	aio := AllInOne{Endpoint: "fn-all"}
+	for _, m := range []string{"m0", "m1", "m2"} {
+		ep, err := aio.Route(m)
+		if err != nil || ep != "fn-all" {
+			t.Fatalf("AllInOne: %s, %v", ep, err)
+		}
+	}
+}
+
+func TestRouterDispatchAndCompletion(t *testing.T) {
+	clock := vclock.NewManual()
+	s := newSched(t, clock, "e0")
+	var mu sync.Mutex
+	calls := map[string]int{}
+	inv := InvokerFunc(func(_ context.Context, endpoint string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		calls[endpoint]++
+		mu.Unlock()
+		return append([]byte("ok:"), payload...), nil
+	})
+	r := NewRouter(s, inv)
+	out, err := r.Handle(context.Background(), "m0", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok:x" {
+		t.Fatalf("out %q", out)
+	}
+	if calls["e0"] != 1 {
+		t.Fatalf("calls %v", calls)
+	}
+	// Pending must be cleared after completion.
+	if snap := s.Snapshot(); snap.Endpoints[0].Pending != 0 {
+		t.Fatalf("pending leaked: %+v", snap.Endpoints[0])
+	}
+}
+
+func TestRouterPropagatesInvokerError(t *testing.T) {
+	s := newSched(t, vclock.NewManual(), "e0")
+	boom := errors.New("endpoint down")
+	r := NewRouter(s, InvokerFunc(func(context.Context, string, []byte) ([]byte, error) {
+		return nil, boom
+	}))
+	if _, err := r.Handle(context.Background(), "m0", nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if snap := s.Snapshot(); snap.Endpoints[0].Pending != 0 {
+		t.Fatal("failed request left pending count")
+	}
+}
+
+func TestConcurrentRouting(t *testing.T) {
+	s := newSched(t, vclock.Real{Scale: 0}, "e0", "e1", "e2", "e3")
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := "m" + string(rune('0'+i%5))
+			ep, err := s.Route(m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.Done(ep, m)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range s.Snapshot().Endpoints {
+		if e.Pending != 0 {
+			t.Fatalf("pending leaked on %s: %d", e.Name, e.Pending)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package inference
+
+import (
+	"testing"
+
+	"sesemi/internal/model"
+	"sesemi/internal/tensor"
+)
+
+// TestApplyLayerAllOps exercises the dispatch arm of every supported op
+// directly (the frameworks cover them indirectly; this pins the dispatch
+// table itself).
+func TestApplyLayerAllOps(t *testing.T) {
+	in4 := tensor.New(1, 4, 4, 2)
+	for i := range in4.Data() {
+		in4.Data()[i] = float32(i%5) - 2
+	}
+	in2 := tensor.New(1, 8)
+	for i := range in2.Data() {
+		in2.Data()[i] = float32(i) * 0.1
+	}
+
+	cases := []struct {
+		name  string
+		layer model.Layer
+		ins   []*tensor.Tensor
+		out   *tensor.Tensor
+	}{
+		{
+			name: "conv2d",
+			layer: model.Layer{Op: model.OpConv2D, Stride: 1, Pad: tensor.Same,
+				Weights: map[string]*tensor.Tensor{model.WeightMain: tensor.New(3, 3, 2, 4)}},
+			ins: []*tensor.Tensor{in4},
+			out: tensor.New(1, 4, 4, 4),
+		},
+		{
+			name: "dwconv2d",
+			layer: model.Layer{Op: model.OpDepthwiseConv2D, Stride: 1, Pad: tensor.Same,
+				Weights: map[string]*tensor.Tensor{model.WeightMain: tensor.New(3, 3, 2)}},
+			ins: []*tensor.Tensor{in4},
+			out: tensor.New(1, 4, 4, 2),
+		},
+		{
+			name: "dense",
+			layer: model.Layer{Op: model.OpDense,
+				Weights: map[string]*tensor.Tensor{model.WeightMain: tensor.New(8, 3)}},
+			ins: []*tensor.Tensor{in2},
+			out: tensor.New(1, 3),
+		},
+		{
+			name: "batchnorm",
+			layer: model.Layer{Op: model.OpBatchNorm,
+				Weights: map[string]*tensor.Tensor{
+					model.WeightScale: ones(2), model.WeightShift: tensor.New(2)}},
+			ins: []*tensor.Tensor{in4},
+			out: tensor.New(1, 4, 4, 2),
+		},
+		{name: "relu", layer: model.Layer{Op: model.OpReLU}, ins: []*tensor.Tensor{in4}, out: tensor.New(1, 4, 4, 2)},
+		{name: "relu6", layer: model.Layer{Op: model.OpReLU6}, ins: []*tensor.Tensor{in4}, out: tensor.New(1, 4, 4, 2)},
+		{
+			name:  "maxpool",
+			layer: model.Layer{Op: model.OpMaxPool, Kernel: 2, Stride: 2, Pad: tensor.Valid},
+			ins:   []*tensor.Tensor{in4},
+			out:   tensor.New(1, 2, 2, 2),
+		},
+		{
+			name:  "avgpool",
+			layer: model.Layer{Op: model.OpAvgPool, Kernel: 2, Stride: 2, Pad: tensor.Valid},
+			ins:   []*tensor.Tensor{in4},
+			out:   tensor.New(1, 2, 2, 2),
+		},
+		{name: "gap", layer: model.Layer{Op: model.OpGlobalAvgPool}, ins: []*tensor.Tensor{in4}, out: tensor.New(1, 2)},
+		{name: "softmax", layer: model.Layer{Op: model.OpSoftmax}, ins: []*tensor.Tensor{in2}, out: tensor.New(1, 8)},
+		{name: "add", layer: model.Layer{Op: model.OpAdd}, ins: []*tensor.Tensor{in4, in4}, out: tensor.New(1, 4, 4, 2)},
+		{name: "concat", layer: model.Layer{Op: model.OpConcat}, ins: []*tensor.Tensor{in4, in4}, out: tensor.New(1, 4, 4, 4)},
+		{name: "flatten", layer: model.Layer{Op: model.OpFlatten}, ins: []*tensor.Tensor{in4}, out: tensor.New(1, 32)},
+	}
+	for _, c := range cases {
+		l := c.layer
+		if err := ApplyLayer(&l, c.out, c.ins); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func ones(n int) *tensor.Tensor {
+	o := tensor.New(n)
+	o.Fill(1)
+	return o
+}
+
+func TestApplyLayerShapeErrorPropagates(t *testing.T) {
+	l := model.Layer{Op: model.OpDense,
+		Weights: map[string]*tensor.Tensor{model.WeightMain: tensor.New(8, 3)}}
+	// Wrong output shape.
+	if err := ApplyLayer(&l, tensor.New(1, 4), []*tensor.Tensor{tensor.New(1, 8)}); err == nil {
+		t.Fatal("shape error swallowed")
+	}
+}
+
+func TestModelExecAndPrepareOutputErrors(t *testing.T) {
+	fw := fakeRuntime{}
+	if err := ModelExec(&fw, []byte("garbage")); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+type fakeRuntime struct{}
+
+func (fakeRuntime) ModelName() string                { return "f" }
+func (fakeRuntime) MemoryBytes() int                 { return 0 }
+func (*fakeRuntime) Exec(*tensor.Tensor) error       { return nil }
+func (*fakeRuntime) Output() (*tensor.Tensor, error) { return tensor.New(1), nil }

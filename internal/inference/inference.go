@@ -1,0 +1,157 @@
+// Package inference defines the framework-facing API of SeMIRT.
+//
+// The paper integrates two inference frameworks (Apache TVM and TensorFlow
+// Lite Micro) behind four functions — MODEL_LOAD, RUNTIME_INIT, MODEL_EXEC
+// and PREPARE_OUTPUT (Figure 5). This package defines those four functions as
+// Go interfaces, a shared layer-execution dispatcher, and the binary codec
+// for request/response payloads. The two framework implementations live in
+// the tinytvm and tinytflm subpackages and reproduce the memory/latency
+// trade-off the paper measures: tinytvm packs weight copies into its runtime
+// buffers (large buffers, λ>1), tinytflm plans a small scratch arena for
+// intermediates only (λ≪1).
+package inference
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sesemi/internal/model"
+	"sesemi/internal/tensor"
+)
+
+// LoadedModel is the result of MODEL_LOAD: a decrypted, deserialized model
+// held in enclave memory.
+type LoadedModel interface {
+	// Model returns the underlying graph.
+	Model() *model.Model
+	// MemoryBytes reports the enclave-resident footprint of the loaded model.
+	MemoryBytes() int
+}
+
+// Runtime is a per-thread execution context created by RUNTIME_INIT
+// (the paper keeps one per TCS in thread-local storage).
+type Runtime interface {
+	// ModelName returns the model this runtime was initialized for.
+	ModelName() string
+	// MemoryBytes reports the runtime buffer footprint (Table I).
+	MemoryBytes() int
+	// Exec runs MODEL_EXEC on a decoded input tensor.
+	Exec(input *tensor.Tensor) error
+	// Output returns the raw output tensor of the last Exec.
+	Output() (*tensor.Tensor, error)
+}
+
+// Framework is one of the pluggable inference frameworks.
+type Framework interface {
+	// Name returns the framework identifier: "tvm" or "tflm".
+	Name() string
+	// ModelLoad implements MODEL_LOAD over plaintext model bytes (SeMIRT
+	// performs the decryption before calling it).
+	ModelLoad(data []byte) (LoadedModel, error)
+	// RuntimeInit implements RUNTIME_INIT.
+	RuntimeInit(m LoadedModel) (Runtime, error)
+}
+
+// ModelExec decodes a request payload, runs it through the runtime, and is
+// the common MODEL_EXEC implementation.
+func ModelExec(rt Runtime, payload []byte) error {
+	in, err := DecodeTensor(payload)
+	if err != nil {
+		return fmt.Errorf("inference: decode input: %w", err)
+	}
+	return rt.Exec(in)
+}
+
+// PrepareOutput serializes the runtime's output into a byte buffer, the
+// common PREPARE_OUTPUT implementation.
+func PrepareOutput(rt Runtime) ([]byte, error) {
+	out, err := rt.Output()
+	if err != nil {
+		return nil, err
+	}
+	return EncodeTensor(out), nil
+}
+
+// registry of frameworks, populated by the tinytvm/tinytflm init functions
+// via Register.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Framework{}
+)
+
+// Register makes a framework available by name. It panics on duplicates,
+// mirroring database/sql.Register.
+func Register(f Framework) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name()]; dup {
+		panic("inference: Register called twice for " + f.Name())
+	}
+	registry[f.Name()] = f
+}
+
+// Lookup returns the framework registered under name.
+func Lookup(name string) (Framework, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("inference: unknown framework %q", name)
+	}
+	return f, nil
+}
+
+// Frameworks returns the sorted names of all registered frameworks.
+func Frameworks() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ApplyLayer executes a single layer: out is the pre-allocated output tensor
+// and ins are the layer's input tensors in graph order. Both frameworks
+// dispatch through this function so kernel behaviour is identical; only the
+// buffer management differs.
+func ApplyLayer(l *model.Layer, out *tensor.Tensor, ins []*tensor.Tensor) error {
+	in := ins[0]
+	switch l.Op {
+	case model.OpConv2D:
+		return tensor.Conv2D(out, in, l.Weights[model.WeightMain], l.Weights[model.WeightBias], l.Stride, l.Pad)
+	case model.OpDepthwiseConv2D:
+		return tensor.DepthwiseConv2D(out, in, l.Weights[model.WeightMain], l.Weights[model.WeightBias], l.Stride, l.Pad)
+	case model.OpDense:
+		return tensor.Dense(out, in, l.Weights[model.WeightMain], l.Weights[model.WeightBias])
+	case model.OpBatchNorm:
+		return tensor.BatchNorm(out, in, l.Weights[model.WeightScale], l.Weights[model.WeightShift])
+	case model.OpReLU:
+		return tensor.ReLU(out, in)
+	case model.OpReLU6:
+		return tensor.ReLU6(out, in)
+	case model.OpMaxPool:
+		return tensor.MaxPool2D(out, in, l.Kernel, l.Stride, l.Pad)
+	case model.OpAvgPool:
+		return tensor.AvgPool2D(out, in, l.Kernel, l.Stride, l.Pad)
+	case model.OpGlobalAvgPool:
+		return tensor.GlobalAvgPool(out, in)
+	case model.OpSoftmax:
+		return tensor.Softmax(out, in)
+	case model.OpAdd:
+		return tensor.Add(out, ins[0], ins[1])
+	case model.OpConcat:
+		return tensor.ConcatChannels(out, ins...)
+	case model.OpFlatten:
+		flat, err := in.Reshape(out.Shape()...)
+		if err != nil {
+			return err
+		}
+		copy(out.Data(), flat.Data())
+		return nil
+	}
+	return fmt.Errorf("inference: unsupported op %q", l.Op)
+}

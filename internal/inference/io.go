@@ -1,0 +1,83 @@
+package inference
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sesemi/internal/tensor"
+)
+
+// Tensor wire format (little-endian):
+//
+//	magic  uint16 0x5354 ("ST")
+//	rank   uint16
+//	dims   [rank]uint32
+//	data   [prod(dims)]float32
+//
+// This is the payload format of user requests (after request-key decryption)
+// and of inference results (before request-key encryption).
+
+const tensorMagic = 0x5354
+
+// ErrPayload reports a malformed tensor payload.
+var ErrPayload = errors.New("inference: malformed tensor payload")
+
+// maxPayloadElems bounds decoded tensors (64M elements = 256 MB) so a hostile
+// payload cannot force an enormous allocation inside the enclave.
+const maxPayloadElems = 64 << 20
+
+// EncodeTensor serializes a tensor to the wire format.
+func EncodeTensor(t *tensor.Tensor) []byte {
+	buf := make([]byte, 4+4*t.Rank()+4*t.Len())
+	binary.LittleEndian.PutUint16(buf[0:], tensorMagic)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(t.Rank()))
+	off := 4
+	for _, d := range t.Shape() {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
+		off += 4
+	}
+	for _, v := range t.Data() {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	return buf
+}
+
+// DecodeTensor parses the wire format produced by EncodeTensor.
+func DecodeTensor(data []byte) (*tensor.Tensor, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayload, len(data))
+	}
+	if binary.LittleEndian.Uint16(data[0:]) != tensorMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrPayload)
+	}
+	rank := int(binary.LittleEndian.Uint16(data[2:]))
+	if rank == 0 || rank > 8 {
+		return nil, fmt.Errorf("%w: rank %d", ErrPayload, rank)
+	}
+	if len(data) < 4+4*rank {
+		return nil, fmt.Errorf("%w: truncated dims", ErrPayload)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := 0; i < rank; i++ {
+		d := int(binary.LittleEndian.Uint32(data[4+4*i:]))
+		if d <= 0 || n > maxPayloadElems/d {
+			return nil, fmt.Errorf("%w: dim %d", ErrPayload, d)
+		}
+		shape[i] = d
+		n *= d
+	}
+	want := 4 + 4*rank + 4*n
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: %d bytes for shape %v (want %d)", ErrPayload, len(data), shape, want)
+	}
+	vals := make([]float32, n)
+	off := 4 + 4*rank
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[off+4*i:]))
+	}
+	return tensor.FromSlice(vals, shape...)
+}

@@ -1,0 +1,114 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sesemi/internal/model"
+	"sesemi/internal/tensor"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := tensor.New(2, 3, 4)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i) * 0.5
+	}
+	got, err := DecodeTensor(EncodeTensor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(got, in) {
+		t.Fatalf("shape %v, want %v", got.Shape(), in.Shape())
+	}
+	for i := range in.Data() {
+		if got.Data()[i] != in.Data()[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, got.Data()[i], in.Data()[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0x54, 0x53, 0x01, 0x00},               // wrong magic byte order
+		append(EncodeTensor(tensor.New(2)), 0), // trailing byte
+		EncodeTensor(tensor.New(2))[:6],        // truncated
+	}
+	for i, c := range cases {
+		if _, err := DecodeTensor(c); err == nil {
+			t.Errorf("case %d: accepted malformed payload", i)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeDims(t *testing.T) {
+	// Forge a header claiming 2^31 elements; must error, not allocate.
+	buf := EncodeTensor(tensor.New(1))
+	buf[4], buf[5], buf[6], buf[7] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := DecodeTensor(buf); err == nil {
+		t.Fatal("accepted payload with huge dim")
+	}
+}
+
+// Property: round-trip preserves arbitrary float payloads bit-exactly.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 || len(vals) > 256 {
+			return true
+		}
+		in, err := tensor.FromSlice(vals, len(vals))
+		if err != nil {
+			return false
+		}
+		out, err := DecodeTensor(EncodeTensor(in))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			// compare bit patterns; NaN != NaN under ==
+			a, b := in.Data()[i], out.Data()[i]
+			if a != b && !(a != a && b != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type fakeFramework struct{ name string }
+
+func (f fakeFramework) Name() string                           { return f.name }
+func (fakeFramework) ModelLoad([]byte) (LoadedModel, error)    { return nil, nil }
+func (fakeFramework) RuntimeInit(LoadedModel) (Runtime, error) { return nil, nil }
+
+func TestRegistry(t *testing.T) {
+	Register(fakeFramework{name: "fake-xyzzy"})
+	f, err := Lookup("fake-xyzzy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "fake-xyzzy" {
+		t.Fatalf("Lookup returned %q", f.Name())
+	}
+	if _, err := Lookup("no-such"); err == nil {
+		t.Fatal("Lookup found unregistered framework")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(fakeFramework{name: "fake-xyzzy"})
+}
+
+func TestApplyLayerUnknownOp(t *testing.T) {
+	l := &model.Layer{Op: "quantum"}
+	if err := ApplyLayer(l, tensor.New(1), []*tensor.Tensor{tensor.New(1)}); err == nil {
+		t.Fatal("ApplyLayer accepted unknown op")
+	}
+}

@@ -1,0 +1,203 @@
+// Package tinytflm is a TensorFlow-Lite-Micro-style interpreter.
+//
+// Like TFLM, it references weights directly from the loaded model (no
+// copies) and executes into a single pre-planned scratch arena that holds
+// only intermediate activations. Arena offsets are assigned with a greedy
+// interval-packing planner equivalent in spirit to TFLM's
+// GreedyMemoryPlanner, so tensors with disjoint lifetimes share memory.
+// This is what makes the TFLM runtime buffers in Table I 4-12x smaller than
+// the TVM ones, at the price of slower model execution.
+package tinytflm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sesemi/internal/inference"
+	"sesemi/internal/model"
+	"sesemi/internal/tensor"
+)
+
+func init() {
+	inference.Register(framework{})
+}
+
+type framework struct{}
+
+// Name implements inference.Framework.
+func (framework) Name() string { return "tflm" }
+
+// ModelLoad deserializes plaintext model bytes.
+func (framework) ModelLoad(data []byte) (inference.LoadedModel, error) {
+	m, err := model.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("tinytflm: %w", err)
+	}
+	return &loaded{m: m, bytes: len(data)}, nil
+}
+
+type loaded struct {
+	m     *model.Model
+	bytes int
+}
+
+func (l *loaded) Model() *model.Model { return l.m }
+func (l *loaded) MemoryBytes() int    { return l.bytes }
+
+// tensorPlan records where a logical tensor lives in the arena.
+type tensorPlan struct {
+	name   string
+	shape  []int
+	elems  int // number of float32 elements
+	start  int // producing layer index (-1 for graph input)
+	end    int // last consuming layer index
+	offset int // assigned arena offset, in elements
+}
+
+// RuntimeInit plans the arena and builds the interpreter.
+func (framework) RuntimeInit(lm inference.LoadedModel) (inference.Runtime, error) {
+	l, ok := lm.(*loaded)
+	if !ok {
+		return nil, errors.New("tinytflm: model was not loaded by this framework")
+	}
+	m := l.m
+	shapes, err := m.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	plans := map[string]*tensorPlan{}
+	mkPlan := func(name string, start int) {
+		s := shapes[name]
+		n := 1
+		for _, d := range s {
+			n *= d
+		}
+		plans[name] = &tensorPlan{name: name, shape: s, elems: n, start: start, end: start}
+	}
+	mkPlan(model.InputName, -1)
+	for i := range m.Layers {
+		lyr := &m.Layers[i]
+		for _, in := range lyr.Inputs {
+			p, ok := plans[in]
+			if !ok {
+				return nil, fmt.Errorf("tinytflm: layer %q consumes unplanned %q", lyr.Name, in)
+			}
+			if i > p.end {
+				p.end = i
+			}
+		}
+		mkPlan(lyr.Name, i)
+	}
+	// The graph output must survive until PREPARE_OUTPUT.
+	plans[m.OutputLayer()].end = len(m.Layers)
+	arenaElems, err := planArena(plans)
+	if err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		model: m,
+		arena: make([]float32, arenaElems),
+		views: make(map[string]*tensor.Tensor, len(plans)),
+	}
+	for name, p := range plans {
+		view, err := tensor.FromSlice(rt.arena[p.offset:p.offset+p.elems], p.shape...)
+		if err != nil {
+			return nil, err
+		}
+		rt.views[name] = view
+	}
+	return rt, nil
+}
+
+// planArena assigns offsets with a greedy-by-size interval packing and
+// returns the arena size in elements.
+func planArena(plans map[string]*tensorPlan) (int, error) {
+	order := make([]*tensorPlan, 0, len(plans))
+	for _, p := range plans {
+		order = append(order, p)
+	}
+	// Largest first, ties broken by earliest start then name for determinism.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].elems != order[j].elems {
+			return order[i].elems > order[j].elems
+		}
+		if order[i].start != order[j].start {
+			return order[i].start < order[j].start
+		}
+		return order[i].name < order[j].name
+	})
+	var placed []*tensorPlan
+	total := 0
+	for _, p := range order {
+		// Collect forbidden intervals from live, already-placed tensors.
+		type span struct{ lo, hi int }
+		var busy []span
+		for _, q := range placed {
+			if p.start <= q.end && q.start <= p.end { // lifetimes overlap
+				busy = append(busy, span{q.offset, q.offset + q.elems})
+			}
+		}
+		sort.Slice(busy, func(i, j int) bool { return busy[i].lo < busy[j].lo })
+		off := 0
+		for _, b := range busy {
+			if off+p.elems <= b.lo {
+				break
+			}
+			if b.hi > off {
+				off = b.hi
+			}
+		}
+		p.offset = off
+		if off+p.elems > total {
+			total = off + p.elems
+		}
+		placed = append(placed, p)
+	}
+	if total == 0 {
+		return 0, errors.New("tinytflm: empty arena plan")
+	}
+	return total, nil
+}
+
+type runtime struct {
+	model *model.Model
+	arena []float32
+	views map[string]*tensor.Tensor
+	ran   bool
+}
+
+func (r *runtime) ModelName() string { return r.model.Name }
+
+// MemoryBytes reports only the scratch arena: weights are shared with the
+// loaded model and not counted, exactly like TFLM.
+func (r *runtime) MemoryBytes() int { return 4 * len(r.arena) }
+
+// Exec interprets the graph layer by layer over arena views.
+func (r *runtime) Exec(input *tensor.Tensor) error {
+	in := r.views[model.InputName]
+	if !tensor.SameShape(in, input) {
+		return fmt.Errorf("tinytflm: input shape %v, want %v", input.Shape(), in.Shape())
+	}
+	copy(in.Data(), input.Data())
+	for i := range r.model.Layers {
+		l := &r.model.Layers[i]
+		ins := make([]*tensor.Tensor, len(l.Inputs))
+		for j, name := range l.Inputs {
+			ins[j] = r.views[name]
+		}
+		if err := inference.ApplyLayer(l, r.views[l.Name], ins); err != nil {
+			return fmt.Errorf("tinytflm: layer %q: %w", l.Name, err)
+		}
+	}
+	r.ran = true
+	return nil
+}
+
+// Output returns the arena view holding the final layer's activations.
+func (r *runtime) Output() (*tensor.Tensor, error) {
+	if !r.ran {
+		return nil, errors.New("tinytflm: Output before Exec")
+	}
+	return r.views[r.model.OutputLayer()], nil
+}

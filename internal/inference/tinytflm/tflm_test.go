@@ -1,0 +1,225 @@
+package tinytflm
+
+import (
+	"math"
+	"testing"
+
+	"sesemi/internal/inference"
+	"sesemi/internal/model"
+	"sesemi/internal/tensor"
+)
+
+func loadFunctional(t *testing.T, id string) (inference.Framework, inference.LoadedModel) {
+	t.Helper()
+	fw, err := inference.Lookup("tflm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewFunctional(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := model.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := fw.ModelLoad(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, lm
+}
+
+func TestExecAllZooModels(t *testing.T) {
+	for _, id := range model.ZooIDs() {
+		fw, lm := loadFunctional(t, id)
+		rt, err := fw.RuntimeInit(lm)
+		if err != nil {
+			t.Fatalf("%s: RuntimeInit: %v", id, err)
+		}
+		in := tensor.New(lm.Model().InputShape...)
+		for i := range in.Data() {
+			in.Data()[i] = float32(i%7) * 0.1
+		}
+		if err := rt.Exec(in); err != nil {
+			t.Fatalf("%s: Exec: %v", id, err)
+		}
+		out, err := rt.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range out.Data() {
+			if math.IsNaN(float64(v)) {
+				t.Fatalf("%s: NaN in output", id)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("%s: softmax output sums to %v", id, sum)
+		}
+	}
+}
+
+func TestArenaSmallerThanAllOutputs(t *testing.T) {
+	// The planner must reuse memory: the arena has to be smaller than the
+	// sum of all tensor sizes for a deep sequential model.
+	fw, lm := loadFunctional(t, "mbnet")
+	rt, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := lm.Model().InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shapes {
+		n := 4
+		for _, d := range s {
+			n *= d
+		}
+		total += n
+	}
+	if rt.MemoryBytes() >= total {
+		t.Fatalf("arena %d >= naive total %d: no memory reuse", rt.MemoryBytes(), total)
+	}
+}
+
+func TestRuntimesShareWeights(t *testing.T) {
+	// Two runtimes over the same loaded model must not copy weights: their
+	// combined footprint is two arenas, not two model copies.
+	fw, lm := loadFunctional(t, "dsnet")
+	rt1, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt1.MemoryBytes() != rt2.MemoryBytes() {
+		t.Fatalf("arena sizes differ: %d vs %d", rt1.MemoryBytes(), rt2.MemoryBytes())
+	}
+	if rt1.MemoryBytes() >= lm.Model().WeightBytes() {
+		t.Logf("note: tiny functional model has arena %d >= weights %d; paper-scale uses costmodel",
+			rt1.MemoryBytes(), lm.Model().WeightBytes())
+	}
+}
+
+func TestOutputBeforeExec(t *testing.T) {
+	fw, lm := loadFunctional(t, "mbnet")
+	rt, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Output(); err == nil {
+		t.Fatal("Output before Exec succeeded")
+	}
+}
+
+func TestExecWrongInputShape(t *testing.T) {
+	fw, lm := loadFunctional(t, "mbnet")
+	rt, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Exec(tensor.New(1, 2, 2, 3)); err == nil {
+		t.Fatal("Exec accepted wrong input shape")
+	}
+}
+
+func TestModelLoadRejectsGarbage(t *testing.T) {
+	fw, err := inference.Lookup("tflm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.ModelLoad([]byte("not a model")); err == nil {
+		t.Fatal("ModelLoad accepted garbage")
+	}
+}
+
+// TestPlannerNoLiveOverlap is a white-box property test of the arena
+// planner: no two tensors with intersecting lifetimes may share arena bytes.
+func TestPlannerNoLiveOverlap(t *testing.T) {
+	for _, id := range model.ZooIDs() {
+		m, err := model.NewFunctional(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes, err := m.InferShapes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans := map[string]*tensorPlan{}
+		mk := func(name string, start int) {
+			s := shapes[name]
+			n := 1
+			for _, d := range s {
+				n *= d
+			}
+			plans[name] = &tensorPlan{name: name, shape: s, elems: n, start: start, end: start}
+		}
+		mk(model.InputName, -1)
+		for i := range m.Layers {
+			for _, in := range m.Layers[i].Inputs {
+				if i > plans[in].end {
+					plans[in].end = i
+				}
+			}
+			mk(m.Layers[i].Name, i)
+		}
+		plans[m.OutputLayer()].end = len(m.Layers)
+		total, err := planArena(plans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list := make([]*tensorPlan, 0, len(plans))
+		for _, p := range plans {
+			if p.offset+p.elems > total {
+				t.Fatalf("%s: tensor %s overruns arena", id, p.name)
+			}
+			list = append(list, p)
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				lifeOverlap := a.start <= b.end && b.start <= a.end
+				memOverlap := a.offset < b.offset+b.elems && b.offset < a.offset+a.elems
+				if lifeOverlap && memOverlap {
+					t.Fatalf("%s: %s and %s live simultaneously but share memory", id, a.name, b.name)
+				}
+			}
+		}
+	}
+}
+
+// TestExecDeterministic: same input twice gives identical outputs (the arena
+// is fully overwritten each run).
+func TestExecDeterministic(t *testing.T) {
+	fw, lm := loadFunctional(t, "rsnet")
+	rt, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(lm.Model().InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%13) * 0.05
+	}
+	run := func() []float32 {
+		if err := rt.Exec(in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := rt.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]float32(nil), out.Data()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic exec at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

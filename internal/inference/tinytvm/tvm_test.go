@@ -1,0 +1,209 @@
+package tinytvm_test
+
+import (
+	"math"
+	"testing"
+
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/model"
+	"sesemi/internal/tensor"
+)
+
+func mustLoad(t *testing.T, fwName, id string) (inference.Framework, inference.LoadedModel) {
+	t.Helper()
+	fw, err := inference.Lookup(fwName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewFunctional(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := model.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := fw.ModelLoad(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, lm
+}
+
+func TestBothFrameworksRegistered(t *testing.T) {
+	names := inference.Frameworks()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	if !have["tvm"] || !have["tflm"] {
+		t.Fatalf("registered frameworks %v, want tvm and tflm", names)
+	}
+}
+
+func TestTVMExecAllModels(t *testing.T) {
+	for _, id := range model.ZooIDs() {
+		fw, lm := mustLoad(t, "tvm", id)
+		rt, err := fw.RuntimeInit(lm)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		in := tensor.New(lm.Model().InputShape...)
+		for i := range in.Data() {
+			in.Data()[i] = float32(i%11) * 0.07
+		}
+		if err := rt.Exec(in); err != nil {
+			t.Fatalf("%s: Exec: %v", id, err)
+		}
+		out, err := rt.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range out.Data() {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("%s: output sums to %v", id, sum)
+		}
+	}
+}
+
+// TestFrameworksAgree cross-validates the two executors: identical models and
+// inputs must produce numerically close outputs despite entirely different
+// buffer management.
+func TestFrameworksAgree(t *testing.T) {
+	for _, id := range model.ZooIDs() {
+		tvmFw, tvmLM := mustLoad(t, "tvm", id)
+		tflmFw, tflmLM := mustLoad(t, "tflm", id)
+		tvmRT, err := tvmFw.RuntimeInit(tvmLM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tflmRT, err := tflmFw.RuntimeInit(tflmLM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.New(tvmLM.Model().InputShape...)
+		for i := range in.Data() {
+			in.Data()[i] = float32((i*37)%19) * 0.03
+		}
+		if err := tvmRT.Exec(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := tflmRT.Exec(in); err != nil {
+			t.Fatal(err)
+		}
+		a, err := tvmRT.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tflmRT.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Data() {
+			if diff := math.Abs(float64(a.Data()[i] - b.Data()[i])); diff > 1e-5 {
+				t.Fatalf("%s: frameworks disagree at %d: %v vs %v", id, i, a.Data()[i], b.Data()[i])
+			}
+		}
+	}
+}
+
+// TestTVMBufferExceedsTFLMArena verifies the Table I memory relationship on
+// the functional models: the TVM runtime (weight copies + all slots) must be
+// strictly larger than the TFLM arena (reused intermediates only).
+func TestTVMBufferExceedsTFLMArena(t *testing.T) {
+	for _, id := range model.ZooIDs() {
+		tvmFw, tvmLM := mustLoad(t, "tvm", id)
+		tflmFw, tflmLM := mustLoad(t, "tflm", id)
+		tvmRT, err := tvmFw.RuntimeInit(tvmLM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tflmRT, err := tflmFw.RuntimeInit(tflmLM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tvmRT.MemoryBytes() <= tflmRT.MemoryBytes() {
+			t.Fatalf("%s: TVM buffer %d <= TFLM arena %d", id, tvmRT.MemoryBytes(), tflmRT.MemoryBytes())
+		}
+		if tvmRT.MemoryBytes() <= tvmLM.Model().WeightBytes() {
+			t.Fatalf("%s: TVM buffer %d does not exceed weight bytes %d (missing packed copies)",
+				id, tvmRT.MemoryBytes(), tvmLM.Model().WeightBytes())
+		}
+	}
+}
+
+// TestTVMRuntimeIsolation: two runtimes from one loaded model must not share
+// mutable state; executing one must not corrupt the other.
+func TestTVMRuntimeIsolation(t *testing.T) {
+	fw, lm := mustLoad(t, "tvm", "mbnet")
+	rt1, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := tensor.New(lm.Model().InputShape...)
+	in2 := tensor.New(lm.Model().InputShape...)
+	for i := range in1.Data() {
+		in1.Data()[i] = 0.5
+		in2.Data()[i] = -0.5
+	}
+	if err := rt1.Exec(in1); err != nil {
+		t.Fatal(err)
+	}
+	out1, err := rt1.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float32(nil), out1.Data()...)
+	if err := rt2.Exec(in2); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out1.Data() {
+		if v != snapshot[i] {
+			t.Fatalf("rt2.Exec mutated rt1 output at %d", i)
+		}
+	}
+}
+
+func TestTVMModelExecAndPrepareOutput(t *testing.T) {
+	fw, lm := mustLoad(t, "tvm", "dsnet")
+	rt, err := fw.RuntimeInit(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(lm.Model().InputShape...)
+	payload := inference.EncodeTensor(in)
+	if err := inference.ModelExec(rt, payload); err != nil {
+		t.Fatal(err)
+	}
+	out, err := inference.PrepareOutput(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := inference.DecodeTensor(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Dim(dec.Rank()-1) != lm.Model().NumClasses {
+		t.Fatalf("output classes %d, want %d", dec.Dim(dec.Rank()-1), lm.Model().NumClasses)
+	}
+	if err := inference.ModelExec(rt, []byte("junk")); err == nil {
+		t.Fatal("ModelExec accepted junk payload")
+	}
+}
+
+func TestTVMRejectsForeignLoadedModel(t *testing.T) {
+	tvmFw, _ := mustLoad(t, "tvm", "mbnet")
+	_, tflmLM := mustLoad(t, "tflm", "mbnet")
+	if _, err := tvmFw.RuntimeInit(tflmLM); err == nil {
+		t.Fatal("tvm RuntimeInit accepted a tflm-loaded model")
+	}
+}

@@ -1,0 +1,232 @@
+package keyservice
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/ratls"
+	"sesemi/internal/secure"
+)
+
+// Dialer opens a transport connection to the KeyService.
+type Dialer func() (net.Conn, error)
+
+// TCPDialer dials a network address.
+func TCPDialer(addr string) Dialer {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// Client is the model owner's / model user's KeyService client. It attests
+// the KeyService enclave against the expected measurement E_K before
+// sending anything (workflow step 1 in §III).
+type Client struct {
+	dial   Dialer
+	policy attest.Policy
+	key    secure.Key
+	id     secure.ID
+
+	mu   sync.Mutex
+	conn *ratls.Conn
+	raw  net.Conn
+}
+
+// NewClient creates a client for the principal holding the given long-term
+// key. caPublicKey is the attestation root; expectEK is the KeyService
+// measurement the principal derived offline.
+func NewClient(dial Dialer, caPublicKey []byte, expectEK attest.Measurement, longTerm secure.Key) *Client {
+	return &Client{
+		dial: dial,
+		policy: attest.Policy{
+			CAPublicKey: caPublicKey,
+			Allowed:     []attest.Measurement{expectEK},
+		},
+		key: longTerm,
+		id:  secure.IdentityOf(longTerm),
+	}
+}
+
+// ID returns the principal id derived from the long-term key.
+func (c *Client) ID() secure.ID { return c.id }
+
+// connect establishes (or reuses) the attested channel.
+func (c *Client) connect() (*ratls.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	raw, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("keyservice client: dial: %w", err)
+	}
+	ch, err := ratls.Client(raw, ratls.Config{PeerPolicy: &c.policy})
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("keyservice client: attestation: %w", err)
+	}
+	c.conn = ch
+	c.raw = raw
+	return ch, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn = nil
+	if c.raw != nil {
+		err := c.raw.Close()
+		c.raw = nil
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one request and reads one response, serialized per client.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	ch, err := c.connect()
+	if err != nil {
+		return Response{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ch.SendJSON(req); err != nil {
+		c.conn = nil
+		return Response{}, err
+	}
+	var resp Response
+	if err := ch.RecvJSON(&resp); err != nil {
+		c.conn = nil
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Register registers the principal's long-term key (USER_REGISTRATION) and
+// confirms the server derived the same id.
+func (c *Client) Register() error {
+	resp, err := c.roundTrip(Request{Op: OpRegister, Key: &c.key})
+	if err != nil {
+		return err
+	}
+	if resp.ID != c.id {
+		return fmt.Errorf("keyservice client: server derived id %s, want %s", resp.ID, c.id)
+	}
+	return nil
+}
+
+// AddModelKey deposits the model decryption key K_M for a model this
+// principal owns (ADD_MODEL_KEY).
+func (c *Client) AddModelKey(modelID string, km secure.Key) error {
+	sealed, err := sealFrom(c.key, "add_model_key", addModelKeyMsg{ModelID: modelID, Key: km})
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(Request{Op: OpAddModelKey, ID: c.id, Sealed: sealed})
+	return err
+}
+
+// GrantAccess authorizes user uid to run model modelID inside enclaves
+// measuring es (GRANT_ACCESS).
+func (c *Client) GrantAccess(modelID string, es attest.Measurement, uid secure.ID) error {
+	sealed, err := sealFrom(c.key, "grant_access", grantAccessMsg{ModelID: modelID, Enclave: es, UserID: uid})
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(Request{Op: OpGrantAccess, ID: c.id, Sealed: sealed})
+	return err
+}
+
+// AddReqKey deposits the user's request key K_R, releasable only to enclave
+// es running modelID (ADD_REQ_KEY).
+func (c *Client) AddReqKey(modelID string, es attest.Measurement, kr secure.Key) error {
+	sealed, err := sealFrom(c.key, "add_req_key", addReqKeyMsg{ModelID: modelID, Enclave: es, Key: kr})
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(Request{Op: OpAddReqKey, ID: c.id, Sealed: sealed})
+	return err
+}
+
+// EnclaveClient is the SeMIRT side of key provisioning: it connects with
+// mutual attestation (its own quote + verification of E_K) and calls
+// KEY_PROVISIONING.
+type EnclaveClient struct {
+	dial   Dialer
+	policy attest.Policy
+	quoter ratls.Quoter
+}
+
+// NewEnclaveClient builds the provisioning client used inside a SeMIRT
+// enclave.
+func NewEnclaveClient(dial Dialer, caPublicKey []byte, expectEK attest.Measurement, quoter ratls.Quoter) *EnclaveClient {
+	return &EnclaveClient{
+		dial: dial,
+		policy: attest.Policy{
+			CAPublicKey: caPublicKey,
+			Allowed:     []attest.Measurement{expectEK},
+		},
+		quoter: quoter,
+	}
+}
+
+// Session is an established mutually attested provisioning channel that can
+// be cached across requests (SeMIRT "maintains a secure channel with
+// KeyService after the first remote attestation", §IV-B).
+type Session struct {
+	mu   sync.Mutex
+	conn *ratls.Conn
+	raw  net.Conn
+}
+
+// Connect performs the mutual attestation handshake.
+func (ec *EnclaveClient) Connect() (*Session, error) {
+	raw, err := ec.dial()
+	if err != nil {
+		return nil, fmt.Errorf("provision: dial: %w", err)
+	}
+	ch, err := ratls.Client(raw, ratls.Config{Quoter: ec.quoter, PeerPolicy: &ec.policy})
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("provision: mutual attestation: %w", err)
+	}
+	return &Session{conn: ch, raw: raw}, nil
+}
+
+// Provision retrieves (K_M, K_R) for the user/model pair.
+func (s *Session) Provision(uid secure.ID, modelID string) (km, kr secure.Key, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.conn.SendJSON(Request{Op: OpProvision, UserID: uid, ModelID: modelID}); err != nil {
+		return secure.Key{}, secure.Key{}, err
+	}
+	var resp Response
+	if err := s.conn.RecvJSON(&resp); err != nil {
+		return secure.Key{}, secure.Key{}, err
+	}
+	if !resp.OK {
+		return secure.Key{}, secure.Key{}, errors.New(resp.Error)
+	}
+	if resp.ModelKey == nil || resp.RequestKey == nil {
+		return secure.Key{}, secure.Key{}, errors.New("provision: response missing keys")
+	}
+	return *resp.ModelKey, *resp.RequestKey, nil
+}
+
+// Close drops the session transport.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.raw != nil {
+		err := s.raw.Close()
+		s.raw = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package keyservice
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/secure"
+	"sesemi/internal/vclock"
+)
+
+// --- Service (Algorithm 1) unit tests ---
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	return NewService()
+}
+
+func TestUserRegistrationDerivesID(t *testing.T) {
+	s := newService(t)
+	k := secure.KeyFromSeed("owner")
+	id := s.UserRegistration(k)
+	if id != secure.IdentityOf(k) {
+		t.Fatalf("id %s, want SHA-256 of key", id)
+	}
+	ids, _, _, _ := s.Counts()
+	if ids != 1 {
+		t.Fatalf("identities = %d", ids)
+	}
+}
+
+func seal(t *testing.T, k secure.Key, context string, v any) []byte {
+	t.Helper()
+	sealed, err := sealFrom(k, context, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+func TestAddModelKeyHappyPath(t *testing.T) {
+	s := newService(t)
+	ok := secure.KeyFromSeed("owner")
+	oid := s.UserRegistration(ok)
+	km := secure.KeyFromSeed("model-key")
+	if err := s.AddModelKey(oid, seal(t, ok, "add_model_key", addModelKeyMsg{ModelID: "m1", Key: km})); err != nil {
+		t.Fatal(err)
+	}
+	_, models, _, _ := s.Counts()
+	if models != 1 {
+		t.Fatalf("models = %d", models)
+	}
+}
+
+func TestAddModelKeyUnknownPrincipal(t *testing.T) {
+	s := newService(t)
+	k := secure.KeyFromSeed("ghost")
+	err := s.AddModelKey(secure.IdentityOf(k), seal(t, k, "add_model_key", addModelKeyMsg{ModelID: "m", Key: k}))
+	if !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddModelKeyWrongSealKey(t *testing.T) {
+	// A registered principal cannot submit an envelope sealed with someone
+	// else's key: the server decrypts with the claimed principal's key.
+	s := newService(t)
+	ownerKey := secure.KeyFromSeed("owner")
+	oid := s.UserRegistration(ownerKey)
+	attacker := secure.KeyFromSeed("attacker")
+	err := s.AddModelKey(oid, seal(t, attacker, "add_model_key", addModelKeyMsg{ModelID: "m", Key: attacker}))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestCrossOperationReplayRejected(t *testing.T) {
+	// An envelope sealed for add_model_key must not be accepted by
+	// grant_access (context binding in the AAD).
+	s := newService(t)
+	ok := secure.KeyFromSeed("owner")
+	oid := s.UserRegistration(ok)
+	env := seal(t, ok, "add_model_key", addModelKeyMsg{ModelID: "m", Key: ok})
+	if err := s.GrantAccess(oid, env); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("cross-op replay: %v", err)
+	}
+}
+
+func TestModelOwnershipProtected(t *testing.T) {
+	s := newService(t)
+	aliceK := secure.KeyFromSeed("alice")
+	bobK := secure.KeyFromSeed("bob")
+	alice := s.UserRegistration(aliceK)
+	bob := s.UserRegistration(bobK)
+	if err := s.AddModelKey(alice, seal(t, aliceK, "add_model_key", addModelKeyMsg{ModelID: "m", Key: aliceK})); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot re-key Alice's model.
+	err := s.AddModelKey(bob, seal(t, bobK, "add_model_key", addModelKeyMsg{ModelID: "m", Key: bobK}))
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("re-key by non-owner: %v", err)
+	}
+	// Bob cannot grant access to Alice's model.
+	var es attest.Measurement
+	err = s.GrantAccess(bob, seal(t, bobK, "grant_access", grantAccessMsg{ModelID: "m", Enclave: es, UserID: bob}))
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("grant by non-owner: %v", err)
+	}
+}
+
+func TestKeyProvisioningFullMatrix(t *testing.T) {
+	s := newService(t)
+	ownerK := secure.KeyFromSeed("owner")
+	userK := secure.KeyFromSeed("user")
+	oid := s.UserRegistration(ownerK)
+	uid := s.UserRegistration(userK)
+	km := secure.KeyFromSeed("km")
+	kr := secure.KeyFromSeed("kr")
+	goodES := attest.Measurement{1, 2, 3}
+	badES := attest.Measurement{9, 9, 9}
+
+	if err := s.AddModelKey(oid, seal(t, ownerK, "add_model_key", addModelKeyMsg{ModelID: "m", Key: km})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any grant: denied.
+	if _, _, err := s.KeyProvisioning(uid, "m", goodES); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("pre-grant: %v", err)
+	}
+
+	if err := s.GrantAccess(oid, seal(t, ownerK, "grant_access", grantAccessMsg{ModelID: "m", Enclave: goodES, UserID: uid})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grant but no request key: denied (Algorithm 1 line 23 requires both).
+	if _, _, err := s.KeyProvisioning(uid, "m", goodES); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("no req key: %v", err)
+	}
+
+	if err := s.AddReqKey(uid, seal(t, userK, "add_req_key", addReqKeyMsg{ModelID: "m", Enclave: goodES, Key: kr})); err != nil {
+		t.Fatal(err)
+	}
+
+	gotKM, gotKR, err := s.KeyProvisioning(uid, "m", goodES)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotKM.Equal(km) || !gotKR.Equal(kr) {
+		t.Fatal("provisioned wrong keys")
+	}
+
+	// Wrong enclave identity: denied.
+	if _, _, err := s.KeyProvisioning(uid, "m", badES); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("wrong ES: %v", err)
+	}
+	// Wrong user: denied.
+	if _, _, err := s.KeyProvisioning(oid, "m", goodES); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("wrong uid: %v", err)
+	}
+	// Wrong model: denied.
+	if _, _, err := s.KeyProvisioning(uid, "other", goodES); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("wrong model: %v", err)
+	}
+}
+
+func TestReqKeyBoundToDepositor(t *testing.T) {
+	// A user's request key is stored under the *authenticated* uid, so a
+	// third party cannot deposit a key on someone else's behalf.
+	s := newService(t)
+	userK := secure.KeyFromSeed("user")
+	malloryK := secure.KeyFromSeed("mallory")
+	uid := s.UserRegistration(userK)
+	mallory := s.UserRegistration(malloryK)
+	es := attest.Measurement{5}
+	// Mallory deposits a key claiming it is for uid — it lands under
+	// mallory's id because AddReqKey uses the authenticated caller.
+	if err := s.AddReqKey(mallory, seal(t, malloryK, "add_req_key", addReqKeyMsg{ModelID: "m", Enclave: es, Key: malloryK})); err != nil {
+		t.Fatal(err)
+	}
+	_, _, reqKeys, _ := s.Counts()
+	if reqKeys != 1 {
+		t.Fatalf("reqKeys = %d", reqKeys)
+	}
+	// uid still has no deposited key.
+	if _, _, err := s.KeyProvisioning(uid, "m", es); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("uid unexpectedly authorized: %v", err)
+	}
+}
+
+func TestManifestMeasurementStable(t *testing.T) {
+	if ManifestFor(DefaultTCS).Measure() != ExpectedMeasurement() {
+		t.Fatal("ExpectedMeasurement does not match default manifest")
+	}
+	if ManifestFor(1).Measure() == ExpectedMeasurement() {
+		t.Fatal("TCS config change must change E_K")
+	}
+	if ManifestFor(0).Measure() != ExpectedMeasurement() {
+		t.Fatal("ManifestFor(0) must default to DefaultTCS")
+	}
+}
+
+// --- End-to-end over real TCP with real enclaves ---
+
+type testbed struct {
+	ca     *attest.CA
+	server *Server
+	addr   string
+	ksEnc  *enclave.Enclave
+}
+
+func startKeyService(t *testing.T) *testbed {
+	t.Helper()
+	ca, err := attest.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ca.Provision("ks-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := enclave.NewPlatform(costmodel.SGX2, vclock.Real{Scale: 0}, key)
+	svc := NewService()
+	enc, err := platform.Launch(ManifestFor(DefaultTCS), svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(enc.Destroy)
+	srv, err := NewServer(svc, ca.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return &testbed{ca: ca, server: srv, addr: ln.Addr().String(), ksEnc: enc}
+}
+
+func launchWorker(t *testing.T, tb *testbed, program string) *enclave.Enclave {
+	t.Helper()
+	key, err := tb.ca.Provision("worker-" + program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := enclave.NewPlatform(costmodel.SGX2, vclock.Real{Scale: 0}, key)
+	e, err := platform.Launch(enclave.Manifest{
+		Name:        program,
+		CodeHash:    enclave.CodeIdentity(program),
+		TCSCount:    2,
+		MemoryBytes: 64 << 20,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+	return e
+}
+
+func TestEndToEndProvisioning(t *testing.T) {
+	tb := startKeyService(t)
+	dial := TCPDialer(tb.addr)
+
+	ownerKey := secure.KeyFromSeed("hospital")
+	userKey := secure.KeyFromSeed("patient")
+	owner := NewClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), ownerKey)
+	user := NewClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), userKey)
+	defer owner.Close()
+	defer user.Close()
+
+	if err := owner.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	worker := launchWorker(t, tb, "semirt-v1")
+	es := worker.Measurement()
+
+	km := secure.KeyFromSeed("model-key")
+	kr := secure.KeyFromSeed("request-key")
+	if err := owner.AddModelKey("disease-model", km); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.GrantAccess("disease-model", es, user.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.AddReqKey("disease-model", es, kr); err != nil {
+		t.Fatal(err)
+	}
+
+	ec := NewEnclaveClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), worker)
+	sess, err := ec.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	gotKM, gotKR, err := sess.Provision(user.ID(), "disease-model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotKM.Equal(km) || !gotKR.Equal(kr) {
+		t.Fatal("provisioned keys differ from deposits")
+	}
+
+	// The session is reusable (SeMIRT caches it across requests).
+	if _, _, err := sess.Provision(user.ID(), "disease-model"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndWrongEnclaveDenied(t *testing.T) {
+	tb := startKeyService(t)
+	dial := TCPDialer(tb.addr)
+	ownerKey := secure.KeyFromSeed("owner2")
+	userKey := secure.KeyFromSeed("user2")
+	owner := NewClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), ownerKey)
+	user := NewClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), userKey)
+	defer owner.Close()
+	defer user.Close()
+	if err := owner.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Register(); err != nil {
+		t.Fatal(err)
+	}
+	good := launchWorker(t, tb, "semirt-v1")
+	evil := launchWorker(t, tb, "semirt-evil")
+	if err := owner.AddModelKey("m", secure.KeyFromSeed("km2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.GrantAccess("m", good.Measurement(), user.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.AddReqKey("m", good.Measurement(), secure.KeyFromSeed("kr2")); err != nil {
+		t.Fatal(err)
+	}
+	// The evil enclave attests fine (valid platform) but its measurement is
+	// not in the ACM.
+	ec := NewEnclaveClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), evil)
+	sess, err := ec.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, _, err := sess.Provision(user.ID(), "m"); err == nil || !strings.Contains(err.Error(), "not authorized") {
+		t.Fatalf("evil enclave provisioning: %v", err)
+	}
+}
+
+func TestEndToEndUnattestedProvisioningDenied(t *testing.T) {
+	tb := startKeyService(t)
+	dial := TCPDialer(tb.addr)
+	// A plain client (no quote) trying the provisioning op directly.
+	userKey := secure.KeyFromSeed("sneaky")
+	c := NewClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), userKey)
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.roundTrip(Request{Op: OpProvision, UserID: c.ID(), ModelID: "m"})
+	if err == nil || resp.OK {
+		t.Fatal("unattested provisioning accepted")
+	}
+}
+
+func TestClientRejectsImpostorKeyService(t *testing.T) {
+	// Launch a KeyService whose code identity differs; the client's policy
+	// pins the expected E_K and must refuse the handshake.
+	tb := startKeyService(t)
+	dial := TCPDialer(tb.addr)
+	wrongEK := attest.Measurement{42}
+	c := NewClient(dial, tb.ca.PublicKey(), wrongEK, secure.KeyFromSeed("pinning"))
+	defer c.Close()
+	if err := c.Register(); err == nil {
+		t.Fatal("client accepted a KeyService with unexpected measurement")
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	tb := startKeyService(t)
+	dial := TCPDialer(tb.addr)
+	c := NewClient(dial, tb.ca.PublicKey(), tb.ksEnc.Measurement(), secure.KeyFromSeed("ops"))
+	defer c.Close()
+	if _, err := c.roundTrip(Request{Op: "format_disk"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

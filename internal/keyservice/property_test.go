@@ -1,0 +1,144 @@
+package keyservice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/secure"
+)
+
+// TestProvisioningSoundnessProperty drives the service with random operation
+// sequences and verifies the central security invariant of Algorithm 1:
+// KEY_PROVISIONING(uid, moid, es) succeeds if and only if
+//
+//  1. the owner deposited a key for moid,
+//  2. the owner granted ⟨moid‖es‖uid⟩, and
+//  3. uid deposited a request key under ⟨moid‖es⟩,
+//
+// where "owner" is the principal that first registered the model.
+func TestProvisioningSoundnessProperty(t *testing.T) {
+	type opCode byte
+	const (
+		opAddModel opCode = iota
+		opGrant
+		opAddReq
+		opCheck
+		opMax
+	)
+
+	principals := []string{"p0", "p1", "p2"}
+	models := []string{"m0", "m1"}
+	enclaves := []attest.Measurement{{1}, {2}}
+
+	f := func(seed int64, steps []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		svc := NewService()
+		keys := map[string]secure.Key{}
+		ids := map[string]secure.ID{}
+		for _, p := range principals {
+			k := secure.KeyFromSeed(p)
+			keys[p] = k
+			ids[p] = svc.UserRegistration(k)
+		}
+		// Shadow state for the oracle.
+		modelOwner := map[string]string{}
+		modelKeys := map[string]secure.Key{}
+		grants := map[string]bool{}
+		reqKeys := map[string]secure.Key{}
+		key := func(m string, e attest.Measurement, u string) string {
+			return m + "|" + e.Hex() + "|" + u
+		}
+
+		if len(steps) > 64 {
+			steps = steps[:64]
+		}
+		for _, st := range steps {
+			p := principals[rng.Intn(len(principals))]
+			m := models[rng.Intn(len(models))]
+			e := enclaves[rng.Intn(len(enclaves))]
+			u := principals[rng.Intn(len(principals))]
+			switch opCode(st) % opMax {
+			case opAddModel:
+				km := secure.KeyFromSeed("km" + p + m)
+				sealed, err := sealFrom(keys[p], "add_model_key", addModelKeyMsg{ModelID: m, Key: km})
+				if err != nil {
+					return false
+				}
+				err = svc.AddModelKey(ids[p], sealed)
+				if owner, taken := modelOwner[m]; taken && owner != p {
+					if err == nil {
+						t.Logf("re-key of %s by non-owner %s accepted", m, p)
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					modelOwner[m] = p
+					modelKeys[m] = km
+				}
+			case opGrant:
+				sealed, err := sealFrom(keys[p], "grant_access", grantAccessMsg{ModelID: m, Enclave: e, UserID: ids[u]})
+				if err != nil {
+					return false
+				}
+				err = svc.GrantAccess(ids[p], sealed)
+				if modelOwner[m] == p && modelOwner[m] != "" {
+					if err != nil {
+						return false
+					}
+					grants[key(m, e, u)] = true
+				} else if err == nil {
+					t.Logf("grant on %s by non-owner %s accepted", m, p)
+					return false
+				}
+			case opAddReq:
+				kr := secure.KeyFromSeed("kr" + p + m + e.Hex())
+				sealed, err := sealFrom(keys[p], "add_req_key", addReqKeyMsg{ModelID: m, Enclave: e, Key: kr})
+				if err != nil {
+					return false
+				}
+				if err := svc.AddReqKey(ids[p], sealed); err != nil {
+					return false
+				}
+				reqKeys[key(m, e, p)] = kr
+			case opCheck:
+				km, kr, err := svc.KeyProvisioning(ids[u], m, e)
+				k := key(m, e, u)
+				_, haveModel := modelKeys[m]
+				wantOK := haveModel && grants[k] && reqKeys[k] != secure.Key{}
+				if wantOK != (err == nil) {
+					t.Logf("oracle mismatch for %s: want ok=%v, got err=%v", k, wantOK, err)
+					return false
+				}
+				if err == nil {
+					if !km.Equal(modelKeys[m]) || !kr.Equal(reqKeys[k]) {
+						t.Logf("provisioned wrong keys for %s", k)
+						return false
+					}
+				}
+			}
+		}
+		// Final sweep: every (model, enclave, user) triple agrees with the
+		// oracle.
+		for _, m := range models {
+			for _, e := range enclaves {
+				for _, u := range principals {
+					k := key(m, e, u)
+					_, _, err := svc.KeyProvisioning(ids[u], m, e)
+					_, haveModel := modelKeys[m]
+					wantOK := haveModel && grants[k] && reqKeys[k] != secure.Key{}
+					if wantOK != (err == nil) {
+						t.Logf("final oracle mismatch for %s", k)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

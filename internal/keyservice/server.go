@@ -1,0 +1,234 @@
+package keyservice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/enclave"
+	"sesemi/internal/ratls"
+	"sesemi/internal/secure"
+)
+
+// Wire protocol: after the RA-TLS handshake each record is one JSON request
+// or response. Key provisioning requires the connection itself to be
+// mutually attested — the enclave identity ES used in the access-control
+// check is taken from the verified channel quote, never from the request
+// body.
+
+// Op names.
+const (
+	OpRegister    = "register"
+	OpAddModelKey = "add_model_key"
+	OpGrantAccess = "grant_access"
+	OpAddReqKey   = "add_req_key"
+	OpProvision   = "provision"
+)
+
+// Request is one client→KeyService message.
+type Request struct {
+	Op string `json:"op"`
+	// ID is the caller's principal id for management operations.
+	ID secure.ID `json:"id,omitempty"`
+	// Key is the long-term key for OpRegister.
+	Key *secure.Key `json:"key,omitempty"`
+	// Sealed is the AES-GCM envelope for management operations.
+	Sealed []byte `json:"sealed,omitempty"`
+	// UserID and ModelID parameterize OpProvision.
+	UserID  secure.ID `json:"user_id,omitempty"`
+	ModelID string    `json:"model_id,omitempty"`
+}
+
+// Response is one KeyService→client message.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// ID echoes the registered principal id for OpRegister.
+	ID secure.ID `json:"id,omitempty"`
+	// ModelKey and RequestKey carry provisioned keys (only ever sent over
+	// mutually attested channels).
+	ModelKey   *secure.Key `json:"model_key,omitempty"`
+	RequestKey *secure.Key `json:"request_key,omitempty"`
+}
+
+// Server exposes a Service over a listener. Each connection is handled by
+// one goroutine that enters the enclave through one TCS for the connection's
+// lifetime, mirroring the implementation in §V.
+type Server struct {
+	svc      *Service
+	enc      *enclave.Enclave
+	verifier attest.Policy // verifies SeMIRT quotes for provisioning
+	logf     func(format string, args ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
+}
+
+// NewServer wires a launched Service to its enclave. caPublicKey is the
+// attestation root used to verify connecting SeMIRT enclaves; the ACM
+// decides *which* measurements get keys, so the policy carries no
+// measurement allow-list.
+func NewServer(svc *Service, caPublicKey []byte) (*Server, error) {
+	if svc.Enclave() == nil {
+		return nil, errors.New("keyservice: service not launched in an enclave")
+	}
+	return &Server{
+		svc:      svc,
+		enc:      svc.Enclave(),
+		verifier: attest.Policy{CAPublicKey: caPublicKey},
+		logf:     log.Printf,
+		conns:    map[net.Conn]struct{}{},
+	}, nil
+}
+
+// SetLogf overrides the server's logger (tests use a silent one).
+func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for in-flight
+// handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.handlers.Wait()
+	return err
+}
+
+// HandleConn serves one already-accepted connection (used by in-process
+// transports and tests).
+func (s *Server) HandleConn(conn net.Conn) { s.handleConn(conn) }
+
+func (s *Server) handleConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	// The whole connection is served inside the enclave: handshake
+	// (the quote is generated in-enclave) and request processing bind one
+	// TCS, as in the paper's one-thread-per-connection design.
+	err := s.enc.ECall(func() error {
+		ch, err := ratls.Server(conn, ratls.Config{Quoter: s.enc})
+		if err != nil {
+			return fmt.Errorf("handshake: %w", err)
+		}
+		for {
+			var req Request
+			if err := ch.RecvJSON(&req); err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+					return nil
+				}
+				return err
+			}
+			resp := s.dispatch(ch, &req)
+			if err := ch.SendJSON(resp); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil && s.logf != nil {
+		s.logf("keyservice: connection ended: %v", err)
+	}
+}
+
+func (s *Server) dispatch(ch *ratls.Conn, req *Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case OpRegister:
+		if req.Key == nil {
+			return fail(fmt.Errorf("%w: register without key", ErrBadRequest))
+		}
+		id := s.svc.UserRegistration(*req.Key)
+		return Response{OK: true, ID: id}
+	case OpAddModelKey:
+		if err := s.svc.AddModelKey(req.ID, req.Sealed); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case OpGrantAccess:
+		if err := s.svc.GrantAccess(req.ID, req.Sealed); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case OpAddReqKey:
+		if err := s.svc.AddReqKey(req.ID, req.Sealed); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case OpProvision:
+		quote := ch.PeerQuote()
+		if quote == nil {
+			return fail(fmt.Errorf("%w: provisioning requires mutual attestation", ErrNotAuthorized))
+		}
+		// Verify the quote chain here, inside the enclave; the channel layer
+		// already checked the key binding if a policy was set, but the
+		// server accepts unattested management clients, so re-check fully.
+		if err := s.verifier.Check(*quote, nil); err != nil {
+			return fail(fmt.Errorf("%w: %v", ErrNotAuthorized, err))
+		}
+		km, kr, err := s.svc.KeyProvisioning(req.UserID, req.ModelID, quote.Measurement)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ModelKey: &km, RequestKey: &kr}
+	}
+	return fail(fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op))
+}
+
+// MarshalRequest and UnmarshalResponse are exported for transports that
+// frame their own records.
+func MarshalRequest(r Request) ([]byte, error) { return json.Marshal(r) }
+func UnmarshalResponse(b []byte) (Response, error) {
+	var r Response
+	err := json.Unmarshal(b, &r)
+	return r, err
+}

@@ -1,0 +1,265 @@
+// Package keyservice implements SeSeMI's trust-establishment component
+// (§IV-A, Algorithm 1).
+//
+// KeyService is an always-on enclave that bridges users and serverless
+// instances: model owners and users attest it, register long-term identity
+// keys, deposit model keys (K_M) and request keys (K_R), and declare an
+// access-control matrix of ⟨Moid‖ES‖uid⟩ records. SeMIRT enclaves connect
+// over mutually attested channels and retrieve exactly the keys the matrix
+// authorizes for their measured identity ES.
+//
+// The Service type is the enclave program: all of its state lives "inside"
+// the enclave and is reachable only through the ECall-wrapped connection
+// handlers in Server.
+package keyservice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/enclave"
+	"sesemi/internal/secure"
+)
+
+// ProgramName is the enclave program identifier; together with Version it
+// determines the KeyService enclave identity E_K.
+const ProgramName = "sesemi/keyservice"
+
+// Version is the KeyService code version.
+const Version = "v1"
+
+// DefaultTCS is the number of concurrent connections (one TCS each, §V).
+const DefaultTCS = 8
+
+// DefaultMemoryBytes is the configured enclave size of KeyService; it stores
+// only keys and policies, so 16 MiB suffices (Figure 16 uses a 16 MiB
+// enclave for attestation benchmarks).
+const DefaultMemoryBytes = 16 << 20
+
+// ManifestFor returns the enclave manifest for a KeyService with the given
+// TCS count. Clients derive the expected measurement E_K from the same
+// function, offline.
+func ManifestFor(tcs int) enclave.Manifest {
+	if tcs <= 0 {
+		tcs = DefaultTCS
+	}
+	return enclave.Manifest{
+		Name:        "keyservice",
+		CodeHash:    enclave.CodeIdentity(ProgramName, Version),
+		TCSCount:    tcs,
+		MemoryBytes: DefaultMemoryBytes,
+	}
+}
+
+// ExpectedMeasurement returns E_K for the default configuration.
+func ExpectedMeasurement() attest.Measurement {
+	return ManifestFor(DefaultTCS).Measure()
+}
+
+// Service is the KeyService enclave program holding Algorithm 1's four
+// stores.
+type Service struct {
+	mu sync.RWMutex
+	// identities is KS_I: principal id -> long-term key.
+	identities map[secure.ID]secure.Key
+	// modelKeys is KS_M: Moid -> (owner, K_M).
+	modelKeys map[string]modelKeyEntry
+	// reqKeys is KS_R: Moid‖ES‖uid -> K_R.
+	reqKeys map[string]secure.Key
+	// acm is ACM: the set of authorized Moid‖ES‖uid records.
+	acm map[string]bool
+
+	enc *enclave.Enclave
+}
+
+type modelKeyEntry struct {
+	owner secure.ID
+	key   secure.Key
+}
+
+// NewService creates an empty KeyService program.
+func NewService() *Service {
+	return &Service{
+		identities: map[secure.ID]secure.Key{},
+		modelKeys:  map[string]modelKeyEntry{},
+		reqKeys:    map[string]secure.Key{},
+		acm:        map[string]bool{},
+	}
+}
+
+// Init implements enclave.Program.
+func (s *Service) Init(e *enclave.Enclave) error {
+	s.enc = e
+	return nil
+}
+
+// Enclave returns the hosting enclave (nil before launch).
+func (s *Service) Enclave() *enclave.Enclave { return s.enc }
+
+// Service errors.
+var (
+	ErrUnknownPrincipal = errors.New("keyservice: unknown principal")
+	ErrNotAuthorized    = errors.New("keyservice: not authorized")
+	ErrNotOwner         = errors.New("keyservice: principal does not own model")
+	ErrBadRequest       = errors.New("keyservice: malformed request")
+)
+
+// acKey builds the Moid‖ES‖uid composite key of KS_R and ACM.
+func acKey(moid string, es attest.Measurement, uid secure.ID) string {
+	return moid + "\x1f" + es.Hex() + "\x1f" + string(uid)
+}
+
+// UserRegistration implements USER_REGISTRATION (Algorithm 1 lines 5-8):
+// it stores the long-term key and returns the derived principal id.
+func (s *Service) UserRegistration(k secure.Key) secure.ID {
+	id := secure.IdentityOf(k)
+	s.mu.Lock()
+	s.identities[id] = k
+	s.mu.Unlock()
+	return id
+}
+
+// addModelKeyMsg is the plaintext of [Moid‖K_M]_{K_oid}.
+type addModelKeyMsg struct {
+	ModelID string     `json:"model_id"`
+	Key     secure.Key `json:"key"`
+}
+
+// AddModelKey implements ADD_MODEL_KEY (lines 9-12). sealed is the owner's
+// AES-GCM envelope under their long-term key.
+func (s *Service) AddModelKey(oid secure.ID, sealed []byte) error {
+	koid, err := s.identityKey(oid)
+	if err != nil {
+		return err
+	}
+	var msg addModelKeyMsg
+	if err := openInto(koid, "add_model_key", sealed, &msg); err != nil {
+		return err
+	}
+	if msg.ModelID == "" {
+		return fmt.Errorf("%w: empty model id", ErrBadRequest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.modelKeys[msg.ModelID]; ok && cur.owner != oid {
+		return fmt.Errorf("%w: model %q registered by another owner", ErrNotOwner, msg.ModelID)
+	}
+	s.modelKeys[msg.ModelID] = modelKeyEntry{owner: oid, key: msg.Key}
+	return nil
+}
+
+// grantAccessMsg is the plaintext of [Moid‖ES‖uid]_{K_oid}.
+type grantAccessMsg struct {
+	ModelID string             `json:"model_id"`
+	Enclave attest.Measurement `json:"enclave"`
+	UserID  secure.ID          `json:"user_id"`
+}
+
+// GrantAccess implements GRANT_ACCESS (lines 13-16): the owner authorizes
+// user uid to use model Moid through enclaves measuring ES.
+func (s *Service) GrantAccess(oid secure.ID, sealed []byte) error {
+	koid, err := s.identityKey(oid)
+	if err != nil {
+		return err
+	}
+	var msg grantAccessMsg
+	if err := openInto(koid, "grant_access", sealed, &msg); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.modelKeys[msg.ModelID]
+	if !ok || entry.owner != oid {
+		return fmt.Errorf("%w: %q", ErrNotOwner, msg.ModelID)
+	}
+	s.acm[acKey(msg.ModelID, msg.Enclave, msg.UserID)] = true
+	return nil
+}
+
+// addReqKeyMsg is the plaintext of [Moid‖ES‖K_R]_{K_uid}.
+type addReqKeyMsg struct {
+	ModelID string             `json:"model_id"`
+	Enclave attest.Measurement `json:"enclave"`
+	Key     secure.Key         `json:"key"`
+}
+
+// AddReqKey implements ADD_REQ_KEY (lines 17-20): user uid deposits request
+// key K_R, releasable only to enclave ES running model Moid.
+func (s *Service) AddReqKey(uid secure.ID, sealed []byte) error {
+	kuid, err := s.identityKey(uid)
+	if err != nil {
+		return err
+	}
+	var msg addReqKeyMsg
+	if err := openInto(kuid, "add_req_key", sealed, &msg); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.reqKeys[acKey(msg.ModelID, msg.Enclave, uid)] = msg.Key
+	s.mu.Unlock()
+	return nil
+}
+
+// KeyProvisioning implements KEY_PROVISIONING (lines 21-26): a SeMIRT
+// enclave whose verified measurement is es requests the model and request
+// keys for (uid, moid). Both the ACM record and the user's deposited request
+// key must exist.
+func (s *Service) KeyProvisioning(uid secure.ID, moid string, es attest.Measurement) (km, kr secure.Key, err error) {
+	k := acKey(moid, es, uid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.acm[k] {
+		return secure.Key{}, secure.Key{}, fmt.Errorf("%w: no grant for model %q user %s enclave %s",
+			ErrNotAuthorized, moid, uid, es.Hex()[:8])
+	}
+	reqKey, ok := s.reqKeys[k]
+	if !ok {
+		return secure.Key{}, secure.Key{}, fmt.Errorf("%w: user %s deposited no request key", ErrNotAuthorized, uid)
+	}
+	entry, ok := s.modelKeys[moid]
+	if !ok {
+		return secure.Key{}, secure.Key{}, fmt.Errorf("%w: model %q has no key", ErrNotAuthorized, moid)
+	}
+	return entry.key, reqKey, nil
+}
+
+// Counts reports store sizes (for monitoring and tests).
+func (s *Service) Counts() (identities, models, reqKeys, grants int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.identities), len(s.modelKeys), len(s.reqKeys), len(s.acm)
+}
+
+func (s *Service) identityKey(id secure.ID) (secure.Key, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.identities[id]
+	if !ok {
+		return secure.Key{}, fmt.Errorf("%w: %s", ErrUnknownPrincipal, id)
+	}
+	return k, nil
+}
+
+// openInto decrypts a management envelope and unmarshals its JSON payload.
+func openInto(k secure.Key, context string, sealed []byte, v any) error {
+	pt, err := secure.Open(k, secure.PurposeKeyMgmt, context, sealed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := json.Unmarshal(pt, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// sealFrom builds a management envelope; used by the client.
+func sealFrom(k secure.Key, context string, v any) ([]byte, error) {
+	pt, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return secure.Seal(k, secure.PurposeKeyMgmt, context, pt)
+}

@@ -1,0 +1,209 @@
+// Package metrics provides the measurement primitives the experiments
+// report: latency distributions (mean, percentiles), bucketed time series
+// (Figures 13 and 14), and the GB-second memory-cost integral the paper uses
+// for serverless billing (§VI-C).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latency accumulates a latency distribution. It is safe for concurrent use.
+type Latency struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latency) Add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the average latency (0 with no samples).
+func (l *Latency) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank.
+func (l *Latency) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	if p >= 100 {
+		return l.samples[len(l.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return l.samples[rank]
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var max time.Duration
+	for _, s := range l.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// String formats a summary.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
+		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(95), l.Percentile(99))
+}
+
+// Bucket is one window of a time series.
+type Bucket struct {
+	// Start is the bucket's start offset.
+	Start time.Duration
+	// Count is the number of observations.
+	Count int
+	// Sum is the total of observed values.
+	Sum float64
+	// Max is the largest observed value.
+	Max float64
+}
+
+// Mean returns the bucket average (0 when empty).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// TimeSeries buckets observations into fixed windows, producing the
+// "metric vs time" panels of Figures 13 and 14. Safe for concurrent use.
+type TimeSeries struct {
+	window time.Duration
+	mu     sync.Mutex
+	bkts   map[int]*Bucket
+}
+
+// NewTimeSeries creates a series with the given bucket window.
+func NewTimeSeries(window time.Duration) *TimeSeries {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &TimeSeries{window: window, bkts: map[int]*Bucket{}}
+}
+
+// Observe records value at time offset at.
+func (ts *TimeSeries) Observe(at time.Duration, value float64) {
+	i := int(at / ts.window)
+	ts.mu.Lock()
+	b := ts.bkts[i]
+	if b == nil {
+		b = &Bucket{Start: time.Duration(i) * ts.window}
+		ts.bkts[i] = b
+	}
+	b.Count++
+	b.Sum += value
+	if value > b.Max {
+		b.Max = value
+	}
+	ts.mu.Unlock()
+}
+
+// Buckets returns the populated buckets in time order.
+func (ts *TimeSeries) Buckets() []Bucket {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	idx := make([]int, 0, len(ts.bkts))
+	for i := range ts.bkts {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]Bucket, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, *ts.bkts[i])
+	}
+	return out
+}
+
+// GBSeconds integrates memory consumption over time — the cost metric of
+// §VI-C ("the integral of enclave memory consumption over the workload
+// duration"). Feed it step samples: each Sample(at, bytes) holds until the
+// next sample or Finish.
+type GBSeconds struct {
+	mu       sync.Mutex
+	lastAt   time.Duration
+	lastVal  int64
+	total    float64 // GB·s
+	started  bool
+	finished bool
+}
+
+// Sample records that memory usage is bytes from time at onward.
+func (g *GBSeconds) Sample(at time.Duration, bytes int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.finished {
+		return
+	}
+	if g.started && at > g.lastAt {
+		g.total += float64(g.lastVal) / 1e9 * (at - g.lastAt).Seconds()
+	}
+	g.lastAt = at
+	g.lastVal = bytes
+	g.started = true
+}
+
+// Finish closes the integral at time at and returns the total GB-seconds.
+func (g *GBSeconds) Finish(at time.Duration) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started && !g.finished && at > g.lastAt {
+		g.total += float64(g.lastVal) / 1e9 * (at - g.lastAt).Seconds()
+		g.lastAt = at
+	}
+	g.finished = true
+	return g.total
+}
+
+// Total returns the integral so far.
+func (g *GBSeconds) Total() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total
+}

@@ -1,0 +1,293 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sesemi/internal/tensor"
+)
+
+// Config controls the synthetic model builders. The defaults produce small
+// "functional" models that run real inference quickly; the zoo scales them
+// with ballast to the paper's Table I byte sizes.
+type Config struct {
+	// Input spatial size (square) and channels.
+	InputSize     int
+	InputChannels int
+	// NumClasses is the output dimensionality.
+	NumClasses int
+	// Width scales channel counts (1 = base).
+	Width int
+	// Blocks controls depth (number of main blocks / stages).
+	Blocks int
+	// Seed makes weight generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a small functional configuration used by tests and
+// examples: a 16x16x3 input, 10 classes.
+func DefaultConfig() Config {
+	return Config{InputSize: 16, InputChannels: 3, NumClasses: 10, Width: 4, Blocks: 3, Seed: 1}
+}
+
+type builder struct {
+	m    *Model
+	rng  *rand.Rand
+	last string
+	n    int
+	err  error
+}
+
+func newBuilder(name, arch string, cfg Config) *builder {
+	return &builder{
+		m: &Model{
+			Name:       name,
+			Arch:       arch,
+			InputShape: []int{1, cfg.InputSize, cfg.InputSize, cfg.InputChannels},
+			NumClasses: cfg.NumClasses,
+		},
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		last: InputName,
+	}
+}
+
+func (b *builder) randTensor(shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	// He-style initialization keeps activations in a sane range so softmax
+	// outputs are meaningful in examples.
+	fanIn := 1
+	for _, d := range shape[:len(shape)-1] {
+		fanIn *= d
+	}
+	std := 1.0
+	if fanIn > 0 {
+		std = 1.0 / float64(fanIn)
+	}
+	for i := range t.Data() {
+		t.Data()[i] = float32(b.rng.NormFloat64() * std * 2)
+	}
+	return t
+}
+
+func (b *builder) add(l Layer) string {
+	b.n++
+	if l.Name == "" {
+		l.Name = fmt.Sprintf("%s_%d", l.Op, b.n)
+	}
+	if len(l.Inputs) == 0 {
+		l.Inputs = []string{b.last}
+	}
+	b.m.Layers = append(b.m.Layers, l)
+	b.last = l.Name
+	return l.Name
+}
+
+func (b *builder) conv(out, kernel, stride int, pad tensor.Padding, inCh int) string {
+	return b.add(Layer{
+		Op: OpConv2D, Kernel: kernel, Stride: stride, Pad: pad,
+		Weights: map[string]*tensor.Tensor{
+			WeightMain: b.randTensor(kernel, kernel, inCh, out),
+			WeightBias: b.randTensor(out),
+		},
+	})
+}
+
+func (b *builder) dwconv(ch, kernel, stride int) string {
+	return b.add(Layer{
+		Op: OpDepthwiseConv2D, Kernel: kernel, Stride: stride, Pad: tensor.Same,
+		Weights: map[string]*tensor.Tensor{
+			WeightMain: b.randTensor(kernel, kernel, ch),
+			WeightBias: b.randTensor(ch),
+		},
+	})
+}
+
+func (b *builder) bn(ch int) string {
+	scale := tensor.New(ch)
+	scale.Fill(1)
+	return b.add(Layer{
+		Op: OpBatchNorm,
+		Weights: map[string]*tensor.Tensor{
+			WeightScale: scale,
+			WeightShift: b.randTensor(ch),
+		},
+	})
+}
+
+func (b *builder) relu() string  { return b.add(Layer{Op: OpReLU}) }
+func (b *builder) relu6() string { return b.add(Layer{Op: OpReLU6}) }
+
+func (b *builder) head(featCh int, classes int) {
+	b.add(Layer{Op: OpGlobalAvgPool})
+	b.add(Layer{
+		Op: OpDense,
+		Weights: map[string]*tensor.Tensor{
+			WeightMain: b.randTensor(featCh, classes),
+			WeightBias: b.randTensor(classes),
+		},
+	})
+	b.add(Layer{Op: OpSoftmax})
+}
+
+func (b *builder) finish() (*Model, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.m.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := b.m.InferShapes(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// BuildMobileNet builds a MobileNetV1-style model: a stem convolution
+// followed by depthwise-separable blocks (dwconv 3x3 + pointwise conv 1x1,
+// ReLU6 activations), global average pooling and a classifier.
+func BuildMobileNet(name string, cfg Config) (*Model, error) {
+	b := newBuilder(name, "mobilenet", cfg)
+	ch := 2 * cfg.Width
+	b.conv(ch, 3, 2, tensor.Same, cfg.InputChannels)
+	b.relu6()
+	for i := 0; i < cfg.Blocks; i++ {
+		stride := 1
+		outCh := ch
+		if i%2 == 1 {
+			stride, outCh = 2, ch*2
+		}
+		b.dwconv(ch, 3, stride)
+		b.relu6()
+		b.conv(outCh, 1, 1, tensor.Same, ch)
+		b.relu6()
+		ch = outCh
+	}
+	b.head(ch, cfg.NumClasses)
+	return b.finish()
+}
+
+// BuildResNet builds a ResNetV2-style model: a stem convolution followed by
+// pre-activation residual blocks (BN-ReLU-Conv ×2 with identity or projection
+// shortcuts), global average pooling and a classifier.
+func BuildResNet(name string, cfg Config) (*Model, error) {
+	b := newBuilder(name, "resnet", cfg)
+	ch := 4 * cfg.Width
+	b.conv(ch, 3, 1, tensor.Same, cfg.InputChannels)
+	for i := 0; i < cfg.Blocks; i++ {
+		stride := 1
+		outCh := ch
+		if i > 0 && i%2 == 0 {
+			stride, outCh = 2, ch*2
+		}
+		blockIn := b.last
+		b.bn(ch)
+		b.relu()
+		b.conv(outCh, 3, stride, tensor.Same, ch)
+		b.bn(outCh)
+		b.relu()
+		b.conv(outCh, 3, 1, tensor.Same, outCh)
+		mainOut := b.last
+		short := blockIn
+		if stride != 1 || outCh != ch {
+			// projection shortcut
+			b.last = blockIn
+			short = b.conv(outCh, 1, stride, tensor.Same, ch)
+		}
+		b.add(Layer{Op: OpAdd, Inputs: []string{mainOut, short}})
+		ch = outCh
+	}
+	b.bn(ch)
+	b.relu()
+	b.head(ch, cfg.NumClasses)
+	return b.finish()
+}
+
+// BuildDenseNet builds a DenseNet-style model: dense blocks in which every
+// layer's output is concatenated to its input features, separated by 1x1
+// transition convolutions with average pooling.
+func BuildDenseNet(name string, cfg Config) (*Model, error) {
+	b := newBuilder(name, "densenet", cfg)
+	growth := 2 * cfg.Width
+	ch := 2 * growth
+	b.conv(ch, 3, 1, tensor.Same, cfg.InputChannels)
+	for blk := 0; blk < cfg.Blocks; blk++ {
+		layersPerBlock := 2
+		for i := 0; i < layersPerBlock; i++ {
+			in := b.last
+			b.bn(ch)
+			b.relu()
+			b.conv(growth, 3, 1, tensor.Same, ch)
+			grown := b.last
+			b.add(Layer{Op: OpConcat, Inputs: []string{in, grown}})
+			ch += growth
+		}
+		if blk != cfg.Blocks-1 {
+			// transition: 1x1 conv halving channels + 2x2 avg pool
+			ch = ch / 2
+			b.conv(ch, 1, 1, tensor.Same, ch*2)
+			b.add(Layer{Op: OpAvgPool, Kernel: 2, Stride: 2, Pad: tensor.Valid})
+		}
+	}
+	b.bn(ch)
+	b.relu()
+	b.head(ch, cfg.NumClasses)
+	return b.finish()
+}
+
+// Build dispatches on architecture family name.
+func Build(arch, name string, cfg Config) (*Model, error) {
+	switch arch {
+	case "mobilenet":
+		return BuildMobileNet(name, cfg)
+	case "resnet":
+		return BuildResNet(name, cfg)
+	case "densenet":
+		return BuildDenseNet(name, cfg)
+	}
+	return nil, fmt.Errorf("model: unknown architecture %q", arch)
+}
+
+// PadToSize appends deterministic ballast so that Marshal(m) is exactly
+// target bytes. It fails if the model is already larger than target.
+func PadToSize(m *Model, target int) error {
+	m.Ballast = nil
+	base, err := SerializedSize(m)
+	if err != nil {
+		return err
+	}
+	if base > target {
+		return fmt.Errorf("model: serialized size %d exceeds target %d", base, target)
+	}
+	need := target - base
+	// Changing BallastLen in the JSON header can change the header length by
+	// a few digits; iterate until exact.
+	for i := 0; i < 8; i++ {
+		m.Ballast = deterministicBytes(need, m.Name)
+		got, err := SerializedSize(m)
+		if err != nil {
+			return err
+		}
+		if got == target {
+			return nil
+		}
+		need += target - got
+		if need < 0 {
+			return fmt.Errorf("model: cannot pad to %d (undershoot)", target)
+		}
+	}
+	return fmt.Errorf("model: padding did not converge to %d", target)
+}
+
+// deterministicBytes produces a reproducible pseudorandom payload so model
+// bytes (and hence ciphertexts and hashes) are stable across runs.
+func deterministicBytes(n int, seed string) []byte {
+	var s int64 = 1469598103934665603
+	for _, c := range seed {
+		s = s*1099511628211 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(s))
+	b := make([]byte, n)
+	// rand.Read on math/rand never errors.
+	rng.Read(b)
+	return b
+}

@@ -1,0 +1,277 @@
+// Package model defines the model format exchanged between model owners,
+// cloud storage, and the SeMIRT enclave runtime.
+//
+// A model is a DAG of layers over the kernels in internal/tensor, plus an
+// optional "ballast" payload used by the synthetic paper-scale models to
+// reproduce the exact on-disk sizes of Table I (MobileNetV1 17 MB,
+// ResNet101V2 170 MB, DenseNet121 44 MB) without shipping real weights. The
+// ballast is loaded, decrypted and held in enclave memory like real weights,
+// so every size-dependent code path (download, AES-GCM decryption, EPC
+// accounting) sees true byte volumes.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"sesemi/internal/tensor"
+)
+
+// OpType identifies a layer operation.
+type OpType string
+
+// Supported layer operations.
+const (
+	OpConv2D          OpType = "conv2d"
+	OpDepthwiseConv2D OpType = "dwconv2d"
+	OpDense           OpType = "dense"
+	OpBatchNorm       OpType = "batchnorm"
+	OpReLU            OpType = "relu"
+	OpReLU6           OpType = "relu6"
+	OpMaxPool         OpType = "maxpool"
+	OpAvgPool         OpType = "avgpool"
+	OpGlobalAvgPool   OpType = "gap"
+	OpSoftmax         OpType = "softmax"
+	OpAdd             OpType = "add"
+	OpConcat          OpType = "concat"
+	OpFlatten         OpType = "flatten"
+)
+
+// InputName is the reserved layer-input reference for the graph input.
+const InputName = "input"
+
+// Weight tensor roles within a layer.
+const (
+	WeightMain  = "w"
+	WeightBias  = "bias"
+	WeightScale = "scale"
+	WeightShift = "shift"
+)
+
+// Layer is one node of the model graph.
+type Layer struct {
+	// Name uniquely identifies the layer inside the model.
+	Name string
+	// Op selects the kernel.
+	Op OpType
+	// Inputs lists producing layer names, or InputName for the graph input.
+	Inputs []string
+	// Kernel is the spatial kernel size for conv/pool ops.
+	Kernel int
+	// Stride is the spatial stride for conv/pool ops.
+	Stride int
+	// Pad selects the padding mode for conv/pool ops.
+	Pad tensor.Padding
+	// Weights maps weight roles to tensors (WeightMain, WeightBias, ...).
+	Weights map[string]*tensor.Tensor
+}
+
+// Model is a complete, executable model.
+type Model struct {
+	// Name is the human-readable model identifier, e.g. "mbnet".
+	Name string
+	// Arch records the architecture family ("mobilenet", "resnet", "densenet").
+	Arch string
+	// InputShape is the NHWC input shape (batch dimension included).
+	InputShape []int
+	// NumClasses is the size of the output distribution.
+	NumClasses int
+	// Layers are topologically ordered (each input precedes its consumers).
+	Layers []Layer
+	// Ballast is an opaque payload that pads the serialized model to a
+	// target size. It is carried through load/decrypt like weights.
+	Ballast []byte
+}
+
+// Errors returned by validation and shape inference.
+var (
+	ErrUnknownInput = errors.New("model: layer references unknown input")
+	ErrDuplicate    = errors.New("model: duplicate layer name")
+	ErrBadGraph     = errors.New("model: malformed graph")
+)
+
+// Validate checks the structural integrity of the graph: unique names,
+// topological order, known op types, and weight presence.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("%w: no layers", ErrBadGraph)
+	}
+	if len(m.InputShape) != 4 && len(m.InputShape) != 2 {
+		return fmt.Errorf("%w: input shape %v", ErrBadGraph, m.InputShape)
+	}
+	seen := map[string]bool{InputName: true}
+	for i, l := range m.Layers {
+		if l.Name == "" || l.Name == InputName {
+			return fmt.Errorf("%w: layer %d has reserved or empty name %q", ErrBadGraph, i, l.Name)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicate, l.Name)
+		}
+		if len(l.Inputs) == 0 {
+			return fmt.Errorf("%w: layer %q has no inputs", ErrBadGraph, l.Name)
+		}
+		for _, in := range l.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("%w: %q wants %q", ErrUnknownInput, l.Name, in)
+			}
+		}
+		if err := l.validateOp(); err != nil {
+			return err
+		}
+		seen[l.Name] = true
+	}
+	return nil
+}
+
+func (l *Layer) validateOp() error {
+	needW := func(roles ...string) error {
+		for _, r := range roles {
+			if l.Weights[r] == nil {
+				return fmt.Errorf("%w: layer %q (%s) missing weight %q", ErrBadGraph, l.Name, l.Op, r)
+			}
+		}
+		return nil
+	}
+	switch l.Op {
+	case OpConv2D, OpDepthwiseConv2D, OpDense:
+		if err := needW(WeightMain); err != nil {
+			return err
+		}
+	case OpBatchNorm:
+		if err := needW(WeightScale, WeightShift); err != nil {
+			return err
+		}
+	case OpMaxPool, OpAvgPool:
+		if l.Kernel <= 0 || l.Stride <= 0 {
+			return fmt.Errorf("%w: pool layer %q kernel/stride", ErrBadGraph, l.Name)
+		}
+	case OpAdd:
+		if len(l.Inputs) != 2 {
+			return fmt.Errorf("%w: add layer %q wants 2 inputs", ErrBadGraph, l.Name)
+		}
+	case OpConcat:
+		if len(l.Inputs) < 2 {
+			return fmt.Errorf("%w: concat layer %q wants >=2 inputs", ErrBadGraph, l.Name)
+		}
+	case OpReLU, OpReLU6, OpGlobalAvgPool, OpSoftmax, OpFlatten:
+		// no weights, single input
+	default:
+		return fmt.Errorf("%w: unknown op %q in layer %q", ErrBadGraph, l.Op, l.Name)
+	}
+	if l.Op == OpConv2D || l.Op == OpDepthwiseConv2D {
+		if l.Stride <= 0 {
+			return fmt.Errorf("%w: conv layer %q stride %d", ErrBadGraph, l.Name, l.Stride)
+		}
+	}
+	return nil
+}
+
+// OutShape computes the output shape of layer l given its input shapes.
+func (l *Layer) OutShape(ins [][]int) ([]int, error) {
+	in := ins[0]
+	switch l.Op {
+	case OpConv2D:
+		w := l.Weights[WeightMain]
+		return tensor.ConvShape(in, w.Dim(0), w.Dim(1), w.Dim(3), l.Stride, l.Pad), nil
+	case OpDepthwiseConv2D:
+		w := l.Weights[WeightMain]
+		s := tensor.ConvShape(in, w.Dim(0), w.Dim(1), in[3], l.Stride, l.Pad)
+		return s, nil
+	case OpDense:
+		w := l.Weights[WeightMain]
+		if len(in) != 2 || in[1] != w.Dim(0) {
+			return nil, fmt.Errorf("%w: dense %q input %v vs weight %v", tensor.ErrShape, l.Name, in, w.Shape())
+		}
+		return []int{in[0], w.Dim(1)}, nil
+	case OpMaxPool, OpAvgPool:
+		return tensor.ConvShape(in, l.Kernel, l.Kernel, in[3], l.Stride, l.Pad), nil
+	case OpGlobalAvgPool:
+		return []int{in[0], in[3]}, nil
+	case OpFlatten:
+		n := 1
+		for _, d := range in[1:] {
+			n *= d
+		}
+		return []int{in[0], n}, nil
+	case OpAdd:
+		if !intsEq(ins[0], ins[1]) {
+			return nil, fmt.Errorf("%w: add %q inputs %v vs %v", tensor.ErrShape, l.Name, ins[0], ins[1])
+		}
+		return in, nil
+	case OpConcat:
+		c := 0
+		for _, s := range ins {
+			if len(s) != 4 || s[0] != in[0] || s[1] != in[1] || s[2] != in[2] {
+				return nil, fmt.Errorf("%w: concat %q input %v", tensor.ErrShape, l.Name, s)
+			}
+			c += s[3]
+		}
+		return []int{in[0], in[1], in[2], c}, nil
+	case OpBatchNorm, OpReLU, OpReLU6, OpSoftmax:
+		return in, nil
+	}
+	return nil, fmt.Errorf("model: OutShape for unknown op %q", l.Op)
+}
+
+// InferShapes returns the output shape of every layer, keyed by layer name,
+// including InputName.
+func (m *Model) InferShapes() (map[string][]int, error) {
+	shapes := map[string][]int{InputName: m.InputShape}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		ins := make([][]int, len(l.Inputs))
+		for j, name := range l.Inputs {
+			s, ok := shapes[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q wants %q", ErrUnknownInput, l.Name, name)
+			}
+			ins[j] = s
+		}
+		out, err := l.OutShape(ins)
+		if err != nil {
+			return nil, err
+		}
+		shapes[l.Name] = out
+	}
+	return shapes, nil
+}
+
+// OutputLayer returns the name of the final layer (the model output).
+func (m *Model) OutputLayer() string {
+	return m.Layers[len(m.Layers)-1].Name
+}
+
+// WeightBytes returns the total weight payload size in bytes (excluding
+// ballast).
+func (m *Model) WeightBytes() int {
+	n := 0
+	for i := range m.Layers {
+		for _, w := range m.Layers[i].Weights {
+			n += w.SizeBytes()
+		}
+	}
+	return n
+}
+
+// ParamCount returns the number of trainable parameters.
+func (m *Model) ParamCount() int {
+	n := 0
+	for i := range m.Layers {
+		for _, w := range m.Layers[i].Weights {
+			n += w.Len()
+		}
+	}
+	return n
+}
+
+func intsEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

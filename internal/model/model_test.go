@@ -1,0 +1,315 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sesemi/internal/tensor"
+)
+
+func TestBuildersProduceValidGraphs(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, arch := range []string{"mobilenet", "resnet", "densenet"} {
+		m, err := Build(arch, arch+"-test", cfg)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", arch, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Validate(%s): %v", arch, err)
+		}
+		shapes, err := m.InferShapes()
+		if err != nil {
+			t.Fatalf("InferShapes(%s): %v", arch, err)
+		}
+		out := shapes[m.OutputLayer()]
+		if len(out) != 2 || out[1] != cfg.NumClasses {
+			t.Fatalf("%s output shape %v, want [1 %d]", arch, out, cfg.NumClasses)
+		}
+		if m.ParamCount() == 0 {
+			t.Fatalf("%s has no parameters", arch)
+		}
+	}
+}
+
+func TestBuildUnknownArch(t *testing.T) {
+	if _, err := Build("transformer", "x", DefaultConfig()); err == nil {
+		t.Fatal("Build accepted unknown architecture")
+	}
+}
+
+func TestBuildersDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := BuildMobileNet("m", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMobileNet("m", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same seed produced different serialized models")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m, err := BuildResNet("rt", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ballast = []byte("0123456789")
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.Arch != m.Arch || got.NumClasses != m.NumClasses {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Layers) != len(m.Layers) {
+		t.Fatalf("layer count %d, want %d", len(got.Layers), len(m.Layers))
+	}
+	if !bytes.Equal(got.Ballast, m.Ballast) {
+		t.Fatal("ballast corrupted")
+	}
+	// spot-check a weight tensor
+	for i := range m.Layers {
+		for role, w := range m.Layers[i].Weights {
+			g := got.Layers[i].Weights[role]
+			if g == nil || g.Len() != w.Len() {
+				t.Fatalf("layer %d weight %s lost", i, role)
+			}
+			for j := range w.Data() {
+				if g.Data()[j] != w.Data()[j] {
+					t.Fatalf("weight value mismatch at layer %d %s[%d]", i, role, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSerializedSizeMatchesMarshal(t *testing.T) {
+	m, err := BuildDenseNet("sz", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ballast = make([]byte, 1234)
+	want, err := SerializedSize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != want {
+		t.Fatalf("SerializedSize = %d, Marshal = %d", want, len(data))
+	}
+}
+
+func TestUnmarshalRejectsTampering(t *testing.T) {
+	m, err := BuildMobileNet("tamper", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 5, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0xFF
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("Unmarshal accepted tampered byte at offset %d", off)
+		}
+	}
+	if _, err := Unmarshal(data[:8]); err == nil {
+		t.Fatal("Unmarshal accepted truncated data")
+	}
+}
+
+func TestPadToSizeExact(t *testing.T) {
+	for _, target := range []int{64 * 1024, 100*1024 + 1, 1 << 20} {
+		m, err := NewSized("mbnet", target)
+		if err != nil {
+			t.Fatalf("NewSized(%d): %v", target, err)
+		}
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != target {
+			t.Fatalf("padded size %d, want %d", len(data), target)
+		}
+	}
+}
+
+func TestPadToSizeTooSmall(t *testing.T) {
+	m, err := NewFunctional("mbnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PadToSize(m, 16); err == nil {
+		t.Fatal("PadToSize accepted impossible target")
+	}
+}
+
+func TestZooSpecsMatchTable1(t *testing.T) {
+	cases := []struct {
+		id                     string
+		model, tvmBuf, tflmBuf int
+	}{
+		{"mbnet", 17 * MB, 30 * MB, 5 * MB},
+		{"rsnet", 170 * MB, 205 * MB, 24 * MB},
+		{"dsnet", 44 * MB, 55 * MB, 12 * MB},
+	}
+	for _, c := range cases {
+		s, ok := Zoo[c.id]
+		if !ok {
+			t.Fatalf("zoo missing %s", c.id)
+		}
+		if s.ModelBytes != c.model || s.TVMBufferBytes != c.tvmBuf || s.TFLMBufferBytes != c.tflmBuf {
+			t.Fatalf("%s sizes %d/%d/%d, want %d/%d/%d", c.id,
+				s.ModelBytes, s.TVMBufferBytes, s.TFLMBufferBytes, c.model, c.tvmBuf, c.tflmBuf)
+		}
+	}
+}
+
+func TestZooLambdaMatchesFigure10(t *testing.T) {
+	// λ values printed in Figure 10 of the paper. Note: the figure legend
+	// says λ=1.77 for DSNET/TVM, but Table I (55 MB / 44 MB) implies 1.25;
+	// the other five legend values match Table I exactly, so we take Table I
+	// as ground truth and record the discrepancy in EXPERIMENTS.md.
+	want := map[string]map[string]float64{
+		"mbnet": {"tvm": 1.76, "tflm": 0.29},
+		"rsnet": {"tvm": 1.21, "tflm": 0.14},
+		"dsnet": {"tvm": 1.25, "tflm": 0.28},
+	}
+	for id, fw := range want {
+		for f, lambda := range fw {
+			got := Zoo[id].Lambda(f)
+			if got < lambda-0.05 || got > lambda+0.05 {
+				t.Errorf("λ(%s,%s) = %.3f, want ≈ %.2f", id, f, got, lambda)
+			}
+		}
+	}
+}
+
+func TestNewFunctionalRunsShapes(t *testing.T) {
+	for _, id := range ZooIDs() {
+		m, err := NewFunctional(id)
+		if err != nil {
+			t.Fatalf("NewFunctional(%s): %v", id, err)
+		}
+		if _, err := m.InferShapes(); err != nil {
+			t.Fatalf("InferShapes(%s): %v", id, err)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenGraphs(t *testing.T) {
+	mk := func(mut func(*Model)) error {
+		m, err := BuildMobileNet("v", DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(m)
+		return m.Validate()
+	}
+	if err := mk(func(m *Model) { m.Layers[2].Inputs = []string{"nonexistent"} }); err == nil {
+		t.Fatal("accepted unknown input reference")
+	}
+	if err := mk(func(m *Model) { m.Layers[3].Name = m.Layers[1].Name }); err == nil {
+		t.Fatal("accepted duplicate layer name")
+	}
+	if err := mk(func(m *Model) { m.Layers[0].Weights = nil }); err == nil {
+		t.Fatal("accepted conv without weights")
+	}
+	if err := mk(func(m *Model) { m.Layers = nil }); err == nil {
+		t.Fatal("accepted empty model")
+	}
+	if err := mk(func(m *Model) { m.Layers[1].Op = "warp" }); err == nil {
+		t.Fatal("accepted unknown op")
+	}
+}
+
+func TestOutShapeErrors(t *testing.T) {
+	l := Layer{Op: OpAdd, Inputs: []string{"a", "b"}}
+	if _, err := l.OutShape([][]int{{1, 2, 2, 3}, {1, 2, 2, 4}}); err == nil {
+		t.Fatal("Add accepted mismatched shapes")
+	}
+	d := Layer{Op: OpDense, Weights: map[string]*tensor.Tensor{WeightMain: tensor.New(8, 4)}}
+	if _, err := d.OutShape([][]int{{1, 9}}); err == nil {
+		t.Fatal("Dense accepted mismatched inner dim")
+	}
+}
+
+func TestDeterministicBytesStable(t *testing.T) {
+	a := deterministicBytes(100, "seed")
+	b := deterministicBytes(100, "seed")
+	c := deterministicBytes(100, "other")
+	if !bytes.Equal(a, b) {
+		t.Fatal("deterministicBytes not deterministic")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("deterministicBytes ignores seed")
+	}
+}
+
+func TestWeightBytesCountsAllRoles(t *testing.T) {
+	m := &Model{
+		Name:       "w",
+		InputShape: []int{1, 4},
+		NumClasses: 2,
+		Layers: []Layer{{
+			Name: "d", Op: OpDense, Inputs: []string{InputName},
+			Weights: map[string]*tensor.Tensor{
+				WeightMain: tensor.New(4, 2),
+				WeightBias: tensor.New(2),
+			},
+		}},
+	}
+	if got := m.WeightBytes(); got != 4*(8+2) {
+		t.Fatalf("WeightBytes = %d, want 40", got)
+	}
+}
+
+func TestUnmarshalRejectsHostileHeader(t *testing.T) {
+	// A header claiming a huge weight shape must fail cleanly, not OOM.
+	m := &Model{
+		Name:       "h",
+		InputShape: []int{1, 4},
+		NumClasses: 2,
+		Layers: []Layer{{
+			Name: "d", Op: OpDense, Inputs: []string{InputName},
+			Weights: map[string]*tensor.Tensor{WeightMain: tensor.New(4, 2)},
+		}},
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	idx := strings.Index(s, `"shape":[4,2]`)
+	if idx < 0 {
+		t.Skip("header layout changed; update test")
+	}
+	// Corrupting the header also breaks the CRC, which is the first line of
+	// defence; verify the error is reported.
+	bad := []byte(strings.Replace(s, `"shape":[4,2]`, `"shape":[4,3]`, 1))
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted model with forged header")
+	}
+}

@@ -1,0 +1,221 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"sesemi/internal/tensor"
+)
+
+// Serialized model layout (all integers little-endian):
+//
+//	magic   [4]byte  "SSMI"
+//	version uint32   currently 1
+//	hdrLen  uint32   length of the JSON header
+//	header  []byte   JSON (wireModel below)
+//	weights []byte   float32 payloads in header order
+//	ballast []byte   opaque padding (length in header)
+//	crc     uint32   CRC-32 (IEEE) of everything before it
+//
+// The format is self-describing and integrity-checked so that tampering with
+// a stored (encrypted) model is detected after decryption even before the
+// graph is validated.
+
+var magic = [4]byte{'S', 'S', 'M', 'I'}
+
+const formatVersion = 1
+
+type wireWeight struct {
+	Role  string `json:"role"`
+	Shape []int  `json:"shape"`
+}
+
+type wireLayer struct {
+	Name    string       `json:"name"`
+	Op      OpType       `json:"op"`
+	Inputs  []string     `json:"inputs"`
+	Kernel  int          `json:"kernel,omitempty"`
+	Stride  int          `json:"stride,omitempty"`
+	Pad     int          `json:"pad,omitempty"`
+	Weights []wireWeight `json:"weights,omitempty"`
+}
+
+type wireModel struct {
+	Name       string      `json:"name"`
+	Arch       string      `json:"arch"`
+	InputShape []int       `json:"input_shape"`
+	NumClasses int         `json:"num_classes"`
+	Layers     []wireLayer `json:"layers"`
+	BallastLen int         `json:"ballast_len"`
+}
+
+// ErrFormat reports a malformed serialized model.
+var ErrFormat = fmt.Errorf("model: bad serialized format")
+
+// Marshal serializes the model to the SSMI binary format.
+func Marshal(m *Model) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	wm := wireModel{
+		Name:       m.Name,
+		Arch:       m.Arch,
+		InputShape: m.InputShape,
+		NumClasses: m.NumClasses,
+		BallastLen: len(m.Ballast),
+	}
+	var weightOrder []*tensor.Tensor
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		wl := wireLayer{
+			Name:   l.Name,
+			Op:     l.Op,
+			Inputs: l.Inputs,
+			Kernel: l.Kernel,
+			Stride: l.Stride,
+			Pad:    int(l.Pad),
+		}
+		for _, role := range []string{WeightMain, WeightBias, WeightScale, WeightShift} {
+			if w := l.Weights[role]; w != nil {
+				wl.Weights = append(wl.Weights, wireWeight{Role: role, Shape: w.Shape()})
+				weightOrder = append(weightOrder, w)
+			}
+		}
+		wm.Layers = append(wm.Layers, wl)
+	}
+	hdr, err := json.Marshal(wm)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], formatVersion)
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(hdr)))
+	buf.Write(u32[:])
+	buf.Write(hdr)
+	for _, w := range weightOrder {
+		for _, v := range w.Data() {
+			binary.LittleEndian.PutUint32(u32[:], math.Float32bits(v))
+			buf.Write(u32[:])
+		}
+	}
+	buf.Write(m.Ballast)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(u32[:])
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses a serialized model and validates its integrity and graph.
+func Unmarshal(data []byte) (*Model, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: too short (%d bytes)", ErrFormat, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
+	}
+	if !bytes.Equal(body[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:8]); v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(body[8:12]))
+	if 12+hdrLen > len(body) {
+		return nil, fmt.Errorf("%w: header length %d overruns payload", ErrFormat, hdrLen)
+	}
+	var wm wireModel
+	if err := json.Unmarshal(body[12:12+hdrLen], &wm); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	r := bytes.NewReader(body[12+hdrLen:])
+	m := &Model{
+		Name:       wm.Name,
+		Arch:       wm.Arch,
+		InputShape: wm.InputShape,
+		NumClasses: wm.NumClasses,
+	}
+	for _, wl := range wm.Layers {
+		l := Layer{
+			Name:   wl.Name,
+			Op:     wl.Op,
+			Inputs: wl.Inputs,
+			Kernel: wl.Kernel,
+			Stride: wl.Stride,
+			Pad:    tensor.Padding(wl.Pad),
+		}
+		if len(wl.Weights) > 0 {
+			l.Weights = make(map[string]*tensor.Tensor, len(wl.Weights))
+		}
+		for _, ww := range wl.Weights {
+			n := 1
+			for _, d := range ww.Shape {
+				if d <= 0 {
+					return nil, fmt.Errorf("%w: weight shape %v", ErrFormat, ww.Shape)
+				}
+				n *= d
+			}
+			raw := make([]byte, 4*n)
+			if _, err := io.ReadFull(r, raw); err != nil {
+				return nil, fmt.Errorf("%w: truncated weights for %s/%s", ErrFormat, wl.Name, ww.Role)
+			}
+			vals := make([]float32, n)
+			for i := range vals {
+				vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+			t, err := tensor.FromSlice(vals, ww.Shape...)
+			if err != nil {
+				return nil, err
+			}
+			l.Weights[ww.Role] = t
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	if wm.BallastLen > 0 {
+		m.Ballast = make([]byte, wm.BallastLen)
+		if _, err := io.ReadFull(r, m.Ballast); err != nil {
+			return nil, fmt.Errorf("%w: truncated ballast", ErrFormat)
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, r.Len())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SerializedSize returns the exact size Marshal would produce, without
+// building the payload.
+func SerializedSize(m *Model) (int, error) {
+	wm := wireModel{
+		Name:       m.Name,
+		Arch:       m.Arch,
+		InputShape: m.InputShape,
+		NumClasses: m.NumClasses,
+		BallastLen: len(m.Ballast),
+	}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		wl := wireLayer{Name: l.Name, Op: l.Op, Inputs: l.Inputs, Kernel: l.Kernel, Stride: l.Stride, Pad: int(l.Pad)}
+		for _, role := range []string{WeightMain, WeightBias, WeightScale, WeightShift} {
+			if w := l.Weights[role]; w != nil {
+				wl.Weights = append(wl.Weights, wireWeight{Role: role, Shape: w.Shape()})
+			}
+		}
+		wm.Layers = append(wm.Layers, wl)
+	}
+	hdr, err := json.Marshal(wm)
+	if err != nil {
+		return 0, err
+	}
+	return 12 + len(hdr) + 4*m.ParamCount() + len(m.Ballast) + 4, nil
+}

@@ -1,0 +1,106 @@
+package model
+
+import "fmt"
+
+// MB is the unit used for the paper's Table I sizes (mebibytes).
+const MB = 1 << 20
+
+// Spec describes one of the paper's evaluation models (Table I).
+type Spec struct {
+	// ID is the short identifier used throughout the paper: mbnet, rsnet, dsnet.
+	ID string
+	// Arch is the architecture family used by the synthetic builder.
+	Arch string
+	// FullName is the paper's model name.
+	FullName string
+	// ModelBytes is the serialized model size (Table I "Model size").
+	ModelBytes int
+	// TVMBufferBytes is the runtime buffer the TVM-style executor allocates
+	// (Table I "TVM buffer size"): it contains copies of the model data.
+	TVMBufferBytes int
+	// TFLMBufferBytes is the runtime arena the TFLM-style interpreter
+	// allocates (Table I "TFLM buffer size"): intermediate data only.
+	TFLMBufferBytes int
+}
+
+// Lambda returns the runtime-buffer-to-model-size ratio λ used in Figure 10
+// for the given framework ("tvm" or "tflm").
+func (s Spec) Lambda(framework string) float64 {
+	switch framework {
+	case "tvm":
+		return float64(s.TVMBufferBytes) / float64(s.ModelBytes)
+	case "tflm":
+		return float64(s.TFLMBufferBytes) / float64(s.ModelBytes)
+	}
+	return 0
+}
+
+// BufferBytes returns the runtime buffer size for the given framework.
+func (s Spec) BufferBytes(framework string) int {
+	if framework == "tvm" {
+		return s.TVMBufferBytes
+	}
+	return s.TFLMBufferBytes
+}
+
+// Zoo lists the three models of the paper's evaluation, with the exact
+// Table I sizes.
+var Zoo = map[string]Spec{
+	"mbnet": {
+		ID: "mbnet", Arch: "mobilenet", FullName: "MobileNet v1",
+		ModelBytes:      17 * MB,
+		TVMBufferBytes:  30 * MB,
+		TFLMBufferBytes: 5 * MB,
+	},
+	"rsnet": {
+		ID: "rsnet", Arch: "resnet", FullName: "ResNet101 v2",
+		ModelBytes:      170 * MB,
+		TVMBufferBytes:  205 * MB,
+		TFLMBufferBytes: 24 * MB,
+	},
+	"dsnet": {
+		ID: "dsnet", Arch: "densenet", FullName: "DenseNet121",
+		ModelBytes:      44 * MB,
+		TVMBufferBytes:  55 * MB,
+		TFLMBufferBytes: 12 * MB,
+	},
+}
+
+// ZooIDs returns the model identifiers in the paper's presentation order.
+func ZooIDs() []string { return []string{"mbnet", "rsnet", "dsnet"} }
+
+// NewFunctional builds the small runnable variant of a zoo model, suitable
+// for real inference in tests and examples.
+func NewFunctional(id string) (*Model, error) {
+	spec, ok := Zoo[id]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown zoo id %q", id)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = int64(len(id)) * 7919
+	return Build(spec.Arch, id, cfg)
+}
+
+// NewSized builds the functional variant of a zoo model padded with ballast
+// so its serialized form is exactly target bytes. Use spec.ModelBytes for a
+// paper-exact payload, or a smaller target for fast integration tests.
+func NewSized(id string, target int) (*Model, error) {
+	m, err := NewFunctional(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := PadToSize(m, target); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewPaperSize builds the zoo model at the exact Table I size. Note that the
+// large models allocate the full payload (up to 170 MB for rsnet).
+func NewPaperSize(id string) (*Model, error) {
+	spec, ok := Zoo[id]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown zoo id %q", id)
+	}
+	return NewSized(id, spec.ModelBytes)
+}

@@ -1,0 +1,289 @@
+// Package ratls implements attested secure channels, the stand-in for the
+// RA-TLS integration ([29],[58]) the paper uses between clients and
+// KeyService and between KeyService and SeMIRT enclaves.
+//
+// The handshake is a two-message ephemeral X25519 exchange in which either
+// or both sides attach an attestation quote whose report data binds the
+// quote to the channel key (SHA-256 of the side's ephemeral public key), so
+// a quote cannot be cut-and-pasted onto a different connection. Application
+// records are protected with AES-256-GCM under direction-separated keys
+// derived via HKDF from the shared secret and the handshake transcript.
+//
+// Verification of the peer quote happens "inside" the caller — for enclave
+// endpoints that means inside the enclave program, preserving the paper's
+// property that the secure channel terminates in the TCB.
+package ratls
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"sesemi/internal/attest"
+)
+
+// Quoter produces attestation quotes binding report data; *enclave.Enclave
+// implements it.
+type Quoter interface {
+	Quote(reportData []byte) (attest.Quote, error)
+}
+
+// Config controls one side of the handshake.
+type Config struct {
+	// Quoter attests this side. Nil means this side is unattested (ordinary
+	// client code outside any enclave).
+	Quoter Quoter
+	// PeerPolicy validates the peer's quote. Nil skips peer validation
+	// (only sensible when the peer is an ordinary client).
+	PeerPolicy *attest.Policy
+	// RequirePeerQuote rejects peers that present no quote even when
+	// PeerPolicy is nil.
+	RequirePeerQuote bool
+}
+
+// Conn is an established attested channel. It is NOT safe for concurrent
+// use by multiple goroutines on the same direction.
+type Conn struct {
+	rw         io.ReadWriter
+	send, recv cipher.AEAD
+	sendSeq    uint64
+	recvSeq    uint64
+	peerQuote  *attest.Quote
+}
+
+// Handshake errors.
+var (
+	ErrNoQuote      = errors.New("ratls: peer presented no quote")
+	ErrQuoteBinding = errors.New("ratls: quote not bound to channel key")
+)
+
+// maxRecord bounds record and handshake message sizes (models + margin).
+const maxRecord = 512 << 20
+
+type helloMsg struct {
+	Pub   []byte        `json:"pub"`
+	Quote *attest.Quote `json:"quote,omitempty"`
+}
+
+// Client performs the initiator side of the handshake.
+func Client(rw io.ReadWriter, cfg Config) (*Conn, error) {
+	return handshake(rw, cfg, true)
+}
+
+// Server performs the responder side of the handshake.
+func Server(rw io.ReadWriter, cfg Config) (*Conn, error) {
+	return handshake(rw, cfg, false)
+}
+
+func handshake(rw io.ReadWriter, cfg Config, initiator bool) (*Conn, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ratls: keygen: %w", err)
+	}
+	myHello, err := buildHello(priv, cfg.Quoter)
+	if err != nil {
+		return nil, err
+	}
+	var peerRaw, myRaw []byte
+	myRaw, err = json.Marshal(myHello)
+	if err != nil {
+		return nil, err
+	}
+	if initiator {
+		if err := writeFrame(rw, myRaw); err != nil {
+			return nil, err
+		}
+		peerRaw, err = readFrame(rw)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		peerRaw, err = readFrame(rw)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFrame(rw, myRaw); err != nil {
+			return nil, err
+		}
+	}
+	var peerHello helloMsg
+	if err := json.Unmarshal(peerRaw, &peerHello); err != nil {
+		return nil, fmt.Errorf("ratls: peer hello: %w", err)
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(peerHello.Pub)
+	if err != nil {
+		return nil, fmt.Errorf("ratls: peer public key: %w", err)
+	}
+	if err := checkPeerQuote(cfg, peerHello); err != nil {
+		return nil, err
+	}
+	secret, err := priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("ratls: ecdh: %w", err)
+	}
+	// Transcript binds key derivation to both hellos in initiator-first
+	// order so both sides derive identical keys.
+	tr := sha256.New()
+	if initiator {
+		tr.Write(myRaw)
+		tr.Write(peerRaw)
+	} else {
+		tr.Write(peerRaw)
+		tr.Write(myRaw)
+	}
+	transcript := tr.Sum(nil)
+	i2r, err := deriveAEAD(secret, transcript, "initiator->responder")
+	if err != nil {
+		return nil, err
+	}
+	r2i, err := deriveAEAD(secret, transcript, "responder->initiator")
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{rw: rw}
+	if initiator {
+		c.send, c.recv = i2r, r2i
+	} else {
+		c.send, c.recv = r2i, i2r
+	}
+	c.peerQuote = peerHello.Quote
+	return c, nil
+}
+
+func buildHello(priv *ecdh.PrivateKey, q Quoter) (helloMsg, error) {
+	hello := helloMsg{Pub: priv.PublicKey().Bytes()}
+	if q != nil {
+		quote, err := q.Quote(channelBinding(hello.Pub))
+		if err != nil {
+			return helloMsg{}, fmt.Errorf("ratls: quote: %w", err)
+		}
+		hello.Quote = &quote
+	}
+	return hello, nil
+}
+
+func checkPeerQuote(cfg Config, peer helloMsg) error {
+	if peer.Quote == nil {
+		if cfg.RequirePeerQuote || cfg.PeerPolicy != nil {
+			return ErrNoQuote
+		}
+		return nil
+	}
+	if cfg.PeerPolicy == nil {
+		return nil
+	}
+	if err := cfg.PeerPolicy.Check(*peer.Quote, channelBinding(peer.Pub)); err != nil {
+		if errors.Is(err, attest.ErrBadReportData) {
+			return ErrQuoteBinding
+		}
+		return err
+	}
+	return nil
+}
+
+// channelBinding computes the report data binding a quote to a channel key.
+func channelBinding(pub []byte) []byte {
+	sum := sha256.Sum256(append([]byte("sesemi-ratls-binding:"), pub...))
+	return sum[:]
+}
+
+// deriveAEAD derives a direction key via HKDF-SHA256 and returns its GCM.
+func deriveAEAD(secret, transcript []byte, label string) (cipher.AEAD, error) {
+	prk := hmac.New(sha256.New, []byte("sesemi-ratls-salt"))
+	prk.Write(secret)
+	k := hmac.New(sha256.New, prk.Sum(nil))
+	k.Write(transcript)
+	k.Write([]byte(label))
+	k.Write([]byte{1})
+	key := k.Sum(nil)
+	block, err := aes.NewCipher(key[:32])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// PeerQuote returns the quote the peer presented, or nil.
+func (c *Conn) PeerQuote() *attest.Quote { return c.peerQuote }
+
+// Send encrypts and writes one message.
+func (c *Conn) Send(msg []byte) error {
+	nonce := make([]byte, c.send.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.sendSeq)
+	c.sendSeq++
+	ct := c.send.Seal(nil, nonce, msg, nil)
+	return writeFrame(c.rw, ct)
+}
+
+// Recv reads and decrypts one message. Replayed, reordered or tampered
+// records fail authentication because the nonce is the record sequence
+// number.
+func (c *Conn) Recv() ([]byte, error) {
+	ct, err := readFrame(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, c.recv.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.recvSeq)
+	c.recvSeq++
+	pt, err := c.recv.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ratls: record authentication failed: %w", err)
+	}
+	return pt, nil
+}
+
+// SendJSON marshals v and sends it as one record.
+func (c *Conn) SendJSON(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return c.Send(data)
+}
+
+// RecvJSON receives one record and unmarshals it into v.
+func (c *Conn) RecvJSON(v any) error {
+	data, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("ratls: record too large: %d", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxRecord {
+		return nil, fmt.Errorf("ratls: oversized frame: %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,36 @@
+package secure
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSealOpen measures the request/response envelope cost at payload
+// sizes spanning a small EHR feature vector to an encrypted model chunk.
+func BenchmarkSealOpen(b *testing.B) {
+	k := KeyFromSeed("bench")
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20, 16 << 20} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			pt := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ct, err := Seal(k, PurposeRequest, "m", pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Open(k, PurposeRequest, "m", ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIdentityOf(b *testing.B) {
+	k := KeyFromSeed("id")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = IdentityOf(k)
+	}
+}

@@ -1,0 +1,125 @@
+// Package secure provides the cryptographic envelope used throughout
+// SeSeMI: 256-bit symmetric keys, SHA-256 identity derivation, and
+// AES-256-GCM authenticated encryption with associated data.
+//
+// The paper encrypts models with a model key K_M, requests and responses
+// with a request key K_R, and KeyService management messages with long-term
+// identity keys K_id (Algorithm 1); all use AES-GCM (§V). Associated data
+// binds each ciphertext to its purpose so a ciphertext produced for one
+// context (say, a model) can never be replayed in another (say, a request).
+package secure
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the symmetric key size in bytes (AES-256).
+const KeySize = 32
+
+// Key is a 256-bit symmetric key.
+type Key [KeySize]byte
+
+// NewKey generates a fresh random key.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return Key{}, fmt.Errorf("secure: generate key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromSeed derives a deterministic key from a seed string. It is intended
+// for tests and reproducible examples, not production use.
+func KeyFromSeed(seed string) Key {
+	return Key(sha256.Sum256([]byte("sesemi-key-seed:" + seed)))
+}
+
+// ID is a principal identity: the hex-encoded SHA-256 of a long-term key,
+// exactly as KeyService's USER_REGISTRATION computes it (Algorithm 1 line 6).
+type ID string
+
+// IdentityOf derives the principal identity for a long-term key.
+func IdentityOf(k Key) ID {
+	sum := sha256.Sum256(k[:])
+	return ID(hex.EncodeToString(sum[:]))
+}
+
+// Equal compares two keys in constant time.
+func (k Key) Equal(o Key) bool {
+	return hmac.Equal(k[:], o[:])
+}
+
+// Purpose labels bind ciphertexts to their role as AES-GCM associated data.
+const (
+	PurposeModel    = "sesemi/model"
+	PurposeRequest  = "sesemi/request"
+	PurposeResponse = "sesemi/response"
+	PurposeKeyMgmt  = "sesemi/keymgmt"
+)
+
+// ErrDecrypt reports failed authentication or malformed ciphertext. The
+// cause is deliberately not distinguished.
+var ErrDecrypt = errors.New("secure: decryption failed")
+
+// Seal encrypts plaintext under key k, binding it to the purpose label and
+// optional context (e.g. a model id). Output layout: nonce ‖ ciphertext‖tag.
+func Seal(k Key, purpose, context string, plaintext []byte) ([]byte, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("secure: nonce: %w", err)
+	}
+	aad := buildAAD(purpose, context)
+	out := aead.Seal(nonce, nonce, plaintext, aad)
+	return out, nil
+}
+
+// Open decrypts and authenticates a Seal output. The same purpose and
+// context must be supplied or authentication fails.
+func Open(k Key, purpose, context string, sealed []byte) ([]byte, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	ns := aead.NonceSize()
+	if len(sealed) < ns+aead.Overhead() {
+		return nil, ErrDecrypt
+	}
+	aad := buildAAD(purpose, context)
+	pt, err := aead.Open(nil, sealed[:ns], sealed[ns:], aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// Overhead returns the ciphertext expansion of Seal (nonce + GCM tag).
+func Overhead() int { return 12 + 16 }
+
+func newAEAD(k Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("secure: cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+func buildAAD(purpose, context string) []byte {
+	// Length-prefix both fields so ("ab","c") and ("a","bc") differ.
+	aad := make([]byte, 0, len(purpose)+len(context)+8)
+	aad = append(aad, byte(len(purpose)>>8), byte(len(purpose)))
+	aad = append(aad, purpose...)
+	aad = append(aad, byte(len(context)>>8), byte(len(context)))
+	aad = append(aad, context...)
+	return aad
+}

@@ -1,0 +1,145 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := KeyFromSeed("test")
+	pt := []byte("electronic health record #42")
+	ct, err := Seal(k, PurposeRequest, "mbnet", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(k, PurposeRequest, "mbnet", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip lost data: %q", got)
+	}
+	if len(ct) != len(pt)+Overhead() {
+		t.Fatalf("overhead %d, want %d", len(ct)-len(pt), Overhead())
+	}
+}
+
+func TestOpenWrongKey(t *testing.T) {
+	ct, err := Seal(KeyFromSeed("a"), PurposeModel, "m", []byte("secret weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(KeyFromSeed("b"), PurposeModel, "m", ct); err == nil {
+		t.Fatal("wrong key decrypted")
+	}
+}
+
+func TestOpenWrongPurposeOrContext(t *testing.T) {
+	k := KeyFromSeed("ctx")
+	ct, err := Seal(k, PurposeRequest, "model-1", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(k, PurposeModel, "model-1", ct); err == nil {
+		t.Fatal("cross-purpose replay accepted")
+	}
+	if _, err := Open(k, PurposeRequest, "model-2", ct); err == nil {
+		t.Fatal("cross-context replay accepted")
+	}
+}
+
+func TestAADUnambiguous(t *testing.T) {
+	// ("ab","c") must differ from ("a","bc").
+	k := KeyFromSeed("aad")
+	ct, err := Seal(k, "ab", "c", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(k, "a", "bc", ct); err == nil {
+		t.Fatal("ambiguous AAD concatenation")
+	}
+}
+
+func TestOpenTamperedCiphertext(t *testing.T) {
+	k := KeyFromSeed("tamper")
+	ct, err := Seal(k, PurposeModel, "", []byte("model bytes here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, len(ct) / 2, len(ct) - 1} {
+		bad := append([]byte(nil), ct...)
+		bad[off] ^= 1
+		if _, err := Open(k, PurposeModel, "", bad); err == nil {
+			t.Fatalf("tampered byte %d accepted", off)
+		}
+	}
+	if _, err := Open(k, PurposeModel, "", ct[:10]); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+}
+
+func TestSealNondeterministicNonce(t *testing.T) {
+	k := KeyFromSeed("nonce")
+	a, err := Seal(k, PurposeRequest, "", []byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Seal(k, PurposeRequest, "", []byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext are identical (nonce reuse)")
+	}
+}
+
+func TestIdentityOf(t *testing.T) {
+	a := IdentityOf(KeyFromSeed("alice"))
+	b := IdentityOf(KeyFromSeed("bob"))
+	if a == b {
+		t.Fatal("distinct keys share an identity")
+	}
+	if len(a) != 64 {
+		t.Fatalf("identity length %d, want 64 hex chars", len(a))
+	}
+	if a != IdentityOf(KeyFromSeed("alice")) {
+		t.Fatal("identity not deterministic")
+	}
+}
+
+func TestNewKeyUnique(t *testing.T) {
+	a, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("two random keys are equal")
+	}
+	if !a.Equal(a) {
+		t.Fatal("key not equal to itself")
+	}
+}
+
+// Property: Seal/Open round-trips arbitrary payloads and contexts.
+func TestSealOpenProperty(t *testing.T) {
+	k := KeyFromSeed("prop")
+	f := func(payload []byte, context string) bool {
+		ct, err := Seal(k, PurposeRequest, context, payload)
+		if err != nil {
+			return false
+		}
+		pt, err := Open(k, PurposeRequest, context, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

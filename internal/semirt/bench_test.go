@@ -1,0 +1,71 @@
+package semirt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkHotPath measures the live hot path end to end: request
+// decryption, real tensor inference on the functional MobileNet, result
+// encryption — the work a warm SeSeMI instance does per request once the
+// enclave, keys and model are cached.
+func BenchmarkHotPath(b *testing.B) {
+	w := newWorld(b)
+	cfg, err := DefaultConfig("tvm", "mbnet", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+	req := w.requestFor("mbnet", 1)
+	if _, err := rt.Handle(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Handle(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := rt.Stats()
+	if st.Hot != uint64(b.N) {
+		b.Fatalf("expected %d hot invocations, got %d", b.N, st.Hot)
+	}
+}
+
+// BenchmarkHotPathParallel drives the same instance from many goroutines,
+// bounded by the enclave's 4 TCSs.
+func BenchmarkHotPathParallel(b *testing.B) {
+	w := newWorld(b)
+	cfg, err := DefaultConfig("tflm", "mbnet", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+	req := w.requestFor("mbnet", 1)
+	if _, err := rt.Handle(req); err != nil {
+		b.Fatal(err)
+	}
+	var served atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := rt.Handle(req); err != nil {
+				b.Fatal(err)
+			}
+			served.Add(1)
+		}
+	})
+}

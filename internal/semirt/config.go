@@ -1,0 +1,123 @@
+// Package semirt implements SeMIRT, SeSeMI's enclave runtime for serverless
+// model inference (§IV-B, Algorithm 2, Figure 5).
+//
+// A SeMIRT instance runs inside one serverless sandbox. Its untrusted half
+// (Runtime) receives requests, manages the thread pool, and performs the
+// OCALLs (loading encrypted models from storage); its trusted half (program)
+// holds the decrypted model, the single cached ⟨uid‖Moid⟩ key pair, the
+// cached RA session to KeyService, and the per-thread model runtimes, and
+// executes EC_MODEL_INF.
+//
+// Invocation paths (Figure 4):
+//
+//	cold — new instance: enclave creation + first key fetch + model load +
+//	        runtime init + execution
+//	warm — enclave exists but the wrong (or no) model is loaded
+//	hot  — same model and same user's keys already cached
+//
+// The strong-isolation configuration of §V (sequential execution, no key
+// cache, runtime cleared per request) is part of Config and therefore part
+// of the enclave identity: turning it on changes the measurement that owners
+// and users must authorize.
+package semirt
+
+import (
+	"fmt"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+)
+
+// ProgramName identifies the SeMIRT enclave program.
+const ProgramName = "sesemi/semirt"
+
+// Version is the SeMIRT code version.
+const Version = "v1"
+
+// Config selects the SeMIRT build. Every field is folded into the enclave
+// code identity.
+type Config struct {
+	// Framework is the inference framework compiled in: "tvm" or "tflm".
+	Framework string
+	// Concurrency is the TCS count / enclave thread pool size (1-8).
+	Concurrency int
+	// EnclaveMemoryBytes is the configured enclave size (Appendix D).
+	EnclaveMemoryBytes int64
+	// DisableKeyCache forces a key refetch on every request (strong
+	// isolation, Table II).
+	DisableKeyCache bool
+	// Sequential processes requests one at a time and clears the model
+	// runtime after each request (strong isolation, Table II).
+	Sequential bool
+	// FixedModel pins the enclave to a single model id ("" = any model).
+	FixedModel string
+	// RoundOutputDigits, when positive, rounds every output value to that
+	// many decimal digits before encryption — the §IV-D mitigation against
+	// model-extraction attacks via high-precision confidence scores. Like
+	// all settings it is part of the enclave identity, so users can verify
+	// the policy is in force.
+	RoundOutputDigits int
+	// ModeledStages, when non-nil, additionally charges the paper-calibrated
+	// stage costs on the platform clock so live runs reproduce the paper's
+	// latency shapes with tiny functional models. Nil charges only real
+	// compute and transport.
+	ModeledStages *costmodel.StageCosts
+}
+
+// DefaultConfig returns the evaluation configuration for a framework/model
+// pair at the given concurrency, with the Appendix D enclave size.
+func DefaultConfig(framework, modelID string, concurrency int) (Config, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	mem, err := costmodel.EnclaveConfigBytes(framework, modelID, concurrency)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Framework:          framework,
+		Concurrency:        concurrency,
+		EnclaveMemoryBytes: mem,
+	}, nil
+}
+
+// Validate checks the configuration. Any registered inference framework is
+// accepted (Appendix E: SeMIRT is extended by implementing the four
+// inference APIs and registering the framework); New verifies the name
+// against the registry.
+func (c Config) Validate() error {
+	if c.Framework == "" {
+		return fmt.Errorf("semirt: framework not set")
+	}
+	if c.Concurrency < 1 {
+		return fmt.Errorf("semirt: concurrency %d", c.Concurrency)
+	}
+	if c.Sequential && c.Concurrency != 1 {
+		return fmt.Errorf("semirt: sequential mode requires concurrency 1, got %d", c.Concurrency)
+	}
+	if c.EnclaveMemoryBytes <= 0 {
+		return fmt.Errorf("semirt: enclave memory %d", c.EnclaveMemoryBytes)
+	}
+	if c.RoundOutputDigits < 0 || c.RoundOutputDigits > 8 {
+		return fmt.Errorf("semirt: round digits %d (want 0-8)", c.RoundOutputDigits)
+	}
+	return nil
+}
+
+// Manifest derives the enclave manifest — and therefore the measurement ES
+// that owners and users authorize — from the configuration.
+func (c Config) Manifest() enclave.Manifest {
+	return enclave.Manifest{
+		Name: "semirt-" + c.Framework,
+		CodeHash: enclave.CodeIdentity(ProgramName, Version,
+			"framework="+c.Framework,
+			fmt.Sprintf("concurrency=%d", c.Concurrency),
+			fmt.Sprintf("keycache=%t", !c.DisableKeyCache),
+			fmt.Sprintf("sequential=%t", c.Sequential),
+			"fixedmodel="+c.FixedModel,
+			fmt.Sprintf("round=%d", c.RoundOutputDigits),
+		),
+		TCSCount:    c.Concurrency,
+		MemoryBytes: c.EnclaveMemoryBytes,
+	}
+}

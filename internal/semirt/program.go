@@ -1,0 +1,336 @@
+package semirt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"sesemi/internal/enclave"
+	"sesemi/internal/inference"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/secure"
+)
+
+// program is the trusted half of SeMIRT: the enclave program holding
+// Algorithm 2's state. Its fields are only touched from within ECalls.
+type program struct {
+	cfg  Config
+	fw   inference.Framework
+	deps Deps
+	enc  *enclave.Enclave
+
+	// swapMu guards the global model/key cache: requests that match the
+	// cache run under RLock (concurrently); switching the model or the key
+	// pair takes the write lock, i.e. happens "when not in use" (§IV-B).
+	swapMu   sync.RWMutex
+	cacheKey string // Moid ␟ uid of the single cached key pair
+	km, kr   secure.Key
+	modelID  string
+	loaded   inference.LoadedModel
+
+	// sessMu guards the cached RA-TLS sessions, one per KeyService address
+	// ("" is the deployment default). Caching per address lets one enclave
+	// serve users homed on different KeyServices (§IV-D) while still
+	// amortizing mutual attestation.
+	sessMu   sync.Mutex
+	sessions map[string]*keyservice.Session
+
+	// slots are the thread-local execution contexts, one per TCS.
+	slots chan *rtSlot
+
+	// seqMu serializes requests in strong-isolation mode.
+	seqMu sync.Mutex
+}
+
+// rtSlot is one thread's context: its model runtime (model_rt in
+// Algorithm 2) survives across hot invocations of the same model.
+type rtSlot struct {
+	modelID string
+	rt      inference.Runtime
+}
+
+type invocationDetail struct {
+	loadedModel bool
+	fetchedKeys bool
+}
+
+func newProgram(cfg Config, fw inference.Framework, deps Deps) *program {
+	p := &program{cfg: cfg, fw: fw, deps: deps, sessions: map[string]*keyservice.Session{}}
+	p.slots = make(chan *rtSlot, cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		p.slots <- &rtSlot{}
+	}
+	return p
+}
+
+// Init implements enclave.Program.
+func (p *program) Init(e *enclave.Enclave) error {
+	p.enc = e
+	return nil
+}
+
+func (p *program) loadedModelID() string {
+	p.swapMu.RLock()
+	defer p.swapMu.RUnlock()
+	return p.modelID
+}
+
+// cacheID builds the ⟨Moid‖uid‖KeyService⟩ key-cache tag; the KeyService
+// address participates so a user homed on a different KeyService never hits
+// another principal's cached keys.
+func cacheID(modelID string, uid secure.ID, ksAddr string) string {
+	return modelID + "\x1f" + string(uid) + "\x1f" + ksAddr
+}
+
+// modelInf is EC_MODEL_INF (Algorithm 2). It runs on a TCS (the caller is
+// inside ECall).
+func (p *program) modelInf(req Request) ([]byte, invocationDetail, error) {
+	var detail invocationDetail
+	if p.cfg.FixedModel != "" && req.ModelID != p.cfg.FixedModel {
+		return nil, detail, fmt.Errorf("semirt: enclave pinned to model %q, got %q", p.cfg.FixedModel, req.ModelID)
+	}
+	if req.ModelID == "" || req.UserID == "" {
+		return nil, detail, errors.New("semirt: request missing model or user id")
+	}
+	if p.cfg.Sequential {
+		p.seqMu.Lock()
+		defer p.seqMu.Unlock()
+	}
+
+	want := cacheID(req.ModelID, req.UserID, req.KeyService)
+	// Acquire the cache in read mode, switching under the write lock if the
+	// request does not match the cached key pair or model (lines 6-15).
+	// With the key cache disabled, every request provisions afresh before
+	// proceeding.
+	switched := false
+	for {
+		p.swapMu.RLock()
+		if p.matchesLocked(want) && (!p.cfg.DisableKeyCache || switched) {
+			break
+		}
+		p.swapMu.RUnlock()
+		if err := p.switchTo(req.ModelID, req.UserID, req.KeyService, want, &detail); err != nil {
+			return nil, detail, err
+		}
+		switched = true
+	}
+	sealed, err := p.execLocked(req)
+	p.swapMu.RUnlock()
+	if p.cfg.DisableKeyCache {
+		p.clearKeyCache()
+	}
+	return sealed, detail, err
+}
+
+// execLocked runs the execution stages of EC_MODEL_INF with swapMu
+// read-held, so the model and keys cannot be swapped underneath it.
+func (p *program) execLocked(req Request) ([]byte, error) {
+	// Thread-local runtime (lines 14-15).
+	slot := <-p.slots
+	defer func() { p.slots <- slot }()
+	if slot.rt == nil || slot.modelID != p.modelID {
+		if p.cfg.ModeledStages != nil {
+			p.enc.Clock().Sleep(p.cfg.ModeledStages.RuntimeInit)
+		}
+		rt, err := p.fw.RuntimeInit(p.loaded)
+		if err != nil {
+			return nil, fmt.Errorf("semirt: runtime init: %w", err)
+		}
+		slot.rt = rt
+		slot.modelID = p.modelID
+	}
+
+	// Request decryption (line 16).
+	plain, err := secure.Open(p.kr, secure.PurposeRequest, req.ModelID, req.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("semirt: request decrypt: %w", err)
+	}
+
+	// MODEL_EXEC (line 17); the modeled execution cost scales with the
+	// platform's EPC paging factor.
+	if p.cfg.ModeledStages != nil {
+		p.enc.ChargeExec(p.cfg.ModeledStages.ModelExec)
+	}
+	if err := inference.ModelExec(slot.rt, plain); err != nil {
+		return nil, fmt.Errorf("semirt: exec: %w", err)
+	}
+
+	// PREPARE_OUTPUT + result encryption (lines 18-19).
+	out, err := inference.PrepareOutput(slot.rt)
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.RoundOutputDigits > 0 {
+		if out, err = roundOutput(out, p.cfg.RoundOutputDigits); err != nil {
+			return nil, err
+		}
+	}
+	if p.cfg.ModeledStages != nil {
+		p.enc.Clock().Sleep(p.cfg.ModeledStages.RequestCrypto)
+	}
+	sealed, err := secure.Seal(p.kr, secure.PurposeResponse, req.ModelID, out)
+	if err != nil {
+		return nil, err
+	}
+
+	// Strong isolation: return the enclave to a model-only state (§V).
+	if p.cfg.Sequential {
+		slot.rt = nil
+		slot.modelID = ""
+	}
+	return sealed, nil
+}
+
+// switchTo takes the write lock and installs keys and model for the target
+// request (Algorithm 2 lines 6-13). On return the cache may match (the
+// caller re-checks under RLock).
+func (p *program) switchTo(modelID string, uid secure.ID, ksAddr, want string, detail *invocationDetail) error {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	if !p.cfg.DisableKeyCache && p.matchesLocked(want) {
+		return nil
+	}
+	// Key provisioning (lines 6-8).
+	if p.cacheKey != want || p.cfg.DisableKeyCache {
+		km, kr, err := p.provision(uid, modelID, ksAddr)
+		if err != nil {
+			return err
+		}
+		p.km, p.kr = km, kr
+		p.cacheKey = want
+		detail.fetchedKeys = true
+	}
+	// Model load and decrypt (lines 11-13), replacing the current model.
+	if p.modelID != modelID || p.loaded == nil {
+		if err := p.loadModel(modelID); err != nil {
+			// A failed load leaves no model installed.
+			p.modelID = ""
+			p.loaded = nil
+			return err
+		}
+		detail.loadedModel = true
+	}
+	return nil
+}
+
+func (p *program) matchesLocked(want string) bool {
+	return p.cacheKey == want && p.modelID != "" && p.loaded != nil
+}
+
+func (p *program) clearKeyCache() {
+	p.swapMu.Lock()
+	p.cacheKey = ""
+	p.km, p.kr = secure.Key{}, secure.Key{}
+	p.swapMu.Unlock()
+}
+
+// provision retrieves (K_M, K_R) from the KeyService at ksAddr ("" = the
+// deployment default) over a cached mutually attested session, establishing
+// it on first use (the expensive cold key fetch of Figures 8 and 17).
+func (p *program) provision(uid secure.ID, modelID, ksAddr string) (secure.Key, secure.Key, error) {
+	p.sessMu.Lock()
+	defer p.sessMu.Unlock()
+	fresh := false
+	sess := p.sessions[ksAddr]
+	if sess == nil {
+		dial := p.deps.KSDialer
+		if ksAddr != "" {
+			dial = keyservice.TCPDialer(ksAddr)
+		}
+		ec := keyservice.NewEnclaveClient(dial, p.deps.CAPublicKey, p.deps.ExpectEK, p.enc)
+		var err error
+		sess, err = ec.Connect()
+		if err != nil {
+			return secure.Key{}, secure.Key{}, fmt.Errorf("semirt: keyservice attestation: %w", err)
+		}
+		p.sessions[ksAddr] = sess
+		fresh = true
+	}
+	if p.cfg.ModeledStages != nil {
+		if fresh {
+			p.enc.Clock().Sleep(p.cfg.ModeledStages.KeyFetchCold)
+		} else {
+			p.enc.Clock().Sleep(p.cfg.ModeledStages.KeyFetchWarm)
+		}
+	}
+	km, kr, err := sess.Provision(uid, modelID)
+	if err != nil {
+		// Drop a broken session so the next request re-attests.
+		sess.Close()
+		delete(p.sessions, ksAddr)
+		return secure.Key{}, secure.Key{}, err
+	}
+	return km, kr, nil
+}
+
+// loadModel performs OC_LOAD_MODEL (fetch ciphertext into untrusted memory)
+// followed by in-enclave decryption and MODEL_LOAD. Called with swapMu
+// write-held.
+func (p *program) loadModel(modelID string) error {
+	if p.cfg.ModeledStages != nil {
+		p.enc.Clock().Sleep(p.cfg.ModeledStages.ModelLoad)
+	}
+	ciphertext, err := p.deps.Store.Get(ModelBlobName(modelID))
+	if err != nil {
+		return fmt.Errorf("semirt: model fetch: %w", err)
+	}
+	// The encrypted copy plus the decrypted model must fit the configured
+	// enclave size (Appendix D's memory overhead of TEE protection).
+	if need := int64(2 * len(ciphertext)); need > p.cfg.EnclaveMemoryBytes {
+		return fmt.Errorf("semirt: model %q needs %d bytes, enclave configured with %d",
+			modelID, need, p.cfg.EnclaveMemoryBytes)
+	}
+	plain, err := secure.Open(p.km, secure.PurposeModel, modelID, ciphertext)
+	if err != nil {
+		return fmt.Errorf("semirt: model decrypt: %w", err)
+	}
+	loaded, err := p.fw.ModelLoad(plain)
+	if err != nil {
+		return fmt.Errorf("semirt: model deserialize: %w", err)
+	}
+	p.modelID = modelID
+	p.loaded = loaded
+	// Invalidate thread-local runtimes built for the previous model: they
+	// are rebuilt lazily per slot (slot.modelID no longer matches).
+	return nil
+}
+
+func (p *program) close() {
+	p.sessMu.Lock()
+	for addr, sess := range p.sessions {
+		sess.Close()
+		delete(p.sessions, addr)
+	}
+	p.sessMu.Unlock()
+}
+
+// roundOutput quantizes the output tensor to the configured number of
+// decimal digits (§IV-D's confidence-rounding mitigation).
+func roundOutput(payload []byte, digits int) ([]byte, error) {
+	t, err := inference.DecodeTensor(payload)
+	if err != nil {
+		return nil, err
+	}
+	scale := math.Pow(10, float64(digits))
+	for i, v := range t.Data() {
+		t.Data()[i] = float32(math.Round(float64(v)*scale) / scale)
+	}
+	return inference.EncodeTensor(t), nil
+}
+
+// EncryptModel is the model owner's helper: it seals serialized model bytes
+// under K_M for upload (workflow step 2 in §III).
+func EncryptModel(km secure.Key, modelID string, modelBytes []byte) ([]byte, error) {
+	return secure.Seal(km, secure.PurposeModel, modelID, modelBytes)
+}
+
+// EncryptRequest seals a request payload under K_R.
+func EncryptRequest(kr secure.Key, modelID string, tensorBytes []byte) ([]byte, error) {
+	return secure.Seal(kr, secure.PurposeRequest, modelID, tensorBytes)
+}
+
+// DecryptResponse opens a response payload with K_R.
+func DecryptResponse(kr secure.Key, modelID string, sealed []byte) ([]byte, error) {
+	return secure.Open(kr, secure.PurposeResponse, modelID, sealed)
+}

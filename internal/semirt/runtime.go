@@ -1,0 +1,246 @@
+package semirt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/enclave"
+	"sesemi/internal/inference"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/secure"
+	"sesemi/internal/storage"
+)
+
+// InvocationKind classifies how a request was served (Figure 4).
+type InvocationKind int
+
+const (
+	// Cold: the enclave was created for this request.
+	Cold InvocationKind = iota
+	// Warm: the enclave existed but the model had to be loaded.
+	Warm
+	// Hot: model and keys were already cached.
+	Hot
+)
+
+func (k InvocationKind) String() string {
+	switch k {
+	case Cold:
+		return "cold"
+	case Warm:
+		return "warm"
+	default:
+		return "hot"
+	}
+}
+
+// Request is one encrypted inference request, as delivered by the serverless
+// platform.
+type Request struct {
+	// UserID identifies the requesting model user.
+	UserID secure.ID `json:"user_id"`
+	// ModelID names the target model.
+	ModelID string `json:"model_id"`
+	// Payload is secure.Seal(K_R, PurposeRequest, ModelID, tensor bytes).
+	Payload []byte `json:"payload"`
+	// KeyService optionally overrides the deployment's KeyService address.
+	// §IV-D: multiple KeyServices can be deployed to isolate keys from
+	// different users, "which require users to specify the address of the
+	// corresponding KeyService in their requests". All KeyServices run the
+	// same code and are verified against the same identity E_K.
+	KeyService string `json:"key_service,omitempty"`
+}
+
+// Response is the encrypted inference result.
+type Response struct {
+	// Payload is secure.Seal(K_R, PurposeResponse, ModelID, tensor bytes).
+	Payload []byte `json:"payload"`
+	// Kind reports the invocation path taken.
+	Kind InvocationKind `json:"kind"`
+}
+
+// Deps are the untrusted-world dependencies of a SeMIRT instance.
+type Deps struct {
+	// Platform hosts the enclave.
+	Platform *enclave.Platform
+	// Store holds encrypted models under "models/<id>".
+	Store storage.Store
+	// KSDialer reaches the KeyService.
+	KSDialer keyservice.Dialer
+	// CAPublicKey verifies the KeyService quote.
+	CAPublicKey []byte
+	// ExpectEK is the KeyService measurement to pin.
+	ExpectEK attest.Measurement
+}
+
+// ModelBlobName returns the storage key for a model's encrypted bytes.
+func ModelBlobName(modelID string) string { return "models/" + modelID + ".enc" }
+
+// Stats counts served invocations by path.
+type Stats struct {
+	Cold, Warm, Hot uint64
+}
+
+// Runtime is one SeMIRT serverless instance (the sandbox contents in
+// Figure 6). It is safe for concurrent use; concurrency is bounded by the
+// enclave TCS count.
+type Runtime struct {
+	cfg  Config
+	deps Deps
+
+	fw inference.Framework
+
+	mu      sync.Mutex
+	enc     *enclave.Enclave
+	prog    *program
+	stopped bool
+
+	cold, warm, hot atomic.Uint64
+}
+
+// New creates an instance; the enclave is not launched until Start or the
+// first request (a cold invocation).
+func New(cfg Config, deps Deps) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deps.Platform == nil || deps.Store == nil || deps.KSDialer == nil {
+		return nil, errors.New("semirt: missing platform, store or KeyService dialer")
+	}
+	fw, err := inference.Lookup(cfg.Framework)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{cfg: cfg, deps: deps, fw: fw}, nil
+}
+
+// Config returns the instance configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Measurement returns the enclave identity ES of this configuration.
+func (r *Runtime) Measurement() attest.Measurement { return r.cfg.Manifest().Measure() }
+
+// Started reports whether the enclave is live.
+func (r *Runtime) Started() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enc != nil
+}
+
+// Start launches the enclave (idempotent). Separating Start from request
+// handling lets the serverless platform pre-warm instances.
+func (r *Runtime) Start() error {
+	_, err := r.ensureEnclave()
+	return err
+}
+
+func (r *Runtime) ensureEnclave() (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return false, errors.New("semirt: stopped")
+	}
+	if r.enc != nil {
+		return false, nil
+	}
+	prog := newProgram(r.cfg, r.fw, r.deps)
+	enc, err := r.deps.Platform.Launch(r.cfg.Manifest(), prog)
+	if err != nil {
+		return false, fmt.Errorf("semirt: launch: %w", err)
+	}
+	r.enc = enc
+	r.prog = prog
+	return true, nil
+}
+
+// Handle serves one request (the OpenWhisk action /run entry point). The
+// calling goroutine plays the role of a libuv pool thread: it enters the
+// enclave through one TCS for the duration of EC_MODEL_INF.
+func (r *Runtime) Handle(req Request) (Response, error) {
+	launched, err := r.ensureEnclave()
+	if err != nil {
+		return Response{}, err
+	}
+	r.mu.Lock()
+	enc, prog := r.enc, r.prog
+	r.mu.Unlock()
+
+	var out []byte
+	var path InvocationKind
+	err = enc.ECall(func() error {
+		var kind invocationDetail
+		out, kind, err = prog.modelInf(req)
+		if err != nil {
+			return err
+		}
+		switch {
+		case launched:
+			path = Cold
+		case kind.loadedModel || kind.fetchedKeys:
+			// The paper's hot path requires both the same loaded model and
+			// the same user's cached keys (§IV-B); anything else that reuses
+			// the enclave is warm.
+			path = Warm
+		default:
+			path = Hot
+		}
+		return nil
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	switch path {
+	case Cold:
+		r.cold.Add(1)
+	case Warm:
+		r.warm.Add(1)
+	default:
+		r.hot.Add(1)
+	}
+	return Response{Payload: out, Kind: path}, nil
+}
+
+// Stats returns the invocation counters.
+func (r *Runtime) Stats() Stats {
+	return Stats{Cold: r.cold.Load(), Warm: r.warm.Load(), Hot: r.hot.Load()}
+}
+
+// LoadedModel reports the id of the currently loaded model ("" if none).
+func (r *Runtime) LoadedModel() string {
+	r.mu.Lock()
+	prog := r.prog
+	r.mu.Unlock()
+	if prog == nil {
+		return ""
+	}
+	return prog.loadedModelID()
+}
+
+// EnclaveMemoryBytes reports the enclave's configured (EPC-reserved) size,
+// 0 if not started.
+func (r *Runtime) EnclaveMemoryBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.enc == nil {
+		return 0
+	}
+	return r.cfg.EnclaveMemoryBytes
+}
+
+// Stop destroys the enclave and closes the KeyService session.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stopped = true
+	if r.prog != nil {
+		r.prog.close()
+		r.prog = nil
+	}
+	if r.enc != nil {
+		r.enc.Destroy()
+		r.enc = nil
+	}
+}

@@ -1,0 +1,492 @@
+// Package serverless is an OpenWhisk-like serverless platform: a controller
+// (proxy) that schedules function invocations onto per-node invokers, which
+// run actions inside sandbox instances (containers).
+//
+// It reproduces the OpenWhisk behaviours the paper's evaluation depends on
+// (§VI, Appendix F):
+//
+//   - memory-only scheduling: a sandbox occupies its action's configured
+//     memory budget on a node; nodes have an invoker memory limit;
+//   - placement prefers a node that already hosts sandboxes of the action;
+//   - keep-warm: idle sandboxes linger for a configurable timeout
+//     (3 minutes in the paper) before being reclaimed;
+//   - per-sandbox concurrency: an action may allow multiple in-flight
+//     requests per sandbox (how SeMIRT's multi-TCS enclaves are driven);
+//   - cold-start cost: starting a sandbox charges a modeled container
+//     start latency before the action instance is created;
+//   - eviction: when no node has room, idle sandboxes (least recently used
+//     first) are reclaimed to make space.
+//
+// The same Cluster type backs the live servers in cmd/ and the functional
+// integration tests; the large-scale experiments replay its scheduling
+// policy inside the discrete-event harness.
+package serverless
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// Instance is a running action runtime inside a sandbox.
+type Instance interface {
+	// Invoke handles one request payload and returns the response payload.
+	Invoke(payload []byte) ([]byte, error)
+	// Stop releases the instance's resources (e.g. destroys its enclave).
+	Stop()
+}
+
+// InstanceFactory creates the action runtime for a new sandbox on a node.
+type InstanceFactory func(node *Node) (Instance, error)
+
+// Action is a deployed function.
+type Action struct {
+	// Name is the action identifier (its endpoint).
+	Name string
+	// MemoryBudget is the container memory limit; the paper provisions the
+	// smallest multiple of 128 MiB that fits the enclave (Appendix F).
+	MemoryBudget int64
+	// Concurrency is the max in-flight requests per sandbox.
+	Concurrency int
+	// New creates the runtime inside a fresh sandbox.
+	New InstanceFactory
+}
+
+// Node is one invoker machine.
+type Node struct {
+	// Name identifies the node.
+	Name string
+	// MemoryBytes is the invoker memory available for sandboxes.
+	MemoryBytes int64
+	// Extra carries node-local substrate (e.g. the *enclave.Platform);
+	// instance factories type-assert it.
+	Extra any
+
+	mu       sync.Mutex
+	reserved int64
+}
+
+func (n *Node) reserve(b int64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.reserved+b > n.MemoryBytes {
+		return false
+	}
+	n.reserved += b
+	return true
+}
+
+func (n *Node) release(b int64) {
+	n.mu.Lock()
+	n.reserved -= b
+	n.mu.Unlock()
+}
+
+// Reserved returns the memory currently reserved on the node.
+func (n *Node) Reserved() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reserved
+}
+
+type sandboxState int
+
+const (
+	sandboxStarting sandboxState = iota
+	sandboxReady
+	sandboxDead
+)
+
+// Sandbox is one container instance of an action on a node.
+type Sandbox struct {
+	action   *Action
+	node     *Node
+	inst     Instance
+	state    sandboxState
+	inFlight int
+	lastUsed time.Time
+	born     time.Time
+}
+
+// Config tunes the cluster.
+type Config struct {
+	// KeepWarm is how long an idle sandbox is kept before reclamation
+	// ("container unused timeout", 3 minutes in Table V).
+	KeepWarm time.Duration
+	// SandboxStart is the modeled container start latency (image pull is
+	// assumed cached, as in the paper's warmed-up clusters).
+	SandboxStart time.Duration
+	// Clock injects time; nil means the system clock.
+	Clock vclock.Clock
+}
+
+// DefaultConfig mirrors the paper's Table V settings.
+func DefaultConfig() Config {
+	return Config{KeepWarm: 3 * time.Minute, SandboxStart: 500 * time.Millisecond}
+}
+
+// Cluster is the platform controller.
+type Cluster struct {
+	cfg   Config
+	clock vclock.Clock
+	nodes []*Node
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	actions   map[string]*Action
+	sandboxes map[string][]*Sandbox // action name -> instances
+	closed    bool
+
+	// counters
+	coldStarts  uint64
+	invocations uint64
+	evictions   uint64
+}
+
+// Errors returned by the cluster.
+var (
+	ErrUnknownAction = errors.New("serverless: unknown action")
+	ErrClosed        = errors.New("serverless: cluster closed")
+)
+
+// NewCluster creates a controller over the given invoker nodes.
+func NewCluster(cfg Config, nodes ...*Node) *Cluster {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.System
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		nodes:     nodes,
+		actions:   map[string]*Action{},
+		sandboxes: map[string][]*Sandbox{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Deploy registers an action.
+func (c *Cluster) Deploy(a *Action) error {
+	if a.Name == "" || a.New == nil {
+		return errors.New("serverless: action needs a name and a factory")
+	}
+	if a.MemoryBudget <= 0 {
+		return fmt.Errorf("serverless: action %q: memory budget %d", a.Name, a.MemoryBudget)
+	}
+	if a.Concurrency < 1 {
+		a.Concurrency = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.actions[a.Name]; dup {
+		return fmt.Errorf("serverless: action %q already deployed", a.Name)
+	}
+	c.actions[a.Name] = a
+	return nil
+}
+
+// Actions lists deployed action names.
+func (c *Cluster) Actions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.actions))
+	for n := range c.actions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Invoke routes one request to a sandbox of the action, starting one if
+// needed (and evicting idle sandboxes when memory is tight). It blocks while
+// the cluster is saturated, until ctx is done.
+func (c *Cluster) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
+	sb, err := c.acquire(ctx, action)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sb.inst.Invoke(payload)
+	c.mu.Lock()
+	sb.inFlight--
+	sb.lastUsed = c.clock.Now()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return out, err
+}
+
+// acquire finds or creates a sandbox with spare concurrency and reserves one
+// slot in it.
+func (c *Cluster) acquire(ctx context.Context, action string) (*Sandbox, error) {
+	// Wake waiters when the context dies.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer stop()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.actions[action]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+	}
+	for {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// 1. A ready sandbox with spare concurrency.
+		if sb := c.pickReadyLocked(a); sb != nil {
+			sb.inFlight++
+			c.invocations++
+			return sb, nil
+		}
+		// 2. Start a new sandbox if some node has (or can make) room.
+		if node := c.pickNodeLocked(a); node != nil {
+			sb, err := c.startSandboxLocked(a, node)
+			if err != nil {
+				return nil, err
+			}
+			sb.inFlight++
+			c.invocations++
+			c.coldStarts++
+			return sb, nil
+		}
+		// 3. Saturated: wait for capacity.
+		c.cond.Wait()
+	}
+}
+
+// pickReadyLocked prefers the busiest sandbox that still has a free slot
+// (bin-packing keeps the sandbox count low).
+func (c *Cluster) pickReadyLocked(a *Action) *Sandbox {
+	var best *Sandbox
+	for _, sb := range c.sandboxes[a.Name] {
+		if sb.state != sandboxReady || sb.inFlight >= a.Concurrency {
+			continue
+		}
+		if best == nil || sb.inFlight > best.inFlight {
+			best = sb
+		}
+	}
+	return best
+}
+
+// pickNodeLocked selects a node for a new sandbox: first a node already
+// hosting this action with room, then any node with room, then a node where
+// evicting idle sandboxes (LRU first) frees enough memory.
+func (c *Cluster) pickNodeLocked(a *Action) *Node {
+	hosting := map[*Node]bool{}
+	for _, sb := range c.sandboxes[a.Name] {
+		if sb.state != sandboxDead {
+			hosting[sb.node] = true
+		}
+	}
+	for _, n := range c.nodes {
+		if hosting[n] && n.Reserved()+a.MemoryBudget <= n.MemoryBytes {
+			return n
+		}
+	}
+	for _, n := range c.nodes {
+		if n.Reserved()+a.MemoryBudget <= n.MemoryBytes {
+			return n
+		}
+	}
+	for _, n := range c.nodes {
+		if c.evictForLocked(n, a.MemoryBudget) {
+			return n
+		}
+	}
+	return nil
+}
+
+// evictForLocked destroys idle sandboxes on node n (least recently used
+// first) until need bytes fit. Returns false without evicting anything if
+// even evicting every idle sandbox would not fit.
+func (c *Cluster) evictForLocked(n *Node, need int64) bool {
+	var idle []*Sandbox
+	var reclaimable int64
+	for _, sbs := range c.sandboxes {
+		for _, sb := range sbs {
+			if sb.node == n && sb.state == sandboxReady && sb.inFlight == 0 {
+				idle = append(idle, sb)
+				reclaimable += sb.action.MemoryBudget
+			}
+		}
+	}
+	if n.Reserved()-reclaimable+need > n.MemoryBytes {
+		return false
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i].lastUsed.Before(idle[j].lastUsed) })
+	for _, sb := range idle {
+		if n.Reserved()+need <= n.MemoryBytes {
+			break
+		}
+		c.destroyLocked(sb)
+		c.evictions++
+	}
+	return n.Reserved()+need <= n.MemoryBytes
+}
+
+// startSandboxLocked reserves memory and creates the instance. It releases
+// the cluster lock during the (slow) container start and instance creation.
+func (c *Cluster) startSandboxLocked(a *Action, node *Node) (*Sandbox, error) {
+	if !node.reserve(a.MemoryBudget) {
+		return nil, fmt.Errorf("serverless: node %q lost capacity", node.Name)
+	}
+	sb := &Sandbox{action: a, node: node, state: sandboxStarting, born: c.clock.Now()}
+	c.sandboxes[a.Name] = append(c.sandboxes[a.Name], sb)
+	c.mu.Unlock()
+	var inst Instance
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serverless: instance factory panicked: %v", r)
+			}
+		}()
+		c.clock.Sleep(c.cfg.SandboxStart)
+		inst, err = a.New(node)
+	}()
+	c.mu.Lock()
+	if err != nil {
+		sb.state = sandboxDead
+		node.release(a.MemoryBudget)
+		c.removeLocked(sb)
+		c.cond.Broadcast()
+		return nil, fmt.Errorf("serverless: start %q on %q: %w", a.Name, node.Name, err)
+	}
+	sb.inst = inst
+	sb.state = sandboxReady
+	sb.lastUsed = c.clock.Now()
+	c.cond.Broadcast()
+	return sb, nil
+}
+
+func (c *Cluster) destroyLocked(sb *Sandbox) {
+	if sb.state == sandboxDead {
+		return
+	}
+	sb.state = sandboxDead
+	sb.node.release(sb.action.MemoryBudget)
+	c.removeLocked(sb)
+	if sb.inst != nil {
+		// Stop outside the lock would be safer for slow Stops, but instance
+		// Stop implementations here only free simulated resources.
+		sb.inst.Stop()
+	}
+}
+
+func (c *Cluster) removeLocked(sb *Sandbox) {
+	list := c.sandboxes[sb.action.Name]
+	for i, s := range list {
+		if s == sb {
+			c.sandboxes[sb.action.Name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReapIdle destroys sandboxes idle past the keep-warm timeout and returns
+// how many were reclaimed. Call it periodically (StartReaper does).
+func (c *Cluster) ReapIdle() int {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*Sandbox
+	for _, sbs := range c.sandboxes {
+		for _, sb := range sbs {
+			if sb.state == sandboxReady && sb.inFlight == 0 && now.Sub(sb.lastUsed) >= c.cfg.KeepWarm {
+				victims = append(victims, sb)
+			}
+		}
+	}
+	for _, sb := range victims {
+		c.destroyLocked(sb)
+	}
+	if len(victims) > 0 {
+		c.cond.Broadcast()
+	}
+	return len(victims)
+}
+
+// StartReaper runs ReapIdle on a wall-clock interval until the returned
+// function is called.
+func (c *Cluster) StartReaper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.ReapIdle()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// Stats is a snapshot of cluster state.
+type Stats struct {
+	// Sandboxes counts live sandboxes per action.
+	Sandboxes map[string]int
+	// Serving counts sandboxes with at least one in-flight request.
+	Serving map[string]int
+	// MemoryReserved is the total reserved bytes across nodes.
+	MemoryReserved int64
+	// ColdStarts, Invocations and Evictions are lifetime counters.
+	ColdStarts, Invocations, Evictions uint64
+}
+
+// Stats returns a snapshot.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Sandboxes:   map[string]int{},
+		Serving:     map[string]int{},
+		ColdStarts:  c.coldStarts,
+		Invocations: c.invocations,
+		Evictions:   c.evictions,
+	}
+	for name, sbs := range c.sandboxes {
+		for _, sb := range sbs {
+			if sb.state == sandboxDead {
+				continue
+			}
+			st.Sandboxes[name]++
+			if sb.inFlight > 0 {
+				st.Serving[name]++
+			}
+		}
+	}
+	for _, n := range c.nodes {
+		st.MemoryReserved += n.Reserved()
+	}
+	return st
+}
+
+// Close destroys all sandboxes and refuses further invocations.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, sbs := range c.sandboxes {
+		for _, sb := range append([]*Sandbox(nil), sbs...) {
+			c.destroyLocked(sb)
+		}
+	}
+	c.cond.Broadcast()
+}

@@ -1,0 +1,514 @@
+package serverless
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// echoInstance counts invocations and echoes payloads.
+type echoInstance struct {
+	node    *Node
+	stopped atomic.Bool
+	calls   atomic.Int64
+	block   chan struct{} // if non-nil, Invoke blocks until closed
+}
+
+func (e *echoInstance) Invoke(p []byte) ([]byte, error) {
+	e.calls.Add(1)
+	if e.block != nil {
+		<-e.block
+	}
+	return append([]byte("echo:"), p...), nil
+}
+
+func (e *echoInstance) Stop() { e.stopped.Store(true) }
+
+func newTestCluster(clock vclock.Clock, nodeMem int64, nodes int) (*Cluster, []*Node) {
+	var ns []*Node
+	for i := 0; i < nodes; i++ {
+		ns = append(ns, &Node{Name: fmt.Sprintf("node-%d", i), MemoryBytes: nodeMem})
+	}
+	cfg := DefaultConfig()
+	cfg.Clock = clock
+	cfg.SandboxStart = 10 * time.Millisecond
+	return NewCluster(cfg, ns...), ns
+}
+
+func echoAction(name string, mem int64, conc int, made *[]*echoInstance, mu *sync.Mutex) *Action {
+	return &Action{
+		Name:         name,
+		MemoryBudget: mem,
+		Concurrency:  conc,
+		New: func(n *Node) (Instance, error) {
+			inst := &echoInstance{node: n}
+			if mu != nil {
+				mu.Lock()
+				*made = append(*made, inst)
+				mu.Unlock()
+			}
+			return inst, nil
+		},
+	}
+}
+
+func TestDeployAndInvoke(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	if err := c.Deploy(echoAction("fn", 128<<20, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Invoke(context.Background(), "fn", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hi" {
+		t.Fatalf("out %q", out)
+	}
+	st := c.Stats()
+	if st.ColdStarts != 1 || st.Invocations != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	if err := c.Deploy(&Action{Name: "", New: func(*Node) (Instance, error) { return nil, nil }}); err == nil {
+		t.Fatal("accepted unnamed action")
+	}
+	if err := c.Deploy(&Action{Name: "x", MemoryBudget: 1 << 20, New: nil}); err == nil {
+		t.Fatal("accepted action without factory")
+	}
+	a := echoAction("dup", 1<<20, 1, nil, nil)
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(a); err == nil {
+		t.Fatal("accepted duplicate deployment")
+	}
+}
+
+func TestInvokeUnknownAction(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	if _, err := c.Invoke(context.Background(), "ghost", nil); !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWarmReuseAvoidsColdStart(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	var made []*echoInstance
+	var mu sync.Mutex
+	if err := c.Deploy(echoAction("fn", 128<<20, 1, &made, &mu)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(made) != 1 {
+		t.Fatalf("%d sandboxes for sequential requests, want 1", len(made))
+	}
+	if st := c.Stats(); st.ColdStarts != 1 {
+		t.Fatalf("cold starts %d", st.ColdStarts)
+	}
+}
+
+func TestConcurrencyPerSandbox(t *testing.T) {
+	// With per-sandbox concurrency 4, four parallel requests fit one
+	// sandbox.
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	var made []*echoInstance
+	var mu sync.Mutex
+	a := &Action{
+		Name: "fn", MemoryBudget: 128 << 20, Concurrency: 4,
+		New: func(n *Node) (Instance, error) {
+			inst := &echoInstance{node: n, block: make(chan struct{})}
+			mu.Lock()
+			made = append(made, inst)
+			mu.Unlock()
+			return inst, nil
+		},
+	}
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Wait until all four are in flight in one sandbox.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(made)
+		var calls int64
+		if n > 0 {
+			calls = made[0].calls.Load()
+		}
+		mu.Unlock()
+		if n == 1 && calls == 4 {
+			break
+		}
+		if n > 1 {
+			t.Fatalf("%d sandboxes, want 1", n)
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stuck: %d sandboxes, %d calls", n, calls)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	close(made[0].block)
+	mu.Unlock()
+	wg.Wait()
+}
+
+func TestScaleOutWhenBusy(t *testing.T) {
+	// Concurrency 1: two parallel requests need two sandboxes.
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	var made []*echoInstance
+	var mu sync.Mutex
+	a := &Action{
+		Name: "fn", MemoryBudget: 128 << 20, Concurrency: 1,
+		New: func(n *Node) (Instance, error) {
+			inst := &echoInstance{node: n, block: make(chan struct{})}
+			mu.Lock()
+			made = append(made, inst)
+			mu.Unlock()
+			return inst, nil
+		},
+	}
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(made)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("expected 2 sandboxes, got %d", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	for _, inst := range made {
+		close(inst.block)
+	}
+	mu.Unlock()
+	wg.Wait()
+	if st := c.Stats(); st.Sandboxes["fn"] != 2 {
+		t.Fatalf("sandboxes %+v", st.Sandboxes)
+	}
+}
+
+func TestMemoryBasedSchedulingAcrossNodes(t *testing.T) {
+	// Node memory fits exactly one sandbox; the second sandbox must go to
+	// the second node.
+	c, nodes := newTestCluster(vclock.NewManual(), 256<<20, 2)
+	defer c.Close()
+	var made []*echoInstance
+	var mu sync.Mutex
+	a := &Action{
+		Name: "fn", MemoryBudget: 256 << 20, Concurrency: 1,
+		New: func(n *Node) (Instance, error) {
+			inst := &echoInstance{node: n, block: make(chan struct{})}
+			mu.Lock()
+			made = append(made, inst)
+			mu.Unlock()
+			return inst, nil
+		},
+	}
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(made)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("second sandbox never started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	if made[0].node == made[1].node {
+		t.Fatal("both sandboxes on one node despite memory limit")
+	}
+	for _, inst := range made {
+		close(inst.block)
+	}
+	mu.Unlock()
+	wg.Wait()
+	if nodes[0].Reserved() != 256<<20 || nodes[1].Reserved() != 256<<20 {
+		t.Fatalf("reservations %d/%d", nodes[0].Reserved(), nodes[1].Reserved())
+	}
+}
+
+func TestSaturationBlocksUntilFree(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 128<<20, 1)
+	defer c.Close()
+	block := make(chan struct{})
+	a := &Action{
+		Name: "fn", MemoryBudget: 128 << 20, Concurrency: 1,
+		New: func(n *Node) (Instance, error) {
+			return &echoInstance{node: n, block: block}, nil
+		},
+	}
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke(context.Background(), "fn", nil)
+		first <- err
+	}()
+	second := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke(context.Background(), "fn", nil)
+		second <- err
+	}()
+	select {
+	case err := <-second:
+		t.Fatalf("second request completed while saturated: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturationRespectsContext(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 128<<20, 1)
+	defer c.Close()
+	block := make(chan struct{})
+	defer close(block)
+	a := &Action{
+		Name: "fn", MemoryBudget: 128 << 20, Concurrency: 1,
+		New: func(n *Node) (Instance, error) {
+			return &echoInstance{node: n, block: block}, nil
+		},
+	}
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = c.Invoke(context.Background(), "fn", nil) }()
+	time.Sleep(30 * time.Millisecond) // let the first request occupy the node
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Invoke(ctx, "fn", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestEvictionMakesRoom(t *testing.T) {
+	// One node, room for one sandbox. An idle sandbox of action A must be
+	// evicted to start action B.
+	c, _ := newTestCluster(vclock.NewManual(), 128<<20, 1)
+	defer c.Close()
+	var aInst []*echoInstance
+	var mu sync.Mutex
+	if err := c.Deploy(echoAction("a", 128<<20, 1, &aInst, &mu)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(echoAction("b", 128<<20, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	stopped := aInst[0].stopped.Load()
+	mu.Unlock()
+	if !stopped {
+		t.Fatal("idle sandbox of action a was not evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d", st.Evictions)
+	}
+	if st.Sandboxes["a"] != 0 || st.Sandboxes["b"] != 1 {
+		t.Fatalf("sandboxes %+v", st.Sandboxes)
+	}
+}
+
+func TestKeepWarmReaping(t *testing.T) {
+	clock := vclock.NewManual()
+	c, nodes := newTestCluster(clock, 1<<30, 1)
+	defer c.Close()
+	var made []*echoInstance
+	var mu sync.Mutex
+	if err := c.Deploy(echoAction("fn", 128<<20, 1, &made, &mu)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.ReapIdle(); n != 0 {
+		t.Fatalf("reaped %d before timeout", n)
+	}
+	clock.Advance(2 * time.Minute)
+	if n := c.ReapIdle(); n != 0 {
+		t.Fatalf("reaped %d at 2min (keep-warm is 3min)", n)
+	}
+	clock.Advance(90 * time.Second)
+	if n := c.ReapIdle(); n != 1 {
+		t.Fatalf("reaped %d after timeout, want 1", n)
+	}
+	if nodes[0].Reserved() != 0 {
+		t.Fatalf("memory not released: %d", nodes[0].Reserved())
+	}
+	mu.Lock()
+	if !made[0].stopped.Load() {
+		t.Fatal("reaped instance not stopped")
+	}
+	mu.Unlock()
+}
+
+func TestFactoryErrorPropagates(t *testing.T) {
+	c, nodes := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	boom := &Action{
+		Name: "boom", MemoryBudget: 128 << 20, Concurrency: 1,
+		New: func(*Node) (Instance, error) { return nil, errors.New("no enclave for you") },
+	}
+	if err := c.Deploy(boom); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "boom", nil); err == nil {
+		t.Fatal("factory error swallowed")
+	}
+	if nodes[0].Reserved() != 0 {
+		t.Fatalf("failed start leaked memory: %d", nodes[0].Reserved())
+	}
+	if st := c.Stats(); st.Sandboxes["boom"] != 0 {
+		t.Fatalf("dead sandbox still listed: %+v", st.Sandboxes)
+	}
+}
+
+func TestFactoryPanicContained(t *testing.T) {
+	c, nodes := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	defer c.Close()
+	a := &Action{
+		Name: "panic", MemoryBudget: 128 << 20, Concurrency: 1,
+		New: func(*Node) (Instance, error) { panic("factory bug") },
+	}
+	if err := c.Deploy(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "panic", nil); err == nil {
+		t.Fatal("panic swallowed")
+	}
+	if nodes[0].Reserved() != 0 {
+		t.Fatal("panicked start leaked memory")
+	}
+}
+
+func TestCloseStopsEverything(t *testing.T) {
+	c, _ := newTestCluster(vclock.NewManual(), 1<<30, 1)
+	var made []*echoInstance
+	var mu sync.Mutex
+	if err := c.Deploy(echoAction("fn", 128<<20, 1, &made, &mu)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	mu.Lock()
+	if !made[0].stopped.Load() {
+		t.Fatal("Close did not stop instances")
+	}
+	mu.Unlock()
+	if _, err := c.Invoke(context.Background(), "fn", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close invoke: %v", err)
+	}
+}
+
+func TestManyParallelInvocations(t *testing.T) {
+	c, _ := newTestCluster(vclock.Real{Scale: 0}, 8<<30, 4)
+	defer c.Close()
+	if err := c.Deploy(echoAction("fn", 128<<20, 4, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := c.Invoke(context.Background(), "fn", []byte{byte(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(out) != 6 || out[5] != byte(i) {
+				errs <- fmt.Errorf("wrong payload for %d", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Invocations != 100 {
+		t.Fatalf("invocations %d", st.Invocations)
+	}
+}

@@ -1,0 +1,634 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/fnpacker"
+	"sesemi/internal/metrics"
+	"sesemi/internal/semirt"
+	"sesemi/internal/workload"
+)
+
+// System selects which serving stack the simulation models (§VI baselines).
+type System int
+
+const (
+	// SeSeMI reuses enclave, keys, model and runtimes (hot path).
+	SeSeMI System = iota
+	// IsoReuse reuses the enclave and keys but reloads model and runtime
+	// per request (S-FaaS / Clemmys style).
+	IsoReuse
+	// Native launches a fresh enclave for every invocation.
+	Native
+	// Untrusted runs without any TEE (Figure 18 baseline).
+	Untrusted
+)
+
+func (s System) String() string {
+	switch s {
+	case SeSeMI:
+		return "SeSeMI"
+	case IsoReuse:
+		return "Iso-reuse"
+	case Native:
+		return "Native"
+	default:
+		return "Untrusted"
+	}
+}
+
+// StorageKind selects the model-loading latency profile.
+type StorageKind int
+
+const (
+	// ClusterStorage is the in-cluster NFS share (Figure 17 load times).
+	ClusterStorage StorageKind = iota
+	// CloudStorage is same-region Azure Blob (§VI-A download times).
+	CloudStorage
+)
+
+// ActionSpec describes one deployed function endpoint.
+type ActionSpec struct {
+	// Name is the endpoint name requests are routed to.
+	Name string
+	// Framework is "tvm" or "tflm".
+	Framework string
+	// Concurrency is slots (TCSs) per sandbox.
+	Concurrency int
+	// MemoryBudget is the container memory charged against node memory;
+	// zero derives the smallest 128 MiB multiple covering the enclave.
+	MemoryBudget int64
+	// EnclaveBytes is the configured enclave size; zero derives it from
+	// the Appendix D table for DefaultModel.
+	EnclaveBytes int64
+	// DefaultModel sizes the enclave when EnclaveBytes is zero.
+	DefaultModel string
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// System is the serving stack under test.
+	System System
+	// HW is the hardware generation of all nodes.
+	HW costmodel.HW
+	// Nodes and CoresPerNode shape the cluster (paper: 8 nodes, 12 cores).
+	Nodes        int
+	CoresPerNode int
+	// NodeMemory is the invoker memory per node.
+	NodeMemory int64
+	// KeepWarm is the idle-container timeout (3 min in Table V).
+	KeepWarm time.Duration
+	// SandboxStart is the container start latency.
+	SandboxStart time.Duration
+	// Storage selects the model-load latency profile.
+	Storage StorageKind
+	// Actions are the deployed endpoints.
+	Actions []ActionSpec
+	// Route maps a request to an endpoint; nil routes to the single action.
+	Route fnpacker.Strategy
+	// ModelCosts aliases workload model ids to cost-model ids (e.g. the
+	// FnPacker experiments serve m0..m4, all of which are ResNet101
+	// deployments: {"m0": "rsnet", ...}). Unlisted ids map to themselves.
+	ModelCosts map[string]string
+	// StorageBandwidth is the shared model-storage link capacity in
+	// bytes/second (the cluster NFS share; §VI sets up one NFS server over
+	// 10 Gbps Ethernet). Concurrent model loads share it. Zero means the
+	// 10 Gbps default. This is what makes per-request model reloading
+	// (Iso-reuse) collapse under the MMPP workload: 30 rps × 44 MB exceeds
+	// the link.
+	StorageBandwidth float64
+	// OnComplete, when set, observes every completed request before its
+	// endpoint queue is re-dispatched; used for closed-loop workloads that
+	// inject follow-up requests via Inject.
+	OnComplete func(RequestResult)
+	// RequestTimeout drops requests that queue longer than this before
+	// dispatch (OpenWhisk's action invocation timeout, 60 s by default).
+	// Dropped requests are counted, not included in latency stats — this is
+	// the "platform becomes unavailable" behaviour of §VI-C.
+	RequestTimeout time.Duration
+	// SampleEvery is the stats sampling interval (default 5 s).
+	SampleEvery time.Duration
+}
+
+func (c *Config) defaults() error {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = costmodel.Cores
+	}
+	if c.NodeMemory <= 0 {
+		c.NodeMemory = 64 << 30
+	}
+	if c.KeepWarm <= 0 {
+		c.KeepWarm = 3 * time.Minute
+	}
+	if c.SandboxStart <= 0 {
+		c.SandboxStart = 500 * time.Millisecond
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Second
+	}
+	if c.StorageBandwidth <= 0 {
+		c.StorageBandwidth = 1.6e9 // 10 Gbps wire + NFS server cache assist
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if len(c.Actions) == 0 {
+		return fmt.Errorf("sim: no actions configured")
+	}
+	for i := range c.Actions {
+		a := &c.Actions[i]
+		if a.Concurrency < 1 {
+			a.Concurrency = 1
+		}
+		if a.EnclaveBytes == 0 {
+			if a.DefaultModel == "" {
+				return fmt.Errorf("sim: action %q needs EnclaveBytes or DefaultModel", a.Name)
+			}
+			b, err := costmodel.EnclaveConfigBytes(a.Framework, a.DefaultModel, a.Concurrency)
+			if err != nil {
+				return err
+			}
+			a.EnclaveBytes = b
+		}
+		if a.MemoryBudget == 0 {
+			a.MemoryBudget = costmodel.ContainerMemoryBudget(a.EnclaveBytes)
+		}
+	}
+	return nil
+}
+
+// RequestResult records one served request.
+type RequestResult struct {
+	// Model and User identify the request.
+	Model, User string
+	// Endpoint is where it was routed.
+	Endpoint string
+	// Arrive, Start and Done are virtual times (Start = dispatch into a
+	// sandbox slot).
+	Arrive, Start, Done time.Duration
+	// Kind is the invocation path taken.
+	Kind semirt.InvocationKind
+}
+
+// Latency is the end-to-end request latency (queueing included).
+func (r RequestResult) Latency() time.Duration { return r.Done - r.Arrive }
+
+// Result aggregates a run.
+type Result struct {
+	// Requests holds every completed request in completion order.
+	Requests []RequestResult
+	// PerModel aggregates latency per model id.
+	PerModel map[string]*metrics.Latency
+	// All aggregates latency across models.
+	All *metrics.Latency
+	// LatencySeries buckets request latency (seconds) by completion time.
+	LatencySeries *metrics.TimeSeries
+	// SandboxSeries and ServingSeries track container counts over time.
+	SandboxSeries, ServingSeries *metrics.TimeSeries
+	// MemorySeries tracks reserved container memory (bytes) over time.
+	MemorySeries *metrics.TimeSeries
+	// GBSeconds is the memory-cost integral of §VI-C.
+	GBSeconds float64
+	// Cold, Warm, Hot count invocation paths.
+	Cold, Warm, Hot int
+	// ColdStarts counts sandbox creations; Evictions counts LRU kills.
+	ColdStarts, Evictions int
+	// Dropped counts requests that timed out in the queue.
+	Dropped int
+	// End is the virtual completion time of the run.
+	End time.Duration
+}
+
+// node is one invoker machine's simulated state.
+type node struct {
+	id         int
+	cores      int
+	memory     int64
+	reserved   int64
+	epcUsed    int64
+	activeExec int
+	pagers     int
+	launching  int
+	quoting    int
+}
+
+type sandboxState int
+
+const (
+	sbStarting sandboxState = iota
+	sbReady
+	sbDead
+)
+
+// sandbox is one container with its SeMIRT enclave state.
+type sandbox struct {
+	spec  *ActionSpec
+	node  *node
+	state sandboxState
+
+	inFlight  int
+	idleSince time.Duration
+
+	enclaveUp  bool
+	sessionUp  bool
+	cachedPair string
+	loaded     string
+	slots      []string // model each slot's runtime was built for
+	freeSlots  []int    // indices of unoccupied slots
+	born       time.Duration
+
+	// target is the model the sandbox's in-flight requests are serving
+	// (admits same-model joiners while preparation is in progress).
+	target string
+
+	// In-progress stage tracking lets later requests wait for a stage
+	// another request already started (the swap-lock/join behaviour of the
+	// live runtime) instead of paying it again or spawning a new sandbox.
+	enclaveReadyAt time.Duration
+	fetchingPair   string
+	keysReadyAt    time.Duration
+	loadingModel   string
+	loadReadyAt    time.Duration
+}
+
+// servingModel reports the model this sandbox is serving or preparing.
+func (sb *sandbox) servingModel() string {
+	if sb.loadingModel != "" {
+		return sb.loadingModel
+	}
+	return sb.loaded
+}
+
+// takeSlot pops a free slot index, or -1 when the sandbox is full.
+func (sb *sandbox) takeSlot() int {
+	if len(sb.freeSlots) == 0 {
+		return -1
+	}
+	i := sb.freeSlots[len(sb.freeSlots)-1]
+	sb.freeSlots = sb.freeSlots[:len(sb.freeSlots)-1]
+	return i
+}
+
+func (sb *sandbox) releaseSlot(i int) {
+	sb.freeSlots = append(sb.freeSlots, i)
+}
+
+// request is an in-simulation request.
+type request struct {
+	ev      workload.Event
+	arrive  time.Duration
+	ep      string
+	started time.Duration
+	slot    int
+}
+
+// costID resolves a workload model id to its cost-model id.
+func (c *Config) costID(modelID string) string {
+	if alias, ok := c.ModelCosts[modelID]; ok {
+		return alias
+	}
+	return modelID
+}
+
+// Simulation carries the mutable world.
+type Simulation struct {
+	cfg     Config
+	eng     *Engine
+	nodes   []*node
+	actions map[string]*ActionSpec
+	boxes   map[string][]*sandbox // per action
+	queues  map[string][]*request
+
+	res     *Result
+	gb      metrics.GBSeconds
+	lastEnd time.Duration
+
+	// activeLoads counts in-flight model transfers from shared storage.
+	activeLoads int
+}
+
+// New builds a simulation for the config.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:     cfg,
+		eng:     &Engine{},
+		actions: map[string]*ActionSpec{},
+		boxes:   map[string][]*sandbox{},
+		queues:  map[string][]*request{},
+		res: &Result{
+			PerModel:      map[string]*metrics.Latency{},
+			All:           &metrics.Latency{},
+			LatencySeries: metrics.NewTimeSeries(30 * time.Second),
+			SandboxSeries: metrics.NewTimeSeries(cfg.SampleEvery),
+			ServingSeries: metrics.NewTimeSeries(cfg.SampleEvery),
+			MemorySeries:  metrics.NewTimeSeries(cfg.SampleEvery),
+		},
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodes = append(s.nodes, &node{id: i, cores: cfg.CoresPerNode, memory: cfg.NodeMemory})
+	}
+	for i := range cfg.Actions {
+		a := &cfg.Actions[i]
+		if _, dup := s.actions[a.Name]; dup {
+			return nil, fmt.Errorf("sim: duplicate action %q", a.Name)
+		}
+		s.actions[a.Name] = a
+	}
+	return s, nil
+}
+
+// Clock adapts the engine to vclock.Clock for the shared FnPacker policy.
+type engineClock struct{ eng *Engine }
+
+func (c engineClock) Now() time.Time { return time.Unix(0, 0).Add(c.eng.Now()) }
+func (c engineClock) Sleep(time.Duration) {
+	panic("sim: policies must not sleep inside the discrete-event engine")
+}
+
+// EngineClock exposes the simulation's virtual clock (for building a
+// fnpacker.Scheduler that shares it).
+func (s *Simulation) EngineClock() interface {
+	Now() time.Time
+	Sleep(time.Duration)
+} {
+	return engineClock{s.eng}
+}
+
+// SetRoute installs a routing strategy after construction (needed when the
+// strategy shares the simulation's virtual clock). Call before Run.
+func (s *Simulation) SetRoute(r fnpacker.Strategy) error {
+	if len(s.res.Requests) > 0 {
+		return fmt.Errorf("sim: SetRoute after Run")
+	}
+	s.cfg.Route = r
+	return nil
+}
+
+// SetOnComplete installs the completion observer after construction. Call
+// before Run.
+func (s *Simulation) SetOnComplete(fn func(RequestResult)) {
+	s.cfg.OnComplete = fn
+}
+
+// Run replays the trace and returns aggregated results.
+func (s *Simulation) Run(trace workload.Trace) (*Result, error) {
+	trace.Sort()
+	for i := range trace {
+		ev := trace[i]
+		s.eng.At(ev.At, func() { s.arrive(ev) })
+	}
+	// Periodic maintenance: keep-warm reaping + stats sampling, until a bit
+	// past the last arrival (long enough to drain, bounded to avoid
+	// infinite reap loops).
+	horizon := trace.Duration() + s.cfg.KeepWarm + 10*time.Minute
+	var maintain func()
+	maintain = func() {
+		s.sample()
+		s.reap()
+		if s.eng.Now() < horizon {
+			s.eng.After(s.cfg.SampleEvery, maintain)
+		}
+	}
+	s.eng.After(s.cfg.SampleEvery, maintain)
+	end := s.eng.Run()
+	s.res.End = s.lastEnd
+	s.res.GBSeconds = s.gb.Finish(end)
+	return s.res, nil
+}
+
+func (s *Simulation) route(ev workload.Event) (string, error) {
+	if s.cfg.Route != nil {
+		return s.cfg.Route.Route(ev.ModelID)
+	}
+	if len(s.cfg.Actions) == 1 {
+		return s.cfg.Actions[0].Name, nil
+	}
+	// Default: action named after the model (one-to-one deployment).
+	name := "fn-" + ev.ModelID
+	if _, ok := s.actions[name]; !ok {
+		return "", fmt.Errorf("sim: no route for model %q", ev.ModelID)
+	}
+	return name, nil
+}
+
+// Inject schedules an additional arrival during the run (closed-loop
+// workloads). The event fires at ev.At or now, whichever is later.
+func (s *Simulation) Inject(ev workload.Event) {
+	s.eng.At(ev.At, func() { s.arrive(ev) })
+}
+
+func (s *Simulation) arrive(ev workload.Event) {
+	ep, err := s.route(ev)
+	if err != nil {
+		// Routing failures surface as panics: traces and configs are
+		// researcher-provided and must agree.
+		panic(err)
+	}
+	req := &request{ev: ev, arrive: s.eng.Now(), ep: ep}
+	s.queues[ep] = append(s.queues[ep], req)
+	s.dispatch(ep)
+}
+
+// dispatch drains the endpoint queue into eligible sandboxes, starting new
+// ones when allowed.
+func (s *Simulation) dispatch(ep string) {
+	spec := s.actions[ep]
+	for len(s.queues[ep]) > 0 {
+		req := s.queues[ep][0]
+		if s.eng.Now()-req.arrive > s.cfg.RequestTimeout {
+			s.queues[ep] = s.queues[ep][1:]
+			s.res.Dropped++
+			if s.cfg.Route != nil {
+				s.cfg.Route.Done(req.ep, req.ev.ModelID)
+			}
+			continue
+		}
+		sb := s.pickSandbox(spec, req.ev.ModelID)
+		if sb != nil {
+			s.queues[ep] = s.queues[ep][1:]
+			s.serve(sb, req)
+			continue
+		}
+		if !s.maybeStartSandbox(spec) {
+			return // saturated; requests wait in queue
+		}
+	}
+}
+
+// pickSandbox returns a ready sandbox with a free slot that can serve the
+// request. The platform proxy is model-agnostic ("indiscriminately chooses
+// idle sandboxes", Figure 7): it takes the FIRST eligible sandbox in
+// creation order, which makes multi-model endpoints thrash exactly as the
+// paper's All-in-one baseline does. Eligibility models SeMIRT's swap lock:
+// a sandbox serving (or preparing) a different model only accepts the
+// request once idle.
+func (s *Simulation) pickSandbox(spec *ActionSpec, modelID string) *sandbox {
+	for _, sb := range s.boxes[spec.Name] {
+		if sb.state != sbReady || len(sb.freeSlots) == 0 {
+			continue
+		}
+		if sb.inFlight == 0 {
+			return sb
+		}
+		// Busy sandbox: only same-model requests can share it (others would
+		// block on the swap lock inside the enclave).
+		if s.cfg.System == SeSeMI && (sb.servingModel() == modelID || sb.target == modelID) {
+			return sb
+		}
+		if s.cfg.System != SeSeMI {
+			return sb
+		}
+	}
+	return nil
+}
+
+// maybeStartSandbox starts a new container when queue pressure warrants and
+// memory allows; returns false when nothing was started.
+func (s *Simulation) maybeStartSandbox(spec *ActionSpec) bool {
+	// Avoid a start storm: containers already starting will absorb queue.
+	starting := 0
+	for _, sb := range s.boxes[spec.Name] {
+		if sb.state == sbStarting {
+			starting++
+		}
+	}
+	if starting*spec.Concurrency >= len(s.queues[spec.Name]) {
+		return false
+	}
+	n := s.pickNode(spec)
+	if n == nil {
+		return false
+	}
+	n.reserved += spec.MemoryBudget
+	sb := &sandbox{spec: spec, node: n, state: sbStarting, born: s.eng.Now(),
+		slots: make([]string, spec.Concurrency)}
+	for i := 0; i < spec.Concurrency; i++ {
+		sb.freeSlots = append(sb.freeSlots, i)
+	}
+	s.boxes[spec.Name] = append(s.boxes[spec.Name], sb)
+	s.res.ColdStarts++
+	s.eng.After(s.cfg.SandboxStart, func() {
+		if sb.state != sbStarting {
+			return
+		}
+		sb.state = sbReady
+		sb.idleSince = s.eng.Now()
+		s.dispatch(spec.Name)
+	})
+	return true
+}
+
+func (s *Simulation) pickNode(spec *ActionSpec) *node {
+	hosting := map[*node]bool{}
+	for _, sb := range s.boxes[spec.Name] {
+		if sb.state != sbDead {
+			hosting[sb.node] = true
+		}
+	}
+	for _, n := range s.nodes {
+		if hosting[n] && n.reserved+spec.MemoryBudget <= n.memory {
+			return n
+		}
+	}
+	for _, n := range s.nodes {
+		if n.reserved+spec.MemoryBudget <= n.memory {
+			return n
+		}
+	}
+	for _, n := range s.nodes {
+		if s.evictFor(n, spec.MemoryBudget) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (s *Simulation) evictFor(n *node, need int64) bool {
+	var idle []*sandbox
+	var reclaimable int64
+	for _, sbs := range s.boxes {
+		for _, sb := range sbs {
+			if sb.node == n && sb.state == sbReady && sb.inFlight == 0 {
+				idle = append(idle, sb)
+				reclaimable += sb.spec.MemoryBudget
+			}
+		}
+	}
+	if n.reserved-reclaimable+need > n.memory {
+		return false
+	}
+	// LRU by idleSince.
+	for n.reserved+need > n.memory && len(idle) > 0 {
+		oldest := 0
+		for i, sb := range idle {
+			if sb.idleSince < idle[oldest].idleSince {
+				oldest = i
+			}
+		}
+		s.destroy(idle[oldest])
+		s.res.Evictions++
+		idle = append(idle[:oldest], idle[oldest+1:]...)
+	}
+	return n.reserved+need <= n.memory
+}
+
+func (s *Simulation) destroy(sb *sandbox) {
+	if sb.state == sbDead {
+		return
+	}
+	if sb.enclaveUp {
+		sb.node.epcUsed -= sb.spec.EnclaveBytes
+		sb.enclaveUp = false
+	}
+	sb.node.reserved -= sb.spec.MemoryBudget
+	sb.state = sbDead
+	list := s.boxes[sb.spec.Name]
+	for i, x := range list {
+		if x == sb {
+			s.boxes[sb.spec.Name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Simulation) reap() {
+	now := s.eng.Now()
+	for name, sbs := range s.boxes {
+		for _, sb := range append([]*sandbox(nil), sbs...) {
+			if sb.state == sbReady && sb.inFlight == 0 && now-sb.idleSince >= s.cfg.KeepWarm {
+				s.destroy(sb)
+			}
+		}
+		_ = name
+	}
+}
+
+func (s *Simulation) sample() {
+	now := s.eng.Now()
+	total, serving := 0, 0
+	var mem int64
+	for _, sbs := range s.boxes {
+		for _, sb := range sbs {
+			if sb.state == sbDead {
+				continue
+			}
+			total++
+			if sb.inFlight > 0 {
+				serving++
+			}
+			mem += sb.spec.MemoryBudget
+		}
+	}
+	s.res.SandboxSeries.Observe(now, float64(total))
+	s.res.ServingSeries.Observe(now, float64(serving))
+	s.res.MemorySeries.Observe(now, float64(mem))
+	s.gb.Sample(now, mem)
+}

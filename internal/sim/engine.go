@@ -1,0 +1,94 @@
+// Package sim is the discrete-event cluster simulator that regenerates the
+// paper's large-scale experiments (Figures 12-14, Tables III-IV) in
+// milliseconds of wall time.
+//
+// The simulator replays the same policies as the live stack — SeMIRT's
+// cold/warm/hot state machine with a single cached key pair and
+// swap-when-idle model switching, OpenWhisk-style memory-based scheduling
+// with keep-warm and LRU eviction, and the FnPacker routing strategy (shared
+// code: fnpacker.Strategy) — driving them with the calibrated stage costs of
+// internal/costmodel instead of wall-clock sleeps. Hardware contention
+// (concurrent enclave launches, attestation bursts, CPU oversubscription,
+// EPC paging) is modeled with the same functions the software enclave
+// charges.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a minimal discrete-event executor.
+type Engine struct {
+	now time.Duration
+	pq  eventQueue
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() time.Duration {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ limit, leaving later events queued.
+func (e *Engine) RunUntil(limit time.Duration) {
+	for e.pq.Len() > 0 && e.pq[0].at <= limit {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}

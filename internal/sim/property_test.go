@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/semirt"
+	"sesemi/internal/workload"
+)
+
+// TestConservationProperty: for random workloads, every arrival is either
+// completed or dropped — never lost — and per-request times are ordered
+// (arrive ≤ start ≤ done).
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, rateByte, durByte uint8) bool {
+		rate := 0.5 + float64(rateByte%40)
+		dur := time.Duration(5+int(durByte%40)) * time.Second
+		models := []string{"mbnet", "dsnet"}
+		rng := rand.New(rand.NewSource(seed))
+		tr := workload.Merge(
+			workload.Poisson(seed, rate, dur, models[rng.Intn(2)], "u1"),
+			workload.Poisson(seed+7, rate/2, dur, models[rng.Intn(2)], "u2"),
+		)
+		cfg := Config{
+			System:       System(rng.Intn(3)), // SeSeMI, IsoReuse or Native
+			HW:           costmodel.SGX2,
+			Nodes:        1 + rng.Intn(3),
+			CoresPerNode: costmodel.Cores,
+			Actions: []ActionSpec{{
+				Name: "fn", Framework: "tvm", Concurrency: 1 + rng.Intn(4), DefaultModel: "rsnet",
+			}},
+		}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			return false
+		}
+		if len(res.Requests)+res.Dropped != len(tr) {
+			t.Logf("lost requests: %d completed + %d dropped != %d arrivals",
+				len(res.Requests), res.Dropped, len(tr))
+			return false
+		}
+		for _, r := range res.Requests {
+			if r.Arrive > r.Start || r.Start > r.Done {
+				t.Logf("time ordering violated: %+v", r)
+				return false
+			}
+		}
+		// Path accounting adds up.
+		if res.Cold+res.Warm+res.Hot != len(res.Requests) {
+			t.Logf("path counts %d+%d+%d != %d", res.Cold, res.Warm, res.Hot, len(res.Requests))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotPathDominanceProperty: under SeSeMI with a single user and model,
+// every request after the first on each sandbox that is not itself a cold
+// start must be hot — the cache can never "forget" within the keep-warm
+// window.
+func TestHotPathDominanceProperty(t *testing.T) {
+	f := func(seed int64, rateByte uint8) bool {
+		rate := 1 + float64(rateByte%10)
+		tr := workload.Poisson(seed, rate, 60*time.Second, "mbnet", "u")
+		cfg := Config{
+			System: SeSeMI, HW: costmodel.SGX2, Nodes: 2,
+			Actions: []ActionSpec{{Name: "fn", Framework: "tvm", Concurrency: 2, DefaultModel: "mbnet"}},
+		}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			return false
+		}
+		// Single user, single model: no request is ever warm (warm would
+		// mean a key or model switch, which cannot happen).
+		if res.Warm != 0 {
+			t.Logf("warm invocations with one user and one model: %d", res.Warm)
+			return false
+		}
+		return res.Cold+res.Hot == len(res.Requests)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaselineDominanceProperty: for any single-model workload, mean latency
+// obeys SeSeMI ≤ Iso-reuse ≤ Native (each baseline strictly repeats more
+// work per request).
+func TestBaselineDominanceProperty(t *testing.T) {
+	f := func(seed int64, rateByte uint8) bool {
+		rate := 0.5 + float64(rateByte%3)
+		tr := workload.Poisson(seed, rate, 45*time.Second, "dsnet", "u")
+		if len(tr) == 0 {
+			return true
+		}
+		mean := func(sys System) time.Duration {
+			cfg := Config{
+				System: sys, HW: costmodel.SGX2, Nodes: 2,
+				Actions: []ActionSpec{{Name: "fn", Framework: "tvm", Concurrency: 1, DefaultModel: "dsnet"}},
+			}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.All.Mean()
+		}
+		se, iso, nat := mean(SeSeMI), mean(IsoReuse), mean(Native)
+		if se > iso || iso > nat {
+			t.Logf("dominance violated: SeSeMI %v, Iso %v, Native %v (rate %.1f)", se, iso, nat, rate)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatchKindConsistency: the simulator's invocation classification
+// matches the live runtime's semantics — cold implies a new enclave,
+// hot implies no stage other than exec/crypto (latency == hot path when the
+// node is idle).
+func TestDispatchKindConsistency(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tflm", "dsnet", 1)
+	tr := workload.Trace{
+		{At: 0, ModelID: "dsnet", UserID: "u"},
+		{At: time.Minute, ModelID: "dsnet", UserID: "u"},
+		{At: 2 * time.Minute, ModelID: "dsnet", UserID: "u"},
+	}
+	res := runTrace(t, cfg, tr)
+	stg, _ := costmodel.Stages(costmodel.SGX2, "tflm", "dsnet")
+	for _, r := range res.Requests {
+		if r.Kind == semirt.Hot && r.Latency() != stg.HotPath() {
+			t.Fatalf("hot request latency %v != hot path %v", r.Latency(), stg.HotPath())
+		}
+	}
+}

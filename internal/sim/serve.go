@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/metrics"
+	"sesemi/internal/model"
+	"sesemi/internal/semirt"
+)
+
+// Serving phases, walked in order. Each phase re-evaluates the sandbox state
+// when it is reached, so a request that finds a stage already in progress
+// (another request creating the enclave, fetching the same keys, or loading
+// the same model) waits for it instead of repeating it — the discrete-event
+// equivalent of blocking on the live runtime's swap lock.
+const (
+	phEnclave = iota
+	phKeys
+	phLoad
+	phRuntime
+	phExec
+	phCrypto
+	phDone
+)
+
+type progress struct {
+	phase int
+	kind  semirt.InvocationKind
+	stg   costmodel.StageCosts
+}
+
+// serve dispatches a request into a sandbox slot and starts its phase walk.
+func (s *Simulation) serve(sb *sandbox, req *request) {
+	slot := sb.takeSlot()
+	if slot < 0 {
+		panic("sim: serve on full sandbox")
+	}
+	sb.inFlight++
+	sb.target = req.ev.ModelID
+	req.started = s.eng.Now()
+	req.slot = slot
+	stg, err := costmodel.Stages(s.cfg.HW, sb.spec.Framework, s.cfg.costID(req.ev.ModelID))
+	if err != nil {
+		panic(err)
+	}
+	pr := &progress{phase: phEnclave, kind: semirt.Hot, stg: stg}
+	s.advance(sb, req, pr)
+}
+
+// advance runs the request's next due phase. Phases that are not needed are
+// skipped synchronously; phases with a duration schedule a continuation.
+func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
+	n := sb.node
+	now := s.eng.Now()
+	for {
+		switch pr.phase {
+		case phEnclave:
+			need := (!sb.enclaveUp || s.cfg.System == Native) && s.cfg.System != Untrusted
+			if !need {
+				pr.phase++
+				continue
+			}
+			if s.cfg.System != Native && sb.enclaveReadyAt > now {
+				// Another request is creating this enclave: wait for it and
+				// then re-check the phase. Like the live runtime, only the
+				// request that performs the launch is classified cold.
+				s.eng.At(sb.enclaveReadyAt, func() { s.advance(sb, req, pr) })
+				return
+			}
+			pr.kind = semirt.Cold
+			n.launching++
+			d := costmodel.EnclaveInit(s.cfg.HW, sb.spec.EnclaveBytes, n.launching)
+			sb.enclaveReadyAt = now + d
+			s.eng.After(d, func() {
+				n.launching--
+				if !sb.enclaveUp {
+					sb.enclaveUp = true
+					n.epcUsed += sb.spec.EnclaveBytes
+				}
+				pr.phase = phKeys
+				s.advance(sb, req, pr)
+			})
+			return
+
+		case phKeys:
+			pair := req.ev.ModelID + "\x1f" + req.ev.UserID
+			var need, cold bool
+			switch s.cfg.System {
+			case SeSeMI, IsoReuse:
+				need = sb.cachedPair != pair
+				cold = !sb.sessionUp
+			case Native:
+				need, cold = true, true
+			case Untrusted:
+				need = false
+			}
+			if !need {
+				pr.phase++
+				continue
+			}
+			if s.cfg.System != Native && sb.fetchingPair == pair && sb.keysReadyAt > now {
+				// Wait for the in-flight fetch of the same pair; the waiter
+				// performed no work, so its classification is unchanged.
+				s.eng.At(sb.keysReadyAt, func() { s.advance(sb, req, pr) })
+				return
+			}
+			if pr.kind == semirt.Hot {
+				pr.kind = semirt.Warm
+			}
+			n.quoting++
+			d := pr.stg.KeyFetchWarm
+			if cold {
+				// The cold fetch includes mutual attestation; its RA portion
+				// contends with concurrent quote generation (Figure 16).
+				d = pr.stg.KeyFetchCold - costmodel.Attestation(s.cfg.HW, 1) +
+					costmodel.Attestation(s.cfg.HW, n.quoting)
+			}
+			sb.fetchingPair = pair
+			sb.keysReadyAt = now + d
+			s.eng.After(d, func() {
+				n.quoting--
+				sb.sessionUp = true
+				sb.cachedPair = pair
+				sb.fetchingPair = ""
+				pr.phase = phLoad
+				s.advance(sb, req, pr)
+			})
+			return
+
+		case phLoad:
+			need := sb.loaded != req.ev.ModelID
+			if s.cfg.System == IsoReuse || s.cfg.System == Native {
+				need = true
+			}
+			if !need {
+				pr.phase++
+				continue
+			}
+			join := s.cfg.System == SeSeMI || s.cfg.System == Untrusted
+			if join && sb.loadingModel == req.ev.ModelID && sb.loadReadyAt > now {
+				s.eng.At(sb.loadReadyAt, func() { s.advance(sb, req, pr) })
+				return
+			}
+			if pr.kind == semirt.Hot {
+				pr.kind = semirt.Warm
+			}
+			d := pr.stg.ModelLoad
+			if s.cfg.Storage == CloudStorage {
+				dl, err := costmodel.CloudDownload(s.cfg.costID(req.ev.ModelID))
+				if err != nil {
+					panic(err)
+				}
+				d += dl // download + in-enclave decrypt
+			} else {
+				// Cluster storage: concurrent loads share the NFS link, so
+				// the transfer slows with the number of in-flight loads.
+				s.activeLoads++
+				if spec, ok := model.Zoo[s.cfg.costID(req.ev.ModelID)]; ok {
+					xfer := time.Duration(float64(spec.ModelBytes) * float64(s.activeLoads) /
+						s.cfg.StorageBandwidth * float64(time.Second))
+					if xfer > d {
+						d = xfer
+					}
+				}
+			}
+			sb.loadingModel = req.ev.ModelID
+			sb.loadReadyAt = now + d
+			s.eng.After(d, func() {
+				if s.cfg.Storage != CloudStorage {
+					s.activeLoads--
+				}
+				sb.loaded = req.ev.ModelID
+				sb.loadingModel = ""
+				// Swapping the model invalidates every slot's runtime.
+				for i := range sb.slots {
+					sb.slots[i] = ""
+				}
+				pr.phase = phRuntime
+				s.advance(sb, req, pr)
+			})
+			return
+
+		case phRuntime:
+			need := true
+			if s.cfg.System == SeSeMI || s.cfg.System == Untrusted {
+				need = sb.slots[req.slot] != req.ev.ModelID
+			}
+			if !need {
+				pr.phase++
+				continue
+			}
+			s.eng.After(pr.stg.RuntimeInit, func() {
+				sb.slots[req.slot] = req.ev.ModelID
+				pr.phase = phExec
+				s.advance(sb, req, pr)
+			})
+			return
+
+		case phExec:
+			n.activeExec++
+			d := costmodel.ExecUnderLoad(pr.stg.ModelExec, n.activeExec, n.cores)
+			// EPC oversubscription (SGX1): the request re-pages its working
+			// set through the shared swap path (Figure 11b).
+			paging := false
+			if s.cfg.System != Untrusted && n.epcUsed > s.cfg.HW.EPCBytes() {
+				ws, err := costmodel.ExecWorkingSet(sb.spec.Framework, s.cfg.costID(req.ev.ModelID), sb.spec.Concurrency)
+				if err == nil {
+					n.pagers++
+					paging = true
+					d += costmodel.PagingDelay(ws, n.pagers, n.epcUsed, s.cfg.HW.EPCBytes())
+				}
+			}
+			s.eng.After(d, func() {
+				n.activeExec--
+				if paging {
+					n.pagers--
+				}
+				pr.phase = phCrypto
+				s.advance(sb, req, pr)
+			})
+			return
+
+		case phCrypto:
+			if s.cfg.System == Untrusted {
+				pr.phase++
+				continue
+			}
+			s.eng.After(pr.stg.RequestCrypto, func() {
+				pr.phase = phDone
+				s.advance(sb, req, pr)
+			})
+			return
+
+		case phDone:
+			s.complete(sb, req, pr.kind)
+			return
+		}
+	}
+}
+
+func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationKind) {
+	now := s.eng.Now()
+	sb.inFlight--
+	sb.releaseSlot(req.slot)
+	if sb.inFlight == 0 {
+		sb.idleSince = now
+		sb.target = ""
+	}
+	if s.cfg.System == Native && sb.enclaveUp {
+		// Native destroys its per-invocation enclave.
+		sb.enclaveUp = false
+		sb.sessionUp = false
+		sb.cachedPair = ""
+		sb.loaded = ""
+		sb.enclaveReadyAt = 0
+		sb.node.epcUsed -= sb.spec.EnclaveBytes
+	}
+	rr := RequestResult{
+		Model:    req.ev.ModelID,
+		User:     req.ev.UserID,
+		Endpoint: req.ep,
+		Arrive:   req.arrive,
+		Start:    req.started,
+		Done:     now,
+		Kind:     kind,
+	}
+	s.res.Requests = append(s.res.Requests, rr)
+	lat := rr.Latency()
+	s.res.All.Add(lat)
+	ml := s.res.PerModel[rr.Model]
+	if ml == nil {
+		ml = &metrics.Latency{}
+		s.res.PerModel[rr.Model] = ml
+	}
+	ml.Add(lat)
+	s.res.LatencySeries.Observe(now, lat.Seconds())
+	switch kind {
+	case semirt.Cold:
+		s.res.Cold++
+	case semirt.Warm:
+		s.res.Warm++
+	default:
+		s.res.Hot++
+	}
+	if now > s.lastEnd {
+		s.lastEnd = now
+	}
+	if s.cfg.Route != nil {
+		s.cfg.Route.Done(req.ep, req.ev.ModelID)
+	}
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(rr)
+	}
+	s.dispatch(req.ep)
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/fnpacker"
+	"sesemi/internal/semirt"
+	"sesemi/internal/workload"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var eng Engine
+	var got []int
+	eng.At(2*time.Second, func() { got = append(got, 2) })
+	eng.At(1*time.Second, func() { got = append(got, 1) })
+	eng.At(1*time.Second, func() { got = append(got, 11) }) // FIFO at equal times
+	eng.After(3*time.Second, func() { got = append(got, 3) })
+	end := eng.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end %v", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var eng Engine
+	var times []time.Duration
+	eng.At(time.Second, func() {
+		times = append(times, eng.Now())
+		eng.After(500*time.Millisecond, func() {
+			times = append(times, eng.Now())
+		})
+	})
+	eng.Run()
+	if len(times) != 2 || times[1] != 1500*time.Millisecond {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var eng Engine
+	fired := 0
+	eng.At(time.Second, func() { fired++ })
+	eng.At(5*time.Second, func() { fired++ })
+	eng.RunUntil(2 * time.Second)
+	if fired != 1 || eng.Now() != 2*time.Second {
+		t.Fatalf("fired=%d now=%v", fired, eng.Now())
+	}
+	eng.Run()
+	if fired != 2 {
+		t.Fatalf("fired=%d", fired)
+	}
+}
+
+func oneAction(system System, fw, modelID string, conc int) Config {
+	return Config{
+		System:       system,
+		HW:           costmodel.SGX2,
+		Nodes:        1,
+		CoresPerNode: costmodel.Cores,
+		Actions: []ActionSpec{{
+			Name: "fn", Framework: fw, Concurrency: conc, DefaultModel: modelID,
+		}},
+	}
+}
+
+func runTrace(t *testing.T, cfg Config, tr workload.Trace) *Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleRequestColdPath(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	tr := workload.Trace{{At: 0, ModelID: "mbnet", UserID: "u"}}
+	res := runTrace(t, cfg, tr)
+	if len(res.Requests) != 1 {
+		t.Fatalf("requests %d", len(res.Requests))
+	}
+	stg, _ := costmodel.Stages(costmodel.SGX2, "tvm", "mbnet")
+	lat := res.Requests[0].Latency()
+	// Cold = sandbox start (500 ms) + cold path (~1.48 s).
+	want := 500*time.Millisecond + stg.ColdPath()
+	if lat < want-200*time.Millisecond || lat > want+500*time.Millisecond {
+		t.Fatalf("cold latency %v, want ≈%v", lat, want)
+	}
+	if res.Cold != 1 || res.Requests[0].Kind != semirt.Cold {
+		t.Fatalf("kind %v", res.Requests[0].Kind)
+	}
+}
+
+func TestHotPathAfterWarmup(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	tr := workload.Trace{
+		{At: 0, ModelID: "mbnet", UserID: "u"},
+		{At: 10 * time.Second, ModelID: "mbnet", UserID: "u"},
+	}
+	res := runTrace(t, cfg, tr)
+	if res.Hot != 1 || res.Cold != 1 {
+		t.Fatalf("cold=%d warm=%d hot=%d", res.Cold, res.Warm, res.Hot)
+	}
+	stg, _ := costmodel.Stages(costmodel.SGX2, "tvm", "mbnet")
+	hotLat := res.Requests[1].Latency()
+	if hotLat != stg.HotPath() {
+		t.Fatalf("hot latency %v, want %v", hotLat, stg.HotPath())
+	}
+}
+
+func TestUserSwitchIsWarm(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	tr := workload.Trace{
+		{At: 0, ModelID: "mbnet", UserID: "alice"},
+		{At: 10 * time.Second, ModelID: "mbnet", UserID: "bob"},
+		{At: 20 * time.Second, ModelID: "mbnet", UserID: "bob"},
+	}
+	res := runTrace(t, cfg, tr)
+	if res.Cold != 1 || res.Warm != 1 || res.Hot != 1 {
+		t.Fatalf("cold=%d warm=%d hot=%d", res.Cold, res.Warm, res.Hot)
+	}
+}
+
+// TestSystemsOrdering reproduces the core of Figure 9/12: for a steady
+// single-user stream, SeSeMI ≤ Iso-reuse ≤ Native in mean latency, with
+// Native paying the full cold path every time.
+func TestSystemsOrdering(t *testing.T) {
+	tr := workload.FixedRate(0.5, 40*time.Second, "rsnet", "u") // 20 requests, spaced out
+	means := map[System]time.Duration{}
+	for _, sys := range []System{SeSeMI, IsoReuse, Native} {
+		cfg := oneAction(sys, "tvm", "rsnet", 1)
+		res := runTrace(t, cfg, tr)
+		means[sys] = res.All.Mean()
+	}
+	if !(means[SeSeMI] < means[IsoReuse] && means[IsoReuse] < means[Native]) {
+		t.Fatalf("ordering violated: SeSeMI=%v IsoReuse=%v Native=%v",
+			means[SeSeMI], means[IsoReuse], means[Native])
+	}
+	// Iso-reuse repeats model load + runtime init per request: its steady
+	// state must exceed SeSeMI's by roughly those stages.
+	stg, _ := costmodel.Stages(costmodel.SGX2, "tvm", "rsnet")
+	gap := means[IsoReuse] - means[SeSeMI]
+	wantGap := stg.ModelLoad + stg.RuntimeInit
+	if gap < wantGap/2 || gap > wantGap*3 {
+		t.Fatalf("Iso-reuse gap %v, want ≈%v", gap, wantGap)
+	}
+}
+
+func TestConcurrencyScalesOut(t *testing.T) {
+	// 4 simultaneous requests, concurrency 4: one sandbox. Concurrency 1:
+	// four sandboxes.
+	tr := workload.Trace{
+		{At: 0, ModelID: "mbnet", UserID: "u"},
+		{At: time.Millisecond, ModelID: "mbnet", UserID: "u"},
+		{At: 2 * time.Millisecond, ModelID: "mbnet", UserID: "u"},
+		{At: 3 * time.Millisecond, ModelID: "mbnet", UserID: "u"},
+	}
+	res4 := runTrace(t, oneAction(SeSeMI, "tvm", "mbnet", 4), tr)
+	if res4.ColdStarts != 1 {
+		t.Fatalf("concurrency 4: %d sandboxes, want 1", res4.ColdStarts)
+	}
+	res1 := runTrace(t, oneAction(SeSeMI, "tvm", "mbnet", 1), tr)
+	if res1.ColdStarts != 4 {
+		t.Fatalf("concurrency 1: %d sandboxes, want 4", res1.ColdStarts)
+	}
+}
+
+func TestKeepWarmExpiry(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	cfg.KeepWarm = time.Minute
+	tr := workload.Trace{
+		{At: 0, ModelID: "mbnet", UserID: "u"},
+		// Well past keep-warm: instance reaped, so this is cold again.
+		{At: 5 * time.Minute, ModelID: "mbnet", UserID: "u"},
+	}
+	res := runTrace(t, cfg, tr)
+	if res.Cold != 2 {
+		t.Fatalf("cold=%d warm=%d hot=%d, want 2 colds", res.Cold, res.Warm, res.Hot)
+	}
+}
+
+func TestMemorySchedulingLimitsSandboxes(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "rsnet", 1)
+	cfg.NodeMemory = 1 << 30 // fits one 896 MiB rsnet container only
+	burst := workload.Trace{}
+	for i := 0; i < 3; i++ {
+		burst = append(burst, workload.Event{At: time.Duration(i) * time.Millisecond, ModelID: "rsnet", UserID: "u"})
+	}
+	res := runTrace(t, cfg, burst)
+	if res.ColdStarts != 1 {
+		t.Fatalf("%d sandboxes on a 1 GiB node, want 1", res.ColdStarts)
+	}
+	if len(res.Requests) != 3 {
+		t.Fatalf("served %d, want 3 (queued)", len(res.Requests))
+	}
+}
+
+func TestEPCPressureSlowsSGX1(t *testing.T) {
+	// Three concurrent mbnet sandboxes hold 192 MiB of enclaves on a
+	// 128 MiB SGX1 EPC, so hot executions re-page their working sets; the
+	// same workload on SGX2 (64 GiB EPC) pays nothing.
+	mk := func(hw costmodel.HW) time.Duration {
+		cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+		cfg.HW = hw
+		tr := workload.Trace{
+			{At: 0, ModelID: "mbnet", UserID: "u"},
+			{At: time.Millisecond, ModelID: "mbnet", UserID: "u"},
+			{At: 2 * time.Millisecond, ModelID: "mbnet", UserID: "u"},
+			// hot round after warmup
+			{At: time.Minute, ModelID: "mbnet", UserID: "u"},
+			{At: time.Minute + time.Millisecond, ModelID: "mbnet", UserID: "u"},
+			{At: time.Minute + 2*time.Millisecond, ModelID: "mbnet", UserID: "u"},
+		}
+		res := runTrace(t, cfg, tr)
+		var worst time.Duration
+		for _, r := range res.Requests[3:] {
+			if r.Latency() > worst {
+				worst = r.Latency()
+			}
+		}
+		return worst
+	}
+	sgx2 := mk(costmodel.SGX2)
+	sgx1 := mk(costmodel.SGX1)
+	if sgx1 <= sgx2 {
+		t.Fatalf("EPC pressure invisible: sgx1 %v vs sgx2 %v", sgx1, sgx2)
+	}
+}
+
+func TestFnPackerStrategyIntegration(t *testing.T) {
+	// Two models on a shared 2-endpoint pool: concurrent streams must end
+	// on separate endpoints with no model switching after warmup.
+	actions := []ActionSpec{
+		{Name: "pool-0", Framework: "tvm", Concurrency: 1, DefaultModel: "rsnet"},
+		{Name: "pool-1", Framework: "tvm", Concurrency: 1, DefaultModel: "rsnet"},
+	}
+	s, err := New(Config{
+		System: SeSeMI, HW: costmodel.SGX2, Nodes: 2, Actions: actions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := fnpacker.NewScheduler(s.EngineClock(), fnpacker.DefaultExclusiveInterval, "pool-0", "pool-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cfg.Route = sched
+	tr := workload.Merge(
+		workload.FixedRate(0.2, 50*time.Second, "m0", "u0"),
+		workload.FixedRate(0.2, 50*time.Second, "m1", "u1"),
+	)
+	// Model ids m0/m1 use rsnet costs via the action's framework; the cost
+	// table needs a known model id, so map them.
+	for i := range tr {
+		if tr[i].ModelID == "m0" {
+			tr[i].ModelID = "rsnet"
+		} else {
+			tr[i].ModelID = "dsnet"
+		}
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first request, each model must stay on one endpoint.
+	eps := map[string]map[string]bool{}
+	for _, r := range res.Requests {
+		if eps[r.Model] == nil {
+			eps[r.Model] = map[string]bool{}
+		}
+		eps[r.Model][r.Endpoint] = true
+	}
+	for m, set := range eps {
+		if len(set) != 1 {
+			t.Fatalf("model %s wandered endpoints: %v", m, set)
+		}
+	}
+	// And warm/hot dominance: after the two colds, everything is hot.
+	if res.Cold != 2 {
+		t.Fatalf("colds %d, want 2", res.Cold)
+	}
+	if res.Warm > 2 {
+		t.Fatalf("model switching detected: %d warms", res.Warm)
+	}
+}
+
+func TestGBSecondsAccounting(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "dsnet", 1)
+	cfg.KeepWarm = time.Minute
+	tr := workload.FixedRate(1, 60*time.Second, "dsnet", "u")
+	res := runTrace(t, cfg, tr)
+	if res.GBSeconds <= 0 {
+		t.Fatal("no GB-s cost recorded")
+	}
+	// One 256 MiB sandbox alive ~2 minutes (workload + keep-warm) ≈
+	// 0.268 GB × 120-180 s ≈ 32-50 GB-s.
+	if res.GBSeconds < 20 || res.GBSeconds > 80 {
+		t.Fatalf("GB-s %v out of plausible range", res.GBSeconds)
+	}
+}
+
+func TestSeriesPopulated(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	tr := workload.FixedRate(2, 30*time.Second, "mbnet", "u")
+	res := runTrace(t, cfg, tr)
+	if len(res.SandboxSeries.Buckets()) == 0 || len(res.MemorySeries.Buckets()) == 0 {
+		t.Fatal("time series empty")
+	}
+	if len(res.LatencySeries.Buckets()) == 0 {
+		t.Fatal("latency series empty")
+	}
+	if res.End <= 0 {
+		t.Fatal("End not set")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("accepted config without actions")
+	}
+	if _, err := New(Config{Actions: []ActionSpec{{Name: "x", Framework: "tvm"}}}); err == nil {
+		t.Fatal("accepted action without enclave sizing")
+	}
+	if _, err := New(Config{Actions: []ActionSpec{
+		{Name: "x", Framework: "tvm", DefaultModel: "mbnet"},
+		{Name: "x", Framework: "tvm", DefaultModel: "mbnet"},
+	}}); err == nil {
+		t.Fatal("accepted duplicate actions")
+	}
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+func newDir(t *testing.T) *Dir {
+	t.Helper()
+	d, err := NewDir(t.TempDir(), vclock.NewManual(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDirPutGetRoundTrip(t *testing.T) {
+	d := newDir(t)
+	if err := d.Put("models/m1.enc", []byte("ciphertext")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get("models/m1.enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ciphertext" {
+		t.Fatalf("got %q", got)
+	}
+	n, err := d.Size("models/m1.enc")
+	if err != nil || n != 10 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+}
+
+func TestDirMissing(t *testing.T) {
+	d := newDir(t)
+	if _, err := d.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get err = %v", err)
+	}
+	if _, err := d.Size("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size err = %v", err)
+	}
+}
+
+func TestDirEmptyName(t *testing.T) {
+	d := newDir(t)
+	if err := d.Put("", []byte("x")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := d.Get(""); err == nil {
+		t.Fatal("empty name accepted on Get")
+	}
+}
+
+func TestDirPathTraversalBlocked(t *testing.T) {
+	d := newDir(t)
+	for _, name := range []string{"../escape", "a/../../escape", "../../etc/passwd"} {
+		if err := d.Put(name, []byte("x")); err == nil {
+			t.Errorf("Put(%q) escaped the root", name)
+		}
+		if _, err := d.Get(name); err == nil {
+			t.Errorf("Get(%q) escaped the root", name)
+		}
+	}
+}
+
+func TestDirList(t *testing.T) {
+	d := newDir(t)
+	_ = d.Put("models/a.enc", []byte("1"))
+	_ = d.Put("models/b.enc", []byte("2"))
+	_ = d.Put("top.bin", []byte("3"))
+	names := d.List()
+	sort.Strings(names)
+	want := []string{"models/a.enc", "models/b.enc", "top.bin"}
+	if len(names) != len(want) {
+		t.Fatalf("List = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDirOverwrite(t *testing.T) {
+	d := newDir(t)
+	_ = d.Put("m", []byte("v1"))
+	_ = d.Put("m", []byte("v2"))
+	got, err := d.Get("m")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestDirChargesLatency(t *testing.T) {
+	clock := vclock.NewManual()
+	d, err := NewDir(t.TempDir(), clock, func(_ string, size int) time.Duration {
+		return time.Duration(size) * time.Millisecond
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Put("m", make([]byte, 5))
+	if _, err := d.Get("m"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.TotalSlept() != 5*time.Millisecond {
+		t.Fatalf("charged %v", clock.TotalSlept())
+	}
+}

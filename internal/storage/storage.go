@@ -1,0 +1,223 @@
+// Package storage emulates the cloud storage tier that holds encrypted
+// models and function images (Figure 2).
+//
+// Two latency profiles reproduce the paper's setups: Cluster models the NFS
+// share used in the evaluation cluster (§VI "A network file system is set up
+// in the cluster to emulate cloud storage"), and Cloud models same-region
+// Azure Blob Storage with the download times quoted in §VI-A.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// ErrNotFound reports a missing blob.
+var ErrNotFound = errors.New("storage: blob not found")
+
+// Store is a blob store.
+type Store interface {
+	// Put uploads a blob.
+	Put(name string, data []byte) error
+	// Get downloads a blob. Implementations charge their latency model.
+	Get(name string) ([]byte, error)
+	// Size returns a blob's size without transferring it.
+	Size(name string) (int, error)
+	// List returns all blob names.
+	List() []string
+}
+
+// LatencyFunc models the transfer time for a blob of the given size.
+type LatencyFunc func(name string, size int) time.Duration
+
+// ClusterLatency models the in-cluster NFS share: 10 Gbps wire speed plus a
+// small fixed overhead. At these rates loading even RSNET takes ~150 ms,
+// matching the small "model load" components of Figure 17.
+func ClusterLatency(_ string, size int) time.Duration {
+	const bytesPerSecond = 1.1e9 // ~10 Gbps with protocol overhead
+	return 2*time.Millisecond + time.Duration(float64(size)/bytesPerSecond*float64(time.Second))
+}
+
+// CloudLatency models same-region Azure Blob Storage. Fitted to the paper's
+// §VI-A quotes (MBNET 17 MB → 180 ms, DSNET 44 MB → 360 ms, RSNET 170 MB →
+// 2100 ms): a ~75 ms request overhead plus ~85 MB/s of throughput, with the
+// largest object hitting a slower effective rate.
+func CloudLatency(_ string, size int) time.Duration {
+	mb := float64(size) / (1 << 20)
+	per := 6.2 // ms per MB
+	if mb > 100 {
+		per = 11.9 // large blobs see worse effective throughput
+	}
+	return time.Duration((75 + per*mb) * float64(time.Millisecond))
+}
+
+// Memory is an in-memory Store with a pluggable latency model. It is safe
+// for concurrent use.
+type Memory struct {
+	clock   vclock.Clock
+	latency LatencyFunc
+
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemory creates a store. A nil clock means the system clock; a nil
+// latency function means no modeled transfer time.
+func NewMemory(clock vclock.Clock, latency LatencyFunc) *Memory {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Memory{clock: clock, latency: latency, blobs: map[string][]byte{}}
+}
+
+// Put implements Store. Uploads are not charged latency: model upload is an
+// offline step in the paper's workflow.
+func (m *Memory) Put(name string, data []byte) error {
+	if name == "" {
+		return errors.New("storage: empty blob name")
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.blobs[name] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Store, charging the latency model on the clock.
+func (m *Memory) Get(name string) ([]byte, error) {
+	m.mu.RLock()
+	data, ok := m.blobs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if m.latency != nil {
+		m.clock.Sleep(m.latency(name, len(data)))
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Size implements Store.
+func (m *Memory) Size(name string) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.blobs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return len(data), nil
+}
+
+// List implements Store.
+func (m *Memory) List() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.blobs))
+	for n := range m.blobs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Dir is a directory-backed Store used by the standalone binaries: blobs are
+// files under the root (names with '/' become subdirectories). Latency
+// modeling works as in Memory.
+type Dir struct {
+	root    string
+	clock   vclock.Clock
+	latency LatencyFunc
+}
+
+// NewDir creates a directory store rooted at root (created if needed).
+func NewDir(root string, clock vclock.Clock, latency LatencyFunc) (*Dir, error) {
+	if clock == nil {
+		clock = vclock.System
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &Dir{root: root, clock: clock, latency: latency}, nil
+}
+
+func (d *Dir) path(name string) (string, error) {
+	if name == "" {
+		return "", errors.New("storage: empty blob name")
+	}
+	p := filepath.Join(d.root, filepath.FromSlash(name))
+	if !strings.HasPrefix(p, filepath.Clean(d.root)+string(filepath.Separator)) {
+		return "", fmt.Errorf("storage: blob name %q escapes root", name)
+	}
+	return p, nil
+}
+
+// Put implements Store.
+func (d *Dir) Put(name string, data []byte) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// Get implements Store.
+func (d *Dir) Get(name string) ([]byte, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	if d.latency != nil {
+		d.clock.Sleep(d.latency(name, len(data)))
+	}
+	return data, nil
+}
+
+// Size implements Store.
+func (d *Dir) Size(name string) (int, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return 0, err
+	}
+	return int(fi.Size()), nil
+}
+
+// List implements Store.
+func (d *Dir) List() []string {
+	var names []string
+	_ = filepath.WalkDir(d.root, func(p string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return nil
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	return names
+}

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"sesemi/internal/model"
+	"sesemi/internal/vclock"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewMemory(vclock.NewManual(), nil)
+	if err := s.Put("models/m1.enc", []byte("ciphertext")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("models/m1.enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ciphertext" {
+		t.Fatalf("got %q", got)
+	}
+	// Returned slice must be a copy.
+	got[0] = 'X'
+	again, err := s.Get("models/m1.enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != "ciphertext" {
+		t.Fatal("store shares memory with callers")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewMemory(nil, nil)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size err = %v", err)
+	}
+}
+
+func TestPutEmptyName(t *testing.T) {
+	s := NewMemory(nil, nil)
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("accepted empty name")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s := NewMemory(nil, nil)
+	_ = s.Put("a", []byte("v1"))
+	_ = s.Put("a", []byte("v2"))
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSizeAndList(t *testing.T) {
+	s := NewMemory(nil, nil)
+	_ = s.Put("b", make([]byte, 100))
+	_ = s.Put("a", make([]byte, 5))
+	n, err := s.Size("b")
+	if err != nil || n != 100 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	names := s.List()
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestGetChargesLatency(t *testing.T) {
+	clock := vclock.NewManual()
+	s := NewMemory(clock, func(_ string, size int) time.Duration {
+		return time.Duration(size) * time.Millisecond
+	})
+	_ = s.Put("m", make([]byte, 7))
+	if _, err := s.Get("m"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.TotalSlept() != 7*time.Millisecond {
+		t.Fatalf("charged %v, want 7ms", clock.TotalSlept())
+	}
+	// Size must be free.
+	if _, err := s.Size("m"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.TotalSlept() != 7*time.Millisecond {
+		t.Fatal("Size charged latency")
+	}
+}
+
+// TestCloudLatencyMatchesPaper checks the §VI-A Azure Blob numbers (±15 %).
+func TestCloudLatencyMatchesPaper(t *testing.T) {
+	cases := []struct {
+		id   string
+		want time.Duration
+	}{
+		{"mbnet", 180 * time.Millisecond},
+		{"dsnet", 360 * time.Millisecond},
+		{"rsnet", 2100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		size := model.Zoo[c.id].ModelBytes
+		got := CloudLatency(c.id, size)
+		lo := time.Duration(float64(c.want) * 0.85)
+		hi := time.Duration(float64(c.want) * 1.15)
+		if got < lo || got > hi {
+			t.Errorf("CloudLatency(%s, %d MB) = %v, paper %v", c.id, size>>20, got, c.want)
+		}
+	}
+}
+
+func TestClusterFasterThanCloud(t *testing.T) {
+	for _, id := range model.ZooIDs() {
+		size := model.Zoo[id].ModelBytes
+		if ClusterLatency(id, size) >= CloudLatency(id, size) {
+			t.Errorf("%s: cluster latency not faster than cloud", id)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Padding selects how convolution and pooling handle borders.
+type Padding int
+
+const (
+	// Valid applies no padding; the output shrinks by kernel-1.
+	Valid Padding = iota
+	// Same pads the input so that output spatial size = ceil(in/stride).
+	Same
+)
+
+func (p Padding) String() string {
+	if p == Same {
+		return "same"
+	}
+	return "valid"
+}
+
+// convOut computes the output spatial size and the leading pad amount.
+func convOut(in, k, stride int, pad Padding) (out, before int) {
+	if pad == Same {
+		out = (in + stride - 1) / stride
+		total := (out-1)*stride + k - in
+		if total < 0 {
+			total = 0
+		}
+		return out, total / 2
+	}
+	return (in-k)/stride + 1, 0
+}
+
+// ConvShape returns the NHWC output shape of a Conv2D with the given input
+// shape [n,h,w,c], kernel [kh,kw,c,oc], stride and padding.
+func ConvShape(in []int, kh, kw, oc, stride int, pad Padding) []int {
+	oh, _ := convOut(in[1], kh, stride, pad)
+	ow, _ := convOut(in[2], kw, stride, pad)
+	return []int{in[0], oh, ow, oc}
+}
+
+// Conv2D computes a 2-D convolution.
+//
+//	in:   [n, h, w, c]
+//	w:    [kh, kw, c, oc]
+//	bias: [oc] or nil
+//	out:  [n, oh, ow, oc]
+func Conv2D(out, in, w, bias *Tensor, stride int, pad Padding) error {
+	if in.Rank() != 4 || w.Rank() != 4 {
+		return fmt.Errorf("%w: Conv2D wants rank-4 tensors, got %v and %v", ErrShape, in.shape, w.shape)
+	}
+	n, h, wd, c := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	kh, kw, wc, oc := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	if wc != c {
+		return fmt.Errorf("%w: Conv2D input channels %d != weight channels %d", ErrShape, c, wc)
+	}
+	oh, padH := convOut(h, kh, stride, pad)
+	ow, padW := convOut(wd, kw, stride, pad)
+	want := []int{n, oh, ow, oc}
+	if !shapeEq(out.shape, want) {
+		return fmt.Errorf("%w: Conv2D output %v, want %v", ErrShape, out.shape, want)
+	}
+	if bias != nil && bias.Len() != oc {
+		return fmt.Errorf("%w: Conv2D bias %v, want [%d]", ErrShape, bias.shape, oc)
+	}
+	id, wdta, od := in.data, w.data, out.data
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - padH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - padW
+				outBase := ((b*oh+oy)*ow + ox) * oc
+				for k := 0; k < oc; k++ {
+					var acc float32
+					if bias != nil {
+						acc = bias.data[k]
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							inBase := ((b*h+iy)*wd + ix) * c
+							wBase := ((ky*kw+kx)*c)*oc + k
+							for ci := 0; ci < c; ci++ {
+								acc += id[inBase+ci] * wdta[wBase+ci*oc]
+							}
+						}
+					}
+					od[outBase+k] = acc
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DepthwiseConv2D computes a depthwise convolution (channel multiplier 1).
+//
+//	in:  [n, h, w, c]
+//	w:   [kh, kw, c]
+//	bias:[c] or nil
+//	out: [n, oh, ow, c]
+func DepthwiseConv2D(out, in, w, bias *Tensor, stride int, pad Padding) error {
+	if in.Rank() != 4 || w.Rank() != 3 {
+		return fmt.Errorf("%w: DepthwiseConv2D in %v w %v", ErrShape, in.shape, w.shape)
+	}
+	n, h, wd, c := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	kh, kw, wc := w.Dim(0), w.Dim(1), w.Dim(2)
+	if wc != c {
+		return fmt.Errorf("%w: DepthwiseConv2D channels %d != %d", ErrShape, c, wc)
+	}
+	oh, padH := convOut(h, kh, stride, pad)
+	ow, padW := convOut(wd, kw, stride, pad)
+	want := []int{n, oh, ow, c}
+	if !shapeEq(out.shape, want) {
+		return fmt.Errorf("%w: DepthwiseConv2D output %v, want %v", ErrShape, out.shape, want)
+	}
+	if bias != nil && bias.Len() != c {
+		return fmt.Errorf("%w: DepthwiseConv2D bias %v, want [%d]", ErrShape, bias.shape, c)
+	}
+	id, wdta, od := in.data, w.data, out.data
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - padH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - padW
+				outBase := ((b*oh+oy)*ow + ox) * c
+				for ci := 0; ci < c; ci++ {
+					var acc float32
+					if bias != nil {
+						acc = bias.data[ci]
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							acc += id[((b*h+iy)*wd+ix)*c+ci] * wdta[(ky*kw+kx)*c+ci]
+						}
+					}
+					od[outBase+ci] = acc
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Dense computes out = in·w + bias for a batch of row vectors.
+//
+//	in:   [n, k]
+//	w:    [k, m]
+//	bias: [m] or nil
+//	out:  [n, m]
+func Dense(out, in, w, bias *Tensor) error {
+	if in.Rank() != 2 || w.Rank() != 2 || out.Rank() != 2 {
+		return fmt.Errorf("%w: Dense wants rank-2 tensors", ErrShape)
+	}
+	n, k := in.Dim(0), in.Dim(1)
+	wk, m := w.Dim(0), w.Dim(1)
+	if wk != k || out.Dim(0) != n || out.Dim(1) != m {
+		return fmt.Errorf("%w: Dense in %v w %v out %v", ErrShape, in.shape, w.shape, out.shape)
+	}
+	if bias != nil && bias.Len() != m {
+		return fmt.Errorf("%w: Dense bias %v, want [%d]", ErrShape, bias.shape, m)
+	}
+	for b := 0; b < n; b++ {
+		inRow := in.data[b*k : (b+1)*k]
+		outRow := out.data[b*m : (b+1)*m]
+		if bias != nil {
+			copy(outRow, bias.data)
+		} else {
+			for j := range outRow {
+				outRow[j] = 0
+			}
+		}
+		for i := 0; i < k; i++ {
+			x := inRow[i]
+			if x == 0 {
+				continue
+			}
+			wRow := w.data[i*m : (i+1)*m]
+			for j, wv := range wRow {
+				outRow[j] += x * wv
+			}
+		}
+	}
+	return nil
+}
+
+// BatchNorm applies a per-channel affine transform y = x*scale + shift over
+// the last dimension. scale and shift must have length = last dim of in.
+func BatchNorm(out, in, scale, shift *Tensor) error {
+	c := in.Dim(in.Rank() - 1)
+	if scale.Len() != c || shift.Len() != c || !SameShape(out, in) {
+		return fmt.Errorf("%w: BatchNorm in %v scale %v shift %v", ErrShape, in.shape, scale.shape, shift.shape)
+	}
+	for i, v := range in.data {
+		ci := i % c
+		out.data[i] = v*scale.data[ci] + shift.data[ci]
+	}
+	return nil
+}
+
+// ReLU computes out = max(in, 0).
+func ReLU(out, in *Tensor) error {
+	if !SameShape(out, in) {
+		return fmt.Errorf("%w: ReLU %v vs %v", ErrShape, out.shape, in.shape)
+	}
+	for i, v := range in.data {
+		if v > 0 {
+			out.data[i] = v
+		} else {
+			out.data[i] = 0
+		}
+	}
+	return nil
+}
+
+// ReLU6 computes out = min(max(in, 0), 6), the MobileNet activation.
+func ReLU6(out, in *Tensor) error {
+	if !SameShape(out, in) {
+		return fmt.Errorf("%w: ReLU6 %v vs %v", ErrShape, out.shape, in.shape)
+	}
+	for i, v := range in.data {
+		switch {
+		case v <= 0:
+			out.data[i] = 0
+		case v >= 6:
+			out.data[i] = 6
+		default:
+			out.data[i] = v
+		}
+	}
+	return nil
+}
+
+// Add computes out = a + b elementwise (residual connections).
+func Add(out, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(out, a) {
+		return fmt.Errorf("%w: Add %v + %v -> %v", ErrShape, a.shape, b.shape, out.shape)
+	}
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return nil
+}
+
+// ConcatChannels concatenates NHWC tensors along the channel axis
+// (DenseNet-style feature reuse).
+func ConcatChannels(out *Tensor, ins ...*Tensor) error {
+	if len(ins) == 0 {
+		return fmt.Errorf("%w: ConcatChannels with no inputs", ErrShape)
+	}
+	n, h, w := ins[0].Dim(0), ins[0].Dim(1), ins[0].Dim(2)
+	total := 0
+	for _, in := range ins {
+		if in.Rank() != 4 || in.Dim(0) != n || in.Dim(1) != h || in.Dim(2) != w {
+			return fmt.Errorf("%w: ConcatChannels input %v", ErrShape, in.shape)
+		}
+		total += in.Dim(3)
+	}
+	want := []int{n, h, w, total}
+	if !shapeEq(out.shape, want) {
+		return fmt.Errorf("%w: ConcatChannels out %v, want %v", ErrShape, out.shape, want)
+	}
+	pixels := n * h * w
+	for p := 0; p < pixels; p++ {
+		off := p * total
+		for _, in := range ins {
+			c := in.Dim(3)
+			copy(out.data[off:off+c], in.data[p*c:(p+1)*c])
+			off += c
+		}
+	}
+	return nil
+}
+
+// MaxPool2D applies spatial max pooling with a square k×k window.
+func MaxPool2D(out, in *Tensor, k, stride int, pad Padding) error {
+	return pool2d(out, in, k, stride, pad, true)
+}
+
+// AvgPool2D applies spatial average pooling with a square k×k window.
+// Border windows average only over valid elements, matching TFLite.
+func AvgPool2D(out, in *Tensor, k, stride int, pad Padding) error {
+	return pool2d(out, in, k, stride, pad, false)
+}
+
+func pool2d(out, in *Tensor, k, stride int, pad Padding, isMax bool) error {
+	if in.Rank() != 4 {
+		return fmt.Errorf("%w: pool wants rank-4 input", ErrShape)
+	}
+	n, h, w, c := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, padH := convOut(h, k, stride, pad)
+	ow, padW := convOut(w, k, stride, pad)
+	want := []int{n, oh, ow, c}
+	if !shapeEq(out.shape, want) {
+		return fmt.Errorf("%w: pool out %v, want %v", ErrShape, out.shape, want)
+	}
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - padH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - padW
+				outBase := ((b*oh+oy)*ow + ox) * c
+				for ci := 0; ci < c; ci++ {
+					best := float32(math.Inf(-1))
+					sum := float32(0)
+					count := 0
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := in.data[((b*h+iy)*w+ix)*c+ci]
+							if v > best {
+								best = v
+							}
+							sum += v
+							count++
+						}
+					}
+					if isMax {
+						out.data[outBase+ci] = best
+					} else if count > 0 {
+						out.data[outBase+ci] = sum / float32(count)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalAvgPool reduces [n,h,w,c] to [n,c] by averaging over space.
+func GlobalAvgPool(out, in *Tensor) error {
+	if in.Rank() != 4 || out.Rank() != 2 || out.Dim(0) != in.Dim(0) || out.Dim(1) != in.Dim(3) {
+		return fmt.Errorf("%w: GlobalAvgPool in %v out %v", ErrShape, in.shape, out.shape)
+	}
+	n, h, w, c := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	area := float32(h * w)
+	for b := 0; b < n; b++ {
+		outRow := out.data[b*c : (b+1)*c]
+		for j := range outRow {
+			outRow[j] = 0
+		}
+		for p := 0; p < h*w; p++ {
+			row := in.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
+			for j, v := range row {
+				outRow[j] += v
+			}
+		}
+		for j := range outRow {
+			outRow[j] /= area
+		}
+	}
+	return nil
+}
+
+// Softmax computes a numerically stable softmax over the last dimension.
+func Softmax(out, in *Tensor) error {
+	if !SameShape(out, in) {
+		return fmt.Errorf("%w: Softmax %v vs %v", ErrShape, out.shape, in.shape)
+	}
+	c := in.Dim(in.Rank() - 1)
+	rows := in.Len() / c
+	for r := 0; r < rows; r++ {
+		row := in.data[r*c : (r+1)*c]
+		orow := out.data[r*c : (r+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			orow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return nil
+}
+
+// ArgMax returns the index of the largest element of the last dimension of
+// the first row. It is the conventional "predicted class" helper.
+func ArgMax(t *Tensor) int {
+	c := t.Dim(t.Rank() - 1)
+	best, bi := float32(math.Inf(-1)), 0
+	for i := 0; i < c; i++ {
+		if t.data[i] > best {
+			best, bi = t.data[i], i
+		}
+	}
+	return bi
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,480 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	for i, v := range tt.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if tt.SizeBytes() != 96 {
+		t.Fatalf("SizeBytes = %d, want 96", tt.SizeBytes())
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	if _, err := FromSlice([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("FromSlice accepted mismatched length")
+	}
+	tt, err := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.At(1, 0); got != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", got)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(2, 3)
+	tt.Set(7, 1, 2)
+	if got := tt.At(1, 2); got != 7 {
+		t.Fatalf("At = %v, want 7", got)
+	}
+	if got := tt.Data()[5]; got != 7 {
+		t.Fatalf("row-major offset wrong: %v", got)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	tt := New(2, 6)
+	tt.Set(5, 1, 0)
+	r, err := tt.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(1, 2) != 5 {
+		t.Fatalf("reshaped view lost data")
+	}
+	if _, err := tt.Reshape(5, 5); err == nil {
+		t.Fatal("Reshape accepted size change")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set(9, 2)
+	if a.At(2) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestConvOutSamePadding(t *testing.T) {
+	cases := []struct {
+		in, k, stride  int
+		wantOut, wantP int
+	}{
+		{8, 3, 1, 8, 1},
+		{8, 3, 2, 4, 0},
+		{7, 3, 2, 4, 1},
+		{8, 1, 1, 8, 0},
+	}
+	for _, c := range cases {
+		out, p := convOut(c.in, c.k, c.stride, Same)
+		if out != c.wantOut || p != c.wantP {
+			t.Errorf("convOut(%d,%d,%d,Same) = (%d,%d), want (%d,%d)",
+				c.in, c.k, c.stride, out, p, c.wantOut, c.wantP)
+		}
+	}
+}
+
+// TestConv2DIdentity checks that a 1x1 identity kernel reproduces its input.
+func TestConv2DIdentity(t *testing.T) {
+	in := New(1, 3, 3, 2)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i)
+	}
+	w := New(1, 1, 2, 2) // identity over channels
+	w.Set(1, 0, 0, 0, 0)
+	w.Set(1, 0, 0, 1, 1)
+	out := New(1, 3, 3, 2)
+	if err := Conv2D(out, in, w, nil, 1, Valid); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data() {
+		if out.Data()[i] != in.Data()[i] {
+			t.Fatalf("identity conv mismatch at %d: %v != %v", i, out.Data()[i], in.Data()[i])
+		}
+	}
+}
+
+// TestConv2DKnown verifies a hand-computed 2x2 valid convolution.
+func TestConv2DKnown(t *testing.T) {
+	in, _ := FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2, 1)
+	w, _ := FromSlice([]float32{1, 1, 1, 1}, 2, 2, 1, 1)
+	bias, _ := FromSlice([]float32{0.5}, 1)
+	out := New(1, 1, 1, 1)
+	if err := Conv2D(out, in, w, bias, 1, Valid); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(0, 0, 0, 0); got != 10.5 {
+		t.Fatalf("conv = %v, want 10.5", got)
+	}
+}
+
+func TestConv2DSamePaddingShape(t *testing.T) {
+	in := New(1, 7, 7, 3)
+	w := New(3, 3, 3, 8)
+	shape := ConvShape(in.Shape(), 3, 3, 8, 2, Same)
+	out := New(shape...)
+	if err := Conv2D(out, in, w, nil, 2, Same); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(1) != 4 || out.Dim(2) != 4 {
+		t.Fatalf("same-pad stride-2 output %v, want 4x4", out.Shape())
+	}
+}
+
+func TestConv2DShapeErrors(t *testing.T) {
+	in := New(1, 4, 4, 3)
+	w := New(3, 3, 2, 8) // wrong input channels
+	out := New(1, 2, 2, 8)
+	if err := Conv2D(out, in, w, nil, 1, Valid); err == nil {
+		t.Fatal("Conv2D accepted mismatched channels")
+	}
+}
+
+// TestDepthwiseKnown verifies depthwise conv keeps channels independent.
+func TestDepthwiseKnown(t *testing.T) {
+	in, _ := FromSlice([]float32{
+		1, 10,
+		2, 20,
+		3, 30,
+		4, 40,
+	}, 1, 2, 2, 2)
+	w, _ := FromSlice([]float32{
+		1, 0,
+		1, 0,
+		1, 0,
+		1, 0,
+	}, 2, 2, 2)
+	out := New(1, 1, 1, 2)
+	if err := DepthwiseConv2D(out, in, w, nil, 1, Valid); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 10 {
+		t.Fatalf("channel 0 = %v, want 10", out.At(0, 0, 0, 0))
+	}
+	if out.At(0, 0, 0, 1) != 0 {
+		t.Fatalf("channel 1 = %v, want 0 (zero kernel)", out.At(0, 0, 0, 1))
+	}
+}
+
+func TestDenseKnown(t *testing.T) {
+	in, _ := FromSlice([]float32{1, 2}, 1, 2)
+	w, _ := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+	}, 2, 3)
+	bias, _ := FromSlice([]float32{10, 20, 30}, 3)
+	out := New(1, 3)
+	if err := Dense(out, in, w, bias); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{19, 32, 45}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("dense[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestDenseBatch(t *testing.T) {
+	in, _ := FromSlice([]float32{1, 0, 0, 1}, 2, 2)
+	w, _ := FromSlice([]float32{3, 4, 5, 6}, 2, 2)
+	out := New(2, 2)
+	if err := Dense(out, in, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 3 || out.At(1, 1) != 6 {
+		t.Fatalf("batch dense wrong: %v", out.Data())
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	in, _ := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	scale, _ := FromSlice([]float32{2, 3}, 2)
+	shift, _ := FromSlice([]float32{1, -1}, 2)
+	out := New(2, 2)
+	if err := BatchNorm(out, in, scale, shift); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3, 5, 7, 11}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("bn[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestReLUVariants(t *testing.T) {
+	in, _ := FromSlice([]float32{-2, 0, 3, 8}, 4)
+	out := New(4)
+	if err := ReLU(out, in); err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 0 || out.Data()[3] != 8 {
+		t.Fatalf("relu: %v", out.Data())
+	}
+	if err := ReLU6(out, in); err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[3] != 6 {
+		t.Fatalf("relu6 cap failed: %v", out.Data())
+	}
+}
+
+func TestAddResidual(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2}, 2)
+	b, _ := FromSlice([]float32{10, 20}, 2)
+	out := New(2)
+	if err := Add(out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[1] != 22 {
+		t.Fatalf("add: %v", out.Data())
+	}
+}
+
+func TestConcatChannels(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 1, 2)
+	b, _ := FromSlice([]float32{9, 10}, 1, 2, 1, 1)
+	out := New(1, 2, 1, 3)
+	if err := ConcatChannels(out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 9, 3, 4, 10}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("concat[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in, _ := FromSlice([]float32{
+		1, 5,
+		3, 2,
+	}, 1, 2, 2, 1)
+	out := New(1, 1, 1, 1)
+	if err := MaxPool2D(out, in, 2, 2, Valid); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 5 {
+		t.Fatalf("maxpool = %v, want 5", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestAvgPoolBorder(t *testing.T) {
+	in, _ := FromSlice([]float32{1, 2, 3}, 1, 1, 3, 1)
+	out := New(1, 1, 2, 1)
+	if err := AvgPool2D(out, in, 2, 2, Same); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 1.5 {
+		t.Fatalf("avg[0] = %v, want 1.5", out.At(0, 0, 0, 0))
+	}
+	if out.At(0, 0, 1, 0) != 3 {
+		t.Fatalf("avg[1] = %v, want 3 (border averages valid only)", out.At(0, 0, 1, 0))
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 1, 2, 2, 2)
+	out := New(1, 2)
+	if err := GlobalAvgPool(out, in); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 4 || out.At(0, 1) != 5 {
+		t.Fatalf("gap = %v, want [4 5]", out.Data())
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	in, _ := FromSlice([]float32{1, 2, 3, 1000, 1001, 999}, 2, 3)
+	out := New(2, 3)
+	if err := Softmax(out, in); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := out.At(r, c)
+			if v < 0 || v > 1 || math.IsNaN(float64(v)) {
+				t.Fatalf("softmax out of range / NaN: %v", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	tt, _ := FromSlice([]float32{0.1, 0.7, 0.2}, 1, 3)
+	if ArgMax(tt) != 1 {
+		t.Fatalf("ArgMax = %d, want 1", ArgMax(tt))
+	}
+}
+
+// Property: softmax output always sums to 1 and is invariant to shifting the
+// logits by a constant.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(raw []float32, shift float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				raw[i] = 0
+			}
+			// keep logits in a sane range
+			raw[i] = float32(math.Mod(float64(raw[i]), 50))
+		}
+		shift = float32(math.Mod(float64(shift), 50))
+		in, _ := FromSlice(raw, len(raw))
+		shifted := New(len(raw))
+		for i, v := range raw {
+			shifted.Data()[i] = v + shift
+		}
+		a, b := New(len(raw)), New(len(raw))
+		if Softmax(a, in) != nil || Softmax(b, shifted) != nil {
+			return false
+		}
+		var sum float64
+		for i := range a.Data() {
+			sum += float64(a.Data()[i])
+			if math.Abs(float64(a.Data()[i]-b.Data()[i])) > 1e-4 {
+				return false
+			}
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(xs []float32) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		n := len(xs) / 2 * 2
+		a, _ := FromSlice(xs[:n/2], n/2)
+		b, _ := FromSlice(xs[n/2:n], n/2)
+		ab, ba := New(n/2), New(n/2)
+		if Add(ab, a, b) != nil || Add(ba, b, a) != nil {
+			return false
+		}
+		for i := range ab.Data() {
+			x, y := ab.Data()[i], ba.Data()[i]
+			if x != y && !(math.IsNaN(float64(x)) && math.IsNaN(float64(y))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stride-1 valid Conv2D with an all-ones 1x1 single-output-channel
+// kernel computes the channel sum at every pixel.
+func TestConvChannelSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		h, w, c := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(4)
+		in := New(1, h, w, c)
+		for i := range in.Data() {
+			in.Data()[i] = rng.Float32()*2 - 1
+		}
+		k := New(1, 1, c, 1)
+		k.Fill(1)
+		out := New(1, h, w, 1)
+		if err := Conv2D(out, in, k, nil, 1, Valid); err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var want float32
+				for ci := 0; ci < c; ci++ {
+					want += in.At(0, y, x, ci)
+				}
+				got := out.At(0, y, x, 0)
+				if math.Abs(float64(got-want)) > 1e-4 {
+					t.Fatalf("channel sum at (%d,%d): %v, want %v", y, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: MaxPool output never exceeds the global max of the input and the
+// global max survives pooling that covers the whole input.
+func TestMaxPoolBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		h := 2 + rng.Intn(4)
+		in := New(1, h, h, 1)
+		var globalMax float32 = -100
+		for i := range in.Data() {
+			in.Data()[i] = rng.Float32()*10 - 5
+			if in.Data()[i] > globalMax {
+				globalMax = in.Data()[i]
+			}
+		}
+		out := New(1, 1, 1, 1)
+		if err := MaxPool2D(out, in, h, h, Valid); err != nil {
+			t.Fatal(err)
+		}
+		if out.At(0, 0, 0, 0) != globalMax {
+			t.Fatalf("full pool = %v, want global max %v", out.At(0, 0, 0, 0), globalMax)
+		}
+	}
+}
+
+func BenchmarkConv2D3x3(b *testing.B) {
+	in := New(1, 32, 32, 16)
+	w := New(3, 3, 16, 32)
+	out := New(ConvShape(in.Shape(), 3, 3, 32, 1, Same)...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Conv2D(out, in, w, nil, 1, Same); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDense(b *testing.B) {
+	in := New(1, 1024)
+	w := New(1024, 1000)
+	out := New(1, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Dense(out, in, w, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

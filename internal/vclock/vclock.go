@@ -1,0 +1,99 @@
+// Package vclock abstracts time so that the live SeSeMI stack and the
+// discrete-event experiment harness can share components.
+//
+// Modeled latencies (enclave creation, attestation round trips, model
+// downloads — see internal/costmodel) are injected through a Clock. The live
+// servers use Real (optionally time-scaled so integration tests don't spend
+// seconds in modeled sleeps); unit tests use Manual, which advances
+// instantly and records every sleep.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and modeled delays.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep blocks for the (possibly scaled) duration d.
+	Sleep(d time.Duration)
+}
+
+// Real is a wall-clock Clock. Scale < 1 compresses modeled sleeps, e.g.
+// Scale = 0.01 turns a modeled 1.04 s enclave creation into 10.4 ms of wall
+// time; Now still reports wall time. Scale 0 means "do not sleep at all".
+type Real struct {
+	// Scale multiplies every Sleep duration. Zero disables sleeping.
+	Scale float64
+}
+
+// System is the pass-through wall clock.
+var System = Real{Scale: 1}
+
+// Now implements Clock.
+func (r Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (r Real) Sleep(d time.Duration) {
+	if r.Scale <= 0 || d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * r.Scale))
+}
+
+// Manual is a deterministic clock for tests: Sleep returns immediately,
+// advancing virtual time and recording the request. It is safe for
+// concurrent use.
+type Manual struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+	total time.Duration
+}
+
+// NewManual creates a Manual clock starting at a fixed epoch.
+func NewManual() *Manual {
+	return &Manual{now: time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock: it advances virtual time by d without blocking.
+func (m *Manual) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+	m.slept = append(m.slept, d)
+	m.total += d
+}
+
+// Advance moves virtual time forward without recording a sleep.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+}
+
+// Slept returns a copy of all recorded sleep durations in order.
+func (m *Manual) Slept() []time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]time.Duration(nil), m.slept...)
+}
+
+// TotalSlept returns the sum of all recorded sleeps.
+func (m *Manual) TotalSlept() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}

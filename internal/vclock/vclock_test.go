@@ -1,0 +1,70 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealScaleZeroDoesNotBlock(t *testing.T) {
+	c := Real{Scale: 0}
+	start := time.Now()
+	c.Sleep(10 * time.Second)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("Scale 0 slept")
+	}
+}
+
+func TestRealScaleCompresses(t *testing.T) {
+	c := Real{Scale: 0.001}
+	start := time.Now()
+	c.Sleep(2 * time.Second) // scaled to 2ms
+	el := time.Since(start)
+	if el < 1*time.Millisecond || el > 500*time.Millisecond {
+		t.Fatalf("scaled sleep took %v", el)
+	}
+}
+
+func TestManualAdvances(t *testing.T) {
+	m := NewManual()
+	t0 := m.Now()
+	m.Sleep(3 * time.Second)
+	if got := m.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("virtual time advanced %v, want 3s", got)
+	}
+	m.Advance(time.Second)
+	if got := m.Now().Sub(t0); got != 4*time.Second {
+		t.Fatalf("after Advance: %v, want 4s", got)
+	}
+	if m.TotalSlept() != 3*time.Second {
+		t.Fatalf("TotalSlept %v, want 3s (Advance must not count)", m.TotalSlept())
+	}
+	if n := len(m.Slept()); n != 1 {
+		t.Fatalf("Slept records %d entries, want 1", n)
+	}
+}
+
+func TestManualNegativeSleepClamped(t *testing.T) {
+	m := NewManual()
+	m.Sleep(-time.Second)
+	if m.TotalSlept() != 0 {
+		t.Fatalf("negative sleep counted: %v", m.TotalSlept())
+	}
+}
+
+func TestManualConcurrentSafety(t *testing.T) {
+	m := NewManual()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Sleep(time.Millisecond)
+			m.Now()
+		}()
+	}
+	wg.Wait()
+	if m.TotalSlept() != 50*time.Millisecond {
+		t.Fatalf("TotalSlept %v, want 50ms", m.TotalSlept())
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixedRateSpacing(t *testing.T) {
+	tr := FixedRate(10, time.Second, "m", "u")
+	if len(tr) != 10 {
+		t.Fatalf("len = %d, want 10", len(tr))
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At-tr[i-1].At != 100*time.Millisecond {
+			t.Fatalf("gap %v", tr[i].At-tr[i-1].At)
+		}
+	}
+	if FixedRate(0, time.Second, "m", "u") != nil {
+		t.Fatal("zero rate should return nil")
+	}
+}
+
+func TestPoissonStatistics(t *testing.T) {
+	tr := Poisson(1, 50, 60*time.Second, "m", "u")
+	got := tr.Rate()
+	if got < 40 || got > 60 {
+		t.Fatalf("Poisson(50 rps) measured %.1f rps", got)
+	}
+	// Deterministic for the same seed.
+	tr2 := Poisson(1, 50, 60*time.Second, "m", "u")
+	if len(tr) != len(tr2) || tr[0].At != tr2[0].At {
+		t.Fatal("Poisson not deterministic")
+	}
+	tr3 := Poisson(2, 50, 60*time.Second, "m", "u")
+	if len(tr3) == len(tr) && tr3[0].At == tr[0].At {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPoissonOrdered(t *testing.T) {
+	tr := Poisson(7, 100, 10*time.Second, "m", "u")
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At < tr[i-1].At {
+			t.Fatal("trace out of order")
+		}
+	}
+}
+
+func TestMMPPAlternatesRates(t *testing.T) {
+	// 20↔40 rps with 60 s mean sojourn over 900 s (the §VI-C workload):
+	// total rate must land between the two states, and some windows must be
+	// clearly fast while others are clearly slow.
+	tr := MMPP(42, []float64{20, 40}, time.Minute, 900*time.Second, "m", "u")
+	overall := tr.Rate()
+	if overall < 22 || overall > 38 {
+		t.Fatalf("MMPP overall rate %.1f, want between 20 and 40", overall)
+	}
+	series := tr.RateSeries(30 * time.Second)
+	var slow, fast int
+	for _, r := range series {
+		if r < 27 {
+			slow++
+		}
+		if r > 33 {
+			fast++
+		}
+	}
+	if slow == 0 || fast == 0 {
+		t.Fatalf("MMPP did not modulate: series %v", series)
+	}
+}
+
+func TestSessionSequential(t *testing.T) {
+	tr := Session(4*time.Minute, 2*time.Second, "alice", "m0", "m1", "m2")
+	if len(tr) != 3 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if tr[0].At != 4*time.Minute || tr[2].At != 4*time.Minute+4*time.Second {
+		t.Fatalf("timing %v", tr)
+	}
+	for i, m := range []string{"m0", "m1", "m2"} {
+		if tr[i].ModelID != m || tr[i].UserID != "alice" {
+			t.Fatalf("event %d: %+v", i, tr[i])
+		}
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	a := Trace{{At: 3 * time.Second, ModelID: "a"}, {At: 5 * time.Second, ModelID: "a"}}
+	b := Trace{{At: 1 * time.Second, ModelID: "b"}, {At: 4 * time.Second, ModelID: "b"}}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("len %d", len(m))
+	}
+	want := []string{"b", "a", "b", "a"}
+	for i, w := range want {
+		if m[i].ModelID != w {
+			t.Fatalf("order %v", m)
+		}
+	}
+}
+
+func TestCountInWindow(t *testing.T) {
+	tr := FixedRate(1, 10*time.Second, "m", "u") // at 0,1,...,9s
+	if n := tr.CountInWindow(2*time.Second, 5*time.Second); n != 3 {
+		t.Fatalf("CountInWindow = %d, want 3", n)
+	}
+}
+
+// Property: merged traces are always sorted and preserve all events.
+func TestMergeProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		var a, b Trace
+		for i, o := range offsets {
+			e := Event{At: time.Duration(o) * time.Millisecond, ModelID: "m"}
+			if i%2 == 0 {
+				a = append(a, e)
+			} else {
+				b = append(b, e)
+			}
+		}
+		m := Merge(a, b)
+		if len(m) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i].At < m[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateSeriesBins(t *testing.T) {
+	tr := FixedRate(10, 4*time.Second, "m", "u")
+	s := tr.RateSeries(time.Second)
+	if len(s) != 4 {
+		t.Fatalf("series %v", s)
+	}
+	for _, r := range s {
+		if r != 10 {
+			t.Fatalf("series %v", s)
+		}
+	}
+	if FixedRate(10, time.Second, "m", "u").RateSeries(0) != nil {
+		t.Fatal("zero window should return nil")
+	}
+}
