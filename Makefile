@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench gateway-snapshot clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The gateway is lock-heavy; the race detector gates merges.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=Gateway -benchtime=1x -run=NONE ./internal/bench/
+
+# Regenerate the committed serving-path snapshot.
+gateway-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp gateway -json BENCH_gateway.json
+
+clean:
+	$(GO) clean ./...

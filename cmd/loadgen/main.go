@@ -9,6 +9,14 @@
 //	loadgen -via-packer http://127.0.0.1:7300/invoke -models m0,m1 \
 //	        -pattern mmpp -rate 5 -rate2 10 -duration 60s
 //
+// With -local, loadgen instead spins up a complete in-process deployment
+// (KeyService, cluster, SeMIRT action) fronted by the batching gateway and
+// drives it directly — open loop from the trace flags, or closed loop with
+// -closed N concurrent clients:
+//
+//	loadgen -local -pattern poisson -rate 200 -duration 10s -max-batch 8
+//	loadgen -local -closed 64 -requests 32 -max-batch 8
+//
 // The request keys derive from the same seeds cmd/owctl uses, so a
 // deployment set up with `owctl deploy` is directly loadable.
 package main
@@ -26,6 +34,8 @@ import (
 	"sync"
 	"time"
 
+	"sesemi/internal/bench"
+	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
 	_ "sesemi/internal/inference/tinytflm"
 	_ "sesemi/internal/inference/tinytvm"
@@ -49,32 +59,32 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "trace duration")
 	seed := flag.Int64("seed", 1, "trace seed")
 	conc := flag.Int("concurrency", 16, "max in-flight requests")
+	local := flag.Bool("local", false, "drive an in-process gateway-fronted deployment instead of HTTP")
+	closed := flag.Int("closed", 0, "with -local: closed-loop client count (0 = open loop from the trace flags)")
+	requests := flag.Int("requests", 32, "with -local -closed: requests per client")
+	maxBatch := flag.Int("max-batch", 8, "with -local: gateway batch bound")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "with -local: gateway batch formation deadline")
 	flag.Parse()
 
+	if *local {
+		if *url != "" || *packer != "" {
+			log.Fatal("loadgen: -local is mutually exclusive with -url/-via-packer")
+		}
+		if *modelsFlag != "mbnet" || *conc != 16 {
+			log.Print("loadgen: note: -models and -concurrency apply to HTTP mode only; -local drives one model through the gateway's own bounds")
+		}
+		runLocal(*closed, *requests, *maxBatch, *maxWait, *pattern, *rate, *rate2, *duration, *seed, *userSeed)
+		return
+	}
 	if *url == "" && *packer == "" {
 		log.Fatal("loadgen: one of -url or -via-packer is required")
 	}
 	modelIDs := strings.Split(*modelsFlag, ",")
-	if *rate2 <= 0 {
-		*rate2 = 2 * *rate
-	}
 
 	// Build the trace: one stream per model.
 	var traces []workload.Trace
 	for i, m := range modelIDs {
-		s := *seed + int64(i)
-		var tr workload.Trace
-		switch *pattern {
-		case "fixed":
-			tr = workload.FixedRate(*rate, *duration, m, *userSeed)
-		case "poisson":
-			tr = workload.Poisson(s, *rate, *duration, m, *userSeed)
-		case "mmpp":
-			tr = workload.MMPP(s, []float64{*rate, *rate2}, *duration/6, *duration, m, *userSeed)
-		default:
-			log.Fatalf("loadgen: unknown pattern %q", *pattern)
-		}
-		traces = append(traces, tr)
+		traces = append(traces, buildTrace(*pattern, *seed+int64(i), *rate, *rate2, *duration, m, *userSeed))
 	}
 	trace := workload.Merge(traces...)
 	fmt.Printf("loadgen: %d requests over %v (avg %.1f rps)\n", len(trace), *duration, trace.Rate())
@@ -166,4 +176,74 @@ func main() {
 			fmt.Printf("%-5s %d\n", k+":", perKind[k])
 		}
 	}
+}
+
+// buildTrace constructs one model's arrival stream from the pattern flags
+// (shared by the HTTP and -local drivers). rate2 <= 0 defaults to 2*rate
+// for MMPP's high state.
+func buildTrace(pattern string, seed int64, rate, rate2 float64, duration time.Duration, modelID, user string) workload.Trace {
+	if rate2 <= 0 {
+		rate2 = 2 * rate
+	}
+	switch pattern {
+	case "fixed":
+		return workload.FixedRate(rate, duration, modelID, user)
+	case "poisson":
+		return workload.Poisson(seed, rate, duration, modelID, user)
+	case "mmpp":
+		return workload.MMPP(seed, []float64{rate, rate2}, duration/6, duration, modelID, user)
+	}
+	log.Fatalf("loadgen: unknown pattern %q", pattern)
+	return nil
+}
+
+// runLocal drives the in-process gateway deployment (bench.LiveWorld):
+// closed loop with N concurrent clients, or open loop from the trace flags.
+func runLocal(closed, requests, maxBatch int, maxWait time.Duration, pattern string, rate, rate2 float64, duration time.Duration, seed int64, user string) {
+	w, err := bench.NewLiveWorld(bench.LiveWorldConfig{
+		Gateway: gateway.Config{
+			MaxBatch:     maxBatch,
+			MaxWait:      maxWait,
+			MaxInFlight:  8,
+			PrewarmDepth: 32,
+		},
+	})
+	if err != nil {
+		log.Fatalf("loadgen: local world: %v", err)
+	}
+	defer w.Close()
+
+	if closed > 0 {
+		fmt.Printf("loadgen: closed loop, %d clients x %d requests, MaxBatch=%d\n", closed, requests, maxBatch)
+		r := bench.ClosedLoop("gateway", closed, requests, w.DoGateway)
+		fmt.Printf("completed %d ok, %d failed in %.2fs (%.0f req/s)\n",
+			r.Requests-r.Errors, r.Errors, r.Seconds, r.RPS)
+		fmt.Printf("latency: mean %.1fms  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+			r.MeanMs, r.P50Ms, r.P95Ms, r.P99Ms)
+	} else {
+		tr := buildTrace(pattern, seed, rate, rate2, duration, w.Model, user)
+		fmt.Printf("loadgen: open loop, %d requests over %v (avg %.1f rps), MaxBatch=%d\n",
+			len(tr), duration, tr.Rate(), maxBatch)
+		lat, perKind, fails := bench.OpenLoopGateway(w, tr)
+		fmt.Printf("completed %d ok, %d failed\n", lat.Count(), fails)
+		if lat.Count() > 0 {
+			fmt.Printf("latency: mean %v  p50 %v  p95 %v  p99 %v\n",
+				lat.Mean().Round(time.Millisecond), lat.Percentile(50).Round(time.Millisecond),
+				lat.Percentile(95).Round(time.Millisecond), lat.Percentile(99).Round(time.Millisecond))
+		}
+		for _, k := range []string{"cold", "warm", "hot"} {
+			if perKind[k] > 0 {
+				fmt.Printf("%-5s %d\n", k+":", perKind[k])
+			}
+		}
+	}
+	gs := w.Gateway.Stats()
+	gm := w.Gateway.Metrics()
+	fmt.Printf("gateway: %d batches (mean %.1f, p95 %.0f), %d rejected, %d prewarmed\n",
+		gs.Batches, gm.BatchSizes.Mean(), gm.BatchSizes.Quantile(0.95), gs.Rejected, gs.Prewarmed)
+	st := w.Cluster.Stats()
+	// Amortization is served requests per gateway batch; cluster Invocations
+	// additionally counts the world's warm-up activation.
+	fmt.Printf("cluster: %d activations (%d gateway batches for %d served requests, %.1fx amortized), %d cold starts\n",
+		st.Invocations, gs.Batches, gs.Served, float64(gs.Served)/float64(max(gs.Batches, 1)), st.ColdStarts)
 }

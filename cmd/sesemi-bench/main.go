@@ -5,6 +5,7 @@
 //	sesemi-bench -list
 //	sesemi-bench -exp fig9
 //	sesemi-bench -exp all [-o results.txt]
+//	sesemi-bench -exp gateway -json BENCH_gateway.json
 package main
 
 import (
@@ -20,7 +21,27 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonOut := flag.String("json", "", "with -exp gateway: also write the machine-readable snapshot here")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if *list {
+			fatal(fmt.Errorf("-json and -list are mutually exclusive"))
+		}
+		if *exp != "gateway" {
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway"))
+		}
+		if *out != "" {
+			fatal(fmt.Errorf("-json and -o are mutually exclusive (the gateway snapshot is already a file)"))
+		}
+		snap, err := bench.WriteGatewaySnapshot(*jsonOut, bench.GatewayBenchConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gateway snapshot → %s (unbatched %.0f req/s, gateway %.0f req/s, %.2fx)\n",
+			*jsonOut, snap.Unbatched.RPS, snap.Batched.RPS, snap.Speedup)
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

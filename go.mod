@@ -1,0 +1,3 @@
+module sesemi
+
+go 1.22

@@ -12,11 +12,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sesemi/internal/attest"
 	"sesemi/internal/costmodel"
 	"sesemi/internal/enclave"
 	"sesemi/internal/fnpacker"
+	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
 	_ "sesemi/internal/inference/tinytflm"
 	_ "sesemi/internal/inference/tinytvm"
@@ -169,7 +171,7 @@ func (w *world) deployAction(name string) {
 			if err != nil {
 				return nil, err
 			}
-			return jsonInstance{rt}, nil
+			return semirt.Instance{RT: rt}, nil
 		},
 	})
 	if err != nil {
@@ -177,27 +179,11 @@ func (w *world) deployAction(name string) {
 	}
 }
 
-// jsonInstance adapts semirt.Runtime to serverless.Instance with JSON
-// payloads.
-type jsonInstance struct{ rt *semirt.Runtime }
-
-func (j jsonInstance) Invoke(payload []byte) ([]byte, error) {
-	var req semirt.Request
-	if err := json.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	resp, err := j.rt.Handle(req)
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(resp)
-}
-
-func (j jsonInstance) Stop() { j.rt.Stop() }
-
-// invoke sends one encrypted request through the cluster (optionally via a
-// FnPacker router) and decrypts the response.
-func (w *world) invoke(router *fnpacker.Router, action, modelID string, seed int) (semirt.Response, *tensor.Tensor) {
+// encryptedInput builds the canonical seed-varied input tensor and seals it
+// for the model — the single home of the seed-to-input formula within these
+// tests, so the gateway-vs-direct cross-checks cannot drift. (bench.
+// LiveWorld.Request uses the same formula independently for its own world.)
+func (w *world) encryptedInput(modelID string, seed int) []byte {
 	w.t.Helper()
 	in := tensor.New(w.shape...)
 	for i := range in.Data() {
@@ -207,6 +193,14 @@ func (w *world) invoke(router *fnpacker.Router, action, modelID string, seed int
 	if err != nil {
 		w.t.Fatal(err)
 	}
+	return payload
+}
+
+// invoke sends one encrypted request through the cluster (optionally via a
+// FnPacker router) and decrypts the response.
+func (w *world) invoke(router *fnpacker.Router, action, modelID string, seed int) (semirt.Response, *tensor.Tensor) {
+	w.t.Helper()
+	payload := w.encryptedInput(modelID, seed)
 	body, err := json.Marshal(semirt.Request{UserID: w.user.ID(), ModelID: modelID, Payload: payload})
 	if err != nil {
 		w.t.Fatal(err)
@@ -341,5 +335,217 @@ func TestIntegrationTamperedPayloadRejectedEndToEnd(t *testing.T) {
 	_, err = w.cluster.Invoke(context.Background(), "fn-mbnet", body)
 	if err == nil || !strings.Contains(err.Error(), "decrypt") {
 		t.Fatalf("tampered payload: %v", err)
+	}
+}
+
+// TestIntegrationGatewayEndToEnd drives N concurrent clients through the
+// batching gateway over a multi-node cluster: every request must be answered
+// exactly once with its own (correctly decrypting) response, batching must
+// actually coalesce activations, and each response must be a valid softmax
+// (no cross-request payload mixups).
+func TestIntegrationGatewayEndToEnd(t *testing.T) {
+	w := newIntegrationWorld(t, 2)
+	w.deployModel("mbnet")
+	w.deployAction("fn-mbnet")
+
+	gw := gateway.New(gateway.Config{
+		MaxBatch:     8,
+		MaxWait:      5 * time.Millisecond,
+		MaxQueue:     512,
+		MaxInFlight:  8,
+		PrewarmDepth: 24,
+	}, w.cluster)
+	defer gw.Close()
+
+	const clients = 12
+	const perClient = 8
+	type outcome struct {
+		client, i int
+		sum       float64
+		out       []float32
+	}
+	results := make(chan outcome, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				payload := w.encryptedInput("mbnet", c*perClient+i)
+				resp, err := gw.Do(context.Background(), "fn-mbnet",
+					semirt.Request{UserID: w.user.ID(), ModelID: "mbnet", Payload: payload})
+				if err != nil {
+					t.Errorf("client %d request %d: %v", c, i, err)
+					return
+				}
+				plain, err := semirt.DecryptResponse(w.reqKeys["mbnet"], "mbnet", resp.Payload)
+				if err != nil {
+					t.Errorf("client %d request %d: decrypt: %v", c, i, err)
+					return
+				}
+				out, err := inference.DecodeTensor(plain)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var s float64
+				for _, v := range out.Data() {
+					s += float64(v)
+				}
+				results <- outcome{client: c, i: i, sum: s, out: out.Data()}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(results)
+
+	// Zero lost, zero duplicated: exactly clients*perClient distinct
+	// (client, i) outcomes, each a valid softmax.
+	seen := map[[2]int][]float32{}
+	for o := range results {
+		key := [2]int{o.client, o.i}
+		if seen[key] != nil {
+			t.Fatalf("duplicate response for client %d request %d", o.client, o.i)
+		}
+		seen[key] = o.out
+		if o.sum < 0.99 || o.sum > 1.01 {
+			t.Fatalf("client %d request %d: softmax sum %v", o.client, o.i, o.sum)
+		}
+	}
+	if len(seen) != clients*perClient {
+		t.Fatalf("lost responses: %d of %d", len(seen), clients*perClient)
+	}
+	// No cross-request mixups: a sample of gateway responses must equal the
+	// direct (unbatched) invocation of the same input — inference is
+	// deterministic, so a swapped fan-out would diverge here.
+	for c := 0; c < clients; c += 3 {
+		i := (c / 3) % perClient
+		_, direct := w.invoke(nil, "fn-mbnet", "mbnet", c*perClient+i)
+		got := seen[[2]int{c, i}]
+		for j := range direct.Data() {
+			if got[j] != direct.Data()[j] {
+				t.Fatalf("client %d request %d: gateway response differs from direct inference at %d", c, i, j)
+			}
+		}
+	}
+
+	gs := gw.Stats()
+	if gs.Accepted != clients*perClient || gs.Served != clients*perClient {
+		t.Fatalf("gateway stats %+v", gs)
+	}
+	st := w.cluster.Stats()
+	// Batching amortization: far fewer activations than requests.
+	if st.Invocations >= clients*perClient {
+		t.Fatalf("no batching: %d activations for %d requests", st.Invocations, clients*perClient)
+	}
+	if bm := gw.Metrics().BatchSizes; bm.Max() > 8 {
+		t.Fatalf("batch size %v exceeded MaxBatch", bm.Max())
+	}
+}
+
+// recordingInstance wraps a serverless.Instance and records the order in
+// which request payloads reach it (batch envelopes are flattened in batch
+// order).
+type recordingInstance struct {
+	inner serverless.Instance
+	mu    *sync.Mutex
+	order *[]string
+}
+
+func (r recordingInstance) Invoke(payload []byte) ([]byte, error) {
+	single, batch, err := semirt.DecodeEnvelope(payload)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if len(batch) > 0 {
+		for _, req := range batch {
+			*r.order = append(*r.order, string(req.Payload))
+		}
+	} else {
+		*r.order = append(*r.order, string(single.Payload))
+	}
+	r.mu.Unlock()
+	return r.inner.Invoke(payload)
+}
+
+func (r recordingInstance) Stop() { r.inner.Stop() }
+
+// TestIntegrationGatewayFIFO asserts per-queue dispatch order over the live
+// cluster: requests enqueued in a known order must reach the enclave in that
+// order (the gateway's per-(action, model) FIFO guarantee). Arrival order is
+// recorded inside the sandbox instance, where it is authoritative.
+func TestIntegrationGatewayFIFO(t *testing.T) {
+	w := newIntegrationWorld(t, 1)
+	w.deployModel("mbnet")
+
+	var mu sync.Mutex
+	var arrived []string
+	err := w.cluster.Deploy(&serverless.Action{
+		Name:         "fn-mbnet",
+		MemoryBudget: 256 << 20,
+		Concurrency:  w.cfg.Concurrency,
+		New: func(n *serverless.Node) (serverless.Instance, error) {
+			rt, err := semirt.New(w.cfg, semirt.Deps{
+				Platform:    n.Extra.(*enclave.Platform),
+				Store:       w.store,
+				KSDialer:    keyservice.TCPDialer(w.ksAddr),
+				CAPublicKey: w.ca.PublicKey(),
+				ExpectEK:    w.ksMeas,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return recordingInstance{inner: semirt.Instance{RT: rt}, mu: &mu, order: &arrived}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MaxInFlight 1 serializes batches, so arrival order is total.
+	gw := gateway.New(gateway.Config{
+		MaxBatch:    2,
+		MaxWait:     2 * time.Millisecond,
+		MaxQueue:    64,
+		MaxInFlight: 1,
+	}, w.cluster)
+	defer gw.Close()
+
+	const n = 10
+	submitted := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		payload := w.encryptedInput("mbnet", i)
+		submitted[i] = string(payload)
+		wg.Add(1)
+		go func(i int, payload []byte) {
+			defer wg.Done()
+			if _, err := gw.Do(context.Background(), "fn-mbnet",
+				semirt.Request{UserID: w.user.ID(), ModelID: "mbnet", Payload: payload}); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i, payload)
+		// Serialize enqueue so submission order is well-defined; bounded so
+		// an admission regression fails fast instead of hanging the test.
+		deadline := time.Now().Add(5 * time.Second)
+		for int(gw.Stats().Accepted) != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("request %d was never admitted (stats %+v)", i, gw.Stats())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(arrived) != n {
+		t.Fatalf("arrived %d of %d", len(arrived), n)
+	}
+	for i := range arrived {
+		if arrived[i] != submitted[i] {
+			t.Fatalf("dispatch order violated FIFO at position %d", i)
+		}
 	}
 }

@@ -1,0 +1,510 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/gateway"
+	"sesemi/internal/inference"
+	_ "sesemi/internal/inference/tinytflm"
+	_ "sesemi/internal/inference/tinytvm"
+	"sesemi/internal/keyservice"
+	"sesemi/internal/metrics"
+	"sesemi/internal/model"
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+	"sesemi/internal/serverless"
+	"sesemi/internal/storage"
+	"sesemi/internal/tensor"
+	"sesemi/internal/vclock"
+	"sesemi/internal/workload"
+)
+
+// ---------- Live serving world (cluster + KeyService + gateway) ----------
+
+// LiveWorld is a complete in-process SeSeMI deployment — KeyService over
+// loopback TCP, a serverless cluster of SGX2 platforms running SeMIRT
+// actions, and a serving gateway in front — used by the gateway experiment,
+// the gateway benchmarks, and loadgen's -local mode.
+type LiveWorld struct {
+	Cluster *serverless.Cluster
+	Gateway *gateway.Gateway
+	// Action is the single deployed endpoint; Model its pinned model id.
+	Action, Model string
+
+	reqKey  secure.Key
+	userID  secure.ID
+	shape   []int
+	closers []func()
+}
+
+// LiveWorldConfig shapes the deployment.
+type LiveWorldConfig struct {
+	// Nodes is the invoker count (default 1).
+	Nodes int
+	// NodeMemory bounds sandboxes per node (default 512 MiB: two 256 MiB
+	// sandboxes, so warm capacity is genuinely scarce).
+	NodeMemory int64
+	// Concurrency is TCSs per SeMIRT enclave (default 4).
+	Concurrency int
+	// InvokeOverhead is the modeled per-activation platform overhead charged
+	// on the wall clock while a request holds its slot (default 2 ms — the
+	// controller/invoker/action-proxy hop of an OpenWhisk activation, which
+	// batching amortizes).
+	InvokeOverhead time.Duration
+	// Gateway tunes the front-end; zero values take gateway defaults.
+	Gateway gateway.Config
+}
+
+// NewLiveWorld builds the deployment, deploys one functional mbnet model and
+// one action, and warms one sandbox.
+func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.NodeMemory <= 0 {
+		cfg.NodeMemory = 512 << 20
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.InvokeOverhead == 0 {
+		cfg.InvokeOverhead = 2 * time.Millisecond
+	}
+	w := &LiveWorld{Action: "fn-mbnet", Model: "mbnet"}
+	fail := func(err error) (*LiveWorld, error) {
+		w.Close()
+		return nil, err
+	}
+
+	ca, err := attest.NewCA()
+	if err != nil {
+		return fail(err)
+	}
+	// Platform sleeps are disabled (Scale 0): modeled TEE latencies are not
+	// the subject here. The cluster clock runs at Scale 1 so InvokeOverhead
+	// is charged for real — it is what the gateway amortizes.
+	platClock := vclock.Real{Scale: 0}
+
+	ksKey, err := ca.Provision("ks")
+	if err != nil {
+		return fail(err)
+	}
+	svc := keyservice.NewService()
+	ksEnc, err := enclave.NewPlatform(costmodel.SGX2, platClock, ksKey).
+		Launch(keyservice.ManifestFor(64), svc)
+	if err != nil {
+		return fail(err)
+	}
+	w.closers = append(w.closers, ksEnc.Destroy)
+	srv, err := keyservice.NewServer(svc, ca.PublicKey())
+	if err != nil {
+		return fail(err)
+	}
+	srv.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	w.closers = append(w.closers, func() { _ = srv.Close() })
+	ksAddr := ln.Addr().String()
+
+	store := storage.NewMemory(platClock, nil)
+	var nodes []*serverless.Node
+	for i := 0; i < cfg.Nodes; i++ {
+		key, err := ca.Provision(fmt.Sprintf("node-%d", i))
+		if err != nil {
+			return fail(err)
+		}
+		nodes = append(nodes, &serverless.Node{
+			Name:        fmt.Sprintf("node-%d", i),
+			MemoryBytes: cfg.NodeMemory,
+			Extra:       enclave.NewPlatform(costmodel.SGX2, platClock, key),
+		})
+	}
+	ccfg := serverless.DefaultConfig()
+	ccfg.Clock = vclock.Real{Scale: 1}
+	ccfg.SandboxStart = 0
+	ccfg.InvokeOverhead = cfg.InvokeOverhead
+	w.Cluster = serverless.NewCluster(ccfg, nodes...)
+	w.closers = append(w.closers, w.Cluster.Close)
+
+	// Principals, model, grants.
+	dial := keyservice.TCPDialer(ksAddr)
+	owner := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("bench-owner"))
+	user := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("bench-user"))
+	w.closers = append(w.closers, func() { owner.Close(); user.Close() })
+	if err := owner.Register(); err != nil {
+		return fail(err)
+	}
+	if err := user.Register(); err != nil {
+		return fail(err)
+	}
+	scfg, err := semirt.DefaultConfig("tvm", w.Model, cfg.Concurrency)
+	if err != nil {
+		return fail(err)
+	}
+	m, err := model.NewFunctional(w.Model)
+	if err != nil {
+		return fail(err)
+	}
+	w.shape = m.InputShape
+	data, err := model.Marshal(m)
+	if err != nil {
+		return fail(err)
+	}
+	km := secure.KeyFromSeed("bench-km")
+	ct, err := semirt.EncryptModel(km, w.Model, data)
+	if err != nil {
+		return fail(err)
+	}
+	if err := store.Put(semirt.ModelBlobName(w.Model), ct); err != nil {
+		return fail(err)
+	}
+	es := scfg.Manifest().Measure()
+	if err := owner.AddModelKey(w.Model, km); err != nil {
+		return fail(err)
+	}
+	if err := owner.GrantAccess(w.Model, es, user.ID()); err != nil {
+		return fail(err)
+	}
+	w.reqKey = secure.KeyFromSeed("bench-kr")
+	w.userID = user.ID()
+	if err := user.AddReqKey(w.Model, es, w.reqKey); err != nil {
+		return fail(err)
+	}
+
+	err = w.Cluster.Deploy(&serverless.Action{
+		Name:         w.Action,
+		MemoryBudget: 256 << 20,
+		Concurrency:  scfg.Concurrency,
+		New: func(n *serverless.Node) (serverless.Instance, error) {
+			rt, err := semirt.New(scfg, semirt.Deps{
+				Platform:    n.Extra.(*enclave.Platform),
+				Store:       store,
+				KSDialer:    keyservice.TCPDialer(ksAddr),
+				CAPublicKey: ca.PublicKey(),
+				ExpectEK:    ksEnc.Measurement(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return semirt.Instance{RT: rt}, nil
+		},
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	w.Gateway = gateway.New(cfg.Gateway, w.Cluster)
+	w.closers = append(w.closers, w.Gateway.Close)
+
+	// Warm one sandbox end to end so both access paths start hot.
+	if _, err := w.DoDirect(context.Background(), 0); err != nil {
+		return fail(err)
+	}
+	return w, nil
+}
+
+// Request builds one encrypted request (seed varies the input tensor).
+func (w *LiveWorld) Request(seed int) (semirt.Request, error) {
+	in := tensor.New(w.shape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32((i+seed)%13) * 0.06
+	}
+	payload, err := semirt.EncryptRequest(w.reqKey, w.Model, inference.EncodeTensor(in))
+	if err != nil {
+		return semirt.Request{}, err
+	}
+	return semirt.Request{UserID: w.userID, ModelID: w.Model, Payload: payload}, nil
+}
+
+// DoDirect sends one request straight through Cluster.Invoke (the unbatched
+// baseline path).
+func (w *LiveWorld) DoDirect(ctx context.Context, seed int) (semirt.Response, error) {
+	req, err := w.Request(seed)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	raw, err := w.Cluster.Invoke(ctx, w.Action, body)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	var resp semirt.Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return semirt.Response{}, err
+	}
+	return resp, nil
+}
+
+// DoGateway sends one request through the batching gateway.
+func (w *LiveWorld) DoGateway(ctx context.Context, seed int) (semirt.Response, error) {
+	req, err := w.Request(seed)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	return w.Gateway.Do(ctx, w.Action, req)
+}
+
+// Decrypt opens a response payload.
+func (w *LiveWorld) Decrypt(resp semirt.Response) ([]byte, error) {
+	return semirt.DecryptResponse(w.reqKey, w.Model, resp.Payload)
+}
+
+// Close tears the deployment down.
+func (w *LiveWorld) Close() {
+	for i := len(w.closers) - 1; i >= 0; i-- {
+		w.closers[i]()
+	}
+	w.closers = nil
+}
+
+// ---------- Gateway experiment: batched vs unbatched serving ----------
+
+// GatewayRunResult is one access path's measured outcome.
+type GatewayRunResult struct {
+	Mode      string  `json:"mode"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Seconds   float64 `json:"seconds"`
+	RPS       float64 `json:"rps"`
+	MeanMs    float64 `json:"mean_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Batches   uint64  `json:"batches,omitempty"`
+	MeanBatch float64 `json:"mean_batch,omitempty"`
+}
+
+// GatewaySnapshot is the BENCH_gateway.json payload: the serving-path
+// comparison that seeds the repo's performance trajectory.
+type GatewaySnapshot struct {
+	Clients        int              `json:"clients"`
+	PerClient      int              `json:"requests_per_client"`
+	MaxBatch       int              `json:"max_batch"`
+	InvokeOverhead string           `json:"invoke_overhead"`
+	Unbatched      GatewayRunResult `json:"unbatched"`
+	Batched        GatewayRunResult `json:"batched"`
+	Speedup        float64          `json:"speedup"`
+	// EstimatedFormationMs is costmodel.BatchFormationDelay at the measured
+	// offered rate — the sim-side estimate the measurement is compared to.
+	EstimatedFormationMs float64 `json:"estimated_formation_ms"`
+}
+
+// GatewayBenchConfig sizes the comparison run.
+type GatewayBenchConfig struct {
+	// Clients is the closed-loop client count (default 64).
+	Clients int
+	// PerClient is requests per client (default 16).
+	PerClient int
+	// MaxBatch is the gateway batch bound (default 8).
+	MaxBatch int
+	// InvokeOverhead overrides the live world's default when positive.
+	InvokeOverhead time.Duration
+}
+
+func (c *GatewayBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 64
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.InvokeOverhead <= 0 {
+		// Conservative stand-in for the measured OpenWhisk activation path
+		// (≈10-30 ms in production deployments).
+		c.InvokeOverhead = 5 * time.Millisecond
+	}
+}
+
+// ClosedLoop drives clients×perClient requests through do (closed loop:
+// each client issues its next request as soon as the previous returns) and
+// aggregates throughput and latency. loadgen -local and the gateway
+// experiment share it.
+func ClosedLoop(mode string, clients, perClient int, do func(ctx context.Context, seed int) (semirt.Response, error)) GatewayRunResult {
+	var lat metrics.Latency
+	var mu sync.Mutex
+	errs := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				_, err := do(context.Background(), c*perClient+i)
+				d := time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				lat.Add(d)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	n := clients * perClient
+	return GatewayRunResult{
+		Mode:     mode,
+		Requests: n,
+		Errors:   errs,
+		Seconds:  elapsed.Seconds(),
+		RPS:      float64(n-errs) / elapsed.Seconds(),
+		MeanMs:   float64(lat.Mean()) / 1e6,
+		P50Ms:    float64(lat.Percentile(50)) / 1e6,
+		P95Ms:    float64(lat.Percentile(95)) / 1e6,
+		P99Ms:    float64(lat.Percentile(99)) / 1e6,
+	}
+}
+
+// RunGatewayBench measures unbatched Cluster.Invoke against the batching
+// gateway on the same live deployment and returns the comparison.
+func RunGatewayBench(cfg GatewayBenchConfig) (*GatewaySnapshot, error) {
+	cfg.defaults()
+	build := func() (*LiveWorld, error) {
+		return NewLiveWorld(LiveWorldConfig{
+			InvokeOverhead: cfg.InvokeOverhead,
+			Gateway: gateway.Config{
+				MaxBatch:     cfg.MaxBatch,
+				MaxWait:      4 * time.Millisecond,
+				MaxQueue:     4096,
+				MaxInFlight:  8,
+				PrewarmDepth: 32,
+			},
+		})
+	}
+	// Separate worlds per mode so sandbox state from one run cannot warm the
+	// other's.
+	wu, err := build()
+	if err != nil {
+		return nil, err
+	}
+	unbatched := ClosedLoop("unbatched", cfg.Clients, cfg.PerClient, wu.DoDirect)
+	wu.Close()
+
+	wb, err := build()
+	if err != nil {
+		return nil, err
+	}
+	batched := ClosedLoop("gateway", cfg.Clients, cfg.PerClient, wb.DoGateway)
+	gwStats := wb.Gateway.Stats()
+	gwMetrics := wb.Gateway.Metrics()
+	batched.Batches = gwStats.Batches
+	batched.MeanBatch = gwMetrics.BatchSizes.Mean()
+	wb.Close()
+
+	speedup := 0.0 // 0 signals "no valid baseline" (keeps the JSON finite)
+	if unbatched.RPS > 0 {
+		speedup = batched.RPS / unbatched.RPS
+	}
+	snap := &GatewaySnapshot{
+		Clients:        cfg.Clients,
+		PerClient:      cfg.PerClient,
+		MaxBatch:       cfg.MaxBatch,
+		InvokeOverhead: cfg.InvokeOverhead.String(),
+		Unbatched:      unbatched,
+		Batched:        batched,
+		Speedup:        speedup,
+		EstimatedFormationMs: float64(costmodel.BatchFormationDelay(
+			batched.RPS, cfg.MaxBatch, 4*time.Millisecond)) / 1e6,
+	}
+	return snap, nil
+}
+
+// WriteGatewaySnapshot runs the comparison and writes BENCH_gateway.json.
+func WriteGatewaySnapshot(path string, cfg GatewayBenchConfig) (*GatewaySnapshot, error) {
+	snap, err := RunGatewayBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printGatewayRun(w io.Writer, r GatewayRunResult) {
+	fmt.Fprintf(w, "%-10s %6d req %4d err %8.0f req/s  mean %6.1fms  p50 %6.1fms  p95 %6.1fms  p99 %6.1fms",
+		r.Mode, r.Requests, r.Errors, r.RPS, r.MeanMs, r.P50Ms, r.P95Ms, r.P99Ms)
+	if r.Batches > 0 {
+		fmt.Fprintf(w, "  (%d batches, mean %.1f)", r.Batches, r.MeanBatch)
+	}
+	fmt.Fprintln(w)
+}
+
+func runGatewayExperiment(w io.Writer) error {
+	header(w, "Gateway: batched vs unbatched serving (64 closed-loop clients)")
+	snap, err := RunGatewayBench(GatewayBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printGatewayRun(w, snap.Unbatched)
+	printGatewayRun(w, snap.Batched)
+	fmt.Fprintf(w, "speedup: %.2fx (MaxBatch=%d, per-activation overhead %s)\n",
+		snap.Speedup, snap.MaxBatch, snap.InvokeOverhead)
+	fmt.Fprintf(w, "batch formation estimate at measured rate: %.2f ms\n", snap.EstimatedFormationMs)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "gateway",
+		Title: "Gateway: per-model batching vs direct Cluster.Invoke",
+		Run:   runGatewayExperiment,
+	})
+}
+
+// OpenLoopGateway replays a workload trace against the live world's gateway
+// at the trace's own arrival times (loadgen -local). It returns the latency
+// distribution, per-kind counts, and the failure count.
+func OpenLoopGateway(w *LiveWorld, tr workload.Trace) (*metrics.Latency, map[string]int, int) {
+	lat := &metrics.Latency{}
+	perKind := map[string]int{}
+	var mu sync.Mutex
+	fails := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range tr {
+		ev := tr[i]
+		time.Sleep(time.Until(start.Add(ev.At)))
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := w.DoGateway(context.Background(), seed)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fails++
+				return
+			}
+			lat.Add(d)
+			perKind[resp.Kind.String()]++
+		}(i)
+	}
+	wg.Wait()
+	return lat, perKind, fails
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sesemi/internal/gateway"
+)
+
+// BenchmarkGatewayThroughput measures requests/sec through the batching
+// gateway at 64 closed-loop clients and reports the speedup over direct
+// (unbatched) Cluster.Invoke on an identical deployment.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap, err := RunGatewayBench(GatewayBenchConfig{Clients: 64, PerClient: 8, MaxBatch: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(snap.Batched.RPS, "req/s")
+		b.ReportMetric(snap.Speedup, "speedup")
+	}
+}
+
+// BenchmarkGatewayLatency measures per-request E2E latency through the
+// gateway (closed loop, 64 clients) and reports mean and p95.
+func BenchmarkGatewayLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap, err := RunGatewayBench(GatewayBenchConfig{Clients: 64, PerClient: 8, MaxBatch: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(snap.Batched.MeanMs, "mean-ms")
+		b.ReportMetric(snap.Batched.P95Ms, "p95-ms")
+	}
+}
+
+// TestGatewayBatchingSpeedup is the acceptance gate: with MaxBatch=8 and 64
+// concurrent clients, the gateway must deliver at least 2x the requests/sec
+// of unbatched Cluster.Invoke. The deployment bounds warm slots (one node,
+// two sandboxes), so slot time — where the per-activation overhead is
+// charged — is the contended resource batching amortizes.
+func TestGatewayBatchingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing comparison")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead dwarfs the modeled activation costs")
+	}
+	snap, err := RunGatewayBench(GatewayBenchConfig{Clients: 64, PerClient: 16, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Speedup < 2 {
+		// Wall-clock comparison on a possibly loaded machine: one retry
+		// before failing (typical speedup is 3-4x, so a genuine regression
+		// still fails).
+		t.Logf("speedup %.2fx below gate; retrying once", snap.Speedup)
+		if snap, err = RunGatewayBench(GatewayBenchConfig{Clients: 64, PerClient: 16, MaxBatch: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("unbatched %.0f req/s, gateway %.0f req/s, speedup %.2fx (mean batch %.1f)",
+		snap.Unbatched.RPS, snap.Batched.RPS, snap.Speedup, snap.Batched.MeanBatch)
+	if snap.Unbatched.Errors != 0 || snap.Batched.Errors != 0 {
+		t.Fatalf("errors: unbatched %d batched %d", snap.Unbatched.Errors, snap.Batched.Errors)
+	}
+	if snap.Speedup < 2 {
+		t.Fatalf("speedup %.2fx < 2x", snap.Speedup)
+	}
+	if snap.Batched.MeanBatch < 2 {
+		t.Fatalf("mean batch %.1f: batching did not engage", snap.Batched.MeanBatch)
+	}
+}
+
+// TestLiveWorldGatewayCorrectness checks the gateway path end to end on the
+// live world: responses decrypt and the batch envelope reaches the enclave.
+func TestLiveWorldGatewayCorrectness(t *testing.T) {
+	w, err := NewLiveWorld(LiveWorldConfig{Gateway: gateway.Config{MaxBatch: 4, MaxWait: 2 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	resp, err := w.DoGateway(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Decrypt(resp); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := w.DoDirect(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.Decrypt(resp)
+	b, _ := w.Decrypt(direct)
+	if string(a) != string(b) {
+		t.Fatal("gateway and direct paths disagree on the same input")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// assertions (the gateway speedup gate) are skipped under -race: detector
+// overhead dwarfs the modeled per-activation costs being measured.
+const raceEnabled = false

@@ -250,6 +250,34 @@ func Attestation(hw HW, concurrent int) time.Duration {
 	}
 }
 
+// BatchFormationDelay estimates the mean queueing delay a batching
+// front-end (internal/gateway) adds to one request: with Poisson arrivals at
+// rate rps on one (action, model) queue, a batch flushes after maxBatch
+// requests have gathered or after maxWait, whichever is first.
+//
+// The batch gathers over a window T = min(maxWait, (maxBatch-1)/rate): its
+// first member waits all of T, each later (uniformly arriving) member
+// progressively less, so the mean over the expected 1+rate*T members
+// interpolates continuously between maxWait (idle queue, T = maxWait) and
+// ~T/2 (busy queue) with no jump at the fill/deadline boundary. A
+// first-order estimate that lets the discrete-event harness and the live
+// gateway report comparable E2E latencies.
+func BatchFormationDelay(rate float64, maxBatch int, maxWait time.Duration) time.Duration {
+	if maxBatch <= 1 || maxWait <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		return maxWait
+	}
+	window := maxWait.Seconds()
+	if fill := float64(maxBatch-1) / rate; fill < window {
+		window = fill
+	}
+	n := 1 + rate*window // expected members per flush
+	mean := window - (rate*window*window/2)/n
+	return time.Duration(mean * float64(time.Second))
+}
+
 // CloudDownload returns the same-region Azure Blob download time quoted in
 // §VI-A for each model. Cluster (NFS) storage instead uses the ModelLoad
 // stage costs.

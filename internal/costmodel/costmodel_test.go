@@ -323,3 +323,40 @@ func TestHWStringsAndEPC(t *testing.T) {
 		t.Error("HW String() mismatch")
 	}
 }
+
+func TestBatchFormationDelay(t *testing.T) {
+	// Disabled shapes.
+	if d := BatchFormationDelay(100, 1, time.Second); d != 0 {
+		t.Fatalf("maxBatch 1: %v", d)
+	}
+	if d := BatchFormationDelay(100, 8, 0); d != 0 {
+		t.Fatalf("maxWait 0: %v", d)
+	}
+	// No arrivals: the lone request waits out the deadline.
+	if d := BatchFormationDelay(0, 8, 50*time.Millisecond); d != 50*time.Millisecond {
+		t.Fatalf("idle queue: %v", d)
+	}
+	// Fast arrivals: fill time (maxBatch-1)/rate = 70 ms bounds the window;
+	// the mean sits near half of it (first member waits the whole window).
+	if d := BatchFormationDelay(100, 8, time.Second); d < 35*time.Millisecond || d > 45*time.Millisecond {
+		t.Fatalf("fill-bound: %v", d)
+	}
+	// Continuity at the fill/deadline boundary: a tiny rate change must not
+	// jump the estimate.
+	lo := BatchFormationDelay(6.99, 8, time.Second)
+	hi := BatchFormationDelay(7.01, 8, time.Second)
+	if diff := (lo - hi).Abs(); diff > 10*time.Millisecond {
+		t.Fatalf("boundary discontinuity: %v vs %v", lo, hi)
+	}
+	// Slow arrivals: deadline-bound. At 1 rps with a 100 ms window the
+	// expected batch is 1.1 members; the mean wait stays near the full
+	// deadline (100 - (0.1*0.1/2)/1.1 s ≈ 95.5 ms), approaching maxWait as
+	// rate → 0 with no discontinuity.
+	d := BatchFormationDelay(1, 8, 100*time.Millisecond)
+	if d < 90*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("deadline-bound: %v", d)
+	}
+	if d2 := BatchFormationDelay(0.0001, 8, 100*time.Millisecond); d2 < d || d2 > 100*time.Millisecond {
+		t.Fatalf("near-idle %v not between %v and maxWait", d2, d)
+	}
+}

@@ -1,0 +1,513 @@
+// Package gateway is the concurrent serving front-end over the serverless
+// platform: the layer between "millions of user requests" and
+// serverless.Cluster's one-activation-at-a-time Invoke.
+//
+// Architecture (README "Serving gateway"):
+//
+//		clients → per-(action, model) FIFO queues → batcher → warm pool → SeMIRT
+//
+//	  - Admission control: each queue is bounded (MaxQueue); a full queue
+//	    rejects immediately with ErrOverloaded instead of blocking, so
+//	    overload surfaces as backpressure, not as unbounded goroutine pile-up.
+//	  - Batching: requests for the same (action, model) coalesce until
+//	    MaxBatch have gathered or the oldest has waited MaxWait, then ship as
+//	    ONE activation (semirt.EncodeBatch) — one enclave entry serves the
+//	    whole batch, the paper's amortization applied to the request path.
+//	  - Dispatch bound: at most MaxInFlight batches per queue are in flight,
+//	    so a slow backend fills the queue (and trips ErrOverloaded) rather
+//	    than spawning unbounded dispatches.
+//	  - Prewarming: queue depth drives serverless.Cluster.Prewarm, growing the
+//	    warm sandbox pool ahead of demand.
+//
+// Every accepted request is answered exactly once: it either rides a batch
+// (its buffered result channel receives the fan-out) or its caller cancels
+// while still queued, in which case it is removed under the queue lock —
+// never both, never neither.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sesemi/internal/metrics"
+	"sesemi/internal/semirt"
+)
+
+// Invoker dispatches one serialized activation. *serverless.Cluster
+// satisfies it; tests substitute recorders.
+type Invoker interface {
+	Invoke(ctx context.Context, action string, payload []byte) ([]byte, error)
+}
+
+// Prewarmer grows an action's warm sandbox pool. *serverless.Cluster
+// satisfies it.
+type Prewarmer interface {
+	Prewarm(action string, want int) (int, error)
+}
+
+// Errors returned by the gateway.
+var (
+	// ErrOverloaded reports that the request's queue is full. Callers should
+	// shed or retry with backoff; the gateway never blocks admission.
+	ErrOverloaded = errors.New("gateway: overloaded")
+	// ErrClosed reports that the gateway has shut down.
+	ErrClosed = errors.New("gateway: closed")
+)
+
+// Config tunes the gateway.
+type Config struct {
+	// MaxBatch is the largest batch shipped in one activation (default 8).
+	MaxBatch int
+	// MaxWait bounds batch formation: a partial batch is dispatched once its
+	// oldest request has waited MaxWait (default 2ms). It is a formation
+	// deadline, not a latency SLO — when all MaxInFlight dispatch slots are
+	// occupied, queued requests wait for a slot regardless of MaxWait
+	// (that's the backpressure design).
+	MaxWait time.Duration
+	// MaxQueue bounds each (action, model) queue; admission beyond it fails
+	// with ErrOverloaded (default 1024).
+	MaxQueue int
+	// MaxPending bounds requests admitted but not yet answered across ALL
+	// queues (default 8*MaxQueue). Per-queue bounds alone cannot provide
+	// backpressure when callers spread load over many model ids; this is
+	// the aggregate limit that keeps the gateway's memory bounded.
+	MaxPending int
+	// MaxInFlight bounds concurrent batch dispatches per queue (default 4).
+	MaxInFlight int
+	// PrewarmDepth, when positive, requests one warm sandbox per PrewarmDepth
+	// queued requests (capped at PrewarmMax). Zero disables prewarming.
+	PrewarmDepth int
+	// PrewarmMax caps the prewarm target per action (default 8).
+	PrewarmMax int
+}
+
+func (c *Config) defaults() {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MaxQueue < 1 {
+		c.MaxQueue = 1024
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxPending < 1 {
+		c.MaxPending = 8 * c.MaxQueue
+	}
+	if c.PrewarmMax < 1 {
+		c.PrewarmMax = 8
+	}
+}
+
+// result is the fan-out of one batched request back to its caller.
+type result struct {
+	resp semirt.Response
+	err  error
+}
+
+// pending is one queued request.
+type pending struct {
+	req  semirt.Request
+	done chan result // buffered 1: the dispatcher never blocks on fan-out
+	enq  time.Time
+}
+
+// queue is one (action, model) FIFO batching queue.
+type queue struct {
+	action, model string
+	key           string // g.queues key, for reaping
+	items         []*pending
+	timerArmed    bool
+	inFlight      int // batches dispatched, not yet fanned out
+	prewarmWant   int // this queue's current warm-sandbox demand
+}
+
+// actionWarm tracks prewarm state for one action, aggregated across its
+// model queues (they share the action's sandbox pool).
+type actionWarm struct {
+	want       int // running sum of the action's per-queue prewarmWant
+	target     int // sandboxes most recently requested from the Prewarmer
+	prewarming bool
+}
+
+// Metrics are the gateway's exported distributions. All four are bucketed
+// histograms (not sample lists): the gateway sits on the serving hot path,
+// so per-request accounting must stay O(buckets) forever.
+type Metrics struct {
+	// BatchSizes is the dispatched batch-size distribution.
+	BatchSizes *metrics.Histogram
+	// QueueDepth samples queue depth at every enqueue.
+	QueueDepth *metrics.Histogram
+	// QueueWait is time from enqueue to dispatch (batch formation delay),
+	// in milliseconds.
+	QueueWait *metrics.Histogram
+	// E2E is time from enqueue to response fan-out, in milliseconds.
+	E2E *metrics.Histogram
+}
+
+// Stats is a snapshot of the gateway counters.
+type Stats struct {
+	// Accepted counts admitted requests; Rejected counts ErrOverloaded.
+	Accepted, Rejected uint64
+	// Batches counts dispatched activations; Served counts fanned-out
+	// responses (errors included).
+	Batches, Served uint64
+	// Prewarmed counts sandboxes started by prewarming.
+	Prewarmed uint64
+	// Queues is the number of live (action, model) queues; drained queues
+	// are reaped, so this tracks active traffic, not ids ever seen.
+	Queues int
+	// Pending counts requests admitted but not yet answered.
+	Pending int
+}
+
+// Gateway fronts an Invoker with batching queues.
+type Gateway struct {
+	cfg Config
+	inv Invoker
+	pw  Prewarmer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	queues  map[string]*queue
+	warm    map[string]*actionWarm
+	pending int // requests admitted but not yet answered, all queues
+	closed  bool
+
+	m Metrics
+
+	accepted, rejected, batches, served, prewarmed atomic.Uint64
+}
+
+// New creates a gateway over inv. If inv also implements Prewarmer (as
+// *serverless.Cluster does) and cfg.PrewarmDepth is positive, queue depth
+// drives warm capacity.
+func New(cfg Config, inv Invoker) *Gateway {
+	cfg.defaults()
+	g := &Gateway{
+		cfg:    cfg,
+		inv:    inv,
+		queues: map[string]*queue{},
+		warm:   map[string]*actionWarm{},
+		m: Metrics{
+			BatchSizes: metrics.NewHistogram(1),
+			QueueDepth: metrics.NewHistogram(1),
+			QueueWait:  metrics.NewHistogram(0.25), // ms
+			E2E:        metrics.NewHistogram(0.25), // ms
+		},
+	}
+	if pw, ok := inv.(Prewarmer); ok && cfg.PrewarmDepth > 0 {
+		g.pw = pw
+	}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
+	return g
+}
+
+// Metrics returns the live metric accumulators.
+func (g *Gateway) Metrics() *Metrics { return &g.m }
+
+// Stats returns a counter snapshot.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	queues, pending := len(g.queues), g.pending
+	g.mu.Unlock()
+	return Stats{
+		Accepted:  g.accepted.Load(),
+		Rejected:  g.rejected.Load(),
+		Batches:   g.batches.Load(),
+		Served:    g.served.Load(),
+		Prewarmed: g.prewarmed.Load(),
+		Queues:    queues,
+		Pending:   pending,
+	}
+}
+
+func queueKey(action, model string) string { return action + "\x1f" + model }
+
+// Do submits one request to the action and waits for its response. It fails
+// fast with ErrOverloaded when the request's queue is full and with
+// ErrClosed after Close. If ctx is done while the request is still queued,
+// the request is withdrawn and ctx's error returned; once it has entered a
+// batch the activation proceeds and the (discarded) response is still
+// accounted.
+func (g *Gateway) Do(ctx context.Context, action string, req semirt.Request) (semirt.Response, error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return semirt.Response{}, ErrClosed
+	}
+	key := queueKey(action, req.ModelID)
+	q := g.queues[key]
+	if q == nil {
+		q = &queue{action: action, model: req.ModelID, key: key}
+		g.queues[key] = q
+	}
+	if len(q.items) >= g.cfg.MaxQueue || g.pending >= g.cfg.MaxPending {
+		g.reapLocked(q)
+		g.mu.Unlock()
+		g.rejected.Add(1)
+		return semirt.Response{}, ErrOverloaded
+	}
+	p := &pending{req: req, done: make(chan result, 1), enq: time.Now()}
+	q.items = append(q.items, p)
+	g.pending++
+	g.accepted.Add(1)
+	g.m.QueueDepth.Observe(float64(len(q.items)))
+	g.flushLocked(q, false)
+	g.armTimerLocked(q)
+	g.maybePrewarmLocked(q)
+	g.mu.Unlock()
+
+	select {
+	case r := <-p.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		removed := q.remove(p)
+		if removed {
+			g.pending--
+			g.reapLocked(q)
+		}
+		g.mu.Unlock()
+		// Either withdrawn before dispatch (removed: answered exactly once,
+		// here) or already riding a batch (the fan-out lands in the buffered
+		// channel); the caller sees ctx's error in both cases — removed only
+		// drives the pending/reap bookkeeping above.
+		return semirt.Response{}, ctx.Err()
+	}
+}
+
+// remove withdraws p from the queue, reporting whether it was still queued.
+func (q *queue) remove(p *pending) bool {
+	for i, x := range q.items {
+		if x == p {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// flushLocked forms and dispatches batches while the queue has a full batch
+// (or force, for deadline flushes) and in-flight capacity remains. force
+// applies to the first batch formed — a deadline flush ships a partial
+// batch, but anything beyond it waits for its own deadline or fill.
+func (g *Gateway) flushLocked(q *queue, force bool) {
+	for q.inFlight < g.cfg.MaxInFlight && len(q.items) > 0 {
+		if len(q.items) < g.cfg.MaxBatch && !force {
+			return
+		}
+		force = false
+		n := len(q.items)
+		if n > g.cfg.MaxBatch {
+			n = g.cfg.MaxBatch
+		}
+		batch := make([]*pending, n)
+		copy(batch, q.items[:n])
+		q.items = append([]*pending(nil), q.items[n:]...)
+		q.inFlight++
+		g.batches.Add(1)
+		g.m.BatchSizes.Observe(float64(n))
+		g.wg.Add(1)
+		go g.dispatch(q, batch)
+	}
+}
+
+// armTimerLocked schedules a deadline flush for the queue's oldest item. One
+// timer is in flight per queue at a time; it re-arms itself while items
+// remain.
+func (g *Gateway) armTimerLocked(q *queue) {
+	if q.timerArmed || len(q.items) == 0 || g.closed {
+		return
+	}
+	// While every dispatch slot is taken a deadline flush cannot make
+	// progress; arming would spin a zero-wait timer against a stale oldest
+	// item. Dispatch completion re-arms once a slot frees.
+	if q.inFlight >= g.cfg.MaxInFlight {
+		return
+	}
+	q.timerArmed = true
+	wait := g.cfg.MaxWait - time.Since(q.items[0].enq)
+	if wait < 0 {
+		wait = 0
+	}
+	// Deliberately not wg-tracked: a timer that fires after Close sees
+	// closed and returns; making Close wait for it would stall shutdown by
+	// up to MaxWait for no benefit.
+	time.AfterFunc(wait, func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		q.timerArmed = false
+		if g.closed {
+			return
+		}
+		// Stale fire: the item this timer was armed for already shipped in a
+		// full batch, and everything now queued is fresher than the deadline
+		// — re-arm for the new oldest instead of force-flushing an
+		// undersized batch early.
+		if len(q.items) > 0 && time.Since(q.items[0].enq) < g.cfg.MaxWait {
+			g.armTimerLocked(q)
+			return
+		}
+		// Ship whatever has gathered; anything the in-flight bound leaves
+		// behind re-arms against the (new) oldest item.
+		g.flushLocked(q, true)
+		g.armTimerLocked(q)
+		g.reapLocked(q)
+	})
+}
+
+// dispatch ships one batch as a single activation and fans the per-request
+// results back out. Runs outside the gateway lock.
+func (g *Gateway) dispatch(q *queue, batch []*pending) {
+	defer g.wg.Done()
+	start := time.Now()
+	reqs := make([]semirt.Request, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+		g.m.QueueWait.Observe(float64(start.Sub(p.enq)) / float64(time.Millisecond))
+	}
+	var results []semirt.BatchResult
+	payload, err := semirt.EncodeBatch(reqs)
+	if err == nil {
+		var raw []byte
+		raw, err = g.inv.Invoke(g.ctx, q.action, payload)
+		if err == nil {
+			results, err = semirt.DecodeBatchResponse(raw, len(batch))
+		}
+	}
+	for i, p := range batch {
+		r := result{err: err}
+		if err == nil {
+			r = result{resp: results[i].Response, err: results[i].Err}
+		}
+		p.done <- r
+		g.served.Add(1)
+		g.m.E2E.Observe(float64(time.Since(p.enq)) / float64(time.Millisecond))
+	}
+
+	g.mu.Lock()
+	q.inFlight--
+	g.pending -= len(batch)
+	g.flushLocked(q, false)
+	g.armTimerLocked(q)
+	g.reapLocked(q)
+	g.mu.Unlock()
+}
+
+// reapLocked deletes a fully drained queue so caller-supplied model ids
+// cannot grow g.queues without bound. The queue's prewarm demand leaves the
+// action aggregate with it. Queues with an armed timer are left for the
+// timer to reap on its next fire.
+func (g *Gateway) reapLocked(q *queue) {
+	if len(q.items) > 0 || q.inFlight > 0 || q.timerArmed {
+		return
+	}
+	if g.queues[q.key] != q {
+		return // already reaped (an orphaned timer's queue)
+	}
+	if aw := g.warm[q.action]; aw != nil {
+		aw.want -= q.prewarmWant
+		// Last queue of the action gone: drop the warm entry too, so
+		// caller-supplied action names cannot grow g.warm without bound.
+		// (An in-flight Prewarm goroutine keeps its own pointer; clearing
+		// the orphan's flag is harmless.)
+		if aw.want <= 0 && !aw.prewarming {
+			delete(g.warm, q.action)
+		}
+	}
+	q.prewarmWant = 0
+	delete(g.queues, q.key)
+}
+
+// maybePrewarmLocked grows the action's warm pool when queue depth crosses
+// the next PrewarmDepth multiple. Demand is computed per queue but summed
+// across the action's model queues before hitting the Prewarmer — the
+// queues share one sandbox pool, so per-queue wants must add, not
+// overwrite. At most one Prewarm call per action is in flight. The target
+// decays as depth falls, so after an idle period (when the cluster's
+// keep-warm reaper has shrunk the pool) the next burst triggers prewarming
+// again; Prewarm itself is idempotent against capacity that still exists.
+// A queue's stale want decays only at its own next enqueue, so the
+// aggregate can briefly over-count across queues — bounded by PrewarmMax.
+func (g *Gateway) maybePrewarmLocked(q *queue) {
+	if g.pw == nil {
+		return
+	}
+	aw := g.warm[q.action]
+	if aw == nil {
+		aw = &actionWarm{}
+		g.warm[q.action] = aw
+	}
+	depth := len(q.items) + q.inFlight*g.cfg.MaxBatch
+	newWant := (depth + g.cfg.PrewarmDepth - 1) / g.cfg.PrewarmDepth
+	// Maintain the per-action sum incrementally: the hot path must not scan
+	// every queue under the global lock.
+	aw.want += newWant - q.prewarmWant
+	q.prewarmWant = newWant
+	want := aw.want
+	if want > g.cfg.PrewarmMax {
+		want = g.cfg.PrewarmMax
+	}
+	if want < aw.target {
+		aw.target = want
+	}
+	if want <= aw.target || aw.prewarming {
+		return
+	}
+	aw.prewarming = true
+	aw.target = want
+	action := q.action
+	// Deliberately not wg-tracked: Prewarm can take SandboxStart per sandbox
+	// and has no cancellation path, so tracking it would stall Close for
+	// seconds growing capacity that Close immediately discards. A late
+	// Prewarm against a closed cluster is a cheap no-op, and the aw update
+	// below takes g.mu, which outlives Close.
+	go func() {
+		started, _ := g.pw.Prewarm(action, want)
+		if started > 0 {
+			g.prewarmed.Add(uint64(started))
+		}
+		g.mu.Lock()
+		aw.prewarming = false
+		// The action's queues may all have been reaped while Prewarm was in
+		// flight (reapLocked defers to this flag): finish their cleanup so
+		// idle actions don't pin warm entries.
+		if g.warm[action] == aw && aw.want <= 0 {
+			delete(g.warm, action)
+		}
+		g.mu.Unlock()
+	}()
+}
+
+// Close rejects queued requests with ErrClosed, cancels in-flight
+// activations, and waits for dispatchers to drain. Subsequent Do calls fail
+// with ErrClosed.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	for _, q := range g.queues {
+		for _, p := range q.items {
+			p.done <- result{err: ErrClosed}
+			g.served.Add(1)
+			g.pending--
+		}
+		q.items = nil
+	}
+	g.mu.Unlock()
+	g.cancel()
+	g.wg.Wait()
+}

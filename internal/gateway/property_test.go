@@ -1,0 +1,245 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sesemi/internal/semirt"
+)
+
+// countingInvoker tallies how many times each request payload is dispatched
+// and the size of every batch, with a small random service delay to shake
+// out interleavings.
+type countingInvoker struct {
+	mu     sync.Mutex
+	seen   map[string]int
+	sizes  []int
+	rng    *rand.Rand
+	jitter time.Duration
+}
+
+func (c *countingInvoker) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
+	var d time.Duration
+	raw, err := echoBatch(payload, func(batch []semirt.Request) {
+		c.mu.Lock()
+		c.sizes = append(c.sizes, len(batch))
+		for _, r := range batch {
+			c.seen[string(r.Payload)]++
+		}
+		if c.jitter > 0 {
+			d = time.Duration(c.rng.Int63n(int64(c.jitter)))
+		}
+		c.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return raw, nil
+}
+
+// TestPropertyBatchingInvariants drives random gateway shapes and load, with
+// random context cancellation, and checks the invariants the serving layer
+// promises:
+//
+//  1. no dispatched batch exceeds MaxBatch;
+//  2. every request is dispatched at most once, and every request whose Do
+//     succeeded was dispatched exactly once (answered exactly once);
+//  3. requests withdrawn by cancellation are never dispatched after their
+//     withdrawal was acknowledged;
+//  4. batches mix only requests of one (action, model) queue.
+func TestPropertyBatchingInvariants(t *testing.T) {
+	prop := func(nReq, maxBatch, nModels, cancelEvery uint8) bool {
+		n := int(nReq)%96 + 8
+		mb := int(maxBatch)%12 + 1
+		models := int(nModels)%3 + 1
+		cancelMod := 0
+		if cancelEvery%3 == 0 {
+			cancelMod = int(cancelEvery)%5 + 2 // cancel every k-th request
+		}
+		inv := &countingInvoker{
+			seen:   map[string]int{},
+			rng:    rand.New(rand.NewSource(int64(nReq)<<16 | int64(maxBatch))),
+			jitter: 200 * time.Microsecond,
+		}
+		g := New(Config{
+			MaxBatch:    mb,
+			MaxWait:     500 * time.Microsecond,
+			MaxQueue:    4 * n,
+			MaxInFlight: 3,
+		}, inv)
+		defer g.Close()
+
+		var wg sync.WaitGroup
+		var succeeded, canceled atomic.Int64
+		okPayload := make([]atomic.Bool, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if cancelMod != 0 && i%cancelMod == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%7)*100*time.Microsecond)
+					defer cancel()
+				}
+				model := fmt.Sprintf("m%d", i%models)
+				r := semirt.Request{UserID: "u", ModelID: model,
+					Payload: []byte(fmt.Sprintf("%s|p-%d", model, i))}
+				resp, err := g.Do(ctx, "fn", r)
+				switch {
+				case err == nil:
+					succeeded.Add(1)
+					okPayload[i].Store(true)
+					if string(resp.Payload) != string(r.Payload) {
+						t.Errorf("request %d got response %q", i, resp.Payload)
+					}
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					canceled.Add(1)
+				default:
+					t.Errorf("request %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		inv.mu.Lock()
+		defer inv.mu.Unlock()
+		for _, s := range inv.sizes {
+			if s > mb {
+				t.Errorf("batch size %d exceeds MaxBatch %d", s, mb)
+				return false
+			}
+		}
+		for p, c := range inv.seen {
+			if c > 1 {
+				t.Errorf("request %q dispatched %d times", p, c)
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if okPayload[i].Load() {
+				p := fmt.Sprintf("m%d|p-%d", i%models, i)
+				if inv.seen[p] != 1 {
+					t.Errorf("succeeded request %d dispatched %d times", i, inv.seen[p])
+					return false
+				}
+			}
+		}
+		if succeeded.Load()+canceled.Load() != int64(n) {
+			t.Errorf("accounted %d+%d of %d", succeeded.Load(), canceled.Load(), n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBatchesAreSingleQueue asserts a dispatched batch never mixes
+// models: the batcher keys queues by (action, model), which is what lets
+// one enclave serve the whole batch without model swapping.
+func TestPropertyBatchesAreSingleQueue(t *testing.T) {
+	inv := &mixCheckInvoker{}
+	g := New(Config{MaxBatch: 8, MaxWait: time.Millisecond}, inv)
+	defer g.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			model := fmt.Sprintf("m%d", i%4)
+			_, err := g.Do(context.Background(), "fn",
+				semirt.Request{UserID: "u", ModelID: model, Payload: []byte{byte(i)}})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if inv.mixed.Load() {
+		t.Fatal("a batch mixed models")
+	}
+	if inv.calls.Load() >= 200 {
+		t.Fatalf("no batching happened: %d activations for 200 requests", inv.calls.Load())
+	}
+}
+
+type mixCheckInvoker struct {
+	mixed atomic.Bool
+	calls atomic.Int64
+}
+
+func (m *mixCheckInvoker) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
+	return echoBatch(payload, func(batch []semirt.Request) {
+		m.calls.Add(1)
+		for _, r := range batch {
+			if r.ModelID != batch[0].ModelID {
+				m.mixed.Store(true)
+			}
+		}
+	})
+}
+
+// TestOverloadNeverBlocks hammers a gateway whose backend never completes:
+// every Do must return (ErrOverloaded, cancellation, or close), none may
+// hang — the "overload returns ErrOverloaded rather than blocking forever"
+// contract.
+func TestOverloadNeverBlocks(t *testing.T) {
+	inv := &stuckInvoker{}
+	g := New(Config{MaxBatch: 2, MaxWait: 200 * time.Microsecond, MaxQueue: 4, MaxInFlight: 2}, inv)
+
+	var wg sync.WaitGroup
+	var overloaded atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			_, err := g.Do(ctx, "fn", req("m", i))
+			if errors.Is(err, ErrOverloaded) {
+				overloaded.Add(1)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do calls hung under overload")
+	}
+	if overloaded.Load() == 0 {
+		t.Fatal("no request was rejected with ErrOverloaded")
+	}
+	go g.Close() // Close cancels the stuck invokes and reaps dispatchers
+	select {
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	case <-closeDone(g):
+	}
+}
+
+func closeDone(g *Gateway) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() { g.Close(); close(ch) }()
+	return ch
+}
+
+type stuckInvoker struct{}
+
+func (s *stuckInvoker) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
+	<-ctx.Done() // never completes on its own
+	return nil, ctx.Err()
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram accumulates observations into fixed-width linear buckets — the
+// queue-depth and batch-size distributions the gateway exports. Unlike
+// Latency it stores counts, not samples, so it stays O(buckets) under
+// sustained load. Safe for concurrent use.
+type Histogram struct {
+	width  float64
+	mu     sync.Mutex
+	counts map[int]uint64
+	n      uint64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given bucket width; width <= 0
+// defaults to 1 (unit buckets, natural for counts like queue depth).
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		width = 1
+	}
+	return &Histogram{width: width, counts: map[int]uint64{}}
+}
+
+// Observe records one value. Negative values clamp to the first bucket.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	if v > 0 {
+		i = int(v / h.width)
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the lower bound of the bucket holding the q-th quantile
+// (0 < q <= 1) under nearest-rank, 0 when empty. For integer-valued counts
+// observed with unit width this is the observed value itself, so quantiles
+// never exceed Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	idx := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	var seen uint64
+	for _, i := range idx {
+		seen += h.counts[i]
+		if seen >= rank {
+			return float64(i) * h.width
+		}
+	}
+	return h.max
+}
+
+// HistogramBucket is one populated bucket of a snapshot.
+type HistogramBucket struct {
+	// Lo and Hi bound the bucket [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of observations in the bucket.
+	Count uint64
+}
+
+// Snapshot returns the populated buckets in value order.
+func (h *Histogram) Snapshot() []HistogramBucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]HistogramBucket, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, HistogramBucket{
+			Lo:    float64(i) * h.width,
+			Hi:    float64(i+1) * h.width,
+			Count: h.counts[i],
+		})
+	}
+	return out
+}
+
+// String formats a summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%g p95=%g max=%g",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []float64{0, 1, 1, 2, 3, 3, 3, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Mean(); got != 2.5 {
+		t.Fatalf("mean %v", got)
+	}
+	if got := h.Max(); got != 7 {
+		t.Fatalf("max %v", got)
+	}
+	// Nearest-rank over unit buckets: rank 4 of 8 sits in bucket [2,3),
+	// reported by its lower bound.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 %v", got)
+	}
+	if got := h.Quantile(1); got != 7 {
+		t.Fatalf("p100 %v", got)
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Fatal("quantile exceeds max")
+	}
+	snap := h.Snapshot()
+	var total uint64
+	for i, b := range snap {
+		if b.Hi-b.Lo != 1 {
+			t.Fatalf("bucket %d width %v", i, b.Hi-b.Lo)
+		}
+		if i > 0 && snap[i-1].Lo >= b.Lo {
+			t.Fatal("buckets not sorted")
+		}
+		total += b.Count
+	}
+	if total != 8 {
+		t.Fatalf("snapshot total %d", total)
+	}
+}
+
+func TestHistogramNegativeClampsAndWidth(t *testing.T) {
+	h := NewHistogram(0.5)
+	h.Observe(-3)
+	h.Observe(0.6)
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0].Lo != 0 || snap[0].Count != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap[1].Lo != 0.5 || snap[1].Hi != 1 {
+		t.Fatalf("second bucket %+v", snap[1])
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 16))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}

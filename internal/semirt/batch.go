@@ -1,0 +1,195 @@
+package semirt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Batched invocation: the serving gateway (internal/gateway) coalesces
+// same-model requests and delivers them as ONE activation, so a single
+// enclave entry — one ECall on one TCS — serves the whole batch. This is the
+// paper's amortization argument applied to the request path: enclave
+// transition, activation overhead and cache checks are paid once per batch
+// instead of once per request.
+
+// BatchResult is the outcome of one request within a batch. Requests fail
+// individually (bad ciphertext, unknown model) without failing the batch.
+type BatchResult struct {
+	// Response is valid when Err is nil.
+	Response Response
+	// Err is the per-request failure, nil on success.
+	Err error
+}
+
+// HandleBatch serves every request in one enclave entry and returns one
+// result per request, in request order. Only instance-level failures (the
+// enclave cannot be launched or was destroyed) fail the call as a whole.
+func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	launched, err := r.ensureEnclave()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	enc, prog := r.enc, r.prog
+	r.mu.Unlock()
+
+	results := make([]BatchResult, len(reqs))
+	err = enc.ECall(func() error {
+		// The enclave launch is attributed to the batch's first successful
+		// request (an earlier failing request must not swallow the cold
+		// classification — the launch still happened and was paid for).
+		coldPending := launched
+		for i, req := range reqs {
+			out, kind, err := prog.modelInf(req)
+			if err != nil {
+				results[i].Err = err
+				continue
+			}
+			path := Hot
+			switch {
+			case coldPending:
+				path = Cold
+			case kind.loadedModel || kind.fetchedKeys:
+				path = Warm
+			}
+			coldPending = false
+			results[i].Response = Response{Payload: out, Kind: path}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sawCold := false
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		switch res.Response.Kind {
+		case Cold:
+			r.cold.Add(1)
+			sawCold = true
+		case Warm:
+			r.warm.Add(1)
+		default:
+			r.hot.Add(1)
+		}
+	}
+	if launched && !sawCold {
+		// Every request failed, but the launch still happened and was paid
+		// for: keep the cold counter honest.
+		r.cold.Add(1)
+	}
+	return results, nil
+}
+
+// wireEnvelope is the JSON activation payload: either one request (the
+// OpenWhisk /run body this repo has always used) or a gateway batch.
+type wireEnvelope struct {
+	Request
+	Batch []Request `json:"batch,omitempty"`
+}
+
+// wireBatchItem is one per-request outcome on the wire.
+type wireBatchItem struct {
+	Payload []byte         `json:"payload,omitempty"`
+	Kind    InvocationKind `json:"kind"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// wireBatchResponse is the activation response for a batch envelope.
+type wireBatchResponse struct {
+	Batch []wireBatchItem `json:"batch"`
+}
+
+// EncodeBatch serializes requests into the batch activation envelope.
+func EncodeBatch(reqs []Request) ([]byte, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("semirt: empty batch")
+	}
+	return json.Marshal(wireEnvelope{Batch: reqs})
+}
+
+// DecodeEnvelope parses an activation payload: batch is non-empty when the
+// payload carried a gateway batch, otherwise req holds the single request.
+// It is the request-side inverse of EncodeBatch (and of a plain
+// json.Marshal(Request)); test doubles and recording wrappers use it so the
+// wire shape lives in exactly one place.
+func DecodeEnvelope(raw []byte) (req Request, batch []Request, err error) {
+	var env wireEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Request{}, nil, fmt.Errorf("semirt: activation payload: %w", err)
+	}
+	return env.Request, env.Batch, nil
+}
+
+// EncodeBatchResults serializes per-request outcomes as the batch activation
+// response — the inverse of DecodeBatchResponse.
+func EncodeBatchResults(results []BatchResult) ([]byte, error) {
+	wr := wireBatchResponse{Batch: make([]wireBatchItem, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			wr.Batch[i] = wireBatchItem{Error: res.Err.Error()}
+			continue
+		}
+		wr.Batch[i] = wireBatchItem{Payload: res.Response.Payload, Kind: res.Response.Kind}
+	}
+	return json.Marshal(wr)
+}
+
+// DecodeBatchResponse parses a batch activation response into per-request
+// results, which must number want (the batch size the caller sent).
+func DecodeBatchResponse(raw []byte, want int) ([]BatchResult, error) {
+	var wr wireBatchResponse
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		return nil, fmt.Errorf("semirt: batch response: %w", err)
+	}
+	if len(wr.Batch) != want {
+		return nil, fmt.Errorf("semirt: batch response has %d results, want %d", len(wr.Batch), want)
+	}
+	out := make([]BatchResult, len(wr.Batch))
+	for i, item := range wr.Batch {
+		if item.Error != "" {
+			out[i].Err = errors.New(item.Error)
+			continue
+		}
+		out[i].Response = Response{Payload: item.Payload, Kind: item.Kind}
+	}
+	return out, nil
+}
+
+// Instance adapts a Runtime to the serverless platform's opaque-payload
+// contract (serverless.Instance): it decodes single-request and batch JSON
+// envelopes and encodes the matching response shape. The integration stack,
+// the gateway benchmarks and the examples all share this adapter.
+type Instance struct {
+	// RT is the wrapped runtime.
+	RT *Runtime
+}
+
+// Invoke implements serverless.Instance.
+func (in Instance) Invoke(payload []byte) ([]byte, error) {
+	req, batch, err := DecodeEnvelope(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) > 0 {
+		results, err := in.RT.HandleBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeBatchResults(results)
+	}
+	resp, err := in.RT.Handle(req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resp)
+}
+
+// Stop implements serverless.Instance.
+func (in Instance) Stop() { in.RT.Stop() }

@@ -1,0 +1,182 @@
+package semirt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHandleBatchServesAllInOneEntry(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 2)
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	reqs := []Request{
+		w.requestFor("mbnet", 1),
+		w.requestFor("mbnet", 2),
+		w.requestFor("mbnet", 1),
+	}
+	results, err := rt.HandleBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results %d", len(results))
+	}
+	if results[0].Err != nil || results[0].Response.Kind != Cold {
+		t.Fatalf("first %v %v", results[0].Err, results[0].Response.Kind)
+	}
+	for i, res := range results[1:] {
+		if res.Err != nil || res.Response.Kind != Hot {
+			t.Fatalf("item %d: %v %v", i+1, res.Err, res.Response.Kind)
+		}
+	}
+	// Identical plaintexts produce identical outputs.
+	a := w.decode("mbnet", results[0].Response)
+	c := w.decode("mbnet", results[2].Response)
+	for i := range a.Data() {
+		if a.Data()[i] != c.Data()[i] {
+			t.Fatal("same input gave different outputs in one batch")
+		}
+	}
+	st := rt.Stats()
+	if st.Cold != 1 || st.Hot != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHandleBatchIsolatesPerRequestFailures(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 2)
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	bad := w.requestFor("mbnet", 3)
+	bad.Payload[len(bad.Payload)/2] ^= 1
+	reqs := []Request{w.requestFor("mbnet", 1), bad, w.requestFor("mbnet", 2)}
+	results, err := rt.HandleBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good requests failed: %v %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "decrypt") {
+		t.Fatalf("tampered request err %v", results[1].Err)
+	}
+}
+
+func TestHandleBatchColdSurvivesFailedFirstRequest(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 2)
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	// Fresh enclave, but the batch's first request is corrupt: the launch
+	// must be attributed to the first successful request, not lost.
+	bad := w.requestFor("mbnet", 1)
+	bad.Payload[0] ^= 1
+	results, err := rt.HandleBatch([]Request{bad, w.requestFor("mbnet", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("corrupt request succeeded")
+	}
+	if results[1].Err != nil || results[1].Response.Kind != Cold {
+		t.Fatalf("second request %v %v, want cold", results[1].Err, results[1].Response.Kind)
+	}
+	if st := rt.Stats(); st.Cold != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHandleBatchEmpty(t *testing.T) {
+	w := newWorld(t)
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 1), w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	results, err := rt.HandleBatch(nil)
+	if err != nil || results != nil {
+		t.Fatalf("empty batch: %v %v", results, err)
+	}
+}
+
+func TestInstanceAdapterSingleAndBatch(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 2)
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.deployModel("mbnet", rt.Measurement())
+	inst := Instance{RT: rt}
+	defer inst.Stop()
+
+	// Single-request envelope: the original /run body.
+	single, err := json.Marshal(w.requestFor("mbnet", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := inst.Invoke(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != Cold {
+		t.Fatalf("kind %v", resp.Kind)
+	}
+	w.decode("mbnet", resp)
+
+	// Batch envelope round trip, including a per-item failure.
+	bad := w.requestFor("mbnet", 9)
+	bad.Payload[0] ^= 1
+	reqs := []Request{w.requestFor("mbnet", 2), bad}
+	payload, err := EncodeBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = inst.Invoke(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := DecodeBatchResponse(raw, len(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Response.Kind != Hot {
+		t.Fatalf("batch item 0: %v %v", results[0].Err, results[0].Response.Kind)
+	}
+	w.decode("mbnet", results[0].Response)
+	if results[1].Err == nil {
+		t.Fatal("tampered item did not fail")
+	}
+	// Count mismatch is rejected.
+	if _, err := DecodeBatchResponse(raw, 3); err == nil {
+		t.Fatal("mismatched batch size accepted")
+	}
+}
+
+func TestEncodeBatchEmptyRejected(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+}

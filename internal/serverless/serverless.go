@@ -121,6 +121,12 @@ type Config struct {
 	// SandboxStart is the modeled container start latency (image pull is
 	// assumed cached, as in the paper's warmed-up clusters).
 	SandboxStart time.Duration
+	// InvokeOverhead is the modeled per-activation platform overhead — the
+	// controller → invoker → action-proxy hop every OpenWhisk activation
+	// pays. It is charged while the request holds its sandbox slot, so it
+	// bounds per-slot activation throughput; a batching front-end
+	// (internal/gateway) amortizes it across a whole batch. Zero disables it.
+	InvokeOverhead time.Duration
 	// Clock injects time; nil means the system clock.
 	Clock vclock.Clock
 }
@@ -210,6 +216,7 @@ func (c *Cluster) Invoke(ctx context.Context, action string, payload []byte) ([]
 	if err != nil {
 		return nil, err
 	}
+	c.clock.Sleep(c.cfg.InvokeOverhead)
 	out, err := sb.inst.Invoke(payload)
 	c.mu.Lock()
 	sb.inFlight--
@@ -217,6 +224,73 @@ func (c *Cluster) Invoke(ctx context.Context, action string, payload []byte) ([]
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	return out, err
+}
+
+// Prewarm ensures up to want sandboxes of the action exist (starting or
+// ready) without dispatching a request — the warm-capacity hook a front-end
+// scheduler drives from queue depth. It starts sandboxes only while a node
+// has spare memory (it never evicts, and never blocks waiting for capacity)
+// and returns how many sandboxes it started; on full nodes that can be 0.
+func (c *Cluster) Prewarm(action string, want int) (int, error) {
+	c.mu.Lock()
+	a, ok := c.actions[action]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+	}
+	deficit := want - len(c.sandboxes[action])
+	c.mu.Unlock()
+	if deficit <= 0 {
+		return 0, nil
+	}
+	// Container starts are independent: run them concurrently so warm
+	// capacity arrives in ~one SandboxStart, not deficit of them. Each
+	// goroutine re-checks the count under the lock (startSandboxLocked
+	// registers the starting sandbox before dropping it), so the target is
+	// not overshot.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	started := 0
+	var firstErr error
+	for i := 0; i < deficit; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.mu.Lock()
+			if c.closed || len(c.sandboxes[action]) >= want {
+				c.mu.Unlock()
+				return
+			}
+			// Never evict for warm capacity: evicting idle sandboxes to
+			// prewarm would cannibalize the warm pool this call is building.
+			var node *Node
+			for _, n := range c.nodes {
+				if n.Reserved()+a.MemoryBudget <= n.MemoryBytes {
+					node = n
+					break
+				}
+			}
+			if node == nil {
+				c.mu.Unlock()
+				return
+			}
+			_, err := c.startSandboxLocked(a, node)
+			if err == nil {
+				c.coldStarts++
+			}
+			c.mu.Unlock()
+			mu.Lock()
+			switch {
+			case err == nil:
+				started++
+			case !errors.Is(err, ErrClosed) && firstErr == nil:
+				firstErr = err
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return started, firstErr
 }
 
 // acquire finds or creates a sandbox with spare concurrency and reserves one
@@ -358,6 +432,16 @@ func (c *Cluster) startSandboxLocked(a *Action, node *Node) (*Sandbox, error) {
 		inst, err = a.New(node)
 	}()
 	c.mu.Lock()
+	if sb.state == sandboxDead {
+		// Close destroyed the sandbox while the lock was dropped (and
+		// already released its reservation): don't resurrect it, and don't
+		// orphan the instance we just built.
+		if inst != nil {
+			inst.Stop()
+		}
+		c.cond.Broadcast()
+		return nil, ErrClosed
+	}
 	if err != nil {
 		sb.state = sandboxDead
 		node.release(a.MemoryBudget)

@@ -110,6 +110,29 @@ type Config struct {
 	RequestTimeout time.Duration
 	// SampleEvery is the stats sampling interval (default 5 s).
 	SampleEvery time.Duration
+	// InvokeOverhead is the modeled per-activation platform overhead
+	// (serverless.Config.InvokeOverhead), charged while the request holds
+	// its sandbox slot. When batching is enabled the whole batch rides one
+	// activation, so the overhead is charged once per batch — the
+	// amortization the gateway measures live. Zero disables it.
+	InvokeOverhead time.Duration
+	// Batch, when MaxBatch > 1, models the serving gateway's batch formation
+	// (internal/gateway): arrivals are held per (endpoint, model) until
+	// MaxBatch have gathered or MaxWait elapsed, then released to the
+	// endpoint queue together. Formation delay is part of E2E latency — and
+	// InvokeOverhead is amortized across the batch — so simulated and
+	// measured gateway behavior stay comparable.
+	Batch BatchSpec
+}
+
+// BatchSpec mirrors the gateway's batching knobs inside the discrete-event
+// harness.
+type BatchSpec struct {
+	// MaxBatch is the flush size; <= 1 disables batching.
+	MaxBatch int
+	// MaxWait is the formation deadline after the first held request
+	// (default 2 ms, the gateway's default).
+	MaxWait time.Duration
 }
 
 func (c *Config) defaults() error {
@@ -136,6 +159,9 @@ func (c *Config) defaults() error {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Batch.MaxBatch > 1 && c.Batch.MaxWait <= 0 {
+		c.Batch.MaxWait = 2 * time.Millisecond
 	}
 	if len(c.Actions) == 0 {
 		return fmt.Errorf("sim: no actions configured")
@@ -200,6 +226,10 @@ type Result struct {
 	ColdStarts, Evictions int
 	// Dropped counts requests that timed out in the queue.
 	Dropped int
+	// Batches counts gateway batch flushes (0 when batching is disabled).
+	Batches int
+	// BatchSizes is the flushed batch-size distribution.
+	BatchSizes *metrics.Histogram
 	// End is the virtual completion time of the run.
 	End time.Duration
 }
@@ -278,13 +308,27 @@ func (sb *sandbox) releaseSlot(i int) {
 	sb.freeSlots = append(sb.freeSlots, i)
 }
 
-// request is an in-simulation request.
+// request is an in-simulation request. A formed gateway batch is carried by
+// its lead (oldest) request: members holds every batch member including the
+// lead, and the whole batch rides ONE activation — one queue entry, one
+// sandbox slot, one phase walk — mirroring the live HandleBatch, which
+// serves the batch sequentially inside a single ECall.
 type request struct {
 	ev      workload.Event
 	arrive  time.Duration
 	ep      string
 	started time.Duration
 	slot    int
+	members []*request // nil for an unbatched request
+}
+
+// batchMembers returns the requests this queue entry carries: its batch
+// members, or just itself when unbatched.
+func (r *request) batchMembers() []*request {
+	if r.members != nil {
+		return r.members
+	}
+	return []*request{r}
 }
 
 // costID resolves a workload model id to its cost-model id.
@@ -303,6 +347,7 @@ type Simulation struct {
 	actions map[string]*ActionSpec
 	boxes   map[string][]*sandbox // per action
 	queues  map[string][]*request
+	forming map[string]*forming // gateway batches gathering, per ep+model
 
 	res     *Result
 	gb      metrics.GBSeconds
@@ -323,9 +368,11 @@ func New(cfg Config) (*Simulation, error) {
 		actions: map[string]*ActionSpec{},
 		boxes:   map[string][]*sandbox{},
 		queues:  map[string][]*request{},
+		forming: map[string]*forming{},
 		res: &Result{
 			PerModel:      map[string]*metrics.Latency{},
 			All:           &metrics.Latency{},
+			BatchSizes:    metrics.NewHistogram(1),
 			LatencySeries: metrics.NewTimeSeries(30 * time.Second),
 			SandboxSeries: metrics.NewTimeSeries(cfg.SampleEvery),
 			ServingSeries: metrics.NewTimeSeries(cfg.SampleEvery),
@@ -433,8 +480,54 @@ func (s *Simulation) arrive(ev workload.Event) {
 		panic(err)
 	}
 	req := &request{ev: ev, arrive: s.eng.Now(), ep: ep}
+	if s.cfg.Batch.MaxBatch > 1 {
+		s.joinBatch(req)
+		return
+	}
 	s.queues[ep] = append(s.queues[ep], req)
 	s.dispatch(ep)
+}
+
+// forming is one gateway batch gathering arrivals.
+type forming struct{ reqs []*request }
+
+// joinBatch holds the request in its (endpoint, model) forming batch,
+// flushing when the batch fills or when the first member's deadline expires
+// — the discrete-event mirror of the gateway's MaxBatch/MaxWait batcher.
+func (s *Simulation) joinBatch(req *request) {
+	key := req.ep + "\x1f" + req.ev.ModelID
+	f := s.forming[key]
+	if f == nil {
+		f = &forming{}
+		s.forming[key] = f
+	}
+	f.reqs = append(f.reqs, req)
+	if len(f.reqs) >= s.cfg.Batch.MaxBatch {
+		s.flushBatch(key, f)
+		return
+	}
+	if len(f.reqs) == 1 {
+		s.eng.After(s.cfg.Batch.MaxWait, func() {
+			// Only flush if this batch is still the one forming: a fill
+			// flush may have replaced it in the meantime.
+			if s.forming[key] == f {
+				s.flushBatch(key, f)
+			}
+		})
+	}
+}
+
+// flushBatch releases a formed batch to the endpoint queue as ONE queue
+// entry (its lead request carrying the members). Members keep their original
+// arrival times, so formation delay lands in E2E latency.
+func (s *Simulation) flushBatch(key string, f *forming) {
+	delete(s.forming, key)
+	s.res.Batches++
+	s.res.BatchSizes.Observe(float64(len(f.reqs)))
+	lead := f.reqs[0]
+	lead.members = f.reqs
+	s.queues[lead.ep] = append(s.queues[lead.ep], lead)
+	s.dispatch(lead.ep)
 }
 
 // dispatch drains the endpoint queue into eligible sandboxes, starting new
@@ -445,9 +538,11 @@ func (s *Simulation) dispatch(ep string) {
 		req := s.queues[ep][0]
 		if s.eng.Now()-req.arrive > s.cfg.RequestTimeout {
 			s.queues[ep] = s.queues[ep][1:]
-			s.res.Dropped++
-			if s.cfg.Route != nil {
-				s.cfg.Route.Done(req.ep, req.ev.ModelID)
+			for _, m := range req.batchMembers() {
+				s.res.Dropped++
+				if s.cfg.Route != nil {
+					s.cfg.Route.Done(m.ep, m.ev.ModelID)
+				}
 			}
 			continue
 		}
