@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke clean
 
 all: build vet test
 
@@ -20,9 +20,18 @@ race:
 bench:
 	$(GO) test -bench=Gateway -benchtime=1x -run=NONE ./internal/bench/
 
-# Regenerate the committed serving-path snapshot.
+# Regenerate the committed serving-path snapshots.
 gateway-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp gateway -json BENCH_gateway.json
+
+routing-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp routing -json BENCH_routing.json
+
+# Tiny-scale routing run + 1-iteration contention benchmark: keeps the
+# experiment binaries from rotting without paying for the full runs (CI).
+routing-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp routing -smoke
+	$(GO) test -run=NONE -bench=BenchmarkRoutingContention -benchtime=1x ./internal/bench/
 
 clean:
 	$(GO) clean ./...

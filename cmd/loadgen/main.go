@@ -23,6 +23,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"flag"
@@ -64,6 +65,9 @@ func main() {
 	requests := flag.Int("requests", 32, "with -local -closed: requests per client")
 	maxBatch := flag.Int("max-batch", 8, "with -local: gateway batch bound")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "with -local: gateway batch formation deadline")
+	affinity := flag.Bool("affinity", false, "with -local: locality-aware batch routing (sticky per-model home nodes)")
+	localNodes := flag.Int("nodes", 1, "with -local: invoker node count")
+	localModels := flag.Int("local-models", 1, "with -local: model ids deployed on the action")
 	flag.Parse()
 
 	if *local {
@@ -73,7 +77,12 @@ func main() {
 		if *modelsFlag != "mbnet" || *conc != 16 {
 			log.Print("loadgen: note: -models and -concurrency apply to HTTP mode only; -local drives one model through the gateway's own bounds")
 		}
-		runLocal(*closed, *requests, *maxBatch, *maxWait, *pattern, *rate, *rate2, *duration, *seed, *userSeed)
+		runLocal(localCfg{
+			closed: *closed, requests: *requests, maxBatch: *maxBatch, maxWait: *maxWait,
+			pattern: *pattern, rate: *rate, rate2: *rate2, duration: *duration,
+			seed: *seed, user: *userSeed,
+			affinity: *affinity, nodes: *localNodes, models: *localModels,
+		})
 		return
 	}
 	if *url == "" && *packer == "" {
@@ -197,15 +206,32 @@ func buildTrace(pattern string, seed int64, rate, rate2 float64, duration time.D
 	return nil
 }
 
+// localCfg carries the -local mode knobs.
+type localCfg struct {
+	closed, requests, maxBatch int
+	maxWait                    time.Duration
+	pattern                    string
+	rate, rate2                float64
+	duration                   time.Duration
+	seed                       int64
+	user                       string
+	affinity                   bool
+	nodes, models              int
+}
+
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
 // closed loop with N concurrent clients, or open loop from the trace flags.
-func runLocal(closed, requests, maxBatch int, maxWait time.Duration, pattern string, rate, rate2 float64, duration time.Duration, seed int64, user string) {
+func runLocal(c localCfg) {
+	closed, requests, maxBatch, maxWait := c.closed, c.requests, c.maxBatch, c.maxWait
 	w, err := bench.NewLiveWorld(bench.LiveWorldConfig{
+		Nodes:  c.nodes,
+		Models: c.models,
 		Gateway: gateway.Config{
 			MaxBatch:     maxBatch,
 			MaxWait:      maxWait,
 			MaxInFlight:  8,
 			PrewarmDepth: 32,
+			Affinity:     c.affinity,
 		},
 	})
 	if err != nil {
@@ -214,16 +240,25 @@ func runLocal(closed, requests, maxBatch int, maxWait time.Duration, pattern str
 	defer w.Close()
 
 	if closed > 0 {
-		fmt.Printf("loadgen: closed loop, %d clients x %d requests, MaxBatch=%d\n", closed, requests, maxBatch)
-		r := bench.ClosedLoop("gateway", closed, requests, w.DoGateway)
+		fmt.Printf("loadgen: closed loop, %d clients x %d requests, MaxBatch=%d affinity=%v\n", closed, requests, maxBatch, c.affinity)
+		do := func(ctx context.Context, seed int) (semirt.Response, error) {
+			return w.DoGatewayFor(ctx, w.Models[seed%len(w.Models)], seed)
+		}
+		r := bench.ClosedLoop("gateway", closed, requests, do)
 		fmt.Printf("completed %d ok, %d failed in %.2fs (%.0f req/s)\n",
 			r.Requests-r.Errors, r.Errors, r.Seconds, r.RPS)
 		fmt.Printf("latency: mean %.1fms  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 			r.MeanMs, r.P50Ms, r.P95Ms, r.P99Ms)
 	} else {
-		tr := buildTrace(pattern, seed, rate, rate2, duration, w.Model, user)
-		fmt.Printf("loadgen: open loop, %d requests over %v (avg %.1f rps), MaxBatch=%d\n",
-			len(tr), duration, tr.Rate(), maxBatch)
+		// One arrival stream per deployed model, merged — so -local-models
+		// exercises a real multi-model mix, as HTTP mode's -models does.
+		var streams []workload.Trace
+		for i, m := range w.Models {
+			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.duration, m, c.user))
+		}
+		tr := workload.Merge(streams...)
+		fmt.Printf("loadgen: open loop, %d requests over %v (avg %.1f rps, %d models), MaxBatch=%d\n",
+			len(tr), c.duration, tr.Rate(), len(w.Models), maxBatch)
 		lat, perKind, fails := bench.OpenLoopGateway(w, tr)
 		fmt.Printf("completed %d ok, %d failed\n", lat.Count(), fails)
 		if lat.Count() > 0 {

@@ -3,7 +3,13 @@
 //
 //	POST /init  — launch the enclave (pre-warm)
 //	POST /run   — {"value": {"user_id", "model_id", "payload"(base64)}}
+//	              or a gateway batch envelope:
+//	              {"value": {"batch": [{"user_id", "model_id", "payload"}, …]}}
 //	GET  /stats — invocation counters
+//
+// A batch envelope is served in ONE enclave entry (semirt.HandleBatch) and
+// answered with one result per request, so remote deployments fronted by a
+// batching gateway get the same ECall amortization as the in-process stack.
 //
 // Encrypted models are read from a directory store ("cloud storage"); keys
 // are provisioned from the deployment's KeyService over mutual attestation.
@@ -34,18 +40,101 @@ import (
 	"sesemi/internal/vclock"
 )
 
+type runItem struct {
+	UserID  string `json:"user_id"`
+	ModelID string `json:"model_id"`
+	Payload string `json:"payload"` // base64
+}
+
 type runRequest struct {
 	Value struct {
-		UserID  string `json:"user_id"`
-		ModelID string `json:"model_id"`
-		Payload string `json:"payload"` // base64
+		runItem
+		// Batch, when non-empty, is a gateway batch envelope: every item is
+		// served in one enclave entry and answered positionally.
+		Batch []runItem `json:"batch,omitempty"`
 	} `json:"value"`
 }
 
 type runResponse struct {
-	Payload string `json:"payload"` // base64
-	Kind    string `json:"kind"`
+	Payload string `json:"payload,omitempty"` // base64
+	Kind    string `json:"kind,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Batch carries per-request results for a batch envelope, in request
+	// order.
+	Batch []runResponse `json:"batch,omitempty"`
+}
+
+// runner is the slice of *semirt.Runtime the /run handler needs; tests
+// substitute fakes.
+type runner interface {
+	Handle(semirt.Request) (semirt.Response, error)
+	HandleBatch([]semirt.Request) ([]semirt.BatchResult, error)
+}
+
+func decodeItem(it runItem) (semirt.Request, error) {
+	payload, err := base64.StdEncoding.DecodeString(it.Payload)
+	if err != nil {
+		return semirt.Request{}, fmt.Errorf("payload is not base64")
+	}
+	return semirt.Request{
+		UserID:  secure.ID(it.UserID),
+		ModelID: it.ModelID,
+		Payload: payload,
+	}, nil
+}
+
+// handleRun serves POST /run: one request, or a batch envelope through one
+// HandleBatch call (one ECall for the whole batch). Requests inside a batch
+// fail individually; only instance-level failures fail the call.
+func handleRun(rt runner, w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Value.Batch) > 0 {
+		reqs := make([]semirt.Request, len(req.Value.Batch))
+		for i, it := range req.Value.Batch {
+			sr, err := decodeItem(it)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, runResponse{Error: fmt.Sprintf("batch[%d]: %v", i, err)})
+				return
+			}
+			reqs[i] = sr
+		}
+		results, err := rt.HandleBatch(reqs)
+		if err != nil {
+			writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
+			return
+		}
+		out := runResponse{Batch: make([]runResponse, len(results))}
+		for i, res := range results {
+			if res.Err != nil {
+				out.Batch[i] = runResponse{Error: res.Err.Error()}
+				continue
+			}
+			out.Batch[i] = runResponse{
+				Payload: base64.StdEncoding.EncodeToString(res.Response.Payload),
+				Kind:    res.Response.Kind.String(),
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	sr, err := decodeItem(req.Value.runItem)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
+		return
+	}
+	resp, err := rt.Handle(sr)
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Payload: base64.StdEncoding.EncodeToString(resp.Payload),
+		Kind:    resp.Kind.String(),
+	})
 }
 
 func main() {
@@ -110,29 +199,7 @@ func main() {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
-		var req runRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
-			return
-		}
-		payload, err := base64.StdEncoding.DecodeString(req.Value.Payload)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, runResponse{Error: "payload is not base64"})
-			return
-		}
-		resp, err := rt.Handle(semirt.Request{
-			UserID:  secure.ID(req.Value.UserID),
-			ModelID: req.Value.ModelID,
-			Payload: payload,
-		})
-		if err != nil {
-			writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, runResponse{
-			Payload: base64.StdEncoding.EncodeToString(resp.Payload),
-			Kind:    resp.Kind.String(),
-		})
+		handleRun(rt, w, r)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := rt.Stats()

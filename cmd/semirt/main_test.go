@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sesemi/internal/semirt"
+)
+
+// fakeRunner echoes payloads and records how requests arrived: single Handle
+// calls vs HandleBatch calls (the amortization contract under test — a batch
+// envelope must reach the runtime as ONE batch, not N singles).
+type fakeRunner struct {
+	singles int
+	batches [][]semirt.Request
+}
+
+func (f *fakeRunner) Handle(req semirt.Request) (semirt.Response, error) {
+	f.singles++
+	if req.ModelID == "missing" {
+		return semirt.Response{}, errors.New("unknown model")
+	}
+	return semirt.Response{Payload: append([]byte("echo:"), req.Payload...), Kind: semirt.Hot}, nil
+}
+
+func (f *fakeRunner) HandleBatch(reqs []semirt.Request) ([]semirt.BatchResult, error) {
+	f.batches = append(f.batches, reqs)
+	out := make([]semirt.BatchResult, len(reqs))
+	for i, r := range reqs {
+		if r.ModelID == "missing" {
+			out[i].Err = errors.New("unknown model")
+			continue
+		}
+		out[i].Response = semirt.Response{Payload: append([]byte("echo:"), r.Payload...), Kind: semirt.Hot}
+	}
+	return out, nil
+}
+
+func postRun(t *testing.T, srv *httptest.Server, body any) (int, runResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, rr
+}
+
+func b64(s string) string { return base64.StdEncoding.EncodeToString([]byte(s)) }
+
+// TestRunEndpointRoundTrip drives both envelope shapes through the real HTTP
+// handler: a single request stays on Handle, a batch envelope rides one
+// HandleBatch call and fans per-request results (including per-request
+// failures) back positionally.
+func TestRunEndpointRoundTrip(t *testing.T) {
+	f := &fakeRunner{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		handleRun(f, w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Single request.
+	single := map[string]any{"value": map[string]any{
+		"user_id": "alice", "model_id": "mbnet", "payload": b64("in-0"),
+	}}
+	code, rr := postRun(t, srv, single)
+	if code != http.StatusOK || rr.Error != "" {
+		t.Fatalf("single: code %d resp %+v", code, rr)
+	}
+	if got, _ := base64.StdEncoding.DecodeString(rr.Payload); string(got) != "echo:in-0" {
+		t.Fatalf("single payload %q", got)
+	}
+	if rr.Kind != "hot" || len(rr.Batch) != 0 {
+		t.Fatalf("single resp shape %+v", rr)
+	}
+
+	// Batch envelope: three requests, the middle one failing individually.
+	batch := map[string]any{"value": map[string]any{"batch": []map[string]any{
+		{"user_id": "alice", "model_id": "mbnet", "payload": b64("in-1")},
+		{"user_id": "alice", "model_id": "missing", "payload": b64("in-2")},
+		{"user_id": "bob", "model_id": "mbnet", "payload": b64("in-3")},
+	}}}
+	code, rr = postRun(t, srv, batch)
+	if code != http.StatusOK || rr.Error != "" {
+		t.Fatalf("batch: code %d resp %+v", code, rr)
+	}
+	if len(rr.Batch) != 3 {
+		t.Fatalf("batch results %d, want 3", len(rr.Batch))
+	}
+	for i, want := range []string{"echo:in-1", "", "echo:in-3"} {
+		got, _ := base64.StdEncoding.DecodeString(rr.Batch[i].Payload)
+		if string(got) != want {
+			t.Fatalf("batch[%d] payload %q, want %q", i, got, want)
+		}
+	}
+	if rr.Batch[1].Error == "" || rr.Batch[0].Error != "" || rr.Batch[2].Error != "" {
+		t.Fatalf("per-request errors misplaced: %+v", rr.Batch)
+	}
+
+	// Amortization contract: one HandleBatch call for the whole batch, one
+	// Handle call for the single.
+	if f.singles != 1 || len(f.batches) != 1 || len(f.batches[0]) != 3 {
+		t.Fatalf("runtime saw %d singles, %d batches (first len %d)", f.singles, len(f.batches), len(f.batches[0]))
+	}
+	if f.batches[0][2].UserID != "bob" || f.batches[0][0].ModelID != "mbnet" {
+		t.Fatalf("batch decoded wrong: %+v", f.batches[0])
+	}
+
+	// Malformed payloads reject with 400 before touching the runtime.
+	bad := map[string]any{"value": map[string]any{"batch": []map[string]any{
+		{"user_id": "alice", "model_id": "mbnet", "payload": "not-base64!"},
+	}}}
+	if code, rr = postRun(t, srv, bad); code != http.StatusBadRequest || rr.Error == "" {
+		t.Fatalf("bad base64: code %d resp %+v", code, rr)
+	}
+	if code, _ := postRun(t, srv, "not-json-object"); code != http.StatusBadRequest {
+		t.Fatalf("bad body: code %d", code)
+	}
+}

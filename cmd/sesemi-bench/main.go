@@ -6,6 +6,8 @@
 //	sesemi-bench -exp fig9
 //	sesemi-bench -exp all [-o results.txt]
 //	sesemi-bench -exp gateway -json BENCH_gateway.json
+//	sesemi-bench -exp routing -json BENCH_routing.json
+//	sesemi-bench -exp routing -smoke   (tiny CI configuration)
 package main
 
 import (
@@ -21,25 +23,51 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway: also write the machine-readable snapshot here")
+	jsonOut := flag.String("json", "", "with -exp gateway or -exp routing: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
+	if *smoke && *exp != "routing" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing"))
+	}
 	if *jsonOut != "" {
 		if *list {
 			fatal(fmt.Errorf("-json and -list are mutually exclusive"))
 		}
-		if *exp != "gateway" {
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway"))
-		}
 		if *out != "" {
-			fatal(fmt.Errorf("-json and -o are mutually exclusive (the gateway snapshot is already a file)"))
+			fatal(fmt.Errorf("-json and -o are mutually exclusive (the snapshot is already a file)"))
 		}
-		snap, err := bench.WriteGatewaySnapshot(*jsonOut, bench.GatewayBenchConfig{})
+		switch *exp {
+		case "gateway":
+			snap, err := bench.WriteGatewaySnapshot(*jsonOut, bench.GatewayBenchConfig{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("gateway snapshot → %s (unbatched %.0f req/s, gateway %.0f req/s, %.2fx)\n",
+				*jsonOut, snap.Unbatched.RPS, snap.Batched.RPS, snap.Speedup)
+		case "routing":
+			cfg := bench.RoutingBenchConfig{}
+			if *smoke {
+				cfg = bench.RoutingSmokeConfig()
+			}
+			snap, err := bench.WriteRoutingSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("routing snapshot → %s (gateway %.0f req/s, +affinity %.0f req/s, %.2fx, warm-hit %.1f%%)\n",
+				*jsonOut, snap.Gateway.RPS, snap.Affinity.RPS, snap.AffinitySpeedup, 100*snap.Affinity.HotRate)
+		default:
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway or -exp routing"))
+		}
+		return
+	}
+	if *smoke {
+		snap, err := bench.RunRoutingBench(bench.RoutingSmokeConfig())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("gateway snapshot → %s (unbatched %.0f req/s, gateway %.0f req/s, %.2fx)\n",
-			*jsonOut, snap.Unbatched.RPS, snap.Batched.RPS, snap.Speedup)
+		fmt.Printf("routing smoke ok: gateway %.0f req/s, +affinity %.0f req/s (%.2fx, warm-hit %.1f%%)\n",
+			snap.Gateway.RPS, snap.Affinity.RPS, snap.AffinitySpeedup, 100*snap.Affinity.HotRate)
 		return
 	}
 

@@ -33,15 +33,19 @@ import (
 
 // LiveWorld is a complete in-process SeSeMI deployment — KeyService over
 // loopback TCP, a serverless cluster of SGX2 platforms running SeMIRT
-// actions, and a serving gateway in front — used by the gateway experiment,
-// the gateway benchmarks, and loadgen's -local mode.
+// actions, and a serving gateway in front — used by the gateway and routing
+// experiments, the gateway benchmarks, and loadgen's -local mode.
 type LiveWorld struct {
 	Cluster *serverless.Cluster
 	Gateway *gateway.Gateway
-	// Action is the single deployed endpoint; Model its pinned model id.
+	// Action is the single deployed endpoint; Model its default model id.
 	Action, Model string
+	// Models lists every deployed model id (Models[0] == Model). All models
+	// share the one action — the multi-model endpoint whose enclaves swap
+	// state when consecutive requests target different models.
+	Models []string
 
-	reqKey  secure.Key
+	reqKeys map[string]secure.Key
 	userID  secure.ID
 	shape   []int
 	closers []func()
@@ -56,6 +60,15 @@ type LiveWorldConfig struct {
 	NodeMemory int64
 	// Concurrency is TCSs per SeMIRT enclave (default 4).
 	Concurrency int
+	// Models is how many model ids to deploy on the single action (default
+	// 1). The first is "mbnet"; the rest are functional clones ("m1", "m2",
+	// …) with their own keys and blobs, so a multi-model serving mix is real:
+	// an enclave switching models pays decrypt + load + runtime init.
+	Models int
+	// ModelPadBytes, when positive, pads every deployed model blob to this
+	// serialized size, making the model-swap penalty (and therefore routing
+	// locality) proportional to a configurable model size.
+	ModelPadBytes int
 	// InvokeOverhead is the modeled per-activation platform overhead charged
 	// on the wall clock while a request holds its slot (default 2 ms — the
 	// controller/invoker/action-proxy hop of an OpenWhisk activation, which
@@ -80,7 +93,14 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	if cfg.InvokeOverhead == 0 {
 		cfg.InvokeOverhead = 2 * time.Millisecond
 	}
-	w := &LiveWorld{Action: "fn-mbnet", Model: "mbnet"}
+	if cfg.Models <= 0 {
+		cfg.Models = 1
+	}
+	w := &LiveWorld{Action: "fn-mbnet", Model: "mbnet", reqKeys: map[string]secure.Key{}}
+	w.Models = append(w.Models, "mbnet")
+	for i := 1; i < cfg.Models; i++ {
+		w.Models = append(w.Models, fmt.Sprintf("m%d", i))
+	}
 	fail := func(err error) (*LiveWorld, error) {
 		w.Close()
 		return nil, err
@@ -158,30 +178,42 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	if err != nil {
 		return fail(err)
 	}
+	if cfg.ModelPadBytes > 0 {
+		if err := model.PadToSize(m, cfg.ModelPadBytes); err != nil {
+			return fail(err)
+		}
+	}
 	w.shape = m.InputShape
 	data, err := model.Marshal(m)
 	if err != nil {
 		return fail(err)
 	}
-	km := secure.KeyFromSeed("bench-km")
-	ct, err := semirt.EncryptModel(km, w.Model, data)
-	if err != nil {
-		return fail(err)
-	}
-	if err := store.Put(semirt.ModelBlobName(w.Model), ct); err != nil {
-		return fail(err)
-	}
 	es := scfg.Manifest().Measure()
-	if err := owner.AddModelKey(w.Model, km); err != nil {
-		return fail(err)
-	}
-	if err := owner.GrantAccess(w.Model, es, user.ID()); err != nil {
-		return fail(err)
-	}
-	w.reqKey = secure.KeyFromSeed("bench-kr")
 	w.userID = user.ID()
-	if err := user.AddReqKey(w.Model, es, w.reqKey); err != nil {
-		return fail(err)
+	// Every model id is the same functional network under its own keys and
+	// blob — what matters to the serving stack is that they are distinct
+	// models: an enclave switching between them refetches keys, re-decrypts
+	// and reloads.
+	for _, id := range w.Models {
+		km := secure.KeyFromSeed("bench-km-" + id)
+		ct, err := semirt.EncryptModel(km, id, data)
+		if err != nil {
+			return fail(err)
+		}
+		if err := store.Put(semirt.ModelBlobName(id), ct); err != nil {
+			return fail(err)
+		}
+		if err := owner.AddModelKey(id, km); err != nil {
+			return fail(err)
+		}
+		if err := owner.GrantAccess(id, es, user.ID()); err != nil {
+			return fail(err)
+		}
+		kr := secure.KeyFromSeed("bench-kr-" + id)
+		if err := user.AddReqKey(id, es, kr); err != nil {
+			return fail(err)
+		}
+		w.reqKeys[id] = kr
 	}
 
 	err = w.Cluster.Deploy(&serverless.Action{
@@ -216,23 +248,38 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	return w, nil
 }
 
-// Request builds one encrypted request (seed varies the input tensor).
+// Request builds one encrypted request for the default model (seed varies
+// the input tensor).
 func (w *LiveWorld) Request(seed int) (semirt.Request, error) {
+	return w.RequestFor(w.Model, seed)
+}
+
+// RequestFor builds one encrypted request for a deployed model id.
+func (w *LiveWorld) RequestFor(modelID string, seed int) (semirt.Request, error) {
+	kr, ok := w.reqKeys[modelID]
+	if !ok {
+		return semirt.Request{}, fmt.Errorf("bench: model %q not deployed", modelID)
+	}
 	in := tensor.New(w.shape...)
 	for i := range in.Data() {
 		in.Data()[i] = float32((i+seed)%13) * 0.06
 	}
-	payload, err := semirt.EncryptRequest(w.reqKey, w.Model, inference.EncodeTensor(in))
+	payload, err := semirt.EncryptRequest(kr, modelID, inference.EncodeTensor(in))
 	if err != nil {
 		return semirt.Request{}, err
 	}
-	return semirt.Request{UserID: w.userID, ModelID: w.Model, Payload: payload}, nil
+	return semirt.Request{UserID: w.userID, ModelID: modelID, Payload: payload}, nil
 }
 
 // DoDirect sends one request straight through Cluster.Invoke (the unbatched
 // baseline path).
 func (w *LiveWorld) DoDirect(ctx context.Context, seed int) (semirt.Response, error) {
-	req, err := w.Request(seed)
+	return w.DoDirectFor(ctx, w.Model, seed)
+}
+
+// DoDirectFor is DoDirect for a specific model id.
+func (w *LiveWorld) DoDirectFor(ctx context.Context, modelID string, seed int) (semirt.Response, error) {
+	req, err := w.RequestFor(modelID, seed)
 	if err != nil {
 		return semirt.Response{}, err
 	}
@@ -253,16 +300,21 @@ func (w *LiveWorld) DoDirect(ctx context.Context, seed int) (semirt.Response, er
 
 // DoGateway sends one request through the batching gateway.
 func (w *LiveWorld) DoGateway(ctx context.Context, seed int) (semirt.Response, error) {
-	req, err := w.Request(seed)
+	return w.DoGatewayFor(ctx, w.Model, seed)
+}
+
+// DoGatewayFor is DoGateway for a specific model id.
+func (w *LiveWorld) DoGatewayFor(ctx context.Context, modelID string, seed int) (semirt.Response, error) {
+	req, err := w.RequestFor(modelID, seed)
 	if err != nil {
 		return semirt.Response{}, err
 	}
 	return w.Gateway.Do(ctx, w.Action, req)
 }
 
-// Decrypt opens a response payload.
+// Decrypt opens a response payload for the default model.
 func (w *LiveWorld) Decrypt(resp semirt.Response) ([]byte, error) {
-	return semirt.DecryptResponse(w.reqKey, w.Model, resp.Payload)
+	return semirt.DecryptResponse(w.reqKeys[w.Model], w.Model, resp.Payload)
 }
 
 // Close tears the deployment down.
@@ -477,8 +529,9 @@ func init() {
 }
 
 // OpenLoopGateway replays a workload trace against the live world's gateway
-// at the trace's own arrival times (loadgen -local). It returns the latency
-// distribution, per-kind counts, and the failure count.
+// at the trace's own arrival times (loadgen -local), routing each event to
+// its own model id. It returns the latency distribution, per-kind counts,
+// and the failure count.
 func OpenLoopGateway(w *LiveWorld, tr workload.Trace) (*metrics.Latency, map[string]int, int) {
 	lat := &metrics.Latency{}
 	perKind := map[string]int{}
@@ -490,10 +543,10 @@ func OpenLoopGateway(w *LiveWorld, tr workload.Trace) (*metrics.Latency, map[str
 		ev := tr[i]
 		time.Sleep(time.Until(start.Add(ev.At)))
 		wg.Add(1)
-		go func(seed int) {
+		go func(model string, seed int) {
 			defer wg.Done()
 			t0 := time.Now()
-			resp, err := w.DoGateway(context.Background(), seed)
+			resp, err := w.DoGatewayFor(context.Background(), model, seed)
 			d := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
@@ -503,7 +556,7 @@ func OpenLoopGateway(w *LiveWorld, tr workload.Trace) (*metrics.Latency, map[str
 			}
 			lat.Add(d)
 			perKind[resp.Kind.String()]++
-		}(i)
+		}(ev.ModelID, i)
 	}
 	wg.Wait()
 	return lat, perKind, fails

@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/gateway"
+	"sesemi/internal/metrics"
+	"sesemi/internal/semirt"
+)
+
+// ---------- Routing experiment: locality-aware batch routing ----------
+//
+// PR 1's gateway amortizes enclave entry across a batch but lets the cluster
+// place every batch on an arbitrary warm sandbox. With several models behind
+// one action that is the paper's "indiscriminate proxy" problem at batch
+// granularity: consecutive batches of different models ping-pong through the
+// same enclaves, and every switch pays key refetch + model decrypt + load +
+// runtime rebuild. The routing experiment measures what sticky per-model home
+// nodes (gateway.Config.Affinity) recover.
+
+// RoutingRunResult is one access path's measured outcome, including the
+// enclave-level locality split.
+type RoutingRunResult struct {
+	GatewayRunResult
+	// HotRate is the fraction of responses served on the hot path (enclave,
+	// keys, model and runtime all reused) — the warm-hit rate of the serving
+	// stack as the enclave sees it.
+	HotRate float64 `json:"warm_hit_rate"`
+	// Warm and Cold count responses that had to rebuild some (warm) or all
+	// (cold) enclave state.
+	Warm, Cold int `json:"-"`
+	// Rehomes counts affinity re-homing decisions during the run.
+	Rehomes uint64 `json:"rehomes,omitempty"`
+	// ColdStarts and Evictions are the cluster's lifetime counters for the
+	// run — sandbox churn that indiscriminate placement causes and affinity
+	// avoids.
+	ColdStarts uint64 `json:"cold_starts,omitempty"`
+	Evictions  uint64 `json:"evictions,omitempty"`
+}
+
+// RoutingSnapshot is the BENCH_routing.json payload.
+type RoutingSnapshot struct {
+	Clients        int    `json:"clients"`
+	PerClient      int    `json:"requests_per_client"`
+	Nodes          int    `json:"nodes"`
+	Models         int    `json:"models"`
+	MaxBatch       int    `json:"max_batch"`
+	MaxInFlight    int    `json:"max_in_flight"`
+	InvokeOverhead string `json:"invoke_overhead"`
+	ModelPadBytes  int    `json:"model_pad_bytes"`
+
+	Unbatched RoutingRunResult `json:"unbatched"`
+	Gateway   RoutingRunResult `json:"gateway"`
+	Affinity  RoutingRunResult `json:"gateway_affinity"`
+
+	// AffinitySpeedup is Affinity.RPS / Gateway.RPS — what locality-aware
+	// routing adds on top of batching.
+	AffinitySpeedup float64 `json:"affinity_speedup"`
+	// BatchingSpeedup is Gateway.RPS / Unbatched.RPS on this deployment.
+	BatchingSpeedup float64 `json:"batching_speedup"`
+	// EstimatedWarmHitRate is costmodel.WarmHitRate at the measured affinity
+	// batch rate with spread 1 (sticky home) — the analytic estimate the
+	// measured rate is compared against.
+	EstimatedWarmHitRate float64 `json:"estimated_warm_hit_rate"`
+}
+
+// RoutingBenchConfig sizes the comparison run.
+type RoutingBenchConfig struct {
+	// Clients is the closed-loop client count across all models
+	// (default 256). Client c drives model c mod Models.
+	Clients int
+	// PerClient is requests per client (default 16).
+	PerClient int
+	// Nodes is the invoker count (default 4).
+	Nodes int
+	// Models is the number of model ids sharing the action (default 4).
+	Models int
+	// MaxBatch is the gateway batch bound (default 8).
+	MaxBatch int
+	// MaxInFlight bounds concurrent batches per queue (default 8 — sized to
+	// a home node's slot count: 2 sandboxes x concurrency 4).
+	MaxInFlight int
+	// InvokeOverhead is the modeled per-activation overhead (default 5ms,
+	// matching the gateway experiment).
+	InvokeOverhead time.Duration
+	// ModelPadBytes pads deployed models so the swap penalty is realistic
+	// (default 2 MiB).
+	ModelPadBytes int
+}
+
+func (c *RoutingBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 256
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 16
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Models <= 0 {
+		c.Models = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.InvokeOverhead <= 0 {
+		c.InvokeOverhead = 5 * time.Millisecond
+	}
+	if c.ModelPadBytes <= 0 {
+		c.ModelPadBytes = 2 << 20
+	}
+}
+
+func (c RoutingBenchConfig) world(affinity bool) (*LiveWorld, error) {
+	return NewLiveWorld(LiveWorldConfig{
+		Nodes:          c.Nodes,
+		NodeMemory:     512 << 20, // two 256 MiB sandboxes per node
+		Concurrency:    4,
+		Models:         c.Models,
+		ModelPadBytes:  c.ModelPadBytes,
+		InvokeOverhead: c.InvokeOverhead,
+		Gateway: gateway.Config{
+			MaxBatch:     c.MaxBatch,
+			MaxWait:      4 * time.Millisecond,
+			MaxQueue:     4096,
+			MaxInFlight:  c.MaxInFlight,
+			PrewarmDepth: 32,
+			Affinity:     affinity,
+		},
+	})
+}
+
+// routingClosedLoop drives clients×perClient requests closed-loop, client c
+// pinned to model c mod len(models), and aggregates latency plus the
+// hot/warm/cold split from response kinds.
+func routingClosedLoop(mode string, clients, perClient int, models []string,
+	do func(ctx context.Context, model string, seed int) (semirt.Response, error)) RoutingRunResult {
+	var lat metrics.Latency
+	var mu sync.Mutex
+	errs, hot, warm, cold := 0, 0, 0, 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			model := models[c%len(models)]
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				resp, err := do(context.Background(), model, c*perClient+i)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					lat.Add(d)
+					switch resp.Kind {
+					case semirt.Hot:
+						hot++
+					case semirt.Warm:
+						warm++
+					default:
+						cold++
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	n := clients * perClient
+	res := RoutingRunResult{
+		GatewayRunResult: GatewayRunResult{
+			Mode:     mode,
+			Requests: n,
+			Errors:   errs,
+			Seconds:  elapsed.Seconds(),
+			RPS:      float64(n-errs) / elapsed.Seconds(),
+			MeanMs:   float64(lat.Mean()) / 1e6,
+			P50Ms:    float64(lat.Percentile(50)) / 1e6,
+			P95Ms:    float64(lat.Percentile(95)) / 1e6,
+			P99Ms:    float64(lat.Percentile(99)) / 1e6,
+		},
+		Warm: warm,
+		Cold: cold,
+	}
+	if served := hot + warm + cold; served > 0 {
+		res.HotRate = float64(hot) / float64(served)
+	}
+	return res
+}
+
+// RunRoutingBench measures three access paths on identical multi-model
+// deployments: direct Cluster.Invoke, the batching gateway, and the batching
+// gateway with affinity routing.
+func RunRoutingBench(cfg RoutingBenchConfig) (*RoutingSnapshot, error) {
+	cfg.defaults()
+	snap := &RoutingSnapshot{
+		Clients:        cfg.Clients,
+		PerClient:      cfg.PerClient,
+		Nodes:          cfg.Nodes,
+		Models:         cfg.Models,
+		MaxBatch:       cfg.MaxBatch,
+		MaxInFlight:    cfg.MaxInFlight,
+		InvokeOverhead: cfg.InvokeOverhead.String(),
+		ModelPadBytes:  cfg.ModelPadBytes,
+	}
+
+	// Separate worlds per mode so sandbox state from one run cannot warm the
+	// next's.
+	run := func(mode string, affinity, viaGateway bool) (RoutingRunResult, error) {
+		w, err := cfg.world(affinity)
+		if err != nil {
+			return RoutingRunResult{}, err
+		}
+		defer w.Close()
+		do := w.DoGatewayFor
+		if !viaGateway {
+			do = w.DoDirectFor
+		}
+		res := routingClosedLoop(mode, cfg.Clients, cfg.PerClient, w.Models, do)
+		if viaGateway {
+			gwStats := w.Gateway.Stats()
+			res.Batches = gwStats.Batches
+			res.MeanBatch = w.Gateway.Metrics().BatchSizes.Mean()
+			res.Rehomes = gwStats.Rehomes
+		}
+		cst := w.Cluster.Stats()
+		res.ColdStarts, res.Evictions = cst.ColdStarts, cst.Evictions
+		return res, nil
+	}
+
+	var err error
+	if snap.Unbatched, err = run("unbatched", false, false); err != nil {
+		return nil, err
+	}
+	if snap.Gateway, err = run("gateway", false, true); err != nil {
+		return nil, err
+	}
+	if snap.Affinity, err = run("gateway+affinity", true, true); err != nil {
+		return nil, err
+	}
+
+	if snap.Unbatched.RPS > 0 {
+		snap.BatchingSpeedup = snap.Gateway.RPS / snap.Unbatched.RPS
+	}
+	if snap.Gateway.RPS > 0 {
+		snap.AffinitySpeedup = snap.Affinity.RPS / snap.Gateway.RPS
+	}
+	// Batches of one model arrive at its home at roughly RPS/(models*batch);
+	// sticky routing means spread 1 over the keep-warm window.
+	batchRate := snap.Affinity.RPS / float64(cfg.Models*cfg.MaxBatch)
+	snap.EstimatedWarmHitRate = costmodel.WarmHitRate(batchRate, 3*time.Minute, 1)
+	return snap, nil
+}
+
+// WriteRoutingSnapshot runs the comparison and writes BENCH_routing.json.
+func WriteRoutingSnapshot(path string, cfg RoutingBenchConfig) (*RoutingSnapshot, error) {
+	snap, err := RunRoutingBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printRoutingRun(w io.Writer, r RoutingRunResult) {
+	fmt.Fprintf(w, "%-17s %6d req %4d err %7.0f req/s  p50 %6.1fms  p99 %7.1fms  warm-hit %5.1f%%",
+		r.Mode, r.Requests, r.Errors, r.RPS, r.P50Ms, r.P99Ms, 100*r.HotRate)
+	if r.Batches > 0 {
+		fmt.Fprintf(w, "  (%d batches, mean %.1f", r.Batches, r.MeanBatch)
+		if r.Rehomes > 0 {
+			fmt.Fprintf(w, ", %d rehomes", r.Rehomes)
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+}
+
+// RoutingSmokeConfig is the tiny configuration CI uses to keep the
+// experiment binary from rotting without paying for the full run.
+func RoutingSmokeConfig() RoutingBenchConfig {
+	return RoutingBenchConfig{
+		Clients:       8,
+		PerClient:     2,
+		Nodes:         2,
+		Models:        2,
+		MaxBatch:      4,
+		ModelPadBytes: 64 << 10,
+	}
+}
+
+func runRoutingExperiment(w io.Writer) error {
+	header(w, "Routing: locality-aware batch routing across nodes (256 closed-loop clients, 4 nodes, 4 models)")
+	snap, err := RunRoutingBench(RoutingBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printRoutingRun(w, snap.Unbatched)
+	printRoutingRun(w, snap.Gateway)
+	printRoutingRun(w, snap.Affinity)
+	fmt.Fprintf(w, "affinity speedup over gateway: %.2fx (batching over unbatched: %.2fx)\n",
+		snap.AffinitySpeedup, snap.BatchingSpeedup)
+	fmt.Fprintf(w, "estimated warm-hit rate at measured rate: %.1f%%\n", 100*snap.EstimatedWarmHitRate)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "routing",
+		Title: "Routing: sticky per-model home nodes vs indiscriminate placement",
+		Run:   runRoutingExperiment,
+	})
+}

@@ -19,6 +19,7 @@ package costmodel
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"sesemi/internal/model"
@@ -276,6 +277,42 @@ func BatchFormationDelay(rate float64, maxBatch int, maxWait time.Duration) time
 	n := 1 + rate*window // expected members per flush
 	mean := window - (rate*window*window/2)/n
 	return time.Duration(mean * float64(time.Second))
+}
+
+// WarmHitRate estimates the steady-state probability that a request (or
+// batch) finds a warm sandbox of its model. With Poisson arrivals at rate
+// per second on one (action, model) stream, a sandbox stays warm when the
+// next arrival that can reuse it lands within the keep-warm window.
+// Indiscriminate placement spreads the stream over `spread` nodes, dividing
+// the per-node arrival rate — the analytic form of why sticky affinity
+// routing (spread 1) keeps enclaves hot that round-robin placement lets
+// expire:
+//
+//	P(warm) = 1 - exp(-rate * keepWarm / spread)
+//
+// spread < 1 is treated as 1.
+func WarmHitRate(rate float64, keepWarm time.Duration, spread int) float64 {
+	if rate <= 0 || keepWarm <= 0 {
+		return 0
+	}
+	if spread < 1 {
+		spread = 1
+	}
+	return 1 - math.Exp(-rate*keepWarm.Seconds()/float64(spread))
+}
+
+// ColdStartAmortization estimates the mean per-request share of cold-start
+// cost under batched serving: a miss (1 - WarmHitRate) pays coldCost once,
+// and the batch that triggered it carries up to maxBatch requests, so the
+// per-request charge is miss * coldCost / maxBatch. Together with
+// BatchFormationDelay this lets the simulator and the live gateway report
+// comparable E2E decompositions.
+func ColdStartAmortization(rate float64, keepWarm, coldCost time.Duration, spread, maxBatch int) time.Duration {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	miss := 1 - WarmHitRate(rate, keepWarm, spread)
+	return time.Duration(miss * float64(coldCost) / float64(maxBatch))
 }
 
 // CloudDownload returns the same-region Azure Blob download time quoted in

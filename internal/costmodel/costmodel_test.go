@@ -360,3 +360,55 @@ func TestBatchFormationDelay(t *testing.T) {
 		t.Fatalf("near-idle %v not between %v and maxWait", d2, d)
 	}
 }
+
+func TestWarmHitRate(t *testing.T) {
+	// Degenerate shapes.
+	if r := WarmHitRate(0, time.Minute, 1); r != 0 {
+		t.Fatalf("zero rate: %v", r)
+	}
+	if r := WarmHitRate(10, 0, 1); r != 0 {
+		t.Fatalf("zero keep-warm: %v", r)
+	}
+	// Bounded in [0, 1] and monotone in rate.
+	lo := WarmHitRate(0.001, 3*time.Minute, 1)
+	hi := WarmHitRate(0.01, 3*time.Minute, 1)
+	if lo <= 0 || hi > 1 || hi <= lo {
+		t.Fatalf("bounds/monotonicity: lo %v hi %v", lo, hi)
+	}
+	// A busy stream inside the keep-warm window is effectively always warm.
+	if r := WarmHitRate(10, 3*time.Minute, 1); r < 0.999 {
+		t.Fatalf("busy stream warm rate %v", r)
+	}
+	// Spreading the stream over more nodes can only lower the warm rate —
+	// the analytic case for sticky (spread 1) affinity routing.
+	sticky := WarmHitRate(0.02, 3*time.Minute, 1)
+	spread := WarmHitRate(0.02, 3*time.Minute, 8)
+	if spread >= sticky {
+		t.Fatalf("spread %v not below sticky %v", spread, sticky)
+	}
+	// spread < 1 clamps to 1.
+	if WarmHitRate(0.02, 3*time.Minute, 0) != sticky {
+		t.Fatal("spread 0 must clamp to 1")
+	}
+}
+
+func TestColdStartAmortization(t *testing.T) {
+	const cold = 500 * time.Millisecond
+	// An always-warm stream amortizes to ~nothing.
+	if d := ColdStartAmortization(10, 3*time.Minute, cold, 1, 8); d > time.Millisecond {
+		t.Fatalf("warm stream charge %v", d)
+	}
+	// A dead-cold stream pays the full cost divided across the batch.
+	if d := ColdStartAmortization(0, 3*time.Minute, cold, 1, 8); d != cold/8 {
+		t.Fatalf("cold stream charge %v, want %v", d, cold/8)
+	}
+	// Larger batches amortize more; maxBatch < 1 clamps.
+	small := ColdStartAmortization(0.001, time.Minute, cold, 4, 1)
+	large := ColdStartAmortization(0.001, time.Minute, cold, 4, 16)
+	if large >= small {
+		t.Fatalf("batch 16 charge %v not below batch 1 charge %v", large, small)
+	}
+	if ColdStartAmortization(0, time.Minute, cold, 1, 0) != cold {
+		t.Fatal("maxBatch 0 must clamp to 1")
+	}
+}

@@ -18,6 +18,10 @@
 //	    than spawning unbounded dispatches.
 //	  - Prewarming: queue depth drives serverless.Cluster.Prewarm, growing the
 //	    warm sandbox pool ahead of demand.
+//	  - Affinity routing (Config.Affinity): each queue keeps a sticky home
+//	    node and dispatches its batches there (serverless.Cluster.InvokeOn),
+//	    so consecutive batches of one model reuse the same warm enclaves; a
+//	    saturated home is abandoned by power-of-two-choices re-homing.
 //
 // Every accepted request is answered exactly once: it either rides a batch
 // (its buffered result channel receives the fan-out) or its caller cancels
@@ -28,12 +32,15 @@ package gateway
 import (
 	"context"
 	"errors"
+	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sesemi/internal/metrics"
 	"sesemi/internal/semirt"
+	"sesemi/internal/serverless"
 )
 
 // Invoker dispatches one serialized activation. *serverless.Cluster
@@ -46,6 +53,18 @@ type Invoker interface {
 // satisfies it.
 type Prewarmer interface {
 	Prewarm(action string, want int) (int, error)
+}
+
+// Router is the locality surface of the backend: hinted dispatch plus the
+// per-node scheduling state the affinity router ranks candidate homes by.
+// *serverless.Cluster satisfies it.
+type Router interface {
+	// InvokeOn dispatches one activation with a placement hint and reports
+	// the node that actually served it.
+	InvokeOn(ctx context.Context, action, node string, payload []byte) ([]byte, string, error)
+	// NodeStats returns per-node warm capacity and memory state for the
+	// action.
+	NodeStats(action string) []serverless.NodeStat
 }
 
 // Errors returned by the gateway.
@@ -82,6 +101,19 @@ type Config struct {
 	PrewarmDepth int
 	// PrewarmMax caps the prewarm target per action (default 8).
 	PrewarmMax int
+	// Affinity enables locality-aware batch routing: each (action, model)
+	// queue gets a sticky preferred ("home") node, so consecutive batches of
+	// one model land on the same warm enclaves instead of re-provisioning
+	// model, keys and runtimes wherever the cluster happens to have a slot.
+	// Homes are chosen by warm-sandbox count and free memory, spread across
+	// nodes (one hot model per node when possible), and re-chosen by
+	// power-of-two-choices when the home saturates. Requires the Invoker to
+	// implement Router; otherwise it is ignored.
+	Affinity bool
+	// RehomeAfter is the number of consecutive off-home dispatches (the
+	// cluster served the batch elsewhere because the home was saturated)
+	// after which a queue picks a new home (default 3).
+	RehomeAfter int
 }
 
 func (c *Config) defaults() {
@@ -102,6 +134,9 @@ func (c *Config) defaults() {
 	}
 	if c.PrewarmMax < 1 {
 		c.PrewarmMax = 8
+	}
+	if c.RehomeAfter < 1 {
+		c.RehomeAfter = 3
 	}
 }
 
@@ -126,6 +161,11 @@ type queue struct {
 	timerArmed    bool
 	inFlight      int // batches dispatched, not yet fanned out
 	prewarmWant   int // this queue's current warm-sandbox demand
+
+	// Affinity state: home is the sticky preferred node ("" until routed);
+	// offHome counts consecutive dispatches the cluster served elsewhere.
+	home    string
+	offHome int
 }
 
 // actionWarm tracks prewarm state for one action, aggregated across its
@@ -160,6 +200,9 @@ type Stats struct {
 	Batches, Served uint64
 	// Prewarmed counts sandboxes started by prewarming.
 	Prewarmed uint64
+	// Rehomes counts affinity re-homing decisions (a queue abandoning a
+	// saturated preferred node for a new one).
+	Rehomes uint64
 	// Queues is the number of live (action, model) queues; drained queues
 	// are reaped, so this tracks active traffic, not ids ever seen.
 	Queues int
@@ -172,20 +215,28 @@ type Gateway struct {
 	cfg Config
 	inv Invoker
 	pw  Prewarmer
+	rt  Router // non-nil when affinity routing is active
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	queues  map[string]*queue
-	warm    map[string]*actionWarm
-	pending int // requests admitted but not yet answered, all queues
-	closed  bool
+	mu     sync.Mutex
+	queues map[string]*queue
+	warm   map[string]*actionWarm
+	homes  map[string]int // action\x1fnode -> models homed there
+	// stickyHomes remembers a queue's home across queue reaping: the warm
+	// enclave state a home describes outlives the (bursty) queue, so a
+	// re-created queue must return to it instead of reshuffling the cluster.
+	// Bounded by maxStickyHomes; a random entry is dropped (and its homes
+	// count released) past that.
+	stickyHomes map[string]string // queue key -> node
+	pending     int               // requests admitted but not yet answered, all queues
+	closed      bool
 
 	m Metrics
 
-	accepted, rejected, batches, served, prewarmed atomic.Uint64
+	accepted, rejected, batches, served, prewarmed, rehomes atomic.Uint64
 }
 
 // New creates a gateway over inv. If inv also implements Prewarmer (as
@@ -194,10 +245,12 @@ type Gateway struct {
 func New(cfg Config, inv Invoker) *Gateway {
 	cfg.defaults()
 	g := &Gateway{
-		cfg:    cfg,
-		inv:    inv,
-		queues: map[string]*queue{},
-		warm:   map[string]*actionWarm{},
+		cfg:         cfg,
+		inv:         inv,
+		queues:      map[string]*queue{},
+		warm:        map[string]*actionWarm{},
+		homes:       map[string]int{},
+		stickyHomes: map[string]string{},
 		m: Metrics{
 			BatchSizes: metrics.NewHistogram(1),
 			QueueDepth: metrics.NewHistogram(1),
@@ -207,6 +260,9 @@ func New(cfg Config, inv Invoker) *Gateway {
 	}
 	if pw, ok := inv.(Prewarmer); ok && cfg.PrewarmDepth > 0 {
 		g.pw = pw
+	}
+	if rt, ok := inv.(Router); ok && cfg.Affinity {
+		g.rt = rt
 	}
 	g.ctx, g.cancel = context.WithCancel(context.Background())
 	return g
@@ -226,12 +282,18 @@ func (g *Gateway) Stats() Stats {
 		Batches:   g.batches.Load(),
 		Served:    g.served.Load(),
 		Prewarmed: g.prewarmed.Load(),
+		Rehomes:   g.rehomes.Load(),
 		Queues:    queues,
 		Pending:   pending,
 	}
 }
 
 func queueKey(action, model string) string { return action + "\x1f" + model }
+
+// splitQueueKey is the inverse of queueKey.
+func splitQueueKey(key string) (action, model string, ok bool) {
+	return strings.Cut(key, "\x1f")
+}
 
 // Do submits one request to the action and waits for its response. It fails
 // fast with ErrOverloaded when the request's queue is full and with
@@ -317,8 +379,20 @@ func (g *Gateway) flushLocked(q *queue, force bool) {
 		q.inFlight++
 		g.batches.Add(1)
 		g.m.BatchSizes.Observe(float64(n))
+		home := ""
+		if g.rt != nil {
+			// Adopt a remembered home cheaply here; a queue with no home yet
+			// elects one in the dispatch goroutine, where the cluster scan
+			// (Router.NodeStats takes every node lock) runs outside g.mu.
+			if q.home == "" {
+				if h, ok := g.stickyHomes[q.key]; ok {
+					q.home = h
+				}
+			}
+			home = q.home
+		}
 		g.wg.Add(1)
-		go g.dispatch(q, batch)
+		go g.dispatch(q, batch, home)
 	}
 }
 
@@ -367,8 +441,9 @@ func (g *Gateway) armTimerLocked(q *queue) {
 }
 
 // dispatch ships one batch as a single activation and fans the per-request
-// results back out. Runs outside the gateway lock.
-func (g *Gateway) dispatch(q *queue, batch []*pending) {
+// results back out. Runs outside the gateway lock. home is the affinity hint
+// chosen at flush time ("" when routing is off).
+func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 	defer g.wg.Done()
 	start := time.Now()
 	reqs := make([]semirt.Request, len(batch))
@@ -376,11 +451,29 @@ func (g *Gateway) dispatch(q *queue, batch []*pending) {
 		reqs[i] = p.req
 		g.m.QueueWait.Observe(float64(start.Sub(p.enq)) / float64(time.Millisecond))
 	}
+	if g.rt != nil && home == "" {
+		// First dispatch of a fresh queue: elect a home. The cluster scan
+		// runs unlocked; the adoption re-checks under g.mu (a concurrent
+		// dispatcher may have elected one first). The choice is advisory —
+		// the cluster revalidates placement on every acquire.
+		stats := g.rt.NodeStats(q.action)
+		g.mu.Lock()
+		if q.home == "" {
+			g.chooseHomeLocked(q, stats)
+		}
+		home = q.home
+		g.mu.Unlock()
+	}
 	var results []semirt.BatchResult
+	servedOn := home
 	payload, err := semirt.EncodeBatch(reqs)
 	if err == nil {
 		var raw []byte
-		raw, err = g.inv.Invoke(g.ctx, q.action, payload)
+		if g.rt != nil {
+			raw, servedOn, err = g.rt.InvokeOn(g.ctx, q.action, home, payload)
+		} else {
+			raw, err = g.inv.Invoke(g.ctx, q.action, payload)
+		}
 		if err == nil {
 			results, err = semirt.DecodeBatchResponse(raw, len(batch))
 		}
@@ -398,11 +491,168 @@ func (g *Gateway) dispatch(q *queue, batch []*pending) {
 	g.mu.Lock()
 	q.inFlight--
 	g.pending -= len(batch)
+	needRehome := false
+	if g.rt != nil && home != "" {
+		needRehome = g.noteServedLocked(q, home, servedOn)
+	}
 	g.flushLocked(q, false)
 	g.armTimerLocked(q)
 	g.reapLocked(q)
 	g.mu.Unlock()
+	if needRehome {
+		// The cluster scan behind re-homing runs outside g.mu (it takes
+		// every node lock); the application re-checks that the queue still
+		// sits on the saturated home.
+		stats := g.rt.NodeStats(q.action)
+		g.mu.Lock()
+		if q.home == home {
+			g.rehomeLocked(q, stats)
+		}
+		g.mu.Unlock()
+	}
 }
+
+// noteServedLocked updates the queue's affinity state after a dispatch: a
+// batch served away from home means the home was saturated; RehomeAfter of
+// those in a row report that a re-home is due (performed by the caller
+// outside the lock).
+func (g *Gateway) noteServedLocked(q *queue, home, servedOn string) bool {
+	if q.home != home {
+		return false // re-homed while this batch was in flight
+	}
+	if servedOn == home {
+		q.offHome = 0
+		return false
+	}
+	q.offHome++
+	return q.offHome >= g.cfg.RehomeAfter
+}
+
+// maxStickyHomes bounds the remembered-home map so caller-supplied model ids
+// cannot grow gateway state without bound.
+const maxStickyHomes = 8192
+
+// chooseHomeLocked elects a home for a queue that has none, from a node
+// snapshot fetched OUTSIDE g.mu (the scan takes every node lock). The choice
+// spreads hot models across the cluster: nodes with fewer models already
+// homed on them win, then warm ready capacity for the action, then free
+// memory — so a fresh model claims an un-homed node with room, and
+// consecutive batches keep landing on the warm state they build.
+func (g *Gateway) chooseHomeLocked(q *queue, stats []serverless.NodeStat) {
+	if len(stats) == 0 {
+		return
+	}
+	best := stats[0]
+	for _, st := range stats[1:] {
+		if g.homeLess(q.action, st, best) {
+			best = st
+		}
+	}
+	g.adoptHomeLocked(q, best.Node)
+}
+
+// homeLess reports whether candidate a is a strictly better home than b.
+func (g *Gateway) homeLess(action string, a, b serverless.NodeStat) bool {
+	ha, hb := g.homes[homeKey(action, a.Node)], g.homes[homeKey(action, b.Node)]
+	if ha != hb {
+		return ha < hb
+	}
+	if a.ReadySlots != b.ReadySlots {
+		return a.ReadySlots > b.ReadySlots
+	}
+	fa, fb := a.Capacity-a.Reserved, b.Capacity-b.Reserved
+	return fa > fb
+}
+
+// rehomeLocked picks a new home by power of two choices: two random
+// candidates (the saturated current home excluded), keep the better one.
+// Randomization stops every starved queue from stampeding onto the one
+// globally best node in the same instant. stats is fetched outside g.mu by
+// the caller.
+func (g *Gateway) rehomeLocked(q *queue, stats []serverless.NodeStat) {
+	cands := stats[:0:0]
+	for _, st := range stats {
+		if st.Node != q.home {
+			cands = append(cands, st)
+		}
+	}
+	if len(cands) == 0 {
+		q.offHome = 0
+		return
+	}
+	pick := cands[rand.Intn(len(cands))]
+	if len(cands) > 1 {
+		other := cands[rand.Intn(len(cands)-1)]
+		if other.Node == pick.Node {
+			other = cands[len(cands)-1]
+		}
+		if g.homeLess(q.action, other, pick) {
+			pick = other
+		}
+	}
+	g.releaseHomeLocked(q.action, q.home)
+	q.home = ""
+	g.adoptHomeLocked(q, pick.Node)
+	g.rehomes.Add(1)
+}
+
+// adoptHomeLocked homes q on node, counting it and remembering it across
+// queue reaping. Past maxStickyHomes an arbitrary remembered home is dropped
+// (its count with it) — the map stays bounded and the victim simply
+// re-chooses on its next traffic.
+func (g *Gateway) adoptHomeLocked(q *queue, node string) {
+	q.home = node
+	q.offHome = 0
+	if node == "" {
+		return
+	}
+	g.homes[homeKey(q.action, node)]++
+	if _, existed := g.stickyHomes[q.key]; !existed && len(g.stickyHomes) >= maxStickyHomes {
+		g.evictStickyHomeLocked()
+	}
+	g.stickyHomes[q.key] = node
+}
+
+// evictStickyHomeLocked drops one remembered home to keep the map bounded,
+// preferring an entry whose queue is not live. If every entry belongs to a
+// live queue (pathological: maxStickyHomes concurrent hot models), the victim
+// queue's own home is cleared with the count, so the spread counts can never
+// be double-released when that queue later re-homes or reaps.
+func (g *Gateway) evictStickyHomeLocked() {
+	victim := ""
+	for k := range g.stickyHomes {
+		if victim == "" {
+			victim = k
+		}
+		if g.queues[k] == nil {
+			victim = k
+			break
+		}
+	}
+	if victim == "" {
+		return
+	}
+	action, _, _ := splitQueueKey(victim)
+	g.releaseHomeLocked(action, g.stickyHomes[victim])
+	delete(g.stickyHomes, victim)
+	if lq := g.queues[victim]; lq != nil {
+		lq.home = ""
+		lq.offHome = 0
+	}
+}
+
+func (g *Gateway) releaseHomeLocked(action, node string) {
+	if node == "" {
+		return
+	}
+	k := homeKey(action, node)
+	g.homes[k]--
+	if g.homes[k] <= 0 {
+		delete(g.homes, k)
+	}
+}
+
+func homeKey(action, node string) string { return action + "\x1f" + node }
 
 // reapLocked deletes a fully drained queue so caller-supplied model ids
 // cannot grow g.queues without bound. The queue's prewarm demand leaves the
@@ -426,6 +676,9 @@ func (g *Gateway) reapLocked(q *queue) {
 		}
 	}
 	q.prewarmWant = 0
+	// The queue's home deliberately survives in stickyHomes (and keeps its
+	// homes count): the warm enclaves it routes to are still on that node,
+	// and the queue's next incarnation must return to them.
 	delete(g.queues, q.key)
 }
 

@@ -1,0 +1,358 @@
+package serverless
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// trackedInstance fails the test if it is stopped while an invocation is in
+// flight — the observable symptom of evicting a non-idle sandbox.
+type trackedInstance struct {
+	t        *testing.T
+	active   atomic.Int32
+	stopped  atomic.Bool
+	violated *atomic.Bool
+}
+
+func (ti *trackedInstance) Invoke(p []byte) ([]byte, error) {
+	ti.active.Add(1)
+	if ti.stopped.Load() {
+		ti.violated.Store(true)
+	}
+	// A tiny random hold keeps invocations overlapping with the evictors.
+	if rand.Intn(4) == 0 {
+		time.Sleep(time.Duration(rand.Intn(50)) * time.Microsecond)
+	}
+	if ti.stopped.Load() {
+		ti.violated.Store(true)
+	}
+	ti.active.Add(-1)
+	return p, nil
+}
+
+func (ti *trackedInstance) Stop() {
+	ti.stopped.Store(true)
+	if ti.active.Load() > 0 {
+		ti.violated.Store(true)
+	}
+}
+
+// TestEvictionNeverKillsInFlight drives two actions across two small nodes so
+// that every cold start must evict the other action's idle sandboxes, while
+// invokers, prewarmers and the reaper race. Properties (checked under -race
+// in CI): an in-flight sandbox is never destroyed, node memory is never
+// over-reserved, and the whole tangle finishes (no deadlock across nodes).
+func TestEvictionNeverKillsInFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clock = vclock.Real{Scale: 0}
+	cfg.KeepWarm = time.Millisecond
+	nodes := []*Node{
+		{Name: "n0", MemoryBytes: 256 << 20},
+		{Name: "n1", MemoryBytes: 256 << 20},
+	}
+	c := NewCluster(cfg, nodes...)
+	defer c.Close()
+
+	var violated atomic.Bool
+	deploy := func(name string) {
+		err := c.Deploy(&Action{
+			Name:         name,
+			MemoryBudget: 128 << 20,
+			Concurrency:  2,
+			New: func(*Node) (Instance, error) {
+				return &trackedInstance{t: t, violated: &violated}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deploy("a")
+	deploy("b")
+
+	// Each node fits two sandboxes; two actions wanting two sandboxes each
+	// keep memory contended, so eviction and re-homing run constantly.
+	const (
+		workers    = 8
+		perWorker  = 300
+		reapEvery  = 73
+		warmEvery  = 97
+		checkEvery = 41
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			action := "a"
+			if w%2 == 1 {
+				action = "b"
+			}
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Invoke(context.Background(), action, []byte{byte(i)}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				switch {
+				case i%reapEvery == 0:
+					c.ReapIdle()
+				case i%warmEvery == 0:
+					if _, err := c.Prewarm(action, 2); err != nil {
+						t.Errorf("prewarm: %v", err)
+						return
+					}
+				case i%checkEvery == 0:
+					for _, n := range nodes {
+						if r := n.Reserved(); r < 0 || r > n.MemoryBytes {
+							t.Errorf("node %s over-reserved: %d of %d", n.Name, r, n.MemoryBytes)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("deadlock: workers did not finish")
+	}
+	if violated.Load() {
+		t.Fatal("an in-flight sandbox was stopped")
+	}
+	for _, n := range nodes {
+		if r := n.Reserved(); r < 0 || r > n.MemoryBytes {
+			t.Fatalf("node %s reservation out of bounds after run: %d", n.Name, r)
+		}
+	}
+	st := c.Stats()
+	if st.Invocations != workers*perWorker {
+		t.Fatalf("invocations %d, want %d", st.Invocations, workers*perWorker)
+	}
+}
+
+// TestPrewarmNeverOverReservesRacingAcquire is the regression test for the
+// over-reserve window: Prewarm used to pick a node from a stale capacity read
+// and reserve afterwards, so racing with acquire on the same action could
+// momentarily exceed node memory. Reservation now happens under the owning
+// node's lock; this hammers both paths and samples the invariant.
+func TestPrewarmNeverOverReservesRacingAcquire(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clock = vclock.Real{Scale: 0}
+	node := &Node{Name: "n0", MemoryBytes: 512 << 20} // fits 4 sandboxes
+	c := NewCluster(cfg, node)
+	defer c.Close()
+	if err := c.Deploy(&Action{
+		Name:         "fn",
+		MemoryBudget: 128 << 20,
+		Concurrency:  1,
+		New:          func(*Node) (Instance, error) { return nopInst{}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var over atomic.Bool
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if node.Reserved() > node.MemoryBytes {
+					over.Store(true)
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if w%2 == 0 {
+					if _, err := c.Prewarm("fn", 2+i%3); err != nil {
+						t.Errorf("prewarm: %v", err)
+						return
+					}
+					c.ReapIdle()
+				} else if _, err := c.Invoke(context.Background(), "fn", nil); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	if over.Load() {
+		t.Fatalf("node over-reserved: observed > %d", node.MemoryBytes)
+	}
+	if r := node.Reserved(); r > node.MemoryBytes || r < 0 {
+		t.Fatalf("final reservation %d out of [0, %d]", r, node.MemoryBytes)
+	}
+}
+
+// TestInvokeOnPrefersHintedNode checks the placement hint end to end: with
+// warm capacity on both nodes, routed invocations land on the hinted node,
+// and servedOn reports the actual placement when the hint is saturated.
+func TestInvokeOnPrefersHintedNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clock = vclock.Real{Scale: 0}
+	nodes := []*Node{
+		{Name: "n0", MemoryBytes: 256 << 20},
+		{Name: "n1", MemoryBytes: 256 << 20},
+	}
+	c := NewCluster(cfg, nodes...)
+	defer c.Close()
+	var mu sync.Mutex
+	perNode := map[string]int{}
+	if err := c.Deploy(&Action{
+		Name:         "fn",
+		MemoryBudget: 128 << 20,
+		Concurrency:  4,
+		New: func(n *Node) (Instance, error) {
+			mu.Lock()
+			perNode[n.Name]++
+			mu.Unlock()
+			return nopInst{}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Cold start lands on the hinted node even though n0 precedes it.
+	for i := 0; i < 8; i++ {
+		_, servedOn, err := c.InvokeOn(context.Background(), "fn", "n1", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if servedOn != "n1" {
+			t.Fatalf("request %d served on %s, want n1", i, servedOn)
+		}
+	}
+	mu.Lock()
+	if perNode["n0"] != 0 || perNode["n1"] != 1 {
+		t.Fatalf("sandbox placement %v, want all on n1", perNode)
+	}
+	mu.Unlock()
+	stats := c.NodeStats("fn")
+	if len(stats) != 2 || stats[1].Node != "n1" {
+		t.Fatalf("node stats %+v", stats)
+	}
+	if stats[1].WarmHits < 7 || stats[1].ColdStarts != 1 || stats[1].Sandboxes != 1 {
+		t.Fatalf("n1 stats %+v", stats[1])
+	}
+	if stats[0].WarmHits != 0 {
+		t.Fatalf("n0 saw warm hits: %+v", stats[0])
+	}
+	// An unknown hint degrades to unhinted scheduling.
+	if _, _, err := c.InvokeOn(context.Background(), "fn", "ghost", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type nopInst struct{}
+
+func (nopInst) Invoke(p []byte) ([]byte, error) { return p, nil }
+func (nopInst) Stop()                           {}
+
+// TestNodeStatsReadySlots pins the ReadySlots accounting the affinity router
+// ranks nodes by.
+func TestNodeStatsReadySlots(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clock = vclock.Real{Scale: 0}
+	node := &Node{Name: "n0", MemoryBytes: 1 << 30}
+	c := NewCluster(cfg, node)
+	defer c.Close()
+	if err := c.Deploy(&Action{
+		Name: "fn", MemoryBudget: 128 << 20, Concurrency: 3,
+		New: func(*Node) (Instance, error) { return nopInst{}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Prewarm("fn", 2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.NodeStats("fn")
+	if len(st) != 1 || st[0].ReadySlots != 6 || st[0].Sandboxes != 2 {
+		t.Fatalf("stats %+v, want 2 sandboxes / 6 ready slots", st)
+	}
+	if st[0].Reserved != 256<<20 {
+		t.Fatalf("reserved %d", st[0].Reserved)
+	}
+	if st := c.NodeStats("ghost"); len(st) != 1 || st[0].Sandboxes != 0 {
+		t.Fatalf("unknown action stats %+v", st)
+	}
+}
+
+// TestCrossActionMemoryWakeup is the regression test for the sharded
+// scheduler's cross-action wakeup: action A blocked on memory held by action
+// B must be woken when B's sandbox goes idle (and becomes evictable) — the
+// property the old cluster-wide cond.Broadcast provided for free. Without
+// the idle-transition notifyAllActions, A sleeps forever here.
+func TestCrossActionMemoryWakeup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clock = vclock.Real{Scale: 0}
+	node := &Node{Name: "n0", MemoryBytes: 128 << 20} // room for exactly one sandbox
+	c := NewCluster(cfg, node)
+	defer c.Close()
+	block := make(chan struct{})
+	if err := c.Deploy(&Action{
+		Name: "b", MemoryBudget: 128 << 20, Concurrency: 1,
+		New: func(*Node) (Instance, error) {
+			return &echoInstance{block: block}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(echoAction("a", 128<<20, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// B occupies the whole node and blocks inside its invocation.
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke(context.Background(), "b", nil)
+		bDone <- err
+	}()
+	for c.Stats().Serving["b"] == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// A needs the node's memory; it can only run by evicting B's sandbox
+	// once that goes idle.
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke(context.Background(), "a", nil)
+		aDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let A reach the wait
+	close(block)                      // B completes; its sandbox idles
+	if err := <-bDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-aDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("action a never woke after action b's sandbox went idle")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+}

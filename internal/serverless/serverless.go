@@ -17,6 +17,14 @@
 //   - eviction: when no node has room, idle sandboxes (least recently used
 //     first) are reclaimed to make space.
 //
+// Scheduling is sharded for concurrency (README "Scheduling & locality"):
+// there is no cluster-wide mutex. Each node owns a lock over its memory
+// reservations and the sandboxes it hosts; each action owns a placement lock
+// that serializes cold-start/eviction decisions for that action only; and the
+// hot path — claiming a slot in an already-warm sandbox — is lock-free: it
+// CAS-claims a slot from an atomic per-action snapshot of ready sandboxes, so
+// hundreds of concurrent clients do not convoy on any mutex.
+//
 // The same Cluster type backs the live servers in cmd/ and the functional
 // integration tests; the large-scale experiments replay its scheduling
 // policy inside the discrete-event harness.
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sesemi/internal/vclock"
@@ -57,7 +66,8 @@ type Action struct {
 	New InstanceFactory
 }
 
-// Node is one invoker machine.
+// Node is one invoker machine. Its lock covers only this node's reservations
+// and hosted sandboxes — scheduling on one node never blocks another.
 type Node struct {
 	// Name identifies the node.
 	Name string
@@ -67,24 +77,15 @@ type Node struct {
 	// instance factories type-assert it.
 	Extra any
 
-	mu       sync.Mutex
-	reserved int64
-}
+	mu        sync.Mutex
+	reserved  int64
+	sandboxes map[string][]*Sandbox // action name -> sandboxes hosted here
 
-func (n *Node) reserve(b int64) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.reserved+b > n.MemoryBytes {
-		return false
-	}
-	n.reserved += b
-	return true
-}
-
-func (n *Node) release(b int64) {
-	n.mu.Lock()
-	n.reserved -= b
-	n.mu.Unlock()
+	// Locality counters: warmHits counts acquires served by an
+	// already-ready sandbox on this node; coldStarts counts sandboxes
+	// started here.
+	warmHits   atomic.Uint64
+	coldStarts atomic.Uint64
 }
 
 // Reserved returns the memory currently reserved on the node.
@@ -94,23 +95,59 @@ func (n *Node) Reserved() int64 {
 	return n.reserved
 }
 
-type sandboxState int
+// removeLocked unlinks sb from the node's hosting list. Caller holds n.mu.
+func (n *Node) removeLocked(sb *Sandbox) {
+	list := n.sandboxes[sb.action.Name]
+	for i, s := range list {
+		if s == sb {
+			n.sandboxes[sb.action.Name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+}
 
 const (
-	sandboxStarting sandboxState = iota
+	sandboxStarting int32 = iota
 	sandboxReady
+	sandboxDying // claimed for destruction, idleness being verified
 	sandboxDead
 )
 
-// Sandbox is one container instance of an action on a node.
+// Sandbox is one container instance of an action on a node. Its state and
+// in-flight count are atomics so the ready fast path can claim a slot without
+// holding any lock; state transitions to/from dead happen under the owning
+// node's lock.
 type Sandbox struct {
-	action   *Action
-	node     *Node
-	inst     Instance
-	state    sandboxState
-	inFlight int
-	lastUsed time.Time
+	action *Action
+	as     *actionState
+	node   *Node
+	inst   Instance
+
+	state    atomic.Int32
+	inFlight atomic.Int32
+	lastUsed atomic.Int64 // clock nanos
 	born     time.Time
+}
+
+// tryClaim reserves one slot if the sandbox is ready and has spare
+// concurrency. The claim/undo protocol pairs with the evictors' dying CAS:
+// an evictor first CASes ready→dying and only destroys after re-reading
+// inFlight == 0, so either the evictor observes our increment and reverts, or
+// we observe its dying state and undo — a slot is never claimed in a sandbox
+// that gets destroyed.
+func (sb *Sandbox) tryClaim(max int32) bool {
+	if sb.state.Load() != sandboxReady {
+		return false
+	}
+	if sb.inFlight.Add(1) > max {
+		sb.inFlight.Add(-1)
+		return false
+	}
+	if sb.state.Load() != sandboxReady {
+		sb.inFlight.Add(-1)
+		return false
+	}
+	return true
 }
 
 // Config tunes the cluster.
@@ -136,22 +173,75 @@ func DefaultConfig() Config {
 	return Config{KeepWarm: 3 * time.Minute, SandboxStart: 500 * time.Millisecond}
 }
 
+// actionState is the per-action scheduling shard.
+type actionState struct {
+	a *Action
+
+	// count is live sandboxes (starting + ready); starting counts only
+	// those still starting. Both are maintained by whoever performs the
+	// state transition.
+	count    atomic.Int32
+	starting atomic.Int32
+	// waiters counts acquires currently between registration and claim;
+	// releases skip the notification machinery when it is zero.
+	waiters atomic.Int32
+	// ready is the lock-free fast path: a snapshot of the action's ready
+	// sandboxes across all nodes. nil means stale — the next placement
+	// rebuilds it under startMu. Entries are validated by tryClaim, so a
+	// stale snapshot is safe, merely slower.
+	ready atomic.Pointer[[]*Sandbox]
+	// notifyCh is closed and replaced whenever capacity may have appeared
+	// (slot release, sandbox ready, sandbox destroyed, start failure).
+	notifyCh atomic.Pointer[chan struct{}]
+	// startMu serializes placement decisions (cold starts, eviction) for
+	// this action. It is never held during the slow container start itself.
+	startMu sync.Mutex
+}
+
+func newActionState(a *Action) *actionState {
+	as := &actionState{a: a}
+	ch := make(chan struct{})
+	as.notifyCh.Store(&ch)
+	return as
+}
+
+// notify wakes every waiter. Safe for concurrent use: each caller closes
+// exactly the channel it swapped out.
+func (as *actionState) notify() {
+	ch := make(chan struct{})
+	old := as.notifyCh.Swap(&ch)
+	close(*old)
+}
+
+func (as *actionState) notifyIfWaiters() {
+	if as.waiters.Load() > 0 {
+		as.notify()
+	}
+}
+
 // Cluster is the platform controller.
 type Cluster struct {
 	cfg   Config
 	clock vclock.Clock
 	nodes []*Node
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	actions   map[string]*Action
-	sandboxes map[string][]*Sandbox // action name -> instances
-	closed    bool
+	amu     sync.RWMutex
+	actions map[string]*actionState
 
-	// counters
-	coldStarts  uint64
-	invocations uint64
-	evictions   uint64
+	closed   atomic.Bool
+	closedCh chan struct{}
+
+	// waiters is the cluster-wide registered-waiter count (the sum of every
+	// action's waiters). A slot release that idles a sandbox makes it
+	// evictable — capacity for ANY action — so it must wake other actions'
+	// waiters too; this counter lets that cross-action notify be skipped on
+	// the contended-free hot path.
+	waiters atomic.Int32
+
+	// lifetime counters
+	coldStarts  atomic.Uint64
+	invocations atomic.Uint64
+	evictions   atomic.Uint64
 }
 
 // Errors returned by the cluster.
@@ -165,15 +255,20 @@ func NewCluster(cfg Config, nodes ...*Node) *Cluster {
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.System
 	}
-	c := &Cluster{
-		cfg:       cfg,
-		clock:     cfg.Clock,
-		nodes:     nodes,
-		actions:   map[string]*Action{},
-		sandboxes: map[string][]*Sandbox{},
+	for _, n := range nodes {
+		n.mu.Lock()
+		if n.sandboxes == nil {
+			n.sandboxes = map[string][]*Sandbox{}
+		}
+		n.mu.Unlock()
 	}
-	c.cond = sync.NewCond(&c.mu)
-	return c
+	return &Cluster{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		nodes:    nodes,
+		actions:  map[string]*actionState{},
+		closedCh: make(chan struct{}),
+	}
 }
 
 // Deploy registers an action.
@@ -187,19 +282,19 @@ func (c *Cluster) Deploy(a *Action) error {
 	if a.Concurrency < 1 {
 		a.Concurrency = 1
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.amu.Lock()
+	defer c.amu.Unlock()
 	if _, dup := c.actions[a.Name]; dup {
 		return fmt.Errorf("serverless: action %q already deployed", a.Name)
 	}
-	c.actions[a.Name] = a
+	c.actions[a.Name] = newActionState(a)
 	return nil
 }
 
 // Actions lists deployed action names.
 func (c *Cluster) Actions() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.amu.RLock()
+	defer c.amu.RUnlock()
 	names := make([]string, 0, len(c.actions))
 	for n := range c.actions {
 		names = append(names, n)
@@ -208,22 +303,471 @@ func (c *Cluster) Actions() []string {
 	return names
 }
 
+func (c *Cluster) actionState(action string) (*actionState, error) {
+	c.amu.RLock()
+	as := c.actions[action]
+	c.amu.RUnlock()
+	if as == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+	}
+	return as, nil
+}
+
+func (c *Cluster) nodeByName(name string) *Node {
+	if name == "" {
+		return nil
+	}
+	for _, n := range c.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
 // Invoke routes one request to a sandbox of the action, starting one if
 // needed (and evicting idle sandboxes when memory is tight). It blocks while
 // the cluster is saturated, until ctx is done.
 func (c *Cluster) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
-	sb, err := c.acquire(ctx, action)
+	out, _, err := c.InvokeOn(ctx, action, "", payload)
+	return out, err
+}
+
+// InvokeOn is Invoke with a placement hint: ready sandboxes on the hinted
+// node are preferred, and a cold start lands there while it has room. The
+// hint is advisory — when the hinted node is saturated the request is served
+// wherever capacity exists — and servedOn reports the node that actually
+// served it, so an affinity router (internal/gateway) can detect off-home
+// dispatch and re-home. An empty or unknown hint behaves exactly like Invoke.
+func (c *Cluster) InvokeOn(ctx context.Context, action, node string, payload []byte) (out []byte, servedOn string, err error) {
+	sb, err := c.acquire(ctx, action, node)
+	if err != nil {
+		return nil, "", err
+	}
+	c.clock.Sleep(c.cfg.InvokeOverhead)
+	out, err = sb.inst.Invoke(payload)
+	sb.lastUsed.Store(c.clock.Now().UnixNano())
+	if sb.inFlight.Add(-1) == 0 {
+		// The sandbox went idle: it is now an eviction candidate, i.e.
+		// capacity for EVERY action, not just this one. The old global
+		// scheduler's cond.Broadcast had this property; the sharded one must
+		// reproduce it or a foreign action blocked on memory sleeps forever.
+		if c.waiters.Load() > 0 {
+			c.notifyAllActions()
+		}
+	} else {
+		sb.as.notifyIfWaiters()
+	}
+	return out, sb.node.Name, err
+}
+
+// acquire finds or creates a sandbox with spare concurrency and reserves one
+// slot in it.
+func (c *Cluster) acquire(ctx context.Context, action, hint string) (*Sandbox, error) {
+	as, err := c.actionState(action)
 	if err != nil {
 		return nil, err
 	}
-	c.clock.Sleep(c.cfg.InvokeOverhead)
-	out, err := sb.inst.Invoke(payload)
-	c.mu.Lock()
-	sb.inFlight--
-	sb.lastUsed = c.clock.Now()
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	return out, err
+	hintNode := c.nodeByName(hint)
+	for {
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Register as a waiter BEFORE attempting, and capture the current
+		// notification channel: any capacity that appears after this point
+		// either is visible to the attempts below or closes ch.
+		// Fast path first, without touching the waiter count: the common
+		// case claims a warm slot with a handful of atomic ops.
+		if sb := c.claimReady(as, hintNode); sb != nil {
+			c.invocations.Add(1)
+			return sb, nil
+		}
+		// Register as a waiter (per-action and cluster-wide) and retry before
+		// sleeping: releases skip notification when no waiter is registered,
+		// so capacity freed between the miss above and the registration is
+		// only visible to a re-claim made after it. Stay registered through
+		// the select — deregistering earlier would lose the wakeup.
+		as.waiters.Add(1)
+		c.waiters.Add(1)
+		ch := *as.notifyCh.Load()
+		sb := c.claimReady(as, hintNode)
+		if sb == nil {
+			sb, err = c.place(as, hintNode)
+		}
+		if err != nil || sb != nil {
+			as.waiters.Add(-1)
+			c.waiters.Add(-1)
+			if err != nil {
+				return nil, err
+			}
+			c.invocations.Add(1)
+			return sb, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		case <-c.closedCh:
+		}
+		as.waiters.Add(-1)
+		c.waiters.Add(-1)
+	}
+}
+
+// claimReady is the lock-free fast path: claim a slot from the action's
+// ready-sandbox snapshot. A hinted claim is restricted to the hinted node —
+// whether to spill off-home (and disturb warm state other streams built
+// elsewhere) is a slow-path decision in place, made only after the home's
+// options are exhausted. Returns nil when the snapshot is stale or has no
+// claimable slot.
+func (c *Cluster) claimReady(as *actionState, hint *Node) *Sandbox {
+	p := as.ready.Load()
+	if p == nil {
+		return nil
+	}
+	snap := *p
+	max := int32(as.a.Concurrency)
+	if sb := claimFrom(snap, hint, max); sb != nil {
+		sb.node.warmHits.Add(1)
+		return sb
+	}
+	return nil
+}
+
+// claimFrom claims a slot among snapshot entries (restricted to node only
+// when only != nil), first fit. Snapshots are built busiest-first, so first
+// fit approximates the bin-packing preference for the busiest sandbox with a
+// spare slot while letting the hot path stop at the first claim instead of
+// scanning the whole pool.
+func claimFrom(snap []*Sandbox, only *Node, max int32) *Sandbox {
+	for _, sb := range snap {
+		if only != nil && sb.node != only {
+			continue
+		}
+		if sb.tryClaim(max) {
+			return sb
+		}
+	}
+	return nil
+}
+
+// place is the slow path: under the action's placement lock, rebuild the
+// ready snapshot and retry the claim; otherwise reserve memory on a node and
+// start a new sandbox there. Returns (nil, nil) when the caller should wait
+// for capacity.
+//
+// A hinted placement walks a locality-first ladder: ready slot on the home,
+// then a cold start on the home while it has room, then wait for home
+// sandboxes that are already starting (warm capacity is imminent — spilling
+// off-home now would trample warm state other streams built elsewhere), and
+// only then the unhinted ladder: any ready slot, any node with room,
+// eviction.
+func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
+	as.startMu.Lock()
+	if c.closed.Load() {
+		as.startMu.Unlock()
+		return nil, ErrClosed
+	}
+	snap := c.rebuildSnapshot(as)
+	max := int32(as.a.Concurrency)
+	if hint != nil {
+		if sb := claimFrom(snap, hint, max); sb != nil {
+			as.startMu.Unlock()
+			sb.node.warmHits.Add(1)
+			return sb, nil
+		}
+		if c.tryReserve(hint, as.a.MemoryBudget) {
+			sb := c.registerStarting(as, hint, 1)
+			as.startMu.Unlock()
+			if err := c.confirmOpenOrAbort(sb); err != nil {
+				return nil, err
+			}
+			return c.startSandbox(sb)
+		}
+		if c.startingOn(hint, as) > 0 {
+			as.startMu.Unlock()
+			return nil, nil
+		}
+	}
+	if sb := claimFrom(snap, nil, max); sb != nil {
+		as.startMu.Unlock()
+		sb.node.warmHits.Add(1)
+		return sb, nil
+	}
+	// Sandboxes already starting absorb pending demand: if their spare
+	// slots cover every current waiter, wait for them instead of starting
+	// more. (Start failures notify, so absorbed waiters always re-place.)
+	if st := as.starting.Load(); st > 0 && int(st)*as.a.Concurrency >= int(as.waiters.Load()) {
+		as.startMu.Unlock()
+		return nil, nil
+	}
+	node := c.reserveNode(as, hint, true)
+	if node == nil {
+		as.startMu.Unlock()
+		return nil, nil
+	}
+	sb := c.registerStarting(as, node, 1)
+	as.startMu.Unlock()
+	if err := c.confirmOpenOrAbort(sb); err != nil {
+		return nil, err
+	}
+	return c.startSandbox(sb)
+}
+
+// confirmOpenOrAbort is the post-registration closed re-check. Close() does
+// not take the per-action placement locks, so a placement can pass its
+// closed check, lose the CPU, and register a starting sandbox on a node
+// Close has already swept — a resurrected sandbox whose instance would never
+// be stopped and whose reservation would never be released. Re-checking
+// after registration closes the window: reading closed==false here proves
+// the registration happened before Close's sweep (which then owns the
+// cleanup); reading true aborts, with the starting→dead transition under
+// the node lock deciding exactly-once bookkeeping between this and Close.
+func (c *Cluster) confirmOpenOrAbort(sb *Sandbox) error {
+	if !c.closed.Load() {
+		return nil
+	}
+	n := sb.node
+	n.mu.Lock()
+	if sb.state.Load() == sandboxStarting {
+		sb.state.Store(sandboxDead)
+		n.reserved -= sb.action.MemoryBudget
+		n.removeLocked(sb)
+		n.mu.Unlock()
+		sb.as.count.Add(-1)
+		sb.as.starting.Add(-1)
+		return ErrClosed
+	}
+	n.mu.Unlock() // Close's sweep saw it and already cleaned up
+	return ErrClosed
+}
+
+// rebuildSnapshot refreshes the action's ready snapshot from the per-node
+// hosting lists. Caller holds as.startMu.
+func (c *Cluster) rebuildSnapshot(as *actionState) []*Sandbox {
+	snap := make([]*Sandbox, 0, as.count.Load())
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, sb := range n.sandboxes[as.a.Name] {
+			if sb.state.Load() == sandboxReady {
+				snap = append(snap, sb)
+			}
+		}
+		n.mu.Unlock()
+	}
+	// Busiest first: first-fit claims then pack requests into the fewest
+	// sandboxes (the snapshot's ordering is advisory — tryClaim revalidates).
+	sort.Slice(snap, func(i, j int) bool { return snap[i].inFlight.Load() > snap[j].inFlight.Load() })
+	as.ready.Store(&snap)
+	return snap
+}
+
+// startingOn counts the action's starting sandboxes on node n.
+func (c *Cluster) startingOn(n *Node, as *actionState) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	starting := 0
+	for _, sb := range n.sandboxes[as.a.Name] {
+		if sb.state.Load() == sandboxStarting {
+			starting++
+		}
+	}
+	return starting
+}
+
+// reserveNode picks a node for a new sandbox of the action and reserves the
+// memory budget on it — check and reservation are atomic under the node's
+// lock, so racing placements can never over-reserve a node. Preference
+// order: the hinted node, nodes already hosting the action, any node with
+// room, then (when evict) a node where reclaiming idle sandboxes frees
+// enough. Caller holds as.startMu.
+func (c *Cluster) reserveNode(as *actionState, hint *Node, evict bool) *Node {
+	budget := as.a.MemoryBudget
+	if hint != nil && c.tryReserve(hint, budget) {
+		return hint
+	}
+	for _, n := range c.nodes {
+		if n == hint {
+			continue
+		}
+		n.mu.Lock()
+		hosting := len(n.sandboxes[as.a.Name]) > 0
+		if hosting && n.reserved+budget <= n.MemoryBytes {
+			n.reserved += budget
+			n.mu.Unlock()
+			return n
+		}
+		n.mu.Unlock()
+	}
+	for _, n := range c.nodes {
+		if n != hint && c.tryReserve(n, budget) {
+			return n
+		}
+	}
+	if !evict {
+		return nil
+	}
+	if hint != nil && c.evictAndReserve(hint, budget) {
+		return hint
+	}
+	for _, n := range c.nodes {
+		if n != hint && c.evictAndReserve(n, budget) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) tryReserve(n *Node, budget int64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.reserved+budget > n.MemoryBytes {
+		return false
+	}
+	n.reserved += budget
+	return true
+}
+
+// evictAndReserve destroys idle sandboxes on node n (least recently used
+// first) until budget bytes fit, then reserves them — all under the node's
+// lock, so the freed memory cannot be stolen by a racing placement. It evicts
+// nothing if even reclaiming every idle sandbox would not fit. In-flight
+// sandboxes are never victims: candidates are claimed with a ready→dying CAS
+// and destroyed only if still idle.
+func (c *Cluster) evictAndReserve(n *Node, budget int64) bool {
+	var stops []Instance
+	var victims []*Sandbox
+	ok := func() bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.reserved+budget <= n.MemoryBytes {
+			n.reserved += budget
+			return true
+		}
+		var idle []*Sandbox
+		var reclaimable int64
+		for _, sbs := range n.sandboxes {
+			for _, sb := range sbs {
+				if sb.state.Load() == sandboxReady && sb.inFlight.Load() == 0 {
+					idle = append(idle, sb)
+					reclaimable += sb.action.MemoryBudget
+				}
+			}
+		}
+		if n.reserved-reclaimable+budget > n.MemoryBytes {
+			return false
+		}
+		sort.Slice(idle, func(i, j int) bool { return idle[i].lastUsed.Load() < idle[j].lastUsed.Load() })
+		for _, sb := range idle {
+			if n.reserved+budget <= n.MemoryBytes {
+				break
+			}
+			if !sb.state.CompareAndSwap(sandboxReady, sandboxDying) {
+				continue
+			}
+			if sb.inFlight.Load() != 0 {
+				// Claimed by the lock-free fast path since we collected it.
+				sb.state.Store(sandboxReady)
+				continue
+			}
+			sb.state.Store(sandboxDead)
+			n.reserved -= sb.action.MemoryBudget
+			n.removeLocked(sb)
+			victims = append(victims, sb)
+			if sb.inst != nil {
+				stops = append(stops, sb.inst)
+			}
+		}
+		if n.reserved+budget > n.MemoryBytes {
+			return false
+		}
+		n.reserved += budget
+		return true
+	}()
+	for _, sb := range victims {
+		sb.as.count.Add(-1)
+		sb.as.ready.Store(nil)
+		c.evictions.Add(1)
+	}
+	for _, inst := range stops {
+		inst.Stop()
+	}
+	if len(victims) > 0 {
+		c.notifyAllActions()
+	}
+	return ok
+}
+
+// registerStarting creates a starting sandbox on a node whose memory is
+// already reserved, linking it into the node's hosting list. claimed pre-books
+// slots for the creator (1 from acquire, 0 from Prewarm).
+func (c *Cluster) registerStarting(as *actionState, n *Node, claimed int32) *Sandbox {
+	sb := &Sandbox{action: as.a, as: as, node: n, born: c.clock.Now()}
+	sb.state.Store(sandboxStarting)
+	sb.inFlight.Store(claimed)
+	n.mu.Lock()
+	n.sandboxes[as.a.Name] = append(n.sandboxes[as.a.Name], sb)
+	n.mu.Unlock()
+	as.count.Add(1)
+	as.starting.Add(1)
+	return sb
+}
+
+// startSandbox runs the slow part of a cold start — the modeled container
+// start plus the instance factory — without holding any scheduling lock, then
+// finalizes the sandbox under its node's lock. The starting→ready (or, on
+// failure / racing Close, →dead) transition is performed exactly once; its
+// performer owns the bookkeeping.
+func (c *Cluster) startSandbox(sb *Sandbox) (*Sandbox, error) {
+	as, n := sb.as, sb.node
+	var inst Instance
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serverless: instance factory panicked: %v", r)
+			}
+		}()
+		c.clock.Sleep(c.cfg.SandboxStart)
+		inst, err = as.a.New(n)
+	}()
+	n.mu.Lock()
+	if sb.state.Load() == sandboxDead {
+		// Close destroyed the sandbox while it was starting (and already
+		// released its reservation and counts): don't resurrect it, and
+		// don't orphan the instance we just built.
+		n.mu.Unlock()
+		if inst != nil {
+			inst.Stop()
+		}
+		as.notify()
+		return nil, ErrClosed
+	}
+	if err != nil {
+		sb.state.Store(sandboxDead)
+		n.reserved -= as.a.MemoryBudget
+		n.removeLocked(sb)
+		n.mu.Unlock()
+		as.count.Add(-1)
+		as.starting.Add(-1)
+		// The failed start released node memory — capacity for ANY action —
+		// and absorbed waiters of this action must re-place, so the wakeup
+		// is unconditional and cluster-wide.
+		c.notifyAllActions()
+		return nil, fmt.Errorf("serverless: start %q on %q: %w", as.a.Name, n.Name, err)
+	}
+	sb.inst = inst
+	sb.lastUsed.Store(c.clock.Now().UnixNano())
+	sb.state.Store(sandboxReady)
+	n.mu.Unlock()
+	as.starting.Add(-1)
+	as.ready.Store(nil) // membership changed: next placement rebuilds
+	n.coldStarts.Add(1)
+	c.coldStarts.Add(1)
+	as.notify()
+	return sb, nil
 }
 
 // Prewarm ensures up to want sandboxes of the action exist (starting or
@@ -231,23 +775,21 @@ func (c *Cluster) Invoke(ctx context.Context, action string, payload []byte) ([]
 // scheduler drives from queue depth. It starts sandboxes only while a node
 // has spare memory (it never evicts, and never blocks waiting for capacity)
 // and returns how many sandboxes it started; on full nodes that can be 0.
+// Memory is reserved under the owning node's lock, so racing with acquire on
+// the same action can never over-reserve a node.
 func (c *Cluster) Prewarm(action string, want int) (int, error) {
-	c.mu.Lock()
-	a, ok := c.actions[action]
-	if !ok {
-		c.mu.Unlock()
-		return 0, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+	as, err := c.actionState(action)
+	if err != nil {
+		return 0, err
 	}
-	deficit := want - len(c.sandboxes[action])
-	c.mu.Unlock()
+	deficit := want - int(as.count.Load())
 	if deficit <= 0 {
 		return 0, nil
 	}
 	// Container starts are independent: run them concurrently so warm
 	// capacity arrives in ~one SandboxStart, not deficit of them. Each
-	// goroutine re-checks the count under the lock (startSandboxLocked
-	// registers the starting sandbox before dropping it), so the target is
-	// not overshot.
+	// goroutine re-checks the live count under the placement lock, so the
+	// target is not overshot.
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	started := 0
@@ -256,29 +798,24 @@ func (c *Cluster) Prewarm(action string, want int) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.mu.Lock()
-			if c.closed || len(c.sandboxes[action]) >= want {
-				c.mu.Unlock()
+			as.startMu.Lock()
+			if c.closed.Load() || int(as.count.Load()) >= want {
+				as.startMu.Unlock()
 				return
 			}
 			// Never evict for warm capacity: evicting idle sandboxes to
 			// prewarm would cannibalize the warm pool this call is building.
-			var node *Node
-			for _, n := range c.nodes {
-				if n.Reserved()+a.MemoryBudget <= n.MemoryBytes {
-					node = n
-					break
-				}
-			}
+			node := c.reserveNode(as, nil, false)
 			if node == nil {
-				c.mu.Unlock()
+				as.startMu.Unlock()
 				return
 			}
-			_, err := c.startSandboxLocked(a, node)
-			if err == nil {
-				c.coldStarts++
+			sb := c.registerStarting(as, node, 0)
+			as.startMu.Unlock()
+			if c.confirmOpenOrAbort(sb) != nil {
+				return // racing Close: registration aborted
 			}
-			c.mu.Unlock()
+			_, err := c.startSandbox(sb)
 			mu.Lock()
 			switch {
 			case err == nil:
@@ -293,214 +830,60 @@ func (c *Cluster) Prewarm(action string, want int) (int, error) {
 	return started, firstErr
 }
 
-// acquire finds or creates a sandbox with spare concurrency and reserves one
-// slot in it.
-func (c *Cluster) acquire(ctx context.Context, action string) (*Sandbox, error) {
-	// Wake waiters when the context dies.
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() {
-			c.mu.Lock()
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		})
-		defer stop()
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	a, ok := c.actions[action]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownAction, action)
-	}
-	for {
-		if c.closed {
-			return nil, ErrClosed
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// 1. A ready sandbox with spare concurrency.
-		if sb := c.pickReadyLocked(a); sb != nil {
-			sb.inFlight++
-			c.invocations++
-			return sb, nil
-		}
-		// 2. Start a new sandbox if some node has (or can make) room.
-		if node := c.pickNodeLocked(a); node != nil {
-			sb, err := c.startSandboxLocked(a, node)
-			if err != nil {
-				return nil, err
-			}
-			sb.inFlight++
-			c.invocations++
-			c.coldStarts++
-			return sb, nil
-		}
-		// 3. Saturated: wait for capacity.
-		c.cond.Wait()
-	}
-}
-
-// pickReadyLocked prefers the busiest sandbox that still has a free slot
-// (bin-packing keeps the sandbox count low).
-func (c *Cluster) pickReadyLocked(a *Action) *Sandbox {
-	var best *Sandbox
-	for _, sb := range c.sandboxes[a.Name] {
-		if sb.state != sandboxReady || sb.inFlight >= a.Concurrency {
-			continue
-		}
-		if best == nil || sb.inFlight > best.inFlight {
-			best = sb
-		}
-	}
-	return best
-}
-
-// pickNodeLocked selects a node for a new sandbox: first a node already
-// hosting this action with room, then any node with room, then a node where
-// evicting idle sandboxes (LRU first) frees enough memory.
-func (c *Cluster) pickNodeLocked(a *Action) *Node {
-	hosting := map[*Node]bool{}
-	for _, sb := range c.sandboxes[a.Name] {
-		if sb.state != sandboxDead {
-			hosting[sb.node] = true
-		}
-	}
-	for _, n := range c.nodes {
-		if hosting[n] && n.Reserved()+a.MemoryBudget <= n.MemoryBytes {
-			return n
-		}
-	}
-	for _, n := range c.nodes {
-		if n.Reserved()+a.MemoryBudget <= n.MemoryBytes {
-			return n
-		}
-	}
-	for _, n := range c.nodes {
-		if c.evictForLocked(n, a.MemoryBudget) {
-			return n
-		}
-	}
-	return nil
-}
-
-// evictForLocked destroys idle sandboxes on node n (least recently used
-// first) until need bytes fit. Returns false without evicting anything if
-// even evicting every idle sandbox would not fit.
-func (c *Cluster) evictForLocked(n *Node, need int64) bool {
-	var idle []*Sandbox
-	var reclaimable int64
-	for _, sbs := range c.sandboxes {
-		for _, sb := range sbs {
-			if sb.node == n && sb.state == sandboxReady && sb.inFlight == 0 {
-				idle = append(idle, sb)
-				reclaimable += sb.action.MemoryBudget
-			}
-		}
-	}
-	if n.Reserved()-reclaimable+need > n.MemoryBytes {
-		return false
-	}
-	sort.Slice(idle, func(i, j int) bool { return idle[i].lastUsed.Before(idle[j].lastUsed) })
-	for _, sb := range idle {
-		if n.Reserved()+need <= n.MemoryBytes {
-			break
-		}
-		c.destroyLocked(sb)
-		c.evictions++
-	}
-	return n.Reserved()+need <= n.MemoryBytes
-}
-
-// startSandboxLocked reserves memory and creates the instance. It releases
-// the cluster lock during the (slow) container start and instance creation.
-func (c *Cluster) startSandboxLocked(a *Action, node *Node) (*Sandbox, error) {
-	if !node.reserve(a.MemoryBudget) {
-		return nil, fmt.Errorf("serverless: node %q lost capacity", node.Name)
-	}
-	sb := &Sandbox{action: a, node: node, state: sandboxStarting, born: c.clock.Now()}
-	c.sandboxes[a.Name] = append(c.sandboxes[a.Name], sb)
-	c.mu.Unlock()
-	var inst Instance
-	var err error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("serverless: instance factory panicked: %v", r)
-			}
-		}()
-		c.clock.Sleep(c.cfg.SandboxStart)
-		inst, err = a.New(node)
-	}()
-	c.mu.Lock()
-	if sb.state == sandboxDead {
-		// Close destroyed the sandbox while the lock was dropped (and
-		// already released its reservation): don't resurrect it, and don't
-		// orphan the instance we just built.
-		if inst != nil {
-			inst.Stop()
-		}
-		c.cond.Broadcast()
-		return nil, ErrClosed
-	}
-	if err != nil {
-		sb.state = sandboxDead
-		node.release(a.MemoryBudget)
-		c.removeLocked(sb)
-		c.cond.Broadcast()
-		return nil, fmt.Errorf("serverless: start %q on %q: %w", a.Name, node.Name, err)
-	}
-	sb.inst = inst
-	sb.state = sandboxReady
-	sb.lastUsed = c.clock.Now()
-	c.cond.Broadcast()
-	return sb, nil
-}
-
-func (c *Cluster) destroyLocked(sb *Sandbox) {
-	if sb.state == sandboxDead {
-		return
-	}
-	sb.state = sandboxDead
-	sb.node.release(sb.action.MemoryBudget)
-	c.removeLocked(sb)
-	if sb.inst != nil {
-		// Stop outside the lock would be safer for slow Stops, but instance
-		// Stop implementations here only free simulated resources.
-		sb.inst.Stop()
-	}
-}
-
-func (c *Cluster) removeLocked(sb *Sandbox) {
-	list := c.sandboxes[sb.action.Name]
-	for i, s := range list {
-		if s == sb {
-			c.sandboxes[sb.action.Name] = append(list[:i], list[i+1:]...)
-			break
-		}
+// notifyAllActions wakes waiters of every action — memory freed on a node can
+// unblock any of them.
+func (c *Cluster) notifyAllActions() {
+	c.amu.RLock()
+	defer c.amu.RUnlock()
+	for _, as := range c.actions {
+		as.notify()
 	}
 }
 
 // ReapIdle destroys sandboxes idle past the keep-warm timeout and returns
 // how many were reclaimed. Call it periodically (StartReaper does).
 func (c *Cluster) ReapIdle() int {
-	now := c.clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	cutoff := c.clock.Now().Add(-c.cfg.KeepWarm).UnixNano()
+	reaped := 0
+	var stops []Instance
 	var victims []*Sandbox
-	for _, sbs := range c.sandboxes {
-		for _, sb := range sbs {
-			if sb.state == sandboxReady && sb.inFlight == 0 && now.Sub(sb.lastUsed) >= c.cfg.KeepWarm {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, sbs := range n.sandboxes {
+			for _, sb := range append([]*Sandbox(nil), sbs...) {
+				if sb.state.Load() != sandboxReady || sb.inFlight.Load() != 0 || sb.lastUsed.Load() > cutoff {
+					continue
+				}
+				if !sb.state.CompareAndSwap(sandboxReady, sandboxDying) {
+					continue
+				}
+				if sb.inFlight.Load() != 0 {
+					sb.state.Store(sandboxReady)
+					continue
+				}
+				sb.state.Store(sandboxDead)
+				n.reserved -= sb.action.MemoryBudget
+				n.removeLocked(sb)
 				victims = append(victims, sb)
+				if sb.inst != nil {
+					stops = append(stops, sb.inst)
+				}
+				reaped++
 			}
 		}
+		n.mu.Unlock()
 	}
 	for _, sb := range victims {
-		c.destroyLocked(sb)
+		sb.as.count.Add(-1)
+		sb.as.ready.Store(nil)
 	}
-	if len(victims) > 0 {
-		c.cond.Broadcast()
+	for _, inst := range stops {
+		inst.Stop()
 	}
-	return len(victims)
+	if reaped > 0 {
+		c.notifyAllActions()
+	}
+	return reaped
 }
 
 // StartReaper runs ReapIdle on a wall-clock interval until the returned
@@ -536,41 +919,123 @@ type Stats struct {
 
 // Stats returns a snapshot.
 func (c *Cluster) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := Stats{
 		Sandboxes:   map[string]int{},
 		Serving:     map[string]int{},
-		ColdStarts:  c.coldStarts,
-		Invocations: c.invocations,
-		Evictions:   c.evictions,
-	}
-	for name, sbs := range c.sandboxes {
-		for _, sb := range sbs {
-			if sb.state == sandboxDead {
-				continue
-			}
-			st.Sandboxes[name]++
-			if sb.inFlight > 0 {
-				st.Serving[name]++
-			}
-		}
+		ColdStarts:  c.coldStarts.Load(),
+		Invocations: c.invocations.Load(),
+		Evictions:   c.evictions.Load(),
 	}
 	for _, n := range c.nodes {
-		st.MemoryReserved += n.Reserved()
+		n.mu.Lock()
+		for name, sbs := range n.sandboxes {
+			for _, sb := range sbs {
+				if sb.state.Load() == sandboxDead {
+					continue
+				}
+				st.Sandboxes[name]++
+				if sb.inFlight.Load() > 0 {
+					st.Serving[name]++
+				}
+			}
+		}
+		st.MemoryReserved += n.reserved
+		n.mu.Unlock()
 	}
 	return st
 }
 
+// NodeStat is one node's scheduling snapshot for an action — what an
+// affinity router needs to pick and keep a home node.
+type NodeStat struct {
+	// Node is the node name (the InvokeOn hint).
+	Node string
+	// Capacity and Reserved are the node's invoker memory and current
+	// reservation in bytes.
+	Capacity, Reserved int64
+	// Sandboxes is the node's live sandbox count for the action;
+	// ReadySlots is the spare concurrency across its ready sandboxes.
+	Sandboxes, ReadySlots int
+	// WarmHits counts acquires served by a ready sandbox on this node;
+	// ColdStarts counts sandboxes started here (all actions).
+	WarmHits, ColdStarts uint64
+}
+
+// NodeStats returns per-node scheduling state for the action, in node order.
+func (c *Cluster) NodeStats(action string) []NodeStat {
+	c.amu.RLock()
+	as := c.actions[action]
+	c.amu.RUnlock()
+	out := make([]NodeStat, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		st := NodeStat{
+			Node:       n.Name,
+			Capacity:   n.MemoryBytes,
+			WarmHits:   n.warmHits.Load(),
+			ColdStarts: n.coldStarts.Load(),
+		}
+		n.mu.Lock()
+		st.Reserved = n.reserved
+		if as != nil {
+			for _, sb := range n.sandboxes[action] {
+				s := sb.state.Load()
+				if s == sandboxDead {
+					continue
+				}
+				st.Sandboxes++
+				if s == sandboxReady {
+					if spare := as.a.Concurrency - int(sb.inFlight.Load()); spare > 0 {
+						st.ReadySlots += spare
+					}
+				}
+			}
+		}
+		n.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
 // Close destroys all sandboxes and refuses further invocations.
 func (c *Cluster) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	for _, sbs := range c.sandboxes {
-		for _, sb := range append([]*Sandbox(nil), sbs...) {
-			c.destroyLocked(sb)
-		}
+	if !c.closed.CompareAndSwap(false, true) {
+		return
 	}
-	c.cond.Broadcast()
+	close(c.closedCh)
+	var stops []Instance
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, sbs := range n.sandboxes {
+			for _, sb := range sbs {
+				st := sb.state.Load()
+				if st == sandboxDead {
+					continue
+				}
+				sb.state.Store(sandboxDead)
+				n.reserved -= sb.action.MemoryBudget
+				sb.as.count.Add(-1)
+				if st == sandboxStarting {
+					// The starter's finalize will observe dead: it stops the
+					// instance it built and performs no further bookkeeping,
+					// so the starting count is settled here.
+					sb.as.starting.Add(-1)
+					continue
+				}
+				if sb.inst != nil {
+					stops = append(stops, sb.inst)
+				}
+			}
+		}
+		n.sandboxes = map[string][]*Sandbox{}
+		n.mu.Unlock()
+	}
+	c.amu.RLock()
+	for _, as := range c.actions {
+		as.ready.Store(nil)
+	}
+	c.amu.RUnlock()
+	for _, inst := range stops {
+		inst.Stop()
+	}
+	c.notifyAllActions()
 }

@@ -123,6 +123,16 @@ type Config struct {
 	// InvokeOverhead is amortized across the batch — so simulated and
 	// measured gateway behavior stay comparable.
 	Batch BatchSpec
+	// Affinity mirrors the gateway's locality-aware batch routing
+	// (gateway.Config.Affinity): each (endpoint, model) stream homes on one
+	// node — chosen to spread streams across nodes, then by free memory —
+	// and its requests are served there: ready sandbox on the home first,
+	// then a cold start on the home while it has room, then waiting for home
+	// sandboxes already starting; only a completely unable home re-homes the
+	// stream. Off it, the platform proxy picks sandboxes indiscriminately
+	// (the paper's Figure 7 behaviour), so simulated and measured locality
+	// curves stay comparable.
+	Affinity bool
 }
 
 // BatchSpec mirrors the gateway's batching knobs inside the discrete-event
@@ -133,6 +143,11 @@ type BatchSpec struct {
 	// MaxWait is the formation deadline after the first held request
 	// (default 2 ms, the gateway's default).
 	MaxWait time.Duration
+	// MaxInFlight mirrors gateway.Config.MaxInFlight: at most this many
+	// batches of one (endpoint, model) stream are dispatched into sandboxes
+	// at a time; the rest wait in the endpoint queue (other streams pass
+	// them). Zero means unbounded. Only meaningful when MaxBatch > 1.
+	MaxInFlight int
 }
 
 func (c *Config) defaults() error {
@@ -206,6 +221,8 @@ func (r RequestResult) Latency() time.Duration { return r.Done - r.Arrive }
 
 // Result aggregates a run.
 type Result struct {
+	// Rehomes counts affinity re-homing decisions (0 when Affinity is off).
+	Rehomes int
 	// Requests holds every completed request in completion order.
 	Requests []RequestResult
 	// PerModel aggregates latency per model id.
@@ -355,6 +372,14 @@ type Simulation struct {
 
 	// activeLoads counts in-flight model transfers from shared storage.
 	activeLoads int
+
+	// Affinity state: sticky home node per (endpoint, model) stream and how
+	// many streams are homed per node (for spread). inflight counts each
+	// stream's dispatched-but-incomplete queue entries for the MaxInFlight
+	// bound.
+	homes     map[string]*node
+	homeCount map[*node]int
+	inflight  map[string]int
 }
 
 // New builds a simulation for the config.
@@ -363,12 +388,15 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	s := &Simulation{
-		cfg:     cfg,
-		eng:     &Engine{},
-		actions: map[string]*ActionSpec{},
-		boxes:   map[string][]*sandbox{},
-		queues:  map[string][]*request{},
-		forming: map[string]*forming{},
+		cfg:       cfg,
+		eng:       &Engine{},
+		actions:   map[string]*ActionSpec{},
+		boxes:     map[string][]*sandbox{},
+		queues:    map[string][]*request{},
+		forming:   map[string]*forming{},
+		homes:     map[string]*node{},
+		homeCount: map[*node]int{},
+		inflight:  map[string]int{},
 		res: &Result{
 			PerModel:      map[string]*metrics.Latency{},
 			All:           &metrics.Latency{},
@@ -530,14 +558,28 @@ func (s *Simulation) flushBatch(key string, f *forming) {
 	s.dispatch(lead.ep)
 }
 
+// streamKey identifies one (endpoint, model) stream — the granularity of
+// both the MaxInFlight dispatch bound and affinity homing.
+func streamKey(req *request) string { return req.ep + "\x1f" + req.ev.ModelID }
+
+// bounded reports whether the request's stream is at its MaxInFlight
+// dispatch bound.
+func (s *Simulation) bounded(req *request) bool {
+	return s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 &&
+		s.inflight[streamKey(req)] >= s.cfg.Batch.MaxInFlight
+}
+
 // dispatch drains the endpoint queue into eligible sandboxes, starting new
-// ones when allowed.
+// ones when allowed. Streams at their MaxInFlight bound are passed over —
+// their entries wait without blocking other models' batches — while a stream
+// blocked on cluster capacity blocks the queue head as before.
 func (s *Simulation) dispatch(ep string) {
 	spec := s.actions[ep]
-	for len(s.queues[ep]) > 0 {
-		req := s.queues[ep][0]
+	i := 0
+	for i < len(s.queues[ep]) {
+		req := s.queues[ep][i]
 		if s.eng.Now()-req.arrive > s.cfg.RequestTimeout {
-			s.queues[ep] = s.queues[ep][1:]
+			s.queues[ep] = append(s.queues[ep][:i], s.queues[ep][i+1:]...)
 			for _, m := range req.batchMembers() {
 				s.res.Dropped++
 				if s.cfg.Route != nil {
@@ -546,16 +588,191 @@ func (s *Simulation) dispatch(ep string) {
 			}
 			continue
 		}
-		sb := s.pickSandbox(spec, req.ev.ModelID)
-		if sb != nil {
-			s.queues[ep] = s.queues[ep][1:]
-			s.serve(sb, req)
+		if s.bounded(req) {
+			i++
+			continue
+		}
+		if s.cfg.Affinity {
+			sb, wait := s.placeWithAffinity(spec, req)
+			if sb != nil {
+				s.takeAndServe(ep, i, sb, req)
+				continue
+			}
+			if wait {
+				// Home capacity is starting: this stream's entry waits (the
+				// sandbox-ready callback re-dispatches), but other streams on
+				// the endpoint must not be blocked behind it — the live
+				// gateway dispatches each (action, model) queue independently.
+				i++
+				continue
+			}
+		} else if sb := s.pickSandbox(spec, req.ev.ModelID); sb != nil {
+			s.takeAndServe(ep, i, sb, req)
 			continue
 		}
 		if !s.maybeStartSandbox(spec) {
 			return // saturated; requests wait in queue
 		}
 	}
+}
+
+// takeAndServe removes queue entry i and dispatches it into sb.
+func (s *Simulation) takeAndServe(ep string, i int, sb *sandbox, req *request) {
+	s.queues[ep] = append(s.queues[ep][:i], s.queues[ep][i+1:]...)
+	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 {
+		s.inflight[streamKey(req)]++
+	}
+	s.serve(sb, req)
+}
+
+// placeWithAffinity mirrors the live hinted-placement ladder: ready slot on
+// the stream's home node, then cold starts on the home while it has room and
+// unabsorbed demand, then wait for home sandboxes already starting. A home
+// that can do none of those re-homes the stream once; after that the
+// indiscriminate global path takes over (off-home spill, like the live
+// cluster when the hinted node is saturated). Returns (nil, true) when the
+// caller should wait for capacity the home is already starting.
+func (s *Simulation) placeWithAffinity(spec *ActionSpec, req *request) (*sandbox, bool) {
+	key := streamKey(req)
+	home := s.homeFor(key)
+	for attempt := 0; attempt < 2; attempt++ {
+		if sb := s.pickSandboxOn(spec, req.ev.ModelID, home); sb != nil {
+			return sb, false
+		}
+		// Start capacity on the home while it has room and the stream's
+		// queued entries outnumber the slots already starting there.
+		demand := 0
+		for _, r := range s.queues[req.ep] {
+			if streamKey(r) == key {
+				demand++
+			}
+		}
+		for s.startingOn(home, spec)*spec.Concurrency < demand && s.startSandboxOn(home, spec) {
+		}
+		if s.startingOn(home, spec) > 0 {
+			return nil, true
+		}
+		if attempt == 0 && s.hostedOn(home, spec) == 0 && s.someOtherNodeUsable(home, spec) {
+			// The home hosts nothing of this action and cannot start, while
+			// some other node could: the stream's warm state is gone
+			// (evicted) or never existed. Re-home once and retry the ladder.
+			// When every other node is equally unusable the home is kept —
+			// re-electing among dead nodes would just ping-pong homes and
+			// inflate Rehomes on every dispatch, which the live router's
+			// RehomeAfter gating never does.
+			home = s.rehome(key, home)
+			continue
+		}
+		break
+	}
+	// Home saturated but alive: spill to any eligible sandbox (the
+	// indiscriminate pick), or let the caller's global start/evict path run.
+	return s.pickSandbox(spec, req.ev.ModelID), false
+}
+
+// homeFor returns the stream's sticky home, electing one on first use:
+// fewest streams homed on the node, then most free memory, then node order —
+// the gateway router's spread rule.
+func (s *Simulation) homeFor(key string) *node {
+	if n := s.homes[key]; n != nil {
+		return n
+	}
+	return s.electHome(key, nil)
+}
+
+// electHome picks and records a home, skipping avoid (unless it is the only
+// node).
+func (s *Simulation) electHome(key string, avoid *node) *node {
+	var best *node
+	for _, n := range s.nodes {
+		if n == avoid {
+			continue
+		}
+		if best == nil || s.homeCount[n] < s.homeCount[best] ||
+			(s.homeCount[n] == s.homeCount[best] && n.memory-n.reserved > best.memory-best.reserved) {
+			best = n
+		}
+	}
+	if best == nil {
+		best = avoid // single-node cluster: nowhere else to go
+	}
+	s.homes[key] = best
+	s.homeCount[best]++
+	return best
+}
+
+// rehome moves the stream off a dead home to the next-best node. The dead
+// home is excluded from the election outright: decrementing its count makes
+// it the fewest-homed node, and the fewest-homed rule outranks the
+// free-memory tie-break, so without the exclusion the stream would re-elect
+// the very node it is abandoning (the live router's rehomeLocked excludes
+// the current home the same way).
+func (s *Simulation) rehome(key string, old *node) *node {
+	s.homeCount[old]--
+	delete(s.homes, key)
+	s.res.Rehomes++
+	return s.electHome(key, old)
+}
+
+// someOtherNodeUsable reports whether any node besides home could serve the
+// action — it hosts live sandboxes of it, or has room to start one.
+func (s *Simulation) someOtherNodeUsable(home *node, spec *ActionSpec) bool {
+	for _, n := range s.nodes {
+		if n == home {
+			continue
+		}
+		if n.reserved+spec.MemoryBudget <= n.memory || s.hostedOn(n, spec) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hostedOn counts live (starting or ready) sandboxes of the action on n.
+func (s *Simulation) hostedOn(n *node, spec *ActionSpec) int {
+	hosted := 0
+	for _, sb := range s.boxes[spec.Name] {
+		if sb.node == n && sb.state != sbDead {
+			hosted++
+		}
+	}
+	return hosted
+}
+
+// startingOn counts the action's starting sandboxes on n.
+func (s *Simulation) startingOn(n *node, spec *ActionSpec) int {
+	starting := 0
+	for _, sb := range s.boxes[spec.Name] {
+		if sb.node == n && sb.state == sbStarting {
+			starting++
+		}
+	}
+	return starting
+}
+
+// startSandboxOn starts one sandbox of the action on n if its memory allows;
+// it never evicts (the home ladder treats eviction as a global-path measure).
+func (s *Simulation) startSandboxOn(n *node, spec *ActionSpec) bool {
+	if n.reserved+spec.MemoryBudget > n.memory {
+		return false
+	}
+	n.reserved += spec.MemoryBudget
+	sb := &sandbox{spec: spec, node: n, state: sbStarting, born: s.eng.Now(),
+		slots: make([]string, spec.Concurrency)}
+	for i := 0; i < spec.Concurrency; i++ {
+		sb.freeSlots = append(sb.freeSlots, i)
+	}
+	s.boxes[spec.Name] = append(s.boxes[spec.Name], sb)
+	s.res.ColdStarts++
+	s.eng.After(s.cfg.SandboxStart, func() {
+		if sb.state != sbStarting {
+			return
+		}
+		sb.state = sbReady
+		sb.idleSince = s.eng.Now()
+		s.dispatch(spec.Name)
+	})
+	return true
 }
 
 // pickSandbox returns a ready sandbox with a free slot that can serve the
@@ -566,7 +783,15 @@ func (s *Simulation) dispatch(ep string) {
 // a sandbox serving (or preparing) a different model only accepts the
 // request once idle.
 func (s *Simulation) pickSandbox(spec *ActionSpec, modelID string) *sandbox {
+	return s.pickSandboxOn(spec, modelID, nil)
+}
+
+// pickSandboxOn is pickSandbox restricted to one node when only != nil.
+func (s *Simulation) pickSandboxOn(spec *ActionSpec, modelID string, only *node) *sandbox {
 	for _, sb := range s.boxes[spec.Name] {
+		if only != nil && sb.node != only {
+			continue
+		}
 		if sb.state != sbReady || len(sb.freeSlots) == 0 {
 			continue
 		}
@@ -602,23 +827,7 @@ func (s *Simulation) maybeStartSandbox(spec *ActionSpec) bool {
 	if n == nil {
 		return false
 	}
-	n.reserved += spec.MemoryBudget
-	sb := &sandbox{spec: spec, node: n, state: sbStarting, born: s.eng.Now(),
-		slots: make([]string, spec.Concurrency)}
-	for i := 0; i < spec.Concurrency; i++ {
-		sb.freeSlots = append(sb.freeSlots, i)
-	}
-	s.boxes[spec.Name] = append(s.boxes[spec.Name], sb)
-	s.res.ColdStarts++
-	s.eng.After(s.cfg.SandboxStart, func() {
-		if sb.state != sbStarting {
-			return
-		}
-		sb.state = sbReady
-		sb.idleSince = s.eng.Now()
-		s.dispatch(spec.Name)
-	})
-	return true
+	return s.startSandboxOn(n, spec)
 }
 
 func (s *Simulation) pickNode(spec *ActionSpec) *node {

@@ -322,5 +322,11 @@ func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationK
 	if now > s.lastEnd {
 		s.lastEnd = now
 	}
+	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 {
+		key := streamKey(req)
+		if s.inflight[key]--; s.inflight[key] <= 0 {
+			delete(s.inflight, key)
+		}
+	}
 	s.dispatch(req.ep)
 }
