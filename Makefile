@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke clean
 
 all: build vet test
 
@@ -27,11 +27,19 @@ gateway-snapshot:
 routing-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp routing -json BENCH_routing.json
 
+fairness-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp fairness -json BENCH_fairness.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp routing -smoke
 	$(GO) test -run=NONE -bench=BenchmarkRoutingContention -benchtime=1x ./internal/bench/
+
+# Tiny-scale fairness run (all four modes), so the experiment behind
+# BENCH_fairness.json cannot rot.
+fairness-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp fairness -smoke
 
 clean:
 	$(GO) clean ./...

@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -68,6 +70,9 @@ func main() {
 	affinity := flag.Bool("affinity", false, "with -local: locality-aware batch routing (sticky per-model home nodes)")
 	localNodes := flag.Int("nodes", 1, "with -local: invoker node count")
 	localModels := flag.Int("local-models", 1, "with -local: model ids deployed on the action")
+	tenants := flag.Int("tenants", 0, "with -local: tenants drawing Zipf-skewed load through the v2 Submit surface (0 = single default tenant via Do)")
+	tenantSkew := flag.Float64("tenant-skew", 1.2, "with -local -tenants: Zipf skew s (>1; larger = hotter hottest tenant)")
+	tenantQuota := flag.Int("tenant-quota", 0, "with -local -tenants: per-tenant admission quota (0 = gateway default)")
 	flag.Parse()
 
 	if *local {
@@ -77,11 +82,15 @@ func main() {
 		if *modelsFlag != "mbnet" || *conc != 16 {
 			log.Print("loadgen: note: -models and -concurrency apply to HTTP mode only; -local drives one model through the gateway's own bounds")
 		}
+		if *tenants < 0 || (*tenants > 0 && *tenantSkew <= 1) {
+			log.Fatal("loadgen: -tenant-skew must be > 1 (rand.Zipf) and -tenants >= 0")
+		}
 		runLocal(localCfg{
 			closed: *closed, requests: *requests, maxBatch: *maxBatch, maxWait: *maxWait,
 			pattern: *pattern, rate: *rate, rate2: *rate2, duration: *duration,
 			seed: *seed, user: *userSeed,
 			affinity: *affinity, nodes: *localNodes, models: *localModels,
+			tenants: *tenants, skew: *tenantSkew, quota: *tenantQuota,
 		})
 		return
 	}
@@ -217,6 +226,9 @@ type localCfg struct {
 	user                       string
 	affinity                   bool
 	nodes, models              int
+	tenants                    int
+	skew                       float64
+	quota                      int
 }
 
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
@@ -232,6 +244,7 @@ func runLocal(c localCfg) {
 			MaxInFlight:  8,
 			PrewarmDepth: 32,
 			Affinity:     c.affinity,
+			TenantQuota:  c.quota,
 		},
 	})
 	if err != nil {
@@ -239,6 +252,10 @@ func runLocal(c localCfg) {
 	}
 	defer w.Close()
 
+	if c.tenants > 0 {
+		tenantLoop(w, c)
+		return
+	}
 	if closed > 0 {
 		fmt.Printf("loadgen: closed loop, %d clients x %d requests, MaxBatch=%d affinity=%v\n", closed, requests, maxBatch, c.affinity)
 		do := func(ctx context.Context, seed int) (semirt.Response, error) {
@@ -281,4 +298,106 @@ func runLocal(c localCfg) {
 	// additionally counts the world's warm-up activation.
 	fmt.Printf("cluster: %d activations (%d gateway batches for %d served requests, %.1fx amortized), %d cold starts\n",
 		st.Invocations, gs.Batches, gs.Served, float64(gs.Served)/float64(max(gs.Batches, 1)), st.ColdStarts)
+}
+
+// tenantLoop drives Zipf-skewed multi-tenant load through the serving API
+// v2 Submit surface — closed loop with -closed clients, open loop from the
+// trace flags otherwise — and reports latency per tenant, so the fairness
+// claim (hot tenant cannot starve the rest) is reproducible from the CLI.
+func tenantLoop(w *bench.LiveWorld, c localCfg) {
+	perTenant := map[string]*metrics.Latency{}
+	fails := 0
+	var mu sync.Mutex
+	do := func(tenant, model string, seed int) {
+		req, err := w.RequestFor(model, seed)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		t0 := time.Now()
+		var resp semirt.Response
+		tk, err := w.Gateway.Submit(context.Background(), gateway.Request{
+			Action: w.Action, Tenant: tenant, Body: req,
+		})
+		if err == nil {
+			resp, err = tk.Wait(context.Background())
+		}
+		_ = resp
+		d := time.Since(t0)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			fails++
+			return
+		}
+		lat := perTenant[tenant]
+		if lat == nil {
+			lat = &metrics.Latency{}
+			perTenant[tenant] = lat
+		}
+		lat.Add(d)
+	}
+
+	start := time.Now()
+	total := 0
+	if c.closed > 0 {
+		fmt.Printf("loadgen: closed loop, %d clients x %d requests over %d tenants (Zipf s=%.2f), MaxBatch=%d\n",
+			c.closed, c.requests, c.tenants, c.skew, c.maxBatch)
+		total = c.closed * c.requests
+		var wg sync.WaitGroup
+		for cl := 0; cl < c.closed; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(c.seed + int64(cl)))
+				zipf := rand.NewZipf(rng, c.skew, 1, uint64(c.tenants-1))
+				for i := 0; i < c.requests; i++ {
+					seed := cl*c.requests + i
+					do(fmt.Sprintf("t%d", zipf.Uint64()), w.Models[seed%len(w.Models)], seed)
+				}
+			}(cl)
+		}
+		wg.Wait()
+	} else {
+		var streams []workload.Trace
+		for i, m := range w.Models {
+			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.duration, m, c.user))
+		}
+		tr := workload.Merge(streams...)
+		total = len(tr)
+		fmt.Printf("loadgen: open loop, %d requests over %v across %d tenants (Zipf s=%.2f), MaxBatch=%d\n",
+			len(tr), c.duration, c.tenants, c.skew, c.maxBatch)
+		rng := rand.New(rand.NewSource(c.seed))
+		zipf := rand.NewZipf(rng, c.skew, 1, uint64(c.tenants-1))
+		var wg sync.WaitGroup
+		for i := range tr {
+			ev := tr[i]
+			tenant := fmt.Sprintf("t%d", zipf.Uint64())
+			time.Sleep(time.Until(start.Add(ev.At)))
+			wg.Add(1)
+			go func(tenant, model string, seed int) {
+				defer wg.Done()
+				do(tenant, model, seed)
+			}(tenant, ev.ModelID, i)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	ok := total - fails
+	fmt.Printf("completed %d ok, %d failed in %.2fs (%.0f req/s)\n",
+		ok, fails, elapsed.Seconds(), float64(ok)/elapsed.Seconds())
+	names := make([]string, 0, len(perTenant))
+	for name := range perTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lat := perTenant[name]
+		fmt.Printf("  %-8s %6d req  mean %7.1fms  p50 %7.1fms  p99 %7.1fms\n",
+			name, lat.Count(), float64(lat.Mean())/1e6,
+			float64(lat.Percentile(50))/1e6, float64(lat.Percentile(99))/1e6)
+	}
+	gs := w.Gateway.Stats()
+	fmt.Printf("gateway: %d batches, %d overload-rejected, %d tenant-quota-rejected, %d deadline-shed\n",
+		gs.Batches, gs.Rejected, gs.TenantRejected, gs.Shed)
 }

@@ -27,6 +27,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
+	"time"
 
 	"sesemi/internal/cli"
 	"sesemi/internal/costmodel"
@@ -44,6 +46,69 @@ type runItem struct {
 	UserID  string `json:"user_id"`
 	ModelID string `json:"model_id"`
 	Payload string `json:"payload"` // base64
+	// Serving API v2 envelope fields. Tenant attributes the request in the
+	// per-tenant served counters (GET /stats); a gateway fronting several
+	// remote action servers forwards it so accounting survives the hop.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is carried for forward compatibility with gateway-side
+	// scheduling; the action server itself serves in arrival order.
+	Priority int `json:"priority,omitempty"`
+	// Deadline (RFC 3339) fails the request fast with a per-item error when
+	// it has already passed on arrival — the backend-side mirror of the
+	// gateway's deadline shedding, for deployments without a gateway in
+	// front.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// errDeadline is the per-item error for requests that arrived already past
+// their envelope deadline.
+const errDeadline = "deadline exceeded"
+
+// expired reports whether the item carries a deadline that has passed.
+// A malformed deadline is treated as absent (err reported separately).
+func (it runItem) expired(now time.Time) (bool, error) {
+	if it.Deadline == "" {
+		return false, nil
+	}
+	d, err := time.Parse(time.RFC3339Nano, it.Deadline)
+	if err != nil {
+		return false, fmt.Errorf("deadline: %v", err)
+	}
+	return !now.Before(d), nil
+}
+
+// tenantTally counts served requests per tenant for GET /stats.
+type tenantTally struct {
+	mu     sync.Mutex
+	served map[string]int
+	shed   map[string]int
+}
+
+func newTenantTally() *tenantTally {
+	return &tenantTally{served: map[string]int{}, shed: map[string]int{}}
+}
+
+func (t *tenantTally) note(tenant string, served, shed int) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t.mu.Lock()
+	t.served[tenant] += served
+	t.shed[tenant] += shed
+	t.mu.Unlock()
+}
+
+func (t *tenantTally) snapshot() (served, shed map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	served, shed = map[string]int{}, map[string]int{}
+	for k, v := range t.served {
+		served[k] = v
+	}
+	for k, v := range t.shed {
+		shed[k] = v
+	}
+	return served, shed
 }
 
 type runRequest struct {
@@ -85,43 +150,85 @@ func decodeItem(it runItem) (semirt.Request, error) {
 
 // handleRun serves POST /run: one request, or a batch envelope through one
 // HandleBatch call (one ECall for the whole batch). Requests inside a batch
-// fail individually; only instance-level failures fail the call.
-func handleRun(rt runner, w http.ResponseWriter, r *http.Request) {
+// fail individually; only instance-level failures fail the call. Items whose
+// envelope deadline has passed on arrival are answered errDeadline without
+// entering the enclave — no batch slot, no ECall share — and each served or
+// shed item is attributed to its envelope tenant in tally.
+func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
 		return
 	}
+	now := time.Now()
 	if len(req.Value.Batch) > 0 {
-		reqs := make([]semirt.Request, len(req.Value.Batch))
+		// Validate the whole envelope before serving OR tallying anything:
+		// a malformed later item rejects the batch as one 400, and a
+		// rejected batch must leave no shed/served accounting behind (the
+		// client will retry it wholesale).
+		out := runResponse{Batch: make([]runResponse, len(req.Value.Batch))}
+		var reqs []semirt.Request
+		var live []int // positions in out.Batch the served results map to
+		var shedIdx []int
 		for i, it := range req.Value.Batch {
+			exp, err := it.expired(now)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, runResponse{Error: fmt.Sprintf("batch[%d]: %v", i, err)})
+				return
+			}
+			if exp {
+				shedIdx = append(shedIdx, i)
+				continue
+			}
 			sr, err := decodeItem(it)
 			if err != nil {
 				writeJSON(w, http.StatusBadRequest, runResponse{Error: fmt.Sprintf("batch[%d]: %v", i, err)})
 				return
 			}
-			reqs[i] = sr
+			reqs = append(reqs, sr)
+			live = append(live, i)
 		}
-		results, err := rt.HandleBatch(reqs)
-		if err != nil {
-			writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
-			return
+		if len(reqs) > 0 {
+			results, err := rt.HandleBatch(reqs)
+			if err != nil {
+				// Instance-level failure rejects the batch wholesale with
+				// nothing tallied (shed included): the client retries the
+				// whole envelope and must not double-count.
+				writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
+				return
+			}
+			for j, res := range results {
+				i := live[j]
+				tally.note(req.Value.Batch[i].Tenant, 1, 0)
+				if res.Err != nil {
+					out.Batch[i] = runResponse{Error: res.Err.Error()}
+					continue
+				}
+				out.Batch[i] = runResponse{
+					Payload: base64.StdEncoding.EncodeToString(res.Response.Payload),
+					Kind:    res.Response.Kind.String(),
+				}
+			}
 		}
-		out := runResponse{Batch: make([]runResponse, len(results))}
-		for i, res := range results {
-			if res.Err != nil {
-				out.Batch[i] = runResponse{Error: res.Err.Error()}
-				continue
-			}
-			out.Batch[i] = runResponse{
-				Payload: base64.StdEncoding.EncodeToString(res.Response.Payload),
-				Kind:    res.Response.Kind.String(),
-			}
+		for _, i := range shedIdx {
+			out.Batch[i] = runResponse{Error: errDeadline}
+			tally.note(req.Value.Batch[i].Tenant, 0, 1)
 		}
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	sr, err := decodeItem(req.Value.runItem)
+	it := req.Value.runItem
+	exp, err := it.expired(now)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
+		return
+	}
+	if exp {
+		tally.note(it.Tenant, 0, 1)
+		writeJSON(w, http.StatusGatewayTimeout, runResponse{Error: errDeadline})
+		return
+	}
+	sr, err := decodeItem(it)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
 		return
@@ -131,6 +238,7 @@ func handleRun(rt runner, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusForbidden, runResponse{Error: err.Error()})
 		return
 	}
+	tally.note(it.Tenant, 1, 0)
 	writeJSON(w, http.StatusOK, runResponse{
 		Payload: base64.StdEncoding.EncodeToString(resp.Payload),
 		Kind:    resp.Kind.String(),
@@ -190,6 +298,7 @@ func main() {
 	defer rt.Stop()
 	fmt.Printf("semirt: enclave identity ES = %s\n", rt.Measurement().Hex())
 
+	tally := newTenantTally()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /init", func(w http.ResponseWriter, r *http.Request) {
 		if err := rt.Start(); err != nil {
@@ -199,13 +308,15 @@ func main() {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
-		handleRun(rt, w, r)
+		handleRun(rt, tally, w, r)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := rt.Stats()
+		served, shed := tally.snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"cold": st.Cold, "warm": st.Warm, "hot": st.Hot,
-			"loaded_model": rt.LoadedModel(),
+			"loaded_model":  rt.LoadedModel(),
+			"tenant_served": served, "tenant_shed": shed,
 		})
 	})
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"sesemi/internal/semirt"
 )
@@ -67,9 +68,10 @@ func b64(s string) string { return base64.StdEncoding.EncodeToString([]byte(s)) 
 // failures) back positionally.
 func TestRunEndpointRoundTrip(t *testing.T) {
 	f := &fakeRunner{}
+	tally := newTenantTally()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
-		handleRun(f, w, r)
+		handleRun(f, tally, w, r)
 	})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
@@ -130,5 +132,74 @@ func TestRunEndpointRoundTrip(t *testing.T) {
 	}
 	if code, _ := postRun(t, srv, "not-json-object"); code != http.StatusBadRequest {
 		t.Fatalf("bad body: code %d", code)
+	}
+}
+
+// TestRunEnvelopeV2Fields drives the tenant/priority/deadline fields of the
+// serving API v2 batch envelope: expired items are answered errDeadline
+// positionally without reaching the runtime, live items still ride ONE
+// HandleBatch call, and served/shed counts land on the right tenants.
+func TestRunEnvelopeV2Fields(t *testing.T) {
+	f := &fakeRunner{}
+	tally := newTenantTally()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		handleRun(f, tally, w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	past := time.Now().Add(-time.Second).Format(time.RFC3339Nano)
+	future := time.Now().Add(time.Hour).Format(time.RFC3339Nano)
+	batch := map[string]any{"value": map[string]any{"batch": []map[string]any{
+		{"user_id": "alice", "model_id": "mbnet", "payload": b64("in-0"),
+			"tenant": "acme", "priority": 2, "deadline": future},
+		{"user_id": "alice", "model_id": "mbnet", "payload": b64("in-1"),
+			"tenant": "acme", "deadline": past},
+		{"user_id": "bob", "model_id": "mbnet", "payload": b64("in-2"),
+			"tenant": "globex"},
+	}}}
+	code, rr := postRun(t, srv, batch)
+	if code != http.StatusOK || rr.Error != "" {
+		t.Fatalf("batch: code %d resp %+v", code, rr)
+	}
+	if len(rr.Batch) != 3 {
+		t.Fatalf("batch results %d, want 3", len(rr.Batch))
+	}
+	if rr.Batch[1].Error != errDeadline {
+		t.Fatalf("expired item error %q, want %q", rr.Batch[1].Error, errDeadline)
+	}
+	for _, i := range []int{0, 2} {
+		if rr.Batch[i].Error != "" {
+			t.Fatalf("live item %d failed: %q", i, rr.Batch[i].Error)
+		}
+	}
+	// The expired item must not have burned a slot in the enclave entry.
+	if len(f.batches) != 1 || len(f.batches[0]) != 2 {
+		t.Fatalf("runtime saw %d batches (first len %d), want 1 of 2", len(f.batches), len(f.batches[0]))
+	}
+	served, shed := tally.snapshot()
+	if served["acme"] != 1 || served["globex"] != 1 || shed["acme"] != 1 || shed["globex"] != 0 {
+		t.Fatalf("tally served=%v shed=%v", served, shed)
+	}
+
+	// A single request past its deadline is a fast 504, runtime untouched.
+	single := map[string]any{"value": map[string]any{
+		"user_id": "alice", "model_id": "mbnet", "payload": b64("in-9"),
+		"tenant": "acme", "deadline": past,
+	}}
+	if code, rr := postRun(t, srv, single); code != http.StatusGatewayTimeout || rr.Error != errDeadline {
+		t.Fatalf("expired single: code %d resp %+v", code, rr)
+	}
+	if f.singles != 0 {
+		t.Fatalf("expired single reached the runtime")
+	}
+	// Malformed deadlines reject with 400.
+	badDl := map[string]any{"value": map[string]any{
+		"user_id": "alice", "model_id": "mbnet", "payload": b64("in-9"),
+		"deadline": "yesterday-ish",
+	}}
+	if code, _ := postRun(t, srv, badDl); code != http.StatusBadRequest {
+		t.Fatalf("bad deadline: code %d", code)
 	}
 }

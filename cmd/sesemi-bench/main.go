@@ -7,7 +7,9 @@
 //	sesemi-bench -exp all [-o results.txt]
 //	sesemi-bench -exp gateway -json BENCH_gateway.json
 //	sesemi-bench -exp routing -json BENCH_routing.json
-//	sesemi-bench -exp routing -smoke   (tiny CI configuration)
+//	sesemi-bench -exp fairness -json BENCH_fairness.json
+//	sesemi-bench -exp routing -smoke    (tiny CI configuration)
+//	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 package main
 
 import (
@@ -23,12 +25,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway or -exp routing: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing or fairness: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing or fairness: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing"))
+	if *smoke && *exp != "routing" && *exp != "fairness" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing or -exp fairness"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -56,18 +58,39 @@ func main() {
 			}
 			fmt.Printf("routing snapshot → %s (gateway %.0f req/s, +affinity %.0f req/s, %.2fx, warm-hit %.1f%%)\n",
 				*jsonOut, snap.Gateway.RPS, snap.Affinity.RPS, snap.AffinitySpeedup, 100*snap.Affinity.HotRate)
+		case "fairness":
+			cfg := bench.FairnessBenchConfig{}
+			if *smoke {
+				cfg = bench.FairnessSmokeConfig()
+			}
+			snap, err := bench.WriteFairnessSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fairness snapshot → %s (light p99 vs solo: fifo %.1fx, drr %.1fx; throughput drr/fifo %.2f)\n",
+				*jsonOut, snap.LightP99RatioFIFO, snap.LightP99RatioDRR, snap.ThroughputRatio)
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway or -exp routing"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing or fairness"))
 		}
 		return
 	}
 	if *smoke {
-		snap, err := bench.RunRoutingBench(bench.RoutingSmokeConfig())
-		if err != nil {
-			fatal(err)
+		switch *exp {
+		case "routing":
+			snap, err := bench.RunRoutingBench(bench.RoutingSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("routing smoke ok: gateway %.0f req/s, +affinity %.0f req/s (%.2fx, warm-hit %.1f%%)\n",
+				snap.Gateway.RPS, snap.Affinity.RPS, snap.AffinitySpeedup, 100*snap.Affinity.HotRate)
+		case "fairness":
+			snap, err := bench.RunFairnessBench(bench.FairnessSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fairness smoke ok: light p99 solo %.1fms, fifo %.1fms, drr %.1fms (throughput drr/fifo %.2f)\n",
+				snap.LightSolo.LightP99Ms, snap.FIFO.LightP99Ms, snap.DRR.LightP99Ms, snap.ThroughputRatio)
 		}
-		fmt.Printf("routing smoke ok: gateway %.0f req/s, +affinity %.0f req/s (%.2fx, warm-hit %.1f%%)\n",
-			snap.Gateway.RPS, snap.Affinity.RPS, snap.AffinitySpeedup, 100*snap.Affinity.HotRate)
 		return
 	}
 

@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/gateway"
+	"sesemi/internal/metrics"
+)
+
+// ---------- Fairness experiment: hot tenant vs weighted fair queueing ----------
+//
+// One adversarial hot tenant (many closed-loop clients) shares the single
+// (action, model) queue with several light tenants. Four runs on identical
+// fresh worlds:
+//
+//	light-solo  — lights alone: their undisturbed baseline latency
+//	hot-solo    — the hot tenant alone: its undisturbed baseline
+//	fifo        — everyone submits under ONE tenant: the v1 FIFO queue,
+//	              where light requests wait behind the hot backlog
+//	drr         — everyone submits under their own tenant: deficit round
+//	              robin serves every backlogged tenant its share per batch
+//
+// The headline numbers: light-tenant p99 under drr vs solo (the isolation
+// claim), aggregate throughput drr vs fifo (the no-regression claim), and
+// Jain's index over per-tenant satisfaction (solo mean latency / contended
+// mean latency) as the scalar fairness summary.
+
+// FairnessTenantResult is one tenant's measured outcome within a run.
+type FairnessTenantResult struct {
+	Tenant   string  `json:"tenant"`
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// FairnessRun is one access-discipline's measured outcome.
+type FairnessRun struct {
+	Mode     string  `json:"mode"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"rps"`
+	// LightP99Ms pools every light tenant's latencies; HotP99Ms is the hot
+	// tenant's own (0 when the run has no such clients).
+	LightP99Ms float64                `json:"light_p99_ms,omitempty"`
+	HotP99Ms   float64                `json:"hot_p99_ms,omitempty"`
+	Tenants    []FairnessTenantResult `json:"tenants"`
+}
+
+// FairnessSnapshot is the BENCH_fairness.json payload.
+type FairnessSnapshot struct {
+	HotClients     int    `json:"hot_clients"`
+	LightTenants   int    `json:"light_tenants"`
+	LightClients   int    `json:"light_clients_per_tenant"`
+	PerClient      int    `json:"requests_per_client"`
+	MaxBatch       int    `json:"max_batch"`
+	TenantQuota    int    `json:"tenant_quota"`
+	InvokeOverhead string `json:"invoke_overhead"`
+
+	LightSolo FairnessRun `json:"light_solo"`
+	HotSolo   FairnessRun `json:"hot_solo"`
+	FIFO      FairnessRun `json:"fifo"`
+	DRR       FairnessRun `json:"drr"`
+
+	// LightP99RatioFIFO/DRR compare the light tenants' contended p99
+	// against their solo p99: FIFO shows the starvation, DRR must stay
+	// within ~2x.
+	LightP99RatioFIFO float64 `json:"light_p99_ratio_fifo"`
+	LightP99RatioDRR  float64 `json:"light_p99_ratio_drr"`
+	// ThroughputRatio is DRR aggregate RPS over FIFO's (≥ ~0.9: fairness
+	// must not cost meaningful throughput).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// JainFIFO/DRR is Jain's index over per-tenant satisfaction (solo mean
+	// latency / contended mean latency, capped at 1).
+	JainFIFO float64 `json:"jain_fifo"`
+	JainDRR  float64 `json:"jain_drr"`
+	// EstimatedLightWaitMs is costmodel.DRRExpectedWait for a light tenant
+	// at the DRR run's measured aggregate rate — the analytic cross-check.
+	EstimatedLightWaitMs float64 `json:"estimated_light_wait_ms"`
+}
+
+// FairnessBenchConfig sizes the comparison.
+type FairnessBenchConfig struct {
+	// LightTenants is the number of light tenants (default 7).
+	LightTenants int
+	// LightClients is closed-loop clients per light tenant (default 4).
+	LightClients int
+	// HotClients is the hot tenant's client count (default 256 minus the
+	// light clients: the ISSUE's 256-client total).
+	HotClients int
+	// PerClient is requests per client (default 24; the light population is
+	// small, so p99 needs the samples).
+	PerClient int
+	// MaxBatch is the gateway batch bound (default 8).
+	MaxBatch int
+	// TenantQuota bounds each tenant's sub-queue (default 512).
+	TenantQuota int
+	// InvokeOverhead is the modeled per-activation overhead (default 5 ms).
+	InvokeOverhead time.Duration
+}
+
+func (c *FairnessBenchConfig) defaults() {
+	if c.LightTenants <= 0 {
+		c.LightTenants = 7
+	}
+	if c.LightClients <= 0 {
+		c.LightClients = 4
+	}
+	if c.HotClients <= 0 {
+		c.HotClients = 256 - c.LightTenants*c.LightClients
+		if c.HotClients < 1 {
+			c.HotClients = 1 // the light population exceeds 256: keep a hot tenant at all
+		}
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 24
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = 512
+	}
+	if c.InvokeOverhead <= 0 {
+		c.InvokeOverhead = 5 * time.Millisecond
+	}
+}
+
+// FairnessSmokeConfig is the tiny CI configuration.
+func FairnessSmokeConfig() FairnessBenchConfig {
+	return FairnessBenchConfig{
+		LightTenants: 3, LightClients: 2, HotClients: 16,
+		PerClient: 4, MaxBatch: 4, TenantQuota: 64,
+		InvokeOverhead: 2 * time.Millisecond,
+	}
+}
+
+// fairClient is one closed-loop client: tenant is the logical identity the
+// results are attributed to, submitAs the envelope tenant actually sent
+// ("default" for every client in the fifo run).
+type fairClient struct {
+	tenant, submitAs string
+}
+
+const hotTenant = "hot"
+
+func (c *FairnessBenchConfig) clients(mode string) []fairClient {
+	var out []fairClient
+	submitAs := func(logical string) string {
+		if mode == "fifo" {
+			return "" // everyone lands in the default tenant: one FIFO
+		}
+		return logical
+	}
+	if mode != "light-solo" {
+		for i := 0; i < c.HotClients; i++ {
+			out = append(out, fairClient{hotTenant, submitAs(hotTenant)})
+		}
+	}
+	if mode != "hot-solo" {
+		for t := 0; t < c.LightTenants; t++ {
+			name := fmt.Sprintf("light%d", t)
+			for i := 0; i < c.LightClients; i++ {
+				out = append(out, fairClient{name, submitAs(name)})
+			}
+		}
+	}
+	return out
+}
+
+// runFairnessMode drives one mode's client population against a fresh world
+// and aggregates per-tenant latency.
+func runFairnessMode(cfg FairnessBenchConfig, mode string) (FairnessRun, error) {
+	w, err := NewLiveWorld(LiveWorldConfig{
+		InvokeOverhead: cfg.InvokeOverhead,
+		Gateway: gateway.Config{
+			MaxBatch:     cfg.MaxBatch,
+			MaxWait:      4 * time.Millisecond,
+			MaxQueue:     4096,
+			MaxInFlight:  8,
+			PrewarmDepth: 32,
+			TenantQuota:  cfg.TenantQuota,
+		},
+	})
+	if err != nil {
+		return FairnessRun{}, err
+	}
+	defer w.Close()
+
+	clients := cfg.clients(mode)
+	perTenant := map[string]*metrics.Latency{}
+	tenantClients := map[string]int{}
+	tenantErrs := map[string]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci, fc := range clients {
+		tenantClients[fc.tenant]++
+		wg.Add(1)
+		go func(ci int, fc fairClient) {
+			defer wg.Done()
+			for i := 0; i < cfg.PerClient; i++ {
+				t0 := time.Now()
+				_, err := w.DoGatewayAs(context.Background(), fc.submitAs, time.Time{}, ci*cfg.PerClient+i)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					tenantErrs[fc.tenant]++
+				} else {
+					lat := perTenant[fc.tenant]
+					if lat == nil {
+						lat = &metrics.Latency{}
+						perTenant[fc.tenant] = lat
+					}
+					lat.Add(d)
+				}
+				mu.Unlock()
+			}
+		}(ci, fc)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run := FairnessRun{Mode: mode, Requests: len(clients) * cfg.PerClient,
+		Seconds: elapsed.Seconds()}
+	var lightPool, hotPool metrics.Latency
+	// Iterate the client population, not perTenant: a tenant whose every
+	// request failed still belongs in the results with its error count.
+	for tenant, nClients := range tenantClients {
+		tr := FairnessTenantResult{
+			Tenant:   tenant,
+			Clients:  nClients,
+			Requests: tenantErrs[tenant],
+			Errors:   tenantErrs[tenant],
+		}
+		if lat := perTenant[tenant]; lat != nil {
+			tr.Requests += lat.Count()
+			tr.MeanMs = float64(lat.Mean()) / 1e6
+			tr.P50Ms = float64(lat.Percentile(50)) / 1e6
+			tr.P99Ms = float64(lat.Percentile(99)) / 1e6
+			pool := &lightPool
+			if tenant == hotTenant {
+				pool = &hotPool
+			}
+			lat.Each(pool.Add)
+		}
+		run.Tenants = append(run.Tenants, tr)
+		run.Errors += tenantErrs[tenant]
+	}
+	sortTenantResults(run.Tenants)
+	if lightPool.Count() > 0 {
+		run.LightP99Ms = float64(lightPool.Percentile(99)) / 1e6
+	}
+	if hotPool.Count() > 0 {
+		run.HotP99Ms = float64(hotPool.Percentile(99)) / 1e6
+	}
+	run.RPS = float64(run.Requests-run.Errors) / elapsed.Seconds()
+	return run, nil
+}
+
+func sortTenantResults(ts []FairnessTenantResult) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Tenant < ts[j].Tenant })
+}
+
+// meanMs returns the run's mean latency for one tenant (0 if absent).
+func (r FairnessRun) meanMs(tenant string) float64 {
+	for _, t := range r.Tenants {
+		if t.Tenant == tenant {
+			return t.MeanMs
+		}
+	}
+	return 0
+}
+
+// satisfaction is soloMean/contendedMean, capped at 1: how much of its
+// undisturbed service quality the tenant kept under contention.
+func satisfaction(soloMs, contendedMs float64) float64 {
+	if soloMs <= 0 || contendedMs <= 0 {
+		return 0
+	}
+	s := soloMs / contendedMs
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func jainOver(cfg FairnessBenchConfig, lightSolo, hotSolo, contended FairnessRun) float64 {
+	var sats []float64
+	sats = append(sats, satisfaction(hotSolo.meanMs(hotTenant), contended.meanMs(hotTenant)))
+	for t := 0; t < cfg.LightTenants; t++ {
+		name := fmt.Sprintf("light%d", t)
+		sats = append(sats, satisfaction(lightSolo.meanMs(name), contended.meanMs(name)))
+	}
+	return costmodel.JainFairnessIndex(sats)
+}
+
+// RunFairnessBench measures the four runs and assembles the snapshot.
+func RunFairnessBench(cfg FairnessBenchConfig) (*FairnessSnapshot, error) {
+	cfg.defaults()
+	snap := &FairnessSnapshot{
+		HotClients:     cfg.HotClients,
+		LightTenants:   cfg.LightTenants,
+		LightClients:   cfg.LightClients,
+		PerClient:      cfg.PerClient,
+		MaxBatch:       cfg.MaxBatch,
+		TenantQuota:    cfg.TenantQuota,
+		InvokeOverhead: cfg.InvokeOverhead.String(),
+	}
+	var err error
+	if snap.LightSolo, err = runFairnessMode(cfg, "light-solo"); err != nil {
+		return nil, err
+	}
+	if snap.HotSolo, err = runFairnessMode(cfg, "hot-solo"); err != nil {
+		return nil, err
+	}
+	if snap.FIFO, err = runFairnessMode(cfg, "fifo"); err != nil {
+		return nil, err
+	}
+	if snap.DRR, err = runFairnessMode(cfg, "drr"); err != nil {
+		return nil, err
+	}
+
+	if snap.LightSolo.LightP99Ms > 0 {
+		snap.LightP99RatioFIFO = snap.FIFO.LightP99Ms / snap.LightSolo.LightP99Ms
+		snap.LightP99RatioDRR = snap.DRR.LightP99Ms / snap.LightSolo.LightP99Ms
+	}
+	if snap.FIFO.RPS > 0 {
+		snap.ThroughputRatio = snap.DRR.RPS / snap.FIFO.RPS
+	}
+	snap.JainFIFO = jainOver(cfg, snap.LightSolo, snap.HotSolo, snap.FIFO)
+	snap.JainDRR = jainOver(cfg, snap.LightSolo, snap.HotSolo, snap.DRR)
+	// Analytic cross-check: a light tenant's expected wait when every tenant
+	// backlogs, at the DRR run's measured aggregate service rate.
+	weights := map[string]int{hotTenant: 1}
+	for t := 0; t < cfg.LightTenants; t++ {
+		weights[fmt.Sprintf("light%d", t)] = 1
+	}
+	share := costmodel.DRRTenantShare(weights, "light0")
+	snap.EstimatedLightWaitMs = float64(costmodel.DRRExpectedWait(
+		cfg.LightClients-1, share, snap.DRR.RPS)) / 1e6
+	return snap, nil
+}
+
+// WriteFairnessSnapshot runs the comparison and writes BENCH_fairness.json.
+func WriteFairnessSnapshot(path string, cfg FairnessBenchConfig) (*FairnessSnapshot, error) {
+	snap, err := RunFairnessBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printFairnessRun(w io.Writer, r FairnessRun) {
+	fmt.Fprintf(w, "%-10s %6d req %4d err %8.0f req/s  light p99 %7.1fms  hot p99 %7.1fms\n",
+		r.Mode, r.Requests, r.Errors, r.RPS, r.LightP99Ms, r.HotP99Ms)
+}
+
+func runFairnessExperiment(w io.Writer) error {
+	header(w, "Fairness: 1 hot + 7 light tenants, FIFO vs weighted DRR")
+	snap, err := RunFairnessBench(FairnessBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printFairnessRun(w, snap.LightSolo)
+	printFairnessRun(w, snap.HotSolo)
+	printFairnessRun(w, snap.FIFO)
+	printFairnessRun(w, snap.DRR)
+	fmt.Fprintf(w, "light p99 vs solo: fifo %.1fx, drr %.1fx  (drr target ≤ 2x)\n",
+		snap.LightP99RatioFIFO, snap.LightP99RatioDRR)
+	fmt.Fprintf(w, "aggregate throughput drr/fifo: %.2f  Jain satisfaction: fifo %.2f → drr %.2f\n",
+		snap.ThroughputRatio, snap.JainFIFO, snap.JainDRR)
+	fmt.Fprintf(w, "analytic light wait at measured rate: %.1f ms\n", snap.EstimatedLightWaitMs)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fairness",
+		Title: "Fairness: hot tenant vs weighted DRR (serving API v2)",
+		Run:   runFairnessExperiment,
+	})
+}

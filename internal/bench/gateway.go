@@ -312,6 +312,24 @@ func (w *LiveWorld) DoGatewayFor(ctx context.Context, modelID string, seed int) 
 	return w.Gateway.Do(ctx, w.Action, req)
 }
 
+// DoGatewayAs sends one request through the gateway under a serving API v2
+// envelope: tenant-attributed, with an optional deadline. An empty tenant
+// rides the default tenant (the FIFO-equivalent baseline the fairness
+// experiment measures against).
+func (w *LiveWorld) DoGatewayAs(ctx context.Context, tenant string, deadline time.Time, seed int) (semirt.Response, error) {
+	req, err := w.Request(seed)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	tk, err := w.Gateway.Submit(ctx, gateway.Request{
+		Action: w.Action, Tenant: tenant, Deadline: deadline, Body: req,
+	})
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	return tk.Wait(ctx)
+}
+
 // Decrypt opens a response payload for the default model.
 func (w *LiveWorld) Decrypt(resp semirt.Response) ([]byte, error) {
 	return semirt.DecryptResponse(w.reqKeys[w.Model], w.Model, resp.Payload)

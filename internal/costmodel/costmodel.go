@@ -315,6 +315,73 @@ func ColdStartAmortization(rate float64, keepWarm, coldCost time.Duration, sprea
 	return time.Duration(miss * float64(coldCost) / float64(maxBatch))
 }
 
+// JainFairnessIndex returns Jain's fairness index over per-tenant
+// allocations (throughput, served counts, …):
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J is 1 when every tenant receives the same allocation and approaches 1/n
+// when one tenant receives everything — the standard scalar the fairness
+// experiment summarizes per-tenant service with. Zero-length or all-zero
+// input returns 0.
+func JainFairnessIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// DRRTenantShare returns the service share deficit round robin guarantees a
+// backlogged tenant: weight / Σ(weights of contending backlogged tenants),
+// the tenant's own weight included. Non-positive weights count as 1 (the
+// gateway's default weight). No contenders means the tenant has the queue
+// to itself: share 1.
+func DRRTenantShare(weights map[string]int, tenant string) float64 {
+	w := func(name string) float64 {
+		if v := weights[name]; v >= 1 {
+			return float64(v)
+		}
+		return 1
+	}
+	total := w(tenant)
+	for name := range weights {
+		if name != tenant {
+			total += w(name)
+		}
+	}
+	return w(tenant) / total
+}
+
+// DRRExpectedWait estimates the queueing wait of a backlogged tenant's next
+// request under deficit round robin: the tenant drains its own backlog at
+// share × the queue's aggregate service rate (requests/second), so a
+// request arriving behind `queued` same-tenant requests waits
+//
+//	W ≈ (queued + 1) / (share · rate)
+//
+// This is the DRR counterpart of an M/M/1 wait estimate — exact for fully
+// backlogged round-robin service, optimistic when contenders go idle (the
+// idle share is redistributed, shortening the wait). A non-positive share
+// or rate returns 0 (no estimate).
+func DRRExpectedWait(queued int, share, rate float64) time.Duration {
+	if share <= 0 || rate <= 0 {
+		return 0
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	sec := float64(queued+1) / (share * rate)
+	return time.Duration(sec * float64(time.Second))
+}
+
 // CloudDownload returns the same-region Azure Blob download time quoted in
 // §VI-A for each model. Cluster (NFS) storage instead uses the ModelLoad
 // stage costs.

@@ -412,3 +412,70 @@ func TestColdStartAmortization(t *testing.T) {
 		t.Fatal("maxBatch 0 must clamp to 1")
 	}
 }
+
+func TestJainFairnessIndex(t *testing.T) {
+	const eps = 1e-9
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"perfectly fair", []float64{5, 5, 5, 5}, 1},
+		{"single tenant", []float64{42}, 1},
+		{"one takes all of four", []float64{10, 0, 0, 0}, 0.25},
+		{"half and half", []float64{2, 2, 0, 0}, 0.5},
+		{"mild skew", []float64{4, 3, 3, 2}, (12.0 * 12.0) / (4.0 * 38.0)},
+	}
+	for _, c := range cases {
+		got := JainFairnessIndex(c.xs)
+		if got < c.want-eps || got > c.want+eps {
+			t.Errorf("%s: J(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+}
+
+func TestDRRTenantShare(t *testing.T) {
+	const eps = 1e-9
+	cases := []struct {
+		name    string
+		weights map[string]int
+		tenant  string
+		want    float64
+	}{
+		{"alone", map[string]int{}, "a", 1},
+		{"two equal", map[string]int{"a": 1, "b": 1}, "a", 0.5},
+		{"unlisted among two", map[string]int{"b": 1, "c": 1}, "a", 1.0 / 3},
+		{"weighted 3 of 5", map[string]int{"a": 3, "b": 1, "c": 1}, "a", 0.6},
+		{"zero weight clamps to 1", map[string]int{"a": 0, "b": 1}, "a", 0.5},
+	}
+	for _, c := range cases {
+		got := DRRTenantShare(c.weights, c.tenant)
+		if got < c.want-eps || got > c.want+eps {
+			t.Errorf("%s: share = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDRRExpectedWait(t *testing.T) {
+	cases := []struct {
+		name   string
+		queued int
+		share  float64
+		rate   float64
+		want   time.Duration
+	}{
+		{"empty queue, full share", 0, 1, 10, 100 * time.Millisecond},
+		{"half share doubles the wait", 0, 0.5, 10, 200 * time.Millisecond},
+		{"backlog scales linearly", 9, 1, 10, time.Second},
+		{"no service rate, no estimate", 5, 0.5, 0, 0},
+		{"no share, no estimate", 5, 0, 10, 0},
+		{"negative backlog clamps", -3, 1, 10, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := DRRExpectedWait(c.queued, c.share, c.rate); got != c.want {
+			t.Errorf("%s: wait = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

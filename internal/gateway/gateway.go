@@ -2,13 +2,25 @@
 // platform: the layer between "millions of user requests" and
 // serverless.Cluster's one-activation-at-a-time Invoke.
 //
-// Architecture (README "Serving gateway"):
+// Architecture (README "Serving gateway" / "Multi-tenant serving API"):
 //
-//		clients → per-(action, model) FIFO queues → batcher → warm pool → SeMIRT
+//		clients → per-(action, model) queues of per-tenant sub-queues
+//		        → deficit-round-robin batcher → warm pool → SeMIRT
 //
-//	  - Admission control: each queue is bounded (MaxQueue); a full queue
-//	    rejects immediately with ErrOverloaded instead of blocking, so
-//	    overload surfaces as backpressure, not as unbounded goroutine pile-up.
+//	  - Admission control: each queue is bounded (MaxQueue) and each tenant's
+//	    sub-queue is bounded (TenantQuota); a full queue rejects immediately
+//	    with ErrOverloaded (or ErrTenantOverloaded when only the tenant's
+//	    quota is exhausted) instead of blocking, so overload surfaces as
+//	    backpressure, not as unbounded goroutine pile-up.
+//	  - Weighted fair queueing: inside a queue, requests wait in per-tenant
+//	    sub-queues drained by deficit round robin with configurable tenant
+//	    weights (TenantWeights), so one hot tenant cannot starve the rest —
+//	    every backlogged tenant receives its weight's share of each formed
+//	    batch, to within one quantum.
+//	  - Deadlines: a request whose envelope deadline has passed — or, at
+//	    dispatch time, cannot be met given the queue's smoothed batch service
+//	    time — is failed fast with ErrDeadline instead of burning a batch
+//	    slot.
 //	  - Batching: requests for the same (action, model) coalesce until
 //	    MaxBatch have gathered or the oldest has waited MaxWait, then ship as
 //	    ONE activation (semirt.EncodeBatch) — one enclave entry serves the
@@ -55,6 +67,15 @@ type Prewarmer interface {
 	Prewarm(action string, want int) (int, error)
 }
 
+// PlacedPrewarmer optionally extends Prewarmer with a placement hint, so
+// queue-depth-driven prewarming can land warm capacity on the node the
+// affinity router will send the queue's batches to. *serverless.Cluster
+// satisfies it.
+type PlacedPrewarmer interface {
+	// PrewarmOn is Prewarm preferring the hinted node ("" = no preference).
+	PrewarmOn(action, node string, want int) (int, error)
+}
+
 // Router is the locality surface of the backend: hinted dispatch plus the
 // per-node scheduling state the affinity router ranks candidate homes by.
 // *serverless.Cluster satisfies it.
@@ -69,9 +90,21 @@ type Router interface {
 
 // Errors returned by the gateway.
 var (
-	// ErrOverloaded reports that the request's queue is full. Callers should
-	// shed or retry with backoff; the gateway never blocks admission.
+	// ErrOverloaded reports that the request's queue (or the gateway-wide
+	// pending bound) is full. Callers should shed or retry with backoff; the
+	// gateway never blocks admission.
 	ErrOverloaded = errors.New("gateway: overloaded")
+	// ErrTenantOverloaded reports that the tenant's own sub-queue quota is
+	// full while the queue as a whole still has room — the tenant is asked
+	// to back off, everyone else keeps being admitted.
+	ErrTenantOverloaded = errors.New("gateway: tenant overloaded")
+	// ErrDeadline reports that the request's envelope deadline passed (or
+	// provably cannot be met) before dispatch; the request was shed without
+	// burning a batch slot.
+	ErrDeadline = errors.New("gateway: deadline unmet")
+	// ErrCanceled reports that the request was withdrawn by Ticket.Cancel
+	// while still queued.
+	ErrCanceled = errors.New("gateway: canceled")
 	// ErrClosed reports that the gateway has shut down.
 	ErrClosed = errors.New("gateway: closed")
 )
@@ -96,6 +129,19 @@ type Config struct {
 	MaxPending int
 	// MaxInFlight bounds concurrent batch dispatches per queue (default 4).
 	MaxInFlight int
+	// TenantQuota bounds each tenant's sub-queue within one (action, model)
+	// queue; admission beyond it fails with ErrTenantOverloaded. The default
+	// is MaxQueue — no per-tenant admission control, the global bound trips
+	// first (v1 behaviour, where one caller may fill the queue). Multi-tenant
+	// deployments set it well below MaxQueue so a flooding tenant exhausts
+	// its own quota while everyone else keeps being admitted.
+	TenantQuota int
+	// TenantWeights sets per-tenant deficit-round-robin weights: each round
+	// a backlogged tenant may place `weight` requests into forming batches.
+	// Unlisted tenants (and the v1 Do path's DefaultTenant) weigh 1; values
+	// below 1 are treated as 1. Weights are relative — a tenant with weight
+	// 3 among weight-1 tenants gets 3x the batch share while contended.
+	TenantWeights map[string]int
 	// PrewarmDepth, when positive, requests one warm sandbox per PrewarmDepth
 	// queued requests (capped at PrewarmMax). Zero disables prewarming.
 	PrewarmDepth int
@@ -132,6 +178,9 @@ func (c *Config) defaults() {
 	if c.MaxPending < 1 {
 		c.MaxPending = 8 * c.MaxQueue
 	}
+	if c.TenantQuota < 1 {
+		c.TenantQuota = c.MaxQueue
+	}
 	if c.PrewarmMax < 1 {
 		c.PrewarmMax = 8
 	}
@@ -148,24 +197,196 @@ type result struct {
 
 // pending is one queued request.
 type pending struct {
-	req  semirt.Request
-	done chan result // buffered 1: the dispatcher never blocks on fan-out
-	enq  time.Time
+	req      semirt.Request
+	tenant   string
+	prio     int
+	deadline time.Time   // zero: none
+	done     chan result // buffered 1: the dispatcher never blocks on fan-out
+	enq      time.Time
 }
 
-// queue is one (action, model) FIFO batching queue.
+// tenantQ is one tenant's sub-queue inside a (action, model) queue: the
+// deficit-round-robin flow. items are ordered by (priority desc, arrival).
+type tenantQ struct {
+	name    string
+	weight  int
+	items   []*pending
+	deficit int  // DRR deficit, in requests (cost 1 each)
+	inRing  bool // currently in the queue's active ring
+}
+
+// insert places p by priority (stable FIFO within a priority level). The
+// overwhelmingly common case — p's priority not above the tail's — is a
+// plain append.
+func (tq *tenantQ) insert(p *pending) {
+	if len(tq.items) == 0 || tq.items[len(tq.items)-1].prio >= p.prio {
+		tq.items = append(tq.items, p)
+		return
+	}
+	i := len(tq.items)
+	for i > 0 && tq.items[i-1].prio < p.prio {
+		i--
+	}
+	tq.items = append(tq.items, nil)
+	copy(tq.items[i+1:], tq.items[i:])
+	tq.items[i] = p
+}
+
+// pop removes and returns the sub-queue head. O(1): the head slot is nil-ed
+// (so the popped request is not pinned by the backing array) and the slice
+// re-anchored; the array itself is reclaimed when the sub-queue drains.
+func (tq *tenantQ) pop() *pending {
+	p := tq.items[0]
+	tq.items[0] = nil
+	tq.items = tq.items[1:]
+	return p
+}
+
+// queue is one (action, model) batching queue: per-tenant sub-queues
+// drained by deficit round robin.
 type queue struct {
 	action, model string
 	key           string // g.queues key, for reaping
-	items         []*pending
-	timerArmed    bool
-	inFlight      int // batches dispatched, not yet fanned out
-	prewarmWant   int // this queue's current warm-sandbox demand
+
+	tenants map[string]*tenantQ
+	ring    []*tenantQ // backlogged tenants in round-robin order
+	next    int        // ring index draining resumes at
+	// midVisit marks that the ring's current tenant was interrupted by a
+	// full batch with deficit remaining: the next drain resumes it without
+	// granting a fresh quantum (one quantum per round-robin visit).
+	midVisit bool
+	size     int       // queued requests across all tenants
+	oldest   time.Time // earliest enqueue among queued items (approximate
+	// after priority reordering: never later than the true oldest, so the
+	// MaxWait timer can only flush early, never late)
+	// minDeadline is the earliest envelope deadline among queued items
+	// (zero: none). Stale after a cancel — the timer then flushes early
+	// once and the flush-path rescan corrects it.
+	minDeadline time.Time
+
+	timerArmed  bool
+	inFlight    int // batches dispatched, not yet fanned out
+	prewarmWant int // this queue's current warm-sandbox demand
+
+	// svcEWMA is the smoothed dispatch→fan-out batch service time, the
+	// estimate behind deadline-aware shedding (0 until the first batch).
+	svcEWMA time.Duration
 
 	// Affinity state: home is the sticky preferred node ("" until routed);
 	// offHome counts consecutive dispatches the cluster served elsewhere.
 	home    string
 	offHome int
+}
+
+func newQueue(action, model, key string) *queue {
+	return &queue{action: action, model: model, key: key, tenants: map[string]*tenantQ{}}
+}
+
+// tenant returns (creating if needed) the tenant's sub-queue.
+func (q *queue) tenant(name string, cfg *Config) *tenantQ {
+	tq := q.tenants[name]
+	if tq == nil {
+		w := cfg.TenantWeights[name]
+		if w < 1 {
+			w = 1
+		}
+		tq = &tenantQ{name: name, weight: w}
+		q.tenants[name] = tq
+	}
+	return tq
+}
+
+// enqueueLocked adds p to its tenant sub-queue and the active ring.
+func (q *queue) enqueueLocked(tq *tenantQ, p *pending) {
+	tq.insert(p)
+	if !tq.inRing {
+		tq.inRing = true
+		q.ring = append(q.ring, tq)
+	}
+	if q.size == 0 || p.enq.Before(q.oldest) {
+		q.oldest = p.enq
+	}
+	if !p.deadline.IsZero() && (q.minDeadline.IsZero() || p.deadline.Before(q.minDeadline)) {
+		q.minDeadline = p.deadline
+	}
+	q.size++
+}
+
+// deadlineWait returns how long the queue may keep waiting before the
+// earliest-deadline item must flush to still meet its deadline (estimate =
+// svcEWMA plus a margin against timer latency), 0 when that flush is due
+// now, and -1 when no queued item carries a deadline.
+func (q *queue) deadlineWait() time.Duration {
+	if q.minDeadline.IsZero() {
+		return -1
+	}
+	margin := q.svcEWMA + q.svcEWMA/4 + time.Millisecond
+	w := time.Until(q.minDeadline) - margin
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// dropFromRing removes ring[i], keeping next pointed at the element that
+// now occupies the vacated position (the following tenant). An interrupted
+// visit (midVisit) survives unless its own tenant is the one dropped — a
+// bystander's removal must not re-grant the current tenant a fresh quantum.
+func (q *queue) dropFromRing(i int) {
+	q.ring[i].inRing = false
+	q.ring[i].deficit = 0
+	q.ring = append(q.ring[:i], q.ring[i+1:]...)
+	if q.next > i {
+		q.next--
+	} else if q.next == i {
+		q.midVisit = false
+	}
+}
+
+// removeLocked withdraws p from its tenant sub-queue, reporting whether it
+// was still queued. Empty sub-queues leave the ring and empty tenants the
+// map, so canceled-out tenants do not pin queue state.
+func (q *queue) removeLocked(p *pending) bool {
+	tq := q.tenants[p.tenant]
+	if tq == nil {
+		return false
+	}
+	for i, x := range tq.items {
+		if x == p {
+			tq.items = append(tq.items[:i], tq.items[i+1:]...)
+			q.size--
+			if len(tq.items) == 0 {
+				for j, r := range q.ring {
+					if r == tq {
+						q.dropFromRing(j)
+						break
+					}
+				}
+				delete(q.tenants, tq.name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// recomputeOldestLocked rescans for the earliest queued enqueue time and
+// envelope deadline; called after draining (O(queued), bounded by MaxQueue,
+// only on flush paths).
+func (q *queue) recomputeOldestLocked() {
+	first := true
+	q.minDeadline = time.Time{}
+	for _, tq := range q.tenants {
+		for _, p := range tq.items {
+			if first || p.enq.Before(q.oldest) {
+				q.oldest = p.enq
+				first = false
+			}
+			if !p.deadline.IsZero() && (q.minDeadline.IsZero() || p.deadline.Before(q.minDeadline)) {
+				q.minDeadline = p.deadline
+			}
+		}
+	}
 }
 
 // actionWarm tracks prewarm state for one action, aggregated across its
@@ -195,6 +416,16 @@ type Metrics struct {
 type Stats struct {
 	// Accepted counts admitted requests; Rejected counts ErrOverloaded.
 	Accepted, Rejected uint64
+	// TenantRejected counts ErrTenantOverloaded admissions (a tenant's own
+	// quota tripped while the queue still had room).
+	TenantRejected uint64
+	// Shed counts requests failed fast with ErrDeadline (at admission with
+	// an already-passed deadline, or at dispatch when the deadline provably
+	// could not be met).
+	Shed uint64
+	// Canceled counts requests withdrawn by Ticket.Cancel (or Do's ctx)
+	// while still queued.
+	Canceled uint64
 	// Batches counts dispatched activations; Served counts fanned-out
 	// responses (errors included).
 	Batches, Served uint64
@@ -209,6 +440,27 @@ type Stats struct {
 	// Pending counts requests admitted but not yet answered.
 	Pending int
 }
+
+// TenantCounts is one tenant's accounting snapshot.
+type TenantCounts struct {
+	// Accepted counts admitted requests; Served counts answered ones
+	// (errors included).
+	Accepted, Served uint64
+	// Rejected counts admissions refused for this tenant (its quota OR the
+	// global bounds); Shed counts its deadline-shed requests; Canceled its
+	// requests withdrawn while queued. accepted = served + canceled +
+	// in-flight at any instant.
+	Rejected, Shed, Canceled uint64
+}
+
+// tenantCounts is the internal accumulator behind TenantCounts.
+type tenantCounts struct {
+	accepted, served, rejected, shed, canceled uint64
+}
+
+// maxTenantStats bounds the per-tenant accounting map so caller-supplied
+// tenant names cannot grow gateway state without bound.
+const maxTenantStats = 8192
 
 // Gateway fronts an Invoker with batching queues.
 type Gateway struct {
@@ -232,11 +484,13 @@ type Gateway struct {
 	// count released) past that.
 	stickyHomes map[string]string // queue key -> node
 	pending     int               // requests admitted but not yet answered, all queues
+	tenantStats map[string]*tenantCounts
 	closed      bool
 
 	m Metrics
 
-	accepted, rejected, batches, served, prewarmed, rehomes atomic.Uint64
+	accepted, rejected, tenantRejected, shed, canceled atomic.Uint64
+	batches, served, prewarmed, rehomes                atomic.Uint64
 }
 
 // New creates a gateway over inv. If inv also implements Prewarmer (as
@@ -251,6 +505,7 @@ func New(cfg Config, inv Invoker) *Gateway {
 		warm:        map[string]*actionWarm{},
 		homes:       map[string]int{},
 		stickyHomes: map[string]string{},
+		tenantStats: map[string]*tenantCounts{},
 		m: Metrics{
 			BatchSizes: metrics.NewHistogram(1),
 			QueueDepth: metrics.NewHistogram(1),
@@ -277,15 +532,65 @@ func (g *Gateway) Stats() Stats {
 	queues, pending := len(g.queues), g.pending
 	g.mu.Unlock()
 	return Stats{
-		Accepted:  g.accepted.Load(),
-		Rejected:  g.rejected.Load(),
-		Batches:   g.batches.Load(),
-		Served:    g.served.Load(),
-		Prewarmed: g.prewarmed.Load(),
-		Rehomes:   g.rehomes.Load(),
-		Queues:    queues,
-		Pending:   pending,
+		Accepted:       g.accepted.Load(),
+		Rejected:       g.rejected.Load(),
+		TenantRejected: g.tenantRejected.Load(),
+		Shed:           g.shed.Load(),
+		Canceled:       g.canceled.Load(),
+		Batches:        g.batches.Load(),
+		Served:         g.served.Load(),
+		Prewarmed:      g.prewarmed.Load(),
+		Rehomes:        g.rehomes.Load(),
+		Queues:         queues,
+		Pending:        pending,
 	}
+}
+
+// TenantSnapshot returns per-tenant accounting (the fairness experiment's
+// raw data). The map is bounded at maxTenantStats tenants; past that an
+// entry with nothing in flight is dropped (an arbitrary one if none is).
+func (g *Gateway) TenantSnapshot() map[string]TenantCounts {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]TenantCounts, len(g.tenantStats))
+	for name, tc := range g.tenantStats {
+		out[name] = TenantCounts{Accepted: tc.accepted, Served: tc.served,
+			Rejected: tc.rejected, Shed: tc.shed, Canceled: tc.canceled}
+	}
+	return out
+}
+
+// tenantAddLocked applies fn to the tenant's accumulator under g.mu. Past
+// maxTenantStats an entry with nothing in flight (accepted fully answered
+// or withdrawn) is evicted, falling back to an arbitrary one when every
+// tenant is mid-flight.
+func (g *Gateway) tenantAddLocked(tenant string, fn func(*tenantCounts)) {
+	tc := g.tenantStats[tenant]
+	if tc == nil {
+		if len(g.tenantStats) >= maxTenantStats {
+			victim := ""
+			for k, v := range g.tenantStats {
+				if victim == "" {
+					victim = k
+				}
+				if v.accepted == v.served+v.canceled {
+					victim = k
+					break
+				}
+			}
+			delete(g.tenantStats, victim)
+		}
+		tc = &tenantCounts{}
+		g.tenantStats[tenant] = tc
+	}
+	fn(tc)
+}
+
+// tenantAdd is tenantAddLocked for callers not holding g.mu.
+func (g *Gateway) tenantAdd(tenant string, fn func(*tenantCounts)) {
+	g.mu.Lock()
+	g.tenantAddLocked(tenant, fn)
+	g.mu.Unlock()
 }
 
 func queueKey(action, model string) string { return action + "\x1f" + model }
@@ -295,90 +600,27 @@ func splitQueueKey(key string) (action, model string, ok bool) {
 	return strings.Cut(key, "\x1f")
 }
 
-// Do submits one request to the action and waits for its response. It fails
-// fast with ErrOverloaded when the request's queue is full and with
-// ErrClosed after Close. If ctx is done while the request is still queued,
-// the request is withdrawn and ctx's error returned; once it has entered a
-// batch the activation proceeds and the (discarded) response is still
-// accounted.
-func (g *Gateway) Do(ctx context.Context, action string, req semirt.Request) (semirt.Response, error) {
-	g.mu.Lock()
-	if g.closed {
-		g.mu.Unlock()
-		return semirt.Response{}, ErrClosed
-	}
-	key := queueKey(action, req.ModelID)
-	q := g.queues[key]
-	if q == nil {
-		q = &queue{action: action, model: req.ModelID, key: key}
-		g.queues[key] = q
-	}
-	if len(q.items) >= g.cfg.MaxQueue || g.pending >= g.cfg.MaxPending {
-		g.reapLocked(q)
-		g.mu.Unlock()
-		g.rejected.Add(1)
-		return semirt.Response{}, ErrOverloaded
-	}
-	p := &pending{req: req, done: make(chan result, 1), enq: time.Now()}
-	q.items = append(q.items, p)
-	g.pending++
-	g.accepted.Add(1)
-	g.m.QueueDepth.Observe(float64(len(q.items)))
-	g.flushLocked(q, false)
-	g.armTimerLocked(q)
-	g.maybePrewarmLocked(q)
-	g.mu.Unlock()
-
-	select {
-	case r := <-p.done:
-		return r.resp, r.err
-	case <-ctx.Done():
-		g.mu.Lock()
-		removed := q.remove(p)
-		if removed {
-			g.pending--
-			g.reapLocked(q)
-		}
-		g.mu.Unlock()
-		// Either withdrawn before dispatch (removed: answered exactly once,
-		// here) or already riding a batch (the fan-out lands in the buffered
-		// channel); the caller sees ctx's error in both cases — removed only
-		// drives the pending/reap bookkeeping above.
-		return semirt.Response{}, ctx.Err()
-	}
-}
-
-// remove withdraws p from the queue, reporting whether it was still queued.
-func (q *queue) remove(p *pending) bool {
-	for i, x := range q.items {
-		if x == p {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
 // flushLocked forms and dispatches batches while the queue has a full batch
 // (or force, for deadline flushes) and in-flight capacity remains. force
 // applies to the first batch formed — a deadline flush ships a partial
-// batch, but anything beyond it waits for its own deadline or fill.
+// batch, but anything beyond it waits for its own deadline or fill. Batch
+// membership is chosen by deficit round robin across the queue's tenant
+// sub-queues (drainLocked), so under contention every backlogged tenant
+// owns its weighted share of each activation.
 func (g *Gateway) flushLocked(q *queue, force bool) {
-	for q.inFlight < g.cfg.MaxInFlight && len(q.items) > 0 {
-		if len(q.items) < g.cfg.MaxBatch && !force {
+	for q.inFlight < g.cfg.MaxInFlight && q.size > 0 {
+		if q.size < g.cfg.MaxBatch && !force {
 			return
 		}
 		force = false
-		n := len(q.items)
-		if n > g.cfg.MaxBatch {
-			n = g.cfg.MaxBatch
+		batch := g.drainLocked(q, g.cfg.MaxBatch)
+		if len(batch) == 0 {
+			continue // everything drained was deadline-shed; re-evaluate
 		}
-		batch := make([]*pending, n)
-		copy(batch, q.items[:n])
-		q.items = append([]*pending(nil), q.items[n:]...)
+		q.recomputeOldestLocked()
 		q.inFlight++
 		g.batches.Add(1)
-		g.m.BatchSizes.Observe(float64(n))
+		g.m.BatchSizes.Observe(float64(len(batch)))
 		home := ""
 		if g.rt != nil {
 			// Adopt a remembered home cheaply here; a queue with no home yet
@@ -396,11 +638,72 @@ func (g *Gateway) flushLocked(q *queue, force bool) {
 	}
 }
 
+// drainLocked forms one batch of up to max requests by deficit round robin:
+// each visit grants a backlogged tenant its weight in quantum; it dispatches
+// while deficit remains, then the round moves on. A tenant interrupted by a
+// full batch (deficit left over) resumes first next flush without a fresh
+// quantum. Requests that cannot meet their deadline are shed here — they
+// consume neither deficit nor a batch slot.
+func (g *Gateway) drainLocked(q *queue, max int) []*pending {
+	now := time.Now()
+	batch := make([]*pending, 0, max)
+	for q.size > 0 && len(batch) < max && len(q.ring) > 0 {
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+		tq := q.ring[q.next]
+		if !q.midVisit {
+			tq.deficit += tq.weight
+		}
+		q.midVisit = false
+		for tq.deficit >= 1 && len(tq.items) > 0 && len(batch) < max {
+			p := tq.pop()
+			q.size--
+			if g.shedLocked(p, now, q.svcEWMA) {
+				continue
+			}
+			tq.deficit--
+			batch = append(batch, p)
+		}
+		if len(tq.items) == 0 {
+			q.dropFromRing(q.next)
+			delete(q.tenants, tq.name)
+			continue
+		}
+		if len(batch) >= max {
+			if tq.deficit >= 1 {
+				q.midVisit = true
+			} else {
+				q.next++
+			}
+			break
+		}
+		q.next++
+	}
+	return batch
+}
+
+// shedLocked fails p fast with ErrDeadline when its deadline has passed or
+// the queue's smoothed batch service time says dispatch cannot meet it,
+// reporting whether p was shed. The outcome is delivered here (the buffered
+// channel never blocks) — answered exactly once, like any dispatch.
+func (g *Gateway) shedLocked(p *pending, now time.Time, estimate time.Duration) bool {
+	if p.deadline.IsZero() || now.Add(estimate).Before(p.deadline) {
+		return false
+	}
+	p.done <- result{err: ErrDeadline}
+	g.pending--
+	g.shed.Add(1)
+	g.served.Add(1)
+	g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.shed++; tc.served++ })
+	return true
+}
+
 // armTimerLocked schedules a deadline flush for the queue's oldest item. One
 // timer is in flight per queue at a time; it re-arms itself while items
 // remain.
 func (g *Gateway) armTimerLocked(q *queue) {
-	if q.timerArmed || len(q.items) == 0 || g.closed {
+	if q.timerArmed || q.size == 0 || g.closed {
 		return
 	}
 	// While every dispatch slot is taken a deadline flush cannot make
@@ -410,7 +713,13 @@ func (g *Gateway) armTimerLocked(q *queue) {
 		return
 	}
 	q.timerArmed = true
-	wait := g.cfg.MaxWait - time.Since(q.items[0].enq)
+	wait := g.cfg.MaxWait - time.Since(q.oldest)
+	// An envelope deadline tighter than the formation window flushes early:
+	// waiting the full MaxWait would be the very thing that makes the
+	// deadline unmeetable on an otherwise idle queue.
+	if dw := q.deadlineWait(); dw >= 0 && dw < wait {
+		wait = dw
+	}
 	if wait < 0 {
 		wait = 0
 	}
@@ -425,15 +734,43 @@ func (g *Gateway) armTimerLocked(q *queue) {
 			return
 		}
 		// Stale fire: the item this timer was armed for already shipped in a
-		// full batch, and everything now queued is fresher than the deadline
-		// — re-arm for the new oldest instead of force-flushing an
-		// undersized batch early.
-		if len(q.items) > 0 && time.Since(q.items[0].enq) < g.cfg.MaxWait {
+		// full batch, and nothing queued is due (formation window or
+		// envelope deadline) — re-arm for the new oldest instead of
+		// force-flushing an undersized batch early.
+		if q.size > 0 && time.Since(q.oldest) < g.cfg.MaxWait && q.deadlineWait() != 0 {
 			g.armTimerLocked(q)
 			return
 		}
 		// Ship whatever has gathered; anything the in-flight bound leaves
 		// behind re-arms against the (new) oldest item.
+		g.flushLocked(q, true)
+		g.armTimerLocked(q)
+		g.reapLocked(q)
+	})
+}
+
+// armDeadlineWatchdogLocked schedules a force flush for a request whose
+// envelope deadline is tighter than the MaxWait formation window — the
+// regular formation timer may already be armed for later than this deadline
+// can wait, and an armed timer is never re-timed. Spurious fires are safe:
+// the handler re-checks due-ness under the lock and does nothing when the
+// item already shipped, shed, or canceled.
+func (g *Gateway) armDeadlineWatchdogLocked(q *queue, p *pending) {
+	margin := q.svcEWMA + q.svcEWMA/4 + time.Millisecond
+	wait := time.Until(p.deadline) - margin
+	if wait >= g.cfg.MaxWait {
+		return // the regular formation timer flushes in time
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	// Not wg-tracked, like the formation timer: a post-Close fire returns.
+	time.AfterFunc(wait, func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if g.closed || q.size == 0 || q.deadlineWait() != 0 {
+			return
+		}
 		g.flushLocked(q, true)
 		g.armTimerLocked(q)
 		g.reapLocked(q)
@@ -487,10 +824,21 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 		g.served.Add(1)
 		g.m.E2E.Observe(float64(time.Since(p.enq)) / float64(time.Millisecond))
 	}
+	svc := time.Since(start)
 
 	g.mu.Lock()
 	q.inFlight--
 	g.pending -= len(batch)
+	for _, p := range batch {
+		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+	}
+	// Exponentially smoothed batch service time: the deadline shedder's
+	// estimate of how long a request dispatched now will take to answer.
+	if q.svcEWMA == 0 {
+		q.svcEWMA = svc
+	} else {
+		q.svcEWMA += (svc - q.svcEWMA) / 4
+	}
 	needRehome := false
 	if g.rt != nil && home != "" {
 		needRehome = g.noteServedLocked(q, home, servedOn)
@@ -659,7 +1007,7 @@ func homeKey(action, node string) string { return action + "\x1f" + node }
 // action aggregate with it. Queues with an armed timer are left for the
 // timer to reap on its next fire.
 func (g *Gateway) reapLocked(q *queue) {
-	if len(q.items) > 0 || q.inFlight > 0 || q.timerArmed {
+	if q.size > 0 || q.inFlight > 0 || q.timerArmed {
 		return
 	}
 	if g.queues[q.key] != q {
@@ -701,7 +1049,7 @@ func (g *Gateway) maybePrewarmLocked(q *queue) {
 		aw = &actionWarm{}
 		g.warm[q.action] = aw
 	}
-	depth := len(q.items) + q.inFlight*g.cfg.MaxBatch
+	depth := q.size + q.inFlight*g.cfg.MaxBatch
 	newWant := (depth + g.cfg.PrewarmDepth - 1) / g.cfg.PrewarmDepth
 	// Maintain the per-action sum incrementally: the hot path must not scan
 	// every queue under the global lock.
@@ -720,13 +1068,27 @@ func (g *Gateway) maybePrewarmLocked(q *queue) {
 	aw.prewarming = true
 	aw.target = want
 	action := q.action
+	// Affinity-aware prewarming: land the warm capacity on the triggering
+	// queue's home node (the sticky home survives queue reaping), so the
+	// sandboxes this call starts are the ones the affinity router's next
+	// batches actually reach, instead of first-fit capacity on a node the
+	// router never dispatches to.
+	home := q.home
+	if home == "" {
+		home = g.stickyHomes[q.key]
+	}
 	// Deliberately not wg-tracked: Prewarm can take SandboxStart per sandbox
 	// and has no cancellation path, so tracking it would stall Close for
 	// seconds growing capacity that Close immediately discards. A late
 	// Prewarm against a closed cluster is a cheap no-op, and the aw update
 	// below takes g.mu, which outlives Close.
 	go func() {
-		started, _ := g.pw.Prewarm(action, want)
+		var started int
+		if pp, ok := g.pw.(PlacedPrewarmer); ok && home != "" {
+			started, _ = pp.PrewarmOn(action, home, want)
+		} else {
+			started, _ = g.pw.Prewarm(action, want)
+		}
 		if started > 0 {
 			g.prewarmed.Add(uint64(started))
 		}
@@ -753,12 +1115,18 @@ func (g *Gateway) Close() {
 	}
 	g.closed = true
 	for _, q := range g.queues {
-		for _, p := range q.items {
-			p.done <- result{err: ErrClosed}
-			g.served.Add(1)
-			g.pending--
+		for _, tq := range q.tenants {
+			for _, p := range tq.items {
+				p.done <- result{err: ErrClosed}
+				g.served.Add(1)
+				g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+				g.pending--
+			}
+			tq.items = nil
 		}
-		q.items = nil
+		q.tenants = map[string]*tenantQ{}
+		q.ring = nil
+		q.size = 0
 	}
 	g.mu.Unlock()
 	g.cancel()

@@ -27,6 +27,17 @@ func (l *Latency) Add(d time.Duration) {
 	l.mu.Unlock()
 }
 
+// Each calls fn with every recorded sample, in insertion order (on a copy:
+// fn may Add to another Latency, including this one).
+func (l *Latency) Each(fn func(time.Duration)) {
+	l.mu.Lock()
+	samples := append([]time.Duration(nil), l.samples...)
+	l.mu.Unlock()
+	for _, d := range samples {
+		fn(d)
+	}
+}
+
 // Count returns the number of samples.
 func (l *Latency) Count() int {
 	l.mu.Lock()

@@ -778,10 +778,20 @@ func (c *Cluster) startSandbox(sb *Sandbox) (*Sandbox, error) {
 // Memory is reserved under the owning node's lock, so racing with acquire on
 // the same action can never over-reserve a node.
 func (c *Cluster) Prewarm(action string, want int) (int, error) {
+	return c.PrewarmOn(action, "", want)
+}
+
+// PrewarmOn is Prewarm with a placement hint: new sandboxes are reserved on
+// the hinted node first (falling back to the usual placement order when it
+// is full), so a locality-aware front-end can land warm capacity on the
+// node its affinity router will dispatch the action's batches to. An empty
+// or unknown node name means no preference.
+func (c *Cluster) PrewarmOn(action, node string, want int) (int, error) {
 	as, err := c.actionState(action)
 	if err != nil {
 		return 0, err
 	}
+	hint := c.nodeByName(node)
 	deficit := want - int(as.count.Load())
 	if deficit <= 0 {
 		return 0, nil
@@ -805,12 +815,12 @@ func (c *Cluster) Prewarm(action string, want int) (int, error) {
 			}
 			// Never evict for warm capacity: evicting idle sandboxes to
 			// prewarm would cannibalize the warm pool this call is building.
-			node := c.reserveNode(as, nil, false)
-			if node == nil {
+			n := c.reserveNode(as, hint, false)
+			if n == nil {
 				as.startMu.Unlock()
 				return
 			}
-			sb := c.registerStarting(as, node, 0)
+			sb := c.registerStarting(as, n, 0)
 			as.startMu.Unlock()
 			if c.confirmOpenOrAbort(sb) != nil {
 				return // racing Close: registration aborted

@@ -567,6 +567,46 @@ func TestPrewarmBoundedByMemory(t *testing.T) {
 	}
 }
 
+func TestPrewarmOnPrefersHintedNode(t *testing.T) {
+	clock := vclock.NewManual()
+	c, _ := newTestCluster(clock, 1<<30, 4)
+	defer c.Close()
+	if err := c.Deploy(echoAction("fn", 256<<20, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// With a hint, every sandbox the node can fit lands on it — first-fit
+	// would have put them all on node-0.
+	started, err := c.PrewarmOn("fn", "node-2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 3 {
+		t.Fatalf("started %d, want 3", started)
+	}
+	for _, st := range c.NodeStats("fn") {
+		want := 0
+		if st.Node == "node-2" {
+			want = 3
+		}
+		if st.ReadySlots != want {
+			t.Fatalf("node %s has %d ready slots, want %d", st.Node, st.ReadySlots, want)
+		}
+	}
+	// A full hinted node spills to the rest of the cluster instead of
+	// failing: node-2 fits 4 sandboxes total, so asking for 6 spreads.
+	started, err = c.PrewarmOn("fn", "node-2", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 3 {
+		t.Fatalf("second prewarm started %d, want 3", started)
+	}
+	// An unknown hint degrades to plain Prewarm.
+	if _, err := c.PrewarmOn("fn", "no-such-node", 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestInvokeOverheadCharged(t *testing.T) {
 	clock := vclock.NewManual()
 	var ns []*Node

@@ -148,6 +148,18 @@ type BatchSpec struct {
 	// at a time; the rest wait in the endpoint queue (other streams pass
 	// them). Zero means unbounded. Only meaningful when MaxBatch > 1.
 	MaxInFlight int
+	// DRR mirrors the gateway's serving API v2 discipline: arrivals backlog
+	// in per-tenant (workload UserID) sub-queues and every formed batch is
+	// drained by deficit round robin with TenantWeights, so a flooding user
+	// cannot starve the rest of its (endpoint, model) stream. Off, the
+	// stream is one FIFO: batches form in pure arrival order and queue
+	// behind each other (the v1 gateway), which is the starvation baseline
+	// the fairness experiment measures against.
+	DRR bool
+	// TenantWeights mirrors gateway.Config.TenantWeights (user id →
+	// deficit-round-robin weight; unlisted users weigh 1). Only meaningful
+	// with DRR.
+	TenantWeights map[string]int
 }
 
 func (c *Config) defaults() error {
@@ -365,6 +377,7 @@ type Simulation struct {
 	boxes   map[string][]*sandbox // per action
 	queues  map[string][]*request
 	forming map[string]*forming // gateway batches gathering, per ep+model
+	holds   map[string]*drrHold // DRR backlogs, per ep+model (Batch.DRR)
 
 	res     *Result
 	gb      metrics.GBSeconds
@@ -394,6 +407,7 @@ func New(cfg Config) (*Simulation, error) {
 		boxes:     map[string][]*sandbox{},
 		queues:    map[string][]*request{},
 		forming:   map[string]*forming{},
+		holds:     map[string]*drrHold{},
 		homes:     map[string]*node{},
 		homeCount: map[*node]int{},
 		inflight:  map[string]int{},
@@ -509,11 +523,190 @@ func (s *Simulation) arrive(ev workload.Event) {
 	}
 	req := &request{ev: ev, arrive: s.eng.Now(), ep: ep}
 	if s.cfg.Batch.MaxBatch > 1 {
-		s.joinBatch(req)
+		if s.cfg.Batch.DRR {
+			s.joinDRR(req)
+		} else {
+			s.joinBatch(req)
+		}
 		return
 	}
 	s.queues[ep] = append(s.queues[ep], req)
 	s.dispatch(ep)
+}
+
+// ---------- DRR hold: the serving API v2 discipline, mirrored ----------
+
+// drrTenant is one user's sub-queue inside a stream's hold.
+type drrTenant struct {
+	name    string
+	weight  int
+	items   []*request
+	deficit int
+	inRing  bool
+}
+
+// drrHold is one (endpoint, model) stream's backlog under Batch.DRR:
+// per-tenant sub-queues drained by deficit round robin, the discrete-event
+// twin of the gateway queue. Unlike the FIFO `forming` path — which
+// pre-forms batches in arrival order and queues them behind each other —
+// the hold keeps requests unformed until a dispatch slot frees, so batch
+// membership is decided at dispatch time, like the live gateway.
+type drrHold struct {
+	tenants    map[string]*drrTenant
+	ring       []*drrTenant
+	next       int
+	midVisit   bool
+	size       int
+	oldest     time.Duration // earliest held arrival (virtual time)
+	timerArmed bool
+}
+
+func (s *Simulation) hold(key string) *drrHold {
+	h := s.holds[key]
+	if h == nil {
+		h = &drrHold{tenants: map[string]*drrTenant{}}
+		s.holds[key] = h
+	}
+	return h
+}
+
+func (h *drrHold) add(req *request, weight int) {
+	tq := h.tenants[req.ev.UserID]
+	if tq == nil {
+		tq = &drrTenant{name: req.ev.UserID, weight: weight}
+		h.tenants[req.ev.UserID] = tq
+	}
+	tq.items = append(tq.items, req)
+	if !tq.inRing {
+		tq.inRing = true
+		h.ring = append(h.ring, tq)
+	}
+	if h.size == 0 || req.arrive < h.oldest {
+		h.oldest = req.arrive
+	}
+	h.size++
+}
+
+// drain forms one batch of up to max requests by deficit round robin — the
+// same quantum/visit discipline as gateway.drainLocked (without deadline
+// shedding, which the sim does not model).
+func (h *drrHold) drain(max int) []*request {
+	batch := make([]*request, 0, max)
+	for h.size > 0 && len(batch) < max && len(h.ring) > 0 {
+		if h.next >= len(h.ring) {
+			h.next = 0
+		}
+		tq := h.ring[h.next]
+		if !h.midVisit {
+			tq.deficit += tq.weight
+		}
+		h.midVisit = false
+		for tq.deficit >= 1 && len(tq.items) > 0 && len(batch) < max {
+			batch = append(batch, tq.items[0])
+			tq.items = tq.items[1:]
+			tq.deficit--
+			h.size--
+		}
+		if len(tq.items) == 0 {
+			tq.inRing = false
+			tq.deficit = 0
+			h.ring = append(h.ring[:h.next], h.ring[h.next+1:]...)
+			delete(h.tenants, tq.name)
+			continue
+		}
+		if len(batch) >= max {
+			if tq.deficit >= 1 {
+				h.midVisit = true
+			} else {
+				h.next++
+			}
+			break
+		}
+		h.next++
+	}
+	// Recompute the formation deadline anchor for what remains.
+	first := true
+	for _, tq := range h.tenants {
+		for _, r := range tq.items {
+			if first || r.arrive < h.oldest {
+				h.oldest = r.arrive
+				first = false
+			}
+		}
+	}
+	return batch
+}
+
+func (s *Simulation) tenantWeight(user string) int {
+	if w := s.cfg.Batch.TenantWeights[user]; w >= 1 {
+		return w
+	}
+	return 1
+}
+
+// drrBlocked reports whether the stream is at its MaxInFlight release bound.
+func (s *Simulation) drrBlocked(key string) bool {
+	return s.cfg.Batch.MaxInFlight > 0 && s.inflight[key] >= s.cfg.Batch.MaxInFlight
+}
+
+func (s *Simulation) joinDRR(req *request) {
+	key := streamKey(req)
+	h := s.hold(key)
+	h.add(req, s.tenantWeight(req.ev.UserID))
+	s.releaseDRR(key, h, false)
+	s.armHoldTimer(key, h)
+}
+
+// releaseDRR forms and releases batches to the endpoint queue while the
+// stream has a full batch (or force, on the formation deadline) and an
+// in-flight slot free — the mirror of gateway.flushLocked.
+func (s *Simulation) releaseDRR(key string, h *drrHold, force bool) {
+	for h.size > 0 && !s.drrBlocked(key) {
+		if h.size < s.cfg.Batch.MaxBatch && !force {
+			return
+		}
+		force = false
+		batch := h.drain(s.cfg.Batch.MaxBatch)
+		if len(batch) == 0 {
+			return
+		}
+		s.res.Batches++
+		s.res.BatchSizes.Observe(float64(len(batch)))
+		lead := batch[0]
+		lead.members = batch
+		if s.cfg.Batch.MaxInFlight > 0 {
+			// Released batches count against the bound immediately (they are
+			// committed to dispatch), so at most MaxInFlight of one stream's
+			// batches ever sit in or beyond the endpoint queue.
+			s.inflight[key]++
+		}
+		s.queues[lead.ep] = append(s.queues[lead.ep], lead)
+		s.dispatch(lead.ep)
+	}
+}
+
+// armHoldTimer schedules the formation-deadline release for the hold's
+// oldest request. Not armed while the release bound is closed — a batch
+// completion reopens it and re-arms (armTimerLocked's skip, mirrored).
+func (s *Simulation) armHoldTimer(key string, h *drrHold) {
+	if h.timerArmed || h.size == 0 || s.drrBlocked(key) {
+		return
+	}
+	h.timerArmed = true
+	wait := s.cfg.Batch.MaxWait - (s.eng.Now() - h.oldest)
+	if wait < 0 {
+		wait = 0
+	}
+	s.eng.After(wait, func() {
+		h.timerArmed = false
+		if h.size == 0 {
+			return
+		}
+		if s.eng.Now()-h.oldest >= s.cfg.Batch.MaxWait {
+			s.releaseDRR(key, h, true)
+		}
+		s.armHoldTimer(key, h)
+	})
 }
 
 // forming is one gateway batch gathering arrivals.
@@ -563,9 +756,11 @@ func (s *Simulation) flushBatch(key string, f *forming) {
 func streamKey(req *request) string { return req.ep + "\x1f" + req.ev.ModelID }
 
 // bounded reports whether the request's stream is at its MaxInFlight
-// dispatch bound.
+// dispatch bound. Under DRR the bound is enforced at release time
+// (releaseDRR) — an entry that reached the endpoint queue is already
+// committed, so it is never passed over here.
 func (s *Simulation) bounded(req *request) bool {
-	return s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 &&
+	return s.cfg.Batch.MaxBatch > 1 && !s.cfg.Batch.DRR && s.cfg.Batch.MaxInFlight > 0 &&
 		s.inflight[streamKey(req)] >= s.cfg.Batch.MaxInFlight
 }
 
@@ -584,6 +779,24 @@ func (s *Simulation) dispatch(ep string) {
 				s.res.Dropped++
 				if s.cfg.Route != nil {
 					s.cfg.Route.Done(m.ep, m.ev.ModelID)
+				}
+			}
+			// A dropped DRR batch never reaches complete(), so its release
+			// slot must be returned here or the stream blocks forever. The
+			// hold's next release runs as a fresh engine event — dispatch
+			// must not re-enter itself mid-iteration.
+			if s.cfg.Batch.DRR && s.cfg.Batch.MaxInFlight > 0 {
+				key := streamKey(req)
+				if s.inflight[key]--; s.inflight[key] <= 0 {
+					delete(s.inflight, key)
+				}
+				if h := s.holds[key]; h != nil && h.size > 0 {
+					s.eng.After(0, func() {
+						if h.size > 0 && !s.drrBlocked(key) {
+							s.releaseDRR(key, h, s.eng.Now()-h.oldest >= s.cfg.Batch.MaxWait)
+							s.armHoldTimer(key, h)
+						}
+					})
 				}
 			}
 			continue
@@ -619,8 +832,8 @@ func (s *Simulation) dispatch(ep string) {
 // takeAndServe removes queue entry i and dispatches it into sb.
 func (s *Simulation) takeAndServe(ep string, i int, sb *sandbox, req *request) {
 	s.queues[ep] = append(s.queues[ep][:i], s.queues[ep][i+1:]...)
-	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 {
-		s.inflight[streamKey(req)]++
+	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 && !s.cfg.Batch.DRR {
+		s.inflight[streamKey(req)]++ // DRR streams counted at release instead
 	}
 	s.serve(sb, req)
 }

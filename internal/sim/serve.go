@@ -328,5 +328,14 @@ func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationK
 			delete(s.inflight, key)
 		}
 	}
+	if s.cfg.Batch.DRR {
+		// A freed release slot lets the stream's backlog form its next batch
+		// (and re-arms the formation timer the closed bound suppressed).
+		key := streamKey(req)
+		if h := s.holds[key]; h != nil && h.size > 0 {
+			s.releaseDRR(key, h, s.eng.Now()-h.oldest >= s.cfg.Batch.MaxWait)
+			s.armHoldTimer(key, h)
+		}
+	}
 	s.dispatch(req.ep)
 }
