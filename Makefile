@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke clean
 
 all: build vet test
 
@@ -30,6 +30,9 @@ routing-snapshot:
 fairness-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp fairness -json BENCH_fairness.json
 
+keylocality-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp keylocality -json BENCH_keylocality.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -40,6 +43,11 @@ routing-smoke:
 # BENCH_fairness.json cannot rot.
 fairness-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp fairness -smoke
+
+# Tiny-scale key-locality run (single-pair vs LRU vs LRU+grouping), so the
+# experiment behind BENCH_keylocality.json cannot rot.
+keylocality-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp keylocality -smoke
 
 clean:
 	$(GO) clean ./...

@@ -73,6 +73,10 @@ func main() {
 	tenants := flag.Int("tenants", 0, "with -local: tenants drawing Zipf-skewed load through the v2 Submit surface (0 = single default tenant via Do)")
 	tenantSkew := flag.Float64("tenant-skew", 1.2, "with -local -tenants: Zipf skew s (>1; larger = hotter hottest tenant)")
 	tenantQuota := flag.Int("tenant-quota", 0, "with -local -tenants: per-tenant admission quota (0 = gateway default)")
+	users := flag.Int("users", 0, "with -local: distinct user principals drawing Zipf-skewed load (0/1 = the single default user)")
+	userSkew := flag.Float64("user-skew", 1.2, "with -local -users: Zipf skew s (>1; larger = hotter hottest user)")
+	groupUsers := flag.Bool("group-users", false, "with -local: user-affinity batch grouping in the gateway")
+	keyCache := flag.Int("key-cache", 0, "with -local: enclave key-cache size (0 = default, 1 = historical single pair)")
 	flag.Parse()
 
 	if *local {
@@ -85,12 +89,19 @@ func main() {
 		if *tenants < 0 || (*tenants > 0 && *tenantSkew <= 1) {
 			log.Fatal("loadgen: -tenant-skew must be > 1 (rand.Zipf) and -tenants >= 0")
 		}
+		if *users < 0 || (*users > 1 && *userSkew <= 1) {
+			log.Fatal("loadgen: -user-skew must be > 1 (rand.Zipf) and -users >= 0")
+		}
+		if *users > 1 && *tenants > 0 {
+			log.Fatal("loadgen: -users and -tenants are mutually exclusive")
+		}
 		runLocal(localCfg{
 			closed: *closed, requests: *requests, maxBatch: *maxBatch, maxWait: *maxWait,
 			pattern: *pattern, rate: *rate, rate2: *rate2, duration: *duration,
 			seed: *seed, user: *userSeed,
 			affinity: *affinity, nodes: *localNodes, models: *localModels,
 			tenants: *tenants, skew: *tenantSkew, quota: *tenantQuota,
+			users: *users, userSkew: *userSkew, groupUsers: *groupUsers, keyCache: *keyCache,
 		})
 		return
 	}
@@ -229,6 +240,14 @@ type localCfg struct {
 	tenants                    int
 	skew                       float64
 	quota                      int
+
+	// users > 1 drives a Zipf-skewed multi-user mix against the enclave's
+	// key cache; groupUsers turns on gateway user-affinity grouping and
+	// keyCache sets the enclave LRU capacity.
+	users      int
+	userSkew   float64
+	groupUsers bool
+	keyCache   int
 }
 
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
@@ -236,8 +255,10 @@ type localCfg struct {
 func runLocal(c localCfg) {
 	closed, requests, maxBatch, maxWait := c.closed, c.requests, c.maxBatch, c.maxWait
 	w, err := bench.NewLiveWorld(bench.LiveWorldConfig{
-		Nodes:  c.nodes,
-		Models: c.models,
+		Nodes:        c.nodes,
+		Models:       c.models,
+		Users:        c.users,
+		KeyCacheSize: c.keyCache,
 		Gateway: gateway.Config{
 			MaxBatch:     maxBatch,
 			MaxWait:      maxWait,
@@ -245,6 +266,7 @@ func runLocal(c localCfg) {
 			PrewarmDepth: 32,
 			Affinity:     c.affinity,
 			TenantQuota:  c.quota,
+			GroupUsers:   c.groupUsers,
 		},
 	})
 	if err != nil {
@@ -254,6 +276,10 @@ func runLocal(c localCfg) {
 
 	if c.tenants > 0 {
 		tenantLoop(w, c)
+		return
+	}
+	if c.users > 1 {
+		userLoop(w, c)
 		return
 	}
 	if closed > 0 {
@@ -400,4 +426,80 @@ func tenantLoop(w *bench.LiveWorld, c localCfg) {
 	gs := w.Gateway.Stats()
 	fmt.Printf("gateway: %d batches, %d overload-rejected, %d tenant-quota-rejected, %d deadline-shed\n",
 		gs.Batches, gs.Rejected, gs.TenantRejected, gs.Shed)
+}
+
+// userLoop drives a Zipf-skewed multi-user mix against the enclave's key
+// cache — closed loop with -closed clients (default 16), each drawing its
+// user per request — and reports latency per user plus the enclave-level
+// key-fetch count, so the key-locality claim (an LRU keeps a user-diverse
+// stream hot) is reproducible from the CLI:
+//
+//	loadgen -local -users 16 -closed 64 -key-cache 1           # the old single pair
+//	loadgen -local -users 16 -closed 64 -group-users           # LRU + grouping
+func userLoop(w *bench.LiveWorld, c localCfg) {
+	closed := c.closed
+	if closed <= 0 {
+		closed = 16
+	}
+	fmt.Printf("loadgen: closed loop, %d clients x %d requests over %d users (Zipf s=%.2f), MaxBatch=%d key-cache=%d group=%v\n",
+		closed, c.requests, c.users, c.userSkew, c.maxBatch, c.keyCache, c.groupUsers)
+	perUser := map[int]*metrics.Latency{}
+	perKind := map[string]int{}
+	fails := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < closed; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(c.seed + int64(cl)))
+			zipf := rand.NewZipf(rng, c.userSkew, 1, uint64(c.users-1))
+			for i := 0; i < c.requests; i++ {
+				u := int(zipf.Uint64())
+				t0 := time.Now()
+				resp, err := w.DoGatewayUser(context.Background(), u, cl*c.requests+i)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					fails++
+				} else {
+					lat := perUser[u]
+					if lat == nil {
+						lat = &metrics.Latency{}
+						perUser[u] = lat
+					}
+					lat.Add(d)
+					perKind[resp.Kind.String()]++
+				}
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := closed * c.requests
+	fmt.Printf("completed %d ok, %d failed in %.2fs (%.0f req/s)\n",
+		total-fails, fails, elapsed.Seconds(), float64(total-fails)/elapsed.Seconds())
+	us := make([]int, 0, len(perUser))
+	for u := range perUser {
+		us = append(us, u)
+	}
+	sort.Ints(us)
+	for _, u := range us {
+		lat := perUser[u]
+		fmt.Printf("  u%-7d %6d req  mean %7.1fms  p50 %7.1fms  p99 %7.1fms\n",
+			u, lat.Count(), float64(lat.Mean())/1e6,
+			float64(lat.Percentile(50))/1e6, float64(lat.Percentile(99))/1e6)
+	}
+	for _, k := range []string{"cold", "warm", "hot"} {
+		if perKind[k] > 0 {
+			fmt.Printf("%-5s %d\n", k+":", perKind[k])
+		}
+	}
+	gs := w.Gateway.Stats()
+	gm := w.Gateway.Metrics()
+	fmt.Printf("gateway: %d batches (mean %.1f); enclave: %d key fetches across %d users\n",
+		gs.Batches, gm.BatchSizes.Mean(), w.KeyFetches(), c.users)
 }

@@ -22,6 +22,7 @@ package main
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -56,7 +57,9 @@ type runItem struct {
 	// Deadline (RFC 3339) fails the request fast with a per-item error when
 	// it has already passed on arrival — the backend-side mirror of the
 	// gateway's deadline shedding, for deployments without a gateway in
-	// front.
+	// front. Items admitted before their deadline carry it into the enclave
+	// request, so HandleBatch also sheds a member whose deadline lapses
+	// mid-batch, while earlier members execute.
 	Deadline string `json:"deadline,omitempty"`
 }
 
@@ -64,28 +67,47 @@ type runItem struct {
 // their envelope deadline.
 const errDeadline = "deadline exceeded"
 
-// expired reports whether the item carries a deadline that has passed.
-// A malformed deadline is treated as absent (err reported separately).
-func (it runItem) expired(now time.Time) (bool, error) {
+// parseDeadline returns the item's parsed deadline (zero when absent) and
+// whether it has already passed — the single place the wire format lives.
+func (it runItem) parseDeadline(now time.Time) (deadline time.Time, expired bool, err error) {
 	if it.Deadline == "" {
-		return false, nil
+		return time.Time{}, false, nil
 	}
 	d, err := time.Parse(time.RFC3339Nano, it.Deadline)
 	if err != nil {
-		return false, fmt.Errorf("deadline: %v", err)
+		return time.Time{}, false, fmt.Errorf("deadline: %v", err)
 	}
-	return !now.Before(d), nil
+	return d, !now.Before(d), nil
 }
 
-// tenantTally counts served requests per tenant for GET /stats.
+// maxTallyKeys bounds each tally map so caller-supplied tenant and user ids
+// cannot grow server state without bound; past it, new keys aggregate under
+// "(other)".
+const maxTallyKeys = 8192
+
+// tenantTally counts served/shed requests per tenant and served requests
+// per user id for GET /stats. The per-user counts are the backend-side view
+// of key locality: many users served by one replica is exactly the mix the
+// enclave's key-pair LRU exists for.
 type tenantTally struct {
 	mu     sync.Mutex
 	served map[string]int
 	shed   map[string]int
+	users  map[string]int
 }
 
 func newTenantTally() *tenantTally {
-	return &tenantTally{served: map[string]int{}, shed: map[string]int{}}
+	return &tenantTally{served: map[string]int{}, shed: map[string]int{}, users: map[string]int{}}
+}
+
+func bump(m map[string]int, key string, n int) {
+	if n == 0 {
+		return
+	}
+	if _, ok := m[key]; !ok && len(m) >= maxTallyKeys {
+		key = "(other)"
+	}
+	m[key] += n
 }
 
 func (t *tenantTally) note(tenant string, served, shed int) {
@@ -93,22 +115,32 @@ func (t *tenantTally) note(tenant string, served, shed int) {
 		tenant = "default"
 	}
 	t.mu.Lock()
-	t.served[tenant] += served
-	t.shed[tenant] += shed
+	bump(t.served, tenant, served)
+	bump(t.shed, tenant, shed)
 	t.mu.Unlock()
 }
 
-func (t *tenantTally) snapshot() (served, shed map[string]int) {
+// noteUser attributes one served request to its enclave-level user id.
+func (t *tenantTally) noteUser(userID string) {
+	t.mu.Lock()
+	bump(t.users, userID, 1)
+	t.mu.Unlock()
+}
+
+func (t *tenantTally) snapshot() (served, shed, users map[string]int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	served, shed = map[string]int{}, map[string]int{}
+	served, shed, users = map[string]int{}, map[string]int{}, map[string]int{}
 	for k, v := range t.served {
 		served[k] = v
 	}
 	for k, v := range t.shed {
 		shed[k] = v
 	}
-	return served, shed
+	for k, v := range t.users {
+		users[k] = v
+	}
+	return served, shed, users
 }
 
 type runRequest struct {
@@ -136,15 +168,19 @@ type runner interface {
 	HandleBatch([]semirt.Request) ([]semirt.BatchResult, error)
 }
 
-func decodeItem(it runItem) (semirt.Request, error) {
+// decodeItem builds the enclave request; deadline is the already-parsed
+// envelope deadline (threaded through so HandleBatch sheds a member whose
+// deadline lapses mid-batch).
+func decodeItem(it runItem, deadline time.Time) (semirt.Request, error) {
 	payload, err := base64.StdEncoding.DecodeString(it.Payload)
 	if err != nil {
 		return semirt.Request{}, fmt.Errorf("payload is not base64")
 	}
 	return semirt.Request{
-		UserID:  secure.ID(it.UserID),
-		ModelID: it.ModelID,
-		Payload: payload,
+		UserID:   secure.ID(it.UserID),
+		ModelID:  it.ModelID,
+		Payload:  payload,
+		Deadline: deadline,
 	}, nil
 }
 
@@ -171,7 +207,7 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 		var live []int // positions in out.Batch the served results map to
 		var shedIdx []int
 		for i, it := range req.Value.Batch {
-			exp, err := it.expired(now)
+			dl, exp, err := it.parseDeadline(now)
 			if err != nil {
 				writeJSON(w, http.StatusBadRequest, runResponse{Error: fmt.Sprintf("batch[%d]: %v", i, err)})
 				return
@@ -180,7 +216,7 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 				shedIdx = append(shedIdx, i)
 				continue
 			}
-			sr, err := decodeItem(it)
+			sr, err := decodeItem(it, dl)
 			if err != nil {
 				writeJSON(w, http.StatusBadRequest, runResponse{Error: fmt.Sprintf("batch[%d]: %v", i, err)})
 				return
@@ -199,7 +235,17 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 			}
 			for j, res := range results {
 				i := live[j]
+				if errors.Is(res.Err, semirt.ErrDeadline) {
+					// Lapsed mid-batch, inside the enclave loop: shed, not
+					// served — same accounting as a pre-enclave expiry.
+					out.Batch[i] = runResponse{Error: errDeadline}
+					tally.note(req.Value.Batch[i].Tenant, 0, 1)
+					continue
+				}
+				// Served = answered by the enclave, per-item errors included,
+				// so tenant_served and user_served stay mutually consistent.
 				tally.note(req.Value.Batch[i].Tenant, 1, 0)
+				tally.noteUser(req.Value.Batch[i].UserID)
 				if res.Err != nil {
 					out.Batch[i] = runResponse{Error: res.Err.Error()}
 					continue
@@ -218,7 +264,7 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 		return
 	}
 	it := req.Value.runItem
-	exp, err := it.expired(now)
+	dl, exp, err := it.parseDeadline(now)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
 		return
@@ -228,7 +274,7 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 		writeJSON(w, http.StatusGatewayTimeout, runResponse{Error: errDeadline})
 		return
 	}
-	sr, err := decodeItem(it)
+	sr, err := decodeItem(it, dl)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, runResponse{Error: err.Error()})
 		return
@@ -239,6 +285,7 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 		return
 	}
 	tally.note(it.Tenant, 1, 0)
+	tally.noteUser(it.UserID)
 	writeJSON(w, http.StatusOK, runResponse{
 		Payload: base64.StdEncoding.EncodeToString(resp.Payload),
 		Kind:    resp.Kind.String(),
@@ -312,11 +359,13 @@ func main() {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := rt.Stats()
-		served, shed := tally.snapshot()
+		served, shed, users := tally.snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"cold": st.Cold, "warm": st.Warm, "hot": st.Hot,
+			"key_fetches":   st.KeyFetches,
 			"loaded_model":  rt.LoadedModel(),
 			"tenant_served": served, "tenant_shed": shed,
+			"user_served": users,
 		})
 	})
 

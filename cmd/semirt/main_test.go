@@ -178,9 +178,14 @@ func TestRunEnvelopeV2Fields(t *testing.T) {
 	if len(f.batches) != 1 || len(f.batches[0]) != 2 {
 		t.Fatalf("runtime saw %d batches (first len %d), want 1 of 2", len(f.batches), len(f.batches[0]))
 	}
-	served, shed := tally.snapshot()
+	served, shed, users := tally.snapshot()
 	if served["acme"] != 1 || served["globex"] != 1 || shed["acme"] != 1 || shed["globex"] != 0 {
 		t.Fatalf("tally served=%v shed=%v", served, shed)
+	}
+	// Per-user served counts attribute the two live items to their enclave
+	// user ids; the shed item is not served and must not appear.
+	if users["alice"] != 1 || users["bob"] != 1 {
+		t.Fatalf("user tally %v", users)
 	}
 
 	// A single request past its deadline is a fast 504, runtime untouched.

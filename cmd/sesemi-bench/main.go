@@ -8,8 +8,10 @@
 //	sesemi-bench -exp gateway -json BENCH_gateway.json
 //	sesemi-bench -exp routing -json BENCH_routing.json
 //	sesemi-bench -exp fairness -json BENCH_fairness.json
+//	sesemi-bench -exp keylocality -json BENCH_keylocality.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
+//	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
 package main
 
 import (
@@ -25,12 +27,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing or fairness: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing or fairness: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness or keylocality: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness or keylocality: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing or -exp fairness"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness or keylocality"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -69,8 +71,19 @@ func main() {
 			}
 			fmt.Printf("fairness snapshot → %s (light p99 vs solo: fifo %.1fx, drr %.1fx; throughput drr/fifo %.2f)\n",
 				*jsonOut, snap.LightP99RatioFIFO, snap.LightP99RatioDRR, snap.ThroughputRatio)
+		case "keylocality":
+			cfg := bench.KeyLocalityBenchConfig{SweepUsers: []int{4, 16}, SweepCaches: []int{1, 4, 64}}
+			if *smoke {
+				cfg = bench.KeyLocalitySmokeConfig()
+			}
+			snap, err := bench.WriteKeyLocalitySnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("keylocality snapshot → %s (single-pair %.1fms mean, lru+group %.1fms, %.2fx; key fetches %.0fx fewer; solo ratio %.2f)\n",
+				*jsonOut, snap.SinglePair.MeanMs, snap.LRUGrouped.MeanMs, snap.MeanSpeedup, snap.KeyFetchReduction, snap.SoloThroughputRatio)
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing or fairness"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness or keylocality"))
 		}
 		return
 	}
@@ -90,6 +103,13 @@ func main() {
 			}
 			fmt.Printf("fairness smoke ok: light p99 solo %.1fms, fifo %.1fms, drr %.1fms (throughput drr/fifo %.2f)\n",
 				snap.LightSolo.LightP99Ms, snap.FIFO.LightP99Ms, snap.DRR.LightP99Ms, snap.ThroughputRatio)
+		case "keylocality":
+			snap, err := bench.RunKeyLocalityBench(bench.KeyLocalitySmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("keylocality smoke ok: single-pair %.1fms mean / %d fetches, lru+group %.1fms / %d fetches (%.2fx)\n",
+				snap.SinglePair.MeanMs, snap.SinglePair.KeyFetches, snap.LRUGrouped.MeanMs, snap.LRUGrouped.KeyFetches, snap.MeanSpeedup)
 		}
 		return
 	}

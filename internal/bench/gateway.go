@@ -45,10 +45,23 @@ type LiveWorld struct {
 	// state when consecutive requests target different models.
 	Models []string
 
+	// reqKeys and userID are user 0's credentials (the single-user surface
+	// every pre-keylocality experiment drives).
 	reqKeys map[string]secure.Key
 	userID  secure.ID
-	shape   []int
-	closers []func()
+	// userIDs and userKeys hold every deployed user principal's identity and
+	// per-model request keys (LiveWorldConfig.Users of them; index 0 is the
+	// legacy single user).
+	userIDs  []secure.ID
+	userKeys []map[string]secure.Key
+	shape    []int
+	closers  []func()
+
+	// rtMu/runtimes track every SeMIRT runtime the cluster instantiated, so
+	// experiments can aggregate enclave-level counters (key fetches) that
+	// never cross the activation wire.
+	rtMu     sync.Mutex
+	runtimes []*semirt.Runtime
 }
 
 // LiveWorldConfig shapes the deployment.
@@ -69,6 +82,22 @@ type LiveWorldConfig struct {
 	// serialized size, making the model-swap penalty (and therefore routing
 	// locality) proportional to a configurable model size.
 	ModelPadBytes int
+	// Users is how many user principals to register and grant on every
+	// model (default 1). Each gets its own request keys, so a user-diverse
+	// stream exercises the enclave's key cache for real: serving a user not
+	// resident in the cache pays a KeyService provisioning round trip.
+	Users int
+	// KeyFetchCost, when positive, charges the modeled key provisioning
+	// latency (cold and warm alike) on the platform's wall clock, making the
+	// key-fetch path cost what the paper measures instead of a bare loopback
+	// round trip. It also unmutes the platform clock, so modeled enclave
+	// launch/attestation sleeps apply to cold paths.
+	KeyFetchCost time.Duration
+	// KeyCacheSize sets semirt.Config.KeyCacheSize (0 = the live default,
+	// 1 = the historical single-pair cache).
+	KeyCacheSize int
+	// DisableKeyCache sets semirt.Config.DisableKeyCache.
+	DisableKeyCache bool
 	// InvokeOverhead is the modeled per-activation platform overhead charged
 	// on the wall clock while a request holds its slot (default 2 ms — the
 	// controller/invoker/action-proxy hop of an OpenWhisk activation, which
@@ -96,7 +125,10 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	if cfg.Models <= 0 {
 		cfg.Models = 1
 	}
-	w := &LiveWorld{Action: "fn-mbnet", Model: "mbnet", reqKeys: map[string]secure.Key{}}
+	if cfg.Users <= 0 {
+		cfg.Users = 1
+	}
+	w := &LiveWorld{Action: "fn-mbnet", Model: "mbnet"}
 	w.Models = append(w.Models, "mbnet")
 	for i := 1; i < cfg.Models; i++ {
 		w.Models = append(w.Models, fmt.Sprintf("m%d", i))
@@ -112,8 +144,13 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	}
 	// Platform sleeps are disabled (Scale 0): modeled TEE latencies are not
 	// the subject here. The cluster clock runs at Scale 1 so InvokeOverhead
-	// is charged for real — it is what the gateway amortizes.
+	// is charged for real — it is what the gateway amortizes. The
+	// keylocality experiment instead charges the modeled key-fetch cost
+	// (KeyFetchCost), which needs the platform clock live.
 	platClock := vclock.Real{Scale: 0}
+	if cfg.KeyFetchCost > 0 {
+		platClock = vclock.Real{Scale: 1}
+	}
 
 	ksKey, err := ca.Provision("ks")
 	if err != nil {
@@ -159,20 +196,41 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	w.Cluster = serverless.NewCluster(ccfg, nodes...)
 	w.closers = append(w.closers, w.Cluster.Close)
 
-	// Principals, model, grants.
+	// Principals, model, grants. User 0 keeps the historical "bench-user"
+	// seed; additional principals (a multi-user serving mix) get their own
+	// long-term keys and per-model request keys.
 	dial := keyservice.TCPDialer(ksAddr)
 	owner := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("bench-owner"))
-	user := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("bench-user"))
-	w.closers = append(w.closers, func() { owner.Close(); user.Close() })
+	w.closers = append(w.closers, func() { owner.Close() })
 	if err := owner.Register(); err != nil {
 		return fail(err)
 	}
-	if err := user.Register(); err != nil {
-		return fail(err)
+	var users []*keyservice.Client
+	for u := 0; u < cfg.Users; u++ {
+		seed := "bench-user"
+		if u > 0 {
+			seed = fmt.Sprintf("bench-user-%d", u)
+		}
+		uc := keyservice.NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed(seed))
+		w.closers = append(w.closers, func() { uc.Close() })
+		if err := uc.Register(); err != nil {
+			return fail(err)
+		}
+		users = append(users, uc)
+		w.userIDs = append(w.userIDs, uc.ID())
+		w.userKeys = append(w.userKeys, map[string]secure.Key{})
 	}
 	scfg, err := semirt.DefaultConfig("tvm", w.Model, cfg.Concurrency)
 	if err != nil {
 		return fail(err)
+	}
+	scfg.KeyCacheSize = cfg.KeyCacheSize
+	scfg.DisableKeyCache = cfg.DisableKeyCache
+	if cfg.KeyFetchCost > 0 {
+		scfg.ModeledStages = &costmodel.StageCosts{
+			KeyFetchCold: cfg.KeyFetchCost,
+			KeyFetchWarm: cfg.KeyFetchCost,
+		}
 	}
 	m, err := model.NewFunctional(w.Model)
 	if err != nil {
@@ -189,11 +247,12 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 		return fail(err)
 	}
 	es := scfg.Manifest().Measure()
-	w.userID = user.ID()
+	w.userID = users[0].ID()
 	// Every model id is the same functional network under its own keys and
 	// blob — what matters to the serving stack is that they are distinct
 	// models: an enclave switching between them refetches keys, re-decrypts
-	// and reloads.
+	// and reloads. Every user principal is granted on every model with its
+	// own request key, so a user flip is a genuinely different key pair.
 	for _, id := range w.Models {
 		km := secure.KeyFromSeed("bench-km-" + id)
 		ct, err := semirt.EncryptModel(km, id, data)
@@ -206,15 +265,22 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 		if err := owner.AddModelKey(id, km); err != nil {
 			return fail(err)
 		}
-		if err := owner.GrantAccess(id, es, user.ID()); err != nil {
-			return fail(err)
+		for u, uc := range users {
+			if err := owner.GrantAccess(id, es, uc.ID()); err != nil {
+				return fail(err)
+			}
+			seed := "bench-kr-" + id
+			if u > 0 {
+				seed = fmt.Sprintf("bench-kr-%s-u%d", id, u)
+			}
+			kr := secure.KeyFromSeed(seed)
+			if err := uc.AddReqKey(id, es, kr); err != nil {
+				return fail(err)
+			}
+			w.userKeys[u][id] = kr
 		}
-		kr := secure.KeyFromSeed("bench-kr-" + id)
-		if err := user.AddReqKey(id, es, kr); err != nil {
-			return fail(err)
-		}
-		w.reqKeys[id] = kr
 	}
+	w.reqKeys = w.userKeys[0]
 
 	err = w.Cluster.Deploy(&serverless.Action{
 		Name:         w.Action,
@@ -231,6 +297,9 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 			if err != nil {
 				return nil, err
 			}
+			w.rtMu.Lock()
+			w.runtimes = append(w.runtimes, rt)
+			w.rtMu.Unlock()
 			return semirt.Instance{RT: rt}, nil
 		},
 	})
@@ -254,9 +323,22 @@ func (w *LiveWorld) Request(seed int) (semirt.Request, error) {
 	return w.RequestFor(w.Model, seed)
 }
 
-// RequestFor builds one encrypted request for a deployed model id.
+// RequestFor builds one encrypted request for a deployed model id (as
+// user 0).
 func (w *LiveWorld) RequestFor(modelID string, seed int) (semirt.Request, error) {
-	kr, ok := w.reqKeys[modelID]
+	return w.RequestForUser(0, modelID, seed)
+}
+
+// Users returns the number of deployed user principals.
+func (w *LiveWorld) Users() int { return len(w.userIDs) }
+
+// RequestForUser builds one encrypted request for a deployed model id under
+// user u's request key.
+func (w *LiveWorld) RequestForUser(u int, modelID string, seed int) (semirt.Request, error) {
+	if u < 0 || u >= len(w.userKeys) {
+		return semirt.Request{}, fmt.Errorf("bench: user %d not deployed (%d users)", u, len(w.userKeys))
+	}
+	kr, ok := w.userKeys[u][modelID]
 	if !ok {
 		return semirt.Request{}, fmt.Errorf("bench: model %q not deployed", modelID)
 	}
@@ -268,7 +350,39 @@ func (w *LiveWorld) RequestFor(modelID string, seed int) (semirt.Request, error)
 	if err != nil {
 		return semirt.Request{}, err
 	}
-	return semirt.Request{UserID: w.userID, ModelID: modelID, Payload: payload}, nil
+	return semirt.Request{UserID: w.userIDs[u], ModelID: modelID, Payload: payload}, nil
+}
+
+// DoGatewayUser sends one request through the gateway as user u, carrying
+// the user-affinity grouping hint so a GroupUsers gateway can form
+// same-user runs.
+func (w *LiveWorld) DoGatewayUser(ctx context.Context, u int, seed int) (semirt.Response, error) {
+	req, err := w.RequestForUser(u, w.Model, seed)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	tk, err := w.Gateway.Submit(ctx, gateway.Request{
+		Action: w.Action,
+		Hints:  gateway.Hints{User: string(req.UserID)},
+		Body:   req,
+	})
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	return tk.Wait(ctx)
+}
+
+// KeyFetches sums KeyService provisioning round trips across every SeMIRT
+// runtime the world's cluster instantiated — the enclave-level counter the
+// key cache exists to shrink.
+func (w *LiveWorld) KeyFetches() uint64 {
+	w.rtMu.Lock()
+	defer w.rtMu.Unlock()
+	var n uint64
+	for _, rt := range w.runtimes {
+		n += rt.Stats().KeyFetches
+	}
+	return n
 }
 
 // DoDirect sends one request straight through Cluster.Invoke (the unbatched

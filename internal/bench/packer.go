@@ -256,51 +256,79 @@ func runAblationInterval(w io.Writer) error {
 	return nil
 }
 
-// AblationKeyCache compares SeMIRT with and without the single-pair key
-// cache under an alternating two-user stream on one model (the design choice
-// of Algorithm 2 lines 6-10).
-func AblationKeyCache() (withCache, withoutCache time.Duration, err error) {
-	mk := func(system sim.System) (time.Duration, error) {
+// KeyCacheAblation is one key-cache build's simulated outcome on the
+// multi-user stream.
+type KeyCacheAblation struct {
+	// Mode names the build: "off" (strong isolation, every request
+	// refetches), "single" (the historical one-pair cache), "lru" (the
+	// bounded LRU, default capacity).
+	Mode string
+	// Mean is the stream's mean end-to-end latency.
+	Mean time.Duration
+	// KeyFetches counts provisioning round trips over the run.
+	KeyFetches int
+}
+
+// AblationKeyCache compares SeMIRT's key-cache builds — disabled, the
+// historical single pair, and the bounded LRU — under an interleaved
+// eight-user stream on one model: the multi-user serving mix where the
+// single-pair design collapses to per-flip refetches (Algorithm 2
+// lines 6-10, widened).
+func AblationKeyCache() ([]KeyCacheAblation, error) {
+	const users = 8
+	mk := func(mode string, cacheSize int, disable bool) (KeyCacheAblation, error) {
 		cfg := sim.Config{
-			System: system, HW: costmodel.SGX2, Nodes: 1,
-			Actions: []sim.ActionSpec{{Name: "fn", Framework: "tvm", Concurrency: 1, DefaultModel: "mbnet"}},
+			System: sim.SeSeMI, HW: costmodel.SGX2, Nodes: 1,
+			Actions:         []sim.ActionSpec{{Name: "fn", Framework: "tvm", Concurrency: 1, DefaultModel: "mbnet"}},
+			KeyCacheSize:    cacheSize,
+			DisableKeyCache: disable,
 		}
 		s, err := sim.New(cfg)
 		if err != nil {
-			return 0, err
+			return KeyCacheAblation{}, err
 		}
-		// One user, steady stream: the cache should make all but the first
-		// request hot.
-		tr := workload.FixedRate(2, 60*time.Second, "mbnet", "alice")
-		res, err := s.Run(tr)
+		// Eight users, one steady stream each, phase-shifted so arrivals
+		// interleave users — the cache-hostile ordering a shared model
+		// replica actually sees.
+		var streams []workload.Trace
+		for u := 0; u < users; u++ {
+			tr := workload.FixedRate(0.25, 60*time.Second, "mbnet", fmt.Sprintf("user-%d", u))
+			for i := range tr {
+				tr[i].At += time.Duration(u) * 500 * time.Millisecond
+			}
+			streams = append(streams, tr)
+		}
+		res, err := s.Run(workload.Merge(streams...))
 		if err != nil {
-			return 0, err
+			return KeyCacheAblation{}, err
 		}
-		return res.All.Mean(), nil
+		return KeyCacheAblation{Mode: mode, Mean: res.All.Mean(), KeyFetches: res.KeyFetches}, nil
 	}
-	// The cache-less configuration behaves like Iso-reuse's key handling
-	// with per-request warm refetch; model it via the isolated hot path.
-	with, err := mk(sim.SeSeMI)
+	off, err := mk("off", 0, true)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	stg, err := costmodel.Stages(costmodel.SGX2, "tvm", "mbnet")
+	single, err := mk("single", 1, false)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	without := with + stg.KeyFetchWarm
-	return with, without, nil
+	lru, err := mk("lru", 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return []KeyCacheAblation{off, single, lru}, nil
 }
 
 func runAblationKeyCache(w io.Writer) error {
-	header(w, "Ablation: SeMIRT key cache (steady single-user stream, TVM-MBNET)")
-	with, without, err := AblationKeyCache()
+	header(w, "Ablation: SeMIRT key cache off / single-pair / LRU (8-user stream, TVM-MBNET)")
+	runs, err := AblationKeyCache()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "with key cache:    %8.0fms mean\n", float64(with.Milliseconds()))
-	fmt.Fprintf(w, "without key cache: %8.0fms mean (every request refetches over the session)\n",
-		float64(without.Milliseconds()))
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-8s %8.0fms mean  %5d key fetches\n",
+			r.Mode, float64(r.Mean.Milliseconds()), r.KeyFetches)
+	}
 	return nil
 }
 

@@ -315,6 +315,53 @@ func ColdStartAmortization(rate float64, keepWarm, coldCost time.Duration, sprea
 	return time.Duration(miss * float64(coldCost) / float64(maxBatch))
 }
 
+// KeyCacheHitRate estimates the steady-state probability that a request
+// finds its principal's key pair resident in an LRU key cache of cacheSize
+// entries, with requests drawn uniformly from `users` distinct principals
+// on one model. Under the independent-reference model, LRU holds the
+// cacheSize most recent principals, each equally likely to be re-requested:
+//
+//	P(hit) = min(1, cacheSize/users)
+//
+// cacheSize >= users means every principal stays resident (the LRU serving
+// path); cacheSize 1 is the historical single-pair cache, whose hit rate
+// collapses as the user population grows — the analytic form of why
+// user-diverse batches refetch keys on almost every flip. Skewed (Zipf)
+// populations hit strictly more often than this uniform bound, so it is the
+// conservative estimate the keylocality experiment compares against.
+// Non-positive users or cacheSize returns 0.
+func KeyCacheHitRate(users, cacheSize int) float64 {
+	if users <= 0 || cacheSize <= 0 {
+		return 0
+	}
+	if cacheSize >= users {
+		return 1
+	}
+	return float64(cacheSize) / float64(users)
+}
+
+// ExpectedKeySwitches estimates the key provisioning round trips one batch
+// costs in steady state: `batch` members drawn uniformly from `users`
+// principals, served grouped into per-principal runs (HandleBatch's tag
+// ordering), against an LRU key cache of cacheSize entries. Each distinct
+// principal in the batch misses with the complement of KeyCacheHitRate:
+//
+//	E[switches] = E[distinct] · (1 − hit)
+//	E[distinct] = users · (1 − (1 − 1/users)^batch)
+//
+// With the cache disabled (cacheSize <= 0) every member provisions: the
+// estimate is the batch size. Non-positive batch or users returns 0.
+func ExpectedKeySwitches(batch, users, cacheSize int) float64 {
+	if batch <= 0 || users <= 0 {
+		return 0
+	}
+	if cacheSize <= 0 {
+		return float64(batch)
+	}
+	distinct := float64(users) * (1 - math.Pow(1-1/float64(users), float64(batch)))
+	return distinct * (1 - KeyCacheHitRate(users, cacheSize))
+}
+
 // JainFairnessIndex returns Jain's fairness index over per-tenant
 // allocations (throughput, served counts, …):
 //

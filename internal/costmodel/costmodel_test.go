@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -477,5 +478,57 @@ func TestDRRExpectedWait(t *testing.T) {
 		if got := DRRExpectedWait(c.queued, c.share, c.rate); got != c.want {
 			t.Errorf("%s: wait = %v, want %v", c.name, got, c.want)
 		}
+	}
+}
+
+func TestKeyCacheHitRate(t *testing.T) {
+	cases := []struct {
+		name             string
+		users, cacheSize int
+		want             float64
+	}{
+		{"cache covers the population", 16, 64, 1},
+		{"cache equals the population", 16, 16, 1},
+		{"quarter coverage", 16, 4, 0.25},
+		{"single pair over 16 users", 16, 1, 1.0 / 16},
+		{"one user always hits", 1, 1, 1},
+		{"no users", 0, 4, 0},
+		{"disabled cache", 16, 0, 0},
+	}
+	for _, c := range cases {
+		if got := KeyCacheHitRate(c.users, c.cacheSize); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: hit rate = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExpectedKeySwitches(t *testing.T) {
+	// Exact endpoints.
+	if got := ExpectedKeySwitches(8, 16, 64); got != 0 {
+		t.Errorf("covering cache: switches = %v, want 0", got)
+	}
+	if got := ExpectedKeySwitches(8, 16, 0); got != 8 {
+		t.Errorf("disabled cache: switches = %v, want batch size", got)
+	}
+	if got := ExpectedKeySwitches(0, 16, 1); got != 0 {
+		t.Errorf("empty batch: switches = %v, want 0", got)
+	}
+	if got := ExpectedKeySwitches(8, 0, 1); got != 0 {
+		t.Errorf("no users: switches = %v, want 0", got)
+	}
+	// Single-pair cache over a diverse batch: E[distinct] · (1 − 1/users).
+	distinct := 16 * (1 - math.Pow(15.0/16, 8))
+	want := distinct * (1 - 1.0/16)
+	if got := ExpectedKeySwitches(8, 16, 1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("single pair: switches = %v, want %v", got, want)
+	}
+	// Monotone: a bigger cache never costs more switches.
+	prev := math.Inf(1)
+	for _, cs := range []int{1, 2, 4, 8, 16, 32} {
+		got := ExpectedKeySwitches(8, 16, cs)
+		if got > prev {
+			t.Errorf("cache %d: switches %v exceed smaller cache's %v", cs, got, prev)
+		}
+		prev = got
 	}
 }

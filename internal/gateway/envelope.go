@@ -25,6 +25,13 @@ type Hints struct {
 	// its model's warm state lives (e.g. after a deploy-time prewarm) skip
 	// the first-dispatch election. Ignored once a home exists.
 	Node string
+	// User is the user-affinity grouping key for Config.GroupUsers: requests
+	// sharing it form same-user runs inside a batch, so the enclave's key
+	// cache switches principals at most once per distinct key in the batch.
+	// Empty falls back to the request's Tenant. Purely advisory — it names a
+	// scheduling equivalence class, and need not be the enclave-level
+	// UserID (though that is the natural choice).
+	User string
 }
 
 // Request is the serving API v2 envelope: what the caller wants run (Body),
@@ -67,6 +74,21 @@ func (r *Request) normalize() {
 	} else {
 		r.Body.ModelID = r.Model
 	}
+	// Thread the envelope deadline into the enclave request, so shedding
+	// continues past dispatch: HandleBatch drops a member whose deadline
+	// lapses mid-batch (ROADMAP "deadline propagation into the backend").
+	if !r.Deadline.IsZero() && r.Body.Deadline.IsZero() {
+		r.Body.Deadline = r.Deadline
+	}
+}
+
+// groupKey is the user-affinity grouping key batches are run-ordered by
+// under Config.GroupUsers.
+func (r *Request) groupKey() string {
+	if r.Hints.User != "" {
+		return r.Hints.User
+	}
+	return r.Tenant
 }
 
 // Ticket is the async handle for one submitted request. Exactly one outcome
@@ -179,6 +201,7 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	p := &pending{
 		req:      req.Body,
 		tenant:   req.Tenant,
+		group:    req.groupKey(),
 		prio:     req.Priority,
 		deadline: req.Deadline,
 		done:     make(chan result, 1),

@@ -45,6 +45,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -156,6 +157,14 @@ type Config struct {
 	// power-of-two-choices when the home saturates. Requires the Invoker to
 	// implement Router; otherwise it is ignored.
 	Affinity bool
+	// GroupUsers enables user-affinity batch grouping: batches form as
+	// same-user runs (grouped by Hints.User, falling back to the Tenant)
+	// instead of arrival interleavings, so the enclave's key cache sees at
+	// most one switch per distinct principal per batch. Grouping is
+	// advisory — it reorders dispatch within a batch and lets a same-group
+	// request jump a bounded distance ahead inside its own tenant's
+	// sub-queue, but never changes cross-tenant shares or batch sizes.
+	GroupUsers bool
 	// RehomeAfter is the number of consecutive off-home dispatches (the
 	// cluster served the batch elsewhere because the home was saturated)
 	// after which a queue picks a new home (default 3).
@@ -199,6 +208,7 @@ type result struct {
 type pending struct {
 	req      semirt.Request
 	tenant   string
+	group    string      // user-affinity grouping key (GroupUsers)
 	prio     int
 	deadline time.Time   // zero: none
 	done     chan result // buffered 1: the dispatcher never blocks on fan-out
@@ -240,6 +250,32 @@ func (tq *tenantQ) pop() *pending {
 	tq.items[0] = nil
 	tq.items = tq.items[1:]
 	return p
+}
+
+// groupScanWindow bounds how far popGroup scans for a same-group item, so
+// user-affinity grouping stays O(window) per pop regardless of queue depth
+// (and a group-mate can jump at most this far ahead of earlier arrivals).
+const groupScanWindow = 256
+
+// popGroup removes and returns the earliest queued item whose group matches,
+// scanning at most groupScanWindow items; when no group-mate is near, the
+// head is popped (starting a new run). Within a group, priority/arrival
+// order is preserved — items are only ever taken in sub-queue order.
+func (tq *tenantQ) popGroup(group string) *pending {
+	n := len(tq.items)
+	if n > groupScanWindow {
+		n = groupScanWindow
+	}
+	for i := 0; i < n; i++ {
+		if tq.items[i].group == group {
+			p := tq.items[i]
+			copy(tq.items[i:], tq.items[i+1:])
+			tq.items[len(tq.items)-1] = nil
+			tq.items = tq.items[:len(tq.items)-1]
+			return p
+		}
+	}
+	return tq.pop()
 }
 
 // queue is one (action, model) batching queue: per-tenant sub-queues
@@ -617,6 +653,12 @@ func (g *Gateway) flushLocked(q *queue, force bool) {
 		if len(batch) == 0 {
 			continue // everything drained was deadline-shed; re-evaluate
 		}
+		if g.cfg.GroupUsers && len(batch) > 1 {
+			// Make group runs contiguous across tenant-visit boundaries too,
+			// so the enclave's key switches are monotone in the batch. Stable:
+			// same-group requests keep their drain (priority/arrival) order.
+			sort.SliceStable(batch, func(i, j int) bool { return batch[i].group < batch[j].group })
+		}
 		q.recomputeOldestLocked()
 		q.inFlight++
 		g.batches.Add(1)
@@ -643,10 +685,13 @@ func (g *Gateway) flushLocked(q *queue, force bool) {
 // while deficit remains, then the round moves on. A tenant interrupted by a
 // full batch (deficit left over) resumes first next flush without a fresh
 // quantum. Requests that cannot meet their deadline are shed here — they
-// consume neither deficit nor a batch slot.
+// consume neither deficit nor a batch slot. Under GroupUsers a tenant's
+// quantum drains same-group runs (popGroup), so the batch's membership —
+// not just its order — favors few distinct principals.
 func (g *Gateway) drainLocked(q *queue, max int) []*pending {
 	now := time.Now()
 	batch := make([]*pending, 0, max)
+	group, inRun := "", false
 	for q.size > 0 && len(batch) < max && len(q.ring) > 0 {
 		if q.next >= len(q.ring) {
 			q.next = 0
@@ -657,13 +702,19 @@ func (g *Gateway) drainLocked(q *queue, max int) []*pending {
 		}
 		q.midVisit = false
 		for tq.deficit >= 1 && len(tq.items) > 0 && len(batch) < max {
-			p := tq.pop()
+			var p *pending
+			if g.cfg.GroupUsers && inRun {
+				p = tq.popGroup(group)
+			} else {
+				p = tq.pop()
+			}
 			q.size--
 			if g.shedLocked(p, now, q.svcEWMA) {
 				continue
 			}
 			tq.deficit--
 			batch = append(batch, p)
+			group, inRun = p.group, true
 		}
 		if len(tq.items) == 0 {
 			q.dropFromRing(q.next)

@@ -1,0 +1,105 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sesemi/internal/secure"
+	"sesemi/internal/semirt"
+)
+
+// submitUsers enqueues one request per user key (in order) and returns the
+// tickets; MaxBatch equal to the count makes the final submit flush them as
+// ONE batch.
+func submitUsers(t *testing.T, g *Gateway, users []string) []*Ticket {
+	t.Helper()
+	tks := make([]*Ticket, len(users))
+	for i, u := range users {
+		tk, err := g.Submit(context.Background(), Request{
+			Action: "fn",
+			Hints:  Hints{User: u},
+			Body:   semirt.Request{UserID: secure.ID(u), ModelID: "m", Payload: []byte{byte(i)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks[i] = tk
+	}
+	return tks
+}
+
+// TestGroupUsersFormsRuns: with GroupUsers on, an interleaved submission
+// order dispatches as same-user runs; responses still land on the right
+// tickets. Without the knob the batch keeps arrival order.
+func TestGroupUsersFormsRuns(t *testing.T) {
+	users := []string{"a", "b", "a", "b", "a", "b"}
+
+	run := func(group bool) []string {
+		inv := newFakeInvoker()
+		g := New(Config{MaxBatch: len(users), MaxWait: time.Hour, GroupUsers: group}, inv)
+		defer g.Close()
+		tks := submitUsers(t, g, users)
+		for i, tk := range tks {
+			resp, err := tk.Wait(context.Background())
+			if err != nil {
+				t.Fatalf("ticket %d: %v", i, err)
+			}
+			// The echo invoker returns each request's own payload: ticket i
+			// must receive request i's bytes regardless of dispatch order.
+			if len(resp.Payload) != 1 || resp.Payload[0] != byte(i) {
+				t.Fatalf("ticket %d got payload %v", i, resp.Payload)
+			}
+		}
+		inv.mu.Lock()
+		defer inv.mu.Unlock()
+		if len(inv.batches["fn"]) != 1 {
+			t.Fatalf("dispatched %d batches, want 1", len(inv.batches["fn"]))
+		}
+		var order []string
+		for _, r := range inv.batches["fn"][0] {
+			order = append(order, string(r.UserID))
+		}
+		return order
+	}
+
+	grouped := run(true)
+	want := []string{"a", "a", "a", "b", "b", "b"}
+	for i := range want {
+		if grouped[i] != want[i] {
+			t.Fatalf("grouped dispatch order %v, want %v", grouped, want)
+		}
+	}
+	fifo := run(false)
+	for i, u := range users {
+		if fifo[i] != u {
+			t.Fatalf("ungrouped dispatch order %v, want arrival order %v", fifo, users)
+		}
+	}
+}
+
+// TestDeadlinePropagatesIntoBody: the envelope deadline is threaded into
+// the enclave request, so the backend can shed members mid-batch.
+func TestDeadlinePropagatesIntoBody(t *testing.T) {
+	inv := newFakeInvoker()
+	g := New(Config{MaxBatch: 1, MaxWait: time.Hour}, inv)
+	defer g.Close()
+	dl := time.Now().Add(time.Hour).Truncate(0)
+	tk, err := g.Submit(context.Background(), Request{
+		Action:   "fn",
+		Deadline: dl,
+		Body:     semirt.Request{UserID: "u", ModelID: "m", Payload: []byte{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	got := inv.batches["fn"][0][0].Deadline
+	if !got.Equal(dl) {
+		t.Fatalf("backend saw deadline %v, want %v", got, dl)
+	}
+}

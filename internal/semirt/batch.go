@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 )
 
 // Batched invocation: the serving gateway (internal/gateway) coalesces
@@ -12,6 +14,12 @@ import (
 // paper's amortization argument applied to the request path: enclave
 // transition, activation overhead and cache checks are paid once per batch
 // instead of once per request.
+
+// ErrDeadline reports that a batch member's envelope deadline lapsed before
+// (or while) the batch was being served, so the member was shed without
+// spending enclave time. DecodeBatchResponse restores it across the wire,
+// so errors.Is works on both sides of a remote activation.
+var ErrDeadline = errors.New("semirt: deadline exceeded")
 
 // BatchResult is the outcome of one request within a batch. Requests fail
 // individually (bad ciphertext, unknown model) without failing the batch.
@@ -22,9 +30,31 @@ type BatchResult struct {
 	Err error
 }
 
+// batchOrder returns the indices of reqs stably reordered by key-cache tag
+// (⟨Moid‖uid‖KeyService⟩): batch members group into per-principal runs, so
+// key switches inside the enclave loop are monotone — at most one cache miss
+// per distinct principal even with a size-1 cache — instead of one per
+// user interleaving. Stable, so same-principal requests keep arrival order.
+func batchOrder(reqs []Request) []int {
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	tags := make([]string, len(reqs))
+	for i, req := range reqs {
+		tags[i] = cacheID(req.ModelID, req.UserID, req.KeyService)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return tags[order[a]] < tags[order[b]] })
+	return order
+}
+
 // HandleBatch serves every request in one enclave entry and returns one
-// result per request, in request order. Only instance-level failures (the
-// enclave cannot be launched or was destroyed) fail the call as a whole.
+// result per request, in request order. Members are served grouped by
+// principal (batchOrder) so a user-diverse batch pays one key-cache miss per
+// distinct principal, not one per flip; a member whose Deadline has lapsed —
+// including mid-batch, while earlier members executed — is shed with
+// ErrDeadline. Only instance-level failures (the enclave cannot be launched
+// or was destroyed) fail the call as a whole.
 func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 	if len(reqs) == 0 {
 		return nil, nil
@@ -43,7 +73,12 @@ func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 		// request (an earlier failing request must not swallow the cold
 		// classification — the launch still happened and was paid for).
 		coldPending := launched
-		for i, req := range reqs {
+		for _, i := range batchOrder(reqs) {
+			req := reqs[i]
+			if !req.Deadline.IsZero() && !time.Now().Before(req.Deadline) {
+				results[i].Err = ErrDeadline
+				continue
+			}
 			out, kind, err := prog.modelInf(req)
 			if err != nil {
 				results[i].Err = err
@@ -154,6 +189,12 @@ func DecodeBatchResponse(raw []byte, want int) ([]BatchResult, error) {
 	out := make([]BatchResult, len(wr.Batch))
 	for i, item := range wr.Batch {
 		if item.Error != "" {
+			// Restore the typed deadline error across the wire so callers can
+			// errors.Is-classify shed members of a remote batch.
+			if item.Error == ErrDeadline.Error() {
+				out[i].Err = ErrDeadline
+				continue
+			}
 			out[i].Err = errors.New(item.Error)
 			continue
 		}

@@ -2,8 +2,10 @@ package semirt
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHandleBatchServesAllInOneEntry(t *testing.T) {
@@ -178,5 +180,91 @@ func TestInstanceAdapterSingleAndBatch(t *testing.T) {
 func TestEncodeBatchEmptyRejected(t *testing.T) {
 	if _, err := EncodeBatch(nil); err == nil {
 		t.Fatal("empty batch encoded")
+	}
+}
+
+// TestHandleBatchGroupsUsersIntoRuns: an interleaved two-user batch against
+// the single-pair cache is served grouped by principal — one key fetch per
+// user, not one per flip — while results stay in request order.
+func TestHandleBatchGroupsUsersIntoRuns(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 2)
+	cfg.KeyCacheSize = 1 // worst case: any flip refetches
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+	alice := w.newUser("batch-alice")
+	bob := w.newUser("batch-bob")
+	w.grantUser(alice, "mbnet", rt.Measurement())
+	w.grantUser(bob, "mbnet", rt.Measurement())
+
+	// a, b, a, b: unsorted this costs 4 fetches on a single-pair cache;
+	// grouped into runs it costs one per principal.
+	owners := []*extraUser{alice, bob, alice, bob}
+	reqs := make([]Request, len(owners))
+	for i, u := range owners {
+		reqs[i] = w.requestAs(u, "mbnet", i)
+	}
+	results, err := rt.HandleBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("member %d: %v", i, res.Err)
+		}
+		// Request order preserved: each response opens under its requester.
+		if _, err := w.decodeAs(owners[i], "mbnet", res.Response); err != nil {
+			t.Fatalf("member %d not sealed for its requester: %v", i, err)
+		}
+	}
+	if st := rt.Stats(); st.KeyFetches != 2 {
+		t.Fatalf("interleaved batch fetched keys %d times, want 2 (one per user run)", st.KeyFetches)
+	}
+}
+
+// TestHandleBatchShedsLapsedDeadlines: a member whose deadline has passed is
+// answered ErrDeadline without enclave work; the classification survives the
+// wire round trip.
+func TestHandleBatchShedsLapsedDeadlines(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 2)
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	fresh := w.requestFor("mbnet", 1)
+	lapsed := w.requestFor("mbnet", 2)
+	lapsed.Deadline = time.Now().Add(-time.Second)
+	live := w.requestFor("mbnet", 3)
+	live.Deadline = time.Now().Add(time.Hour)
+	results, err := rt.HandleBatch([]Request{fresh, lapsed, live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[1].Err, ErrDeadline) {
+		t.Fatalf("lapsed member err %v, want ErrDeadline", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("live members failed: %v %v", results[0].Err, results[2].Err)
+	}
+
+	// The typed error survives EncodeBatchResults → DecodeBatchResponse.
+	raw, err := EncodeBatchResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeBatchResponse(raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(decoded[1].Err, ErrDeadline) {
+		t.Fatalf("wire round trip lost ErrDeadline: %v", decoded[1].Err)
 	}
 }

@@ -4,9 +4,10 @@
 // A SeMIRT instance runs inside one serverless sandbox. Its untrusted half
 // (Runtime) receives requests, manages the thread pool, and performs the
 // OCALLs (loading encrypted models from storage); its trusted half (program)
-// holds the decrypted model, the single cached ⟨uid‖Moid⟩ key pair, the
-// cached RA session to KeyService, and the per-thread model runtimes, and
-// executes EC_MODEL_INF.
+// holds the decrypted model, a bounded LRU of cached ⟨uid‖Moid⟩ key pairs
+// (KeyCacheSize entries, so user-diverse traffic stays hot), the cached RA
+// session to KeyService, and the per-thread model runtimes, and executes
+// EC_MODEL_INF.
 //
 // Invocation paths (Figure 4):
 //
@@ -44,8 +45,15 @@ type Config struct {
 	// EnclaveMemoryBytes is the configured enclave size (Appendix D).
 	EnclaveMemoryBytes int64
 	// DisableKeyCache forces a key refetch on every request (strong
-	// isolation, Table II).
+	// isolation, Table II). It overrides KeyCacheSize to zero entries.
 	DisableKeyCache bool
+	// KeyCacheSize bounds the enclave's LRU of provisioned ⟨Moid‖uid‖
+	// KeyService⟩ key pairs. 0 means DefaultKeyCacheSize; 1 reproduces the
+	// historical single-pair cache (every user flip refetches — the
+	// ablation baseline). Like every field it is part of the enclave
+	// identity: users authorize how many principals' keys may be resident
+	// at once.
+	KeyCacheSize int
 	// Sequential processes requests one at a time and clears the model
 	// runtime after each request (strong isolation, Table II).
 	Sequential bool
@@ -101,7 +109,31 @@ func (c Config) Validate() error {
 	if c.RoundOutputDigits < 0 || c.RoundOutputDigits > 8 {
 		return fmt.Errorf("semirt: round digits %d (want 0-8)", c.RoundOutputDigits)
 	}
+	if c.KeyCacheSize < 0 || c.KeyCacheSize > MaxKeyCacheSize {
+		return fmt.Errorf("semirt: key cache size %d (want 0-%d)", c.KeyCacheSize, MaxKeyCacheSize)
+	}
 	return nil
+}
+
+// DefaultKeyCacheSize is the key-pair LRU capacity when KeyCacheSize is 0 —
+// sized for the many-users-per-replica serving mix, while keeping resident
+// key material small (a pair is two 32-byte keys).
+const DefaultKeyCacheSize = 64
+
+// MaxKeyCacheSize bounds KeyCacheSize so a configuration cannot pin
+// unbounded key material in enclave memory.
+const MaxKeyCacheSize = 65536
+
+// EffectiveKeyCacheSize resolves the configured key-cache capacity:
+// 0 entries under DisableKeyCache, DefaultKeyCacheSize when unset.
+func (c Config) EffectiveKeyCacheSize() int {
+	if c.DisableKeyCache {
+		return 0
+	}
+	if c.KeyCacheSize == 0 {
+		return DefaultKeyCacheSize
+	}
+	return c.KeyCacheSize
 }
 
 // Manifest derives the enclave manifest — and therefore the measurement ES
@@ -113,6 +145,7 @@ func (c Config) Manifest() enclave.Manifest {
 			"framework="+c.Framework,
 			fmt.Sprintf("concurrency=%d", c.Concurrency),
 			fmt.Sprintf("keycache=%t", !c.DisableKeyCache),
+			fmt.Sprintf("keycachesize=%d", c.EffectiveKeyCacheSize()),
 			fmt.Sprintf("sequential=%t", c.Sequential),
 			"fixedmodel="+c.FixedModel,
 			fmt.Sprintf("round=%d", c.RoundOutputDigits),

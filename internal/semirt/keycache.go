@@ -1,0 +1,194 @@
+package semirt
+
+import (
+	"sync"
+
+	"sesemi/internal/secure"
+)
+
+// keyCache is the enclave's bounded LRU of provisioned key pairs, keyed by
+// the ⟨Moid‖uid‖KeyService⟩ tag (cacheID). It replaces the historical
+// single-pair cache: a user flip inside a user-diverse batch no longer takes
+// a global write lock and refetches over the KeyService session — it reads
+// its own entry on a per-shard lock, and only genuinely new principals
+// provision.
+//
+// Design:
+//
+//   - Sharded: tags hash onto up to 8 shards, each with its own mutex, so
+//     concurrent TCS slots serving different users never contend on one
+//     lock. The capacity is split across shards — but a shard never holds
+//     fewer than minShardCap entries (small caches use fewer shards, down
+//     to one), so the cache stays effectively associative: colliding tags
+//     only evict each other when the shard's own working set exceeds its
+//     share. Capacity 1 is a single shard and reproduces the pre-LRU
+//     single-pair semantics exactly.
+//   - Singleflight misses: N batch members (or TCS slots) missing on the
+//     same tag trigger ONE KeyService round trip; the rest wait for the
+//     leader's result. Errors are not cached — every waiter of a failed
+//     fetch sees the error, and the next request retries.
+//   - Copy-out reads: get returns key values, not pointers, so an entry
+//     evicted mid-request never invalidates the keys a request is already
+//     executing with.
+type keyCache struct {
+	shards []keyShard
+}
+
+// keyShard is one lock's worth of the cache: a tag → entry map plus an MRU →
+// LRU order slice. Shard capacities are small (≤ the configured cache size),
+// so the order slice's linear touch is noise next to a key fetch.
+type keyShard struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]keyPair
+	order    []string // tags, most recently used first
+	inflight map[string]*keyFetch
+}
+
+// keyPair is one resident entry.
+type keyPair struct {
+	km, kr secure.Key
+}
+
+// keyFetch is one in-flight provision shared by every concurrent miss on
+// the same tag.
+type keyFetch struct {
+	done   chan struct{}
+	km, kr secure.Key
+	err    error
+}
+
+// maxKeyShards bounds shard fan-out; beyond 8 ways the shard locks are no
+// longer the bottleneck (the TCS count tops out at 8).
+const maxKeyShards = 8
+
+// minShardCap is the smallest per-shard capacity: splitting a small cache
+// into 1-entry shards would make it direct-mapped (two colliding tags evict
+// each other forever even with total capacity to spare), so small caches
+// use fewer, deeper shards instead.
+const minShardCap = 8
+
+// newKeyCache builds a cache holding up to size pairs. size < 1 is treated
+// as 1.
+func newKeyCache(size int) *keyCache {
+	if size < 1 {
+		size = 1
+	}
+	n := (size + minShardCap - 1) / minShardCap
+	if n > maxKeyShards {
+		n = maxKeyShards
+	}
+	c := &keyCache{shards: make([]keyShard, n)}
+	base, extra := size/n, size%n
+	for i := range c.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = keyShard{
+			cap:      cap,
+			entries:  map[string]keyPair{},
+			inflight: map[string]*keyFetch{},
+		}
+	}
+	return c
+}
+
+// shard maps a tag to its shard (FNV-1a).
+func (c *keyCache) shard(tag string) *keyShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(tag); i++ {
+		h ^= uint32(tag[i])
+		h *= 16777619
+	}
+	return &c.shards[h%uint32(len(c.shards))]
+}
+
+// get returns the tag's key pair, fetching it with fetch on a miss.
+// fetched reports whether THIS call performed the fetch (singleflight
+// waiters report false — they did no provisioning work, mirroring the
+// historical classification where a request that found the keys installed
+// by a concurrent switch counted as hot).
+func (c *keyCache) get(tag string, fetch func() (km, kr secure.Key, err error)) (km, kr secure.Key, fetched bool, err error) {
+	sh := c.shard(tag)
+	sh.mu.Lock()
+	if e, ok := sh.entries[tag]; ok {
+		sh.touch(tag)
+		sh.mu.Unlock()
+		return e.km, e.kr, false, nil
+	}
+	if fl := sh.inflight[tag]; fl != nil {
+		sh.mu.Unlock()
+		<-fl.done
+		return fl.km, fl.kr, false, fl.err
+	}
+	fl := &keyFetch{done: make(chan struct{})}
+	sh.inflight[tag] = fl
+	sh.mu.Unlock()
+
+	fl.km, fl.kr, fl.err = fetch()
+
+	sh.mu.Lock()
+	delete(sh.inflight, tag)
+	if fl.err == nil {
+		sh.insert(tag, keyPair{km: fl.km, kr: fl.kr})
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fl.km, fl.kr, fl.err == nil, fl.err
+}
+
+// touch moves tag to the order front. Caller holds sh.mu.
+func (sh *keyShard) touch(tag string) {
+	for i, t := range sh.order {
+		if t == tag {
+			copy(sh.order[1:i+1], sh.order[:i])
+			sh.order[0] = tag
+			return
+		}
+	}
+}
+
+// insert adds (or refreshes) a resident entry, evicting the least recently
+// used beyond capacity. Caller holds sh.mu.
+func (sh *keyShard) insert(tag string, e keyPair) {
+	if _, ok := sh.entries[tag]; ok {
+		sh.entries[tag] = e
+		sh.touch(tag)
+		return
+	}
+	sh.entries[tag] = e
+	sh.order = append(sh.order, "")
+	copy(sh.order[1:], sh.order)
+	sh.order[0] = tag
+	for len(sh.order) > sh.cap {
+		victim := sh.order[len(sh.order)-1]
+		sh.order = sh.order[:len(sh.order)-1]
+		delete(sh.entries, victim)
+	}
+}
+
+// resident reports whether tag currently holds a cached pair (tests and
+// stats).
+func (c *keyCache) resident(tag string) bool {
+	sh := c.shard(tag)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[tag]
+	return ok
+}
+
+// len returns the resident entry count across shards.
+func (c *keyCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+package semirt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sesemi/internal/secure"
+)
+
+func pairFor(seed string) (secure.Key, secure.Key) {
+	return secure.KeyFromSeed("km-" + seed), secure.KeyFromSeed("kr-" + seed)
+}
+
+// TestKeyShardLRUEvictionOrder pins the shard-level LRU discipline: a touch
+// protects an entry, inserts beyond capacity evict the least recently used.
+func TestKeyShardLRUEvictionOrder(t *testing.T) {
+	sh := &keyShard{cap: 2, entries: map[string]keyPair{}, inflight: map[string]*keyFetch{}}
+	kmA, krA := pairFor("a")
+	sh.insert("a", keyPair{km: kmA, kr: krA})
+	sh.insert("b", keyPair{})
+	sh.touch("a") // a is now most recent; b is the LRU victim
+	sh.insert("c", keyPair{})
+	if _, ok := sh.entries["b"]; ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := sh.entries["a"]; !ok {
+		t.Fatal("touched entry a was evicted")
+	}
+	if _, ok := sh.entries["c"]; !ok {
+		t.Fatal("fresh entry c missing")
+	}
+	// Re-inserting a resident tag refreshes it without growing the shard.
+	sh.insert("c", keyPair{km: kmA})
+	if len(sh.entries) != 2 || len(sh.order) != 2 {
+		t.Fatalf("entries %d order %d, want 2", len(sh.entries), len(sh.order))
+	}
+}
+
+// TestKeyCacheBounded pins the cache-level capacity bound across shards.
+func TestKeyCacheBounded(t *testing.T) {
+	c := newKeyCache(8)
+	for i := 0; i < 100; i++ {
+		tag := fmt.Sprintf("tag-%d", i)
+		_, _, _, err := c.get(tag, func() (secure.Key, secure.Key, error) {
+			km, kr := pairFor(tag)
+			return km, kr, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.len(); n > 8 {
+		t.Fatalf("cache holds %d entries, capacity 8", n)
+	}
+}
+
+// TestKeyCacheSingleflight: N concurrent misses on one tag perform exactly
+// one fetch; exactly one caller reports fetched (the hot/warm attribution).
+func TestKeyCacheSingleflight(t *testing.T) {
+	c := newKeyCache(4)
+	var calls atomic.Int32
+	var fetchedCount atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			km, kr, fetched, err := c.get("shared", func() (secure.Key, secure.Key, error) {
+				calls.Add(1)
+				<-gate // hold the fetch open until every waiter has queued
+				a, b := pairFor("shared")
+				return a, b, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fetched {
+				fetchedCount.Add(1)
+			}
+			wantKM, wantKR := pairFor("shared")
+			if km != wantKM || kr != wantKR {
+				t.Error("waiter observed wrong keys")
+			}
+		}()
+	}
+	// Let the leader start and the waiters pile onto its inflight entry,
+	// then release. (Timing-lenient: even if some goroutines arrive after
+	// the insert, they hit the resident entry — never a second fetch.)
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d fetches for one tag, want 1 (singleflight)", got)
+	}
+	if got := fetchedCount.Load(); got != 1 {
+		t.Fatalf("%d callers reported fetched, want exactly the leader", got)
+	}
+}
+
+// TestKeyCacheFetchErrorNotCached: a failed fetch is delivered to its
+// waiters but not cached — the next get retries.
+func TestKeyCacheFetchErrorNotCached(t *testing.T) {
+	c := newKeyCache(4)
+	boom := errors.New("boom")
+	_, _, _, err := c.get("t", func() (secure.Key, secure.Key, error) {
+		return secure.Key{}, secure.Key{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if c.resident("t") {
+		t.Fatal("error cached")
+	}
+	km, kr, fetched, err := c.get("t", func() (secure.Key, secure.Key, error) {
+		a, b := pairFor("t")
+		return a, b, nil
+	})
+	wantKM, wantKR := pairFor("t")
+	if err != nil || !fetched || km != wantKM || kr != wantKR {
+		t.Fatalf("retry: fetched=%v err=%v", fetched, err)
+	}
+}
+
+// TestKeyCacheSizeOneEquivalence: KeyCacheSize 1 reproduces the historical
+// single-pair behavior — two alternating users refetch on every flip (warm,
+// never hot) — while the default LRU serves both hot after one fetch each.
+func TestKeyCacheSizeOneEquivalence(t *testing.T) {
+	w := newWorld(t)
+	run := func(cacheSize int) (stats Stats, kinds []InvocationKind) {
+		cfg := mustConfig(t, "tvm", "mbnet", 2)
+		cfg.KeyCacheSize = cacheSize
+		rt, err := New(cfg, w.deps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Stop()
+		w.deployModel(fmt.Sprintf("mbnet-c%d", cacheSize), rt.Measurement())
+		modelID := fmt.Sprintf("mbnet-c%d", cacheSize)
+		alice := w.newUser(fmt.Sprintf("alice-%d", cacheSize))
+		bob := w.newUser(fmt.Sprintf("bob-%d", cacheSize))
+		w.grantUser(alice, modelID, rt.Measurement())
+		w.grantUser(bob, modelID, rt.Measurement())
+		for i := 0; i < 6; i++ {
+			u := alice
+			if i%2 == 1 {
+				u = bob
+			}
+			resp, err := rt.Handle(w.requestAs(u, modelID, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kinds = append(kinds, resp.Kind)
+		}
+		return rt.Stats(), kinds
+	}
+
+	stats1, kinds1 := run(1)
+	// Single pair: every request provisions (6 fetches), so none after the
+	// model load is ever hot.
+	if stats1.KeyFetches != 6 {
+		t.Fatalf("single-pair fetched %d times, want 6 (one per flip)", stats1.KeyFetches)
+	}
+	for i, k := range kinds1 {
+		if k == Hot {
+			t.Fatalf("single-pair request %d classified hot", i)
+		}
+	}
+
+	statsN, kindsN := run(0) // default LRU
+	// LRU: one fetch per principal, everything else hot.
+	if statsN.KeyFetches != 2 {
+		t.Fatalf("LRU fetched %d times, want 2 (one per user)", statsN.KeyFetches)
+	}
+	for i, k := range kindsN[2:] {
+		if k != Hot {
+			t.Fatalf("LRU request %d classified %v, want hot", i+2, k)
+		}
+	}
+}
+
+// TestConcurrentMultiUserBatchesKeyIsolation is the -race property test:
+// concurrent user-diverse batches against a cache smaller than the user
+// population (maximum eviction churn) must always seal every response under
+// its own requester's keys — a decrypt under the right key that fails, or
+// succeeds under another user's key, is a key-isolation break.
+func TestConcurrentMultiUserBatchesKeyIsolation(t *testing.T) {
+	w := newWorld(t)
+	cfg := mustConfig(t, "tvm", "mbnet", 4)
+	cfg.KeyCacheSize = 2 // smaller than the population: constant eviction
+	rt, err := New(cfg, w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	const nUsers = 5
+	users := make([]*extraUser, nUsers)
+	for i := range users {
+		users[i] = w.newUser(fmt.Sprintf("race-user-%d", i))
+		w.grantUser(users[i], "mbnet", rt.Measurement())
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				// A user-diverse batch: every member a different principal,
+				// phase-shifted per goroutine so evictions interleave.
+				var reqs []Request
+				var owners []*extraUser
+				for m := 0; m < 4; m++ {
+					u := users[(g+round+m)%nUsers]
+					owners = append(owners, u)
+					reqs = append(reqs, w.requestAs(u, "mbnet", g*100+round*10+m))
+				}
+				results, err := rt.HandleBatch(reqs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, res := range results {
+					if res.Err != nil {
+						errs <- fmt.Errorf("member %d: %w", i, res.Err)
+						continue
+					}
+					if _, err := w.decodeAs(owners[i], "mbnet", res.Response); err != nil {
+						errs <- fmt.Errorf("member %d sealed under wrong keys: %w", i, err)
+					}
+					// Cross-check: another principal's key must NOT open it.
+					other := owners[(i+1)%len(owners)]
+					if other != owners[i] {
+						if _, err := w.decodeAs(other, "mbnet", res.Response); err == nil {
+							errs <- fmt.Errorf("member %d readable by another user", i)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sesemi/internal/enclave"
 	"sesemi/internal/inference"
@@ -20,19 +21,31 @@ type program struct {
 	deps Deps
 	enc  *enclave.Enclave
 
-	// swapMu guards the global model/key cache: requests that match the
-	// cache run under RLock (concurrently); switching the model or the key
-	// pair takes the write lock, i.e. happens "when not in use" (§IV-B).
-	swapMu   sync.RWMutex
-	cacheKey string // Moid ␟ uid of the single cached key pair
-	km, kr   secure.Key
-	modelID  string
-	loaded   inference.LoadedModel
+	// swapMu guards the loaded model: requests whose model is loaded run
+	// under RLock (concurrently); switching the model takes the write lock,
+	// i.e. happens "when not in use" (§IV-B). Keys are NOT under this lock
+	// anymore — they live in the bounded LRU below and are copied out per
+	// request, so a user flip never stalls the other TCS slots.
+	swapMu  sync.RWMutex
+	modelID string
+	loaded  inference.LoadedModel
+
+	// keys is the bounded LRU of provisioned ⟨Moid‖uid‖KeyService⟩ key
+	// pairs (Config.KeyCacheSize entries; nil when DisableKeyCache). Misses
+	// provision under a per-tag singleflight, so N concurrent requests for
+	// one new principal cost one KeyService round trip.
+	keys *keyCache
+
+	// fetches counts KeyService Provision calls; wired to the runtime's
+	// counter so Stats can report the key-fetch volume a cache saves.
+	fetches *atomic.Uint64
 
 	// sessMu guards the cached RA-TLS sessions, one per KeyService address
 	// ("" is the deployment default). Caching per address lets one enclave
 	// serve users homed on different KeyServices (§IV-D) while still
-	// amortizing mutual attestation.
+	// amortizing mutual attestation. The mutex covers session lookup and
+	// establishment only; provisioning round trips run outside it (the
+	// Session serializes its own wire protocol).
 	sessMu   sync.Mutex
 	sessions map[string]*keyservice.Session
 
@@ -56,7 +69,11 @@ type invocationDetail struct {
 }
 
 func newProgram(cfg Config, fw inference.Framework, deps Deps) *program {
-	p := &program{cfg: cfg, fw: fw, deps: deps, sessions: map[string]*keyservice.Session{}}
+	p := &program{cfg: cfg, fw: fw, deps: deps, sessions: map[string]*keyservice.Session{},
+		fetches: &atomic.Uint64{}}
+	if size := cfg.EffectiveKeyCacheSize(); size > 0 {
+		p.keys = newKeyCache(size)
+	}
 	p.slots = make(chan *rtSlot, cfg.Concurrency)
 	for i := 0; i < cfg.Concurrency; i++ {
 		p.slots <- &rtSlot{}
@@ -98,34 +115,69 @@ func (p *program) modelInf(req Request) ([]byte, invocationDetail, error) {
 		defer p.seqMu.Unlock()
 	}
 
-	want := cacheID(req.ModelID, req.UserID, req.KeyService)
-	// Acquire the cache in read mode, switching under the write lock if the
-	// request does not match the cached key pair or model (lines 6-15).
-	// With the key cache disabled, every request provisions afresh before
-	// proceeding.
-	switched := false
+	// Key provisioning (lines 6-8): resolve the request's key pair into
+	// request-local copies — from the LRU (per-shard read path, singleflight
+	// misses), or straight from the KeyService when the cache is disabled.
+	// An entry evicted after this point cannot affect the request: it
+	// executes with its own copies.
+	km, kr, err := p.obtainKeys(req, &detail)
+	if err != nil {
+		return nil, detail, err
+	}
+
+	// Acquire the loaded model in read mode, switching under the write lock
+	// when the request's model is not the resident one (lines 11-13).
 	for {
 		p.swapMu.RLock()
-		if p.matchesLocked(want) && (!p.cfg.DisableKeyCache || switched) {
+		if p.modelID == req.ModelID && p.loaded != nil {
 			break
 		}
 		p.swapMu.RUnlock()
-		if err := p.switchTo(req.ModelID, req.UserID, req.KeyService, want, &detail); err != nil {
+		if err := p.switchModel(req.ModelID, km, &detail); err != nil {
 			return nil, detail, err
 		}
-		switched = true
 	}
-	sealed, err := p.execLocked(req)
+	sealed, err := p.execLocked(req, kr)
 	p.swapMu.RUnlock()
-	if p.cfg.DisableKeyCache {
-		p.clearKeyCache()
-	}
 	return sealed, detail, err
 }
 
+// obtainKeys resolves (K_M, K_R) for the request. detail.fetchedKeys is set
+// only when this request performed a KeyService round trip — singleflight
+// waiters and cache hits report false, preserving the historical hot/warm
+// classification.
+func (p *program) obtainKeys(req Request, detail *invocationDetail) (secure.Key, secure.Key, error) {
+	if p.keys == nil {
+		// Strong isolation: provision afresh into request-local keys. The
+		// shared state is never touched, so two concurrent users cannot
+		// thrash each other (the pre-LRU code ping-ponged a shared pair
+		// under a retry loop here).
+		km, kr, err := p.provision(req.UserID, req.ModelID, req.KeyService)
+		if err != nil {
+			return secure.Key{}, secure.Key{}, err
+		}
+		detail.fetchedKeys = true
+		p.fetches.Add(1)
+		return km, kr, nil
+	}
+	tag := cacheID(req.ModelID, req.UserID, req.KeyService)
+	km, kr, fetched, err := p.keys.get(tag, func() (secure.Key, secure.Key, error) {
+		return p.provision(req.UserID, req.ModelID, req.KeyService)
+	})
+	if err != nil {
+		return secure.Key{}, secure.Key{}, err
+	}
+	if fetched {
+		detail.fetchedKeys = true
+		p.fetches.Add(1)
+	}
+	return km, kr, nil
+}
+
 // execLocked runs the execution stages of EC_MODEL_INF with swapMu
-// read-held, so the model and keys cannot be swapped underneath it.
-func (p *program) execLocked(req Request) ([]byte, error) {
+// read-held, so the model cannot be swapped underneath it. kr is the
+// request's own key copy.
+func (p *program) execLocked(req Request, kr secure.Key) ([]byte, error) {
 	// Thread-local runtime (lines 14-15).
 	slot := <-p.slots
 	defer func() { p.slots <- slot }()
@@ -142,7 +194,7 @@ func (p *program) execLocked(req Request) ([]byte, error) {
 	}
 
 	// Request decryption (line 16).
-	plain, err := secure.Open(p.kr, secure.PurposeRequest, req.ModelID, req.Payload)
+	plain, err := secure.Open(kr, secure.PurposeRequest, req.ModelID, req.Payload)
 	if err != nil {
 		return nil, fmt.Errorf("semirt: request decrypt: %w", err)
 	}
@@ -169,7 +221,7 @@ func (p *program) execLocked(req Request) ([]byte, error) {
 	if p.cfg.ModeledStages != nil {
 		p.enc.Clock().Sleep(p.cfg.ModeledStages.RequestCrypto)
 	}
-	sealed, err := secure.Seal(p.kr, secure.PurposeResponse, req.ModelID, out)
+	sealed, err := secure.Seal(kr, secure.PurposeResponse, req.ModelID, out)
 	if err != nil {
 		return nil, err
 	}
@@ -182,70 +234,35 @@ func (p *program) execLocked(req Request) ([]byte, error) {
 	return sealed, nil
 }
 
-// switchTo takes the write lock and installs keys and model for the target
-// request (Algorithm 2 lines 6-13). On return the cache may match (the
-// caller re-checks under RLock).
-func (p *program) switchTo(modelID string, uid secure.ID, ksAddr, want string, detail *invocationDetail) error {
+// switchModel takes the write lock and installs the target model (Algorithm
+// 2 lines 11-13) using the request's model key. On return the model may
+// match (the caller re-checks under RLock).
+func (p *program) switchModel(modelID string, km secure.Key, detail *invocationDetail) error {
 	p.swapMu.Lock()
 	defer p.swapMu.Unlock()
-	if !p.cfg.DisableKeyCache && p.matchesLocked(want) {
+	if p.modelID == modelID && p.loaded != nil {
 		return nil
 	}
-	// Key provisioning (lines 6-8).
-	if p.cacheKey != want || p.cfg.DisableKeyCache {
-		km, kr, err := p.provision(uid, modelID, ksAddr)
-		if err != nil {
-			return err
-		}
-		p.km, p.kr = km, kr
-		p.cacheKey = want
-		detail.fetchedKeys = true
+	if err := p.loadModel(modelID, km); err != nil {
+		// A failed load leaves no model installed.
+		p.modelID = ""
+		p.loaded = nil
+		return err
 	}
-	// Model load and decrypt (lines 11-13), replacing the current model.
-	if p.modelID != modelID || p.loaded == nil {
-		if err := p.loadModel(modelID); err != nil {
-			// A failed load leaves no model installed.
-			p.modelID = ""
-			p.loaded = nil
-			return err
-		}
-		detail.loadedModel = true
-	}
+	detail.loadedModel = true
 	return nil
-}
-
-func (p *program) matchesLocked(want string) bool {
-	return p.cacheKey == want && p.modelID != "" && p.loaded != nil
-}
-
-func (p *program) clearKeyCache() {
-	p.swapMu.Lock()
-	p.cacheKey = ""
-	p.km, p.kr = secure.Key{}, secure.Key{}
-	p.swapMu.Unlock()
 }
 
 // provision retrieves (K_M, K_R) from the KeyService at ksAddr ("" = the
 // deployment default) over a cached mutually attested session, establishing
-// it on first use (the expensive cold key fetch of Figures 8 and 17).
+// it on first use (the expensive cold key fetch of Figures 8 and 17). Only
+// session lookup/establishment holds sessMu; the provisioning round trip
+// itself runs outside it, so misses for different principals overlap (the
+// Session serializes its own wire exchanges).
 func (p *program) provision(uid secure.ID, modelID, ksAddr string) (secure.Key, secure.Key, error) {
-	p.sessMu.Lock()
-	defer p.sessMu.Unlock()
-	fresh := false
-	sess := p.sessions[ksAddr]
-	if sess == nil {
-		dial := p.deps.KSDialer
-		if ksAddr != "" {
-			dial = keyservice.TCPDialer(ksAddr)
-		}
-		ec := keyservice.NewEnclaveClient(dial, p.deps.CAPublicKey, p.deps.ExpectEK, p.enc)
-		var err error
-		sess, err = ec.Connect()
-		if err != nil {
-			return secure.Key{}, secure.Key{}, fmt.Errorf("semirt: keyservice attestation: %w", err)
-		}
-		p.sessions[ksAddr] = sess
-		fresh = true
+	sess, fresh, err := p.session(ksAddr)
+	if err != nil {
+		return secure.Key{}, secure.Key{}, err
 	}
 	if p.cfg.ModeledStages != nil {
 		if fresh {
@@ -257,17 +274,43 @@ func (p *program) provision(uid secure.ID, modelID, ksAddr string) (secure.Key, 
 	km, kr, err := sess.Provision(uid, modelID)
 	if err != nil {
 		// Drop a broken session so the next request re-attests.
+		p.sessMu.Lock()
+		if p.sessions[ksAddr] == sess {
+			delete(p.sessions, ksAddr)
+		}
+		p.sessMu.Unlock()
 		sess.Close()
-		delete(p.sessions, ksAddr)
 		return secure.Key{}, secure.Key{}, err
 	}
 	return km, kr, nil
 }
 
+// session returns the cached RA-TLS session for ksAddr, attesting a fresh
+// one on first use. fresh reports whether this call performed the mutual
+// attestation (the cold portion of the key-fetch cost).
+func (p *program) session(ksAddr string) (*keyservice.Session, bool, error) {
+	p.sessMu.Lock()
+	defer p.sessMu.Unlock()
+	if sess := p.sessions[ksAddr]; sess != nil {
+		return sess, false, nil
+	}
+	dial := p.deps.KSDialer
+	if ksAddr != "" {
+		dial = keyservice.TCPDialer(ksAddr)
+	}
+	ec := keyservice.NewEnclaveClient(dial, p.deps.CAPublicKey, p.deps.ExpectEK, p.enc)
+	sess, err := ec.Connect()
+	if err != nil {
+		return nil, false, fmt.Errorf("semirt: keyservice attestation: %w", err)
+	}
+	p.sessions[ksAddr] = sess
+	return sess, true, nil
+}
+
 // loadModel performs OC_LOAD_MODEL (fetch ciphertext into untrusted memory)
 // followed by in-enclave decryption and MODEL_LOAD. Called with swapMu
-// write-held.
-func (p *program) loadModel(modelID string) error {
+// write-held; km is the requesting principal's model key.
+func (p *program) loadModel(modelID string, km secure.Key) error {
 	if p.cfg.ModeledStages != nil {
 		p.enc.Clock().Sleep(p.cfg.ModeledStages.ModelLoad)
 	}
@@ -281,7 +324,7 @@ func (p *program) loadModel(modelID string) error {
 		return fmt.Errorf("semirt: model %q needs %d bytes, enclave configured with %d",
 			modelID, need, p.cfg.EnclaveMemoryBytes)
 	}
-	plain, err := secure.Open(p.km, secure.PurposeModel, modelID, ciphertext)
+	plain, err := secure.Open(km, secure.PurposeModel, modelID, ciphertext)
 	if err != nil {
 		return fmt.Errorf("semirt: model decrypt: %w", err)
 	}

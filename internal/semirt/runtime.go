@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sesemi/internal/attest"
 	"sesemi/internal/enclave"
@@ -52,6 +53,13 @@ type Request struct {
 	// corresponding KeyService in their requests". All KeyServices run the
 	// same code and are verified against the same identity E_K.
 	KeyService string `json:"key_service,omitempty"`
+	// Deadline, when non-zero, is the instant the answer stops being useful.
+	// HandleBatch sheds a member whose deadline has lapsed — including
+	// mid-batch, while earlier members executed — with ErrDeadline instead
+	// of spending enclave time on a response nobody will read. The gateway
+	// threads its envelope deadline through here, so shedding continues past
+	// dispatch into the backend.
+	Deadline time.Time `json:"deadline"`
 }
 
 // Response is the encrypted inference result.
@@ -82,6 +90,11 @@ func ModelBlobName(modelID string) string { return "models/" + modelID + ".enc" 
 // Stats counts served invocations by path.
 type Stats struct {
 	Cold, Warm, Hot uint64
+	// KeyFetches counts KeyService Provision round trips — the cold-path
+	// volume the key cache amortizes away (with the LRU warm, a steady
+	// multi-user stream fetches once per principal; with the single-pair
+	// cache it fetched once per user flip).
+	KeyFetches uint64
 }
 
 // Runtime is one SeMIRT serverless instance (the sandbox contents in
@@ -99,6 +112,9 @@ type Runtime struct {
 	stopped bool
 
 	cold, warm, hot atomic.Uint64
+	// keyFetches outlives the program (Stop nils it), so the counter keeps
+	// reporting after shutdown.
+	keyFetches atomic.Uint64
 }
 
 // New creates an instance; the enclave is not launched until Start or the
@@ -147,6 +163,7 @@ func (r *Runtime) ensureEnclave() (bool, error) {
 		return false, nil
 	}
 	prog := newProgram(r.cfg, r.fw, r.deps)
+	prog.fetches = &r.keyFetches
 	enc, err := r.deps.Platform.Launch(r.cfg.Manifest(), prog)
 	if err != nil {
 		return false, fmt.Errorf("semirt: launch: %w", err)
@@ -205,7 +222,8 @@ func (r *Runtime) Handle(req Request) (Response, error) {
 
 // Stats returns the invocation counters.
 func (r *Runtime) Stats() Stats {
-	return Stats{Cold: r.cold.Load(), Warm: r.warm.Load(), Hot: r.hot.Load()}
+	return Stats{Cold: r.cold.Load(), Warm: r.warm.Load(), Hot: r.hot.Load(),
+		KeyFetches: r.keyFetches.Load()}
 }
 
 // LoadedModel reports the id of the currently loaded model ("" if none).

@@ -134,6 +134,68 @@ func (w *testWorld) deployModel(modelID string, es attest.Measurement) {
 	}
 }
 
+// extraUser is an additional registered user principal with its own
+// per-model request keys (multi-user key-locality tests).
+type extraUser struct {
+	client  *keyservice.Client
+	id      secure.ID
+	reqKeys map[string]secure.Key // modelID -> K_R
+}
+
+// newUser registers another user principal.
+func (w *testWorld) newUser(seed string) *extraUser {
+	w.t.Helper()
+	c := keyservice.NewClient(keyservice.TCPDialer(w.ksAddr), w.ca.PublicKey(), w.ksMeas,
+		secure.KeyFromSeed(seed))
+	w.t.Cleanup(func() { c.Close() })
+	if err := c.Register(); err != nil {
+		w.t.Fatal(err)
+	}
+	return &extraUser{client: c, id: c.ID(), reqKeys: map[string]secure.Key{}}
+}
+
+// grantUser authorizes the user on an already-deployed model under its own
+// request key.
+func (w *testWorld) grantUser(u *extraUser, modelID string, es attest.Measurement) {
+	w.t.Helper()
+	if err := w.owner.GrantAccess(modelID, es, u.id); err != nil {
+		w.t.Fatal(err)
+	}
+	kr := secure.KeyFromSeed("kr-" + modelID + "-" + string(u.id))
+	if err := u.client.AddReqKey(modelID, es, kr); err != nil {
+		w.t.Fatal(err)
+	}
+	u.reqKeys[modelID] = kr
+}
+
+// requestAs builds an encrypted request for the model under the user's key.
+func (w *testWorld) requestAs(u *extraUser, modelID string, seed int) Request {
+	w.t.Helper()
+	base, err := model.NewFunctional(strings.Split(modelID, "-")[0])
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	in := tensor.New(base.InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32((i+seed)%17) * 0.05
+	}
+	payload, err := EncryptRequest(u.reqKeys[modelID], modelID, inference.EncodeTensor(in))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return Request{UserID: u.id, ModelID: modelID, Payload: payload}
+}
+
+// decodeAs opens a response with the user's own request key — failure means
+// the enclave sealed the result under some other principal's keys.
+func (w *testWorld) decodeAs(u *extraUser, modelID string, resp Response) (*tensor.Tensor, error) {
+	plain, err := DecryptResponse(u.reqKeys[modelID], modelID, resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return inference.DecodeTensor(plain)
+}
+
 func (w *testWorld) deps() Deps {
 	return Deps{
 		Platform:    w.plat,

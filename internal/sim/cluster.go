@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"sesemi/internal/costmodel"
@@ -123,6 +124,14 @@ type Config struct {
 	// InvokeOverhead is amortized across the batch — so simulated and
 	// measured gateway behavior stay comparable.
 	Batch BatchSpec
+	// KeyCacheSize mirrors semirt.Config.KeyCacheSize: the per-sandbox LRU
+	// of cached ⟨model‖user⟩ key pairs. 0 means the live default (64);
+	// 1 reproduces the historical single-pair cache, where every user flip
+	// refetches keys over the KeyService session.
+	KeyCacheSize int
+	// DisableKeyCache mirrors semirt strong isolation: every request
+	// refetches keys regardless of KeyCacheSize.
+	DisableKeyCache bool
 	// Affinity mirrors the gateway's locality-aware batch routing
 	// (gateway.Config.Affinity): each (endpoint, model) stream homes on one
 	// node — chosen to spread streams across nodes, then by free memory —
@@ -160,6 +169,10 @@ type BatchSpec struct {
 	// deficit-round-robin weight; unlisted users weigh 1). Only meaningful
 	// with DRR.
 	TenantWeights map[string]int
+	// GroupUsers mirrors gateway.Config.GroupUsers: formed batches are
+	// stably ordered into same-user runs, so the sandbox's key cache
+	// switches at most once per distinct user per batch.
+	GroupUsers bool
 }
 
 func (c *Config) defaults() error {
@@ -257,6 +270,9 @@ type Result struct {
 	Dropped int
 	// Batches counts gateway batch flushes (0 when batching is disabled).
 	Batches int
+	// KeyFetches counts key provisioning round trips over the KeyService
+	// session — the volume the key cache amortizes (live: Stats.KeyFetches).
+	KeyFetches int
 	// BatchSizes is the flushed batch-size distribution.
 	BatchSizes *metrics.Histogram
 	// End is the virtual completion time of the run.
@@ -293,13 +309,16 @@ type sandbox struct {
 	inFlight  int
 	idleSince time.Duration
 
-	enclaveUp  bool
-	sessionUp  bool
-	cachedPair string
-	loaded     string
-	slots      []string // model each slot's runtime was built for
-	freeSlots  []int    // indices of unoccupied slots
-	born       time.Duration
+	enclaveUp bool
+	sessionUp bool
+	// cachedPairs is the sandbox's key-pair LRU, most recently used first,
+	// capped at the config's effective key-cache size — the discrete-event
+	// twin of semirt's keyCache.
+	cachedPairs []string
+	loaded      string
+	slots       []string // model each slot's runtime was built for
+	freeSlots   []int    // indices of unoccupied slots
+	born        time.Duration
 
 	// target is the model the sandbox's in-flight requests are serving
 	// (admits same-model joiners while preparation is in progress).
@@ -313,6 +332,37 @@ type sandbox struct {
 	keysReadyAt    time.Duration
 	loadingModel   string
 	loadReadyAt    time.Duration
+}
+
+// hasPair reports whether the key pair is cached.
+func (sb *sandbox) hasPair(pair string) bool {
+	for _, p := range sb.cachedPairs {
+		if p == pair {
+			return true
+		}
+	}
+	return false
+}
+
+// notePair records a use of the pair: move-to-front, inserting and evicting
+// the least recently used beyond cap. cap <= 0 caches nothing.
+func (sb *sandbox) notePair(pair string, cap int) {
+	if cap <= 0 {
+		return
+	}
+	for i, p := range sb.cachedPairs {
+		if p == pair {
+			copy(sb.cachedPairs[1:i+1], sb.cachedPairs[:i])
+			sb.cachedPairs[0] = pair
+			return
+		}
+	}
+	sb.cachedPairs = append(sb.cachedPairs, "")
+	copy(sb.cachedPairs[1:], sb.cachedPairs)
+	sb.cachedPairs[0] = pair
+	if len(sb.cachedPairs) > cap {
+		sb.cachedPairs = sb.cachedPairs[:cap]
+	}
 }
 
 // servingModel reports the model this sandbox is serving or preparing.
@@ -366,6 +416,29 @@ func (c *Config) costID(modelID string) string {
 		return alias
 	}
 	return modelID
+}
+
+// keyCap resolves the effective per-sandbox key-cache capacity, mirroring
+// semirt.Config.EffectiveKeyCacheSize.
+func (c *Config) keyCap() int {
+	if c.DisableKeyCache {
+		return 0
+	}
+	if c.KeyCacheSize == 0 {
+		return semirt.DefaultKeyCacheSize
+	}
+	return c.KeyCacheSize
+}
+
+// orderBatch stably orders a formed batch into same-user runs when
+// BatchSpec.GroupUsers is on — the discrete-event mirror of the gateway's
+// dispatch-time grouping and HandleBatch's in-enclave tag ordering.
+func (s *Simulation) orderBatch(batch []*request) []*request {
+	if !s.cfg.Batch.GroupUsers || len(batch) < 2 {
+		return batch
+	}
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].ev.UserID < batch[j].ev.UserID })
+	return batch
 }
 
 // Simulation carries the mutable world.
@@ -666,7 +739,7 @@ func (s *Simulation) releaseDRR(key string, h *drrHold, force bool) {
 			return
 		}
 		force = false
-		batch := h.drain(s.cfg.Batch.MaxBatch)
+		batch := s.orderBatch(h.drain(s.cfg.Batch.MaxBatch))
 		if len(batch) == 0 {
 			return
 		}
@@ -745,8 +818,9 @@ func (s *Simulation) flushBatch(key string, f *forming) {
 	delete(s.forming, key)
 	s.res.Batches++
 	s.res.BatchSizes.Observe(float64(len(f.reqs)))
-	lead := f.reqs[0]
-	lead.members = f.reqs
+	reqs := s.orderBatch(f.reqs)
+	lead := reqs[0]
+	lead.members = reqs
 	s.queues[lead.ep] = append(s.queues[lead.ep], lead)
 	s.dispatch(lead.ep)
 }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/workload"
+)
+
+// runKeyLocalitySim serves 40 arrivals alternating between two users (so
+// every formed 4-batch is the cache-hostile a,b,a,b interleaving) under one
+// key-cache build and returns the run.
+func runKeyLocalitySim(t *testing.T, cacheSize int, disable, group bool) *Result {
+	t.Helper()
+	cfg := Config{
+		System: SeSeMI, HW: costmodel.SGX2, Nodes: 1,
+		// One 128 MiB container fits: every batch lands on the same sandbox,
+		// so the fetch counts measure cache persistence, not sandbox churn.
+		NodeMemory:      128 << 20,
+		Actions:         []ActionSpec{{Name: "fn", Framework: "tvm", Concurrency: 1, DefaultModel: "mbnet"}},
+		KeyCacheSize:    cacheSize,
+		DisableKeyCache: disable,
+		Batch:           BatchSpec{MaxBatch: 4, MaxWait: 50 * time.Millisecond, GroupUsers: group},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr workload.Trace
+	for i := 0; i < 40; i++ {
+		user := "alice"
+		if i%2 == 1 {
+			user = "bob"
+		}
+		tr = append(tr, workload.Event{At: time.Duration(i) * 10 * time.Millisecond,
+			ModelID: "mbnet", UserID: user})
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 || len(res.Requests) != 40 {
+		t.Fatalf("served %d, dropped %d", len(res.Requests), res.Dropped)
+	}
+	return res
+}
+
+// TestSimKeyCacheFetchAccounting pins the key-fetch counts of every cache
+// build on the alternating stream: the disabled cache and the historical
+// single pair refetch on every member, grouping halves the single-pair cost
+// (one fetch per user run), and the LRU collapses it to one fetch per
+// principal for the whole run.
+func TestSimKeyCacheFetchAccounting(t *testing.T) {
+	disabled := runKeyLocalitySim(t, 0, true, false)
+	if disabled.KeyFetches != 40 {
+		t.Fatalf("disabled cache: %d fetches, want 40 (one per request)", disabled.KeyFetches)
+	}
+	single := runKeyLocalitySim(t, 1, false, false)
+	if single.KeyFetches != 40 {
+		t.Fatalf("single pair: %d fetches, want 40 (every a,b,a,b flip)", single.KeyFetches)
+	}
+	grouped := runKeyLocalitySim(t, 1, false, true)
+	if grouped.KeyFetches != 20 {
+		t.Fatalf("single pair grouped: %d fetches, want 20 (one per user run)", grouped.KeyFetches)
+	}
+	lru := runKeyLocalitySim(t, 0, false, false)
+	if lru.KeyFetches != 2 {
+		t.Fatalf("LRU: %d fetches, want 2 (one per principal)", lru.KeyFetches)
+	}
+	// The fetch savings must show up in latency: each saved fetch is a
+	// KeyFetchWarm the batch does not serialize on.
+	if !(lru.All.Mean() < grouped.All.Mean() && grouped.All.Mean() < single.All.Mean()) {
+		t.Fatalf("mean latency ordering violated: lru %v, grouped %v, single %v",
+			lru.All.Mean(), grouped.All.Mean(), single.All.Mean())
+	}
+}

@@ -95,7 +95,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			var need, cold bool
 			switch s.cfg.System {
 			case SeSeMI, IsoReuse:
-				need = sb.cachedPair != pair
+				need = s.cfg.DisableKeyCache || !sb.hasPair(pair)
 				cold = !sb.sessionUp
 			case Native:
 				need, cold = true, true
@@ -103,12 +103,17 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				need = false
 			}
 			if !need {
+				sb.notePair(pair, s.cfg.keyCap()) // LRU touch on the hit path
 				pr.phase++
 				continue
 			}
-			if s.cfg.System != Native && sb.fetchingPair == pair && sb.keysReadyAt > now {
-				// Wait for the in-flight fetch of the same pair; the waiter
-				// performed no work, so its classification is unchanged.
+			// Joining an in-flight fetch of the same pair mirrors the live
+			// keyCache singleflight; the disabled cache has none (the live
+			// request-local path provisions per request), so every request
+			// pays its own fetch there.
+			if s.cfg.System != Native && !s.cfg.DisableKeyCache &&
+				sb.fetchingPair == pair && sb.keysReadyAt > now {
+				// The waiter performed no work: classification unchanged.
 				s.eng.At(sb.keysReadyAt, func() { s.advance(sb, req, pr) })
 				return
 			}
@@ -116,6 +121,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				pr.kind = semirt.Warm
 			}
 			n.quoting++
+			s.res.KeyFetches++
 			d := pr.stg.KeyFetchWarm
 			if cold {
 				// The cold fetch includes mutual attestation; its RA portion
@@ -128,7 +134,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			s.eng.After(d, func() {
 				n.quoting--
 				sb.sessionUp = true
-				sb.cachedPair = pair
+				sb.notePair(pair, s.cfg.keyCap())
 				sb.fetchingPair = ""
 				pr.phase = phLoad
 				s.advance(sb, req, pr)
@@ -208,15 +214,23 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			n.activeExec++
 			// A batch executes its members sequentially inside the single
 			// enclave entry (live: HandleBatch loops modelInf in one ECall);
-			// a user switch between consecutive members refetches keys over
-			// the established session.
+			// a member whose key pair is not in the sandbox LRU refetches
+			// over the established session. With a widened cache, distinct
+			// users cost one fetch each; with the single-pair cache (or
+			// DisableKeyCache) every flip refetches.
 			members := req.batchMembers()
 			d := time.Duration(len(members)) *
 				costmodel.ExecUnderLoad(pr.stg.ModelExec, n.activeExec, n.cores)
 			for i := 1; i < len(members); i++ {
-				if members[i].ev.UserID != members[i-1].ev.UserID {
-					d += pr.stg.KeyFetchWarm
+				pair := members[i].ev.ModelID + "\x1f" + members[i].ev.UserID
+				if s.cfg.System != SeSeMI && s.cfg.System != IsoReuse {
+					continue
 				}
+				if s.cfg.DisableKeyCache || !sb.hasPair(pair) {
+					d += pr.stg.KeyFetchWarm
+					s.res.KeyFetches++
+				}
+				sb.notePair(pair, s.cfg.keyCap())
 			}
 			// EPC oversubscription (SGX1): the request re-pages its working
 			// set through the shared swap path (Figure 11b).
@@ -271,7 +285,7 @@ func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationK
 		// Native destroys its per-invocation enclave.
 		sb.enclaveUp = false
 		sb.sessionUp = false
-		sb.cachedPair = ""
+		sb.cachedPairs = nil
 		sb.loaded = ""
 		sb.enclaveReadyAt = 0
 		sb.node.epcUsed -= sb.spec.EnclaveBytes
