@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke clean
 
 all: build vet test
 
@@ -33,6 +33,9 @@ fairness-snapshot:
 keylocality-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp keylocality -json BENCH_keylocality.json
 
+autoscale-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp autoscale -json BENCH_autoscale.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -48,6 +51,11 @@ fairness-smoke:
 # experiment behind BENCH_keylocality.json cannot rot.
 keylocality-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp keylocality -smoke
+
+# Tiny-scale autoscale run (reactive vs predictive on all three traces), so
+# the experiment behind BENCH_autoscale.json cannot rot.
+autoscale-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp autoscale -smoke
 
 clean:
 	$(GO) clean ./...

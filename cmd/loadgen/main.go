@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"sesemi/internal/autoscale"
 	"sesemi/internal/bench"
 	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
@@ -56,9 +57,11 @@ func main() {
 	modelsFlag := flag.String("models", "mbnet", "comma-separated model ids")
 	baseModel := flag.String("zoo", "mbnet", "zoo architecture for input shape")
 	userSeed := flag.String("user-seed", "alice", "user principal seed")
-	pattern := flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp")
-	rate := flag.Float64("rate", 2, "request rate (rps); MMPP low state")
-	rate2 := flag.Float64("rate2", 0, "MMPP high-state rate (default 2x rate)")
+	pattern := flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, diurnal")
+	shape := flag.String("shape", "", "workload shape shorthand: steady (FixedRate), burst (MMPP), diurnal (sinusoidal); overrides -pattern")
+	rate := flag.Float64("rate", 2, "request rate (rps); MMPP/diurnal low state")
+	rate2 := flag.Float64("rate2", 0, "MMPP/diurnal high-state rate (default 2x rate)")
+	period := flag.Duration("period", 0, "diurnal period (default duration/4)")
 	duration := flag.Duration("duration", 30*time.Second, "trace duration")
 	seed := flag.Int64("seed", 1, "trace seed")
 	conc := flag.Int("concurrency", 16, "max in-flight requests")
@@ -77,7 +80,23 @@ func main() {
 	userSkew := flag.Float64("user-skew", 1.2, "with -local -users: Zipf skew s (>1; larger = hotter hottest user)")
 	groupUsers := flag.Bool("group-users", false, "with -local: user-affinity batch grouping in the gateway")
 	keyCache := flag.Int("key-cache", 0, "with -local: enclave key-cache size (0 = default, 1 = historical single pair)")
+	autoscaleOn := flag.Bool("autoscale", false, "with -local: predictive autoscaler (forecast-driven prewarm + adaptive keep-warm) instead of depth-triggered prewarm")
+	sandboxStart := flag.Duration("sandbox-start", 0, "with -local: modeled container start latency (what prewarming hides; 0 = free starts)")
+	keepWarm := flag.Duration("keep-warm", 0, "with -local: idle-sandbox deadline (0 = the 3-minute default); the adaptive ceiling under -autoscale")
 	flag.Parse()
+
+	// -shape is the autoscale experiment's shorthand over -pattern.
+	switch *shape {
+	case "":
+	case "steady":
+		*pattern = "fixed"
+	case "burst":
+		*pattern = "mmpp"
+	case "diurnal":
+		*pattern = "diurnal"
+	default:
+		log.Fatalf("loadgen: unknown -shape %q (steady, burst, diurnal)", *shape)
+	}
 
 	if *local {
 		if *url != "" || *packer != "" {
@@ -102,6 +121,7 @@ func main() {
 			affinity: *affinity, nodes: *localNodes, models: *localModels,
 			tenants: *tenants, skew: *tenantSkew, quota: *tenantQuota,
 			users: *users, userSkew: *userSkew, groupUsers: *groupUsers, keyCache: *keyCache,
+			period: *period, autoscale: *autoscaleOn, sandboxStart: *sandboxStart, keepWarm: *keepWarm,
 		})
 		return
 	}
@@ -113,7 +133,7 @@ func main() {
 	// Build the trace: one stream per model.
 	var traces []workload.Trace
 	for i, m := range modelIDs {
-		traces = append(traces, buildTrace(*pattern, *seed+int64(i), *rate, *rate2, *duration, m, *userSeed))
+		traces = append(traces, buildTrace(*pattern, *seed+int64(i), *rate, *rate2, *period, *duration, m, *userSeed))
 	}
 	trace := workload.Merge(traces...)
 	fmt.Printf("loadgen: %d requests over %v (avg %.1f rps)\n", len(trace), *duration, trace.Rate())
@@ -209,10 +229,13 @@ func main() {
 
 // buildTrace constructs one model's arrival stream from the pattern flags
 // (shared by the HTTP and -local drivers). rate2 <= 0 defaults to 2*rate
-// for MMPP's high state.
-func buildTrace(pattern string, seed int64, rate, rate2 float64, duration time.Duration, modelID, user string) workload.Trace {
+// for the MMPP/diurnal high state; period <= 0 to duration/4.
+func buildTrace(pattern string, seed int64, rate, rate2 float64, period, duration time.Duration, modelID, user string) workload.Trace {
 	if rate2 <= 0 {
 		rate2 = 2 * rate
+	}
+	if period <= 0 {
+		period = duration / 4
 	}
 	switch pattern {
 	case "fixed":
@@ -221,6 +244,8 @@ func buildTrace(pattern string, seed int64, rate, rate2 float64, duration time.D
 		return workload.Poisson(seed, rate, duration, modelID, user)
 	case "mmpp":
 		return workload.MMPP(seed, []float64{rate, rate2}, duration/6, duration, modelID, user)
+	case "diurnal":
+		return workload.Diurnal(seed, rate2, rate, period, duration, modelID, user)
 	}
 	log.Fatalf("loadgen: unknown pattern %q", pattern)
 	return nil
@@ -232,7 +257,7 @@ type localCfg struct {
 	maxWait                    time.Duration
 	pattern                    string
 	rate, rate2                float64
-	duration                   time.Duration
+	period, duration           time.Duration
 	seed                       int64
 	user                       string
 	affinity                   bool
@@ -248,17 +273,26 @@ type localCfg struct {
 	userSkew   float64
 	groupUsers bool
 	keyCache   int
+
+	// autoscale swaps the depth-triggered prewarm for the predictive
+	// controller; sandboxStart and keepWarm make its effects visible
+	// (cold-start cost, idle squatting).
+	autoscale    bool
+	sandboxStart time.Duration
+	keepWarm     time.Duration
 }
 
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
 // closed loop with N concurrent clients, or open loop from the trace flags.
 func runLocal(c localCfg) {
 	closed, requests, maxBatch, maxWait := c.closed, c.requests, c.maxBatch, c.maxWait
-	w, err := bench.NewLiveWorld(bench.LiveWorldConfig{
+	wc := bench.LiveWorldConfig{
 		Nodes:        c.nodes,
 		Models:       c.models,
 		Users:        c.users,
 		KeyCacheSize: c.keyCache,
+		SandboxStart: c.sandboxStart,
+		KeepWarm:     c.keepWarm,
 		Gateway: gateway.Config{
 			MaxBatch:     maxBatch,
 			MaxWait:      maxWait,
@@ -268,7 +302,29 @@ func runLocal(c localCfg) {
 			TenantQuota:  c.quota,
 			GroupUsers:   c.groupUsers,
 		},
-	})
+	}
+	kw := c.keepWarm
+	if kw <= 0 {
+		kw = 3 * time.Minute // the cluster default
+	}
+	if c.sandboxStart > 0 || c.keepWarm > 0 || c.autoscale {
+		// Reaping and boot-time enclave launch make keep-warm (fixed or
+		// adaptive) and prewarming observable, like the autoscale bench.
+		wc.ReaperInterval = kw / 8
+		wc.StartEnclave = true
+	}
+	if c.autoscale {
+		wc.Autoscale = &autoscale.Config{
+			Window:          250 * time.Millisecond,
+			Horizon:         3,
+			Headroom:        1,
+			MaxWarm:         8,
+			SlotsPerSandbox: 4, // the live world's per-enclave concurrency
+			MinKeepWarm:     kw / 4,
+			MaxKeepWarm:     kw,
+		}
+	}
+	w, err := bench.NewLiveWorld(wc)
 	if err != nil {
 		log.Fatalf("loadgen: local world: %v", err)
 	}
@@ -297,7 +353,7 @@ func runLocal(c localCfg) {
 		// exercises a real multi-model mix, as HTTP mode's -models does.
 		var streams []workload.Trace
 		for i, m := range w.Models {
-			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.duration, m, c.user))
+			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.period, c.duration, m, c.user))
 		}
 		tr := workload.Merge(streams...)
 		fmt.Printf("loadgen: open loop, %d requests over %v (avg %.1f rps, %d models), MaxBatch=%d\n",
@@ -324,6 +380,15 @@ func runLocal(c localCfg) {
 	// additionally counts the world's warm-up activation.
 	fmt.Printf("cluster: %d activations (%d gateway batches for %d served requests, %.1fx amortized), %d cold starts\n",
 		st.Invocations, gs.Batches, gs.Served, float64(gs.Served)/float64(max(gs.Batches, 1)), st.ColdStarts)
+	if ast, err := w.Cluster.ActionStats(w.Action); err == nil {
+		fmt.Printf("warm pool: %d cold starts, %d warm hits, %.1f idle sandbox-seconds, keep-warm %v\n",
+			ast.ColdStarts, ast.WarmHits, ast.IdleSeconds, ast.KeepWarm)
+	}
+	if w.Autoscaler != nil {
+		as := w.Autoscaler.Stats()
+		fmt.Printf("autoscaler: %d prewarmed over %d steps, forecast MAE %.2f rps (mean rate %.2f rps)\n",
+			as.Prewarmed, as.Steps, as.ForecastMAE, as.MeanRate)
+	}
 }
 
 // tenantLoop drives Zipf-skewed multi-tenant load through the serving API
@@ -386,7 +451,7 @@ func tenantLoop(w *bench.LiveWorld, c localCfg) {
 	} else {
 		var streams []workload.Trace
 		for i, m := range w.Models {
-			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.duration, m, c.user))
+			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.period, c.duration, m, c.user))
 		}
 		tr := workload.Merge(streams...)
 		total = len(tr)

@@ -9,9 +9,11 @@
 //	sesemi-bench -exp routing -json BENCH_routing.json
 //	sesemi-bench -exp fairness -json BENCH_fairness.json
 //	sesemi-bench -exp keylocality -json BENCH_keylocality.json
+//	sesemi-bench -exp autoscale -json BENCH_autoscale.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 //	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
+//	sesemi-bench -exp autoscale -smoke  (tiny CI configuration)
 package main
 
 import (
@@ -27,12 +29,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness or keylocality: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing, fairness or keylocality: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality or autoscale: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality or autoscale: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness or keylocality"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality or autoscale"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -82,8 +84,19 @@ func main() {
 			}
 			fmt.Printf("keylocality snapshot → %s (single-pair %.1fms mean, lru+group %.1fms, %.2fx; key fetches %.0fx fewer; solo ratio %.2f)\n",
 				*jsonOut, snap.SinglePair.MeanMs, snap.LRUGrouped.MeanMs, snap.MeanSpeedup, snap.KeyFetchReduction, snap.SoloThroughputRatio)
+		case "autoscale":
+			cfg := bench.AutoscaleBenchConfig{}
+			if *smoke {
+				cfg = bench.AutoscaleSmokeConfig()
+			}
+			snap, err := bench.WriteAutoscaleSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("autoscale snapshot → %s (demand cold starts %.1fx fewer, ramp p99 %.2fx lower, idle ratio %.2f, steady throughput %.2f)\n",
+				*jsonOut, snap.DemandStartReduction, snap.RampP99Ratio, snap.IdleRatio, snap.SteadyThroughputRatio)
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness or keylocality"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality or autoscale"))
 		}
 		return
 	}
@@ -110,6 +123,14 @@ func main() {
 			}
 			fmt.Printf("keylocality smoke ok: single-pair %.1fms mean / %d fetches, lru+group %.1fms / %d fetches (%.2fx)\n",
 				snap.SinglePair.MeanMs, snap.SinglePair.KeyFetches, snap.LRUGrouped.MeanMs, snap.LRUGrouped.KeyFetches, snap.MeanSpeedup)
+		case "autoscale":
+			snap, err := bench.RunAutoscaleBench(bench.AutoscaleSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("autoscale smoke ok: diurnal p99 reactive %.1fms / predictive %.1fms, %d prewarmed, steady throughput %.2f\n",
+				snap.DiurnalReactive.P99Ms, snap.DiurnalPredictive.P99Ms,
+				snap.BurstPredictive.Prewarmed+snap.DiurnalPredictive.Prewarmed, snap.SteadyThroughputRatio)
 		}
 		return
 	}

@@ -1,0 +1,250 @@
+package autoscale
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sesemi/internal/serverless"
+	"sesemi/internal/vclock"
+)
+
+// fakePool records the controller's orders against scripted telemetry.
+type fakePool struct {
+	mu        sync.Mutex
+	stats     map[string]serverless.ActionStats
+	prewarms  []prewarmCall
+	keepWarms map[string]time.Duration
+}
+
+type prewarmCall struct {
+	action, node string
+	want         int
+}
+
+func newFakePool() *fakePool {
+	return &fakePool{stats: map[string]serverless.ActionStats{}, keepWarms: map[string]time.Duration{}}
+}
+
+func (p *fakePool) PrewarmOn(action, node string, want int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prewarms = append(p.prewarms, prewarmCall{action, node, want})
+	st := p.stats[action]
+	started := want - st.Live
+	if started < 0 {
+		started = 0
+	}
+	st.Live = want
+	p.stats[action] = st
+	return started, nil
+}
+
+func (p *fakePool) SetKeepWarm(action string, d time.Duration) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.keepWarms[action] = d
+	return nil
+}
+
+func (p *fakePool) ActionStats(action string) (serverless.ActionStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats[action], nil
+}
+
+func (p *fakePool) lastPrewarm() (prewarmCall, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.prewarms) == 0 {
+		return prewarmCall{}, false
+	}
+	return p.prewarms[len(p.prewarms)-1], true
+}
+
+// step runs one control interval and waits for its prewarm goroutines, so
+// tests observe a settled pool.
+func step(c *Controller) {
+	c.Step()
+	c.wg.Wait()
+}
+
+func TestControllerPrewarmsTowardForecast(t *testing.T) {
+	pool := newFakePool()
+	c := New(Config{Window: time.Second, Headroom: 1, SlotsPerSandbox: 1, MaxWarm: 16}, pool)
+	// Feed service-time telemetry: 8-deep batches taking 400ms each.
+	c.NoteBatch("fn", "mbnet", 8, 400*time.Millisecond, "node-2")
+	// Ramping admissions: 8, 16, 24, ... per 1s window.
+	for w := 1; w <= 5; w++ {
+		for i := 0; i < 8*w; i++ {
+			c.NoteAdmit("fn", "mbnet")
+		}
+		step(c)
+	}
+	pc, ok := pool.lastPrewarm()
+	if !ok {
+		t.Fatal("no prewarm issued under a sustained ramp")
+	}
+	if pc.action != "fn" || pc.node != "node-2" {
+		t.Fatalf("prewarm %+v, want action fn toward home node-2", pc)
+	}
+	// Little's law at the (anticipated ≥ current 40 rps) forecast: ≥ 40/8
+	// batches/s × 0.4s = 2 busy slots → ≥ 3 sandboxes with headroom.
+	if pc.want < 3 {
+		t.Fatalf("prewarm target %d, want ≥ 3 (forecast-sized)", pc.want)
+	}
+	if st := c.Stats(); st.Prewarmed == 0 || st.Steps != 5 || st.Streams != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestControllerMaxWarmCapsTheActionNotEachStream(t *testing.T) {
+	pool := newFakePool()
+	c := New(Config{Window: time.Second, MaxWarm: 4, SlotsPerSandbox: 1, Headroom: 1}, pool)
+	// Four hot model streams on ONE action, each individually demanding the
+	// cap: the action's aggregate prewarm target must still be MaxWarm, not
+	// 4 x MaxWarm.
+	for _, m := range []string{"m0", "m1", "m2", "m3"} {
+		c.NoteBatch("fn", m, 8, 2*time.Second, "")
+	}
+	for w := 0; w < 4; w++ {
+		for _, m := range []string{"m0", "m1", "m2", "m3"} {
+			for i := 0; i < 40; i++ {
+				c.NoteAdmit("fn", m)
+			}
+		}
+		step(c)
+	}
+	pc, ok := pool.lastPrewarm()
+	if !ok {
+		t.Fatal("no prewarm issued")
+	}
+	if pc.want != 4 {
+		t.Fatalf("prewarm target %d, want the MaxWarm cap 4", pc.want)
+	}
+}
+
+func TestControllerNoTrafficNoPrewarm(t *testing.T) {
+	pool := newFakePool()
+	c := New(Config{Window: time.Second}, pool)
+	for i := 0; i < 10; i++ {
+		step(c)
+	}
+	if _, ok := pool.lastPrewarm(); ok {
+		t.Fatal("prewarmed with no traffic ever observed")
+	}
+}
+
+func TestControllerShrinksKeepWarmWhenIdle(t *testing.T) {
+	pool := newFakePool()
+	pool.stats["fn"] = serverless.ActionStats{Live: 4, Idle: 4, WarmHits: 10, ColdStarts: 1}
+	c := New(Config{
+		Window: time.Second, MinKeepWarm: 5 * time.Second, MaxKeepWarm: 160 * time.Second,
+	}, pool)
+	// A trickle keeps the stream alive while the pool reports itself fully
+	// idle and fully warm-hitting: idle seconds grow by live×window each
+	// step, warm hits by one.
+	idle, hits := 0.0, uint64(10)
+	for w := 0; w < 8; w++ {
+		c.NoteAdmit("fn", "mbnet")
+		step(c)
+		idle += 4.0 // 4 live sandboxes × 1s, all idle
+		hits++
+		pool.mu.Lock()
+		st := pool.stats["fn"]
+		st.IdleSeconds, st.WarmHits = idle, hits
+		pool.stats["fn"] = st
+		pool.mu.Unlock()
+	}
+	pool.mu.Lock()
+	kw := pool.keepWarms["fn"]
+	pool.mu.Unlock()
+	// 160s halves each adapting window: 80, 40, 20, 10, 5 — the floor.
+	if kw != 5*time.Second {
+		t.Fatalf("keep-warm after sustained idle = %v, want the 5s floor", kw)
+	}
+}
+
+func TestControllerGrowsKeepWarmOnMisses(t *testing.T) {
+	pool := newFakePool()
+	pool.stats["fn"] = serverless.ActionStats{Live: 2}
+	c := New(Config{
+		Window: time.Second, MinKeepWarm: 5 * time.Second, MaxKeepWarm: 160 * time.Second,
+	}, pool)
+	cold := uint64(0)
+	for w := 0; w < 6; w++ {
+		c.NoteAdmit("fn", "mbnet")
+		step(c)
+		cold += 3 // every window pays cold starts: the pool is missing
+		pool.mu.Lock()
+		st := pool.stats["fn"]
+		st.ColdStarts = cold
+		pool.stats["fn"] = st
+		pool.mu.Unlock()
+	}
+	pool.mu.Lock()
+	kw, set := pool.keepWarms["fn"]
+	pool.mu.Unlock()
+	if set && kw < 160*time.Second {
+		t.Fatalf("keep-warm shrank to %v under sustained misses", kw)
+	}
+}
+
+func TestControllerDropsIdleStreamsAndResetsKeepWarm(t *testing.T) {
+	pool := newFakePool()
+	pool.stats["fn"] = serverless.ActionStats{Live: 1, Idle: 1}
+	c := New(Config{Window: time.Second, MinKeepWarm: time.Second, MaxKeepWarm: 4 * time.Second}, pool)
+	c.NoteAdmit("fn", "mbnet")
+	step(c)
+	for i := 0; i < streamTTLWindows+1; i++ {
+		step(c)
+	}
+	if st := c.Stats(); st.Streams != 0 {
+		t.Fatalf("idle stream not dropped: %+v", st)
+	}
+	step(c) // the step after the drop releases the action's override
+	pool.mu.Lock()
+	kw := pool.keepWarms["fn"]
+	pool.mu.Unlock()
+	if kw != 0 {
+		t.Fatalf("keep-warm override not reset after stream death: %v", kw)
+	}
+}
+
+func TestControllerForecastErrorScoring(t *testing.T) {
+	pool := newFakePool()
+	c := New(Config{Window: time.Second}, pool)
+	// A perfectly steady stream should score near-zero relative error.
+	for w := 0; w < 20; w++ {
+		for i := 0; i < 10; i++ {
+			c.NoteAdmit("fn", "m")
+		}
+		step(c)
+	}
+	st := c.Stats()
+	if st.MeanRate < 9.9 || st.MeanRate > 10.1 {
+		t.Fatalf("mean rate %.2f, want ~10", st.MeanRate)
+	}
+	if st.ForecastMAE > 1 {
+		t.Fatalf("steady-stream forecast MAE %.2f, want ≈0", st.ForecastMAE)
+	}
+}
+
+func TestControllerStartStopOnManualClock(t *testing.T) {
+	pool := newFakePool()
+	clock := vclock.NewManual()
+	c := New(Config{Window: time.Second, Clock: clock}, pool)
+	c.Start()
+	defer c.Stop()
+	for i := 0; i < 20; i++ {
+		c.NoteAdmit("fn", "m")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Steps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("control loop did not step on virtual-time advance")
+		}
+		clock.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,146 @@
+package autoscale
+
+import (
+	"math"
+	"time"
+)
+
+// Holt is a Holt linear (double-exponential) smoother over per-window
+// arrival rates: level tracks the current rate, trend its per-window slope.
+// Forecasting level + k·trend anticipates a ramp instead of chasing it —
+// the reason a predictive controller lands warm capacity before the queue
+// builds, where a depth-triggered one reacts after.
+//
+// Alpha smooths the level (higher = faster tracking), Beta the trend. Both
+// must be in (0, 1]; the zero value is not usable — construct with NewHolt.
+type Holt struct {
+	alpha, beta  float64
+	level, trend float64
+	n            int
+}
+
+// NewHolt creates a smoother. Out-of-range coefficients take the defaults
+// (alpha 0.5, beta 0.3 — fast level tracking, steadier trend).
+func NewHolt(alpha, beta float64) *Holt {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if beta <= 0 || beta > 1 {
+		beta = 0.3
+	}
+	return &Holt{alpha: alpha, beta: beta}
+}
+
+// Observe feeds one window's measured rate. The first observation seeds the
+// level, the second the trend; later ones run the standard Holt update.
+func (h *Holt) Observe(x float64) {
+	switch h.n {
+	case 0:
+		h.level = x
+	case 1:
+		h.trend = x - h.level
+		h.level = x
+	default:
+		prev := h.level
+		h.level = h.alpha*x + (1-h.alpha)*(h.level+h.trend)
+		h.trend = h.beta*(h.level-prev) + (1-h.beta)*h.trend
+		// Rates are nonnegative: an unclamped level rings around zero on an
+		// all-zero tail (negative level, then positive trend), resurrecting
+		// phantom demand after traffic dies. Clamp; the trend keeps decaying
+		// toward zero from below, so the forecast stays at zero.
+		if h.level < 0 {
+			h.level = 0
+		}
+	}
+	h.n++
+}
+
+// Forecast projects the rate k windows ahead (level + k·trend), floored at
+// zero. With no observations yet it is zero.
+func (h *Holt) Forecast(k float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	f := h.level + k*h.trend
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Level returns the smoothed current rate.
+func (h *Holt) Level() float64 { return h.level }
+
+// Trend returns the smoothed per-window rate slope.
+func (h *Holt) Trend() float64 { return h.trend }
+
+// TargetSandboxes converts a forecast arrival rate (requests/second) into a
+// warm-pool target by Little's law: the stream forms rate/meanBatch batches
+// per second, each batch occupies one sandbox slot for serviceSeconds, so
+// rate·serviceSeconds/meanBatch slots are concurrently busy; a sandbox
+// supplies slotsPerSandbox of them. headroom warm spares ride on top while
+// any traffic is forecast (absorbing forecast error and in-batch burstiness);
+// a zero forecast targets zero — scale-down is the reaper's job, not a
+// negative prewarm. The result is capped at max (<= 0: uncapped).
+func TargetSandboxes(rate, serviceSeconds, meanBatch float64, slotsPerSandbox, headroom, max int) int {
+	if rate <= 0 {
+		return 0
+	}
+	if meanBatch < 1 {
+		meanBatch = 1
+	}
+	if slotsPerSandbox < 1 {
+		slotsPerSandbox = 1
+	}
+	target := 0
+	if serviceSeconds > 0 {
+		slots := rate * serviceSeconds / meanBatch
+		target = int(math.Ceil(slots / float64(slotsPerSandbox)))
+	}
+	target += headroom
+	if target < 1 {
+		target = 1 // forecast traffic always warrants one warm sandbox
+	}
+	if max > 0 && target > max {
+		target = max
+	}
+	return target
+}
+
+// AdaptKeepWarm is the scale-down policy step: when the action's warm pool
+// is both effective (warm-hit rate ≥ warmHitTarget — shrinking is safe, the
+// pool is serving its traffic) and oversized (idle fraction ≥ idleTarget —
+// sandboxes squat more than they serve), the keep-warm deadline halves
+// toward min; any other signal restores max outright. The asymmetry is
+// deliberate: shrinking is gradual (a sustained oversize must be observed
+// for several windows before the deadline reaches reaping range — one noisy
+// window never triggers a reap storm), while recovery is immediate (the
+// moment the pool is needed again, nothing below the configured deadline
+// may reap it — a slow grow-back would let the reaper re-kill capacity the
+// controller just restored, a prewarm/reap churn loop). cur <= 0 (no
+// override yet) starts from max.
+func AdaptKeepWarm(cur, min, max time.Duration, warmHit, idleFrac, warmHitTarget, idleTarget float64) time.Duration {
+	if max <= 0 {
+		return cur
+	}
+	if min < 0 {
+		min = 0
+	}
+	if min > max {
+		// An inverted pair must not let the "shrink" branch clamp ABOVE the
+		// ceiling (Config.defaults normalizes this too; free functions guard
+		// for themselves).
+		min = max
+	}
+	if cur <= 0 {
+		cur = max
+	}
+	if warmHit >= warmHitTarget && idleFrac >= idleTarget {
+		next := cur / 2
+		if next < min {
+			next = min
+		}
+		return next
+	}
+	return max
+}

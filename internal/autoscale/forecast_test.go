@@ -1,0 +1,104 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHoltConstantSeriesConverges(t *testing.T) {
+	h := NewHolt(0.5, 0.3)
+	for i := 0; i < 50; i++ {
+		h.Observe(20)
+	}
+	if f := h.Forecast(2); f < 19.9 || f > 20.1 {
+		t.Fatalf("constant 20 rps forecast %.2f", f)
+	}
+	if tr := h.Trend(); tr < -0.01 || tr > 0.01 {
+		t.Fatalf("constant series trend %.3f, want ~0", tr)
+	}
+}
+
+func TestHoltAnticipatesRamp(t *testing.T) {
+	// A linear ramp: a trend-aware forecast must project ABOVE the last
+	// observation (anticipating), where a plain EWMA would lag below it.
+	h := NewHolt(0.5, 0.3)
+	last := 0.0
+	for i := 0; i <= 20; i++ {
+		last = float64(i * 5) // 0, 5, ..., 100 rps
+		h.Observe(last)
+	}
+	f := h.Forecast(2)
+	if f <= last {
+		t.Fatalf("ramp forecast %.1f does not anticipate (last observation %.1f)", f, last)
+	}
+	if f > last+3*5*2 {
+		t.Fatalf("ramp forecast %.1f overshoots wildly", f)
+	}
+}
+
+func TestHoltForecastFloorsAtZero(t *testing.T) {
+	h := NewHolt(0.5, 0.5)
+	for _, x := range []float64{100, 50, 10, 1, 0, 0, 0} {
+		h.Observe(x)
+	}
+	if f := h.Forecast(5); f < 0 {
+		t.Fatalf("forecast went negative: %.2f", f)
+	}
+	var zero Holt
+	_ = zero
+	if f := NewHolt(0, 0).Forecast(1); f != 0 {
+		t.Fatalf("unfed forecaster returned %.2f", f)
+	}
+}
+
+func TestTargetSandboxes(t *testing.T) {
+	cases := []struct {
+		name                         string
+		rate, svc, batch             float64
+		slots, headroom, max, expect int
+	}{
+		{"no traffic", 0, 0.1, 8, 4, 1, 16, 0},
+		{"bootstrap: no service time yet", 10, 0, 1, 1, 1, 16, 1},
+		// 40 rps / batch 8 = 5 batches/s × 0.2s = 1 busy slot → 1 sandbox + 1.
+		{"littles law", 40, 0.2, 8, 1, 1, 16, 2},
+		// 100 rps unbatched × 0.5s = 50 slots / 4 per sandbox = 13 + 1.
+		{"slots divide", 100, 0.5, 1, 4, 1, 16, 14},
+		{"capped", 1000, 1, 1, 1, 1, 8, 8},
+		{"uncapped", 100, 0.5, 1, 4, 1, 0, 14},
+		{"headroom zero still warms one", 1, 0.001, 8, 4, 0, 16, 1},
+	}
+	for _, c := range cases {
+		if got := TargetSandboxes(c.rate, c.svc, c.batch, c.slots, c.headroom, c.max); got != c.expect {
+			t.Errorf("%s: TargetSandboxes = %d, want %d", c.name, got, c.expect)
+		}
+	}
+}
+
+func TestAdaptKeepWarm(t *testing.T) {
+	const min, max = 5 * time.Second, 3 * time.Minute
+	// Effective and oversized: halve.
+	if got := AdaptKeepWarm(80*time.Second, min, max, 0.95, 0.8, 0.9, 0.5); got != 40*time.Second {
+		t.Fatalf("shrink: %v", got)
+	}
+	// Misses observed: restore the full deadline immediately (anything
+	// slower lets the reaper re-kill capacity the controller just rebuilt).
+	if got := AdaptKeepWarm(40*time.Second, min, max, 0.5, 0.8, 0.9, 0.5); got != max {
+		t.Fatalf("grow: %v", got)
+	}
+	// Busy pool (low idle): restore even at full warm-hit rate.
+	if got := AdaptKeepWarm(40*time.Second, min, max, 1, 0.1, 0.9, 0.5); got != max {
+		t.Fatalf("busy restore: %v", got)
+	}
+	// Shrink floors at min.
+	if got := AdaptKeepWarm(6*time.Second, min, max, 1, 1, 0.9, 0.5); got != min {
+		t.Fatalf("floor: %v", got)
+	}
+	// No override yet starts from the ceiling.
+	if got := AdaptKeepWarm(0, min, max, 1, 1, 0.9, 0.5); got != 90*time.Second {
+		t.Fatalf("bootstrap: %v", got)
+	}
+	// An inverted min/max pair must never clamp above the ceiling.
+	if got := AdaptKeepWarm(time.Minute, 10*time.Minute, time.Minute, 1, 1, 0.9, 0.5); got > time.Minute {
+		t.Fatalf("inverted bounds returned %v above the ceiling", got)
+	}
+}

@@ -1,0 +1,446 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"sesemi/internal/autoscale"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/gateway"
+	"sesemi/internal/metrics"
+	"sesemi/internal/semirt"
+	"sesemi/internal/workload"
+)
+
+// ---------- Autoscale experiment: forecast-driven prewarm vs reactive ----------
+//
+// The gateway's historical warm-capacity policy is reactive at both ends:
+// prewarming triggers from instantaneous queue depth (capacity starts after
+// requests have already queued) and the only scale-down is the fixed
+// keep-warm expiry. This experiment replays bursty (MMPP), diurnal and
+// steady open-loop traces through both controllers on identical live
+// deployments — container starts, enclave launches and execution all
+// charged at modeled cost — and measures what the predictive controller
+// (internal/autoscale: Holt forecast → Little's-law prewarm target →
+// adaptive keep-warm) recovers: requests stop waiting behind demand-driven
+// sandbox starts during ramps (fewer demand cold starts, lower ramp p99),
+// and idle sandboxes stop squatting the full fixed deadline between bursts
+// (fewer idle sandbox-seconds).
+
+// AutoscaleRunResult is one (controller, trace) cell's measured outcome.
+type AutoscaleRunResult struct {
+	GatewayRunResult
+	// RampP99Ms is the p99 over requests arriving during rising-rate halves
+	// of the diurnal trace (0 for other traces) — tail latency where the
+	// reactive controller is still provisioning.
+	RampP99Ms float64 `json:"ramp_p99_ms,omitempty"`
+	// ColdStarts counts sandbox starts during the run (the world's warm-up
+	// excluded); Prewarmed the proactive ones (controller forecast or depth
+	// trigger); DemandStarts the difference — starts some request queued
+	// behind, the cost prewarming exists to hide.
+	ColdStarts   uint64 `json:"cold_starts"`
+	Prewarmed    uint64 `json:"prewarmed"`
+	DemandStarts uint64 `json:"demand_starts"`
+	// IdleSandboxSeconds is the action's cumulative idle accrual during the
+	// run (serverless.ActionStats.IdleSeconds delta) — warm-pool memory
+	// squatting.
+	IdleSandboxSeconds float64 `json:"idle_sandbox_seconds"`
+	// WarmRate is the fraction of responses served without any enclave
+	// state rebuild beyond keys/model (Kind hot or warm; cold means the
+	// request itself launched the enclave).
+	WarmRate float64 `json:"warm_rate"`
+	// KeepWarmEnd is the action's effective keep-warm deadline at the end of
+	// the run — the adaptive override's resting point under this trace.
+	KeepWarmEnd string `json:"keep_warm_end"`
+	// ForecastError is the controller's relative one-step forecast error
+	// (predictive runs only; costmodel.ForecastError's live counterpart).
+	ForecastError float64 `json:"forecast_error,omitempty"`
+}
+
+// AutoscaleSnapshot is the BENCH_autoscale.json payload.
+type AutoscaleSnapshot struct {
+	Nodes        int    `json:"nodes"`
+	Concurrency  int    `json:"concurrency"`
+	MaxBatch     int    `json:"max_batch"`
+	SandboxStart string `json:"sandbox_start"`
+	KeepWarm     string `json:"keep_warm"`
+	ExecCost     string `json:"exec_cost"`
+	Window       string `json:"forecast_window"`
+
+	// Burst is the MMPP trace (sudden rate switches), Diurnal the sinusoidal
+	// ramp trace, Steady the fixed-rate control. Reactive = depth-triggered
+	// prewarm + fixed keep-warm; Predictive = the autoscale controller.
+	BurstReactive     AutoscaleRunResult `json:"burst_reactive"`
+	BurstPredictive   AutoscaleRunResult `json:"burst_predictive"`
+	DiurnalReactive   AutoscaleRunResult `json:"diurnal_reactive"`
+	DiurnalPredictive AutoscaleRunResult `json:"diurnal_predictive"`
+	SteadyReactive    AutoscaleRunResult `json:"steady_reactive"`
+	SteadyPredictive  AutoscaleRunResult `json:"steady_predictive"`
+
+	// DemandStartReduction is reactive demand starts over predictive's
+	// across the two bursty traces (higher = more cold starts hidden);
+	// RampP99Ratio is reactive ramp p99 over predictive's on the diurnal
+	// trace; IdleRatio is predictive idle sandbox-seconds over reactive's
+	// across the bursty traces (≤ 1 means scale-down paid for the
+	// headroom); SteadyThroughputRatio is predictive RPS over reactive's on
+	// the steady trace (target ≥ 0.95).
+	DemandStartReduction  float64 `json:"demand_start_reduction"`
+	RampP99Ratio          float64 `json:"ramp_p99_ratio"`
+	IdleRatio             float64 `json:"idle_ratio"`
+	SteadyThroughputRatio float64 `json:"steady_throughput_ratio"`
+
+	// Analytic cross-checks: cold starts one rate step converts at this
+	// sandbox start (costmodel.ColdStartsAvoided) and the steady-state idle
+	// accrual per second of a right-sized pool (costmodel.IdleSandboxSeconds).
+	EstColdStartsAvoidedPerStep float64 `json:"est_cold_starts_avoided_per_step"`
+	EstIdlePerSecond            float64 `json:"est_idle_per_second"`
+}
+
+// AutoscaleBenchConfig sizes the comparison.
+type AutoscaleBenchConfig struct {
+	// Nodes is the invoker count (default 1); Concurrency the slots per
+	// sandbox (default 2).
+	Nodes, Concurrency int
+	// MaxBatch is the gateway batch bound (default 4).
+	MaxBatch int
+	// SandboxStart is the modeled container start latency (default 800ms —
+	// between the paper's 500ms container start and its ~1s enclave chain).
+	SandboxStart time.Duration
+	// KeepWarm is the fixed idle deadline the reactive baseline holds and
+	// the adaptive deadline's ceiling (default 3s — compressed from the
+	// paper's 3min so scale-down is observable in a bench-sized run).
+	KeepWarm time.Duration
+	// ExecCost is the modeled per-request execution latency (default 150ms).
+	ExecCost time.Duration
+	// KeyFetchCost is the modeled key provisioning latency (default 10ms).
+	KeyFetchCost time.Duration
+	// Window is the controller's forecast window (default 250ms).
+	Window time.Duration
+	// PeakRate / TroughRate shape the bursty traces in rps (defaults 40/4);
+	// SteadyRate the control trace (default 20).
+	PeakRate, TroughRate, SteadyRate float64
+	// BurstDuration, DiurnalPeriod, DiurnalDuration, SteadyDuration size the
+	// traces (defaults 36s, 16s, 48s, 12s).
+	BurstDuration, DiurnalPeriod, DiurnalDuration, SteadyDuration time.Duration
+	// Seed makes the traces reproducible (default 7).
+	Seed int64
+}
+
+func (c *AutoscaleBenchConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.SandboxStart <= 0 {
+		c.SandboxStart = 800 * time.Millisecond
+	}
+	if c.KeepWarm <= 0 {
+		c.KeepWarm = 3 * time.Second
+	}
+	if c.ExecCost <= 0 {
+		c.ExecCost = 150 * time.Millisecond
+	}
+	if c.KeyFetchCost <= 0 {
+		c.KeyFetchCost = 10 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 250 * time.Millisecond
+	}
+	if c.PeakRate <= 0 {
+		c.PeakRate = 40
+	}
+	if c.TroughRate <= 0 {
+		c.TroughRate = 4
+	}
+	if c.SteadyRate <= 0 {
+		c.SteadyRate = 20
+	}
+	if c.BurstDuration <= 0 {
+		c.BurstDuration = 36 * time.Second
+	}
+	if c.DiurnalPeriod <= 0 {
+		c.DiurnalPeriod = 16 * time.Second
+	}
+	if c.DiurnalDuration <= 0 {
+		c.DiurnalDuration = 48 * time.Second
+	}
+	if c.SteadyDuration <= 0 {
+		c.SteadyDuration = 12 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+}
+
+// AutoscaleSmokeConfig is the tiny CI configuration.
+func AutoscaleSmokeConfig() AutoscaleBenchConfig {
+	return AutoscaleBenchConfig{
+		SandboxStart: 100 * time.Millisecond,
+		KeepWarm:     2 * time.Second,
+		ExecCost:     20 * time.Millisecond,
+		KeyFetchCost: 2 * time.Millisecond,
+		Window:       100 * time.Millisecond,
+		PeakRate:     24, TroughRate: 3, SteadyRate: 12,
+		BurstDuration: 4 * time.Second, DiurnalPeriod: 3 * time.Second,
+		DiurnalDuration: 6 * time.Second, SteadyDuration: 3 * time.Second,
+	}
+}
+
+// autoscaleWorld builds one controller's deployment.
+func (c AutoscaleBenchConfig) world(predictive bool) (*LiveWorld, error) {
+	wc := LiveWorldConfig{
+		Nodes:          c.Nodes,
+		NodeMemory:     2 << 30, // eight 256 MiB sandboxes per node
+		Concurrency:    c.Concurrency,
+		KeyFetchCost:   c.KeyFetchCost,
+		ExecCost:       c.ExecCost,
+		SandboxStart:   c.SandboxStart,
+		KeepWarm:       c.KeepWarm,
+		ReaperInterval: c.KeepWarm / 8,
+		StartEnclave:   true,
+		Gateway: gateway.Config{
+			MaxBatch:    c.MaxBatch,
+			MaxWait:     4 * time.Millisecond,
+			MaxQueue:    8192,
+			MaxInFlight: 16,
+		},
+	}
+	if predictive {
+		minKW := c.KeepWarm / 4
+		if minKW < 4*c.Window {
+			minKW = 4 * c.Window
+		}
+		wc.Autoscale = &autoscale.Config{
+			Window:          c.Window,
+			Horizon:         4,
+			Headroom:        1,
+			MaxWarm:         8,
+			SlotsPerSandbox: c.Concurrency,
+			MinKeepWarm:     minKW,
+			MaxKeepWarm:     c.KeepWarm,
+		}
+	} else {
+		// The reactive baseline: depth-triggered prewarm, fixed keep-warm.
+		wc.Gateway.PrewarmDepth = 2 * c.MaxBatch
+		wc.Gateway.PrewarmMax = 8
+	}
+	return NewLiveWorld(wc)
+}
+
+// runAutoscaleTrace replays tr open-loop through the world's gateway at the
+// trace's own arrival times, recording per-request latency (and separately
+// the requests ramp() selects), plus the warm/cold response split.
+func runAutoscaleTrace(w *LiveWorld, tr workload.Trace, ramp func(time.Duration) bool) (lat, rampLat *metrics.Latency, warm, errs int) {
+	lat, rampLat = &metrics.Latency{}, &metrics.Latency{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range tr {
+		ev := tr[i]
+		time.Sleep(time.Until(start.Add(ev.At)))
+		wg.Add(1)
+		go func(at time.Duration, seed int) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := w.DoGateway(context.Background(), seed)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			lat.Add(d)
+			if ramp != nil && ramp(at) {
+				rampLat.Add(d)
+			}
+			if resp.Kind != semirt.Cold {
+				warm++
+			}
+		}(ev.At, i)
+	}
+	wg.Wait()
+	return lat, rampLat, warm, errs
+}
+
+// runAutoscaleMode measures one (controller, trace) cell on a fresh world.
+func runAutoscaleMode(cfg AutoscaleBenchConfig, mode string, predictive bool, tr workload.Trace, ramp func(time.Duration) bool) (AutoscaleRunResult, error) {
+	w, err := cfg.world(predictive)
+	if err != nil {
+		return AutoscaleRunResult{}, err
+	}
+	defer w.Close()
+	base, err := w.Cluster.ActionStats(w.Action)
+	if err != nil {
+		return AutoscaleRunResult{}, err
+	}
+	start := time.Now()
+	lat, rampLat, warm, errs := runAutoscaleTrace(w, tr, ramp)
+	elapsed := time.Since(start)
+	st, err := w.Cluster.ActionStats(w.Action)
+	if err != nil {
+		return AutoscaleRunResult{}, err
+	}
+	gwStats := w.Gateway.Stats()
+	res := AutoscaleRunResult{
+		GatewayRunResult: GatewayRunResult{
+			Mode:      mode,
+			Requests:  len(tr),
+			Errors:    errs,
+			Seconds:   elapsed.Seconds(),
+			RPS:       float64(len(tr)-errs) / elapsed.Seconds(),
+			MeanMs:    float64(lat.Mean()) / 1e6,
+			P50Ms:     float64(lat.Percentile(50)) / 1e6,
+			P95Ms:     float64(lat.Percentile(95)) / 1e6,
+			P99Ms:     float64(lat.Percentile(99)) / 1e6,
+			Batches:   gwStats.Batches,
+			MeanBatch: w.Gateway.Metrics().BatchSizes.Mean(),
+		},
+		ColdStarts:         st.ColdStarts - base.ColdStarts,
+		IdleSandboxSeconds: st.IdleSeconds - base.IdleSeconds,
+		KeepWarmEnd:        st.KeepWarm.String(),
+	}
+	if rampLat.Count() > 0 {
+		res.RampP99Ms = float64(rampLat.Percentile(99)) / 1e6
+	}
+	if served := len(tr) - errs; served > 0 {
+		res.WarmRate = float64(warm) / float64(served)
+	}
+	if predictive {
+		as := w.Autoscaler.Stats()
+		res.Prewarmed = as.Prewarmed
+		if as.MeanRate > 0 {
+			res.ForecastError = as.ForecastMAE / as.MeanRate
+		}
+	} else {
+		res.Prewarmed = gwStats.Prewarmed
+	}
+	if res.ColdStarts > res.Prewarmed {
+		res.DemandStarts = res.ColdStarts - res.Prewarmed
+	}
+	return res, nil
+}
+
+// RunAutoscaleBench measures both controllers on the three traces and
+// assembles the snapshot.
+func RunAutoscaleBench(cfg AutoscaleBenchConfig) (*AutoscaleSnapshot, error) {
+	cfg.defaults()
+	snap := &AutoscaleSnapshot{
+		Nodes:        cfg.Nodes,
+		Concurrency:  cfg.Concurrency,
+		MaxBatch:     cfg.MaxBatch,
+		SandboxStart: cfg.SandboxStart.String(),
+		KeepWarm:     cfg.KeepWarm.String(),
+		ExecCost:     cfg.ExecCost.String(),
+		Window:       cfg.Window.String(),
+	}
+	burst := workload.MMPP(cfg.Seed, []float64{cfg.TroughRate, cfg.PeakRate},
+		cfg.BurstDuration/6, cfg.BurstDuration, "mbnet", "u")
+	diurnal := workload.Diurnal(cfg.Seed, cfg.PeakRate, cfg.TroughRate,
+		cfg.DiurnalPeriod, cfg.DiurnalDuration, "mbnet", "u")
+	steady := workload.FixedRate(cfg.SteadyRate, cfg.SteadyDuration, "mbnet", "u")
+	// Rising-rate halves of the sinusoid ([0, period/2) mod period) are the
+	// ramps the diurnal p99 is scored over.
+	ramp := func(at time.Duration) bool { return at%cfg.DiurnalPeriod < cfg.DiurnalPeriod/2 }
+
+	var err error
+	if snap.BurstReactive, err = runAutoscaleMode(cfg, "burst/reactive", false, burst, nil); err != nil {
+		return nil, err
+	}
+	if snap.BurstPredictive, err = runAutoscaleMode(cfg, "burst/predictive", true, burst, nil); err != nil {
+		return nil, err
+	}
+	if snap.DiurnalReactive, err = runAutoscaleMode(cfg, "diurnal/reactive", false, diurnal, ramp); err != nil {
+		return nil, err
+	}
+	if snap.DiurnalPredictive, err = runAutoscaleMode(cfg, "diurnal/predictive", true, diurnal, ramp); err != nil {
+		return nil, err
+	}
+	if snap.SteadyReactive, err = runAutoscaleMode(cfg, "steady/reactive", false, steady, nil); err != nil {
+		return nil, err
+	}
+	if snap.SteadyPredictive, err = runAutoscaleMode(cfg, "steady/predictive", true, steady, nil); err != nil {
+		return nil, err
+	}
+
+	if d := snap.BurstPredictive.DemandStarts + snap.DiurnalPredictive.DemandStarts; d > 0 {
+		snap.DemandStartReduction = float64(snap.BurstReactive.DemandStarts+snap.DiurnalReactive.DemandStarts) / float64(d)
+	}
+	if snap.DiurnalPredictive.RampP99Ms > 0 {
+		snap.RampP99Ratio = snap.DiurnalReactive.RampP99Ms / snap.DiurnalPredictive.RampP99Ms
+	}
+	if r := snap.BurstReactive.IdleSandboxSeconds + snap.DiurnalReactive.IdleSandboxSeconds; r > 0 {
+		snap.IdleRatio = (snap.BurstPredictive.IdleSandboxSeconds + snap.DiurnalPredictive.IdleSandboxSeconds) / r
+	}
+	if snap.SteadyReactive.RPS > 0 {
+		snap.SteadyThroughputRatio = snap.SteadyPredictive.RPS / snap.SteadyReactive.RPS
+	}
+	snap.EstColdStartsAvoidedPerStep = costmodel.ColdStartsAvoided(
+		cfg.PeakRate-cfg.TroughRate, cfg.SandboxStart, cfg.Concurrency*cfg.MaxBatch)
+	pool := int(cfg.PeakRate * cfg.ExecCost.Seconds() / float64(cfg.Concurrency))
+	if pool < 1 {
+		pool = 1
+	}
+	snap.EstIdlePerSecond = costmodel.IdleSandboxSeconds(pool, cfg.PeakRate/float64(cfg.MaxBatch), cfg.KeepWarm)
+	return snap, nil
+}
+
+// WriteAutoscaleSnapshot runs the comparison and writes BENCH_autoscale.json.
+func WriteAutoscaleSnapshot(path string, cfg AutoscaleBenchConfig) (*AutoscaleSnapshot, error) {
+	snap, err := RunAutoscaleBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printAutoscaleRun(w io.Writer, r AutoscaleRunResult) {
+	fmt.Fprintf(w, "%-20s %6d req %4d err  mean %7.1fms  p99 %8.1fms", r.Mode, r.Requests, r.Errors, r.MeanMs, r.P99Ms)
+	if r.RampP99Ms > 0 {
+		fmt.Fprintf(w, "  ramp-p99 %7.1fms", r.RampP99Ms)
+	}
+	fmt.Fprintf(w, "  starts %2d (%d demand)  idle %6.1fs  kw %s\n",
+		r.ColdStarts, r.DemandStarts, r.IdleSandboxSeconds, r.KeepWarmEnd)
+}
+
+func runAutoscaleExperiment(w io.Writer) error {
+	header(w, "Autoscale: forecast-driven prewarm + adaptive keep-warm vs reactive depth trigger")
+	snap, err := RunAutoscaleBench(AutoscaleBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printAutoscaleRun(w, snap.BurstReactive)
+	printAutoscaleRun(w, snap.BurstPredictive)
+	printAutoscaleRun(w, snap.DiurnalReactive)
+	printAutoscaleRun(w, snap.DiurnalPredictive)
+	printAutoscaleRun(w, snap.SteadyReactive)
+	printAutoscaleRun(w, snap.SteadyPredictive)
+	fmt.Fprintf(w, "demand cold starts: %.1fx fewer; ramp p99: %.2fx lower; idle sandbox-seconds ratio %.2f\n",
+		snap.DemandStartReduction, snap.RampP99Ratio, snap.IdleRatio)
+	fmt.Fprintf(w, "steady throughput predictive/reactive: %.2f (target ≥0.95)\n", snap.SteadyThroughputRatio)
+	fmt.Fprintf(w, "analytic: %.1f cold starts avoided per rate step, %.2f idle sandbox-seconds/s at peak\n",
+		snap.EstColdStartsAvoidedPerStep, snap.EstIdlePerSecond)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "autoscale",
+		Title: "Autoscale: predictive prewarm + telemetry-driven scale-down vs reactive",
+		Run:   runAutoscaleExperiment,
+	})
+}

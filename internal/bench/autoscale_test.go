@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"sesemi/internal/workload"
+)
+
+// TestAutoscaleSteadyWarmHitNotBelowReactive is the live half of the
+// scale-down safety property (the -race in-flight half lives in
+// internal/serverless): on a steady trace, an active autoscaler — adaptive
+// keep-warm included — must serve every request and must not push the
+// action's warm-hit rate below the reactive baseline's by more than noise.
+// Scale-down may only reap capacity the forecast no longer wants; a steady
+// stream's pool is always wanted.
+func TestAutoscaleSteadyWarmHitNotBelowReactive(t *testing.T) {
+	cfg := AutoscaleSmokeConfig()
+	cfg.defaults()
+	tr := workload.FixedRate(cfg.SteadyRate, 3*time.Second, "mbnet", "u")
+
+	warmHit := func(predictive bool) (float64, int) {
+		w, err := cfg.world(predictive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		_, _, _, errs := runAutoscaleTrace(w, tr, nil)
+		st, err := w.Cluster.ActionStats(w.Action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := float64(st.WarmHits + st.ColdStarts)
+		if total == 0 {
+			t.Fatal("no claims recorded")
+		}
+		return float64(st.WarmHits) / total, errs
+	}
+
+	reactive, rerrs := warmHit(false)
+	predictive, perrs := warmHit(true)
+	if rerrs != 0 || perrs != 0 {
+		t.Fatalf("errors on a steady trace: reactive %d, predictive %d", rerrs, perrs)
+	}
+	if predictive < reactive-0.15 {
+		t.Fatalf("steady warm-hit rate dropped under the autoscaler: predictive %.2f vs reactive %.2f",
+			predictive, reactive)
+	}
+	t.Logf("steady warm-hit: reactive %.2f, predictive %.2f", reactive, predictive)
+}
+
+// TestAutoscaleSmoke keeps the experiment binary from rotting: the tiny
+// configuration must run both controllers on all three traces end to end.
+func TestAutoscaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	snap, err := RunAutoscaleBench(AutoscaleSmokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []AutoscaleRunResult{
+		snap.BurstReactive, snap.BurstPredictive,
+		snap.DiurnalReactive, snap.DiurnalPredictive,
+		snap.SteadyReactive, snap.SteadyPredictive,
+	} {
+		if r.Requests == 0 || r.Errors == r.Requests {
+			t.Fatalf("%s: degenerate run %+v", r.Mode, r)
+		}
+	}
+	if snap.BurstPredictive.Prewarmed == 0 && snap.DiurnalPredictive.Prewarmed == 0 {
+		t.Fatal("predictive controller never prewarmed on either bursty trace")
+	}
+	if snap.SteadyThroughputRatio < 0.9 {
+		t.Fatalf("steady throughput ratio %.2f", snap.SteadyThroughputRatio)
+	}
+}

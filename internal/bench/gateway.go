@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sesemi/internal/attest"
+	"sesemi/internal/autoscale"
 	"sesemi/internal/costmodel"
 	"sesemi/internal/enclave"
 	"sesemi/internal/gateway"
@@ -38,6 +39,9 @@ import (
 type LiveWorld struct {
 	Cluster *serverless.Cluster
 	Gateway *gateway.Gateway
+	// Autoscaler is the predictive controller wired between the gateway and
+	// the cluster (nil unless LiveWorldConfig.Autoscale is set).
+	Autoscaler *autoscale.Controller
 	// Action is the single deployed endpoint; Model its default model id.
 	Action, Model string
 	// Models lists every deployed model id (Models[0] == Model). All models
@@ -93,6 +97,32 @@ type LiveWorldConfig struct {
 	// round trip. It also unmutes the platform clock, so modeled enclave
 	// launch/attestation sleeps apply to cold paths.
 	KeyFetchCost time.Duration
+	// ExecCost, when positive, charges a modeled model-execution latency per
+	// request on the platform clock (which it unmutes, like KeyFetchCost) —
+	// so batches occupy sandbox slots for realistic service times and warm
+	// capacity is genuinely scarce at load (the autoscale experiment's
+	// pressure source).
+	ExecCost time.Duration
+	// SandboxStart is the modeled container start latency charged on the
+	// cluster clock (0 = free starts, the historical bench behaviour). The
+	// cost every cold start pays and prewarming hides.
+	SandboxStart time.Duration
+	// KeepWarm overrides the cluster's idle-sandbox deadline (0 = the
+	// 3-minute paper default).
+	KeepWarm time.Duration
+	// ReaperInterval, when positive, runs Cluster.ReapIdle on this cadence
+	// for the world's lifetime — required for keep-warm (fixed or adaptive)
+	// to actually reclaim memory during a run.
+	ReaperInterval time.Duration
+	// StartEnclave launches each runtime's enclave inside the sandbox start
+	// (semirt.Runtime.Start) instead of lazily on the first request — the
+	// OpenWhisk prewarm semantics the autoscale experiment measures, where
+	// a prewarmed sandbox serves its first request warm, not cold.
+	StartEnclave bool
+	// Autoscale, when non-nil, wires a predictive autoscale.Controller
+	// between the gateway and the cluster (gateway.Config.Autoscaler is set
+	// automatically) and runs its control loop for the world's lifetime.
+	Autoscale *autoscale.Config
 	// KeyCacheSize sets semirt.Config.KeyCacheSize (0 = the live default,
 	// 1 = the historical single-pair cache).
 	KeyCacheSize int
@@ -146,9 +176,10 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	// the subject here. The cluster clock runs at Scale 1 so InvokeOverhead
 	// is charged for real — it is what the gateway amortizes. The
 	// keylocality experiment instead charges the modeled key-fetch cost
-	// (KeyFetchCost), which needs the platform clock live.
+	// (KeyFetchCost) and the autoscale experiment the modeled execution
+	// cost (ExecCost), which need the platform clock live.
 	platClock := vclock.Real{Scale: 0}
-	if cfg.KeyFetchCost > 0 {
+	if cfg.KeyFetchCost > 0 || cfg.ExecCost > 0 {
 		platClock = vclock.Real{Scale: 1}
 	}
 
@@ -191,7 +222,10 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	}
 	ccfg := serverless.DefaultConfig()
 	ccfg.Clock = vclock.Real{Scale: 1}
-	ccfg.SandboxStart = 0
+	ccfg.SandboxStart = cfg.SandboxStart
+	if cfg.KeepWarm > 0 {
+		ccfg.KeepWarm = cfg.KeepWarm
+	}
 	ccfg.InvokeOverhead = cfg.InvokeOverhead
 	w.Cluster = serverless.NewCluster(ccfg, nodes...)
 	w.closers = append(w.closers, w.Cluster.Close)
@@ -226,10 +260,11 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	}
 	scfg.KeyCacheSize = cfg.KeyCacheSize
 	scfg.DisableKeyCache = cfg.DisableKeyCache
-	if cfg.KeyFetchCost > 0 {
+	if cfg.KeyFetchCost > 0 || cfg.ExecCost > 0 {
 		scfg.ModeledStages = &costmodel.StageCosts{
 			KeyFetchCold: cfg.KeyFetchCost,
 			KeyFetchWarm: cfg.KeyFetchCost,
+			ModelExec:    cfg.ExecCost,
 		}
 	}
 	m, err := model.NewFunctional(w.Model)
@@ -297,6 +332,15 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 			if err != nil {
 				return nil, err
 			}
+			if cfg.StartEnclave {
+				// Launch the enclave as part of the sandbox start, so a
+				// prewarmed sandbox serves its first request warm — the
+				// OpenWhisk prewarm semantics (Runtime.Start's purpose).
+				if err := rt.Start(); err != nil {
+					rt.Stop()
+					return nil, err
+				}
+			}
 			w.rtMu.Lock()
 			w.runtimes = append(w.runtimes, rt)
 			w.rtMu.Unlock()
@@ -307,6 +351,15 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 		return fail(err)
 	}
 
+	if cfg.Autoscale != nil {
+		w.Autoscaler = autoscale.New(*cfg.Autoscale, w.Cluster)
+		cfg.Gateway.Autoscaler = w.Autoscaler
+		w.Autoscaler.Start()
+		w.closers = append(w.closers, w.Autoscaler.Stop)
+	}
+	if cfg.ReaperInterval > 0 {
+		w.closers = append(w.closers, w.Cluster.StartReaper(cfg.ReaperInterval))
+	}
 	w.Gateway = gateway.New(cfg.Gateway, w.Cluster)
 	w.closers = append(w.closers, w.Gateway.Close)
 

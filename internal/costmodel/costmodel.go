@@ -362,6 +362,71 @@ func ExpectedKeySwitches(batch, users, cacheSize int) float64 {
 	return distinct * (1 - KeyCacheHitRate(users, cacheSize))
 }
 
+// ForecastError scores an arrival-rate forecaster: the mean absolute
+// one-step error between per-window forecasts and the rates actually
+// observed, normalized by the mean observed rate (a relative error — 0 is a
+// perfect forecast, 1 means the error is as large as the signal). Series are
+// compared pairwise up to the shorter length; an empty overlap or an
+// all-zero actual series returns 0 (no score).
+func ForecastError(actual, forecast []float64) float64 {
+	n := len(actual)
+	if len(forecast) < n {
+		n = len(forecast)
+	}
+	if n == 0 {
+		return 0
+	}
+	var absErr, sum float64
+	for i := 0; i < n; i++ {
+		absErr += math.Abs(actual[i] - forecast[i])
+		sum += actual[i]
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return absErr / sum
+}
+
+// IdleSandboxSeconds estimates the idle sandbox-seconds a warm pool accrues
+// per second of steady traffic: each of the pool's sandboxes sees a
+// per-sandbox Poisson rate of rate/pool, idles E[min(gap, keepWarm)] between
+// consecutive uses, and gaps recur at that same rate, so its idle fraction is
+// 1 − exp(−(rate/pool)·keepWarm) — the warm-hit form again, because a
+// sandbox is idle-but-alive exactly when its next use arrives inside the
+// keep-warm window. Multiplying by pool gives the fleet-wide accrual rate:
+// the enclave-memory squatting a telemetry-driven scale-down (shrinking the
+// effective keepWarm) reduces, and what BENCH_autoscale's idle_sandbox_
+// seconds column measures. Non-positive inputs return 0.
+func IdleSandboxSeconds(pool int, rate float64, keepWarm time.Duration) float64 {
+	if pool <= 0 || rate <= 0 || keepWarm <= 0 {
+		return 0
+	}
+	perSandbox := rate / float64(pool)
+	return float64(pool) * (1 - math.Exp(-perSandbox*keepWarm.Seconds()))
+}
+
+// ColdStartsAvoided estimates the cold starts a predictive prewarm converts
+// into warm hits at one rate step: a reactive controller provisions only
+// after demand arrives, so every requests that lands during the
+// sandbox-start window of a rateStep (req/s) increase queues cold — one
+// cold start per batch of slotsPerSandbox requests — while a forecaster
+// that prewarmed ahead of the step serves them warm:
+//
+//	avoided ≈ rateStep · sandboxStart / slotsPerSandbox
+//
+// Summed over a trace's ramps this is the analytic counterpart of the
+// measured cold-start gap between the reactive and predictive controllers.
+// Non-positive inputs return 0.
+func ColdStartsAvoided(rateStep float64, sandboxStart time.Duration, slotsPerSandbox int) float64 {
+	if rateStep <= 0 || sandboxStart <= 0 {
+		return 0
+	}
+	if slotsPerSandbox < 1 {
+		slotsPerSandbox = 1
+	}
+	return rateStep * sandboxStart.Seconds() / float64(slotsPerSandbox)
+}
+
 // JainFairnessIndex returns Jain's fairness index over per-tenant
 // allocations (throughput, served counts, …):
 //

@@ -532,3 +532,61 @@ func TestExpectedKeySwitches(t *testing.T) {
 		prev = got
 	}
 }
+
+func TestForecastError(t *testing.T) {
+	// Perfect forecast scores 0.
+	if e := ForecastError([]float64{10, 20, 30}, []float64{10, 20, 30}); e != 0 {
+		t.Fatalf("perfect forecast error %.3f", e)
+	}
+	// |2|+|2|+|2| over 10+20+30 = 0.1.
+	if e := ForecastError([]float64{10, 20, 30}, []float64{12, 18, 32}); e < 0.099 || e > 0.101 {
+		t.Fatalf("error %.3f, want 0.1", e)
+	}
+	// Mismatched lengths compare the overlap only.
+	if e := ForecastError([]float64{10, 10}, []float64{10, 10, 99}); e != 0 {
+		t.Fatalf("overlap error %.3f", e)
+	}
+	if e := ForecastError(nil, []float64{1}); e != 0 {
+		t.Fatalf("empty overlap error %.3f", e)
+	}
+	if e := ForecastError([]float64{0, 0}, []float64{1, 1}); e != 0 {
+		t.Fatalf("all-zero actuals error %.3f", e)
+	}
+}
+
+func TestIdleSandboxSeconds(t *testing.T) {
+	// A hot pool (per-sandbox rate >> 1/keepWarm) idles ~pool seconds per
+	// second: every sandbox is alive and mostly between closely spaced uses.
+	if got := IdleSandboxSeconds(4, 400, 10*time.Second); got < 3.9 || got > 4.0 {
+		t.Fatalf("hot pool accrual %.2f, want ≈4", got)
+	}
+	// A nearly dead stream barely accrues: sandboxes expire instead.
+	if got := IdleSandboxSeconds(4, 0.01, time.Second); got >= 0.1 {
+		t.Fatalf("cold stream accrual %.3f, want ≈0", got)
+	}
+	// Shrinking keep-warm strictly shrinks the accrual (the scale-down claim).
+	long := IdleSandboxSeconds(4, 1, 60*time.Second)
+	short := IdleSandboxSeconds(4, 1, 5*time.Second)
+	if short >= long {
+		t.Fatalf("accrual did not shrink with keep-warm: %.2f vs %.2f", short, long)
+	}
+	if IdleSandboxSeconds(0, 1, time.Second) != 0 || IdleSandboxSeconds(1, 0, time.Second) != 0 ||
+		IdleSandboxSeconds(1, 1, 0) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}
+
+func TestColdStartsAvoided(t *testing.T) {
+	// A +40 rps step against a 500 ms container start, 4 slots per sandbox:
+	// 40*0.5/4 = 5 cold starts converted to warm hits.
+	if got := ColdStartsAvoided(40, 500*time.Millisecond, 4); got != 5 {
+		t.Fatalf("avoided %.1f, want 5", got)
+	}
+	// Unbatched slots default to 1.
+	if got := ColdStartsAvoided(40, 500*time.Millisecond, 0); got != 20 {
+		t.Fatalf("avoided %.1f, want 20", got)
+	}
+	if ColdStartsAvoided(0, time.Second, 1) != 0 || ColdStartsAvoided(1, 0, 1) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}

@@ -1,0 +1,165 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingAutoscaler captures the gateway's admission and batch feeds.
+type recordingAutoscaler struct {
+	mu      sync.Mutex
+	admits  []string // action\x1fmodel per admitted request
+	batches []batchNote
+}
+
+type batchNote struct {
+	action, model, servedOn string
+	size                    int
+	svc                     time.Duration
+}
+
+func (a *recordingAutoscaler) NoteAdmit(action, model string) {
+	a.mu.Lock()
+	a.admits = append(a.admits, action+"\x1f"+model)
+	a.mu.Unlock()
+}
+
+func (a *recordingAutoscaler) NoteBatch(action, model string, size int, svc time.Duration, servedOn string) {
+	a.mu.Lock()
+	a.batches = append(a.batches, batchNote{action, model, servedOn, size, svc})
+	a.mu.Unlock()
+}
+
+// TestAutoscalerReceivesAdmissionAndBatchFeeds verifies the controller's two
+// inputs: one NoteAdmit per accepted request (rejections excluded) and one
+// NoteBatch per dispatched activation carrying its size.
+func TestAutoscalerReceivesAdmissionAndBatchFeeds(t *testing.T) {
+	inv := newFakeInvoker()
+	as := &recordingAutoscaler{}
+	g := New(Config{MaxBatch: 4, MaxWait: time.Millisecond, Autoscaler: as}, inv)
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := g.Do(context.Background(), "fn", req("m", i)); err != nil {
+				t.Errorf("do: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if len(as.admits) != 8 {
+		t.Fatalf("admission feed saw %d events, want 8", len(as.admits))
+	}
+	for _, a := range as.admits {
+		if a != "fn\x1fm" {
+			t.Fatalf("admission event %q", a)
+		}
+	}
+	total := 0
+	for _, b := range as.batches {
+		if b.action != "fn" || b.model != "m" {
+			t.Fatalf("batch note %+v", b)
+		}
+		if b.size < 1 || b.size > 4 {
+			t.Fatalf("batch size %d out of bounds", b.size)
+		}
+		total += b.size
+	}
+	if total != 8 {
+		t.Fatalf("batch feed accounted %d requests, want 8", total)
+	}
+}
+
+// TestAutoscalerSupersedesDepthPrewarm: with a controller installed, the
+// depth-triggered prewarm must stay off even when PrewarmDepth is set — two
+// policies must not fight over one pool.
+func TestAutoscalerSupersedesDepthPrewarm(t *testing.T) {
+	inv := &fakePrewarmer{fakeInvoker: newFakeInvoker()}
+	inv.block = make(chan struct{})
+	inv.started = make(chan struct{}, 8)
+	as := &recordingAutoscaler{}
+	g := New(Config{
+		MaxBatch: 1, MaxWait: time.Millisecond, MaxInFlight: 1, MaxQueue: 64,
+		PrewarmDepth: 2, PrewarmMax: 4, Autoscaler: as,
+	}, inv)
+	defer g.Close()
+
+	go g.Do(context.Background(), "fn", req("m", 0))
+	<-inv.started
+	for i := 1; i <= 6; i++ {
+		go g.Do(context.Background(), "fn", req("m", i))
+	}
+	for g.Stats().Accepted != 7 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Give a depth prewarm every opportunity it would have had, then check
+	// none happened while the admission feed did.
+	time.Sleep(10 * time.Millisecond)
+	inv.mu.Lock()
+	prewarms := len(inv.wants)
+	inv.mu.Unlock()
+	if prewarms != 0 {
+		t.Fatalf("depth prewarm fired %d times with an autoscaler installed", prewarms)
+	}
+	as.mu.Lock()
+	admits := len(as.admits)
+	as.mu.Unlock()
+	if admits != 7 {
+		t.Fatalf("admission feed saw %d events, want 7", admits)
+	}
+	close(inv.block)
+}
+
+// TestAutoscalerNotFedOnRejection: requests refused at admission never reach
+// the feed (the forecast must see served demand, not overload noise).
+func TestAutoscalerNotFedOnRejection(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.block = make(chan struct{})
+	inv.started = make(chan struct{}, 4)
+	as := &recordingAutoscaler{}
+	g := New(Config{
+		MaxBatch: 1, MaxWait: time.Millisecond, MaxInFlight: 1, MaxQueue: 1,
+		Autoscaler: as,
+	}, inv)
+	defer g.Close()
+
+	go g.Do(context.Background(), "fn", req("m", 0))
+	<-inv.started // one in flight
+	// Fill the queue (1), then overflow it.
+	accepted, rejected := 0, 0
+	done := make(chan error, 4)
+	for i := 1; i <= 4; i++ {
+		go func(i int) {
+			_, err := g.Do(context.Background(), "fn", req("m", i))
+			done <- err
+		}(i)
+	}
+	for g.Stats().Rejected == 0 && g.Stats().Accepted < 5 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(inv.block)
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	as.mu.Lock()
+	admits := len(as.admits)
+	as.mu.Unlock()
+	if admits != accepted+1 {
+		t.Fatalf("feed saw %d admissions for %d accepted requests", admits, accepted+1)
+	}
+	if rejected == 0 {
+		t.Skip("no rejection provoked; bound not exercised on this schedule")
+	}
+}

@@ -228,6 +228,11 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	// behind. A no-op whenever anything is queued, in flight, or timed.
 	g.reapLocked(q)
 	g.mu.Unlock()
+	if g.cfg.Autoscaler != nil {
+		// The admission-event feed: one event per accepted request, outside
+		// g.mu (the controller locks for itself).
+		g.cfg.Autoscaler.NoteAdmit(req.Action, req.Model)
+	}
 	return newTicket(g, q, p), nil
 }
 

@@ -77,6 +77,24 @@ type PlacedPrewarmer interface {
 	PrewarmOn(action, node string, want int) (int, error)
 }
 
+// Autoscaler is the pluggable predictive scaling surface
+// (internal/autoscale.Controller implements it): the gateway feeds it every
+// admission and every dispatched batch's outcome, and the controller drives
+// the cluster's warm pool and keep-warm deadlines from forecasts built on
+// that feed. When Config.Autoscaler is set, the depth-triggered prewarm
+// (PrewarmDepth) is bypassed — the controller owns warm capacity; when nil,
+// depth mode remains the zero-config fallback.
+type Autoscaler interface {
+	// NoteAdmit reports one admitted request on the (action, model) queue —
+	// the admission-event feed the arrival-rate forecast is built from.
+	NoteAdmit(action, model string)
+	// NoteBatch reports one dispatched batch: its size, its
+	// dispatch→fan-out service time, and the node that served it ("" when
+	// routing is off) — the service-time and home-node telemetry behind the
+	// Little's-law capacity target.
+	NoteBatch(action, model string, size int, svc time.Duration, servedOn string)
+}
+
 // Router is the locality surface of the backend: hinted dispatch plus the
 // per-node scheduling state the affinity router ranks candidate homes by.
 // *serverless.Cluster satisfies it.
@@ -145,7 +163,13 @@ type Config struct {
 	TenantWeights map[string]int
 	// PrewarmDepth, when positive, requests one warm sandbox per PrewarmDepth
 	// queued requests (capped at PrewarmMax). Zero disables prewarming.
+	// Ignored while Autoscaler is set.
 	PrewarmDepth int
+	// Autoscaler, when non-nil, receives the admission and batch feeds and
+	// owns warm capacity (proactive, forecast-driven) instead of the
+	// depth-triggered prewarm. The gateway only feeds it; the caller wires
+	// it to the cluster and runs its control loop.
+	Autoscaler Autoscaler
 	// PrewarmMax caps the prewarm target per action (default 8).
 	PrewarmMax int
 	// Affinity enables locality-aware batch routing: each (action, model)
@@ -208,7 +232,7 @@ type result struct {
 type pending struct {
 	req      semirt.Request
 	tenant   string
-	group    string      // user-affinity grouping key (GroupUsers)
+	group    string // user-affinity grouping key (GroupUsers)
 	prio     int
 	deadline time.Time   // zero: none
 	done     chan result // buffered 1: the dispatcher never blocks on fan-out
@@ -549,7 +573,9 @@ func New(cfg Config, inv Invoker) *Gateway {
 			E2E:        metrics.NewHistogram(0.25), // ms
 		},
 	}
-	if pw, ok := inv.(Prewarmer); ok && cfg.PrewarmDepth > 0 {
+	// An installed Autoscaler owns warm capacity: depth-triggered prewarm
+	// stays off so the two policies cannot fight over the same pool.
+	if pw, ok := inv.(Prewarmer); ok && cfg.PrewarmDepth > 0 && cfg.Autoscaler == nil {
 		g.pw = pw
 	}
 	if rt, ok := inv.(Router); ok && cfg.Affinity {
@@ -898,6 +924,11 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 	g.armTimerLocked(q)
 	g.reapLocked(q)
 	g.mu.Unlock()
+	if g.cfg.Autoscaler != nil {
+		// Outside g.mu: the controller takes its own lock, and its feed must
+		// never extend the gateway's critical section.
+		g.cfg.Autoscaler.NoteBatch(q.action, q.model, len(batch), svc, servedOn)
+	}
 	if needRehome {
 		// The cluster scan behind re-homing runs outside g.mu (it takes
 		// every node lock); the application re-checks that the queue still

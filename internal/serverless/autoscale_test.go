@@ -1,0 +1,245 @@
+package serverless
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// guardInstance fails the test when the sandbox lifecycle protocol is
+// violated: Stop while a request is in flight, or Invoke after Stop.
+type guardInstance struct {
+	t       *testing.T
+	active  atomic.Int32
+	stopped atomic.Bool
+}
+
+func (g *guardInstance) Invoke(p []byte) ([]byte, error) {
+	if g.stopped.Load() {
+		g.t.Error("Invoke on a stopped instance")
+	}
+	g.active.Add(1)
+	runtime.Gosched() // widen the window the reaper could race into
+	g.active.Add(-1)
+	return p, nil
+}
+
+func (g *guardInstance) Stop() {
+	if g.active.Load() != 0 {
+		g.t.Error("Stop while a request is in flight")
+	}
+	g.stopped.Store(true)
+}
+
+// TestStartReaperFollowsInjectedClock is the regression test for the reaper
+// ticking on the wall clock even when the cluster was built with an injected
+// clock: with a Manual clock, advancing virtual time alone must make the
+// reaper fire and reclaim, with no wall-clock interval involved.
+func TestStartReaperFollowsInjectedClock(t *testing.T) {
+	clock := vclock.NewManual()
+	c, _ := newTestCluster(clock, 1<<30, 1)
+	defer c.Close()
+	if err := c.Deploy(echoAction("fn", 128<<20, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := c.StartReaper(30 * time.Second)
+	defer stop()
+
+	// Nothing is due yet; the reaper goroutine has no wall-clock timer to
+	// fire on, only virtual ones.
+	if st := c.Stats(); st.Sandboxes["fn"] != 1 {
+		t.Fatalf("sandboxes %v, want 1", st.Sandboxes)
+	}
+	// One virtual keep-warm (3 min default) makes the sandbox reapable; each
+	// further tick-sized advance fires whatever timer the reaper goroutine
+	// has registered by then (registration itself is asynchronous, so the
+	// advance is repeated — wall time never makes the reap due, only
+	// virtual time does).
+	clock.Advance(3 * time.Minute)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := c.Stats(); st.Sandboxes["fn"] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reaper did not fire on virtual-time advance")
+		}
+		clock.Advance(31 * time.Second)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSetKeepWarmPerAction verifies the adaptive override: shrinking one
+// action's deadline reaps only that action's idle sandboxes; clearing it
+// restores the cluster default.
+func TestSetKeepWarmPerAction(t *testing.T) {
+	clock := vclock.NewManual()
+	c, _ := newTestCluster(clock, 1<<30, 1)
+	defer c.Close()
+	for _, name := range []string{"hot", "cold"} {
+		if err := c.Deploy(echoAction(name, 128<<20, 1, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Invoke(context.Background(), name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetKeepWarm("cold", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if kw, _ := c.KeepWarm("cold"); kw != 10*time.Second {
+		t.Fatalf("KeepWarm(cold) = %v", kw)
+	}
+	if kw, _ := c.KeepWarm("hot"); kw != 3*time.Minute {
+		t.Fatalf("KeepWarm(hot) = %v (default must be untouched)", kw)
+	}
+	clock.Advance(11 * time.Second)
+	if n := c.ReapIdle(); n != 1 {
+		t.Fatalf("reaped %d, want only the shortened action", n)
+	}
+	st := c.Stats()
+	if st.Sandboxes["cold"] != 0 || st.Sandboxes["hot"] != 1 {
+		t.Fatalf("sandboxes %v", st.Sandboxes)
+	}
+	// Clearing the override restores the default deadline.
+	if err := c.SetKeepWarm("cold", 0); err != nil {
+		t.Fatal(err)
+	}
+	if kw, _ := c.KeepWarm("cold"); kw != 3*time.Minute {
+		t.Fatalf("cleared KeepWarm(cold) = %v", kw)
+	}
+	if err := c.SetKeepWarm("ghost", time.Second); err == nil {
+		t.Fatal("SetKeepWarm accepted an unknown action")
+	}
+}
+
+// TestActionStatsTelemetry walks the counters the autoscaler feeds on:
+// per-action cold starts, warm hits, and cumulative idle sandbox-seconds
+// (open idle periods included).
+func TestActionStatsTelemetry(t *testing.T) {
+	clock := vclock.NewManual()
+	c, _ := newTestCluster(clock, 1<<30, 1)
+	defer c.Close()
+	if err := c.Deploy(echoAction("fn", 128<<20, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ActionStats("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColdStarts != 1 || st.WarmHits != 0 || st.Live != 1 || st.Idle != 1 {
+		t.Fatalf("after cold start: %+v", st)
+	}
+	// Ten idle virtual seconds show up as an open idle period.
+	clock.Advance(10 * time.Second)
+	if st, _ = c.ActionStats("fn"); st.IdleSeconds < 10 {
+		t.Fatalf("IdleSeconds %.1f, want >= 10", st.IdleSeconds)
+	}
+	// A warm reuse closes the period into the cumulative counter.
+	if _, err := c.Invoke(context.Background(), "fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.ActionStats("fn")
+	if st.WarmHits != 1 || st.ColdStarts != 1 {
+		t.Fatalf("after warm reuse: %+v", st)
+	}
+	if st.IdleSeconds < 10 {
+		t.Fatalf("closed idle period lost: %.1f", st.IdleSeconds)
+	}
+	if _, err := c.ActionStats("ghost"); err == nil {
+		t.Fatal("ActionStats accepted an unknown action")
+	}
+}
+
+// TestScaleDownNeverReapsInFlight is the scale-down safety property test:
+// an aggressive autoscaler shrinking keep-warm deadlines (down to ~0) and
+// reaping continuously must never destroy a sandbox with a request in
+// flight, and every invocation must still be answered. Run under -race.
+func TestScaleDownNeverReapsInFlight(t *testing.T) {
+	clock := vclock.Real{Scale: 0} // modeled sleeps off: pure scheduling churn
+	cfg := DefaultConfig()
+	cfg.Clock = clock
+	cfg.SandboxStart = 0
+	cfg.KeepWarm = time.Hour
+	var ns []*Node
+	for i := 0; i < 2; i++ {
+		ns = append(ns, &Node{Name: fmt.Sprintf("node-%d", i), MemoryBytes: 512 << 20})
+	}
+	c := NewCluster(cfg, ns...)
+	defer c.Close()
+
+	// inflightGuard fails the test if Stop ever runs while Invoke is active.
+	var made []*guardInstance
+	var mu sync.Mutex
+	action := &Action{
+		Name: "fn", MemoryBudget: 128 << 20, Concurrency: 2,
+		New: func(n *Node) (Instance, error) {
+			inst := &guardInstance{t: t}
+			mu.Lock()
+			made = append(made, inst)
+			mu.Unlock()
+			return inst, nil
+		},
+	}
+	if err := c.Deploy(action); err != nil {
+		t.Fatal(err)
+	}
+
+	stopScaling := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// The hostile autoscaler: keep-warm flaps between 0 and 1ns while
+		// ReapIdle runs as fast as it can.
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stopScaling:
+				return
+			default:
+			}
+			_ = c.SetKeepWarm("fn", time.Duration(rng.Intn(2)))
+			c.ReapIdle()
+		}
+	}()
+
+	const clients, perClient = 16, 50
+	var cwg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		cwg.Add(1)
+		go func(cl int) {
+			defer cwg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := c.Invoke(context.Background(), "fn", []byte("x")); err != nil {
+					t.Errorf("invoke failed under scale-down churn: %v", err)
+					return
+				}
+			}
+		}(cl)
+	}
+	cwg.Wait()
+	close(stopScaling)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, inst := range made {
+		if inst.active.Load() != 0 {
+			t.Fatal("instance left with in-flight work")
+		}
+	}
+}

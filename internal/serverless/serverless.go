@@ -130,24 +130,26 @@ type Sandbox struct {
 }
 
 // tryClaim reserves one slot if the sandbox is ready and has spare
-// concurrency. The claim/undo protocol pairs with the evictors' dying CAS:
-// an evictor first CASes ready→dying and only destroys after re-reading
-// inFlight == 0, so either the evictor observes our increment and reverts, or
-// we observe its dying state and undo — a slot is never claimed in a sandbox
-// that gets destroyed.
-func (sb *Sandbox) tryClaim(max int32) bool {
+// concurrency, additionally reporting whether the claim ended an idle period
+// (the sandbox had nothing in flight). The claim/undo protocol pairs with the
+// evictors' dying CAS: an evictor first CASes ready→dying and only destroys
+// after re-reading inFlight == 0, so either the evictor observes our
+// increment and reverts, or we observe its dying state and undo — a slot is
+// never claimed in a sandbox that gets destroyed.
+func (sb *Sandbox) tryClaim(max int32) (ok, wasIdle bool) {
 	if sb.state.Load() != sandboxReady {
-		return false
+		return false, false
 	}
-	if sb.inFlight.Add(1) > max {
+	n := sb.inFlight.Add(1)
+	if n > max {
 		sb.inFlight.Add(-1)
-		return false
+		return false, false
 	}
 	if sb.state.Load() != sandboxReady {
 		sb.inFlight.Add(-1)
-		return false
+		return false, false
 	}
-	return true
+	return true, n == 1
 }
 
 // Config tunes the cluster.
@@ -182,6 +184,16 @@ type actionState struct {
 	// state transition.
 	count    atomic.Int32
 	starting atomic.Int32
+	// Autoscaling telemetry: warmHits counts slot claims served by an
+	// already-ready sandbox of this action; coldStarts counts sandboxes
+	// started for it; idleNanos accrues sandbox idle time (closed idle
+	// periods — a claim ending one, or an idle sandbox being destroyed).
+	warmHits   atomic.Uint64
+	coldStarts atomic.Uint64
+	idleNanos  atomic.Int64
+	// keepWarm, when positive, overrides Config.KeepWarm for this action —
+	// the scale-down lever an autoscaler adapts from warm-hit/idle telemetry.
+	keepWarm atomic.Int64
 	// waiters counts acquires currently between registration and claim;
 	// releases skip the notification machinery when it is zero.
 	waiters atomic.Int32
@@ -429,26 +441,38 @@ func (c *Cluster) claimReady(as *actionState, hint *Node) *Sandbox {
 	}
 	snap := *p
 	max := int32(as.a.Concurrency)
-	if sb := claimFrom(snap, hint, max); sb != nil {
-		sb.node.warmHits.Add(1)
-		return sb
-	}
-	return nil
+	return c.claimFrom(snap, hint, max)
 }
 
 // claimFrom claims a slot among snapshot entries (restricted to node only
 // when only != nil), first fit. Snapshots are built busiest-first, so first
 // fit approximates the bin-packing preference for the busiest sandbox with a
 // spare slot while letting the hot path stop at the first claim instead of
-// scanning the whole pool.
-func claimFrom(snap []*Sandbox, only *Node, max int32) *Sandbox {
+// scanning the whole pool. A successful claim is a warm hit (node- and
+// action-level); a claim that ends an idle period closes it into the
+// action's idle-seconds telemetry.
+func (c *Cluster) claimFrom(snap []*Sandbox, only *Node, max int32) *Sandbox {
 	for _, sb := range snap {
 		if only != nil && sb.node != only {
 			continue
 		}
-		if sb.tryClaim(max) {
-			return sb
+		ok, wasIdle := sb.tryClaim(max)
+		if !ok {
+			continue
 		}
+		sb.node.warmHits.Add(1)
+		sb.as.warmHits.Add(1)
+		if wasIdle {
+			// lastUsed is read AFTER the idle-ending claim: the releaser
+			// stores lastUsed before decrementing inFlight, so having
+			// observed inFlight go 0→1 guarantees the store is visible —
+			// reading earlier could misattribute a whole busy period as
+			// idle. Only the claimer that ends the period accrues it.
+			if idle := c.clock.Now().UnixNano() - sb.lastUsed.Load(); idle > 0 {
+				sb.as.idleNanos.Add(idle)
+			}
+		}
+		return sb
 	}
 	return nil
 }
@@ -473,9 +497,8 @@ func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
 	snap := c.rebuildSnapshot(as)
 	max := int32(as.a.Concurrency)
 	if hint != nil {
-		if sb := claimFrom(snap, hint, max); sb != nil {
+		if sb := c.claimFrom(snap, hint, max); sb != nil {
 			as.startMu.Unlock()
-			sb.node.warmHits.Add(1)
 			return sb, nil
 		}
 		if c.tryReserve(hint, as.a.MemoryBudget) {
@@ -491,9 +514,8 @@ func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
 			return nil, nil
 		}
 	}
-	if sb := claimFrom(snap, nil, max); sb != nil {
+	if sb := c.claimFrom(snap, nil, max); sb != nil {
 		as.startMu.Unlock()
-		sb.node.warmHits.Add(1)
 		return sb, nil
 	}
 	// Sandboxes already starting absorb pending demand: if their spare
@@ -686,7 +708,9 @@ func (c *Cluster) evictAndReserve(n *Node, budget int64) bool {
 		n.reserved += budget
 		return true
 	}()
+	now := c.clock.Now().UnixNano()
 	for _, sb := range victims {
+		accrueIdle(sb, now)
 		sb.as.count.Add(-1)
 		sb.as.ready.Store(nil)
 		c.evictions.Add(1)
@@ -698,6 +722,14 @@ func (c *Cluster) evictAndReserve(n *Node, budget int64) bool {
 		c.notifyAllActions()
 	}
 	return ok
+}
+
+// accrueIdle closes an idle sandbox's final idle period into its action's
+// telemetry — the destruction-path counterpart of claimFrom's accounting.
+func accrueIdle(sb *Sandbox, nowNanos int64) {
+	if idle := nowNanos - sb.lastUsed.Load(); idle > 0 {
+		sb.as.idleNanos.Add(idle)
+	}
 }
 
 // registerStarting creates a starting sandbox on a node whose memory is
@@ -765,6 +797,7 @@ func (c *Cluster) startSandbox(sb *Sandbox) (*Sandbox, error) {
 	as.starting.Add(-1)
 	as.ready.Store(nil) // membership changed: next placement rebuilds
 	n.coldStarts.Add(1)
+	as.coldStarts.Add(1)
 	c.coldStarts.Add(1)
 	as.notify()
 	return sb, nil
@@ -850,10 +883,12 @@ func (c *Cluster) notifyAllActions() {
 	}
 }
 
-// ReapIdle destroys sandboxes idle past the keep-warm timeout and returns
-// how many were reclaimed. Call it periodically (StartReaper does).
+// ReapIdle destroys sandboxes idle past their keep-warm deadline — the
+// action's adaptive override (SetKeepWarm) when set, Config.KeepWarm
+// otherwise — and returns how many were reclaimed. Call it periodically
+// (StartReaper does).
 func (c *Cluster) ReapIdle() int {
-	cutoff := c.clock.Now().Add(-c.cfg.KeepWarm).UnixNano()
+	now := c.clock.Now().UnixNano()
 	reaped := 0
 	var stops []Instance
 	var victims []*Sandbox
@@ -861,6 +896,7 @@ func (c *Cluster) ReapIdle() int {
 		n.mu.Lock()
 		for _, sbs := range n.sandboxes {
 			for _, sb := range append([]*Sandbox(nil), sbs...) {
+				cutoff := now - int64(c.effectiveKeepWarm(sb.as))
 				if sb.state.Load() != sandboxReady || sb.inFlight.Load() != 0 || sb.lastUsed.Load() > cutoff {
 					continue
 				}
@@ -884,6 +920,7 @@ func (c *Cluster) ReapIdle() int {
 		n.mu.Unlock()
 	}
 	for _, sb := range victims {
+		accrueIdle(sb, now)
 		sb.as.count.Add(-1)
 		sb.as.ready.Store(nil)
 	}
@@ -896,18 +933,61 @@ func (c *Cluster) ReapIdle() int {
 	return reaped
 }
 
-// StartReaper runs ReapIdle on a wall-clock interval until the returned
-// function is called.
+// effectiveKeepWarm is the action's reaping deadline: its adaptive override
+// when set, the cluster default otherwise.
+func (c *Cluster) effectiveKeepWarm(as *actionState) time.Duration {
+	if kw := as.keepWarm.Load(); kw > 0 {
+		return time.Duration(kw)
+	}
+	return c.cfg.KeepWarm
+}
+
+// SetKeepWarm overrides the action's keep-warm deadline — the scale-down
+// lever an autoscaler drives from warm-hit and idle telemetry. d <= 0
+// restores Config.KeepWarm. The override applies from the next ReapIdle; it
+// never destroys anything by itself, and an in-flight sandbox is never a
+// reaping victim regardless of how short the deadline gets.
+func (c *Cluster) SetKeepWarm(action string, d time.Duration) error {
+	as, err := c.actionState(action)
+	if err != nil {
+		return err
+	}
+	if d < 0 {
+		d = 0
+	}
+	as.keepWarm.Store(int64(d))
+	return nil
+}
+
+// KeepWarm reports the action's effective keep-warm deadline.
+func (c *Cluster) KeepWarm(action string) (time.Duration, error) {
+	as, err := c.actionState(action)
+	if err != nil {
+		return 0, err
+	}
+	return c.effectiveKeepWarm(as), nil
+}
+
+// StartReaper runs ReapIdle on an interval of the cluster's clock until the
+// returned function is called (or the cluster closes). With the default
+// system clock that is a wall-clock interval; with an injected clock
+// (vclock.Manual) the ticks follow virtual time, so sim-time tests drive
+// reaping deterministically by advancing the clock.
 func (c *Cluster) StartReaper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		// The pre-clock implementation's time.NewTicker panicked here; keep
+		// the loud failure — a zero interval would busy-spin the reap loop.
+		panic("serverless: StartReaper interval must be positive")
+	}
 	done := make(chan struct{})
 	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
 		for {
 			select {
-			case <-t.C:
+			case <-vclock.After(c.clock, interval):
 				c.ReapIdle()
 			case <-done:
+				return
+			case <-c.closedCh:
 				return
 			}
 		}
@@ -1006,12 +1086,73 @@ func (c *Cluster) NodeStats(action string) []NodeStat {
 	return out
 }
 
+// ActionStats is one action's autoscaling telemetry: the warm-pool shape an
+// arrival-rate forecaster sizes against, and the warm-hit/idle signals a
+// scale-down policy adapts the keep-warm deadline from.
+type ActionStats struct {
+	// Live counts the action's sandboxes (starting + ready); Starting only
+	// those still starting; Idle the ready ones with nothing in flight.
+	Live, Starting, Idle int
+	// InFlight is the action's in-flight request count across sandboxes.
+	InFlight int
+	// WarmHits counts slot claims served by an already-ready sandbox;
+	// ColdStarts counts sandboxes started for the action (prewarmed ones
+	// included). Both are lifetime counters.
+	WarmHits, ColdStarts uint64
+	// IdleSeconds is the cumulative idle sandbox-seconds the action has
+	// accrued — closed idle periods plus the open ones of currently idle
+	// sandboxes. The enclave-memory squatting a scale-down policy shrinks.
+	IdleSeconds float64
+	// KeepWarm is the action's effective keep-warm deadline.
+	KeepWarm time.Duration
+}
+
+// ActionStats returns the action's telemetry snapshot.
+func (c *Cluster) ActionStats(action string) (ActionStats, error) {
+	as, err := c.actionState(action)
+	if err != nil {
+		return ActionStats{}, err
+	}
+	now := c.clock.Now().UnixNano()
+	st := ActionStats{
+		WarmHits:   as.warmHits.Load(),
+		ColdStarts: as.coldStarts.Load(),
+		KeepWarm:   c.effectiveKeepWarm(as),
+	}
+	idleNanos := as.idleNanos.Load()
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, sb := range n.sandboxes[action] {
+			state := sb.state.Load()
+			if state == sandboxDead {
+				continue
+			}
+			st.Live++
+			if state == sandboxStarting {
+				st.Starting++
+			}
+			inFlight := int(sb.inFlight.Load())
+			st.InFlight += inFlight
+			if state == sandboxReady && inFlight == 0 {
+				st.Idle++
+				if open := now - sb.lastUsed.Load(); open > 0 {
+					idleNanos += open
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+	st.IdleSeconds = float64(idleNanos) / float64(time.Second)
+	return st, nil
+}
+
 // Close destroys all sandboxes and refuses further invocations.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(c.closedCh)
+	now := c.clock.Now().UnixNano()
 	var stops []Instance
 	for _, n := range c.nodes {
 		n.mu.Lock()
@@ -1020,6 +1161,9 @@ func (c *Cluster) Close() {
 				st := sb.state.Load()
 				if st == sandboxDead {
 					continue
+				}
+				if st == sandboxReady && sb.inFlight.Load() == 0 {
+					accrueIdle(sb, now)
 				}
 				sb.state.Store(sandboxDead)
 				n.reserved -= sb.action.MemoryBudget

@@ -1,0 +1,186 @@
+package sim
+
+// The discrete-event mirror of the predictive autoscaler
+// (internal/autoscale): the same policy functions — Holt forecast over
+// windowed arrival rates, Little's-law warm target, adaptive keep-warm —
+// run on the simulator's virtual clock. arrive() feeds the admission
+// counts, complete() the service-time telemetry, and autoscaleStep (one
+// event per Config.Autoscale.Window) issues prestart/scale-down decisions,
+// so simulated ramp behaviour reproduces the live controller's ranking
+// deterministically.
+
+import (
+	"sesemi/internal/autoscale"
+	"sesemi/internal/costmodel"
+)
+
+// asStream returns (creating if needed) the stream's forecasting state.
+func (s *Simulation) asStream(ep, model string) *asStream {
+	key := ep + "\x1f" + model
+	st := s.asStreams[key]
+	if st == nil {
+		st = &asStream{ep: ep, model: model,
+			holt: autoscale.NewHolt(s.cfg.Autoscale.Alpha, s.cfg.Autoscale.Beta)}
+		s.asStreams[key] = st
+	}
+	return st
+}
+
+// asAct returns (creating if needed) the action's control state.
+func (s *Simulation) asAct(ep string) *asActState {
+	ac := s.asActs[ep]
+	if ac == nil {
+		ac = &asActState{}
+		s.asActs[ep] = ac
+	}
+	return ac
+}
+
+// autoscaleStep runs one control interval — the mirror of
+// autoscale.Controller.Step.
+func (s *Simulation) autoscaleStep() {
+	cfg := s.cfg.Autoscale
+	win := cfg.Window.Seconds()
+	want := map[string]int{}
+	wantKey := map[string]string{} // action -> stream key placing the prewarm
+	best := map[string]int{}
+	for key, st := range s.asStreams {
+		rate := float64(st.count) / win
+		st.count = 0
+		st.holt.Observe(rate)
+		f := st.holt.Forecast(cfg.Horizon)
+		spec := s.actions[st.ep]
+		if spec == nil {
+			continue
+		}
+		target := autoscale.TargetSandboxes(f, st.svcSeconds, st.meanBatch,
+			spec.Concurrency, cfg.Headroom, cfg.MaxWarm)
+		want[st.ep] += target
+		if target > best[st.ep] {
+			best[st.ep] = target
+			wantKey[st.ep] = key
+		}
+	}
+	// MaxWarm caps the ACTION's pool (streams share it), like the live
+	// controller: summed stream targets sit under one cap.
+	for ep, w := range want {
+		if w > cfg.MaxWarm {
+			want[ep] = cfg.MaxWarm
+		}
+	}
+	for ep, w := range want {
+		spec := s.actions[ep]
+		ac := s.asAct(ep)
+		live, idle := 0, 0
+		for _, sb := range s.boxes[ep] {
+			if sb.state == sbDead {
+				continue
+			}
+			live++
+			if sb.state == sbReady && sb.inFlight == 0 {
+				idle++
+			}
+		}
+		// Scale-down: this window's warm-hit rate (dispatches that did not
+		// force a sandbox start) and the pool's idle fraction adapt the
+		// action's keep-warm deadline — the twin of the live controller
+		// feeding AdaptKeepWarm from Cluster.ActionStats.
+		dCold := ac.coldStarts - ac.prevCold
+		dCompl := ac.compl - ac.prevCompl
+		ac.prevCold, ac.prevCompl = ac.coldStarts, ac.compl
+		warmHit := 1.0
+		if dCompl > 0 {
+			warmHit = 1 - float64(dCold)/float64(dCompl)
+			if warmHit < 0 {
+				warmHit = 0
+			}
+		}
+		// Only a pool beyond the forecast target counts as oversized (the
+		// live controller's anti-churn gate, mirrored): headroom the
+		// controller provisioned must not trigger its own reaping.
+		idleFrac := 0.0
+		if live > w {
+			idleFrac = float64(idle) / float64(live)
+		}
+		ac.keepWarm = autoscale.AdaptKeepWarm(ac.keepWarm, cfg.MinKeepWarm, s.cfg.KeepWarm,
+			warmHit, idleFrac, cfg.WarmHitTarget, cfg.IdleTarget)
+		// Scale-up: prestart toward the forecast target; never evicts.
+		for live < w {
+			n := s.prewarmNode(spec, wantKey[ep])
+			if n == nil || !s.startPrewarmedOn(n, spec) {
+				break
+			}
+			live++
+		}
+	}
+}
+
+// prewarmNode picks where proactive capacity lands: the stream's affinity
+// home when routing is mirrored, else a node already hosting the action,
+// else any node with room. It never evicts (the live Prewarm's rule:
+// evicting idle sandboxes to prewarm would cannibalize the warm pool).
+func (s *Simulation) prewarmNode(spec *ActionSpec, key string) *node {
+	if s.cfg.Affinity && key != "" {
+		if n := s.homeFor(key); n != nil && n.reserved+spec.MemoryBudget <= n.memory {
+			return n
+		}
+	}
+	hosting := map[*node]bool{}
+	for _, sb := range s.boxes[spec.Name] {
+		if sb.state != sbDead {
+			hosting[sb.node] = true
+		}
+	}
+	for _, n := range s.nodes {
+		if hosting[n] && n.reserved+spec.MemoryBudget <= n.memory {
+			return n
+		}
+	}
+	for _, n := range s.nodes {
+		if n.reserved+spec.MemoryBudget <= n.memory {
+			return n
+		}
+	}
+	return nil
+}
+
+// startPrewarmedOn starts one sandbox whose enclave is already built when it
+// turns ready — the mirror of serverless.Cluster.Prewarm, whose instance
+// factory launches the enclave during the container start. The first request
+// into it pays keys and model load (Warm), not enclave creation (Cold):
+// that conversion is the cold-start saving the experiment measures.
+func (s *Simulation) startPrewarmedOn(n *node, spec *ActionSpec) bool {
+	if n.reserved+spec.MemoryBudget > n.memory {
+		return false
+	}
+	n.reserved += spec.MemoryBudget
+	sb := &sandbox{spec: spec, node: n, state: sbStarting, born: s.eng.Now(),
+		slots: make([]string, spec.Concurrency)}
+	for i := 0; i < spec.Concurrency; i++ {
+		sb.freeSlots = append(sb.freeSlots, i)
+	}
+	s.boxes[spec.Name] = append(s.boxes[spec.Name], sb)
+	s.res.ColdStarts++
+	s.res.Prewarmed++
+	s.asAct(spec.Name).coldStarts++
+	n.launching++
+	d := s.cfg.SandboxStart
+	if s.cfg.System != Untrusted {
+		d += costmodel.EnclaveInit(s.cfg.HW, spec.EnclaveBytes, n.launching)
+	}
+	s.eng.After(d, func() {
+		n.launching--
+		if sb.state != sbStarting {
+			return
+		}
+		sb.state = sbReady
+		if s.cfg.System != Untrusted {
+			sb.enclaveUp = true
+			n.epcUsed += spec.EnclaveBytes
+			sb.enclaveReadyAt = s.eng.Now()
+		}
+		sb.idleSince = s.eng.Now()
+		s.dispatch(spec.Name)
+	})
+	return true
+}

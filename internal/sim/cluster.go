@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"sesemi/internal/autoscale"
 	"sesemi/internal/costmodel"
 	"sesemi/internal/fnpacker"
 	"sesemi/internal/metrics"
@@ -142,6 +143,35 @@ type Config struct {
 	// (the paper's Figure 7 behaviour), so simulated and measured locality
 	// curves stay comparable.
 	Affinity bool
+	// Autoscale mirrors the predictive autoscaler (internal/autoscale,
+	// gateway.Config.Autoscaler) inside the discrete-event harness, running
+	// the SAME policy functions (Holt forecast, Little's-law target,
+	// adaptive keep-warm) on the simulator's virtual clock — so the ranking
+	// the live bench measures (predictive beats reactive on bursty traces)
+	// is reproducible deterministically.
+	Autoscale AutoscaleSpec
+}
+
+// AutoscaleSpec mirrors autoscale.Config for the simulator.
+type AutoscaleSpec struct {
+	// Enabled turns the predictive control loop on (off = the reactive
+	// start-on-pressure baseline).
+	Enabled bool
+	// Window is the forecast sampling interval (default 1s).
+	Window time.Duration
+	// Alpha/Beta are the Holt smoothing coefficients (autoscale defaults).
+	Alpha, Beta float64
+	// Horizon is windows of forecast lead (default 2).
+	Horizon float64
+	// Headroom is warm spares above the Little's-law target (default 1).
+	Headroom int
+	// MaxWarm caps the per-action target (default 16).
+	MaxWarm int
+	// MinKeepWarm floors the adaptive keep-warm deadline (default 5s);
+	// Config.KeepWarm is its ceiling.
+	MinKeepWarm time.Duration
+	// WarmHitTarget / IdleTarget gate scale-down (defaults 0.9 / 0.5).
+	WarmHitTarget, IdleTarget float64
 }
 
 // BatchSpec mirrors the gateway's batching knobs inside the discrete-event
@@ -202,6 +232,29 @@ func (c *Config) defaults() error {
 	}
 	if c.Batch.MaxBatch > 1 && c.Batch.MaxWait <= 0 {
 		c.Batch.MaxWait = 2 * time.Millisecond
+	}
+	if c.Autoscale.Enabled {
+		if c.Autoscale.Window <= 0 {
+			c.Autoscale.Window = time.Second
+		}
+		if c.Autoscale.Horizon <= 0 {
+			c.Autoscale.Horizon = 2
+		}
+		if c.Autoscale.Headroom <= 0 {
+			c.Autoscale.Headroom = 1
+		}
+		if c.Autoscale.MaxWarm <= 0 {
+			c.Autoscale.MaxWarm = 16
+		}
+		if c.Autoscale.MinKeepWarm <= 0 {
+			c.Autoscale.MinKeepWarm = 5 * time.Second
+		}
+		if c.Autoscale.WarmHitTarget <= 0 || c.Autoscale.WarmHitTarget > 1 {
+			c.Autoscale.WarmHitTarget = 0.9
+		}
+		if c.Autoscale.IdleTarget <= 0 || c.Autoscale.IdleTarget > 1 {
+			c.Autoscale.IdleTarget = 0.5
+		}
 	}
 	if len(c.Actions) == 0 {
 		return fmt.Errorf("sim: no actions configured")
@@ -266,6 +319,14 @@ type Result struct {
 	Cold, Warm, Hot int
 	// ColdStarts counts sandbox creations; Evictions counts LRU kills.
 	ColdStarts, Evictions int
+	// Prewarmed counts sandboxes the autoscale mirror started proactively
+	// (included in ColdStarts, like the live cluster's counter).
+	Prewarmed int
+	// IdleSandboxSeconds accrues sandbox idle time — ready with nothing in
+	// flight, from going idle until the next dispatch or destruction — the
+	// enclave-memory squatting a scale-down policy shrinks (live:
+	// serverless.ActionStats.IdleSeconds).
+	IdleSandboxSeconds float64
 	// Dropped counts requests that timed out in the queue.
 	Dropped int
 	// Batches counts gateway batch flushes (0 when batching is disabled).
@@ -466,6 +527,29 @@ type Simulation struct {
 	homes     map[string]*node
 	homeCount map[*node]int
 	inflight  map[string]int
+
+	// Autoscale mirror state (Config.Autoscale.Enabled): per-stream
+	// forecasters and per-action control state, fed by arrive/complete and
+	// stepped once per Autoscale.Window.
+	asStreams map[string]*asStream
+	asActs    map[string]*asActState
+}
+
+// asStream is one (endpoint, model) stream's forecasting state — the
+// discrete-event twin of the live controller's stream record.
+type asStream struct {
+	ep, model  string
+	count      int // arrivals in the current window
+	holt       *autoscale.Holt
+	svcSeconds float64 // smoothed dispatch→completion time per queue entry
+	meanBatch  float64
+}
+
+// asActState is the per-action control state of the autoscale mirror.
+type asActState struct {
+	keepWarm            time.Duration // adaptive override (0: Config.KeepWarm)
+	prevCold, prevCompl int           // last window's counter snapshots
+	coldStarts, compl   int           // per-action lifetime counters
 }
 
 // New builds a simulation for the config.
@@ -484,6 +568,8 @@ func New(cfg Config) (*Simulation, error) {
 		homes:     map[string]*node{},
 		homeCount: map[*node]int{},
 		inflight:  map[string]int{},
+		asStreams: map[string]*asStream{},
+		asActs:    map[string]*asActState{},
 		res: &Result{
 			PerModel:      map[string]*metrics.Latency{},
 			All:           &metrics.Latency{},
@@ -560,6 +646,16 @@ func (s *Simulation) Run(trace workload.Trace) (*Result, error) {
 		}
 	}
 	s.eng.After(s.cfg.SampleEvery, maintain)
+	if s.cfg.Autoscale.Enabled {
+		var tick func()
+		tick = func() {
+			s.autoscaleStep()
+			if s.eng.Now() < horizon {
+				s.eng.After(s.cfg.Autoscale.Window, tick)
+			}
+		}
+		s.eng.After(s.cfg.Autoscale.Window, tick)
+	}
 	end := s.eng.Run()
 	s.res.End = s.lastEnd
 	s.res.GBSeconds = s.gb.Finish(end)
@@ -595,6 +691,9 @@ func (s *Simulation) arrive(ev workload.Event) {
 		panic(err)
 	}
 	req := &request{ev: ev, arrive: s.eng.Now(), ep: ep}
+	if s.cfg.Autoscale.Enabled {
+		s.asStream(ep, ev.ModelID).count++
+	}
 	if s.cfg.Batch.MaxBatch > 1 {
 		if s.cfg.Batch.DRR {
 			s.joinDRR(req)
@@ -1051,6 +1150,9 @@ func (s *Simulation) startSandboxOn(n *node, spec *ActionSpec) bool {
 	}
 	s.boxes[spec.Name] = append(s.boxes[spec.Name], sb)
 	s.res.ColdStarts++
+	if s.cfg.Autoscale.Enabled {
+		s.asAct(spec.Name).coldStarts++
+	}
 	s.eng.After(s.cfg.SandboxStart, func() {
 		if sb.state != sbStarting {
 			return
@@ -1175,6 +1277,9 @@ func (s *Simulation) destroy(sb *sandbox) {
 	if sb.state == sbDead {
 		return
 	}
+	if sb.state == sbReady && sb.inFlight == 0 {
+		s.res.IdleSandboxSeconds += (s.eng.Now() - sb.idleSince).Seconds()
+	}
 	if sb.enclaveUp {
 		sb.node.epcUsed -= sb.spec.EnclaveBytes
 		sb.enclaveUp = false
@@ -1193,12 +1298,17 @@ func (s *Simulation) destroy(sb *sandbox) {
 func (s *Simulation) reap() {
 	now := s.eng.Now()
 	for name, sbs := range s.boxes {
+		// The autoscale mirror's adaptive per-action deadline, when set —
+		// the twin of serverless.Cluster.SetKeepWarm feeding ReapIdle.
+		keepWarm := s.cfg.KeepWarm
+		if ac := s.asActs[name]; ac != nil && ac.keepWarm > 0 {
+			keepWarm = ac.keepWarm
+		}
 		for _, sb := range append([]*sandbox(nil), sbs...) {
-			if sb.state == sbReady && sb.inFlight == 0 && now-sb.idleSince >= s.cfg.KeepWarm {
+			if sb.state == sbReady && sb.inFlight == 0 && now-sb.idleSince >= keepWarm {
 				s.destroy(sb)
 			}
 		}
-		_ = name
 	}
 }
 

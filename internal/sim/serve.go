@@ -36,6 +36,10 @@ func (s *Simulation) serve(sb *sandbox, req *request) {
 	if slot < 0 {
 		panic("sim: serve on full sandbox")
 	}
+	if sb.state == sbReady && sb.inFlight == 0 {
+		// This dispatch ends an idle period: close it into the accrual.
+		s.res.IdleSandboxSeconds += (s.eng.Now() - sb.idleSince).Seconds()
+	}
 	sb.inFlight++
 	sb.target = req.ev.ModelID
 	req.started = s.eng.Now()
@@ -335,6 +339,26 @@ func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationK
 	}
 	if now > s.lastEnd {
 		s.lastEnd = now
+	}
+	if s.cfg.Autoscale.Enabled {
+		// Service-time/batch telemetry for the capacity model (the live
+		// controller's NoteBatch), and the per-action dispatch count the
+		// warm-hit rate is computed against (one per queue entry, like the
+		// live claim counter — not per batch member).
+		st := s.asStream(req.ep, req.ev.ModelID)
+		svc := (now - req.started).Seconds()
+		if st.svcSeconds == 0 {
+			st.svcSeconds = svc
+		} else {
+			st.svcSeconds += (svc - st.svcSeconds) / 4
+		}
+		nb := float64(len(req.batchMembers()))
+		if st.meanBatch == 0 {
+			st.meanBatch = nb
+		} else {
+			st.meanBatch += (nb - st.meanBatch) / 4
+		}
+		s.asAct(req.ep).compl++
 	}
 	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 {
 		key := streamKey(req)

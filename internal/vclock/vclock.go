@@ -21,6 +21,27 @@ type Clock interface {
 	Sleep(d time.Duration)
 }
 
+// Timer is the optional Clock extension for code that waits in a select
+// instead of blocking in Sleep (periodic loops that must also observe a stop
+// channel, like the cluster's keep-warm reaper). Manual implements it with
+// virtual-time timers, so such loops become deterministically drivable from
+// tests.
+type Timer interface {
+	// After returns a channel that delivers the (possibly virtual) time once
+	// d has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// After waits on c's own timebase when the clock implements Timer (Manual's
+// virtual timers, Real's scaled wall timers); any other Clock falls back to
+// the unscaled wall clock.
+func After(c Clock, d time.Duration) <-chan time.Time {
+	if t, ok := c.(Timer); ok {
+		return t.After(d)
+	}
+	return time.After(d)
+}
+
 // Real is a wall-clock Clock. Scale < 1 compresses modeled sleeps, e.g.
 // Scale = 0.01 turns a modeled 1.04 s enclave creation into 10.4 ms of wall
 // time; Now still reports wall time. Scale 0 means "do not sleep at all".
@@ -43,14 +64,39 @@ func (r Real) Sleep(d time.Duration) {
 	time.Sleep(time.Duration(float64(d) * r.Scale))
 }
 
+// After implements Timer with the same scaling as Sleep — except Scale 0,
+// which ticks UNSCALED wall time instead of firing immediately: a muted
+// clock skips modeled latencies, but a periodic loop waiting on After (the
+// cluster reaper, the autoscale control loop) would busy-spin at 100% CPU
+// if its interval collapsed to zero. Operational intervals are not modeled
+// latencies.
+func (r Real) After(d time.Duration) <-chan time.Time {
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- time.Now()
+		return ch
+	}
+	if r.Scale <= 0 {
+		return time.After(d)
+	}
+	return time.After(time.Duration(float64(d) * r.Scale))
+}
+
 // Manual is a deterministic clock for tests: Sleep returns immediately,
-// advancing virtual time and recording the request. It is safe for
-// concurrent use.
+// advancing virtual time and recording the request. Timers created with
+// After fire when Advance or Sleep moves virtual time past their deadline.
+// It is safe for concurrent use.
 type Manual struct {
-	mu    sync.Mutex
-	now   time.Time
-	slept []time.Duration
-	total time.Duration
+	mu     sync.Mutex
+	now    time.Time
+	slept  []time.Duration
+	total  time.Duration
+	timers []manualTimer
+}
+
+type manualTimer struct {
+	at time.Time
+	ch chan time.Time
 }
 
 // NewManual creates a Manual clock starting at a fixed epoch.
@@ -75,6 +121,7 @@ func (m *Manual) Sleep(d time.Duration) {
 	m.now = m.now.Add(d)
 	m.slept = append(m.slept, d)
 	m.total += d
+	m.fireLocked()
 }
 
 // Advance moves virtual time forward without recording a sleep.
@@ -82,6 +129,35 @@ func (m *Manual) Advance(d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.now = m.now.Add(d)
+	m.fireLocked()
+}
+
+// After implements Timer: the returned channel delivers once virtual time
+// reaches now+d. A non-positive d fires immediately.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.timers = append(m.timers, manualTimer{at: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// fireLocked delivers every timer due at the current virtual time. Caller
+// holds m.mu. Channels are buffered, so delivery never blocks.
+func (m *Manual) fireLocked() {
+	kept := m.timers[:0]
+	for _, t := range m.timers {
+		if !t.at.After(m.now) {
+			t.ch <- m.now
+			continue
+		}
+		kept = append(kept, t)
+	}
+	m.timers = kept
 }
 
 // Slept returns a copy of all recorded sleep durations in order.

@@ -52,6 +52,97 @@ func TestManualNegativeSleepClamped(t *testing.T) {
 	}
 }
 
+func TestManualAfterFiresOnAdvance(t *testing.T) {
+	m := NewManual()
+	ch := m.After(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	m.Advance(3 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 2s early")
+	default:
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case at := <-ch:
+		if got := at.Sub(NewManual().Now()); got != 5*time.Second {
+			t.Fatalf("fired at +%v, want +5s", got)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestManualAfterFiresOnSleep(t *testing.T) {
+	m := NewManual()
+	ch := m.After(time.Second)
+	m.Sleep(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Sleep past the deadline did not fire the timer")
+	}
+}
+
+func TestManualAfterNonPositiveImmediate(t *testing.T) {
+	m := NewManual()
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestAfterHelperFallsBackToWallClock(t *testing.T) {
+	// A Clock that is not a Timer waits on the wall clock.
+	select {
+	case <-After(fixedClock{}, time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("fallback timer never fired")
+	}
+	// Manual routes through its virtual timers: no wall time passes.
+	m := NewManual()
+	ch := After(m, time.Hour)
+	m.Advance(time.Hour)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After(Manual) did not use virtual timers")
+	}
+}
+
+// fixedClock is a minimal non-Timer Clock for the fallback test.
+type fixedClock struct{}
+
+func (fixedClock) Now() time.Time      { return time.Unix(0, 0) }
+func (fixedClock) Sleep(time.Duration) {}
+
+func TestRealAfterScaleZeroTicksWallTime(t *testing.T) {
+	// A muted clock's After must NOT fire immediately — periodic loops wait
+	// on it, and an immediate fire would busy-spin them. It ticks unscaled
+	// wall time instead.
+	select {
+	case <-Real{Scale: 0}.After(time.Hour):
+		t.Fatal("Real{Scale: 0}.After fired immediately")
+	default:
+	}
+	select {
+	case <-Real{Scale: 0}.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real{Scale: 0}.After never fired on wall time")
+	}
+	// Non-positive d still fires at once (nothing to wait for).
+	select {
+	case <-Real{Scale: 0}.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
 func TestManualConcurrentSafety(t *testing.T) {
 	m := NewManual()
 	var wg sync.WaitGroup

@@ -47,6 +47,76 @@ func TestPoissonOrdered(t *testing.T) {
 	}
 }
 
+func TestDiurnalFollowsTheSinusoid(t *testing.T) {
+	// Peak 40 / trough 4 rps over a 200 s period, five periods: the overall
+	// rate lands near the 22 rps midpoint, peak half-periods run clearly
+	// faster than trough half-periods, and the trace is ordered.
+	tr := Diurnal(42, 40, 4, 200*time.Second, 1000*time.Second, "m", "u")
+	overall := tr.Rate()
+	if overall < 15 || overall > 29 {
+		t.Fatalf("Diurnal overall rate %.1f, want near the 22 rps midpoint", overall)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At < tr[i-1].At {
+			t.Fatal("trace out of order")
+		}
+	}
+	// The quarter-periods around each peak (t mod 200s in [50s, 150s)) must
+	// out-arrive the ones around each trough by a wide margin.
+	peak, trough := 0, 0
+	for _, e := range tr {
+		if m := e.At % (200 * time.Second); m >= 50*time.Second && m < 150*time.Second {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak < 3*trough {
+		t.Fatalf("peak halves %d arrivals vs trough halves %d: sinusoid not followed", peak, trough)
+	}
+	if e := tr[0]; e.ModelID != "m" || e.UserID != "u" {
+		t.Fatalf("event identity %+v", e)
+	}
+}
+
+func TestDiurnalDeterministicAndValidated(t *testing.T) {
+	a := Diurnal(7, 30, 3, 100*time.Second, 300*time.Second, "m", "u")
+	b := Diurnal(7, 30, 3, 100*time.Second, 300*time.Second, "m", "u")
+	if len(a) != len(b) || a[0].At != b[0].At {
+		t.Fatal("Diurnal not deterministic for one seed")
+	}
+	c := Diurnal(8, 30, 3, 100*time.Second, 300*time.Second, "m", "u")
+	if len(c) == len(a) && c[0].At == a[0].At {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if Diurnal(1, 0, 0, time.Second, time.Second, "m", "u") != nil {
+		t.Fatal("zero peak rate should return nil")
+	}
+	if Diurnal(1, 10, 1, 0, time.Second, "m", "u") != nil {
+		t.Fatal("zero period should return nil")
+	}
+	// Swapped bounds are tolerated (peak/trough normalized).
+	if tr := Diurnal(1, 2, 20, 100*time.Second, 200*time.Second, "m", "u"); tr.Rate() < 5 {
+		t.Fatalf("swapped bounds rate %.1f", tr.Rate())
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	period := 100 * time.Second
+	if r := DiurnalRate(0, 40, 4, period); r != 4 {
+		t.Fatalf("rate at t=0 is %.1f, want the 4 rps trough", r)
+	}
+	if r := DiurnalRate(50*time.Second, 40, 4, period); r < 39.9 || r > 40.1 {
+		t.Fatalf("rate at half period is %.1f, want the 40 rps peak", r)
+	}
+	if r := DiurnalRate(25*time.Second, 40, 4, period); r < 21 || r > 23 {
+		t.Fatalf("rate at quarter period is %.1f, want the 22 midpoint", r)
+	}
+	if r := DiurnalRate(time.Second, 40, 4, 0); r != 0 {
+		t.Fatalf("zero period rate %.1f", r)
+	}
+}
+
 func TestMMPPAlternatesRates(t *testing.T) {
 	// 20↔40 rps with 60 s mean sojourn over 900 s (the §VI-C workload):
 	// total rate must land between the two states, and some windows must be
