@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke clean
 
 all: build vet test
 
@@ -36,6 +36,9 @@ keylocality-snapshot:
 autoscale-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp autoscale -json BENCH_autoscale.json
 
+hol-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp hol -json BENCH_hol.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -56,6 +59,11 @@ keylocality-smoke:
 # the experiment behind BENCH_autoscale.json cannot rot.
 autoscale-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp autoscale -smoke
+
+# Tiny-scale head-of-line run (form-then-fire vs continuous batching on a
+# heavy-tailed mix), so the experiment behind BENCH_hol.json cannot rot.
+hol-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp hol -smoke
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@
 //
 //	loadgen -local -pattern poisson -rate 200 -duration 10s -max-batch 8
 //	loadgen -local -closed 64 -requests 32 -max-batch 8
+//	loadgen -local -closed 32 -exec-tail 10 -exec-steps 20 -continuous
 //
 // The request keys derive from the same seeds cmd/owctl uses, so a
 // deployment set up with `owctl deploy` is directly loadable.
@@ -83,6 +84,11 @@ func main() {
 	autoscaleOn := flag.Bool("autoscale", false, "with -local: predictive autoscaler (forecast-driven prewarm + adaptive keep-warm) instead of depth-triggered prewarm")
 	sandboxStart := flag.Duration("sandbox-start", 0, "with -local: modeled container start latency (what prewarming hides; 0 = free starts)")
 	keepWarm := flag.Duration("keep-warm", 0, "with -local: idle-sandbox deadline (0 = the 3-minute default); the adaptive ceiling under -autoscale")
+	execTail := flag.Int("exec-tail", 0, "with -local: every Nth request is long, running -exec-steps execution steps (0 = homogeneous single-step mix)")
+	execSteps := flag.Int("exec-steps", 20, "with -local -exec-tail: execution step count for the long requests")
+	execCost := flag.Duration("exec-cost", 2*time.Millisecond, "with -local -exec-tail: modeled per-step execution latency")
+	continuous := flag.Bool("continuous", false, "with -local: continuous batching (session step loop with mid-batch admission and step-boundary preemption)")
+	preemptAfter := flag.Int("preempt-after", 0, "with -local -continuous: per-session step budget before an over-budget member is preempted (0 = gateway default)")
 	flag.Parse()
 
 	// -shape is the autoscale experiment's shorthand over -pattern.
@@ -114,6 +120,9 @@ func main() {
 		if *users > 1 && *tenants > 0 {
 			log.Fatal("loadgen: -users and -tenants are mutually exclusive")
 		}
+		if *execTail < 0 || (*execTail > 0 && *execSteps < 2) {
+			log.Fatal("loadgen: -exec-tail must be >= 0 and -exec-steps >= 2 when a tail is requested")
+		}
 		runLocal(localCfg{
 			closed: *closed, requests: *requests, maxBatch: *maxBatch, maxWait: *maxWait,
 			pattern: *pattern, rate: *rate, rate2: *rate2, duration: *duration,
@@ -122,6 +131,8 @@ func main() {
 			tenants: *tenants, skew: *tenantSkew, quota: *tenantQuota,
 			users: *users, userSkew: *userSkew, groupUsers: *groupUsers, keyCache: *keyCache,
 			period: *period, autoscale: *autoscaleOn, sandboxStart: *sandboxStart, keepWarm: *keepWarm,
+			execTail: *execTail, execSteps: *execSteps, execCost: *execCost,
+			continuous: *continuous, preemptAfter: *preemptAfter,
 		})
 		return
 	}
@@ -280,6 +291,14 @@ type localCfg struct {
 	autoscale    bool
 	sandboxStart time.Duration
 	keepWarm     time.Duration
+
+	// execTail > 0 marks every execTail-th request long (execSteps steps at
+	// execCost each) — the heavy-tailed mix that exposes head-of-line
+	// blocking; continuous swaps dispatch for the session step loop.
+	execTail, execSteps int
+	execCost            time.Duration
+	continuous          bool
+	preemptAfter        int
 }
 
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
@@ -301,7 +320,14 @@ func runLocal(c localCfg) {
 			Affinity:     c.affinity,
 			TenantQuota:  c.quota,
 			GroupUsers:   c.groupUsers,
+			Continuous:   c.continuous,
+			PreemptAfter: c.preemptAfter,
 		},
+	}
+	if c.execTail > 0 {
+		// A heavy tail needs a modeled execution stage so the long requests
+		// actually occupy their slot for execSteps × execCost.
+		wc.ExecCost = c.execCost
 	}
 	kw := c.keepWarm
 	if kw <= 0 {
@@ -340,8 +366,21 @@ func runLocal(c localCfg) {
 	}
 	if closed > 0 {
 		fmt.Printf("loadgen: closed loop, %d clients x %d requests, MaxBatch=%d affinity=%v\n", closed, requests, maxBatch, c.affinity)
+		if c.execTail > 0 {
+			fmt.Printf("loadgen: heavy tail: every %d-th request runs %d steps x %v, continuous=%v\n",
+				c.execTail, c.execSteps, c.execCost, c.continuous)
+		}
 		do := func(ctx context.Context, seed int) (semirt.Response, error) {
-			return w.DoGatewayFor(ctx, w.Models[seed%len(w.Models)], seed)
+			model := w.Models[seed%len(w.Models)]
+			if c.execTail > 0 && seed%c.execTail == c.execTail-1 {
+				req, err := w.RequestFor(model, seed)
+				if err != nil {
+					return semirt.Response{}, err
+				}
+				req.ExecSteps = c.execSteps
+				return w.Gateway.Do(ctx, w.Action, req)
+			}
+			return w.DoGatewayFor(ctx, model, seed)
 		}
 		r := bench.ClosedLoop("gateway", closed, requests, do)
 		fmt.Printf("completed %d ok, %d failed in %.2fs (%.0f req/s)\n",
@@ -356,6 +395,13 @@ func runLocal(c localCfg) {
 			streams = append(streams, buildTrace(c.pattern, c.seed+int64(i), c.rate, c.rate2, c.period, c.duration, m, c.user))
 		}
 		tr := workload.Merge(streams...)
+		if c.execTail > 0 {
+			for i := range tr {
+				if i%c.execTail == c.execTail-1 {
+					tr[i].ExecSteps = c.execSteps
+				}
+			}
+		}
 		fmt.Printf("loadgen: open loop, %d requests over %v (avg %.1f rps, %d models), MaxBatch=%d\n",
 			len(tr), c.duration, tr.Rate(), len(w.Models), maxBatch)
 		lat, perKind, fails := bench.OpenLoopGateway(w, tr)
@@ -375,6 +421,11 @@ func runLocal(c localCfg) {
 	gm := w.Gateway.Metrics()
 	fmt.Printf("gateway: %d batches (mean %.1f, p95 %.0f), %d rejected, %d prewarmed\n",
 		gs.Batches, gm.BatchSizes.Mean(), gm.BatchSizes.Quantile(0.95), gs.Rejected, gs.Prewarmed)
+	if c.continuous {
+		steps, pre := w.SessionStats()
+		fmt.Printf("continuous: %d session frames, %d enclave preemptions, %d gateway requeues\n",
+			steps, pre, gs.Preemptions)
+	}
 	st := w.Cluster.Stats()
 	// Amortization is served requests per gateway batch; cluster Invocations
 	// additionally counts the world's warm-up activation.

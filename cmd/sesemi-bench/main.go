@@ -10,10 +10,12 @@
 //	sesemi-bench -exp fairness -json BENCH_fairness.json
 //	sesemi-bench -exp keylocality -json BENCH_keylocality.json
 //	sesemi-bench -exp autoscale -json BENCH_autoscale.json
+//	sesemi-bench -exp hol -json BENCH_hol.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 //	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
 //	sesemi-bench -exp autoscale -smoke  (tiny CI configuration)
+//	sesemi-bench -exp hol -smoke        (tiny CI configuration)
 package main
 
 import (
@@ -29,12 +31,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality or autoscale: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality or autoscale: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale or hol: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale or hol: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality or autoscale"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale or hol"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -95,8 +97,19 @@ func main() {
 			}
 			fmt.Printf("autoscale snapshot → %s (demand cold starts %.1fx fewer, ramp p99 %.2fx lower, idle ratio %.2f, steady throughput %.2f)\n",
 				*jsonOut, snap.DemandStartReduction, snap.RampP99Ratio, snap.IdleRatio, snap.SteadyThroughputRatio)
+		case "hol":
+			cfg := bench.HOLBenchConfig{}
+			if *smoke {
+				cfg = bench.HOLSmokeConfig()
+			}
+			snap, err := bench.WriteHOLSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("hol snapshot → %s (short p99 continuous/fire %.2fx, throughput ratio %.2f, sched %.1fms + preempt %.1fms overhead)\n",
+				*jsonOut, snap.ShortP99Ratio, snap.ThroughputRatio, snap.SchedulingOverheadMs, snap.PreemptionOverheadMs)
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality or autoscale"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale or hol"))
 		}
 		return
 	}
@@ -131,6 +144,14 @@ func main() {
 			fmt.Printf("autoscale smoke ok: diurnal p99 reactive %.1fms / predictive %.1fms, %d prewarmed, steady throughput %.2f\n",
 				snap.DiurnalReactive.P99Ms, snap.DiurnalPredictive.P99Ms,
 				snap.BurstPredictive.Prewarmed+snap.DiurnalPredictive.Prewarmed, snap.SteadyThroughputRatio)
+		case "hol":
+			snap, err := bench.RunHOLBench(bench.HOLSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("hol smoke ok: short p99 fire %.1fms / continuous %.1fms (%.2fx), throughput ratio %.2f, %d preemptions\n",
+				snap.FormThenFire.ShortP99Ms, snap.Continuous.ShortP99Ms, snap.ShortP99Ratio,
+				snap.ThroughputRatio, snap.Continuous.Preemptions)
 		}
 		return
 	}

@@ -438,6 +438,22 @@ func (w *LiveWorld) KeyFetches() uint64 {
 	return n
 }
 
+// SessionStats sums the continuous-batching counters across every SeMIRT
+// runtime the world's cluster instantiated: scheduling frames executed
+// (enclave re-entries a continuous session pays per step) and members
+// preempted at a step boundary. Both feed the BLIS-style overhead
+// decomposition in the HOL snapshot.
+func (w *LiveWorld) SessionStats() (steps, preempted uint64) {
+	w.rtMu.Lock()
+	defer w.rtMu.Unlock()
+	for _, rt := range w.runtimes {
+		st := rt.Stats()
+		steps += st.SessionSteps
+		preempted += st.Preempted
+	}
+	return steps, preempted
+}
+
 // DoDirect sends one request straight through Cluster.Invoke (the unbatched
 // baseline path).
 func (w *LiveWorld) DoDirect(ctx context.Context, seed int) (semirt.Response, error) {
@@ -728,10 +744,22 @@ func OpenLoopGateway(w *LiveWorld, tr workload.Trace) (*metrics.Latency, map[str
 		ev := tr[i]
 		time.Sleep(time.Until(start.Add(ev.At)))
 		wg.Add(1)
-		go func(model string, seed int) {
+		go func(ev workload.Event, seed int) {
 			defer wg.Done()
 			t0 := time.Now()
-			resp, err := w.DoGatewayFor(context.Background(), model, seed)
+			var resp semirt.Response
+			var err error
+			if ev.ExecSteps > 1 {
+				// A long event carries its step count into the enclave
+				// request — the heavy tail loadgen's -exec-tail marks.
+				var req semirt.Request
+				if req, err = w.RequestFor(ev.ModelID, seed); err == nil {
+					req.ExecSteps = ev.ExecSteps
+					resp, err = w.Gateway.Do(context.Background(), w.Action, req)
+				}
+			} else {
+				resp, err = w.DoGatewayFor(context.Background(), ev.ModelID, seed)
+			}
 			d := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
@@ -741,7 +769,7 @@ func OpenLoopGateway(w *LiveWorld, tr workload.Trace) (*metrics.Latency, map[str
 			}
 			lat.Add(d)
 			perKind[resp.Kind.String()]++
-		}(ev.ModelID, i)
+		}(ev, i)
 	}
 	wg.Wait()
 	return lat, perKind, fails

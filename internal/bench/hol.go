@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/gateway"
+	"sesemi/internal/metrics"
+)
+
+// ---------- HOL experiment: form-then-fire vs continuous batching ----------
+//
+// A heavy-tailed execution mix — most requests are single-step, every
+// LongEvery-th runs LongSteps execution steps — drives the same closed-loop
+// population through two dispatch disciplines on identical fresh worlds:
+//
+//	form-then-fire — HandleBatch: the batch is formed once and runs to
+//	                 collective completion, so a short request sharing a
+//	                 batch with a long one waits for the long one's tail
+//	continuous     — dispatchSession: a step loop with mid-batch admission
+//	                 and step-boundary preemption, where every member
+//	                 completes at its own step
+//
+// The headline numbers: short-request p99 continuous vs form-then-fire (the
+// head-of-line-blocking claim, target ≤ 0.5x), aggregate throughput ratio
+// (target ≥ 0.95: the step loop must not cost meaningful throughput), and
+// the scheduling + preemption overhead components the continuous run paid —
+// the BLIS-style decomposition that form-then-fire reports as zero.
+
+// holStepOverhead is the modeled per-frame scheduling cost (frame decode +
+// enclave re-entry) behind the snapshot's SchedulingOverhead component. The
+// live ECall is an in-process call here, so the component is modeled at the
+// ~50µs an SGX2 EENTER/EEXIT round trip with a small working set costs
+// rather than measured from the wall clock.
+const holStepOverhead = 50 * time.Microsecond
+
+// HOLRun is one discipline's measured outcome.
+type HOLRun struct {
+	Mode     string  `json:"mode"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"rps"`
+	// Short* pools the single-step requests — the population head-of-line
+	// blocking punishes; Long* the LongSteps requests.
+	ShortMeanMs float64 `json:"short_mean_ms"`
+	ShortP50Ms  float64 `json:"short_p50_ms"`
+	ShortP99Ms  float64 `json:"short_p99_ms"`
+	LongMeanMs  float64 `json:"long_mean_ms"`
+	LongP99Ms   float64 `json:"long_p99_ms"`
+	// Preemptions is the gateway's evict-and-requeue count; SessionSteps the
+	// runtimes' frame count (both 0 under form-then-fire).
+	Preemptions  uint64 `json:"preemptions,omitempty"`
+	SessionSteps uint64 `json:"session_steps,omitempty"`
+}
+
+// HOLSnapshot is the BENCH_hol.json payload.
+type HOLSnapshot struct {
+	Clients      int    `json:"clients"`
+	PerClient    int    `json:"requests_per_client"`
+	LongEvery    int    `json:"long_every"`
+	LongSteps    int    `json:"long_steps"`
+	ExecCost     string `json:"exec_cost"`
+	MaxBatch     int    `json:"max_batch"`
+	PreemptAfter int    `json:"preempt_after"`
+
+	FormThenFire HOLRun `json:"form_then_fire"`
+	Continuous   HOLRun `json:"continuous"`
+
+	// ShortP99Ratio is continuous short p99 over form-then-fire's (target
+	// ≤ 0.5: the discipline must at least halve the short tail).
+	ShortP99Ratio float64 `json:"short_p99_ratio"`
+	// ThroughputRatio is continuous aggregate RPS over form-then-fire's
+	// (target ≥ 0.95).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// SchedulingOverheadMs / PreemptionOverheadMs are the costmodel's
+	// decomposition of what the continuous run paid for its scheduling
+	// freedom: frames × holStepOverhead, and preemptions × (one step +
+	// re-entry) respectively.
+	SchedulingOverheadMs float64 `json:"scheduling_overhead_ms"`
+	PreemptionOverheadMs float64 `json:"preemption_overhead_ms"`
+}
+
+// HOLBenchConfig sizes the comparison.
+type HOLBenchConfig struct {
+	// Clients is the closed-loop client count (default 32).
+	Clients int
+	// PerClient is requests per client (default 16).
+	PerClient int
+	// LongEvery makes every LongEvery-th request long (default 10).
+	LongEvery int
+	// LongSteps is the long requests' execution length in steps (default 20).
+	LongSteps int
+	// ExecCost is the modeled per-step execution latency (default 5 ms); a
+	// long request occupies its slot for LongSteps × ExecCost. The default
+	// keeps the per-frame dispatch cost (codec + ECall + bookkeeping, ~1 ms)
+	// small against the work a frame carries, as it is for real model steps.
+	ExecCost time.Duration
+	// MaxBatch is the gateway batch/session bound (default 8).
+	MaxBatch int
+	// PreemptAfter is the per-session step budget (default 4).
+	PreemptAfter int
+}
+
+func (c *HOLBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 16
+	}
+	if c.LongEvery <= 0 {
+		c.LongEvery = 10
+	}
+	if c.LongSteps <= 1 {
+		c.LongSteps = 20
+	}
+	if c.ExecCost <= 0 {
+		c.ExecCost = 5 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.PreemptAfter <= 0 {
+		c.PreemptAfter = 4
+	}
+}
+
+// HOLSmokeConfig is the tiny CI configuration.
+func HOLSmokeConfig() HOLBenchConfig {
+	return HOLBenchConfig{
+		Clients: 8, PerClient: 6, LongEvery: 5, LongSteps: 10,
+		ExecCost: 2 * time.Millisecond, MaxBatch: 4, PreemptAfter: 2,
+	}
+}
+
+// runHOLMode drives the mixed population against a fresh world under one
+// dispatch discipline.
+func runHOLMode(cfg HOLBenchConfig, continuous bool) (HOLRun, error) {
+	w, err := NewLiveWorld(LiveWorldConfig{
+		ExecCost:     cfg.ExecCost,
+		StartEnclave: true,
+		Gateway: gateway.Config{
+			MaxBatch:     cfg.MaxBatch,
+			MaxWait:      2 * time.Millisecond,
+			MaxQueue:     4096,
+			MaxInFlight:  8,
+			PrewarmDepth: 32,
+			Continuous:   continuous,
+			PreemptAfter: cfg.PreemptAfter,
+		},
+	})
+	if err != nil {
+		return HOLRun{}, err
+	}
+	defer w.Close()
+	// Launch the full warm capacity (the node fits two sandboxes) before the
+	// clock starts: enclave launch and attestation are cold-start physics,
+	// and the p99 comparison must not be decided by which in-run frame — or
+	// which discipline — happened to absorb them.
+	if _, err := w.Cluster.Prewarm(w.Action, 2); err != nil {
+		return HOLRun{}, err
+	}
+
+	mode := "form-then-fire"
+	if continuous {
+		mode = "continuous"
+	}
+	var shortLat, longLat metrics.Latency
+	var mu sync.Mutex
+	errs := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < cfg.PerClient; i++ {
+				seed := c*cfg.PerClient + i
+				long := seed%cfg.LongEvery == cfg.LongEvery-1
+				req, err := w.Request(seed)
+				if err == nil {
+					if long {
+						req.ExecSteps = cfg.LongSteps
+					}
+					t0 := time.Now()
+					_, err = w.Gateway.Do(context.Background(), w.Action, req)
+					d := time.Since(t0)
+					if err == nil {
+						mu.Lock()
+						if long {
+							longLat.Add(d)
+						} else {
+							shortLat.Add(d)
+						}
+						mu.Unlock()
+						continue
+					}
+				}
+				mu.Lock()
+				errs++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	steps, _ := w.SessionStats()
+	n := cfg.Clients * cfg.PerClient
+	return HOLRun{
+		Mode:         mode,
+		Requests:     n,
+		Errors:       errs,
+		Seconds:      elapsed.Seconds(),
+		RPS:          float64(n-errs) / elapsed.Seconds(),
+		ShortMeanMs:  float64(shortLat.Mean()) / 1e6,
+		ShortP50Ms:   float64(shortLat.Percentile(50)) / 1e6,
+		ShortP99Ms:   float64(shortLat.Percentile(99)) / 1e6,
+		LongMeanMs:   float64(longLat.Mean()) / 1e6,
+		LongP99Ms:    float64(longLat.Percentile(99)) / 1e6,
+		Preemptions:  w.Gateway.Stats().Preemptions,
+		SessionSteps: steps,
+	}, nil
+}
+
+// RunHOLBench measures both disciplines and assembles the snapshot.
+func RunHOLBench(cfg HOLBenchConfig) (*HOLSnapshot, error) {
+	cfg.defaults()
+	snap := &HOLSnapshot{
+		Clients:      cfg.Clients,
+		PerClient:    cfg.PerClient,
+		LongEvery:    cfg.LongEvery,
+		LongSteps:    cfg.LongSteps,
+		ExecCost:     cfg.ExecCost.String(),
+		MaxBatch:     cfg.MaxBatch,
+		PreemptAfter: cfg.PreemptAfter,
+	}
+	var err error
+	if snap.FormThenFire, err = runHOLMode(cfg, false); err != nil {
+		return nil, err
+	}
+	if snap.Continuous, err = runHOLMode(cfg, true); err != nil {
+		return nil, err
+	}
+	if snap.FormThenFire.ShortP99Ms > 0 {
+		snap.ShortP99Ratio = snap.Continuous.ShortP99Ms / snap.FormThenFire.ShortP99Ms
+	}
+	if snap.FormThenFire.RPS > 0 {
+		snap.ThroughputRatio = snap.Continuous.RPS / snap.FormThenFire.RPS
+	}
+	snap.SchedulingOverheadMs = float64(costmodel.SchedulingOverhead(
+		int(snap.Continuous.SessionSteps), holStepOverhead)) / 1e6
+	// Each preempt/resume cycle re-pays one enclave re-entry and loses the
+	// boundary step it could have executed.
+	snap.PreemptionOverheadMs = float64(costmodel.PreemptionOverhead(
+		int(snap.Continuous.Preemptions), cfg.ExecCost+holStepOverhead)) / 1e6
+	return snap, nil
+}
+
+// WriteHOLSnapshot runs the comparison and writes BENCH_hol.json.
+func WriteHOLSnapshot(path string, cfg HOLBenchConfig) (*HOLSnapshot, error) {
+	snap, err := RunHOLBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printHOLRun(w io.Writer, r HOLRun) {
+	fmt.Fprintf(w, "%-15s %5d req %3d err %7.0f req/s  short p99 %7.1fms (mean %6.1f)  long p99 %7.1fms",
+		r.Mode, r.Requests, r.Errors, r.RPS, r.ShortP99Ms, r.ShortMeanMs, r.LongP99Ms)
+	if r.SessionSteps > 0 {
+		fmt.Fprintf(w, "  (%d frames, %d preemptions)", r.SessionSteps, r.Preemptions)
+	}
+	fmt.Fprintln(w)
+}
+
+func runHOLExperiment(w io.Writer) error {
+	header(w, "HOL blocking: form-then-fire vs continuous batching (heavy-tailed exec)")
+	snap, err := RunHOLBench(HOLBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printHOLRun(w, snap.FormThenFire)
+	printHOLRun(w, snap.Continuous)
+	fmt.Fprintf(w, "short p99 continuous/form-then-fire: %.2fx (target ≤ 0.5x)  throughput ratio: %.2f (target ≥ 0.95)\n",
+		snap.ShortP99Ratio, snap.ThroughputRatio)
+	fmt.Fprintf(w, "continuous overheads: scheduling %.1f ms, preemption %.1f ms\n",
+		snap.SchedulingOverheadMs, snap.PreemptionOverheadMs)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "hol",
+		Title: "HOL blocking: continuous batching vs form-then-fire",
+		Run:   runHOLExperiment,
+	})
+}

@@ -592,6 +592,41 @@ func ExecUnderLoad(base time.Duration, n, cores int) time.Duration {
 	return time.Duration(lat)
 }
 
+// SchedulingOverhead is the enclave re-entry cost of a continuous batching
+// session: a session that runs `steps` scheduling frames pays perStep — the
+// frame decode plus the ECall transition — on every one of them, where
+// form-then-fire paid a single activation entry for the whole batch:
+//
+//	O_sched = steps × perStep
+//
+// This is the "scheduling overhead" component of the BLIS-style latency
+// decomposition — the price of mid-batch admission and step-boundary
+// preemption, bought back many times over in short-request p99 under
+// heavy-tailed execution times. Non-positive inputs return 0.
+func SchedulingOverhead(steps int, perStep time.Duration) time.Duration {
+	if steps <= 0 || perStep <= 0 {
+		return 0
+	}
+	return time.Duration(steps) * perStep
+}
+
+// PreemptionOverhead is the cost of preempt/resume cycles in a continuous
+// batching session: each preemption evicts a member at a step boundary,
+// re-queues it at the gateway, and re-admits it into a later session's
+// frame, so each cycle costs one re-entry plus re-established execution
+// state:
+//
+//	O_preempt = preemptions × perPreemption
+//
+// The "preemption overhead" component of the latency decomposition — the
+// long request's side of the fairness trade. Non-positive inputs return 0.
+func PreemptionOverhead(preemptions int, perPreemption time.Duration) time.Duration {
+	if preemptions <= 0 || perPreemption <= 0 {
+		return 0
+	}
+	return time.Duration(preemptions) * perPreemption
+}
+
 // ExecWorkingSet returns the enclave bytes a request touches during model
 // execution. The distinction drives Figure 11b: TVM threads execute out of
 // their private runtime buffers (the packed weight copies), so the model

@@ -590,3 +590,34 @@ func TestColdStartsAvoided(t *testing.T) {
 		t.Fatal("non-positive inputs must return 0")
 	}
 }
+
+func TestSchedulingOverhead(t *testing.T) {
+	// 20 frames at 50µs of decode+ECall each: 1ms of pure scheduling — the
+	// price a continuous session pays over form-then-fire's single entry.
+	if got := SchedulingOverhead(20, 50*time.Microsecond); got != time.Millisecond {
+		t.Fatalf("O_sched = %v, want 1ms", got)
+	}
+	if got := SchedulingOverhead(1, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("single frame = %v, want 1ms", got)
+	}
+	if SchedulingOverhead(0, time.Second) != 0 || SchedulingOverhead(-3, time.Second) != 0 ||
+		SchedulingOverhead(5, 0) != 0 || SchedulingOverhead(5, -time.Second) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}
+
+func TestPreemptionOverhead(t *testing.T) {
+	// A 20-step member against a budget of 4 preempts 4 times; at 2ms per
+	// evict/re-admit cycle it pays 8ms on top of its execution.
+	if got := PreemptionOverhead(4, 2*time.Millisecond); got != 8*time.Millisecond {
+		t.Fatalf("O_preempt = %v, want 8ms", got)
+	}
+	// Overhead scales linearly in cycles: halving the budget doubles it.
+	if PreemptionOverhead(8, 2*time.Millisecond) != 2*PreemptionOverhead(4, 2*time.Millisecond) {
+		t.Fatal("overhead must be linear in preemption count")
+	}
+	if PreemptionOverhead(0, time.Second) != 0 || PreemptionOverhead(-1, time.Second) != 0 ||
+		PreemptionOverhead(3, 0) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}

@@ -25,6 +25,12 @@
 //	    MaxBatch have gathered or the oldest has waited MaxWait, then ship as
 //	    ONE activation (semirt.EncodeBatch) — one enclave entry serves the
 //	    whole batch, the paper's amortization applied to the request path.
+//	  - Continuous batching (Config.Continuous): a dispatch opens a pinned
+//	    enclave session instead of a fire-once activation; queued requests
+//	    join the running batch between execution steps (mid-batch admission)
+//	    and members over their step budget are preempted at step boundaries
+//	    and re-queued with their original arrival time — burning no fresh
+//	    tenant deficit — so short requests stop queueing behind long ones.
 //	  - Dispatch bound: at most MaxInFlight batches per queue are in flight,
 //	    so a slow backend fills the queue (and trips ErrOverloaded) rather
 //	    than spawning unbounded dispatches.
@@ -93,6 +99,27 @@ type Autoscaler interface {
 	// routing is off) — the service-time and home-node telemetry behind the
 	// Little's-law capacity target.
 	NoteBatch(action, model string, size int, svc time.Duration, servedOn string)
+}
+
+// InvokeSession is one pinned backend session for continuous batching: every
+// Step reaches the same sandbox (and enclave), so the gateway can admit and
+// preempt members between execution steps. *serverless.Session satisfies it.
+type InvokeSession interface {
+	// Step delivers one opaque step frame to the pinned sandbox.
+	Step(payload []byte) ([]byte, error)
+	// Node reports the node serving the session ("" when unknown).
+	Node() string
+	// Close releases the pinned slot (idempotent).
+	Close()
+}
+
+// SessionOpener opens pinned backend sessions (Config.Continuous).
+// *serverless.Cluster's concrete OpenSession is adapted to it automatically;
+// tests substitute fakes.
+type SessionOpener interface {
+	// OpenSession claims a sandbox slot for the action, preferring the
+	// hinted node ("" = no preference), and pins a session to it.
+	OpenSession(ctx context.Context, action, node string) (InvokeSession, error)
 }
 
 // Router is the locality surface of the backend: hinted dispatch plus the
@@ -193,6 +220,28 @@ type Config struct {
 	// cluster served the batch elsewhere because the home was saturated)
 	// after which a queue picks a new home (default 3).
 	RehomeAfter int
+	// Continuous enables continuous batching: each dispatch opens a pinned
+	// enclave session (SessionOpener) and drives a step loop instead of a
+	// fire-once activation. Queued requests join the running session between
+	// execution steps while the queue is backlogged, and members that have
+	// run PreemptAfter steps while others wait are preempted with
+	// semirt.ErrPreempted and re-queued with their original enqueue time, so
+	// re-entry keeps FIFO/DRR fairness and burns no fresh tenant deficit.
+	// Requires the Invoker to open sessions (SessionOpener or
+	// *serverless.Cluster); otherwise it is ignored.
+	Continuous bool
+	// PreemptAfter is the per-session step budget under Continuous: a member
+	// that has executed this many steps in one session is preempted at the
+	// next step boundary while the queue is backlogged (default 4; members
+	// always get at least one step, and a member on its final step finishes).
+	PreemptAfter int
+	// MinService floors the service-time estimate behind deadline-flush
+	// margins (deadlineWait, the deadline watchdog). A cold queue has
+	// svcEWMA == 0; unfloored, the margin degenerates to ~1ms and the
+	// watchdog fires too late for the first-ever dispatch to meet its
+	// deadline (default 5ms). Shedding still uses the raw svcEWMA — the
+	// floor decides when to flush, never whether to drop.
+	MinService time.Duration
 }
 
 func (c *Config) defaults() {
@@ -220,6 +269,12 @@ func (c *Config) defaults() {
 	if c.RehomeAfter < 1 {
 		c.RehomeAfter = 3
 	}
+	if c.PreemptAfter < 1 {
+		c.PreemptAfter = 4
+	}
+	if c.MinService <= 0 {
+		c.MinService = 5 * time.Millisecond
+	}
 }
 
 // result is the fan-out of one batched request back to its caller.
@@ -237,6 +292,10 @@ type pending struct {
 	deadline time.Time   // zero: none
 	done     chan result // buffered 1: the dispatcher never blocks on fan-out
 	enq      time.Time
+	// resumed marks a member re-queued after preemption: it re-enters at its
+	// original-arrival position (insertResumed) and its next drain burns no
+	// fresh tenant deficit — the tenant already paid for this admission.
+	resumed bool
 }
 
 // tenantQ is one tenant's sub-queue inside a (action, model) queue: the
@@ -259,6 +318,20 @@ func (tq *tenantQ) insert(p *pending) {
 	}
 	i := len(tq.items)
 	for i > 0 && tq.items[i-1].prio < p.prio {
+		i--
+	}
+	tq.items = append(tq.items, nil)
+	copy(tq.items[i+1:], tq.items[i:])
+	tq.items[i] = p
+}
+
+// insertResumed places a preempted member back by (priority desc, original
+// arrival): it re-enters exactly where FIFO order would have kept it had it
+// never been dispatched, ahead of later arrivals but behind earlier ones.
+func (tq *tenantQ) insertResumed(p *pending) {
+	i := len(tq.items)
+	for i > 0 && (tq.items[i-1].prio < p.prio ||
+		(tq.items[i-1].prio == p.prio && p.enq.Before(tq.items[i-1].enq))) {
 		i--
 	}
 	tq.items = append(tq.items, nil)
@@ -326,6 +399,7 @@ type queue struct {
 
 	timerArmed  bool
 	inFlight    int // batches dispatched, not yet fanned out
+	opening     int // continuous sessions spawned, not yet through first drain
 	prewarmWant int // this queue's current warm-sandbox demand
 
 	// svcEWMA is the smoothed dispatch→fan-out batch service time, the
@@ -356,9 +430,15 @@ func (q *queue) tenant(name string, cfg *Config) *tenantQ {
 	return tq
 }
 
-// enqueueLocked adds p to its tenant sub-queue and the active ring.
+// enqueueLocked adds p to its tenant sub-queue and the active ring. A
+// resumed member (re-queued after preemption) keeps its original enqueue
+// time and position, so q.oldest and the formation timer see its true age.
 func (q *queue) enqueueLocked(tq *tenantQ, p *pending) {
-	tq.insert(p)
+	if p.resumed {
+		tq.insertResumed(p)
+	} else {
+		tq.insert(p)
+	}
 	if !tq.inRing {
 		tq.inRing = true
 		q.ring = append(q.ring, tq)
@@ -373,14 +453,13 @@ func (q *queue) enqueueLocked(tq *tenantQ, p *pending) {
 }
 
 // deadlineWait returns how long the queue may keep waiting before the
-// earliest-deadline item must flush to still meet its deadline (estimate =
-// svcEWMA plus a margin against timer latency), 0 when that flush is due
-// now, and -1 when no queued item carries a deadline.
-func (q *queue) deadlineWait() time.Duration {
+// earliest-deadline item must flush to still meet its deadline given the
+// caller's service-time margin, 0 when that flush is due now, and -1 when no
+// queued item carries a deadline.
+func (q *queue) deadlineWait(margin time.Duration) time.Duration {
 	if q.minDeadline.IsZero() {
 		return -1
 	}
-	margin := q.svcEWMA + q.svcEWMA/4 + time.Millisecond
 	w := time.Until(q.minDeadline) - margin
 	if w < 0 {
 		return 0
@@ -489,6 +568,9 @@ type Stats struct {
 	// Batches counts dispatched activations; Served counts fanned-out
 	// responses (errors included).
 	Batches, Served uint64
+	// Preemptions counts continuous-session members evicted at a step
+	// boundary and re-queued (each is answered later, from a later session).
+	Preemptions uint64
 	// Prewarmed counts sandboxes started by prewarming.
 	Prewarmed uint64
 	// Rehomes counts affinity re-homing decisions (a queue abandoning a
@@ -524,10 +606,11 @@ const maxTenantStats = 8192
 
 // Gateway fronts an Invoker with batching queues.
 type Gateway struct {
-	cfg Config
-	inv Invoker
-	pw  Prewarmer
-	rt  Router // non-nil when affinity routing is active
+	cfg  Config
+	inv  Invoker
+	pw   Prewarmer
+	rt   Router        // non-nil when affinity routing is active
+	sess SessionOpener // non-nil when continuous batching is active
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -550,7 +633,40 @@ type Gateway struct {
 	m Metrics
 
 	accepted, rejected, tenantRejected, shed, canceled atomic.Uint64
-	batches, served, prewarmed, rehomes                atomic.Uint64
+	batches, served, prewarmed, rehomes, preemptions   atomic.Uint64
+	sessionSeq                                         atomic.Uint64
+}
+
+// clusterSessions adapts *serverless.Cluster's concrete OpenSession to the
+// gateway's SessionOpener surface (Go interfaces need exact signatures, and
+// the cluster returns its concrete *serverless.Session).
+type clusterSessions struct {
+	cl interface {
+		OpenSession(ctx context.Context, action, node string) (*serverless.Session, error)
+	}
+}
+
+func (c clusterSessions) OpenSession(ctx context.Context, action, node string) (InvokeSession, error) {
+	s, err := c.cl.OpenSession(ctx, action, node)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sessionOpenerFor resolves the backend's session surface: the generic
+// SessionOpener (tests, alternative backends) or the cluster's concrete
+// OpenSession adapted to it; nil when the backend cannot open sessions.
+func sessionOpenerFor(inv Invoker) SessionOpener {
+	if so, ok := inv.(SessionOpener); ok {
+		return so
+	}
+	if cl, ok := inv.(interface {
+		OpenSession(ctx context.Context, action, node string) (*serverless.Session, error)
+	}); ok {
+		return clusterSessions{cl}
+	}
+	return nil
 }
 
 // New creates a gateway over inv. If inv also implements Prewarmer (as
@@ -581,6 +697,9 @@ func New(cfg Config, inv Invoker) *Gateway {
 	if rt, ok := inv.(Router); ok && cfg.Affinity {
 		g.rt = rt
 	}
+	if cfg.Continuous {
+		g.sess = sessionOpenerFor(inv)
+	}
 	g.ctx, g.cancel = context.WithCancel(context.Background())
 	return g
 }
@@ -600,6 +719,7 @@ func (g *Gateway) Stats() Stats {
 		Shed:           g.shed.Load(),
 		Canceled:       g.canceled.Load(),
 		Batches:        g.batches.Load(),
+		Preemptions:    g.preemptions.Load(),
 		Served:         g.served.Load(),
 		Prewarmed:      g.prewarmed.Load(),
 		Rehomes:        g.rehomes.Load(),
@@ -670,6 +790,35 @@ func splitQueueKey(key string) (action, model string, ok bool) {
 // sub-queues (drainLocked), so under contention every backlogged tenant
 // owns its weighted share of each activation.
 func (g *Gateway) flushLocked(q *queue, force bool) {
+	if g.sess != nil {
+		// Continuous batching: the dispatch drains its members only AFTER its
+		// session opens (dispatchSession), so a backlog never strands outside
+		// the queue while the open waits for sandbox capacity — the sessions
+		// already serving the queue keep admitting it mid-batch in the
+		// meantime. Spawn one session per MaxBatch of unclaimed backlog;
+		// opening counts spawns that have not yet taken their first drain.
+		for q.inFlight < g.cfg.MaxInFlight {
+			unclaimed := q.size - q.opening*g.cfg.MaxBatch
+			if unclaimed < g.cfg.MaxBatch && !(force && unclaimed > 0) {
+				return
+			}
+			force = false
+			q.inFlight++
+			q.opening++
+			home := ""
+			if g.rt != nil {
+				if q.home == "" {
+					if h, ok := g.stickyHomes[q.key]; ok {
+						q.home = h
+					}
+				}
+				home = q.home
+			}
+			g.wg.Add(1)
+			go g.dispatchSession(q, home)
+		}
+		return
+	}
 	for q.inFlight < g.cfg.MaxInFlight && q.size > 0 {
 		if q.size < g.cfg.MaxBatch && !force {
 			return
@@ -727,6 +876,10 @@ func (g *Gateway) drainLocked(q *queue, max int) []*pending {
 			tq.deficit += tq.weight
 		}
 		q.midVisit = false
+		// A group run never crosses a tenant boundary: popGroup scanning
+		// tenant B's sub-queue for tenant A's user key would reorder B's queue
+		// for a key it cannot contain (groups embed the tenant).
+		inRun = false
 		for tq.deficit >= 1 && len(tq.items) > 0 && len(batch) < max {
 			var p *pending
 			if g.cfg.GroupUsers && inRun {
@@ -738,7 +891,13 @@ func (g *Gateway) drainLocked(q *queue, max int) []*pending {
 			if g.shedLocked(p, now, q.svcEWMA) {
 				continue
 			}
-			tq.deficit--
+			if p.resumed {
+				// Re-admission after preemption: the tenant already paid
+				// deficit when this request was first drained.
+				p.resumed = false
+			} else {
+				tq.deficit--
+			}
 			batch = append(batch, p)
 			group, inRun = p.group, true
 		}
@@ -794,7 +953,7 @@ func (g *Gateway) armTimerLocked(q *queue) {
 	// An envelope deadline tighter than the formation window flushes early:
 	// waiting the full MaxWait would be the very thing that makes the
 	// deadline unmeetable on an otherwise idle queue.
-	if dw := q.deadlineWait(); dw >= 0 && dw < wait {
+	if dw := q.deadlineWait(g.deadlineMarginLocked(q)); dw >= 0 && dw < wait {
 		wait = dw
 	}
 	if wait < 0 {
@@ -814,7 +973,7 @@ func (g *Gateway) armTimerLocked(q *queue) {
 		// full batch, and nothing queued is due (formation window or
 		// envelope deadline) — re-arm for the new oldest instead of
 		// force-flushing an undersized batch early.
-		if q.size > 0 && time.Since(q.oldest) < g.cfg.MaxWait && q.deadlineWait() != 0 {
+		if q.size > 0 && time.Since(q.oldest) < g.cfg.MaxWait && q.deadlineWait(g.deadlineMarginLocked(q)) != 0 {
 			g.armTimerLocked(q)
 			return
 		}
@@ -826,6 +985,20 @@ func (g *Gateway) armTimerLocked(q *queue) {
 	})
 }
 
+// deadlineMarginLocked is the safety margin deadline flushes reserve for the
+// dispatch itself: the smoothed batch service time — floored by
+// Config.MinService — plus 25% and a millisecond of timer latency. The floor
+// covers the cold-queue case: svcEWMA is 0 before the first fan-out, and an
+// unfloored margin (~1ms) armed the watchdog so late that the first-ever
+// dispatch — the slowest one, cold start included — missed its deadline.
+func (g *Gateway) deadlineMarginLocked(q *queue) time.Duration {
+	est := q.svcEWMA
+	if est < g.cfg.MinService {
+		est = g.cfg.MinService
+	}
+	return est + est/4 + time.Millisecond
+}
+
 // armDeadlineWatchdogLocked schedules a force flush for a request whose
 // envelope deadline is tighter than the MaxWait formation window — the
 // regular formation timer may already be armed for later than this deadline
@@ -833,8 +1006,7 @@ func (g *Gateway) armTimerLocked(q *queue) {
 // the handler re-checks due-ness under the lock and does nothing when the
 // item already shipped, shed, or canceled.
 func (g *Gateway) armDeadlineWatchdogLocked(q *queue, p *pending) {
-	margin := q.svcEWMA + q.svcEWMA/4 + time.Millisecond
-	wait := time.Until(p.deadline) - margin
+	wait := time.Until(p.deadline) - g.deadlineMarginLocked(q)
 	if wait >= g.cfg.MaxWait {
 		return // the regular formation timer flushes in time
 	}
@@ -845,7 +1017,7 @@ func (g *Gateway) armDeadlineWatchdogLocked(q *queue, p *pending) {
 	time.AfterFunc(wait, func() {
 		g.mu.Lock()
 		defer g.mu.Unlock()
-		if g.closed || q.size == 0 || q.deadlineWait() != 0 {
+		if g.closed || q.size == 0 || q.deadlineWait(g.deadlineMarginLocked(q)) != 0 {
 			return
 		}
 		g.flushLocked(q, true)

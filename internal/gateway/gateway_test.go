@@ -441,3 +441,90 @@ func TestDrainedQueuesAreReaped(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestColdQueueDeadlineWatchdogLeavesServiceMargin is the regression test
+// for the cold-queue watchdog margin: on a queue that has never completed a
+// batch (svcEWMA == 0) the deadline flush margin collapsed to ~1ms, so the
+// watchdog fired a breath before the deadline and the request missed it
+// anyway. Config.MinService floors the estimate: the first-ever request on a
+// queue must dispatch with a real service window left, not at the wire.
+func TestColdQueueDeadlineWatchdogLeavesServiceMargin(t *testing.T) {
+	inv := newFakeInvoker()
+	// MaxWait an hour: only the deadline machinery can flush this batch.
+	g := New(Config{MaxBatch: 64, MaxWait: time.Hour, MinService: 150 * time.Millisecond}, inv)
+	defer g.Close()
+
+	start := time.Now()
+	tk, err := g.Submit(context.Background(), Request{
+		Action:   "fn",
+		Deadline: start.Add(200 * time.Millisecond),
+		Body:     semirt.Request{UserID: "u", ModelID: "m", Payload: []byte("cold")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("cold-queue deadline request failed: %v", err)
+	}
+	// The margin (MinService + 25% + 1ms ≈ 189ms) flushes almost immediately;
+	// the buggy ~1ms margin waited until ~199ms after submit.
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("dispatch took %v, want well before the 200ms deadline (margin floor)", d)
+	}
+	if _, sizes := inv.dispatched("fn"); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("dispatched %v, want the single cold request", sizes)
+	}
+}
+
+// TestCancelRacesDispatchExactlyOnce runs Ticket.Cancel against the dispatch
+// fan-out under -race: for every ticket exactly one of the two wins — Cancel
+// reports true iff Wait observes ErrCanceled — and the pending gauge returns
+// to zero with served + canceled covering every accepted request.
+func TestCancelRacesDispatchExactlyOnce(t *testing.T) {
+	inv := newFakeInvoker()
+	g := New(Config{MaxBatch: 4, MaxWait: time.Millisecond, MaxInFlight: 2, MaxQueue: 1024}, inv)
+	defer g.Close()
+
+	const n = 200
+	canceled := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tk, err := g.Submit(context.Background(), Request{Action: "fn", Body: req("m", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			canceled[i] = tk.Cancel()
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tk.Wait(context.Background())
+		}(i)
+	}
+	wg.Wait()
+
+	var served, withdrawn int
+	for i := 0; i < n; i++ {
+		if canceled[i] != errors.Is(errs[i], ErrCanceled) {
+			t.Fatalf("ticket %d: Cancel=%v but Wait err=%v", i, canceled[i], errs[i])
+		}
+		if canceled[i] {
+			withdrawn++
+		} else if errs[i] == nil {
+			served++
+		} else {
+			t.Fatalf("ticket %d failed with %v", i, errs[i])
+		}
+	}
+	st := g.Stats()
+	if st.Pending != 0 {
+		t.Fatalf("pending %d after settle, want 0 (double decrement?)", st.Pending)
+	}
+	if st.Served+st.Canceled != n || int(st.Canceled) != withdrawn || int(st.Served) != served {
+		t.Fatalf("accounting: served=%d canceled=%d (observed %d/%d), want total %d",
+			st.Served, st.Canceled, served, withdrawn, n)
+	}
+}

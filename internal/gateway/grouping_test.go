@@ -103,3 +103,61 @@ func TestDeadlinePropagatesIntoBody(t *testing.T) {
 		t.Fatalf("backend saw deadline %v, want %v", got, dl)
 	}
 }
+
+// TestGroupRunNeverCrossesTenantBoundary is the regression test for the
+// drain-state leak: a group run's (group, inRun) survived the deficit round
+// robin's advance to the next tenant, so popGroup scanned tenant B's
+// sub-queue for tenant A's user key and could pull a later B request over an
+// earlier one — a cross-tenant grouping violation of B's FIFO order. The
+// run state must reset at every tenant boundary.
+func TestGroupRunNeverCrossesTenantBoundary(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.block = make(chan struct{})
+	inv.started = make(chan struct{}, 8)
+	g := New(Config{MaxBatch: 2, MaxWait: time.Hour, MaxInFlight: 1, GroupUsers: true}, inv)
+	defer g.Close()
+
+	submit := func(tenant, user string, payload byte) *Ticket {
+		t.Helper()
+		tk, err := g.Submit(context.Background(), Request{
+			Action: "fn",
+			Tenant: tenant,
+			Hints:  Hints{User: user},
+			Body:   semirt.Request{UserID: secure.ID(user), ModelID: "m", Payload: []byte{payload}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk
+	}
+
+	// Two fillers occupy the only dispatch slot (blocked in the invoker), so
+	// the interesting arrivals queue up and drain together afterwards.
+	tks := []*Ticket{submit("fill", "f", 'x'), submit("fill", "f", 'y')}
+	<-inv.started
+	// Tenant A queues user g1; tenant B queues g2 then two g1s. The round
+	// robin takes A's g1 first — if the run leaks across the boundary,
+	// popGroup hoists B's g1 over B's earlier g2. Four queued requests form
+	// two full batches, so nothing is left waiting on the hour-long window.
+	tks = append(tks, submit("A", "g1", 'a'), submit("B", "g2", 'b'),
+		submit("B", "g1", 'c'), submit("B", "g1", 'd'))
+	close(inv.block)
+	for i, tk := range tks {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+
+	payloads, sizes := inv.dispatched("fn")
+	if len(sizes) != 3 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Fatalf("batch sizes %v, want [2 2 2]", sizes)
+	}
+	// Second batch: A's g1 plus tenant B's OLDEST request (g2) — not a B:g1
+	// hoisted over it by A's leaked group run.
+	if got := payloads[2] + payloads[3]; got != "ab" {
+		t.Fatalf("second batch %q, want \"ab\" (A:g1 then B:g2, tenant FIFO intact)", got)
+	}
+	if got := payloads[4] + payloads[5]; got != "cd" {
+		t.Fatalf("last batch %q, want \"cd\"", got)
+	}
+}

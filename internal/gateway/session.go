@@ -1,0 +1,245 @@
+package gateway
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"sesemi/internal/semirt"
+)
+
+// Continuous batching dispatch: dispatchSession replaces dispatch's
+// form-then-fire activation with a step loop over a pinned backend session.
+// Each iteration sends ONE step frame (semirt.StepFrame) — admitting any
+// newly drained requests — and fans out the members that completed, failed,
+// or were preempted at that step boundary. The session stays open while it
+// has resident members or the queue keeps feeding it joiners, so a short
+// request arriving behind a long one completes at its own step instead of
+// waiting for the batch that happened to contain the long one.
+
+// sessMember tracks one resident member of a live session.
+type sessMember struct {
+	p *pending
+	// sent is the member's admission into this session — the per-member
+	// dispatch→fan-out clock behind the queue's svcEWMA.
+	sent time.Time
+}
+
+// requeueLocked re-admits a preempted member. Its progress travels in
+// req.StepsDone (set by the caller from the step result); its ORIGINAL
+// enqueue time and resumed flag make re-entry fairness-neutral: it re-enters
+// at its original-arrival position within its priority band (insertResumed)
+// and its next drain burns no fresh tenant deficit. After Close the member
+// is failed with ErrClosed instead, like any queued request.
+func (g *Gateway) requeueLocked(q *queue, p *pending) {
+	g.preemptions.Add(1)
+	if g.closed {
+		p.done <- result{err: ErrClosed}
+		g.served.Add(1)
+		g.pending--
+		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+		return
+	}
+	p.resumed = true
+	q.enqueueLocked(q.tenant(p.tenant, &g.cfg), p)
+}
+
+// dispatchSession drives one continuous session to completion. Runs outside
+// the gateway lock, on a dispatch slot (q.inFlight), exactly like dispatch.
+// Unlike dispatch it takes no formed batch: its members are drained only
+// after the session opens, so while the open waits for a pinned sandbox slot
+// (capacity long-lived sessions may be holding) the backlog stays in the
+// queue where the live sessions' refills keep admitting it mid-batch —
+// nothing strands behind a blocked open.
+func (g *Gateway) dispatchSession(q *queue, home string) {
+	defer g.wg.Done()
+	if g.rt != nil && home == "" {
+		// First dispatch of a fresh queue: elect a home (same protocol as
+		// dispatch — the cluster scan runs unlocked, adoption re-checks).
+		stats := g.rt.NodeStats(q.action)
+		g.mu.Lock()
+		if q.home == "" {
+			g.chooseHomeLocked(q, stats)
+		}
+		home = q.home
+		g.mu.Unlock()
+	}
+
+	members := map[int]sessMember{}
+	servedOn := home
+	served := 0 // members answered from this session (NoteBatch size)
+	var svcSum time.Duration
+	var frameErr error
+
+	// firstDrain claims this spawn's share of the backlog: whatever is still
+	// queued, up to MaxBatch — sessions that opened while we waited may have
+	// already admitted the requests this spawn was sized for.
+	firstDrain := func() []*pending {
+		g.mu.Lock()
+		q.opening--
+		var batch []*pending
+		if !g.closed {
+			batch = g.drainLocked(q, g.cfg.MaxBatch)
+		}
+		if len(batch) > 0 {
+			q.recomputeOldestLocked()
+		}
+		g.mu.Unlock()
+		if len(batch) > 0 {
+			if g.cfg.GroupUsers && len(batch) > 1 {
+				// Same key-switch contiguity as form-then-fire formation.
+				sort.SliceStable(batch, func(i, j int) bool { return batch[i].group < batch[j].group })
+			}
+			g.batches.Add(1)
+			g.m.BatchSizes.Observe(float64(len(batch)))
+		}
+		return batch
+	}
+
+	sess, frameErr := g.sess.OpenSession(g.ctx, q.action, home)
+	if frameErr != nil {
+		// The session never opened: claim the members this spawn was sized
+		// for and register them so the common strand-fail path below answers
+		// every one exactly once (dispatch's whole-batch error fan-out).
+		now := time.Now()
+		for i, p := range firstDrain() {
+			members[i] = sessMember{p: p, sent: now}
+		}
+	} else {
+		servedOn = sess.Node()
+		sid := "s" + strconv.FormatUint(g.sessionSeq.Add(1), 10)
+		join := firstDrain()
+		nextID := 0
+		for len(join) > 0 || len(members) > 0 {
+			now := time.Now()
+			js := make([]semirt.StepJoin, 0, len(join))
+			for _, p := range join {
+				members[nextID] = sessMember{p: p, sent: now}
+				js = append(js, semirt.StepJoin{ID: nextID, Req: p.req})
+				nextID++
+				g.m.QueueWait.Observe(float64(now.Sub(p.enq)) / float64(time.Millisecond))
+			}
+			g.mu.Lock()
+			waiting := q.size
+			g.mu.Unlock()
+			payload, err := semirt.EncodeStepFrame(semirt.StepFrame{
+				Session: sid, Join: js, Budget: g.cfg.PreemptAfter, Waiting: waiting})
+			var raw []byte
+			if err == nil {
+				raw, err = sess.Step(payload)
+			}
+			var resp semirt.StepResponse
+			if err == nil {
+				resp, err = semirt.DecodeStepResponse(raw)
+			}
+			if err != nil {
+				frameErr = err
+				break
+			}
+			now = time.Now()
+			var requeue []*pending
+			var finished []sessMember
+			for _, d := range resp.Done {
+				sm, ok := members[d.ID]
+				if !ok {
+					continue
+				}
+				delete(members, d.ID)
+				if d.Preempted {
+					sm.p.req.StepsDone = d.StepsDone
+					requeue = append(requeue, sm.p)
+					continue
+				}
+				// Fan out at the step boundary the member completed at — the
+				// whole point of the discipline: no waiting for the session.
+				sm.p.done <- result{resp: d.Response, err: d.Err}
+				g.served.Add(1)
+				g.m.E2E.Observe(float64(now.Sub(sm.p.enq)) / float64(time.Millisecond))
+				svcSum += now.Sub(sm.sent)
+				served++
+				finished = append(finished, sm)
+			}
+			join = nil
+			g.mu.Lock()
+			for _, p := range requeue {
+				g.requeueLocked(q, p)
+			}
+			g.pending -= len(finished)
+			for _, sm := range finished {
+				g.tenantAddLocked(sm.p.tenant, func(tc *tenantCounts) { tc.served++ })
+				// Per-member smoothed service time: the deadline shedder's
+				// estimate must track a member's session residency, not the
+				// session's (unbounded) lifetime.
+				svc := now.Sub(sm.sent)
+				if q.svcEWMA == 0 {
+					q.svcEWMA = svc
+				} else {
+					q.svcEWMA += (svc - q.svcEWMA) / 4
+				}
+			}
+			// Mid-batch admission: refill from the backlog (preempted members
+			// just re-queued compete here on their original arrival order).
+			if !g.closed && q.size > 0 && len(members) < g.cfg.MaxBatch {
+				join = g.drainLocked(q, g.cfg.MaxBatch-len(members))
+				if len(join) > 0 {
+					q.recomputeOldestLocked()
+				}
+			}
+			g.mu.Unlock()
+			if len(members) == 0 && len(join) == 0 {
+				break
+			}
+		}
+		if frameErr == nil && nextID > 0 {
+			// Normal termination: drop the runtime's session state (none
+			// exists if the first drain came up empty). Members are gone by
+			// construction; a failed close only leaks state the runtime
+			// bounds and reaps with the enclave.
+			if payload, err := semirt.EncodeStepFrame(semirt.StepFrame{Session: sid, Close: true}); err == nil {
+				_, _ = sess.Step(payload)
+			}
+		}
+		sess.Close()
+	}
+
+	if len(members) > 0 {
+		// A frame failed (or the session never opened): fail every stranded
+		// member with the instance-level error, exactly like dispatch fans an
+		// activation error out to the whole batch.
+		now := time.Now()
+		g.mu.Lock()
+		for _, sm := range members {
+			sm.p.done <- result{err: frameErr}
+			g.served.Add(1)
+			g.m.E2E.Observe(float64(now.Sub(sm.p.enq)) / float64(time.Millisecond))
+			g.pending--
+			g.tenantAddLocked(sm.p.tenant, func(tc *tenantCounts) { tc.served++ })
+		}
+		g.mu.Unlock()
+	}
+
+	g.mu.Lock()
+	q.inFlight--
+	needRehome := false
+	if g.rt != nil && home != "" {
+		needRehome = g.noteServedLocked(q, home, servedOn)
+	}
+	g.flushLocked(q, false)
+	g.armTimerLocked(q)
+	g.reapLocked(q)
+	g.mu.Unlock()
+	if g.cfg.Autoscaler != nil && served > 0 {
+		// Outside g.mu, like dispatch. Size is the members this session
+		// answered; svc the mean per-member residency — the same
+		// units-of-work telemetry the Little's-law target consumes.
+		g.cfg.Autoscaler.NoteBatch(q.action, q.model, served, svcSum/time.Duration(served), servedOn)
+	}
+	if needRehome {
+		stats := g.rt.NodeStats(q.action)
+		g.mu.Lock()
+		if q.home == home {
+			g.rehomeLocked(q, stats)
+		}
+		g.mu.Unlock()
+	}
+}

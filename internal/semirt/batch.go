@@ -122,11 +122,33 @@ func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 	return results, nil
 }
 
-// wireEnvelope is the JSON activation payload: either one request (the
-// OpenWhisk /run body this repo has always used) or a gateway batch.
+// wireEnvelope is the JSON activation payload: one request (the OpenWhisk
+// /run body this repo has always used), a gateway batch, or a continuous-
+// session step frame.
 type wireEnvelope struct {
 	Request
-	Batch []Request `json:"batch,omitempty"`
+	Batch []Request  `json:"batch,omitempty"`
+	Step  *StepFrame `json:"step,omitempty"`
+}
+
+func decodeWire(raw []byte) (wireEnvelope, error) {
+	var env wireEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return wireEnvelope{}, fmt.Errorf("semirt: activation payload: %w", err)
+	}
+	return env, nil
+}
+
+// wireError restores typed sentinel errors carried as strings across the
+// activation boundary, so errors.Is works on both sides of a remote call.
+func wireError(s string) error {
+	switch s {
+	case ErrDeadline.Error():
+		return ErrDeadline
+	case ErrPreempted.Error():
+		return ErrPreempted
+	}
+	return errors.New(s)
 }
 
 // wireBatchItem is one per-request outcome on the wire.
@@ -155,9 +177,9 @@ func EncodeBatch(reqs []Request) ([]byte, error) {
 // json.Marshal(Request)); test doubles and recording wrappers use it so the
 // wire shape lives in exactly one place.
 func DecodeEnvelope(raw []byte) (req Request, batch []Request, err error) {
-	var env wireEnvelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return Request{}, nil, fmt.Errorf("semirt: activation payload: %w", err)
+	env, err := decodeWire(raw)
+	if err != nil {
+		return Request{}, nil, err
 	}
 	return env.Request, env.Batch, nil
 }
@@ -189,13 +211,9 @@ func DecodeBatchResponse(raw []byte, want int) ([]BatchResult, error) {
 	out := make([]BatchResult, len(wr.Batch))
 	for i, item := range wr.Batch {
 		if item.Error != "" {
-			// Restore the typed deadline error across the wire so callers can
-			// errors.Is-classify shed members of a remote batch.
-			if item.Error == ErrDeadline.Error() {
-				out[i].Err = ErrDeadline
-				continue
-			}
-			out[i].Err = errors.New(item.Error)
+			// Restore typed sentinels (ErrDeadline, ErrPreempted) across the
+			// wire so callers can errors.Is-classify remote batch members.
+			out[i].Err = wireError(item.Error)
 			continue
 		}
 		out[i].Response = Response{Payload: item.Payload, Kind: item.Kind}
@@ -214,18 +232,25 @@ type Instance struct {
 
 // Invoke implements serverless.Instance.
 func (in Instance) Invoke(payload []byte) ([]byte, error) {
-	req, batch, err := DecodeEnvelope(payload)
+	env, err := decodeWire(payload)
 	if err != nil {
 		return nil, err
 	}
-	if len(batch) > 0 {
-		results, err := in.RT.HandleBatch(batch)
+	if env.Step != nil {
+		resp, err := in.RT.HandleStep(*env.Step)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeStepResponse(resp)
+	}
+	if len(env.Batch) > 0 {
+		results, err := in.RT.HandleBatch(env.Batch)
 		if err != nil {
 			return nil, err
 		}
 		return EncodeBatchResults(results)
 	}
-	resp, err := in.RT.Handle(req)
+	resp, err := in.RT.Handle(env.Request)
 	if err != nil {
 		return nil, err
 	}

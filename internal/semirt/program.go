@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sesemi/internal/enclave"
 	"sesemi/internal/inference"
@@ -200,9 +201,18 @@ func (p *program) execLocked(req Request, kr secure.Key) ([]byte, error) {
 	}
 
 	// MODEL_EXEC (line 17); the modeled execution cost scales with the
-	// platform's EPC paging factor.
+	// platform's EPC paging factor. A request is ExecSteps scheduler steps
+	// long and charges every step it has not yet executed: form-then-fire
+	// paths run all remaining steps here in one go, while a continuous
+	// session (HandleStep) pre-pays intermediate steps frame by frame and
+	// arrives with StepsDone == ExecSteps-1, so both disciplines charge the
+	// same total.
 	if p.cfg.ModeledStages != nil {
-		p.enc.ChargeExec(p.cfg.ModeledStages.ModelExec)
+		steps := req.ExecSteps - req.StepsDone
+		if steps < 1 {
+			steps = 1
+		}
+		p.enc.ChargeExec(time.Duration(steps) * p.cfg.ModeledStages.ModelExec)
 	}
 	if err := inference.ModelExec(slot.rt, plain); err != nil {
 		return nil, fmt.Errorf("semirt: exec: %w", err)

@@ -60,6 +60,17 @@ type Request struct {
 	// threads its envelope deadline through here, so shedding continues past
 	// dispatch into the backend.
 	Deadline time.Time `json:"deadline"`
+	// ExecSteps is the request's execution length in scheduler steps (0 and
+	// 1 both mean a single step). Continuous sessions (HandleStep) run one
+	// step per member per frame, so a long request interleaves with short
+	// ones instead of holding the enclave for its whole duration; form-then-
+	// fire paths charge all remaining steps in one go, so both disciplines
+	// pay the same total execution cost.
+	ExecSteps int `json:"exec_steps,omitempty"`
+	// StepsDone counts steps already executed in earlier sessions. A member
+	// preempted at a step boundary is re-queued by the gateway with its
+	// progress here, so resumption pays only the remaining steps.
+	StepsDone int `json:"steps_done,omitempty"`
 }
 
 // Response is the encrypted inference result.
@@ -95,6 +106,11 @@ type Stats struct {
 	// multi-user stream fetches once per principal; with the single-pair
 	// cache it fetched once per user flip).
 	KeyFetches uint64
+	// SessionSteps counts continuous-session scheduling frames (one enclave
+	// entry each) — the step-loop volume costmodel.SchedulingOverhead prices.
+	SessionSteps uint64
+	// Preempted counts members evicted at a step boundary with ErrPreempted.
+	Preempted uint64
 }
 
 // Runtime is one SeMIRT serverless instance (the sandbox contents in
@@ -115,6 +131,16 @@ type Runtime struct {
 	// keyFetches outlives the program (Stop nils it), so the counter keeps
 	// reporting after shutdown.
 	keyFetches atomic.Uint64
+	// sessionSteps / preempted mirror Stats: continuous-session frames
+	// executed and members preempted at step boundaries.
+	sessionSteps atomic.Uint64
+	preempted    atomic.Uint64
+
+	// stepMu guards the live continuous sessions. Each session is driven by
+	// exactly one gateway goroutine (frames arrive strictly sequentially),
+	// so the lock only covers map access, never frame execution.
+	stepMu       sync.Mutex
+	stepSessions map[string]*stepSession
 }
 
 // New creates an instance; the enclave is not launched until Start or the
@@ -223,7 +249,9 @@ func (r *Runtime) Handle(req Request) (Response, error) {
 // Stats returns the invocation counters.
 func (r *Runtime) Stats() Stats {
 	return Stats{Cold: r.cold.Load(), Warm: r.warm.Load(), Hot: r.hot.Load(),
-		KeyFetches: r.keyFetches.Load()}
+		KeyFetches:   r.keyFetches.Load(),
+		SessionSteps: r.sessionSteps.Load(),
+		Preempted:    r.preempted.Load()}
 }
 
 // LoadedModel reports the id of the currently loaded model ("" if none).
@@ -250,6 +278,9 @@ func (r *Runtime) EnclaveMemoryBytes() int64 {
 
 // Stop destroys the enclave and closes the KeyService session.
 func (r *Runtime) Stop() {
+	r.stepMu.Lock()
+	r.stepSessions = nil
+	r.stepMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stopped = true

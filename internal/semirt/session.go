@@ -1,0 +1,311 @@
+package semirt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Continuous batching: instead of forming a batch once and running it to
+// completion (HandleBatch), the gateway opens a session pinned to one
+// sandbox and drives it with step frames. Each frame is ONE enclave entry
+// that advances every resident member by one execution step; new requests
+// join between frames (mid-batch admission) and members that have exhausted
+// their per-session step budget while others wait are evicted at the step
+// boundary with ErrPreempted, carrying their progress so a later session
+// resumes them without re-paying executed steps. This closes the
+// head-of-line-blocking gap of form-then-fire: a short request batched after
+// a long one completes at its own step, not at the batch's.
+
+// ErrPreempted reports that a session member was evicted at a step boundary
+// to let waiting requests in. The result carries StepsDone; the gateway
+// re-queues the member with its original enqueue time and the progress made,
+// so re-entry keeps FIFO/DRR fairness and resumption pays only the remaining
+// steps. DecodeStepResponse restores it across the wire, so errors.Is works
+// on both sides of a remote activation.
+var ErrPreempted = errors.New("semirt: preempted")
+
+// maxStepSessions bounds live sessions per runtime; a gateway drives at most
+// Config.MaxInFlight sessions per queue, so hitting this means leaked
+// sessions (a driver that stopped stepping without sending Close).
+const maxStepSessions = 64
+
+// StepJoin admits one request into a session. The caller assigns ID (unique
+// within the session); results refer back to it.
+type StepJoin struct {
+	ID  int     `json:"id"`
+	Req Request `json:"req"`
+}
+
+// StepFrame is one scheduling step of a continuous session, delivered as an
+// activation payload (EncodeStepFrame). Frames of one session MUST be sent
+// sequentially by a single driver — the session protocol has no internal
+// ordering.
+type StepFrame struct {
+	// Session names the session; the first frame for an unknown id opens it.
+	Session string `json:"session"`
+	// Join holds requests admitted at this step boundary.
+	Join []StepJoin `json:"join,omitempty"`
+	// Budget is the per-session step allowance: a member that has executed
+	// Budget steps in this session is preempted at the next boundary while
+	// Waiting > 0. 0 disables preemption. Members always get at least one
+	// step before becoming preemptable.
+	Budget int `json:"budget,omitempty"`
+	// Waiting is the gateway's queue backlog behind this session; preemption
+	// only fires when someone is actually waiting.
+	Waiting int `json:"waiting,omitempty"`
+	// Close terminates the session: any resident members are returned as
+	// preempted and the session state is dropped. Join is ignored.
+	Close bool `json:"close,omitempty"`
+}
+
+// StepResult is one member's outcome, reported at the step boundary where it
+// completed, failed, was shed, or was preempted.
+type StepResult struct {
+	// ID is the StepJoin id the result answers.
+	ID int
+	// Response is valid when Err is nil.
+	Response Response
+	// Err is the member's failure: ErrPreempted (resumable — see StepsDone),
+	// ErrDeadline, or a per-request execution error.
+	Err error
+	// Preempted marks a resumable eviction (Err == ErrPreempted).
+	Preempted bool
+	// StepsDone is the member's total progress, meaningful when Preempted:
+	// re-submit with Request.StepsDone set to it to resume.
+	StepsDone int
+}
+
+// StepResponse is the outcome of one frame.
+type StepResponse struct {
+	// Done holds members that left the session at this step.
+	Done []StepResult
+	// Active is the number of members still resident after the step.
+	Active int
+}
+
+// stepSession is a live continuous batch: the members resident in the
+// enclave between frames. Exactly one driver goroutine sends its frames, so
+// the struct itself needs no lock (Runtime.stepMu covers only map access).
+type stepSession struct {
+	members []*stepMember
+	// coldPending attributes the enclave launch to the session's first
+	// successful completion (same rule as HandleBatch).
+	coldPending bool
+}
+
+// stepMember is one resident request. done counts executed steps across all
+// sessions (resumption carries it in via Request.StepsDone); inSess counts
+// only this session's steps — the preemption budget resets on re-admission.
+type stepMember struct {
+	id           int
+	req          Request
+	done, inSess int
+}
+
+// HandleStep executes one scheduling step of a continuous session: admit
+// f.Join, then advance every resident member by one execution step inside a
+// single enclave entry. Members finish individually — the final step runs
+// the full EC_MODEL_INF (keys, model, decrypt, exec, seal) while
+// intermediate steps charge one execution unit — and over-budget members are
+// evicted with ErrPreempted before their step when the queue is backlogged.
+// Only instance-level failures fail the call as a whole.
+func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
+	if f.Session == "" {
+		return StepResponse{}, errors.New("semirt: step frame missing session id")
+	}
+	launched, err := r.ensureEnclave()
+	if err != nil {
+		return StepResponse{}, err
+	}
+	r.mu.Lock()
+	enc, prog := r.enc, r.prog
+	r.mu.Unlock()
+
+	r.stepMu.Lock()
+	if r.stepSessions == nil {
+		r.stepSessions = map[string]*stepSession{}
+	}
+	sess := r.stepSessions[f.Session]
+	if sess == nil {
+		if f.Close {
+			// Closing an unknown (or already-closed) session is a no-op.
+			r.stepMu.Unlock()
+			return StepResponse{}, nil
+		}
+		if len(r.stepSessions) >= maxStepSessions {
+			r.stepMu.Unlock()
+			return StepResponse{}, errors.New("semirt: too many live step sessions")
+		}
+		sess = &stepSession{coldPending: launched}
+		r.stepSessions[f.Session] = sess
+	}
+	if f.Close {
+		delete(r.stepSessions, f.Session)
+	}
+	r.stepMu.Unlock()
+
+	if f.Close {
+		// Defensive drain: a normal driver closes an empty session, but if
+		// members remain they are returned as resumable preemptions rather
+		// than silently dropped.
+		var resp StepResponse
+		for _, m := range sess.members {
+			r.preempted.Add(1)
+			resp.Done = append(resp.Done, StepResult{
+				ID: m.id, Err: ErrPreempted, Preempted: true, StepsDone: m.done})
+		}
+		if sess.coldPending {
+			// The launch happened and was paid for even though no member
+			// completed: keep the cold counter honest (HandleBatch rule).
+			r.cold.Add(1)
+		}
+		sess.members = nil
+		return resp, nil
+	}
+
+	var resp StepResponse
+	err = enc.ECall(func() error {
+		now := time.Now()
+		for _, j := range f.Join {
+			req := j.Req
+			if !req.Deadline.IsZero() && !now.Before(req.Deadline) {
+				resp.Done = append(resp.Done, StepResult{ID: j.ID, Err: ErrDeadline})
+				continue
+			}
+			sess.members = append(sess.members, &stepMember{id: j.ID, req: req, done: req.StepsDone})
+		}
+		keep := sess.members[:0]
+		for _, m := range sess.members {
+			total := m.req.ExecSteps
+			if total < 1 {
+				total = 1
+			}
+			if !m.req.Deadline.IsZero() && !now.Before(m.req.Deadline) {
+				// Deadline shedding continues between steps, not just at
+				// batch formation.
+				resp.Done = append(resp.Done, StepResult{ID: m.id, Err: ErrDeadline})
+				continue
+			}
+			if total-m.done > 1 && f.Budget > 0 && m.inSess >= f.Budget && f.Waiting > 0 {
+				// Over budget with a backlog behind the session: evict at the
+				// boundary. A member on its final step always finishes —
+				// completing is cheaper than a preempt/resume round trip.
+				resp.Done = append(resp.Done, StepResult{
+					ID: m.id, Err: ErrPreempted, Preempted: true, StepsDone: m.done})
+				continue
+			}
+			if total-m.done > 1 {
+				// Intermediate step: one execution unit. Key and crypto work
+				// belong to the final step's full EC_MODEL_INF.
+				if r.cfg.ModeledStages != nil {
+					enc.ChargeExec(r.cfg.ModeledStages.ModelExec)
+				}
+				m.done++
+				m.inSess++
+				keep = append(keep, m)
+				continue
+			}
+			// Final step: the full pipeline with exactly one step left to pay.
+			req := m.req
+			req.StepsDone = total - 1
+			out, kind, err := prog.modelInf(req)
+			if err != nil {
+				resp.Done = append(resp.Done, StepResult{ID: m.id, Err: err})
+				continue
+			}
+			path := Hot
+			switch {
+			case sess.coldPending:
+				path = Cold
+			case kind.loadedModel || kind.fetchedKeys:
+				path = Warm
+			}
+			sess.coldPending = false
+			resp.Done = append(resp.Done, StepResult{ID: m.id, Response: Response{Payload: out, Kind: path}})
+		}
+		sess.members = keep
+		resp.Active = len(sess.members)
+		return nil
+	})
+	if err != nil {
+		return StepResponse{}, err
+	}
+	r.sessionSteps.Add(1)
+	for _, d := range resp.Done {
+		switch {
+		case d.Preempted:
+			r.preempted.Add(1)
+		case d.Err != nil:
+		case d.Response.Kind == Cold:
+			r.cold.Add(1)
+		case d.Response.Kind == Warm:
+			r.warm.Add(1)
+		default:
+			r.hot.Add(1)
+		}
+	}
+	return resp, nil
+}
+
+// wireStepResult is one member outcome on the wire.
+type wireStepResult struct {
+	ID        int            `json:"id"`
+	Payload   []byte         `json:"payload,omitempty"`
+	Kind      InvocationKind `json:"kind"`
+	Error     string         `json:"error,omitempty"`
+	Preempted bool           `json:"preempted,omitempty"`
+	StepsDone int            `json:"steps_done,omitempty"`
+}
+
+// wireStepResponse is the activation response for a step frame.
+type wireStepResponse struct {
+	Step   []wireStepResult `json:"step"`
+	Active int              `json:"active"`
+}
+
+// EncodeStepFrame serializes a step frame as an activation payload; Instance
+// recognizes it next to single-request and batch envelopes.
+func EncodeStepFrame(f StepFrame) ([]byte, error) {
+	if f.Session == "" {
+		return nil, errors.New("semirt: step frame missing session id")
+	}
+	return json.Marshal(wireEnvelope{Step: &f})
+}
+
+// EncodeStepResponse serializes a frame's outcome — the inverse of
+// DecodeStepResponse.
+func EncodeStepResponse(resp StepResponse) ([]byte, error) {
+	wr := wireStepResponse{Step: make([]wireStepResult, len(resp.Done)), Active: resp.Active}
+	for i, d := range resp.Done {
+		if d.Err != nil {
+			wr.Step[i] = wireStepResult{ID: d.ID, Error: d.Err.Error(),
+				Preempted: d.Preempted, StepsDone: d.StepsDone}
+			continue
+		}
+		wr.Step[i] = wireStepResult{ID: d.ID, Payload: d.Response.Payload, Kind: d.Response.Kind}
+	}
+	return json.Marshal(wr)
+}
+
+// DecodeStepResponse parses a step activation response, restoring the typed
+// ErrPreempted / ErrDeadline sentinels so the gateway can errors.Is-classify
+// outcomes of a remote frame.
+func DecodeStepResponse(raw []byte) (StepResponse, error) {
+	var wr wireStepResponse
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		return StepResponse{}, fmt.Errorf("semirt: step response: %w", err)
+	}
+	resp := StepResponse{Active: wr.Active}
+	for _, item := range wr.Step {
+		d := StepResult{ID: item.ID, Preempted: item.Preempted, StepsDone: item.StepsDone}
+		if item.Error != "" {
+			d.Err = wireError(item.Error)
+		} else {
+			d.Response = Response{Payload: item.Payload, Kind: item.Kind}
+		}
+		resp.Done = append(resp.Done, d)
+	}
+	return resp, nil
+}

@@ -1,0 +1,237 @@
+package semirt
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func stepWorld(t *testing.T) (*testWorld, *Runtime) {
+	t.Helper()
+	w := newWorld(t)
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 2), w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	w.deployModel("mbnet", rt.Measurement())
+	return w, rt
+}
+
+// TestHandleStepCompletesMembersAtOwnStep: a 1-step member batched with a
+// 3-step member leaves the session at frame 1; the long member stays resident
+// and finishes at frame 3. This is the live form of the sim's continuous
+// discipline — no member waits for the batch.
+func TestHandleStepCompletesMembersAtOwnStep(t *testing.T) {
+	w, rt := stepWorld(t)
+	long := w.requestFor("mbnet", 1)
+	long.ExecSteps = 3
+	short := w.requestFor("mbnet", 2)
+
+	resp, err := rt.HandleStep(StepFrame{Session: "s1", Join: []StepJoin{
+		{ID: 0, Req: long}, {ID: 1, Req: short}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Done) != 1 || resp.Done[0].ID != 1 || resp.Done[0].Err != nil {
+		t.Fatalf("frame 1 done %+v, want short member only", resp.Done)
+	}
+	if resp.Active != 1 {
+		t.Fatalf("frame 1 active %d, want the long member resident", resp.Active)
+	}
+	w.decode("mbnet", resp.Done[0].Response)
+
+	// Frame 2 is an intermediate step: nothing leaves.
+	resp, err = rt.HandleStep(StepFrame{Session: "s1"})
+	if err != nil || len(resp.Done) != 0 || resp.Active != 1 {
+		t.Fatalf("frame 2: %+v %v", resp, err)
+	}
+	// Frame 3 runs the long member's final step: full pipeline, result sealed.
+	resp, err = rt.HandleStep(StepFrame{Session: "s1"})
+	if err != nil || len(resp.Done) != 1 || resp.Done[0].Err != nil || resp.Active != 0 {
+		t.Fatalf("frame 3: %+v %v", resp, err)
+	}
+	w.decode("mbnet", resp.Done[0].Response)
+
+	st := rt.Stats()
+	if st.SessionSteps != 3 {
+		t.Fatalf("session steps %d, want 3", st.SessionSteps)
+	}
+	if st.Cold+st.Warm+st.Hot != 2 {
+		t.Fatalf("served %d, want 2 (stats %+v)", st.Cold+st.Warm+st.Hot, st)
+	}
+}
+
+// TestHandleStepPreemptsAndResumes: a member over its in-session budget with a
+// backlog waiting is evicted with ErrPreempted carrying its progress; re-
+// joining with Request.StepsDone resumes at the remaining steps, and the
+// result still decrypts under the requester's key.
+func TestHandleStepPreemptsAndResumes(t *testing.T) {
+	w, rt := stepWorld(t)
+	req := w.requestFor("mbnet", 7)
+	req.ExecSteps = 5
+
+	frame := StepFrame{Session: "s1", Join: []StepJoin{{ID: 0, Req: req}}, Budget: 2, Waiting: 3}
+	resp, err := rt.HandleStep(frame)
+	if err != nil || len(resp.Done) != 0 {
+		t.Fatalf("frame 1: %+v %v", resp, err)
+	}
+	frame.Join = nil
+	if resp, err = rt.HandleStep(frame); err != nil || len(resp.Done) != 0 {
+		t.Fatalf("frame 2: %+v %v", resp, err)
+	}
+	// Third frame: inSess == Budget and 3 steps remain → evicted at the
+	// boundary, before burning another step.
+	resp, err = rt.HandleStep(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Done) != 1 || !resp.Done[0].Preempted || !errors.Is(resp.Done[0].Err, ErrPreempted) {
+		t.Fatalf("frame 3 done %+v, want preemption", resp.Done)
+	}
+	if resp.Done[0].StepsDone != 2 {
+		t.Fatalf("preempted with %d steps done, want 2", resp.Done[0].StepsDone)
+	}
+	if st := rt.Stats(); st.Preempted != 1 {
+		t.Fatalf("stats preempted %d, want 1", st.Preempted)
+	}
+
+	// Resume in a fresh session: the budget is per-session (inSess resets),
+	// so with no backlog the member runs its remaining 3 steps to completion.
+	req.StepsDone = resp.Done[0].StepsDone
+	resume := StepFrame{Session: "s2", Join: []StepJoin{{ID: 0, Req: req}}, Budget: 2}
+	for i := 0; i < 2; i++ {
+		if resp, err = rt.HandleStep(resume); err != nil || len(resp.Done) != 0 {
+			t.Fatalf("resume frame %d: %+v %v", i+1, resp, err)
+		}
+		resume.Join = nil
+	}
+	resp, err = rt.HandleStep(resume)
+	if err != nil || len(resp.Done) != 1 || resp.Done[0].Err != nil {
+		t.Fatalf("resume final frame: %+v %v", resp, err)
+	}
+	w.decode("mbnet", resp.Done[0].Response)
+}
+
+// TestHandleStepFinalStepAlwaysFinishes: a member on its last step completes
+// even when over budget with a backlog — finishing is strictly cheaper than a
+// preempt/resume round trip, and fresh joiners always get their first step.
+func TestHandleStepFinalStepAlwaysFinishes(t *testing.T) {
+	w, rt := stepWorld(t)
+	req := w.requestFor("mbnet", 1)
+	req.ExecSteps = 2
+
+	frame := StepFrame{Session: "s1", Join: []StepJoin{{ID: 0, Req: req}}, Budget: 1, Waiting: 9}
+	resp, err := rt.HandleStep(frame)
+	if err != nil || len(resp.Done) != 0 {
+		t.Fatalf("frame 1: %+v %v", resp, err)
+	}
+	frame.Join = nil
+	resp, err = rt.HandleStep(frame)
+	if err != nil || len(resp.Done) != 1 || resp.Done[0].Err != nil {
+		t.Fatalf("final frame preempted instead of finishing: %+v %v", resp, err)
+	}
+	w.decode("mbnet", resp.Done[0].Response)
+	if st := rt.Stats(); st.Preempted != 0 {
+		t.Fatalf("preempted %d, want 0", st.Preempted)
+	}
+}
+
+// TestHandleStepShedsLapsedJoin: deadline shedding applies at admission and
+// between steps, same as HandleBatch at formation.
+func TestHandleStepShedsLapsedJoin(t *testing.T) {
+	w, rt := stepWorld(t)
+	lapsed := w.requestFor("mbnet", 1)
+	lapsed.Deadline = time.Now().Add(-time.Second)
+	live := w.requestFor("mbnet", 2)
+
+	resp, err := rt.HandleStep(StepFrame{Session: "s1", Join: []StepJoin{
+		{ID: 0, Req: lapsed}, {ID: 1, Req: live}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Done) != 2 {
+		t.Fatalf("done %+v", resp.Done)
+	}
+	if !errors.Is(resp.Done[0].Err, ErrDeadline) {
+		t.Fatalf("lapsed join err %v, want ErrDeadline", resp.Done[0].Err)
+	}
+	if resp.Done[1].Err != nil {
+		t.Fatalf("live join failed: %v", resp.Done[1].Err)
+	}
+}
+
+// TestHandleStepCloseDrainsResidents: Close on a session with members returns
+// them as resumable preemptions instead of dropping them, and closing an
+// unknown session is a no-op.
+func TestHandleStepCloseDrainsResidents(t *testing.T) {
+	w, rt := stepWorld(t)
+	req := w.requestFor("mbnet", 1)
+	req.ExecSteps = 4
+	if _, err := rt.HandleStep(StepFrame{Session: "s1", Join: []StepJoin{{ID: 5, Req: req}}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rt.HandleStep(StepFrame{Session: "s1", Close: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Done) != 1 || !resp.Done[0].Preempted || resp.Done[0].StepsDone != 1 {
+		t.Fatalf("close drain %+v, want resumable preemption with 1 step done", resp.Done)
+	}
+	// The session is gone: a second Close is a no-op, and the id is reusable.
+	if resp, err = rt.HandleStep(StepFrame{Session: "s1", Close: true}); err != nil || len(resp.Done) != 0 {
+		t.Fatalf("double close: %+v %v", resp, err)
+	}
+}
+
+// TestStepWireRoundTrip drives a session through Instance.Invoke — the same
+// payload path a remote activation takes — and checks the typed sentinels
+// survive encode/decode.
+func TestStepWireRoundTrip(t *testing.T) {
+	w, rt := stepWorld(t)
+	inst := Instance{RT: rt}
+
+	long := w.requestFor("mbnet", 1)
+	long.ExecSteps = 6
+	short := w.requestFor("mbnet", 2)
+	payload, err := EncodeStepFrame(StepFrame{Session: "w1", Join: []StepJoin{
+		{ID: 0, Req: long}, {ID: 1, Req: short}}, Budget: 1, Waiting: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := inst.Invoke(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeStepResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Done) != 1 || resp.Done[0].ID != 1 || resp.Done[0].Err != nil || resp.Active != 1 {
+		t.Fatalf("frame 1 over the wire: %+v", resp)
+	}
+	w.decode("mbnet", resp.Done[0].Response)
+
+	// Next frame preempts the long member; ErrPreempted and the progress
+	// counter must come back typed through the wire.
+	payload, err = EncodeStepFrame(StepFrame{Session: "w1", Budget: 1, Waiting: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, err = inst.Invoke(payload); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = DecodeStepResponse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Done) != 1 || !errors.Is(resp.Done[0].Err, ErrPreempted) || !resp.Done[0].Preempted {
+		t.Fatalf("preemption lost on the wire: %+v", resp.Done)
+	}
+	if resp.Done[0].StepsDone != 1 {
+		t.Fatalf("wire steps done %d, want 1", resp.Done[0].StepsDone)
+	}
+
+	if _, err := EncodeStepFrame(StepFrame{}); err == nil {
+		t.Fatal("frame without session id encoded")
+	}
+}

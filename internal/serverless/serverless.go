@@ -373,6 +373,66 @@ func (c *Cluster) InvokeOn(ctx context.Context, action, node string, payload []b
 	return out, sb.node.Name, err
 }
 
+// Session is a pinned claim on one sandbox slot: every Step reaches the same
+// sandbox — and therefore the same enclave — which is what lets a continuous
+// gateway batch admit members and preempt between execution steps without
+// re-entering placement. The slot stays counted in the sandbox's in-flight
+// total until Close, so the evictor can never reap a sandbox with a live
+// session.
+type Session struct {
+	c      *Cluster
+	sb     *Sandbox
+	closed atomic.Bool
+}
+
+// ErrSessionClosed reports a Step on a closed session.
+var ErrSessionClosed = errors.New("serverless: session closed")
+
+// OpenSession claims one slot of a sandbox for the action — preferring the
+// hinted node, exactly like InvokeOn — and returns a session pinned to it.
+// The per-activation InvokeOverhead is charged once here: that is the
+// amortization a continuous session buys, N step frames entering the sandbox
+// for one activation's platform overhead.
+func (c *Cluster) OpenSession(ctx context.Context, action, node string) (*Session, error) {
+	sb, err := c.acquire(ctx, action, node)
+	if err != nil {
+		return nil, err
+	}
+	c.clock.Sleep(c.cfg.InvokeOverhead)
+	return &Session{c: c, sb: sb}, nil
+}
+
+// Node reports the node serving this session.
+func (s *Session) Node() string { return s.sb.node.Name }
+
+// Step delivers one opaque frame to the pinned sandbox's instance.
+func (s *Session) Step(payload []byte) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	out, err := s.sb.inst.Invoke(payload)
+	s.sb.lastUsed.Store(s.c.clock.Now().UnixNano())
+	return out, err
+}
+
+// Close releases the pinned slot (idempotent). The release replicates
+// InvokeOn's tail: an idle sandbox is capacity for every action, not just
+// this one, so cluster-wide waiters must be notified.
+func (s *Session) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	sb, c := s.sb, s.c
+	sb.lastUsed.Store(c.clock.Now().UnixNano())
+	if sb.inFlight.Add(-1) == 0 {
+		if c.waiters.Load() > 0 {
+			c.notifyAllActions()
+		}
+	} else {
+		sb.as.notifyIfWaiters()
+	}
+}
+
 // acquire finds or creates a sandbox with spare concurrency and reserves one
 // slot in it.
 func (c *Cluster) acquire(ctx context.Context, action, hint string) (*Sandbox, error) {

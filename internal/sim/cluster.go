@@ -203,6 +203,25 @@ type BatchSpec struct {
 	// stably ordered into same-user runs, so the sandbox's key cache
 	// switches at most once per distinct user per batch.
 	GroupUsers bool
+	// Continuous mirrors gateway.Config.Continuous: a formed batch executes
+	// as a continuous session — a round-robin step loop over its members,
+	// one execution step per active member per frame — so each member
+	// completes at its own final step instead of at the batch's collective
+	// end. Admission is modeled at formation (the event engine forms then
+	// runs; the live path also admits mid-flight), and a member longer than
+	// PreemptAfter models its preempt/resume cycles as deferred completion
+	// plus costmodel.PreemptionOverhead rather than a literal re-queue — the
+	// fairness consequence, short members never waiting out long ones, is
+	// identical.
+	Continuous bool
+	// PreemptAfter mirrors gateway.Config.PreemptAfter: the per-session step
+	// budget beyond which a member pays preempt/resume cycles (default 4).
+	PreemptAfter int
+	// StepOverhead is the per-frame scheduling cost of a continuous session
+	// (the step-frame decode plus enclave re-entry the live path pays once
+	// per frame) — Result.SchedSteps × StepOverhead is the run's
+	// costmodel.SchedulingOverhead.
+	StepOverhead time.Duration
 }
 
 func (c *Config) defaults() error {
@@ -232,6 +251,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Batch.MaxBatch > 1 && c.Batch.MaxWait <= 0 {
 		c.Batch.MaxWait = 2 * time.Millisecond
+	}
+	if c.Batch.Continuous && c.Batch.PreemptAfter < 1 {
+		c.Batch.PreemptAfter = 4
 	}
 	if c.Autoscale.Enabled {
 		if c.Autoscale.Window <= 0 {
@@ -334,6 +356,13 @@ type Result struct {
 	// KeyFetches counts key provisioning round trips over the KeyService
 	// session — the volume the key cache amortizes (live: Stats.KeyFetches).
 	KeyFetches int
+	// SchedSteps counts continuous-session scheduling frames (0 when
+	// Batch.Continuous is off) — SchedSteps × Batch.StepOverhead is the
+	// run's costmodel.SchedulingOverhead.
+	SchedSteps int
+	// Preemptions counts the preempt/resume cycles long members would
+	// undergo at the live gateway (costmodel.PreemptionOverhead volume).
+	Preemptions int
 	// BatchSizes is the flushed batch-size distribution.
 	BatchSizes *metrics.Histogram
 	// End is the virtual completion time of the run.

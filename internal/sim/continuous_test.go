@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"sesemi/internal/workload"
+)
+
+// holTrace forms one batch out of a 20-step request and six single-step
+// requests arriving together (after a warm-up that makes the burst all-hot).
+// Under form-then-fire the shorts wait for the long member's 20 steps; under
+// continuous batching they complete at their own step frames.
+func holTrace() workload.Trace {
+	tr := workload.Trace{{At: 0, ModelID: "mbnet", UserID: "u"}}
+	burst := 10 * time.Second
+	tr = append(tr, workload.Event{At: burst, ModelID: "mbnet", UserID: "long", ExecSteps: 20})
+	for i := 0; i < 6; i++ {
+		tr = append(tr, workload.Event{At: burst, ModelID: "mbnet", UserID: "u"})
+	}
+	return tr
+}
+
+func runHOL(t *testing.T, continuous bool) *Result {
+	t.Helper()
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 8)
+	cfg.Batch = BatchSpec{MaxBatch: 8, MaxWait: 10 * time.Millisecond, Continuous: continuous}
+	return runTrace(t, cfg, holTrace())
+}
+
+func shortStats(res *Result) (maxLat time.Duration, n int) {
+	for _, r := range res.Requests {
+		if r.User != "u" || r.Arrive == 0 {
+			continue
+		}
+		n++
+		if lat := r.Latency(); lat > maxLat {
+			maxLat = lat
+		}
+	}
+	return maxLat, n
+}
+
+func TestContinuousBatchingUnblocksShorts(t *testing.T) {
+	fire := runHOL(t, false)
+	cont := runHOL(t, true)
+	if len(fire.Requests) != 8 || len(cont.Requests) != 8 {
+		t.Fatalf("requests: fire %d cont %d, want 8 each", len(fire.Requests), len(cont.Requests))
+	}
+
+	fireMax, fn := shortStats(fire)
+	contMax, cn := shortStats(cont)
+	if fn != 6 || cn != 6 {
+		t.Fatalf("short counts: fire %d cont %d, want 6 each", fn, cn)
+	}
+	// The discipline's point: shorts stop paying for the long member's tail.
+	// Sequential execution holds every short for ≥20 steps; the step loop
+	// releases each at its own frame (1 step + frame overheads).
+	if contMax >= fireMax/2 {
+		t.Fatalf("continuous did not unblock shorts: max short latency %v vs %v form-then-fire",
+			contMax, fireMax)
+	}
+
+	// The long member pays the fairness trade: preempted (20 steps over the
+	// default budget of 4) and charged PreemptionOverhead, never starved.
+	if cont.Preemptions == 0 {
+		t.Fatal("no preemptions recorded for the 20-step member")
+	}
+	if cont.SchedSteps < 20 {
+		t.Fatalf("SchedSteps %d, want ≥ 20 (one frame per long-member step)", cont.SchedSteps)
+	}
+	if fire.Preemptions != 0 || fire.SchedSteps != 0 {
+		t.Fatalf("form-then-fire counted continuous overheads: %d preemptions, %d steps",
+			fire.Preemptions, fire.SchedSteps)
+	}
+}
+
+// TestContinuousMatchesSequentialWorkTotal pins conservation: both
+// disciplines complete the same requests with the same path classification —
+// continuous reshuffles completion times, it does not drop or reclassify
+// work.
+func TestContinuousMatchesSequentialWorkTotal(t *testing.T) {
+	fire := runHOL(t, false)
+	cont := runHOL(t, true)
+	if fire.Cold != cont.Cold || fire.Hot+fire.Warm != cont.Hot+cont.Warm {
+		t.Fatalf("classification drift: fire cold=%d warm=%d hot=%d, cont cold=%d warm=%d hot=%d",
+			fire.Cold, fire.Warm, fire.Hot, cont.Cold, cont.Warm, cont.Hot)
+	}
+	// The long member finishes in both runs, later than any short in the
+	// continuous run (budget 4 on 20 steps → 4 preempt/resume cycles).
+	var longDone time.Duration
+	for _, r := range cont.Requests {
+		if r.User == "long" {
+			longDone = r.Latency()
+		}
+	}
+	if longDone == 0 {
+		t.Fatal("long member never completed under continuous batching")
+	}
+	maxShort, _ := shortStats(cont)
+	if longDone <= maxShort {
+		t.Fatalf("long member (%v) finished before a short (%v)", longDone, maxShort)
+	}
+}
+
+func TestContinuousSingleMemberFallsThrough(t *testing.T) {
+	// A batch of one takes the sequential path even with Continuous on: no
+	// frames, no preemptions — the step loop only pays off with company.
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 4)
+	cfg.Batch = BatchSpec{MaxBatch: 4, MaxWait: time.Millisecond, Continuous: true}
+	tr := workload.Trace{{At: 0, ModelID: "mbnet", UserID: "u", ExecSteps: 20}}
+	res := runTrace(t, cfg, tr)
+	if len(res.Requests) != 1 {
+		t.Fatalf("requests %d", len(res.Requests))
+	}
+	if res.SchedSteps != 0 || res.Preemptions != 0 {
+		t.Fatalf("solo batch entered the step loop: %d steps, %d preemptions",
+			res.SchedSteps, res.Preemptions)
+	}
+}

@@ -215,6 +215,10 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			return
 
 		case phExec:
+			if s.cfg.Batch.Continuous && len(req.batchMembers()) > 1 {
+				s.serveContinuous(sb, req, pr)
+				return
+			}
 			n.activeExec++
 			// A batch executes its members sequentially inside the single
 			// enclave entry (live: HandleBatch loops modelInf in one ECall);
@@ -223,7 +227,18 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			// users cost one fetch each; with the single-pair cache (or
 			// DisableKeyCache) every flip refetches.
 			members := req.batchMembers()
-			d := time.Duration(len(members)) *
+			// Each member runs its full step count to completion before the
+			// next starts (Event.ExecSteps; live execLocked charges steps ×
+			// ModelExec) — the head-of-line exposure Continuous removes.
+			steps := 0
+			for _, m := range members {
+				st := m.ev.ExecSteps
+				if st < 1 {
+					st = 1
+				}
+				steps += st
+			}
+			d := time.Duration(steps) *
 				costmodel.ExecUnderLoad(pr.stg.ModelExec, n.activeExec, n.cores)
 			for i := 1; i < len(members); i++ {
 				pair := members[i].ev.ModelID + "\x1f" + members[i].ev.UserID
@@ -279,6 +294,24 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 
 func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationKind) {
 	now := s.eng.Now()
+	s.releaseBatchSlot(sb, req, now)
+	// Fan the completion out to every batch member. The lead (which did the
+	// batch's shared work) keeps the phase-walk classification; later
+	// members reuse everything and are hot — mirroring HandleBatch's
+	// attribution.
+	for i, m := range req.batchMembers() {
+		k := kind
+		if i > 0 {
+			k = semirt.Hot
+		}
+		s.finishMember(m, req.started, now, k)
+	}
+	s.finishBatch(req, now)
+}
+
+// releaseBatchSlot returns the activation's sandbox slot and tears down a
+// Native per-invocation enclave.
+func (s *Simulation) releaseBatchSlot(sb *sandbox, req *request, now time.Duration) {
 	sb.inFlight--
 	sb.releaseSlot(req.slot)
 	if sb.inFlight == 0 {
@@ -294,49 +327,48 @@ func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationK
 		sb.enclaveReadyAt = 0
 		sb.node.epcUsed -= sb.spec.EnclaveBytes
 	}
-	// Fan the completion out to every batch member. The lead (which did the
-	// batch's shared work) keeps the phase-walk classification; later
-	// members reuse everything and are hot — mirroring HandleBatch's
-	// attribution.
-	for i, m := range req.batchMembers() {
-		k := kind
-		if i > 0 {
-			k = semirt.Hot
-		}
-		rr := RequestResult{
-			Model:    m.ev.ModelID,
-			User:     m.ev.UserID,
-			Endpoint: m.ep,
-			Arrive:   m.arrive,
-			Start:    req.started,
-			Done:     now,
-			Kind:     k,
-		}
-		s.res.Requests = append(s.res.Requests, rr)
-		lat := rr.Latency()
-		s.res.All.Add(lat)
-		ml := s.res.PerModel[rr.Model]
-		if ml == nil {
-			ml = &metrics.Latency{}
-			s.res.PerModel[rr.Model] = ml
-		}
-		ml.Add(lat)
-		s.res.LatencySeries.Observe(now, lat.Seconds())
-		switch k {
-		case semirt.Cold:
-			s.res.Cold++
-		case semirt.Warm:
-			s.res.Warm++
-		default:
-			s.res.Hot++
-		}
-		if s.cfg.Route != nil {
-			s.cfg.Route.Done(m.ep, m.ev.ModelID)
-		}
-		if s.cfg.OnComplete != nil {
-			s.cfg.OnComplete(rr)
-		}
+}
+
+// finishMember records one member's completion at virtual time done.
+func (s *Simulation) finishMember(m *request, started, done time.Duration, k semirt.InvocationKind) {
+	rr := RequestResult{
+		Model:    m.ev.ModelID,
+		User:     m.ev.UserID,
+		Endpoint: m.ep,
+		Arrive:   m.arrive,
+		Start:    started,
+		Done:     done,
+		Kind:     k,
 	}
+	s.res.Requests = append(s.res.Requests, rr)
+	lat := rr.Latency()
+	s.res.All.Add(lat)
+	ml := s.res.PerModel[rr.Model]
+	if ml == nil {
+		ml = &metrics.Latency{}
+		s.res.PerModel[rr.Model] = ml
+	}
+	ml.Add(lat)
+	s.res.LatencySeries.Observe(done, lat.Seconds())
+	switch k {
+	case semirt.Cold:
+		s.res.Cold++
+	case semirt.Warm:
+		s.res.Warm++
+	default:
+		s.res.Hot++
+	}
+	if s.cfg.Route != nil {
+		s.cfg.Route.Done(m.ep, m.ev.ModelID)
+	}
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(rr)
+	}
+}
+
+// finishBatch runs the batch-level completion bookkeeping (autoscale
+// telemetry, in-flight release, DRR re-arm, re-dispatch) at virtual time now.
+func (s *Simulation) finishBatch(req *request, now time.Duration) {
 	if now > s.lastEnd {
 		s.lastEnd = now
 	}
@@ -376,4 +408,122 @@ func (s *Simulation) complete(sb *sandbox, req *request, kind semirt.InvocationK
 		}
 	}
 	s.dispatch(req.ep)
+}
+
+// serveContinuous is the continuous-batching execution of a formed batch
+// (BatchSpec.Continuous), entered from phExec in place of the sequential
+// member loop. The members execute in a round-robin step loop — frame f
+// advances every member with steps remaining by one execution step — so
+// member i completes at the cumulative cost of the frames it participated
+// in, not at the batch's collective end: a 1-step member batched with a
+// 20-step one finishes after frame 1 instead of after all 21 steps. Frames
+// each cost StepOverhead (the re-entry the live path pays per step frame,
+// Result.SchedSteps) plus one ExecUnderLoad step per active member; members
+// longer than the preemption budget additionally pay
+// costmodel.PreemptionOverhead for the preempt/resume cycles the live
+// gateway would put them through (Result.Preemptions). Per-member crypto and
+// key refetches land on the member's own completion, replacing the batch-
+// level phCrypto walk.
+func (s *Simulation) serveContinuous(sb *sandbox, req *request, pr *progress) {
+	n := sb.node
+	n.activeExec++
+	members := req.batchMembers()
+	stepCost := costmodel.ExecUnderLoad(pr.stg.ModelExec, n.activeExec, n.cores)
+
+	steps := make([]int, len(members))
+	for i, m := range members {
+		st := m.ev.ExecSteps
+		if st < 1 {
+			st = 1
+		}
+		steps[i] = st
+	}
+	// Key refetches for non-lead members, charged to the member's own
+	// completion (the live session pays them on the member's final step).
+	extra := make([]time.Duration, len(members))
+	for i := 1; i < len(members); i++ {
+		pair := members[i].ev.ModelID + "\x1f" + members[i].ev.UserID
+		if s.cfg.System != SeSeMI && s.cfg.System != IsoReuse {
+			continue
+		}
+		if s.cfg.DisableKeyCache || !sb.hasPair(pair) {
+			extra[i] += pr.stg.KeyFetchWarm
+			s.res.KeyFetches++
+		}
+		sb.notePair(pair, s.cfg.keyCap())
+	}
+	// EPC oversubscription applies to the session like to a batch: each
+	// member's final step re-pages the working set through the shared path.
+	var pagingDelay time.Duration
+	paging := false
+	if s.cfg.System != Untrusted && n.epcUsed > s.cfg.HW.EPCBytes() {
+		ws, err := costmodel.ExecWorkingSet(sb.spec.Framework, s.cfg.costID(req.ev.ModelID), sb.spec.Concurrency)
+		if err == nil {
+			n.pagers++
+			paging = true
+			pagingDelay = costmodel.PagingDelay(ws, n.pagers, n.epcUsed, s.cfg.HW.EPCBytes())
+		}
+	}
+
+	// Frame-by-frame completion offsets.
+	offsets := make([]time.Duration, len(members))
+	var cum time.Duration
+	frames := 0
+	for remaining := len(members); remaining > 0; {
+		frames++
+		active := 0
+		for _, st := range steps {
+			if st >= frames {
+				active++
+			}
+		}
+		cum += s.cfg.Batch.StepOverhead + time.Duration(active)*stepCost
+		for i, st := range steps {
+			if st == frames {
+				offsets[i] = cum
+				remaining--
+			}
+		}
+	}
+	s.res.SchedSteps += frames
+	budget := s.cfg.Batch.PreemptAfter
+	last := time.Duration(0)
+	for i := range members {
+		offsets[i] += extra[i] + pr.stg.RequestCrypto + pagingDelay
+		if budget > 0 && steps[i] > budget {
+			// The live gateway preempts this member once per exhausted
+			// budget window; each cycle re-queues it and re-admits it into a
+			// later frame.
+			pre := (steps[i] - 1) / budget
+			s.res.Preemptions += pre
+			offsets[i] += costmodel.PreemptionOverhead(pre, s.cfg.Batch.StepOverhead+stepCost)
+		}
+		if offsets[i] > last {
+			last = offsets[i]
+		}
+	}
+
+	// Members fan out at their own offsets; the session's slot, contention
+	// and batch bookkeeping release when the last member is done. The lead
+	// keeps the phase-walk classification (it did the shared work), later
+	// members are hot — complete()'s attribution.
+	started := req.started
+	for i, m := range members {
+		k := pr.kind
+		if i > 0 {
+			k = semirt.Hot
+		}
+		m, k := m, k
+		s.eng.After(offsets[i], func() {
+			s.finishMember(m, started, s.eng.Now(), k)
+		})
+	}
+	s.eng.After(last, func() {
+		n.activeExec--
+		if paging {
+			n.pagers--
+		}
+		s.releaseBatchSlot(sb, req, s.eng.Now())
+		s.finishBatch(req, s.eng.Now())
+	})
 }
