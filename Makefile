@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke clean
 
 all: build vet test
 
@@ -39,6 +39,9 @@ autoscale-snapshot:
 hol-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp hol -json BENCH_hol.json
 
+chaos-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp chaos -json BENCH_chaos.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -64,6 +67,12 @@ autoscale-smoke:
 # heavy-tailed mix), so the experiment behind BENCH_hol.json cannot rot.
 hol-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp hol -smoke
+
+# Tiny-scale chaos run: seeded node crash + KS flap + sandbox-crash coin with
+# the recovery plane armed. Exits non-zero if any request is lost — the CI
+# gate on the fault-tolerance claim behind BENCH_chaos.json.
+chaos-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp chaos -smoke
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"sesemi/internal/cli"
 	"sesemi/internal/costmodel"
@@ -29,6 +30,8 @@ func main() {
 	tcs := flag.Int("tcs", keyservice.DefaultTCS, "enclave TCS count (max concurrent connections)")
 	hw := flag.String("hw", "sgx2", "hardware generation: sgx1 or sgx2")
 	timeScale := flag.Float64("timescale", 0, "scale modeled TEE latencies (0 = off, 1 = real time)")
+	connTimeout := flag.Duration("conn-timeout", 5*time.Minute,
+		"drop connections idle longer than this, freeing their TCS (0 = never)")
 	flag.Parse()
 
 	state := cli.State{Dir: *stateDir}
@@ -57,6 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("keyservice: %v", err)
 	}
+	srv.SetIdleTimeout(*connTimeout)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("keyservice: listen: %v", err)

@@ -17,6 +17,7 @@
 //	loadgen -local -pattern poisson -rate 200 -duration 10s -max-batch 8
 //	loadgen -local -closed 64 -requests 32 -max-batch 8
 //	loadgen -local -closed 32 -exec-tail 10 -exec-steps 20 -continuous
+//	loadgen -local -closed 32 -nodes 2 -chaos -retries 3 -crash-at 500ms -restore-at 1s
 //
 // The request keys derive from the same seeds cmd/owctl uses, so a
 // deployment set up with `owctl deploy` is directly loadable.
@@ -40,6 +41,7 @@ import (
 
 	"sesemi/internal/autoscale"
 	"sesemi/internal/bench"
+	"sesemi/internal/faults"
 	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
 	_ "sesemi/internal/inference/tinytflm"
@@ -89,6 +91,13 @@ func main() {
 	execCost := flag.Duration("exec-cost", 2*time.Millisecond, "with -local -exec-tail: modeled per-step execution latency")
 	continuous := flag.Bool("continuous", false, "with -local: continuous batching (session step loop with mid-batch admission and step-boundary preemption)")
 	preemptAfter := flag.Int("preempt-after", 0, "with -local -continuous: per-session step budget before an over-budget member is preempted (0 = gateway default)")
+	retries := flag.Int("retries", 0, "with -local: gateway retry budget for failed dispatches (0 = fail fast; also arms the runtime's key-service retries under -chaos)")
+	retryBackoff := flag.Duration("retry-backoff", time.Millisecond, "with -local -retries: base exponential backoff between retries")
+	chaos := flag.Bool("chaos", false, "with -local: arm the seeded fault injector (sandbox-crash coin, plus -crash-at/-restore-at node crash and key-service flap)")
+	crashProb := flag.Float64("crash-prob", 0.05, "with -local -chaos: per-activation sandbox crash probability")
+	crashAt := flag.Duration("crash-at", 0, "with -local -chaos: crash node-0 and flap the key service this long into the run (0 = never)")
+	restoreAt := flag.Duration("restore-at", 0, "with -local -chaos: restore node-0 this long into the run (0 = never)")
+	ksOutage := flag.Duration("ks-outage", 100*time.Millisecond, "with -local -chaos: key-service outage window opened at -crash-at")
 	flag.Parse()
 
 	// -shape is the autoscale experiment's shorthand over -pattern.
@@ -123,6 +132,12 @@ func main() {
 		if *execTail < 0 || (*execTail > 0 && *execSteps < 2) {
 			log.Fatal("loadgen: -exec-tail must be >= 0 and -exec-steps >= 2 when a tail is requested")
 		}
+		if !*chaos && (*crashAt > 0 || *restoreAt > 0) {
+			log.Fatal("loadgen: -crash-at/-restore-at require -chaos")
+		}
+		if *chaos && *crashAt > 0 && *localNodes < 2 {
+			log.Fatal("loadgen: crashing node-0 on a single-node deployment loses everything; use -nodes 2")
+		}
 		runLocal(localCfg{
 			closed: *closed, requests: *requests, maxBatch: *maxBatch, maxWait: *maxWait,
 			pattern: *pattern, rate: *rate, rate2: *rate2, duration: *duration,
@@ -133,6 +148,9 @@ func main() {
 			period: *period, autoscale: *autoscaleOn, sandboxStart: *sandboxStart, keepWarm: *keepWarm,
 			execTail: *execTail, execSteps: *execSteps, execCost: *execCost,
 			continuous: *continuous, preemptAfter: *preemptAfter,
+			retries: *retries, retryBackoff: *retryBackoff,
+			chaos: *chaos, crashProb: *crashProb,
+			crashAt: *crashAt, restoreAt: *restoreAt, ksOutage: *ksOutage,
 		})
 		return
 	}
@@ -299,6 +317,17 @@ type localCfg struct {
 	execCost            time.Duration
 	continuous          bool
 	preemptAfter        int
+
+	// chaos arms a seeded fault injector (sandbox-crash coin at crashProb,
+	// node-0 crash + KS flap at crashAt, restore at restoreAt); retries is
+	// the gateway budget that decides whether those faults become latency or
+	// loss.
+	retries            int
+	retryBackoff       time.Duration
+	chaos              bool
+	crashProb          float64
+	crashAt, restoreAt time.Duration
+	ksOutage           time.Duration
 }
 
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
@@ -329,6 +358,21 @@ func runLocal(c localCfg) {
 		// actually occupy their slot for execSteps × execCost.
 		wc.ExecCost = c.execCost
 	}
+	wc.Gateway.MaxRetries = c.retries
+	wc.Gateway.RetryBackoff = c.retryBackoff
+	var inj *faults.Injector
+	if c.chaos {
+		inj = faults.New(c.seed, nil)
+		inj.SetSandboxCrashProb(c.crashProb)
+		wc.Faults = inj
+		if c.retries > 0 {
+			// -retries arms the whole recovery plane; with it at 0 the chaos
+			// run shows raw loss, like the bench's no-recovery mode.
+			wc.KSRetries = 3
+			wc.KSRetryBackoff = 50 * time.Millisecond
+			wc.KSBrownout = 250 * time.Millisecond
+		}
+	}
 	kw := c.keepWarm
 	if kw <= 0 {
 		kw = 3 * time.Minute // the cluster default
@@ -355,6 +399,19 @@ func runLocal(c localCfg) {
 		log.Fatalf("loadgen: local world: %v", err)
 	}
 	defer w.Close()
+	if inj != nil {
+		// The fault schedule is armed once serving starts, not at world
+		// construction, so -crash-at offsets mean what they say.
+		if c.crashAt > 0 {
+			time.AfterFunc(c.crashAt, func() {
+				inj.CrashNode("node-0")
+				inj.KeyServiceOutage(c.ksOutage)
+			})
+		}
+		if c.restoreAt > 0 {
+			time.AfterFunc(c.restoreAt, func() { inj.RestoreNode("node-0") })
+		}
+	}
 
 	if c.tenants > 0 {
 		tenantLoop(w, c)
@@ -434,6 +491,11 @@ func runLocal(c localCfg) {
 	if ast, err := w.Cluster.ActionStats(w.Action); err == nil {
 		fmt.Printf("warm pool: %d cold starts, %d warm hits, %.1f idle sandbox-seconds, keep-warm %v\n",
 			ast.ColdStarts, ast.WarmHits, ast.IdleSeconds, ast.KeepWarm)
+	}
+	if inj != nil {
+		is := inj.Stats()
+		fmt.Printf("chaos: %d node-down hits, %d sandbox crashes, %d ks rejects; gateway: %d retries, %d node failures\n",
+			is.NodeDownHits, is.SandboxCrashes, is.KSRejects, gs.Retries, st.NodeFailures)
 	}
 	if w.Autoscaler != nil {
 		as := w.Autoscaler.Stats()

@@ -374,7 +374,17 @@ func main() {
 		log.Fatalf("semirt: listen: %v", err)
 	}
 	fmt.Printf("semirt: serving %s actions on %s\n", *framework, ln.Addr())
-	log.Fatal(http.Serve(ln, mux))
+	srv := &http.Server{
+		Handler: mux,
+		// A stalled client must not pin a handler goroutine (and through
+		// /run, enclave time) forever. Reads are small JSON envelopes;
+		// writes cover the slowest cold path with margin.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(srv.Serve(ln))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -11,11 +11,14 @@
 //	sesemi-bench -exp keylocality -json BENCH_keylocality.json
 //	sesemi-bench -exp autoscale -json BENCH_autoscale.json
 //	sesemi-bench -exp hol -json BENCH_hol.json
+//	sesemi-bench -exp chaos -json BENCH_chaos.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 //	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
 //	sesemi-bench -exp autoscale -smoke  (tiny CI configuration)
 //	sesemi-bench -exp hol -smoke        (tiny CI configuration)
+//	sesemi-bench -exp chaos -smoke      (tiny CI configuration; exits non-zero
+//	                                     if any request is lost with recovery on)
 package main
 
 import (
@@ -31,12 +34,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale or hol: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale or hol: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol or chaos: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol or chaos: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale or hol"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol or chaos"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -108,8 +111,22 @@ func main() {
 			}
 			fmt.Printf("hol snapshot → %s (short p99 continuous/fire %.2fx, throughput ratio %.2f, sched %.1fms + preempt %.1fms overhead)\n",
 				*jsonOut, snap.ShortP99Ratio, snap.ThroughputRatio, snap.SchedulingOverheadMs, snap.PreemptionOverheadMs)
+		case "chaos":
+			cfg := bench.ChaosBenchConfig{}
+			if *smoke {
+				cfg = bench.ChaosSmokeConfig()
+			}
+			snap, err := bench.WriteChaosSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("chaos snapshot → %s (lost with recovery %d, goodput ratio %.2f, lost without recovery %d)\n",
+				*jsonOut, snap.LostWithRecovery, snap.GoodputRatio, snap.LostNoRecovery)
+			if snap.LostWithRecovery > 0 {
+				fatal(fmt.Errorf("chaos: %d requests lost with recovery enabled (want 0)", snap.LostWithRecovery))
+			}
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale or hol"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol or chaos"))
 		}
 		return
 	}
@@ -152,6 +169,18 @@ func main() {
 			fmt.Printf("hol smoke ok: short p99 fire %.1fms / continuous %.1fms (%.2fx), throughput ratio %.2f, %d preemptions\n",
 				snap.FormThenFire.ShortP99Ms, snap.Continuous.ShortP99Ms, snap.ShortP99Ratio,
 				snap.ThroughputRatio, snap.Continuous.Preemptions)
+		case "chaos":
+			snap, err := bench.RunChaosBench(bench.ChaosSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("chaos smoke: lost with recovery %d (want 0), goodput ratio %.2f, lost without recovery %d, %d retries\n",
+				snap.LostWithRecovery, snap.GoodputRatio, snap.LostNoRecovery, snap.Recovery.Retries)
+			// The smoke is a gate, not a report: seeded faults with the
+			// recovery plane armed must lose nothing.
+			if snap.LostWithRecovery > 0 {
+				fatal(fmt.Errorf("chaos: %d requests lost with recovery enabled (want 0)", snap.LostWithRecovery))
+			}
 		}
 		return
 	}

@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/faults"
+	"sesemi/internal/gateway"
+	"sesemi/internal/semirt"
+)
+
+// ---------- Chaos experiment: fault injection vs the recovery plane ----------
+//
+// The same closed-loop population runs three times on identical fresh
+// two-node worlds:
+//
+//	fault-free  — no injector: the baseline goodput everything is judged
+//	              against
+//	recovery    — mid-run node crash + key-service outage + a sandbox-crash
+//	              coin, with the full recovery plane armed (gateway retries,
+//	              breaker-aware placement, runtime KS retries + brownout)
+//	no-recovery — the identical fault schedule with every retry budget zeroed,
+//	              so each fault surfaces to a caller as a lost request
+//
+// At one third of the run the injector crashes node-0 and takes the
+// KeyService down for a window — so the failover cold start on node-1 lands
+// inside the outage, the compound failure the recovery plane exists for. At
+// one half node-0 comes back and the cluster re-absorbs it. Throughout,
+// every activation flips a seeded coin for a sandbox crash mid-ECall.
+//
+// The headline numbers: requests lost with recovery on (target 0 — faults
+// become latency, not errors), goodput under faults vs fault-free (target
+// ≥ 0.8x), and the loss the identical schedule inflicts with recovery off
+// (must be visible, or the injector proved nothing).
+
+// ChaosRun is one run's measured outcome plus the fault/recovery counters
+// the three planes kept.
+type ChaosRun struct {
+	GatewayRunResult
+	// Lost is requests that surfaced an error to their caller (== Errors;
+	// the closed loop never cancels, so every error is a genuine loss).
+	Lost int `json:"lost"`
+	// Retries is the gateway's fairness-neutral re-queue count.
+	Retries uint64 `json:"retries,omitempty"`
+	// BackendPanics counts dispatch-path panics converted to typed errors.
+	BackendPanics uint64 `json:"backend_panics,omitempty"`
+	// NodeFailures is the cluster's node-crash teardown sweeps.
+	NodeFailures uint64 `json:"node_failures,omitempty"`
+	// SandboxCrashes / KSRejects are the injector's own hit counts.
+	SandboxCrashes uint64 `json:"sandbox_crashes,omitempty"`
+	KSRejects      uint64 `json:"ks_rejects,omitempty"`
+}
+
+// ChaosSnapshot is the BENCH_chaos.json payload.
+type ChaosSnapshot struct {
+	Clients          int     `json:"clients"`
+	PerClient        int     `json:"requests_per_client"`
+	ExecCost         string  `json:"exec_cost"`
+	MaxBatch         int     `json:"max_batch"`
+	Seed             int64   `json:"seed"`
+	SandboxCrashProb float64 `json:"sandbox_crash_prob"`
+	KSOutage         string  `json:"ks_outage"`
+	MaxRetries       int     `json:"max_retries"`
+	RetryBackoff     string  `json:"retry_backoff"`
+	KSRetries        int     `json:"ks_retries"`
+	KSRetryBackoff   string  `json:"ks_retry_backoff"`
+
+	FaultFree  ChaosRun `json:"fault_free"`
+	Recovery   ChaosRun `json:"faults_with_recovery"`
+	NoRecovery ChaosRun `json:"faults_no_recovery"`
+
+	// LostWithRecovery restates Recovery.Lost (target 0: with the recovery
+	// plane armed, faults must become latency, never errors).
+	LostWithRecovery int `json:"lost_with_recovery"`
+	// LostNoRecovery restates NoRecovery.Lost (must be > 0, or the schedule
+	// wasn't severe enough to prove anything).
+	LostNoRecovery int `json:"lost_no_recovery"`
+	// GoodputRatio is Recovery.RPS over FaultFree.RPS (target ≥ 0.8: a node
+	// lost for a third of the run plus a KS outage may cost a fifth of the
+	// goodput, not more).
+	GoodputRatio float64 `json:"goodput_ratio"`
+	// EstRetryOverheadMs is costmodel.RetryOverhead for a request that burns
+	// the whole gateway budget — the worst-case added latency a retried
+	// request pays waiting out backoff.
+	EstRetryOverheadMs float64 `json:"est_retry_overhead_ms"`
+	// EstAvailability is costmodel.AvailabilityUnderFaults with the
+	// no-recovery loss rate as the per-attempt failure probability and the
+	// recovery run's attempt budget — the analytic prediction the measured
+	// LostWithRecovery == 0 should agree with.
+	EstAvailability float64 `json:"est_availability"`
+}
+
+// ChaosBenchConfig sizes the experiment.
+type ChaosBenchConfig struct {
+	// Clients is the closed-loop client count (default 16).
+	Clients int
+	// PerClient is requests per client (default 96: the run must be long
+	// enough that the one-time recovery transients — failover, node-0's
+	// post-restore rebuild — amortize the way they would in production).
+	PerClient int
+	// ExecCost is the modeled per-request execution latency (default 3 ms),
+	// so requests genuinely occupy slots and a crashed node's in-flight work
+	// is real.
+	ExecCost time.Duration
+	// MaxBatch is the gateway batch bound (default 4).
+	MaxBatch int
+	// Seed feeds the injector's deterministic coin (default 1).
+	Seed int64
+	// SandboxCrashProb is the per-activation mid-ECall crash probability for
+	// the two injected runs (default 0.05).
+	SandboxCrashProb float64
+	// KSOutage is how long the KeyService refuses provisioning after the
+	// node crash (default 100 ms — inside the runtime's retry budget).
+	KSOutage time.Duration
+	// MaxRetries / RetryBackoff are the gateway budget for the recovery run
+	// (defaults 3 and 1 ms; the no-recovery run forces both to zero).
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// KSRetries / KSRetryBackoff / KSBrownout are the runtime-side
+	// key-service budget for the recovery run (defaults 3, 50 ms, 250 ms —
+	// three 50 ms waits ride out the default 100 ms outage).
+	KSRetries      int
+	KSRetryBackoff time.Duration
+	KSBrownout     time.Duration
+}
+
+func (c *ChaosBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 96
+	}
+	if c.ExecCost <= 0 {
+		c.ExecCost = 3 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SandboxCrashProb <= 0 {
+		c.SandboxCrashProb = 0.05
+	}
+	if c.KSOutage <= 0 {
+		c.KSOutage = 100 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.KSRetries <= 0 {
+		c.KSRetries = 3
+	}
+	if c.KSRetryBackoff <= 0 {
+		c.KSRetryBackoff = 50 * time.Millisecond
+	}
+	if c.KSBrownout <= 0 {
+		c.KSBrownout = 250 * time.Millisecond
+	}
+}
+
+// ChaosSmokeConfig is the tiny CI configuration. The crash coin is hotter so
+// the no-recovery run still loses something at this scale.
+func ChaosSmokeConfig() ChaosBenchConfig {
+	return ChaosBenchConfig{
+		Clients: 8, PerClient: 8, ExecCost: 2 * time.Millisecond,
+		SandboxCrashProb: 0.05,
+	}
+}
+
+// runChaosMode drives the population against a fresh two-node world. inject
+// arms the fault schedule; recovery arms the retry/failover plane.
+func runChaosMode(cfg ChaosBenchConfig, mode string, inject, recovery bool) (ChaosRun, error) {
+	var inj *faults.Injector
+	if inject {
+		inj = faults.New(cfg.Seed, nil)
+		inj.SetSandboxCrashProb(cfg.SandboxCrashProb)
+	}
+	wcfg := LiveWorldConfig{
+		Nodes:        2,
+		ExecCost:     cfg.ExecCost,
+		StartEnclave: true,
+		Faults:       inj,
+		Gateway: gateway.Config{
+			MaxBatch:     cfg.MaxBatch,
+			MaxWait:      2 * time.Millisecond,
+			MaxQueue:     4096,
+			MaxInFlight:  8,
+			PrewarmDepth: 32,
+		},
+	}
+	if recovery {
+		wcfg.Gateway.MaxRetries = cfg.MaxRetries
+		wcfg.Gateway.RetryBackoff = cfg.RetryBackoff
+		wcfg.KSRetries = cfg.KSRetries
+		wcfg.KSRetryBackoff = cfg.KSRetryBackoff
+		wcfg.KSBrownout = cfg.KSBrownout
+	}
+	w, err := NewLiveWorld(wcfg)
+	if err != nil {
+		return ChaosRun{}, err
+	}
+	defer w.Close()
+	// Warm the full capacity (two sandboxes per node) before the clock
+	// starts: the experiment measures fault recovery, not cold-start
+	// placement, and failover must land on warm capacity — the crashed
+	// node's share of the work moves, it doesn't wait out an enclave launch.
+	if _, err := w.Cluster.Prewarm(w.Action, 4); err != nil {
+		return ChaosRun{}, err
+	}
+
+	// The fault schedule is triggered by served-request count, not wall
+	// time, so it lands at the same fraction of every run regardless of
+	// machine speed: crash + outage at one third, restore at one half.
+	total := cfg.Clients * cfg.PerClient
+	var served atomic.Int64
+	var crash, restore sync.Once
+	do := func(ctx context.Context, seed int) (semirt.Response, error) {
+		if inj != nil {
+			switch served.Add(1) {
+			case int64(total / 3):
+				crash.Do(func() {
+					inj.CrashNode("node-0")
+					inj.KeyServiceOutage(cfg.KSOutage)
+				})
+			case int64(total / 2):
+				restore.Do(func() {
+					// The flap: the node comes back while the KeyService is
+					// down again, so rebuilding node-0's enclaves means
+					// provisioning into the outage — retried to success with
+					// the recovery plane, failed cold starts without.
+					inj.RestoreNode("node-0")
+					inj.KeyServiceOutage(cfg.KSOutage)
+				})
+			}
+		}
+		return w.DoGateway(ctx, seed)
+	}
+	res := ClosedLoop(mode, cfg.Clients, cfg.PerClient, do)
+
+	run := ChaosRun{GatewayRunResult: res, Lost: res.Errors}
+	gs := w.Gateway.Stats()
+	run.Retries = gs.Retries
+	run.BackendPanics = gs.BackendPanics
+	run.NodeFailures = w.Cluster.Stats().NodeFailures
+	if inj != nil {
+		is := inj.Stats()
+		run.SandboxCrashes = is.SandboxCrashes
+		run.KSRejects = is.KSRejects
+	}
+	return run, nil
+}
+
+// RunChaosBench measures the three runs and assembles the snapshot.
+func RunChaosBench(cfg ChaosBenchConfig) (*ChaosSnapshot, error) {
+	cfg.defaults()
+	snap := &ChaosSnapshot{
+		Clients:          cfg.Clients,
+		PerClient:        cfg.PerClient,
+		ExecCost:         cfg.ExecCost.String(),
+		MaxBatch:         cfg.MaxBatch,
+		Seed:             cfg.Seed,
+		SandboxCrashProb: cfg.SandboxCrashProb,
+		KSOutage:         cfg.KSOutage.String(),
+		MaxRetries:       cfg.MaxRetries,
+		RetryBackoff:     cfg.RetryBackoff.String(),
+		KSRetries:        cfg.KSRetries,
+		KSRetryBackoff:   cfg.KSRetryBackoff.String(),
+	}
+	var err error
+	if snap.FaultFree, err = runChaosMode(cfg, "fault-free", false, true); err != nil {
+		return nil, err
+	}
+	if snap.Recovery, err = runChaosMode(cfg, "faults+recovery", true, true); err != nil {
+		return nil, err
+	}
+	if snap.NoRecovery, err = runChaosMode(cfg, "faults-no-recovery", true, false); err != nil {
+		return nil, err
+	}
+	snap.LostWithRecovery = snap.Recovery.Lost
+	snap.LostNoRecovery = snap.NoRecovery.Lost
+	if snap.FaultFree.RPS > 0 {
+		snap.GoodputRatio = snap.Recovery.RPS / snap.FaultFree.RPS
+	}
+	// The gateway caps the backoff exponent at 6 doublings of the base.
+	snap.EstRetryOverheadMs = float64(costmodel.RetryOverhead(
+		cfg.MaxRetries, cfg.RetryBackoff, cfg.RetryBackoff<<6)) / 1e6
+	if n := snap.NoRecovery.Requests; n > 0 {
+		p := float64(snap.NoRecovery.Lost) / float64(n)
+		snap.EstAvailability = costmodel.AvailabilityUnderFaults(p, cfg.MaxRetries+1)
+	}
+	return snap, nil
+}
+
+// WriteChaosSnapshot runs the experiment and writes BENCH_chaos.json.
+func WriteChaosSnapshot(path string, cfg ChaosBenchConfig) (*ChaosSnapshot, error) {
+	snap, err := RunChaosBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printChaosRun(w io.Writer, r ChaosRun) {
+	fmt.Fprintf(w, "%-20s %5d req %3d lost %7.0f req/s  p99 %7.1fms (mean %6.1f)",
+		r.Mode, r.Requests, r.Lost, r.RPS, r.P99Ms, r.MeanMs)
+	if r.Retries+r.NodeFailures+r.SandboxCrashes+r.KSRejects > 0 {
+		fmt.Fprintf(w, "  (%d retries, %d node failures, %d sandbox crashes, %d ks rejects)",
+			r.Retries, r.NodeFailures, r.SandboxCrashes, r.KSRejects)
+	}
+	fmt.Fprintln(w)
+}
+
+func runChaosExperiment(w io.Writer) error {
+	header(w, "Chaos: node crash + KS outage + sandbox crashes, recovery on vs off")
+	snap, err := RunChaosBench(ChaosBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printChaosRun(w, snap.FaultFree)
+	printChaosRun(w, snap.Recovery)
+	printChaosRun(w, snap.NoRecovery)
+	fmt.Fprintf(w, "lost with recovery: %d (target 0)  goodput ratio: %.2f (target ≥ 0.8)  lost without recovery: %d\n",
+		snap.LostWithRecovery, snap.GoodputRatio, snap.LostNoRecovery)
+	fmt.Fprintf(w, "worst-case retry wait %.1f ms; predicted availability at %d attempts: %.4f\n",
+		snap.EstRetryOverheadMs, snap.MaxRetries+1, snap.EstAvailability)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "chaos",
+		Title: "Fault injection: recovery plane on vs off",
+		Run:   runChaosExperiment,
+	})
+}

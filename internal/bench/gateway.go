@@ -14,6 +14,7 @@ import (
 	"sesemi/internal/autoscale"
 	"sesemi/internal/costmodel"
 	"sesemi/internal/enclave"
+	"sesemi/internal/faults"
 	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
 	_ "sesemi/internal/inference/tinytflm"
@@ -133,6 +134,16 @@ type LiveWorldConfig struct {
 	// controller/invoker/action-proxy hop of an OpenWhisk activation, which
 	// batching amortizes).
 	InvokeOverhead time.Duration
+	// Faults, when non-nil, wires the fault-injection plane into both layers
+	// of the deployment: the cluster consults it per node dispatch
+	// (serverless.Config.Faults) and every SeMIRT runtime per activation
+	// (semirt.Deps.Faults). The chaos experiment drives it mid-run.
+	Faults *faults.Injector
+	// KSRetries / KSRetryBackoff / KSBrownout pass through to semirt.Deps:
+	// the runtime-side key-service retry budget and brownout window.
+	KSRetries      int
+	KSRetryBackoff time.Duration
+	KSBrownout     time.Duration
 	// Gateway tunes the front-end; zero values take gateway defaults.
 	Gateway gateway.Config
 }
@@ -222,6 +233,7 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	}
 	ccfg := serverless.DefaultConfig()
 	ccfg.Clock = vclock.Real{Scale: 1}
+	ccfg.Faults = cfg.Faults
 	ccfg.SandboxStart = cfg.SandboxStart
 	if cfg.KeepWarm > 0 {
 		ccfg.KeepWarm = cfg.KeepWarm
@@ -323,11 +335,15 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 		Concurrency:  scfg.Concurrency,
 		New: func(n *serverless.Node) (serverless.Instance, error) {
 			rt, err := semirt.New(scfg, semirt.Deps{
-				Platform:    n.Extra.(*enclave.Platform),
-				Store:       store,
-				KSDialer:    keyservice.TCPDialer(ksAddr),
-				CAPublicKey: ca.PublicKey(),
-				ExpectEK:    ksEnc.Measurement(),
+				Platform:       n.Extra.(*enclave.Platform),
+				Store:          store,
+				KSDialer:       keyservice.TCPDialer(ksAddr),
+				CAPublicKey:    ca.PublicKey(),
+				ExpectEK:       ksEnc.Measurement(),
+				Faults:         cfg.Faults,
+				KSRetries:      cfg.KSRetries,
+				KSRetryBackoff: cfg.KSRetryBackoff,
+				KSBrownout:     cfg.KSBrownout,
 			})
 			if err != nil {
 				return nil, err

@@ -627,6 +627,66 @@ func PreemptionOverhead(preemptions int, perPreemption time.Duration) time.Durat
 	return time.Duration(preemptions) * perPreemption
 }
 
+// RetryOverhead is the added latency a request pays for surviving `retries`
+// failed dispatch attempts under the gateway's exponential-backoff policy:
+// attempt k (1-based) waits base×2^(k-1) before re-dispatch, each wait capped
+// at cap (0 = uncapped):
+//
+//	O_retry = Σ_{k=1..retries} min(base × 2^(k-1), cap)
+//
+// The deterministic center of the backoff distribution — the gateway adds up
+// to 50% jitter on top, so the observed overhead lies in [O, 1.5×O). This is
+// the "recovery tax" the chaos experiment's p99-under-faults decomposes:
+// goodput loss under a node kill is bounded by retries × (O_retry + service),
+// not by the outage length. Non-positive retries or base return 0.
+func RetryOverhead(retries int, base, cap time.Duration) time.Duration {
+	if retries <= 0 || base <= 0 {
+		return 0
+	}
+	var total time.Duration
+	d := base
+	for k := 0; k < retries; k++ {
+		step := d
+		if cap > 0 && step > cap {
+			step = cap
+		}
+		total += step
+		if d < cap || cap <= 0 {
+			d *= 2
+		}
+	}
+	return total
+}
+
+// AvailabilityUnderFaults is the probability a request is eventually served
+// when each independent dispatch attempt fails with probability failProb and
+// the gateway makes `attempts` total attempts (1 + MaxRetries):
+//
+//	A = 1 − p^attempts
+//
+// The chaos experiment's "requests lost = 0 with recovery on" is this curve's
+// practical endpoint: with a 2-node cluster losing one node (p ≈ 0.5 for the
+// instant before the breaker opens) and 3 retries, A ≈ 0.94 per-instant — and
+// the breaker redirecting placement pushes the effective p of later attempts
+// toward 0, which is why observed loss hits zero. failProb is clamped to
+// [0, 1]; attempts < 1 returns 0.
+func AvailabilityUnderFaults(failProb float64, attempts int) float64 {
+	if attempts < 1 {
+		return 0
+	}
+	if failProb < 0 {
+		failProb = 0
+	}
+	if failProb > 1 {
+		failProb = 1
+	}
+	p := 1.0
+	for i := 0; i < attempts; i++ {
+		p *= failProb
+	}
+	return 1 - p
+}
+
 // ExecWorkingSet returns the enclave bytes a request touches during model
 // execution. The distinction drives Figure 11b: TVM threads execute out of
 // their private runtime buffers (the packed weight copies), so the model

@@ -621,3 +621,45 @@ func TestPreemptionOverhead(t *testing.T) {
 		t.Fatal("non-positive inputs must return 0")
 	}
 }
+
+func TestRetryOverhead(t *testing.T) {
+	// Three retries at 1ms base, uncapped: 1 + 2 + 4 = 7ms of backoff.
+	if got := RetryOverhead(3, time.Millisecond, 0); got != 7*time.Millisecond {
+		t.Fatalf("O_retry uncapped = %v, want 7ms", got)
+	}
+	// The cap flattens the tail: 1 + 2 + 3 + 3 = 9ms.
+	if got := RetryOverhead(4, time.Millisecond, 3*time.Millisecond); got != 9*time.Millisecond {
+		t.Fatalf("O_retry capped = %v, want 9ms", got)
+	}
+	if got := RetryOverhead(1, 5*time.Millisecond, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("base above cap = %v, want 1ms", got)
+	}
+	if RetryOverhead(0, time.Second, 0) != 0 || RetryOverhead(-1, time.Second, 0) != 0 ||
+		RetryOverhead(3, 0, 0) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}
+
+func TestAvailabilityUnderFaults(t *testing.T) {
+	// Coin-flip attempt failure, four attempts: 1 - 0.5^4 = 93.75%.
+	if got := AvailabilityUnderFaults(0.5, 4); got != 0.9375 {
+		t.Fatalf("A(0.5, 4) = %v, want 0.9375", got)
+	}
+	// One attempt is the complement of the failure probability.
+	if got := AvailabilityUnderFaults(0.2, 1); got != 0.8 {
+		t.Fatalf("A(0.2, 1) = %v, want 0.8", got)
+	}
+	// Retries strictly improve availability while failures are possible.
+	if AvailabilityUnderFaults(0.3, 3) <= AvailabilityUnderFaults(0.3, 2) {
+		t.Fatal("an extra attempt must raise availability for 0 < p < 1")
+	}
+	// Certain failure never succeeds; certain success needs one attempt.
+	if AvailabilityUnderFaults(1, 10) != 0 || AvailabilityUnderFaults(0, 1) != 1 {
+		t.Fatal("degenerate probabilities")
+	}
+	// Out-of-range inputs clamp rather than explode.
+	if AvailabilityUnderFaults(-0.5, 2) != 1 || AvailabilityUnderFaults(1.5, 2) != 0 ||
+		AvailabilityUnderFaults(0.5, 0) != 0 {
+		t.Fatal("clamped inputs")
+	}
+}

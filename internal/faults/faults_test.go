@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// A nil injector is the production default: every check answers zero.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if inj.NodeDown("n") || inj.NodeCrashed("n") || inj.SandboxCrash() || inj.KeyServiceDown() {
+		t.Fatal("nil injector reported a fault")
+	}
+	if d := inj.NodeDelay("n"); d != 0 {
+		t.Fatalf("nil injector delay = %v", d)
+	}
+	if st := inj.Stats(); st != (Stats{}) {
+		t.Fatalf("nil injector stats = %+v", st)
+	}
+}
+
+func TestNodeCrashRestore(t *testing.T) {
+	inj := New(1, vclock.NewManual())
+	if inj.NodeDown("a") {
+		t.Fatal("fresh node reported down")
+	}
+	inj.CrashNode("a")
+	if !inj.NodeDown("a") || !inj.NodeCrashed("a") {
+		t.Fatal("crashed node reported up")
+	}
+	if inj.NodeDown("b") {
+		t.Fatal("crash leaked to another node")
+	}
+	inj.RestoreNode("a")
+	if inj.NodeDown("a") {
+		t.Fatal("restored node reported down")
+	}
+	// NodeDown counts hits; NodeCrashed (the placement check) does not.
+	if st := inj.Stats(); st.NodeDownHits != 1 {
+		t.Fatalf("NodeDownHits = %d, want 1", st.NodeDownHits)
+	}
+}
+
+func TestSlowNode(t *testing.T) {
+	inj := New(1, vclock.NewManual())
+	inj.SlowNode("a", 50*time.Millisecond)
+	if d := inj.NodeDelay("a"); d != 50*time.Millisecond {
+		t.Fatalf("delay = %v", d)
+	}
+	inj.SlowNode("a", 0)
+	if d := inj.NodeDelay("a"); d != 0 {
+		t.Fatalf("cleared delay = %v", d)
+	}
+}
+
+// The sandbox-crash stream must replay identically for a seed — chaos runs
+// are reproducible — and differ across seeds.
+func TestSandboxCrashDeterministic(t *testing.T) {
+	draw := func(seed int64) []bool {
+		inj := New(seed, vclock.NewManual())
+		inj.SetSandboxCrashProb(0.3)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.SandboxCrash()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds", i)
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical streams")
+	}
+	crashes := 0
+	for _, x := range a {
+		if x {
+			crashes++
+		}
+	}
+	if crashes == 0 || crashes == len(a) {
+		t.Fatalf("p=0.3 produced %d/%d crashes", crashes, len(a))
+	}
+}
+
+func TestSandboxCrashProbZeroNeverFires(t *testing.T) {
+	inj := New(7, vclock.NewManual())
+	for i := 0; i < 100; i++ {
+		if inj.SandboxCrash() {
+			t.Fatal("crash fired with probability 0")
+		}
+	}
+}
+
+// Outage windows expire on the injected clock, so a Manual clock drives them
+// deterministically.
+func TestKeyServiceOutageWindow(t *testing.T) {
+	clock := vclock.NewManual()
+	inj := New(1, clock)
+	if inj.KeyServiceDown() {
+		t.Fatal("fresh injector reported KS down")
+	}
+	inj.KeyServiceOutage(time.Second)
+	if !inj.KeyServiceDown() {
+		t.Fatal("outage window not in effect")
+	}
+	clock.Advance(2 * time.Second)
+	if inj.KeyServiceDown() {
+		t.Fatal("outage window did not expire")
+	}
+	inj.SetKeyServiceDown(true)
+	if !inj.KeyServiceDown() {
+		t.Fatal("sticky outage not in effect")
+	}
+	inj.SetKeyServiceDown(false)
+	if inj.KeyServiceDown() {
+		t.Fatal("sticky outage did not clear")
+	}
+	if st := inj.Stats(); st.KSRejects != 2 {
+		t.Fatalf("KSRejects = %d, want 2", st.KSRejects)
+	}
+}

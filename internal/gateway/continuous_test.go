@@ -25,6 +25,11 @@ type fakeSessionBackend struct {
 	gate     chan struct{} // when non-nil, the first frame waits until closed
 	order    []string      // member payloads in completion order
 	joins    []fakeJoin    // admissions in arrival order
+	// crashAfter > 0 makes ONE session (the first to get there) fail its
+	// frames past that count — the mid-session crash behind session-recovery
+	// tests. Later sessions run clean.
+	crashAfter int
+	crashed    bool
 }
 
 type fakeJoin struct {
@@ -87,6 +92,15 @@ func (s *fakeSession) Step(payload []byte) ([]byte, error) {
 		<-s.b.gate
 	}
 	s.frames++
+	s.b.mu.Lock()
+	crash := s.b.crashAfter > 0 && !s.b.crashed && s.frames > s.b.crashAfter
+	if crash {
+		s.b.crashed = true
+	}
+	s.b.mu.Unlock()
+	if crash {
+		return nil, errors.New("fake session: crashed mid-frame")
+	}
 	for _, j := range f.Join {
 		s.b.mu.Lock()
 		s.b.joins = append(s.b.joins, fakeJoin{payload: string(j.Req.Payload), stepsDone: j.Req.StepsDone})

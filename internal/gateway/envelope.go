@@ -131,6 +131,22 @@ func (t *Ticket) Wait(ctx context.Context) (semirt.Response, error) {
 	return t.res.resp, t.res.err
 }
 
+// WaitCtx is the bounded-wait variant of Wait: if ctx ends while the request
+// is still queued, the request is WITHDRAWN (Cancel) and ctx's error
+// returned — the caller's bound on recovery-inflated waits (retry backoff,
+// failover re-dispatch) actually frees the queue slot instead of leaving an
+// abandoned request to ride a future batch. Once the request has entered a
+// batch, the activation proceeds and is accounted; WaitCtx still returns
+// ctx's error, and a later Wait observes the eventual outcome.
+func (t *Ticket) WaitCtx(ctx context.Context) (semirt.Response, error) {
+	resp, err := t.Wait(ctx)
+	if err != nil && ctx.Err() != nil && err == ctx.Err() {
+		t.Cancel()
+		return semirt.Response{}, ctx.Err()
+	}
+	return resp, err
+}
+
 // Cancel withdraws the request if it is still queued, reporting whether it
 // was. A canceled ticket settles with ErrCanceled. Once the request has
 // entered a batch, Cancel reports false and the activation proceeds (the

@@ -50,6 +50,7 @@ package gateway
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
@@ -153,6 +154,14 @@ var (
 	ErrCanceled = errors.New("gateway: canceled")
 	// ErrClosed reports that the gateway has shut down.
 	ErrClosed = errors.New("gateway: closed")
+	// ErrRetriesExhausted reports that a request's dispatch failed and every
+	// permitted retry (Config.MaxRetries) failed too; the wrapped message
+	// carries the final attempt's error.
+	ErrRetriesExhausted = errors.New("gateway: retries exhausted")
+	// ErrBackendPanic reports that the backend panicked inside a dispatched
+	// activation (or step frame). The panic is recovered in the dispatch
+	// goroutine — it fails the batch, never the gateway — and is retryable.
+	ErrBackendPanic = errors.New("gateway: backend panic")
 )
 
 // Config tunes the gateway.
@@ -235,6 +244,23 @@ type Config struct {
 	// next step boundary while the queue is backlogged (default 4; members
 	// always get at least one step, and a member on its final step finishes).
 	PreemptAfter int
+	// MaxRetries is how many times a request whose dispatch failed with a
+	// retryable error (backend fault, node down, backend panic — anything but
+	// a deadline, cancel, or shutdown) is re-queued and re-dispatched before
+	// failing with ErrRetriesExhausted. Re-queueing is fairness-neutral: the
+	// request keeps its original enqueue time and burns no fresh DRR deficit
+	// (the tenant already paid for the admission), exactly like a preempted
+	// continuous-batching member. Because a retried batch re-enters placement
+	// from scratch, retry doubles as failover — the breaker has typically
+	// opened on the failed node by the next attempt, so the retry lands
+	// elsewhere. 0 (the default) disables retries: dispatch errors fan out to
+	// the batch as before.
+	MaxRetries int
+	// RetryBackoff is the base delay before a retry is re-queued, growing
+	// exponentially per attempt with up to 50% jitter (default 1ms). The
+	// dispatch slot is held during the backoff, so a flapping backend is
+	// paced instead of hammered.
+	RetryBackoff time.Duration
 	// MinService floors the service-time estimate behind deadline-flush
 	// margins (deadlineWait, the deadline watchdog). A cold queue has
 	// svcEWMA == 0; unfloored, the margin degenerates to ~1ms and the
@@ -275,6 +301,9 @@ func (c *Config) defaults() {
 	if c.MinService <= 0 {
 		c.MinService = 5 * time.Millisecond
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
 }
 
 // result is the fan-out of one batched request back to its caller.
@@ -292,10 +321,14 @@ type pending struct {
 	deadline time.Time   // zero: none
 	done     chan result // buffered 1: the dispatcher never blocks on fan-out
 	enq      time.Time
-	// resumed marks a member re-queued after preemption: it re-enters at its
-	// original-arrival position (insertResumed) and its next drain burns no
-	// fresh tenant deficit — the tenant already paid for this admission.
+	// resumed marks a member re-queued after preemption or a retry: it
+	// re-enters at its original-arrival position (insertResumed) and its next
+	// drain burns no fresh tenant deficit — the tenant already paid for this
+	// admission.
 	resumed bool
+	// retries counts dispatch attempts that failed retryably for this request
+	// (bounded by Config.MaxRetries).
+	retries int
 }
 
 // tenantQ is one tenant's sub-queue inside a (action, model) queue: the
@@ -571,6 +604,12 @@ type Stats struct {
 	// Preemptions counts continuous-session members evicted at a step
 	// boundary and re-queued (each is answered later, from a later session).
 	Preemptions uint64
+	// Retries counts requests re-queued after a retryable dispatch failure
+	// (each is re-dispatched fairness-neutrally; see Config.MaxRetries).
+	Retries uint64
+	// BackendPanics counts panics recovered in the dispatch path (each failed
+	// its batch with ErrBackendPanic and, with retries enabled, was retried).
+	BackendPanics uint64
 	// Prewarmed counts sandboxes started by prewarming.
 	Prewarmed uint64
 	// Rehomes counts affinity re-homing decisions (a queue abandoning a
@@ -634,6 +673,7 @@ type Gateway struct {
 
 	accepted, rejected, tenantRejected, shed, canceled atomic.Uint64
 	batches, served, prewarmed, rehomes, preemptions   atomic.Uint64
+	retries, panics                                    atomic.Uint64
 	sessionSeq                                         atomic.Uint64
 }
 
@@ -721,6 +761,8 @@ func (g *Gateway) Stats() Stats {
 		Batches:        g.batches.Load(),
 		Preemptions:    g.preemptions.Load(),
 		Served:         g.served.Load(),
+		Retries:        g.retries.Load(),
+		BackendPanics:  g.panics.Load(),
 		Prewarmed:      g.prewarmed.Load(),
 		Rehomes:        g.rehomes.Load(),
 		Queues:         queues,
@@ -1026,6 +1068,98 @@ func (g *Gateway) armDeadlineWatchdogLocked(q *queue, p *pending) {
 	})
 }
 
+// retryable reports whether a dispatch error may be retried: backend faults
+// (node down, instance failure, recovered panic) are; outcomes the caller
+// chose or that cannot change (deadline, cancel, shutdown) are not.
+func (g *Gateway) retryable(err error) bool {
+	if g.cfg.MaxRetries <= 0 || err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrDeadline), errors.Is(err, ErrCanceled),
+		errors.Is(err, ErrClosed), errors.Is(err, serverless.ErrClosed),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return true
+}
+
+// splitRetryable partitions a failed batch into members with retry budget
+// left (their retries counter advanced) and members to fail now.
+func (g *Gateway) splitRetryable(batch []*pending, err error) (retry, failed []*pending) {
+	if !g.retryable(err) {
+		return nil, batch
+	}
+	for _, p := range batch {
+		if p.retries < g.cfg.MaxRetries {
+			p.retries++
+			retry = append(retry, p)
+		} else {
+			failed = append(failed, p)
+		}
+	}
+	return retry, failed
+}
+
+// failFinal converts a dispatch error into the caller-visible one: a request
+// that burned its whole retry budget fails with ErrRetriesExhausted wrapping
+// the final attempt's error, so callers can branch on the sentinel and logs
+// keep the cause.
+func (g *Gateway) failFinal(p *pending, err error) error {
+	if p.retries > 0 && g.retryable(err) {
+		return fmt.Errorf("%w (%d attempts): %v", ErrRetriesExhausted, p.retries+1, err)
+	}
+	return err
+}
+
+// retryBackoff blocks the dispatch slot for the attempt's backoff:
+// exponential in the attempt number with up to 50% jitter, so a flapping
+// backend is paced and concurrent retries decorrelate. attempt is 1-based.
+func (g *Gateway) retryBackoff(attempt int) {
+	if attempt > 6 {
+		attempt = 6 // cap the exponent: 64x base
+	}
+	d := g.cfg.RetryBackoff << (attempt - 1)
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	time.Sleep(d)
+}
+
+// retryLocked re-queues one member of a failed dispatch for another attempt.
+// Identical fairness contract to requeueLocked (preemption): original enqueue
+// time, original-arrival position, no fresh DRR deficit — a retry must not
+// improve or worsen the tenant's share. After Close the member fails with
+// ErrClosed like any queued request.
+func (g *Gateway) retryLocked(q *queue, p *pending) {
+	g.retries.Add(1)
+	if g.closed {
+		p.done <- result{err: ErrClosed}
+		g.served.Add(1)
+		g.pending--
+		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+		return
+	}
+	p.resumed = true
+	q.enqueueLocked(q.tenant(p.tenant, &g.cfg), p)
+}
+
+// invokeBatch runs the backend call for one batch with panics recovered: a
+// panicking instance fails its batch with ErrBackendPanic (retryable) instead
+// of killing the dispatch goroutine and stranding the queue.
+func (g *Gateway) invokeBatch(action, home, fallbackServedOn string, payload []byte) (raw []byte, servedOn string, err error) {
+	servedOn = fallbackServedOn
+	defer func() {
+		if r := recover(); r != nil {
+			g.panics.Add(1)
+			raw, err = nil, fmt.Errorf("%w: %v", ErrBackendPanic, r)
+		}
+	}()
+	if g.rt != nil {
+		return g.rt.InvokeOn(g.ctx, action, home, payload)
+	}
+	raw, err = g.inv.Invoke(g.ctx, action, payload)
+	return raw, servedOn, err
+}
+
 // dispatch ships one batch as a single activation and fans the per-request
 // results back out. Runs outside the gateway lock. home is the affinity hint
 // chosen at flush time ("" when routing is off).
@@ -1052,20 +1186,23 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 	}
 	var results []semirt.BatchResult
 	servedOn := home
+	var retry []*pending
 	payload, err := semirt.EncodeBatch(reqs)
 	if err == nil {
 		var raw []byte
-		if g.rt != nil {
-			raw, servedOn, err = g.rt.InvokeOn(g.ctx, q.action, home, payload)
-		} else {
-			raw, err = g.inv.Invoke(g.ctx, q.action, payload)
-		}
+		raw, servedOn, err = g.invokeBatch(q.action, home, servedOn, payload)
 		if err == nil {
 			results, err = semirt.DecodeBatchResponse(raw, len(batch))
 		}
+		if err != nil {
+			// A backend fault (not an encode error — that one is
+			// deterministic): members with budget left go back to the queue,
+			// the rest fall through to the error fan-out below.
+			retry, batch = g.splitRetryable(batch, err)
+		}
 	}
 	for i, p := range batch {
-		r := result{err: err}
+		r := result{err: g.failFinal(p, err)}
 		if err == nil {
 			r = result{resp: results[i].Response, err: results[i].Err}
 		}
@@ -1074,12 +1211,23 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 		g.m.E2E.Observe(float64(time.Since(p.enq)) / float64(time.Millisecond))
 	}
 	svc := time.Since(start)
+	if len(retry) > 0 {
+		// Pace the re-dispatch while still holding the dispatch slot, so a
+		// flapping backend sees backoff, not a tight retry loop.
+		g.retryBackoff(retry[0].retries)
+	}
 
 	g.mu.Lock()
 	q.inFlight--
 	g.pending -= len(batch)
 	for _, p := range batch {
 		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+	}
+	for _, p := range retry {
+		// Fairness-neutral re-queue (original enqueue time, no fresh
+		// deficit); the tail's flush re-dispatches — by then the breaker has
+		// usually opened on the failed node, so the retry fails over.
+		g.retryLocked(q, p)
 	}
 	// Exponentially smoothed batch service time: the deadline shedder's
 	// estimate of how long a request dispatched now will take to answer.
@@ -1096,7 +1244,7 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 	g.armTimerLocked(q)
 	g.reapLocked(q)
 	g.mu.Unlock()
-	if g.cfg.Autoscaler != nil {
+	if g.cfg.Autoscaler != nil && len(batch) > 0 {
 		// Outside g.mu: the controller takes its own lock, and its feed must
 		// never extend the gateway's critical section.
 		g.cfg.Autoscaler.NoteBatch(q.action, q.model, len(batch), svc, servedOn)

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"time"
@@ -23,6 +24,35 @@ type sessMember struct {
 	// sent is the member's admission into this session — the per-member
 	// dispatch→fan-out clock behind the queue's svcEWMA.
 	sent time.Time
+	// steps is the member's cumulative completed step count across sessions
+	// (seeded from req.StepsDone on join, advanced per successful frame). If
+	// the session dies, this is the progress its retry carries — completed
+	// steps are not re-charged when the member rejoins a later session.
+	steps int
+}
+
+// openSessionSafe opens a pinned session with panics recovered, like
+// invokeBatch: a panicking backend yields ErrBackendPanic (retryable), never
+// a dead dispatch goroutine.
+func (g *Gateway) openSessionSafe(action, home string) (sess InvokeSession, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.panics.Add(1)
+			sess, err = nil, fmt.Errorf("%w: %v", ErrBackendPanic, r)
+		}
+	}()
+	return g.sess.OpenSession(g.ctx, action, home)
+}
+
+// stepSafe delivers one step frame with panics recovered.
+func (g *Gateway) stepSafe(sess InvokeSession, payload []byte) (raw []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.panics.Add(1)
+			raw, err = nil, fmt.Errorf("%w: %v", ErrBackendPanic, r)
+		}
+	}()
+	return sess.Step(payload)
 }
 
 // requeueLocked re-admits a preempted member. Its progress travels in
@@ -65,7 +95,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 		g.mu.Unlock()
 	}
 
-	members := map[int]sessMember{}
+	members := map[int]*sessMember{}
 	servedOn := home
 	served := 0 // members answered from this session (NoteBatch size)
 	var svcSum time.Duration
@@ -96,14 +126,14 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 		return batch
 	}
 
-	sess, frameErr := g.sess.OpenSession(g.ctx, q.action, home)
+	sess, frameErr := g.openSessionSafe(q.action, home)
 	if frameErr != nil {
 		// The session never opened: claim the members this spawn was sized
 		// for and register them so the common strand-fail path below answers
 		// every one exactly once (dispatch's whole-batch error fan-out).
 		now := time.Now()
 		for i, p := range firstDrain() {
-			members[i] = sessMember{p: p, sent: now}
+			members[i] = &sessMember{p: p, sent: now, steps: p.req.StepsDone}
 		}
 	} else {
 		servedOn = sess.Node()
@@ -114,7 +144,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			now := time.Now()
 			js := make([]semirt.StepJoin, 0, len(join))
 			for _, p := range join {
-				members[nextID] = sessMember{p: p, sent: now}
+				members[nextID] = &sessMember{p: p, sent: now, steps: p.req.StepsDone}
 				js = append(js, semirt.StepJoin{ID: nextID, Req: p.req})
 				nextID++
 				g.m.QueueWait.Observe(float64(now.Sub(p.enq)) / float64(time.Millisecond))
@@ -126,7 +156,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 				Session: sid, Join: js, Budget: g.cfg.PreemptAfter, Waiting: waiting})
 			var raw []byte
 			if err == nil {
-				raw, err = sess.Step(payload)
+				raw, err = g.stepSafe(sess, payload)
 			}
 			var resp semirt.StepResponse
 			if err == nil {
@@ -138,7 +168,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			}
 			now = time.Now()
 			var requeue []*pending
-			var finished []sessMember
+			var finished []*sessMember
 			for _, d := range resp.Done {
 				sm, ok := members[d.ID]
 				if !ok {
@@ -158,6 +188,11 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 				svcSum += now.Sub(sm.sent)
 				served++
 				finished = append(finished, sm)
+			}
+			// Every member still resident executed one step this frame; the
+			// count is the progress a session-recovery retry carries.
+			for _, sm := range members {
+				sm.steps++
 			}
 			join = nil
 			g.mu.Lock()
@@ -196,24 +231,49 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			// construction; a failed close only leaks state the runtime
 			// bounds and reaps with the enclave.
 			if payload, err := semirt.EncodeStepFrame(semirt.StepFrame{Session: sid, Close: true}); err == nil {
-				_, _ = sess.Step(payload)
+				_, _ = g.stepSafe(sess, payload)
 			}
 		}
 		sess.Close()
 	}
 
 	if len(members) > 0 {
-		// A frame failed (or the session never opened): fail every stranded
-		// member with the instance-level error, exactly like dispatch fans an
-		// activation error out to the whole batch.
+		// A frame failed (or the session never opened). Session recovery:
+		// members with retry budget re-queue fairness-neutrally carrying
+		// their cumulative step progress (req.StepsDone), so the session they
+		// rejoin charges only the remaining steps; the rest fail with the
+		// frame error, exactly like dispatch fans an activation error out to
+		// the whole batch.
+		var retry, failed []*sessMember
+		if g.retryable(frameErr) {
+			for _, sm := range members {
+				if sm.p.retries < g.cfg.MaxRetries {
+					sm.p.retries++
+					retry = append(retry, sm)
+				} else {
+					failed = append(failed, sm)
+				}
+			}
+		} else {
+			for _, sm := range members {
+				failed = append(failed, sm)
+			}
+		}
+		if len(retry) > 0 {
+			g.retryBackoff(retry[0].p.retries)
+		}
 		now := time.Now()
 		g.mu.Lock()
-		for _, sm := range members {
-			sm.p.done <- result{err: frameErr}
+		for _, sm := range failed {
+			sm.p.done <- result{err: g.failFinal(sm.p, frameErr)}
 			g.served.Add(1)
 			g.m.E2E.Observe(float64(now.Sub(sm.p.enq)) / float64(time.Millisecond))
 			g.pending--
 			g.tenantAddLocked(sm.p.tenant, func(tc *tenantCounts) { tc.served++ })
+		}
+		for _, sm := range retry {
+			sm.p.req.StepsDone = sm.steps
+			g.retryLocked(q, sm.p)
 		}
 		g.mu.Unlock()
 	}

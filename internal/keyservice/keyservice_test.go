@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"sesemi/internal/attest"
 	"sesemi/internal/costmodel"
@@ -212,7 +213,9 @@ type testbed struct {
 	ksEnc  *enclave.Enclave
 }
 
-func startKeyService(t *testing.T) *testbed {
+func startKeyService(t *testing.T) *testbed { return startKeyServiceIdle(t, 0) }
+
+func startKeyServiceIdle(t *testing.T, idle time.Duration) *testbed {
 	t.Helper()
 	ca, err := attest.NewCA()
 	if err != nil {
@@ -234,6 +237,9 @@ func startKeyService(t *testing.T) *testbed {
 		t.Fatal(err)
 	}
 	srv.SetLogf(nil)
+	if idle > 0 {
+		srv.SetIdleTimeout(idle)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +267,25 @@ func launchWorker(t *testing.T, tb *testbed, program string) *enclave.Enclave {
 	}
 	t.Cleanup(e.Destroy)
 	return e
+}
+
+// A client that connects and never speaks is dropped at the idle deadline,
+// freeing its TCS — it cannot pin one of the enclave's threads forever.
+func TestIdleConnectionDropped(t *testing.T) {
+	tb := startKeyServiceIdle(t, 100*time.Millisecond)
+	conn, err := net.Dial("tcp", tb.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing: the server must hang up on its own well before this
+	// read deadline — a read error (EOF or reset) is the hang-up.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the idle connection open")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never closed the idle connection within 5s")
+	}
 }
 
 func TestEndToEndProvisioning(t *testing.T) {

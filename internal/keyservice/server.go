@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"sesemi/internal/attest"
 	"sesemi/internal/enclave"
@@ -64,6 +65,12 @@ type Server struct {
 	enc      *enclave.Enclave
 	verifier attest.Policy // verifies SeMIRT quotes for provisioning
 	logf     func(format string, args ...any)
+	// idleTimeout bounds how long a connection may sit between records (and
+	// how long the handshake may take) before it is dropped. Each timed-out
+	// connection frees its TCS, so a stalled or half-open client cannot pin
+	// one of the enclave's limited threads forever. 0 disables deadlines
+	// (the historical behaviour; in-process transports rely on it).
+	idleTimeout time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -91,6 +98,12 @@ func NewServer(svc *Service, caPublicKey []byte) (*Server, error) {
 
 // SetLogf overrides the server's logger (tests use a silent one).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// SetIdleTimeout sets the per-connection idle deadline: the handshake and
+// each record read must happen within d of the previous activity, or the
+// connection is closed and its TCS freed. 0 disables deadlines. Call before
+// Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
 
 // Serve accepts connections until the listener is closed.
 func (s *Server) Serve(ln net.Listener) error {
@@ -157,15 +170,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	// (the quote is generated in-enclave) and request processing bind one
 	// TCS, as in the paper's one-thread-per-connection design.
 	err := s.enc.ECall(func() error {
+		s.armDeadline(conn)
 		ch, err := ratls.Server(conn, ratls.Config{Quoter: s.enc})
 		if err != nil {
 			return fmt.Errorf("handshake: %w", err)
 		}
 		for {
+			s.armDeadline(conn)
 			var req Request
 			if err := ch.RecvJSON(&req); err != nil {
 				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 					return nil
+				}
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					return fmt.Errorf("idle for %v: %w", s.idleTimeout, err)
 				}
 				return err
 			}
@@ -178,6 +197,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	if err != nil && s.logf != nil {
 		s.logf("keyservice: connection ended: %v", err)
 	}
+}
+
+// armDeadline pushes the connection's absolute deadline idleTimeout into the
+// future (covering the next read AND the write that answers it); no-op when
+// deadlines are disabled or the conn cannot carry them (in-process pipes).
+func (s *Server) armDeadline(conn net.Conn) {
+	if s.idleTimeout <= 0 {
+		return
+	}
+	_ = conn.SetDeadline(time.Now().Add(s.idleTimeout))
 }
 
 func (s *Server) dispatch(ch *ratls.Conn, req *Request) Response {

@@ -63,6 +63,11 @@ func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.deps.Faults.SandboxCrash() {
+		// Injected mid-ECall crash: an instance-level failure, like a real
+		// sandbox death — the whole batch fails, never individual members.
+		return nil, ErrSandboxCrash
+	}
 	r.mu.Lock()
 	enc, prog := r.enc, r.prog
 	r.mu.Unlock()
@@ -147,6 +152,10 @@ func wireError(s string) error {
 		return ErrDeadline
 	case ErrPreempted.Error():
 		return ErrPreempted
+	case ErrKeyServiceUnavailable.Error():
+		return ErrKeyServiceUnavailable
+	case ErrSandboxCrash.Error():
+		return ErrSandboxCrash
 	}
 	return errors.New(s)
 }

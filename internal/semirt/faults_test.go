@@ -1,0 +1,123 @@
+package semirt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sesemi/internal/faults"
+)
+
+// An injected sandbox crash fails the activation as a whole — instance-level,
+// never per-member — and clears when the probability does.
+func TestSandboxCrashInjected(t *testing.T) {
+	w := newWorld(t)
+	inj := faults.New(3, w.clock)
+	deps := w.deps()
+	deps.Faults = inj
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 1), deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	inj.SetSandboxCrashProb(1)
+	if _, err := rt.Handle(w.requestFor("mbnet", 1)); !errors.Is(err, ErrSandboxCrash) {
+		t.Fatalf("Handle under crash = %v, want ErrSandboxCrash", err)
+	}
+	if _, err := rt.HandleBatch([]Request{w.requestFor("mbnet", 2)}); !errors.Is(err, ErrSandboxCrash) {
+		t.Fatalf("HandleBatch under crash = %v, want ErrSandboxCrash", err)
+	}
+	inj.SetSandboxCrashProb(0)
+	if _, err := rt.Handle(w.requestFor("mbnet", 3)); err != nil {
+		t.Fatalf("Handle after crash cleared: %v", err)
+	}
+	if st := inj.Stats(); st.SandboxCrashes != 2 {
+		t.Fatalf("SandboxCrashes = %d, want 2", st.SandboxCrashes)
+	}
+}
+
+// A key-service outage shorter than the retry budget's backoff is ridden out:
+// the retries sleep on the enclave (Manual) clock, the window expires, the
+// request succeeds.
+func TestKSRetryRidesOutOutageWindow(t *testing.T) {
+	w := newWorld(t)
+	inj := faults.New(3, w.clock)
+	deps := w.deps()
+	deps.Faults = inj
+	deps.KSRetries = 2
+	deps.KSRetryBackoff = 10 * time.Second
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 1), deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	// The window must outlast the modeled pre-provision stages (slept on the
+	// same Manual clock) but not the first retry backoff.
+	inj.KeyServiceOutage(time.Second)
+	resp, err := rt.Handle(w.requestFor("mbnet", 1))
+	if err != nil {
+		t.Fatalf("Handle across outage: %v", err)
+	}
+	if resp.Kind != Cold {
+		t.Fatalf("kind = %v, want cold", resp.Kind)
+	}
+	if st := inj.Stats(); st.KSRejects != 1 {
+		t.Fatalf("KSRejects = %d, want 1 (one failed attempt, then the window expired)", st.KSRejects)
+	}
+}
+
+// Brownout is shed-new-admit, finish-resident: after provisioning fails with
+// retries exhausted, fresh principals fail fast with the typed
+// ErrKeyServiceUnavailable while the cached principal keeps being served; the
+// window expires on the enclave clock.
+func TestKSBrownoutShedsNewServesResident(t *testing.T) {
+	w := newWorld(t)
+	inj := faults.New(3, w.clock)
+	deps := w.deps()
+	deps.Faults = inj
+	deps.KSBrownout = time.Minute
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 1), deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+	u2 := w.newUser("second-user")
+	w.grantUser(u2, "mbnet", rt.Measurement())
+
+	// Warm the resident principal's keys, then take the key service down.
+	if _, err := rt.Handle(w.requestFor("mbnet", 1)); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetKeyServiceDown(true)
+
+	// The fresh principal's miss fails (no retries) and opens the brownout.
+	if _, err := rt.Handle(w.requestAs(u2, "mbnet", 2)); !errors.Is(err, ErrKeyServiceUnavailable) {
+		t.Fatalf("fresh principal during outage = %v, want ErrKeyServiceUnavailable", err)
+	}
+	rejectsAfterOpen := inj.Stats().KSRejects
+
+	// Brownout: the next miss fails fast WITHOUT another key-service attempt.
+	if _, err := rt.Handle(w.requestAs(u2, "mbnet", 3)); !errors.Is(err, ErrKeyServiceUnavailable) {
+		t.Fatalf("fresh principal in brownout = %v, want ErrKeyServiceUnavailable", err)
+	}
+	if got := inj.Stats().KSRejects; got != rejectsAfterOpen {
+		t.Fatalf("brownout still hit the key service: KSRejects %d -> %d", rejectsAfterOpen, got)
+	}
+
+	// Finish-resident: the cached principal is untouched by the brownout.
+	if _, err := rt.Handle(w.requestFor("mbnet", 4)); err != nil {
+		t.Fatalf("resident principal in brownout: %v", err)
+	}
+
+	// Recovery: outage cleared and window expired -> fresh principals served.
+	inj.SetKeyServiceDown(false)
+	w.clock.Advance(2 * time.Minute)
+	if _, err := rt.Handle(w.requestAs(u2, "mbnet", 5)); err != nil {
+		t.Fatalf("fresh principal after brownout: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sesemi/internal/inference"
 	"sesemi/internal/keyservice"
 	"sesemi/internal/secure"
+	"sesemi/internal/vclock"
 )
 
 // program is the trusted half of SeMIRT: the enclave program holding
@@ -49,6 +50,12 @@ type program struct {
 	// Session serializes its own wire protocol).
 	sessMu   sync.Mutex
 	sessions map[string]*keyservice.Session
+
+	// brownoutUntil is the end of the current key-service brownout window
+	// (Deps.KSBrownout): until then, fresh key fetches fail fast with
+	// ErrKeyServiceUnavailable while cached principals keep being served.
+	brownoutMu    sync.Mutex
+	brownoutUntil time.Time
 
 	// slots are the thread-local execution contexts, one per TCS.
 	slots chan *rtSlot
@@ -263,13 +270,85 @@ func (p *program) switchModel(modelID string, km secure.Key, detail *invocationD
 	return nil
 }
 
-// provision retrieves (K_M, K_R) from the KeyService at ksAddr ("" = the
+// provision resolves (K_M, K_R) with the key-service fault policy wrapped
+// around the actual round trip (provisionOnce): a failure is retried
+// Deps.KSRetries times with exponential backoff on the fault clock; when
+// the budget is exhausted the program enters brownout (Deps.KSBrownout) —
+// subsequent fresh fetches fail fast with ErrKeyServiceUnavailable until the
+// window passes, while cached principals are untouched (their requests never
+// reach provision). With neither knob set this is exactly the historical
+// single-attempt call.
+func (p *program) provision(uid secure.ID, modelID, ksAddr string) (secure.Key, secure.Key, error) {
+	if p.inBrownout() {
+		return secure.Key{}, secure.Key{}, ErrKeyServiceUnavailable
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		km, kr, err := p.provisionOnce(uid, modelID, ksAddr)
+		if err == nil {
+			return km, kr, nil
+		}
+		lastErr = err
+		if attempt >= p.deps.KSRetries {
+			break
+		}
+		p.faultClock().Sleep(p.ksBackoff(attempt))
+	}
+	p.enterBrownout()
+	return secure.Key{}, secure.Key{}, lastErr
+}
+
+func (p *program) ksBackoff(attempt int) time.Duration {
+	base := p.deps.KSRetryBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt > 6 {
+		attempt = 6 // cap the exponent: 64x base
+	}
+	return base << attempt
+}
+
+// faultClock is the clock recovery waits run on: the fault plane's when one
+// is installed (the clock its outage windows are measured on — a backoff can
+// only ride out an outage if both advance together), the enclave's
+// otherwise. The enclave clock may be muted (Scale 0), which would make
+// retry backoff and brownout expiry instant against a real-time outage.
+func (p *program) faultClock() vclock.Clock {
+	if p.deps.Faults != nil {
+		return p.deps.Faults.Clock()
+	}
+	return p.enc.Clock()
+}
+
+func (p *program) inBrownout() bool {
+	if p.deps.KSBrownout <= 0 {
+		return false
+	}
+	p.brownoutMu.Lock()
+	defer p.brownoutMu.Unlock()
+	return p.faultClock().Now().Before(p.brownoutUntil)
+}
+
+func (p *program) enterBrownout() {
+	if p.deps.KSBrownout <= 0 {
+		return
+	}
+	p.brownoutMu.Lock()
+	defer p.brownoutMu.Unlock()
+	p.brownoutUntil = p.faultClock().Now().Add(p.deps.KSBrownout)
+}
+
+// provisionOnce retrieves (K_M, K_R) from the KeyService at ksAddr ("" = the
 // deployment default) over a cached mutually attested session, establishing
 // it on first use (the expensive cold key fetch of Figures 8 and 17). Only
 // session lookup/establishment holds sessMu; the provisioning round trip
 // itself runs outside it, so misses for different principals overlap (the
 // Session serializes its own wire exchanges).
-func (p *program) provision(uid secure.ID, modelID, ksAddr string) (secure.Key, secure.Key, error) {
+func (p *program) provisionOnce(uid secure.ID, modelID, ksAddr string) (secure.Key, secure.Key, error) {
+	if p.deps.Faults.KeyServiceDown() {
+		return secure.Key{}, secure.Key{}, fmt.Errorf("%w: injected outage", ErrKeyServiceUnavailable)
+	}
 	sess, fresh, err := p.session(ksAddr)
 	if err != nil {
 		return secure.Key{}, secure.Key{}, err

@@ -9,10 +9,26 @@ import (
 
 	"sesemi/internal/attest"
 	"sesemi/internal/enclave"
+	"sesemi/internal/faults"
 	"sesemi/internal/inference"
 	"sesemi/internal/keyservice"
 	"sesemi/internal/secure"
 	"sesemi/internal/storage"
+)
+
+// Fault-tolerance sentinels. Both survive the activation wire (wireError).
+var (
+	// ErrKeyServiceUnavailable reports that key provisioning is in brownout:
+	// a recent provisioning failure exhausted its retries, so requests that
+	// need a NEW key fetch are shed fast for the Deps.KSBrownout window while
+	// requests whose keys are already cached keep being served
+	// (shed-new-admit, finish-resident).
+	ErrKeyServiceUnavailable = errors.New("semirt: key service unavailable")
+	// ErrSandboxCrash reports an injected sandbox crash mid-ECall
+	// (Deps.Faults): the activation fails as a whole, exactly like a real
+	// sandbox death under the caller, and the gateway's retry machinery is
+	// expected to re-dispatch.
+	ErrSandboxCrash = errors.New("semirt: sandbox crashed")
 )
 
 // InvocationKind classifies how a request was served (Figure 4).
@@ -93,6 +109,25 @@ type Deps struct {
 	CAPublicKey []byte
 	// ExpectEK is the KeyService measurement to pin.
 	ExpectEK attest.Measurement
+	// Faults is the optional fault-injection plane (nil — the default — is a
+	// no-op): it drives injected sandbox crashes and key-service outage
+	// checks for chaos benchmarks and tests. Deliberately a dependency, not
+	// Config: it must never fold into the enclave measurement.
+	Faults *faults.Injector
+	// KSRetries is how many times a failed KeyService provisioning round
+	// trip is retried — with exponential backoff on the enclave clock —
+	// before the failure surfaces (default 0: fail on the first error, the
+	// historical behaviour).
+	KSRetries int
+	// KSRetryBackoff is the base delay between provisioning retries,
+	// doubling per attempt (default 1ms).
+	KSRetryBackoff time.Duration
+	// KSBrownout, when positive, is the degraded-mode window entered after
+	// provisioning fails with retries exhausted: for that long, requests
+	// needing a fresh key fetch fail fast with ErrKeyServiceUnavailable
+	// (shed-new-admit) while requests whose keys are already in the LRU keep
+	// being served (finish-resident). 0 disables the mode.
+	KSBrownout time.Duration
 }
 
 // ModelBlobName returns the storage key for a model's encrypted bytes.
@@ -206,6 +241,9 @@ func (r *Runtime) Handle(req Request) (Response, error) {
 	launched, err := r.ensureEnclave()
 	if err != nil {
 		return Response{}, err
+	}
+	if r.deps.Faults.SandboxCrash() {
+		return Response{}, ErrSandboxCrash
 	}
 	r.mu.Lock()
 	enc, prog := r.enc, r.prog

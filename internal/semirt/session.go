@@ -119,6 +119,9 @@ func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
 	if err != nil {
 		return StepResponse{}, err
 	}
+	if r.deps.Faults.SandboxCrash() {
+		return StepResponse{}, ErrSandboxCrash
+	}
 	r.mu.Lock()
 	enc, prog := r.enc, r.prog
 	r.mu.Unlock()

@@ -34,11 +34,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sesemi/internal/faults"
 	"sesemi/internal/vclock"
 )
 
@@ -86,6 +88,57 @@ type Node struct {
 	// started here.
 	warmHits   atomic.Uint64
 	coldStarts atomic.Uint64
+
+	// Circuit breaker + health scoring, fed by per-invoke outcomes
+	// (noteNodeOutcome). brkState is one of brkClosed/brkOpen/brkHalfOpen;
+	// brkStamp is the clock nanos of the last open/half-open transition (the
+	// cooldown anchor); brkFails counts consecutive failures; health holds
+	// math.Float64bits of the invoke-success EWMA (0 means "no sample yet",
+	// read as 1.0 — Float64bits(1.0) is nonzero, so the encoding is
+	// unambiguous: a sampled EWMA never reaches exactly +0).
+	brkState atomic.Int32
+	brkStamp atomic.Int64
+	brkFails atomic.Int32
+	health   atomic.Uint64
+}
+
+const (
+	brkClosed int32 = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// healthAlpha is the EWMA weight of each invoke outcome in the node's health
+// score: ~13 consecutive failures take a perfect node below 0.02.
+const healthAlpha = 0.25
+
+// noteHealth folds one invoke outcome into the node's health EWMA.
+func (n *Node) noteHealth(ok bool) {
+	for {
+		old := n.health.Load()
+		h := 1.0
+		if old != 0 {
+			h = math.Float64frombits(old)
+		}
+		x := 0.0
+		if ok {
+			x = 1.0
+		}
+		h = (1-healthAlpha)*h + healthAlpha*x
+		if n.health.CompareAndSwap(old, math.Float64bits(h)) {
+			return
+		}
+	}
+}
+
+// Health is the node's invoke-success EWMA in [0, 1]; a node that has never
+// served an invoke scores 1.
+func (n *Node) Health() float64 {
+	bits := n.health.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
 }
 
 // Reserved returns the memory currently reserved on the node.
@@ -168,6 +221,18 @@ type Config struct {
 	InvokeOverhead time.Duration
 	// Clock injects time; nil means the system clock.
 	Clock vclock.Clock
+	// Faults, when non-nil, is the fault-injection plane: node crashes and
+	// latency spikes are applied per invoke and crashed nodes are skipped by
+	// placement. Nil (the default) injects nothing and costs one nil check.
+	Faults *faults.Injector
+	// BreakerFailures is how many consecutive invoke failures on a node open
+	// its circuit breaker (default 3). While open, the node is skipped by
+	// InvokeOn/PrewarmOn placement; after BreakerCooldown a single half-open
+	// probe is admitted — success closes the breaker, failure re-opens it.
+	BreakerFailures int
+	// BreakerCooldown is the open-breaker backoff before a half-open probe
+	// (default 2s).
+	BreakerCooldown time.Duration
 }
 
 // DefaultConfig mirrors the paper's Table V settings.
@@ -254,12 +319,23 @@ type Cluster struct {
 	coldStarts  atomic.Uint64
 	invocations atomic.Uint64
 	evictions   atomic.Uint64
+	nodeFails   atomic.Uint64
+
+	// orphans holds instances of crash-killed sandboxes that still had
+	// requests in flight — stopping them mid-call would race the call, so
+	// they are parked here and stopped at Close.
+	orphanMu sync.Mutex
+	orphans  []Instance
 }
 
 // Errors returned by the cluster.
 var (
 	ErrUnknownAction = errors.New("serverless: unknown action")
 	ErrClosed        = errors.New("serverless: cluster closed")
+	// ErrNodeDown reports an invoke routed to a node the fault plane has
+	// crashed. The request's slot is released and the node's sandboxes are
+	// torn down, so a retrying caller lands on healthy capacity.
+	ErrNodeDown = errors.New("serverless: node down")
 )
 
 // NewCluster creates a controller over the given invoker nodes.
@@ -357,7 +433,7 @@ func (c *Cluster) InvokeOn(ctx context.Context, action, node string, payload []b
 		return nil, "", err
 	}
 	c.clock.Sleep(c.cfg.InvokeOverhead)
-	out, err = sb.inst.Invoke(payload)
+	out, err = c.invokeSandbox(sb, payload)
 	sb.lastUsed.Store(c.clock.Now().UnixNano())
 	if sb.inFlight.Add(-1) == 0 {
 		// The sandbox went idle: it is now an eviction candidate, i.e.
@@ -410,9 +486,149 @@ func (s *Session) Step(payload []byte) ([]byte, error) {
 	if s.closed.Load() {
 		return nil, ErrSessionClosed
 	}
-	out, err := s.sb.inst.Invoke(payload)
+	out, err := s.c.invokeSandbox(s.sb, payload)
 	s.sb.lastUsed.Store(s.c.clock.Now().UnixNano())
 	return out, err
+}
+
+// invokeSandbox runs one instance call with the fault plane applied and feeds
+// the node's health score and circuit breaker from the outcome. An invoke on
+// a crashed node fails with ErrNodeDown and tears the node's sandboxes down,
+// so retried demand rebuilds on healthy capacity. The down check repeats
+// after the call: a node that died mid-execution never delivered its
+// response, so a completed in-process Invoke must not count as one.
+func (c *Cluster) invokeSandbox(sb *Sandbox, payload []byte) ([]byte, error) {
+	if d := c.cfg.Faults.NodeDelay(sb.node.Name); d > 0 {
+		c.clock.Sleep(d)
+	}
+	var out []byte
+	var err error
+	if c.cfg.Faults.NodeDown(sb.node.Name) {
+		err = fmt.Errorf("%w: %s", ErrNodeDown, sb.node.Name)
+		c.failNode(sb.node)
+	} else {
+		out, err = sb.inst.Invoke(payload)
+		if err == nil && c.cfg.Faults.NodeDown(sb.node.Name) {
+			out, err = nil, fmt.Errorf("%w: %s (mid-invoke)", ErrNodeDown, sb.node.Name)
+			c.failNode(sb.node)
+		}
+	}
+	c.noteNodeOutcome(sb.node, err == nil)
+	return out, err
+}
+
+func (c *Cluster) breakerFailures() int {
+	if c.cfg.BreakerFailures > 0 {
+		return c.cfg.BreakerFailures
+	}
+	return 3
+}
+
+func (c *Cluster) breakerCooldown() time.Duration {
+	if c.cfg.BreakerCooldown > 0 {
+		return c.cfg.BreakerCooldown
+	}
+	return 2 * time.Second
+}
+
+// noteNodeOutcome folds one invoke outcome into the node's health EWMA and
+// circuit breaker. A success closes the breaker outright (a half-open probe
+// succeeded, or the node recovered on its own); the breakerFailures-th
+// consecutive failure — or any failure while probing — opens it and stamps
+// the cooldown anchor.
+func (c *Cluster) noteNodeOutcome(n *Node, ok bool) {
+	n.noteHealth(ok)
+	if ok {
+		n.brkFails.Store(0)
+		n.brkState.Store(brkClosed)
+		return
+	}
+	fails := n.brkFails.Add(1)
+	if n.brkState.Load() != brkClosed || int(fails) >= c.breakerFailures() {
+		n.brkStamp.Store(c.clock.Now().UnixNano())
+		n.brkState.Store(brkOpen)
+	}
+}
+
+// nodeAvailable reports whether placement may target n. A node the fault
+// plane has crashed is never available; a node with an open breaker is
+// skipped until its cooldown expires, after which exactly one caller wins the
+// CAS into half-open and is admitted as the probe (its invoke outcome then
+// closes or re-opens the breaker; the stamp reset bounds a probe that never
+// lands to one cooldown). This is the filter every placement rung —
+// claimFrom, tryReserve, evictAndReserve — consults.
+func (c *Cluster) nodeAvailable(n *Node) bool {
+	if c.cfg.Faults.NodeCrashed(n.Name) {
+		return false
+	}
+	st := n.brkState.Load()
+	if st == brkClosed {
+		return true
+	}
+	if c.clock.Now().UnixNano()-n.brkStamp.Load() < int64(c.breakerCooldown()) {
+		return false
+	}
+	if n.brkState.CompareAndSwap(st, brkHalfOpen) {
+		n.brkStamp.Store(c.clock.Now().UnixNano())
+		return true
+	}
+	return false
+}
+
+// failNode tears down every sandbox on a crashed node (Close's sweep, scoped
+// to one node): demand must rebuild on healthy nodes, and the downed node's
+// warm state is gone. Idle instances are stopped here; in-flight ones are
+// parked on the orphan list and stopped at Close — stopping them mid-call
+// would race the call. Starting sandboxes are marked dead and their starter's
+// finalize owns the instance cleanup, exactly as under a racing Close.
+func (c *Cluster) failNode(n *Node) {
+	var stops []Instance
+	var affected []*actionState
+	now := c.clock.Now().UnixNano()
+	n.mu.Lock()
+	for _, sbs := range n.sandboxes {
+		for _, sb := range sbs {
+			st := sb.state.Load()
+			if st == sandboxDead {
+				continue
+			}
+			if st == sandboxReady && sb.inFlight.Load() == 0 {
+				accrueIdle(sb, now)
+			}
+			sb.state.Store(sandboxDead)
+			n.reserved -= sb.action.MemoryBudget
+			sb.as.count.Add(-1)
+			affected = append(affected, sb.as)
+			if st == sandboxStarting {
+				sb.as.starting.Add(-1)
+				continue
+			}
+			if sb.inst == nil {
+				continue
+			}
+			if sb.inFlight.Load() == 0 {
+				stops = append(stops, sb.inst)
+			} else {
+				c.orphanMu.Lock()
+				c.orphans = append(c.orphans, sb.inst)
+				c.orphanMu.Unlock()
+			}
+		}
+	}
+	killed := len(affected)
+	n.sandboxes = map[string][]*Sandbox{}
+	n.mu.Unlock()
+	if killed == 0 {
+		return
+	}
+	c.nodeFails.Add(1)
+	for _, as := range affected {
+		as.ready.Store(nil)
+	}
+	for _, inst := range stops {
+		inst.Stop()
+	}
+	c.notifyAllActions()
 }
 
 // Close releases the pinned slot (idempotent). The release replicates
@@ -516,6 +732,9 @@ func (c *Cluster) claimFrom(snap []*Sandbox, only *Node, max int32) *Sandbox {
 		if only != nil && sb.node != only {
 			continue
 		}
+		if !c.nodeAvailable(sb.node) {
+			continue
+		}
 		ok, wasIdle := sb.tryClaim(max)
 		if !ok {
 			continue
@@ -549,6 +768,11 @@ func (c *Cluster) claimFrom(snap []*Sandbox, only *Node, max int32) *Sandbox {
 // only then the unhinted ladder: any ready slot, any node with room,
 // eviction.
 func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
+	if hint != nil && !c.nodeAvailable(hint) {
+		// A hint pointing at a crashed or breaker-open node is void: walking
+		// its locality rungs would only wait on capacity that cannot serve.
+		hint = nil
+	}
 	as.startMu.Lock()
 	if c.closed.Load() {
 		as.startMu.Unlock()
@@ -671,7 +895,7 @@ func (c *Cluster) reserveNode(as *actionState, hint *Node, evict bool) *Node {
 		return hint
 	}
 	for _, n := range c.nodes {
-		if n == hint {
+		if n == hint || !c.nodeAvailable(n) {
 			continue
 		}
 		n.mu.Lock()
@@ -703,6 +927,9 @@ func (c *Cluster) reserveNode(as *actionState, hint *Node, evict bool) *Node {
 }
 
 func (c *Cluster) tryReserve(n *Node, budget int64) bool {
+	if !c.nodeAvailable(n) {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.reserved+budget > n.MemoryBytes {
@@ -719,6 +946,9 @@ func (c *Cluster) tryReserve(n *Node, budget int64) bool {
 // sandboxes are never victims: candidates are claimed with a ready→dying CAS
 // and destroyed only if still idle.
 func (c *Cluster) evictAndReserve(n *Node, budget int64) bool {
+	if !c.nodeAvailable(n) {
+		return false
+	}
 	var stops []Instance
 	var victims []*Sandbox
 	ok := func() bool {
@@ -1065,6 +1295,9 @@ type Stats struct {
 	MemoryReserved int64
 	// ColdStarts, Invocations and Evictions are lifetime counters.
 	ColdStarts, Invocations, Evictions uint64
+	// NodeFailures counts node-crash teardowns (failNode sweeps that killed
+	// at least one sandbox).
+	NodeFailures uint64
 }
 
 // Stats returns a snapshot.
@@ -1072,9 +1305,10 @@ func (c *Cluster) Stats() Stats {
 	st := Stats{
 		Sandboxes:   map[string]int{},
 		Serving:     map[string]int{},
-		ColdStarts:  c.coldStarts.Load(),
-		Invocations: c.invocations.Load(),
-		Evictions:   c.evictions.Load(),
+		ColdStarts:   c.coldStarts.Load(),
+		Invocations:  c.invocations.Load(),
+		Evictions:    c.evictions.Load(),
+		NodeFailures: c.nodeFails.Load(),
 	}
 	for _, n := range c.nodes {
 		n.mu.Lock()
@@ -1109,6 +1343,11 @@ type NodeStat struct {
 	// WarmHits counts acquires served by a ready sandbox on this node;
 	// ColdStarts counts sandboxes started here (all actions).
 	WarmHits, ColdStarts uint64
+	// Health is the node's invoke-success EWMA in [0, 1] (1 = healthy).
+	Health float64
+	// BreakerOpen reports whether the node's circuit breaker currently
+	// refuses placement (open, or half-open with a probe in flight).
+	BreakerOpen bool
 }
 
 // NodeStats returns per-node scheduling state for the action, in node order.
@@ -1119,10 +1358,12 @@ func (c *Cluster) NodeStats(action string) []NodeStat {
 	out := make([]NodeStat, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		st := NodeStat{
-			Node:       n.Name,
-			Capacity:   n.MemoryBytes,
-			WarmHits:   n.warmHits.Load(),
-			ColdStarts: n.coldStarts.Load(),
+			Node:        n.Name,
+			Capacity:    n.MemoryBytes,
+			WarmHits:    n.warmHits.Load(),
+			ColdStarts:  n.coldStarts.Load(),
+			Health:      n.Health(),
+			BreakerOpen: n.brkState.Load() != brkClosed,
 		}
 		n.mu.Lock()
 		st.Reserved = n.reserved
@@ -1249,6 +1490,15 @@ func (c *Cluster) Close() {
 	}
 	c.amu.RUnlock()
 	for _, inst := range stops {
+		inst.Stop()
+	}
+	// Crash-killed instances that were in flight at fail time were parked
+	// rather than stopped; their calls have long returned by teardown.
+	c.orphanMu.Lock()
+	orphans := c.orphans
+	c.orphans = nil
+	c.orphanMu.Unlock()
+	for _, inst := range orphans {
 		inst.Stop()
 	}
 	c.notifyAllActions()

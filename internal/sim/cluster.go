@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -150,6 +151,11 @@ type Config struct {
 	// the live bench measures (predictive beats reactive on bursty traces)
 	// is reproducible deterministically.
 	Autoscale AutoscaleSpec
+	// Faults mirrors the live fault-injection plane (internal/faults) and
+	// the gateway's retry/failover recovery inside the discrete-event
+	// harness, so availability-under-faults curves are reproducible
+	// deterministically (same seed, same trace → same Result).
+	Faults FaultsSpec
 }
 
 // AutoscaleSpec mirrors autoscale.Config for the simulator.
@@ -365,6 +371,19 @@ type Result struct {
 	Preemptions int
 	// BatchSizes is the flushed batch-size distribution.
 	BatchSizes *metrics.Histogram
+	// Lost counts requests abandoned by a fault with the retry budget
+	// exhausted (or recovery off) — the availability gap the chaos
+	// experiment measures (live: gateway ErrRetriesExhausted outcomes).
+	Lost int
+	// Retries counts failover re-dispatches of faulted activations
+	// (live: gateway Stats.Retries).
+	Retries int
+	// KSRejects counts key fetches refused by an injected key-service
+	// outage (live: faults.Stats.KSRejects).
+	KSRejects int
+	// SandboxCrashes counts activations killed by injected sandbox death
+	// (live: faults.Stats.SandboxCrashes).
+	SandboxCrashes int
 	// End is the virtual completion time of the run.
 	End time.Duration
 }
@@ -380,6 +399,9 @@ type node struct {
 	pagers     int
 	launching  int
 	quoting    int
+	// down marks a crashed node (FaultsSpec.CrashAt): placement skips it and
+	// its in-flight activations fail over, mirroring the live breaker's view.
+	down bool
 }
 
 type sandboxState int
@@ -489,6 +511,10 @@ type request struct {
 	started time.Duration
 	slot    int
 	members []*request // nil for an unbatched request
+	// retries counts failed dispatch attempts (FaultsSpec.Retries budget);
+	// the re-queued entry keeps its original arrive, like the live gateway's
+	// fairness-neutral requeue.
+	retries int
 }
 
 // batchMembers returns the requests this queue entry carries: its batch
@@ -562,6 +588,10 @@ type Simulation struct {
 	// stepped once per Autoscale.Window.
 	asStreams map[string]*asStream
 	asActs    map[string]*asActState
+
+	// frng drives fault-injection draws (Config.Faults.Seed); the engine is
+	// otherwise deterministic, so seeding it pins the whole run.
+	frng *rand.Rand
 }
 
 // asStream is one (endpoint, model) stream's forecasting state — the
@@ -611,6 +641,9 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		s.nodes = append(s.nodes, &node{id: i, cores: cfg.CoresPerNode, memory: cfg.NodeMemory})
+	}
+	if cfg.Faults.Enabled {
+		s.frng = rand.New(rand.NewSource(cfg.Faults.Seed))
 	}
 	for i := range cfg.Actions {
 		a := &cfg.Actions[i]
@@ -662,6 +695,7 @@ func (s *Simulation) Run(trace workload.Trace) (*Result, error) {
 		ev := trace[i]
 		s.eng.At(ev.At, func() { s.arrive(ev) })
 	}
+	s.scheduleFaults()
 	// Periodic maintenance: keep-warm reaping + stats sampling, until a bit
 	// past the last arrival (long enough to drain, bounded to avoid
 	// infinite reap loops).
@@ -1100,7 +1134,7 @@ func (s *Simulation) homeFor(key string) *node {
 func (s *Simulation) electHome(key string, avoid *node) *node {
 	var best *node
 	for _, n := range s.nodes {
-		if n == avoid {
+		if n == avoid || n.down {
 			continue
 		}
 		if best == nil || s.homeCount[n] < s.homeCount[best] ||
@@ -1110,6 +1144,9 @@ func (s *Simulation) electHome(key string, avoid *node) *node {
 	}
 	if best == nil {
 		best = avoid // single-node cluster: nowhere else to go
+	}
+	if best == nil {
+		best = s.nodes[0] // every node down: park the home, retries re-elect
 	}
 	s.homes[key] = best
 	s.homeCount[best]++
@@ -1133,7 +1170,7 @@ func (s *Simulation) rehome(key string, old *node) *node {
 // action — it hosts live sandboxes of it, or has room to start one.
 func (s *Simulation) someOtherNodeUsable(home *node, spec *ActionSpec) bool {
 	for _, n := range s.nodes {
-		if n == home {
+		if n == home || n.down {
 			continue
 		}
 		if n.reserved+spec.MemoryBudget <= n.memory || s.hostedOn(n, spec) > 0 {
@@ -1168,7 +1205,7 @@ func (s *Simulation) startingOn(n *node, spec *ActionSpec) int {
 // startSandboxOn starts one sandbox of the action on n if its memory allows;
 // it never evicts (the home ladder treats eviction as a global-path measure).
 func (s *Simulation) startSandboxOn(n *node, spec *ActionSpec) bool {
-	if n.reserved+spec.MemoryBudget > n.memory {
+	if n.down || n.reserved+spec.MemoryBudget > n.memory {
 		return false
 	}
 	n.reserved += spec.MemoryBudget
@@ -1256,17 +1293,17 @@ func (s *Simulation) pickNode(spec *ActionSpec) *node {
 		}
 	}
 	for _, n := range s.nodes {
-		if hosting[n] && n.reserved+spec.MemoryBudget <= n.memory {
+		if hosting[n] && !n.down && n.reserved+spec.MemoryBudget <= n.memory {
 			return n
 		}
 	}
 	for _, n := range s.nodes {
-		if n.reserved+spec.MemoryBudget <= n.memory {
+		if !n.down && n.reserved+spec.MemoryBudget <= n.memory {
 			return n
 		}
 	}
 	for _, n := range s.nodes {
-		if s.evictFor(n, spec.MemoryBudget) {
+		if !n.down && s.evictFor(n, spec.MemoryBudget) {
 			return n
 		}
 	}

@@ -49,6 +49,17 @@ func (s *Simulation) serve(sb *sandbox, req *request) {
 		panic(err)
 	}
 	pr := &progress{phase: phEnclave, kind: semirt.Hot, stg: stg}
+	if s.crashDraw() {
+		// Injected sandbox death, drawn per dispatch like the live
+		// per-ECall coin: the sandbox dies mid-execution — after burning
+		// real work — and the activation fails over or is lost.
+		s.res.SandboxCrashes++
+		s.eng.After(stg.ModelExec, func() {
+			s.destroy(sb)
+			s.failActivation(sb, req)
+		})
+		return
+	}
 	// Per-activation platform overhead, charged while the slot is held. A
 	// formed batch is one activation (one queue entry, one slot), so the
 	// amortization the gateway measures is structural here.
@@ -62,6 +73,13 @@ func (s *Simulation) serve(sb *sandbox, req *request) {
 // advance runs the request's next due phase. Phases that are not needed are
 // skipped synchronously; phases with a duration schedule a continuation.
 func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
+	if sb.state == sbDead {
+		// The sandbox died under this activation (node crash): the phase
+		// continuation discovers the death here and fails over instead of
+		// advancing — the discrete-event ErrNodeDown.
+		s.failActivation(sb, req)
+		return
+	}
 	n := sb.node
 	now := s.eng.Now()
 	for {
@@ -85,7 +103,9 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			sb.enclaveReadyAt = now + d
 			s.eng.After(d, func() {
 				n.launching--
-				if !sb.enclaveUp {
+				// A sandbox that died while launching must not re-acquire
+				// EPC — destroy() already returned its accounting.
+				if !sb.enclaveUp && sb.state != sbDead {
 					sb.enclaveUp = true
 					n.epcUsed += sb.spec.EnclaveBytes
 				}
@@ -110,6 +130,14 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				sb.notePair(pair, s.cfg.keyCap()) // LRU touch on the hit path
 				pr.phase++
 				continue
+			}
+			if s.ksDown(now) {
+				// Injected key-service outage: the fetch is refused and the
+				// activation fails over — resident (cached) principals above
+				// never reach here, the live brownout's finish-resident rule.
+				s.res.KSRejects++
+				s.failActivation(sb, req)
+				return
 			}
 			// Joining an in-flight fetch of the same pair mirrors the live
 			// keyCache singleflight; the disabled cache has none (the live
@@ -515,6 +543,14 @@ func (s *Simulation) serveContinuous(sb *sandbox, req *request, pr *progress) {
 		}
 		m, k := m, k
 		s.eng.After(offsets[i], func() {
+			if sb.state == sbDead {
+				// The session's sandbox died before this member's final
+				// step: the member re-queues individually (session
+				// recovery) or is lost. Members that completed at earlier
+				// frames already landed.
+				s.failMember(m)
+				return
+			}
 			s.finishMember(m, started, s.eng.Now(), k)
 		})
 	}
@@ -523,7 +559,9 @@ func (s *Simulation) serveContinuous(sb *sandbox, req *request, pr *progress) {
 		if paging {
 			n.pagers--
 		}
-		s.releaseBatchSlot(sb, req, s.eng.Now())
+		if sb.state != sbDead {
+			s.releaseBatchSlot(sb, req, s.eng.Now())
+		}
 		s.finishBatch(req, s.eng.Now())
 	})
 }
