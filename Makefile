@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke frontier-snapshot frontier-smoke clean
 
 all: build vet test
 
@@ -42,6 +42,9 @@ hol-snapshot:
 chaos-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp chaos -json BENCH_chaos.json
 
+frontier-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp frontier -json BENCH_frontier.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -73,6 +76,12 @@ hol-smoke:
 # gate on the fault-tolerance claim behind BENCH_chaos.json.
 chaos-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp chaos -smoke
+
+# Tiny 2-shard frontier sweep: exits non-zero unless sharded throughput is at
+# least the single-shard baseline — the CI gate on the scaling claim behind
+# BENCH_frontier.json.
+frontier-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp frontier -smoke
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,7 @@
 //	loadgen -local -pattern poisson -rate 200 -duration 10s -max-batch 8
 //	loadgen -local -closed 64 -requests 32 -max-batch 8
 //	loadgen -local -closed 32 -exec-tail 10 -exec-steps 20 -continuous
+//	loadgen -local -closed 256 -shards 4
 //	loadgen -local -closed 32 -nodes 2 -chaos -retries 3 -crash-at 500ms -restore-at 1s
 //
 // The request keys derive from the same seeds cmd/owctl uses, so a
@@ -41,6 +42,7 @@ import (
 
 	"sesemi/internal/autoscale"
 	"sesemi/internal/bench"
+	"sesemi/internal/costmodel"
 	"sesemi/internal/faults"
 	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
@@ -75,6 +77,7 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "with -local: gateway batch formation deadline")
 	affinity := flag.Bool("affinity", false, "with -local: locality-aware batch routing (sticky per-model home nodes)")
 	localNodes := flag.Int("nodes", 1, "with -local: invoker node count")
+	shards := flag.Int("shards", 0, "with -local -closed: front the deployment with a sharded frontier of this many gateway shards (one tenant per client; 0/1 = the single gateway)")
 	localModels := flag.Int("local-models", 1, "with -local: model ids deployed on the action")
 	tenants := flag.Int("tenants", 0, "with -local: tenants drawing Zipf-skewed load through the v2 Submit surface (0 = single default tenant via Do)")
 	tenantSkew := flag.Float64("tenant-skew", 1.2, "with -local -tenants: Zipf skew s (>1; larger = hotter hottest tenant)")
@@ -129,6 +132,12 @@ func main() {
 		if *users > 1 && *tenants > 0 {
 			log.Fatal("loadgen: -users and -tenants are mutually exclusive")
 		}
+		if *shards > 1 && (*tenants > 0 || *users > 1) {
+			log.Fatal("loadgen: -shards drives its own tenant-per-client mix; it is mutually exclusive with -tenants/-users")
+		}
+		if *shards > 1 && *closed <= 0 {
+			log.Fatal("loadgen: -shards requires -closed (the frontier sweep is a closed-loop measurement)")
+		}
 		if *execTail < 0 || (*execTail > 0 && *execSteps < 2) {
 			log.Fatal("loadgen: -exec-tail must be >= 0 and -exec-steps >= 2 when a tail is requested")
 		}
@@ -142,7 +151,7 @@ func main() {
 			closed: *closed, requests: *requests, maxBatch: *maxBatch, maxWait: *maxWait,
 			pattern: *pattern, rate: *rate, rate2: *rate2, duration: *duration,
 			seed: *seed, user: *userSeed,
-			affinity: *affinity, nodes: *localNodes, models: *localModels,
+			affinity: *affinity, nodes: *localNodes, models: *localModels, shards: *shards,
 			tenants: *tenants, skew: *tenantSkew, quota: *tenantQuota,
 			users: *users, userSkew: *userSkew, groupUsers: *groupUsers, keyCache: *keyCache,
 			period: *period, autoscale: *autoscaleOn, sandboxStart: *sandboxStart, keepWarm: *keepWarm,
@@ -290,7 +299,7 @@ type localCfg struct {
 	seed                       int64
 	user                       string
 	affinity                   bool
-	nodes, models              int
+	nodes, models, shards      int
 	tenants                    int
 	skew                       float64
 	quota                      int
@@ -341,6 +350,7 @@ func runLocal(c localCfg) {
 		KeyCacheSize: c.keyCache,
 		SandboxStart: c.sandboxStart,
 		KeepWarm:     c.keepWarm,
+		Shards:       c.shards,
 		Gateway: gateway.Config{
 			MaxBatch:     maxBatch,
 			MaxWait:      maxWait,
@@ -423,6 +433,9 @@ func runLocal(c localCfg) {
 	}
 	if closed > 0 {
 		fmt.Printf("loadgen: closed loop, %d clients x %d requests, MaxBatch=%d affinity=%v\n", closed, requests, maxBatch, c.affinity)
+		if c.shards > 1 {
+			fmt.Printf("loadgen: sharded frontier, %d gateway shards, one tenant per client\n", c.shards)
+		}
 		if c.execTail > 0 {
 			fmt.Printf("loadgen: heavy tail: every %d-th request runs %d steps x %v, continuous=%v\n",
 				c.execTail, c.execSteps, c.execCost, c.continuous)
@@ -439,7 +452,17 @@ func runLocal(c localCfg) {
 			}
 			return w.DoGatewayFor(ctx, model, seed)
 		}
-		r := bench.ClosedLoop("gateway", closed, requests, do)
+		mode := "gateway"
+		if c.shards > 1 {
+			// Route through the frontier, one tenant per client, so the ring
+			// spreads the closed-loop mix across shards by (model, tenant).
+			mode = "frontier"
+			do = func(ctx context.Context, seed int) (semirt.Response, error) {
+				tenant := fmt.Sprintf("t%d", seed/requests)
+				return w.DoFrontierAs(ctx, tenant, w.Models[seed%len(w.Models)], seed)
+			}
+		}
+		r := bench.ClosedLoop(mode, closed, requests, do)
 		fmt.Printf("completed %d ok, %d failed in %.2fs (%.0f req/s)\n",
 			r.Requests-r.Errors, r.Errors, r.Seconds, r.RPS)
 		fmt.Printf("latency: mean %.1fms  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
@@ -476,6 +499,19 @@ func runLocal(c localCfg) {
 	}
 	gs := w.Gateway.Stats()
 	gm := w.Gateway.Metrics()
+	if c.shards > 1 {
+		// The frontier carried the traffic: report its merged view (the plain
+		// gateway only served the world's warm-up request).
+		fs := w.Frontier.Stats()
+		fm := w.Frontier.Metrics()
+		gs, gm = fs.Stats, &fm
+		perShard := make([]float64, len(fs.PerShard))
+		for i, s := range fs.PerShard {
+			perShard[i] = float64(s.Accepted)
+		}
+		fmt.Printf("frontier: %d shards, %d spills, %d steals moving %d requests, imbalance %.2f\n",
+			c.shards, fs.Spills, fs.Steals, fs.Stolen, costmodel.ShardImbalance(perShard))
+	}
 	fmt.Printf("gateway: %d batches (mean %.1f, p95 %.0f), %d rejected, %d prewarmed\n",
 		gs.Batches, gm.BatchSizes.Mean(), gm.BatchSizes.Quantile(0.95), gs.Rejected, gs.Prewarmed)
 	if c.continuous {

@@ -12,6 +12,7 @@
 //	sesemi-bench -exp autoscale -json BENCH_autoscale.json
 //	sesemi-bench -exp hol -json BENCH_hol.json
 //	sesemi-bench -exp chaos -json BENCH_chaos.json
+//	sesemi-bench -exp frontier -json BENCH_frontier.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 //	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
@@ -19,6 +20,8 @@
 //	sesemi-bench -exp hol -smoke        (tiny CI configuration)
 //	sesemi-bench -exp chaos -smoke      (tiny CI configuration; exits non-zero
 //	                                     if any request is lost with recovery on)
+//	sesemi-bench -exp frontier -smoke   (2-shard world; exits non-zero unless
+//	                                     sharded throughput ≥ single-shard)
 package main
 
 import (
@@ -34,12 +37,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol or chaos: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol or chaos: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos or frontier: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol, chaos or frontier: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol or chaos"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" && *exp != "frontier" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol, chaos or frontier"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -125,8 +128,20 @@ func main() {
 			if snap.LostWithRecovery > 0 {
 				fatal(fmt.Errorf("chaos: %d requests lost with recovery enabled (want 0)", snap.LostWithRecovery))
 			}
+		case "frontier":
+			cfg := bench.FrontierBenchConfig{}
+			if *smoke {
+				cfg = bench.FrontierSmokeConfig()
+			}
+			snap, err := bench.WriteFrontierSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			first, last := snap.Runs[0], snap.Runs[len(snap.Runs)-1]
+			fmt.Printf("frontier snapshot → %s (%d shard %.0f req/s → %d shards %.0f req/s, %.2fx)\n",
+				*jsonOut, first.Shards, first.RPS, last.Shards, last.RPS, last.Speedup)
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol or chaos"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos or frontier"))
 		}
 		return
 	}
@@ -180,6 +195,24 @@ func main() {
 			// recovery plane armed must lose nothing.
 			if snap.LostWithRecovery > 0 {
 				fatal(fmt.Errorf("chaos: %d requests lost with recovery enabled (want 0)", snap.LostWithRecovery))
+			}
+		case "frontier":
+			snap, err := bench.RunFrontierBench(bench.FrontierSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			single, sharded := snap.Runs[0], snap.Runs[len(snap.Runs)-1]
+			fmt.Printf("frontier smoke: %d shard %.0f req/s, %d shards %.0f req/s (%.2fx), admit %.0f → %.0f ops/s\n",
+				single.Shards, single.RPS, sharded.Shards, sharded.RPS, sharded.Speedup,
+				snap.Contention[0].OpsPerSec, snap.Contention[len(snap.Contention)-1].OpsPerSec)
+			// The smoke is a gate: a sharded frontier that serves a hot
+			// stream SLOWER than one gateway means routing or stealing broke.
+			if sharded.RPS < single.RPS {
+				fatal(fmt.Errorf("frontier: %d-shard throughput %.0f req/s below single-shard %.0f req/s",
+					sharded.Shards, sharded.RPS, single.RPS))
+			}
+			if sharded.Errors > 0 || single.Errors > 0 {
+				fatal(fmt.Errorf("frontier: smoke run had errors (%d/%d)", single.Errors, sharded.Errors))
 			}
 		}
 		return

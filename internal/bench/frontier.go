@@ -1,0 +1,358 @@
+package bench
+
+// The frontier experiment: throughput and tail latency vs shard count at high
+// closed-loop client counts, the scaling curve BENCH_frontier.json commits.
+//
+// The system under test is the serving TIER — the sharded frontier and its
+// per-shard gateways — so the backend is modeled: one activation costs
+// InvokeOverhead plus ExecCost per batch member on the wall clock (the
+// enclave executes members sequentially), with unbounded concurrency. That
+// makes the measured ceiling exactly the tier's own: a single gateway bounds
+// one hot (action, model) stream to MaxInFlight × MaxBatch requests in
+// flight, and the frontier multiplies that ceiling by routing the stream's
+// tenants across shards — each shard owns its own queue, dispatch bound and
+// mutex. The sharded cluster's own scaling is the routing experiment's
+// subject (BENCH_routing.json), not this one's.
+//
+// The contention check drives the admit path with a free backend (zero
+// modeled cost), so the measured ops/s is dominated by admission itself:
+// ring lookup + per-shard mutex. Flat-or-rising ops/s as shards grow is the
+// observable form of "no global lock on the admit hot path" — a frontier
+// that serialized admissions would degrade as shard count (and therefore
+// goroutine churn per op) rises.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/frontier"
+	"sesemi/internal/gateway"
+	"sesemi/internal/metrics"
+	"sesemi/internal/semirt"
+)
+
+// modeledBackend is a gateway.Invoker charging modeled batch service time:
+// overhead once per activation plus exec per member, then echoing payloads
+// hot. Concurrency is unbounded — capacity pressure comes from the serving
+// tier's own bounds.
+type modeledBackend struct {
+	overhead, exec time.Duration
+}
+
+func (m *modeledBackend) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
+	_, batch, err := semirt.DecodeEnvelope(payload)
+	if err != nil {
+		return nil, err
+	}
+	if d := m.overhead + time.Duration(len(batch))*m.exec; d > 0 {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	results := make([]semirt.BatchResult, len(batch))
+	for i, r := range batch {
+		results[i].Response = semirt.Response{Payload: r.Payload, Kind: semirt.Hot}
+	}
+	return semirt.EncodeBatchResults(results)
+}
+
+// FrontierBenchConfig sizes the scaling sweep.
+type FrontierBenchConfig struct {
+	// Clients is the closed-loop client count (default 1024). Each client is
+	// its own tenant, so the ring spreads the one hot model's traffic across
+	// shards by tenant.
+	Clients int
+	// PerClient is requests per client (default 4).
+	PerClient int
+	// ShardCounts is the sweep (default 1, 2, 4, 8).
+	ShardCounts []int
+	// InvokeOverhead and ExecCost shape the modeled activation
+	// (default 2ms + 4ms per member).
+	InvokeOverhead, ExecCost time.Duration
+	// MaxBatch and MaxInFlight are the per-shard gateway bounds
+	// (default 8 and 2): one shard's ceiling on a single hot stream is their
+	// product, which is what sharding multiplies.
+	MaxBatch, MaxInFlight int
+	// ContentionOps is the total admit-path operations per shard count in
+	// the contention check (default 16384).
+	ContentionOps int
+}
+
+func (c *FrontierBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 1024
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 4
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if c.InvokeOverhead <= 0 {
+		c.InvokeOverhead = 2 * time.Millisecond
+	}
+	if c.ExecCost <= 0 {
+		c.ExecCost = 4 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.ContentionOps <= 0 {
+		c.ContentionOps = 16384
+	}
+}
+
+// FrontierSmokeConfig is the tiny CI configuration: a 2-shard world the
+// frontier-smoke gate compares against single-shard.
+func FrontierSmokeConfig() FrontierBenchConfig {
+	return FrontierBenchConfig{
+		Clients:        128,
+		PerClient:      2,
+		ShardCounts:    []int{1, 2},
+		InvokeOverhead: time.Millisecond,
+		ExecCost:       2 * time.Millisecond,
+		ContentionOps:  2048,
+	}
+}
+
+// FrontierShardResult is one shard count's measured outcome.
+type FrontierShardResult struct {
+	Shards   int     `json:"shards"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"rps"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// Speedup is RPS relative to the sweep's single-shard run.
+	Speedup float64 `json:"speedup"`
+	// Spills/Steals/Stolen are the frontier's saturation-handling counters.
+	Spills uint64 `json:"spills"`
+	Steals uint64 `json:"steals"`
+	Stolen uint64 `json:"stolen"`
+	// Imbalance is costmodel.ShardImbalance over per-shard accepted counts
+	// (max/mean; 1.0 is perfectly balanced).
+	Imbalance        float64  `json:"imbalance"`
+	PerShardAccepted []uint64 `json:"per_shard_accepted"`
+}
+
+// FrontierContentionResult is one shard count's admit-path measurement
+// against a free backend.
+type FrontierContentionResult struct {
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// FrontierSnapshot is the BENCH_frontier.json payload.
+type FrontierSnapshot struct {
+	Clients        int                        `json:"clients"`
+	PerClient      int                        `json:"requests_per_client"`
+	Backend        string                     `json:"backend"`
+	InvokeOverhead string                     `json:"invoke_overhead"`
+	ExecCost       string                     `json:"exec_cost"`
+	MaxBatch       int                        `json:"max_batch"`
+	MaxInFlight    int                        `json:"max_in_flight"`
+	Runs           []FrontierShardResult      `json:"runs"`
+	Contention     []FrontierContentionResult `json:"contention"`
+}
+
+func frontierConfig(cfg FrontierBenchConfig, shards int) frontier.Config {
+	return frontier.Config{
+		Config: gateway.Config{
+			MaxBatch:    cfg.MaxBatch,
+			MaxWait:     2 * time.Millisecond,
+			MaxQueue:    4096,
+			MaxInFlight: cfg.MaxInFlight,
+			TenantQuota: 4096,
+		},
+		Shards: shards,
+	}
+}
+
+// runFrontierShards drives clients×perClient requests closed-loop through a
+// k-shard frontier, one tenant per client, one hot (action, model) stream.
+func runFrontierShards(cfg FrontierBenchConfig, shards int) FrontierShardResult {
+	f := frontier.New(frontierConfig(cfg, shards),
+		&modeledBackend{overhead: cfg.InvokeOverhead, exec: cfg.ExecCost})
+	defer f.Close()
+
+	var lat metrics.Latency
+	var mu sync.Mutex
+	errs := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := "t" + strconv.Itoa(c)
+			for i := 0; i < cfg.PerClient; i++ {
+				t0 := time.Now()
+				tk, err := f.Submit(context.Background(), gateway.Request{
+					Action: "fn",
+					Tenant: tenant,
+					Body:   semirt.Request{ModelID: "m", Payload: []byte{byte(c), byte(i)}},
+				})
+				if err == nil {
+					_, err = tk.Wait(context.Background())
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					lat.Add(d)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := f.Stats()
+	accepted := make([]uint64, len(st.PerShard))
+	perShard := make([]float64, len(st.PerShard))
+	for i, s := range st.PerShard {
+		accepted[i] = s.Accepted
+		perShard[i] = float64(s.Accepted)
+	}
+	n := cfg.Clients * cfg.PerClient
+	return FrontierShardResult{
+		Shards:           shards,
+		Requests:         n,
+		Errors:           errs,
+		Seconds:          elapsed.Seconds(),
+		RPS:              float64(n-errs) / elapsed.Seconds(),
+		MeanMs:           float64(lat.Mean()) / 1e6,
+		P50Ms:            float64(lat.Percentile(50)) / 1e6,
+		P99Ms:            float64(lat.Percentile(99)) / 1e6,
+		Spills:           st.Spills,
+		Steals:           st.Steals,
+		Stolen:           st.Stolen,
+		Imbalance:        costmodel.ShardImbalance(perShard),
+		PerShardAccepted: accepted,
+	}
+}
+
+// runFrontierContention measures the admit path against a free backend.
+// Batching is disabled (MaxBatch 1, generous dispatch slots): a formed batch
+// waits out MaxWait whenever a shard's queue runs shallower than MaxBatch,
+// which at high shard counts would measure the formation timer, not
+// admission. With batch size 1 every op is admit → dispatch → settle, so
+// ops/s tracks the path under test: ring lookup plus the shard's own mutex.
+func runFrontierContention(cfg FrontierBenchConfig, shards int) FrontierContentionResult {
+	fcfg := frontierConfig(cfg, shards)
+	fcfg.MaxBatch = 1
+	fcfg.MaxInFlight = 64
+	f := frontier.New(fcfg, &modeledBackend{})
+	defer f.Close()
+
+	const workers = 64
+	perWorker := cfg.ContentionOps / workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := "t" + strconv.Itoa(c)
+			for i := 0; i < perWorker; i++ {
+				tk, err := f.Submit(context.Background(), gateway.Request{
+					Action: "fn",
+					Tenant: tenant,
+					Body:   semirt.Request{ModelID: "m", Payload: []byte{byte(c)}},
+				})
+				if err == nil {
+					_, _ = tk.Wait(context.Background())
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := workers * perWorker
+	return FrontierContentionResult{
+		Shards:    shards,
+		Ops:       ops,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+	}
+}
+
+// RunFrontierBench runs the shard-count sweep and the contention check.
+func RunFrontierBench(cfg FrontierBenchConfig) (*FrontierSnapshot, error) {
+	cfg.defaults()
+	snap := &FrontierSnapshot{
+		Clients:        cfg.Clients,
+		PerClient:      cfg.PerClient,
+		Backend:        "modeled: InvokeOverhead + batch×ExecCost per activation, unbounded concurrency",
+		InvokeOverhead: cfg.InvokeOverhead.String(),
+		ExecCost:       cfg.ExecCost.String(),
+		MaxBatch:       cfg.MaxBatch,
+		MaxInFlight:    cfg.MaxInFlight,
+	}
+	for _, k := range cfg.ShardCounts {
+		r := runFrontierShards(cfg, k)
+		if len(snap.Runs) > 0 && snap.Runs[0].RPS > 0 {
+			r.Speedup = r.RPS / snap.Runs[0].RPS
+		} else if len(snap.Runs) == 0 {
+			r.Speedup = 1
+		}
+		snap.Runs = append(snap.Runs, r)
+	}
+	for _, k := range cfg.ShardCounts {
+		snap.Contention = append(snap.Contention, runFrontierContention(cfg, k))
+	}
+	return snap, nil
+}
+
+// WriteFrontierSnapshot runs the sweep and writes BENCH_frontier.json.
+func WriteFrontierSnapshot(path string, cfg FrontierBenchConfig) (*FrontierSnapshot, error) {
+	snap, err := RunFrontierBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runFrontierExperiment(w io.Writer) error {
+	header(w, "Frontier: throughput vs shard count (1024 closed-loop clients, one hot model)")
+	snap, err := RunFrontierBench(FrontierBenchConfig{})
+	if err != nil {
+		return err
+	}
+	for _, r := range snap.Runs {
+		fmt.Fprintf(w, "%d shard(s): %6.0f req/s (%.2fx)  p50 %6.1fms  p99 %6.1fms  imbalance %.2f  spills %d  stolen %d\n",
+			r.Shards, r.RPS, r.Speedup, r.P50Ms, r.P99Ms, r.Imbalance, r.Spills, r.Stolen)
+	}
+	for _, c := range snap.Contention {
+		fmt.Fprintf(w, "admit contention, %d shard(s): %.0f ops/s\n", c.Shards, c.OpsPerSec)
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "frontier",
+		Title: "Frontier: sharded gateway tier throughput scaling",
+		Run:   runFrontierExperiment,
+	})
+}

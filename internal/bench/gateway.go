@@ -15,6 +15,7 @@ import (
 	"sesemi/internal/costmodel"
 	"sesemi/internal/enclave"
 	"sesemi/internal/faults"
+	"sesemi/internal/frontier"
 	"sesemi/internal/gateway"
 	"sesemi/internal/inference"
 	_ "sesemi/internal/inference/tinytflm"
@@ -40,6 +41,10 @@ import (
 type LiveWorld struct {
 	Cluster *serverless.Cluster
 	Gateway *gateway.Gateway
+	// Frontier is the sharded gateway tier over the same cluster (nil unless
+	// LiveWorldConfig.Shards > 1). The plain Gateway stays available — the
+	// frontier's shards are their own gateway instances.
+	Frontier *frontier.Frontier
 	// Autoscaler is the predictive controller wired between the gateway and
 	// the cluster (nil unless LiveWorldConfig.Autoscale is set).
 	Autoscaler *autoscale.Controller
@@ -146,6 +151,12 @@ type LiveWorldConfig struct {
 	KSBrownout     time.Duration
 	// Gateway tunes the front-end; zero values take gateway defaults.
 	Gateway gateway.Config
+	// Shards, when > 1, additionally builds a sharded frontier
+	// (internal/frontier) of that many gateway shards over the same cluster;
+	// FrontierConfig tunes its routing/spill/steal knobs (the embedded
+	// gateway.Config and Shards are filled from this struct).
+	Shards         int
+	FrontierConfig frontier.Config
 }
 
 // NewLiveWorld builds the deployment, deploys one functional mbnet model and
@@ -378,6 +389,13 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	}
 	w.Gateway = gateway.New(cfg.Gateway, w.Cluster)
 	w.closers = append(w.closers, w.Gateway.Close)
+	if cfg.Shards > 1 {
+		fcfg := cfg.FrontierConfig
+		fcfg.Config = cfg.Gateway
+		fcfg.Shards = cfg.Shards
+		w.Frontier = frontier.New(fcfg, w.Cluster)
+		w.closers = append(w.closers, w.Frontier.Close)
+	}
 
 	// Warm one sandbox end to end so both access paths start hot.
 	if _, err := w.DoDirect(context.Background(), 0); err != nil {
@@ -522,6 +540,23 @@ func (w *LiveWorld) DoGatewayAs(ctx context.Context, tenant string, deadline tim
 	}
 	tk, err := w.Gateway.Submit(ctx, gateway.Request{
 		Action: w.Action, Tenant: tenant, Deadline: deadline, Body: req,
+	})
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	return tk.Wait(ctx)
+}
+
+// DoFrontierAs sends one request through the sharded frontier under a
+// tenant: the frontier routes it by (action, model, tenant) to its home
+// shard, spilling on overload. Requires LiveWorldConfig.Shards > 1.
+func (w *LiveWorld) DoFrontierAs(ctx context.Context, tenant, modelID string, seed int) (semirt.Response, error) {
+	req, err := w.RequestFor(modelID, seed)
+	if err != nil {
+		return semirt.Response{}, err
+	}
+	tk, err := w.Frontier.Submit(ctx, gateway.Request{
+		Action: w.Action, Tenant: tenant, Body: req,
 	})
 	if err != nil {
 		return semirt.Response{}, err

@@ -658,6 +658,56 @@ func RetryOverhead(retries int, base, cap time.Duration) time.Duration {
 	return total
 }
 
+// ShardImbalance is the hot-shard load factor of a sharded gateway tier: the
+// busiest shard's load divided by the mean shard load,
+//
+//	I = max(load_s) / mean(load_s)
+//
+// 1.0 is a perfectly balanced ring; the frontier's throughput ceiling scales
+// like N/I shards-worth of single-shard capacity, because the hottest shard
+// saturates first while the rest idle — which is exactly the gap the spill
+// and work-stealing paths close (they shave I back toward 1 by moving the
+// hot shard's overflow to its ring successors). Consistent hashing with V
+// virtual nodes per shard lands at I ≈ 1 + O(√(ln N / V)) for uniform keys,
+// so raising VirtualNodes tightens the ring before stealing has to act.
+// Empty, all-zero, or negative-only input returns 0 (no load, no imbalance).
+func ShardImbalance(perShard []float64) float64 {
+	var sum, max float64
+	n := 0
+	for _, v := range perShard {
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+		if v > max {
+			max = v
+		}
+		n++
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(n))
+}
+
+// StealOverhead is the scheduling cost of `steals` work-stealing operations,
+// each moving one queue drain between shards at perSteal (two shard-lock
+// crossings plus the re-enqueue, ~single-digit microseconds in-process):
+//
+//	O_steal = steals × perSteal
+//
+// The frontier's answer to ShardImbalance is not free — this is its price,
+// reported alongside the throughput it recovers so the bench can show the
+// trade explicitly (steals are rare and batch-granular, so O_steal stays
+// far below the queueing delay the stolen requests would otherwise accrue
+// on the saturated shard). Non-positive inputs return 0.
+func StealOverhead(steals int, perSteal time.Duration) time.Duration {
+	if steals <= 0 || perSteal <= 0 {
+		return 0
+	}
+	return time.Duration(steals) * perSteal
+}
+
 // AvailabilityUnderFaults is the probability a request is eventually served
 // when each independent dispatch attempt fails with probability failProb and
 // the gateway makes `attempts` total attempts (1 + MaxRetries):

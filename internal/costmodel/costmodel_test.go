@@ -640,6 +640,47 @@ func TestRetryOverhead(t *testing.T) {
 	}
 }
 
+func TestShardImbalance(t *testing.T) {
+	// Perfectly balanced ring: every shard carries the mean, I = 1.
+	if got := ShardImbalance([]float64{10, 10, 10, 10}); got != 1 {
+		t.Fatalf("balanced I = %v, want 1", got)
+	}
+	// One hot shard at 4x the others' load: max=40, mean=17.5, I ≈ 2.2857.
+	if got := ShardImbalance([]float64{40, 10, 10, 10}); math.Abs(got-40/17.5) > 1e-12 {
+		t.Fatalf("hot-shard I = %v, want %v", got, 40/17.5)
+	}
+	// All load on one shard of N: I = N (the worst case sharding can hit).
+	if got := ShardImbalance([]float64{100, 0, 0, 0}); got != 4 {
+		t.Fatalf("single-hot I = %v, want 4 (= N)", got)
+	}
+	// Single shard is trivially balanced.
+	if got := ShardImbalance([]float64{7}); got != 1 {
+		t.Fatalf("one shard I = %v, want 1", got)
+	}
+	// Negative loads clamp to zero rather than poisoning the mean.
+	if got := ShardImbalance([]float64{10, -5, 10}); math.Abs(got-10/(20.0/3)) > 1e-12 {
+		t.Fatalf("clamped I = %v, want 1.5", got)
+	}
+	if ShardImbalance(nil) != 0 || ShardImbalance([]float64{0, 0}) != 0 {
+		t.Fatal("no load must report no imbalance")
+	}
+}
+
+func TestStealOverhead(t *testing.T) {
+	// Six steals at 5µs per drain move: 30µs total scheduling tax.
+	if got := StealOverhead(6, 5*time.Microsecond); got != 30*time.Microsecond {
+		t.Fatalf("O_steal = %v, want 30µs", got)
+	}
+	// Linear in steal count, same shape as PreemptionOverhead.
+	if StealOverhead(12, 5*time.Microsecond) != 2*StealOverhead(6, 5*time.Microsecond) {
+		t.Fatal("overhead must be linear in steal count")
+	}
+	if StealOverhead(0, time.Second) != 0 || StealOverhead(-2, time.Second) != 0 ||
+		StealOverhead(3, 0) != 0 || StealOverhead(3, -time.Microsecond) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}
+
 func TestAvailabilityUnderFaults(t *testing.T) {
 	// Coin-flip attempt failure, four attempts: 1 - 0.5^4 = 93.75%.
 	if got := AvailabilityUnderFaults(0.5, 4); got != 0.9375 {

@@ -1,0 +1,134 @@
+package frontier
+
+// The consistent-hash ring. Each shard owns VirtualNodes points on a 64-bit
+// hash circle; a request's (action, model, tenant) key hashes to a point and
+// is served by the first shard clockwise from it. Virtual nodes bound the
+// load spread — with V points per shard the busiest shard carries
+// ≈ 1 + O(√(ln N / V)) of the mean for uniform keys (costmodel.ShardImbalance
+// is the measured counterpart) — while keeping the ring small enough that a
+// lookup is one binary search over a read-only slice.
+//
+// The ring is immutable after construction and published through an
+// atomic.Pointer: the admit path loads the snapshot and searches it without
+// taking any lock, which is what keeps the frontier's hot path free of
+// global synchronization (the per-shard gateway mutex is the only lock a
+// Submit ever takes).
+
+import "sort"
+
+// FNV-1a 64-bit, inlined so the admit path hashes without allocating.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+// mix64 is a splitmix64-style finalizer. FNV-1a's avalanche is weak in the
+// high bits for short, near-sequential inputs — both tiny vnode integers and
+// tenant names like "t1"…"t1024" come out clustered on the circle, which
+// shows up directly as routing imbalance (empirically: whole shards with
+// zero keys at 8 shards). The finalizer spreads them uniformly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// routeKey hashes the routing key (action, model, tenant), separator-framed
+// exactly like the gateway's queue keys so "a"+"bc" and "ab"+"c" cannot
+// collide.
+func routeKey(action, model, tenant string) uint64 {
+	h := fnvString(fnvOffset, action)
+	h = fnvByte(h, 0x1f)
+	h = fnvString(h, model)
+	h = fnvByte(h, 0x1f)
+	h = fnvString(h, tenant)
+	return mix64(h)
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ring is an immutable consistent-hash ring snapshot.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+// vnodeHash positions virtual node v of shard s (mix64-finalized like every
+// ring position). Build-time only; lookups never hash vnodes.
+func vnodeHash(s, v int) uint64 {
+	h := fnvOffset
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(uint64(s)>>(8*i)))
+	}
+	h = fnvByte(h, 0x1f)
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(uint64(v)>>(8*i)))
+	}
+	return mix64(h)
+}
+
+// newRing builds the ring for shards × vnodes points.
+func newRing(shards, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*vnodes), shards: shards}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by shard so the sort — and
+		// therefore routing — is deterministic across processes.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// shardsFor appends up to k DISTINCT shard indices to out, walking clockwise
+// from h's successor point: out[0] is the key's home shard, the rest are its
+// spill candidates in ring order. Read-only over the immutable snapshot —
+// safe from any goroutine without synchronization.
+func (r *ring) shardsFor(h uint64, k int, out []int) []int {
+	if k > r.shards {
+		k = r.shards
+	}
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	for n := 0; n < len(r.points) && len(out) < k; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		dup := false
+		for _, s := range out {
+			if s == p.shard {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -98,6 +98,13 @@ type Ticket struct {
 	g *Gateway
 	q *queue
 	p *pending
+	// done is p's result channel, captured at mint: envelopes recycle through
+	// a pool (pool.go) and p.done is reassigned on reuse, but THIS ticket's
+	// outcome only ever arrives on the channel its own Submit created.
+	done chan result
+	// gen is p's recycle generation at mint; Cancel compares it against the
+	// envelope's live generation before trusting the p pointer.
+	gen uint64
 
 	once    sync.Once
 	settled chan struct{}
@@ -105,14 +112,17 @@ type Ticket struct {
 }
 
 func newTicket(g *Gateway, q *queue, p *pending) *Ticket {
-	return &Ticket{g: g, q: q, p: p, settled: make(chan struct{})}
+	return &Ticket{g: g, q: q, p: p, done: p.done, gen: p.gen.Load(), settled: make(chan struct{})}
 }
 
-// settle records the ticket's single outcome (first caller wins).
+// settle records the ticket's single outcome (first caller wins) and retires
+// the envelope: by the pooling discipline the result send was the gateway's
+// last touch of p, so the first settler owns it and may recycle it.
 func (t *Ticket) settle(r result) {
 	t.once.Do(func() {
 		t.res = r
 		close(t.settled)
+		t.g.releasePending(t.p)
 	})
 }
 
@@ -122,7 +132,7 @@ func (t *Ticket) settle(r result) {
 // Cancel to withdraw. Wait may be called repeatedly and concurrently.
 func (t *Ticket) Wait(ctx context.Context) (semirt.Response, error) {
 	select {
-	case r := <-t.p.done:
+	case r := <-t.done:
 		t.settle(r)
 	case <-t.settled:
 	case <-ctx.Done():
@@ -154,6 +164,14 @@ func (t *Ticket) WaitCtx(ctx context.Context) (semirt.Response, error) {
 func (t *Ticket) Cancel() bool {
 	g := t.g
 	g.mu.Lock()
+	if t.p.gen.Load() != t.gen {
+		// The envelope was settled and recycled (possibly re-enqueued for an
+		// unrelated request, possibly in this very queue): the pointer match
+		// below would withdraw an innocent request. Our own request is long
+		// answered — Cancel is simply too late.
+		g.mu.Unlock()
+		return false
+	}
 	removed := t.q.removeLocked(t.p)
 	if removed {
 		g.pending--
@@ -214,15 +232,19 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		g.tenantRejected.Add(1)
 		return nil, ErrTenantOverloaded
 	}
-	p := &pending{
-		req:      req.Body,
-		tenant:   req.Tenant,
-		group:    req.groupKey(),
-		prio:     req.Priority,
-		deadline: req.Deadline,
-		done:     make(chan result, 1),
-		enq:      now,
-	}
+	// Envelope from the pool (pool.go): every field is overwritten here, and
+	// the done channel is always fresh — a recycled channel could let a stale
+	// waiter from the envelope's previous life steal this request's result.
+	p := g.newPendingLocked()
+	p.req = req.Body
+	p.tenant = req.Tenant
+	p.group = req.groupKey()
+	p.prio = req.Priority
+	p.deadline = req.Deadline
+	p.done = make(chan result, 1)
+	p.enq = now
+	p.resumed = false
+	p.retries = 0
 	q.enqueueLocked(tq, p)
 	g.pending++
 	g.accepted.Add(1)

@@ -329,6 +329,11 @@ type pending struct {
 	// retries counts dispatch attempts that failed retryably for this request
 	// (bounded by Config.MaxRetries).
 	retries int
+	// gen is the envelope's recycle generation (see pool.go): bumped at every
+	// releasePending, captured by the Ticket at mint, checked by Cancel before
+	// the pointer-matching removal. Atomic because the settle that bumps it
+	// does not hold g.mu.
+	gen atomic.Uint64
 }
 
 // tenantQ is one tenant's sub-queue inside a (action, model) queue: the
@@ -610,6 +615,11 @@ type Stats struct {
 	// BackendPanics counts panics recovered in the dispatch path (each failed
 	// its batch with ErrBackendPanic and, with retries enabled, was retried).
 	BackendPanics uint64
+	// StolenOut counts requests this gateway gave up to a stealing peer
+	// (StealQueue); StolenIn counts requests adopted from one (AcceptStolen).
+	// A stolen request's admission stays on the source and its outcome lands
+	// on the destination, so cross-shard sums still balance.
+	StolenOut, StolenIn uint64
 	// Prewarmed counts sandboxes started by prewarming.
 	Prewarmed uint64
 	// Rehomes counts affinity re-homing decisions (a queue abandoning a
@@ -671,9 +681,15 @@ type Gateway struct {
 
 	m Metrics
 
+	// pool recycles request envelopes (pool.go). Per-gateway on purpose: all
+	// writes to a pooled envelope's fields then happen under this gateway's
+	// mu, which is what makes stale-ticket reads race-free.
+	pool sync.Pool
+
 	accepted, rejected, tenantRejected, shed, canceled atomic.Uint64
 	batches, served, prewarmed, rehomes, preemptions   atomic.Uint64
 	retries, panics                                    atomic.Uint64
+	stolenIn, stolenOut                                atomic.Uint64
 	sessionSeq                                         atomic.Uint64
 }
 
@@ -763,6 +779,8 @@ func (g *Gateway) Stats() Stats {
 		Served:         g.served.Load(),
 		Retries:        g.retries.Load(),
 		BackendPanics:  g.panics.Load(),
+		StolenOut:      g.stolenOut.Load(),
+		StolenIn:       g.stolenIn.Load(),
 		Prewarmed:      g.prewarmed.Load(),
 		Rehomes:        g.rehomes.Load(),
 		Queues:         queues,
@@ -969,11 +987,12 @@ func (g *Gateway) shedLocked(p *pending, now time.Time, estimate time.Duration) 
 	if p.deadline.IsZero() || now.Add(estimate).Before(p.deadline) {
 		return false
 	}
+	tenant := p.tenant // the send is the last touch: a settled waiter may recycle p
 	p.done <- result{err: ErrDeadline}
 	g.pending--
 	g.shed.Add(1)
 	g.served.Add(1)
-	g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.shed++; tc.served++ })
+	g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.shed++; tc.served++ })
 	return true
 }
 
@@ -1132,10 +1151,11 @@ func (g *Gateway) retryBackoff(attempt int) {
 func (g *Gateway) retryLocked(q *queue, p *pending) {
 	g.retries.Add(1)
 	if g.closed {
+		tenant := p.tenant // send last: the waiter may recycle p on receipt
 		p.done <- result{err: ErrClosed}
 		g.served.Add(1)
 		g.pending--
-		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+		g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.served++ })
 		return
 	}
 	p.resumed = true
@@ -1201,14 +1221,22 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 			retry, batch = g.splitRetryable(batch, err)
 		}
 	}
+	// Capture the fields the post-fan-out accounting needs BEFORE the sends:
+	// once a result is receivable its waiter may settle and recycle the
+	// envelope (pool.go), so the send must be the dispatcher's last touch.
+	tenants := make([]string, len(batch))
+	for i, p := range batch {
+		tenants[i] = p.tenant
+	}
 	for i, p := range batch {
 		r := result{err: g.failFinal(p, err)}
 		if err == nil {
 			r = result{resp: results[i].Response, err: results[i].Err}
 		}
+		enq := p.enq
 		p.done <- r
 		g.served.Add(1)
-		g.m.E2E.Observe(float64(time.Since(p.enq)) / float64(time.Millisecond))
+		g.m.E2E.Observe(float64(time.Since(enq)) / float64(time.Millisecond))
 	}
 	svc := time.Since(start)
 	if len(retry) > 0 {
@@ -1220,8 +1248,8 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 	g.mu.Lock()
 	q.inFlight--
 	g.pending -= len(batch)
-	for _, p := range batch {
-		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+	for _, tenant := range tenants {
+		g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.served++ })
 	}
 	for _, p := range retry {
 		// Fairness-neutral re-queue (original enqueue time, no fresh
@@ -1519,9 +1547,10 @@ func (g *Gateway) Close() {
 	for _, q := range g.queues {
 		for _, tq := range q.tenants {
 			for _, p := range tq.items {
+				tenant := p.tenant // send last: the waiter may recycle p on receipt
 				p.done <- result{err: ErrClosed}
 				g.served.Add(1)
-				g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+				g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.served++ })
 				g.pending--
 			}
 			tq.items = nil

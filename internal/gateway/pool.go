@@ -1,0 +1,63 @@
+package gateway
+
+// Envelope pooling for the admit path. Submit is the gateway's hottest
+// allocation site — one *pending per request, at millions of requests per
+// second under the sharded frontier — so envelopes are recycled through a
+// per-gateway sync.Pool instead of leaning on the GC.
+//
+// The discipline that makes recycling safe:
+//
+//   - Last touch is the result send. Every path that delivers a request's
+//     outcome (dispatch fan-out, session fan-out, shed, cancel, close)
+//     captures whatever pending fields it still needs BEFORE sending on
+//     p.done, and never dereferences p after. The moment the result is
+//     receivable, the waiter may settle and release the envelope.
+//   - Release point is Ticket.settle's once.Do: exactly one of {first Wait
+//     receiver, successful Cancel} returns the envelope. An abandoned ticket
+//     (caller never waits or cancels) simply strands its envelope for the
+//     GC — a pool miss later, never a leak or a double-put.
+//   - The done channel is NOT pooled. A fresh buffered-1 channel per Submit
+//     means a stale waiter from a previous life of the envelope can never
+//     steal a new request's result; the Ticket captures the channel at
+//     creation and waits on its own copy.
+//   - Generation guard: releasePending bumps p.gen (atomic) before the pool
+//     put, and a Ticket remembers the generation it was minted with. Cancel
+//     compares them under g.mu before the pointer-matching queue removal —
+//     a recycled envelope re-enqueued for a new request can therefore never
+//     be removed by a stale ticket.
+//   - Release writes nothing but the generation. Every non-atomic pending
+//     field is written exclusively by Submit under g.mu (overwriting the
+//     previous life wholesale), and the pool is per-gateway, so a stale
+//     Cancel's field reads under g.mu can never race a new life's writes.
+//     The price: a pooled envelope pins its last payload until reuse or the
+//     pool's next GC cycle — bounded, and cheaper than clearing on the
+//     settle path would be to make safe.
+//
+// envelopePooling exists for the allocation benchmark (pooled vs per-Submit
+// allocation delta, BenchmarkSubmitEnvelope) and is otherwise always on.
+
+var envelopePooling = true
+
+// newPendingLocked returns an envelope for Submit to fill (caller holds
+// g.mu). Only the recycle generation survives from a previous life.
+func (g *Gateway) newPendingLocked() *pending {
+	if !envelopePooling {
+		return new(pending)
+	}
+	if p, ok := g.pool.Get().(*pending); ok {
+		return p
+	}
+	return new(pending)
+}
+
+// releasePending retires an envelope whose outcome has been settled. The
+// generation bump invalidates every outstanding Ticket minted for this life
+// of the envelope; the fields are deliberately left for Submit to overwrite
+// (see the package discipline above).
+func (g *Gateway) releasePending(p *pending) {
+	if !envelopePooling {
+		return
+	}
+	p.gen.Add(1)
+	g.pool.Put(p)
+}

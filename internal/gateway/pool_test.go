@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sesemi/internal/semirt"
+)
+
+// nullInvoker answers every batch with empty responses as fast as the codec
+// allows — the benchmark backend, so Submit's own allocations dominate.
+type nullInvoker struct{}
+
+func (nullInvoker) Invoke(_ context.Context, _ string, payload []byte) ([]byte, error) {
+	_, batch, err := semirt.DecodeEnvelope(payload)
+	if err != nil {
+		return nil, err
+	}
+	return semirt.EncodeBatchResults(make([]semirt.BatchResult, len(batch)))
+}
+
+// benchSubmitEnvelope drives the full Submit→Wait round trip with the
+// envelope pool toggled, reporting allocs/op — the satellite's pooled vs
+// unpooled allocation delta. The toggle is a package var, so the two
+// sub-benchmarks must not run in parallel with each other (they don't:
+// sub-benchmarks run sequentially).
+func benchSubmitEnvelope(b *testing.B, pooled bool) {
+	prev := envelopePooling
+	envelopePooling = pooled
+	defer func() { envelopePooling = prev }()
+
+	g := New(Config{MaxBatch: 8, MaxWait: 100 * time.Microsecond}, nullInvoker{})
+	defer g.Close()
+	ctx := context.Background()
+	body := semirt.Request{UserID: "u", ModelID: "m", Payload: []byte("x")}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tk, err := g.Submit(ctx, Request{Action: "a", Body: body})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tk.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSubmitEnvelope(b *testing.B) {
+	b.Run("pooled", func(b *testing.B) { benchSubmitEnvelope(b, true) })
+	b.Run("unpooled", func(b *testing.B) { benchSubmitEnvelope(b, false) })
+}
+
+// TestEnvelopeRecycling pins the pooling discipline's observable contract:
+// envelopes recycle across sequential Submit→Wait round trips (the pool
+// actually hits), and a stale Ticket from a previous life of an envelope can
+// neither cancel nor disturb the envelope's new request.
+func TestEnvelopeRecycling(t *testing.T) {
+	inv := newFakeInvoker()
+	g := New(Config{MaxBatch: 1, MaxWait: time.Microsecond}, inv)
+	defer g.Close()
+	ctx := context.Background()
+
+	// Sequential round trips: each Wait settles and releases before the next
+	// Submit, so the per-gateway pool serves the same envelope back (single
+	// goroutine, no GC pressure — a miss here would mean release is broken).
+	tk1, err := g.Submit(ctx, Request{Action: "a", Body: req("m", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := tk1.p
+	gen1 := tk1.gen
+	if _, err := tk1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	tk2, err := g.Submit(ctx, Request{Action: "a", Body: req("m", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk2.p == p1 {
+		// Recycled: the new life must carry a bumped generation, and the old
+		// ticket must refuse to act on the reused pointer.
+		if tk2.gen == gen1 {
+			t.Fatal("recycled envelope kept its generation; stale tickets could cancel new requests")
+		}
+		if tk1.Cancel() {
+			t.Fatal("stale ticket canceled a recycled envelope's new request")
+		}
+	}
+	if _, err := tk2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale ticket still reports its own (settled) outcome.
+	if resp, err := tk1.Wait(ctx); err != nil || string(resp.Payload) != "p-1" {
+		t.Fatalf("stale ticket outcome changed after recycle: %q, %v", resp.Payload, err)
+	}
+}
+
+// TestEnvelopePoolingConcurrent hammers Submit/Wait/Cancel from many
+// goroutines with pooling on — the -race companion to the recycling test:
+// every request is answered exactly once with ITS OWN payload (a stolen
+// result or a cross-life channel reuse would echo the wrong one).
+func TestEnvelopePoolingConcurrent(t *testing.T) {
+	inv := newFakeInvoker()
+	g := New(Config{MaxBatch: 4, MaxWait: 50 * time.Microsecond, MaxQueue: 4096, TenantQuota: 4096}, inv)
+	defer g.Close()
+	ctx := context.Background()
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := req("m", w*perWorker+i)
+				tk, err := g.Submit(ctx, Request{Action: "a", Body: r})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if i%16 == 7 {
+					// A sprinkling of cancels exercises the gen guard; a
+					// canceled request legitimately gets ErrCanceled.
+					if tk.Cancel() {
+						continue
+					}
+				}
+				resp, err := tk.Wait(ctx)
+				if err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+				if string(resp.Payload) != string(r.Payload) {
+					t.Errorf("request %d got payload %q, want %q", i, resp.Payload, r.Payload)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -21,6 +21,11 @@ import (
 // sessMember tracks one resident member of a live session.
 type sessMember struct {
 	p *pending
+	// tenant and enq are captured from p at admission: the result send is the
+	// last permitted touch of p (the waiter may recycle the envelope, see
+	// pool.go), and the post-send accounting needs both.
+	tenant string
+	enq    time.Time
 	// sent is the member's admission into this session — the per-member
 	// dispatch→fan-out clock behind the queue's svcEWMA.
 	sent time.Time
@@ -29,6 +34,12 @@ type sessMember struct {
 	// the session dies, this is the progress its retry carries — completed
 	// steps are not re-charged when the member rejoins a later session.
 	steps int
+}
+
+// newSessMember admits p into a session at time now, capturing the fields
+// the fan-out accounting reads after the send.
+func newSessMember(p *pending, now time.Time) *sessMember {
+	return &sessMember{p: p, tenant: p.tenant, enq: p.enq, sent: now, steps: p.req.StepsDone}
 }
 
 // openSessionSafe opens a pinned session with panics recovered, like
@@ -64,10 +75,11 @@ func (g *Gateway) stepSafe(sess InvokeSession, payload []byte) (raw []byte, err 
 func (g *Gateway) requeueLocked(q *queue, p *pending) {
 	g.preemptions.Add(1)
 	if g.closed {
+		tenant := p.tenant // send last: the waiter may recycle p on receipt
 		p.done <- result{err: ErrClosed}
 		g.served.Add(1)
 		g.pending--
-		g.tenantAddLocked(p.tenant, func(tc *tenantCounts) { tc.served++ })
+		g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.served++ })
 		return
 	}
 	p.resumed = true
@@ -133,7 +145,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 		// every one exactly once (dispatch's whole-batch error fan-out).
 		now := time.Now()
 		for i, p := range firstDrain() {
-			members[i] = &sessMember{p: p, sent: now, steps: p.req.StepsDone}
+			members[i] = newSessMember(p, now)
 		}
 	} else {
 		servedOn = sess.Node()
@@ -144,7 +156,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			now := time.Now()
 			js := make([]semirt.StepJoin, 0, len(join))
 			for _, p := range join {
-				members[nextID] = &sessMember{p: p, sent: now, steps: p.req.StepsDone}
+				members[nextID] = newSessMember(p, now)
 				js = append(js, semirt.StepJoin{ID: nextID, Req: p.req})
 				nextID++
 				g.m.QueueWait.Observe(float64(now.Sub(p.enq)) / float64(time.Millisecond))
@@ -182,9 +194,11 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 				}
 				// Fan out at the step boundary the member completed at — the
 				// whole point of the discipline: no waiting for the session.
+				// The send is the last touch of sm.p; accounting below uses
+				// the member's captured tenant/enq.
 				sm.p.done <- result{resp: d.Response, err: d.Err}
 				g.served.Add(1)
-				g.m.E2E.Observe(float64(now.Sub(sm.p.enq)) / float64(time.Millisecond))
+				g.m.E2E.Observe(float64(now.Sub(sm.enq)) / float64(time.Millisecond))
 				svcSum += now.Sub(sm.sent)
 				served++
 				finished = append(finished, sm)
@@ -201,7 +215,7 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			}
 			g.pending -= len(finished)
 			for _, sm := range finished {
-				g.tenantAddLocked(sm.p.tenant, func(tc *tenantCounts) { tc.served++ })
+				g.tenantAddLocked(sm.tenant, func(tc *tenantCounts) { tc.served++ })
 				// Per-member smoothed service time: the deadline shedder's
 				// estimate must track a member's session residency, not the
 				// session's (unbounded) lifetime.
@@ -265,11 +279,12 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 		now := time.Now()
 		g.mu.Lock()
 		for _, sm := range failed {
-			sm.p.done <- result{err: g.failFinal(sm.p, frameErr)}
+			r := result{err: g.failFinal(sm.p, frameErr)}
+			sm.p.done <- r // last touch of sm.p; accounting uses the captures
 			g.served.Add(1)
-			g.m.E2E.Observe(float64(now.Sub(sm.p.enq)) / float64(time.Millisecond))
+			g.m.E2E.Observe(float64(now.Sub(sm.enq)) / float64(time.Millisecond))
 			g.pending--
-			g.tenantAddLocked(sm.p.tenant, func(tc *tenantCounts) { tc.served++ })
+			g.tenantAddLocked(sm.tenant, func(tc *tenantCounts) { tc.served++ })
 		}
 		for _, sm := range retry {
 			sm.p.req.StepsDone = sm.steps

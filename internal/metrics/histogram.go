@@ -101,6 +101,45 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Merge folds other's observations into h without re-recording samples —
+// the cross-shard aggregation path: each frontier shard keeps its own
+// histogram on its own lock, and a stats read merges the bucket counts.
+// When the widths match (shards share one config, the expected case) buckets
+// add index-for-index exactly; under mismatched widths each source bucket is
+// re-indexed by its lower bound, so counts land in the bucket of h that
+// contains the source bucket's start. Merge never blocks other's writers for
+// longer than a snapshot copy, and h and other may be merged concurrently
+// with new observations on either.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	// Copy under other's lock, apply under h's: never hold both, so
+	// concurrent cross-merges (a.Merge(b) racing b.Merge(a)) cannot deadlock.
+	other.mu.Lock()
+	counts := make(map[int]uint64, len(other.counts))
+	for i, c := range other.counts {
+		counts[i] = c
+	}
+	n, sum, max, width := other.n, other.sum, other.max, other.width
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		j := i
+		if width != h.width {
+			j = int(float64(i) * width / h.width)
+		}
+		h.counts[j] += c
+	}
+	h.n += n
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+}
+
 // HistogramBucket is one populated bucket of a snapshot.
 type HistogramBucket struct {
 	// Lo and Hi bound the bucket [Lo, Hi).

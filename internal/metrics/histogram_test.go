@@ -79,3 +79,99 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("count %d", h.Count())
 	}
 }
+
+func TestHistogramMergeSameWidth(t *testing.T) {
+	a, b := NewHistogram(1), NewHistogram(1)
+	for i := 0; i < 10; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		b.Observe(float64(i * 3)) // 0,3,6,9,12
+	}
+	a.Merge(b)
+	if a.Count() != 15 {
+		t.Fatalf("count %d, want 15", a.Count())
+	}
+	if a.Max() != 12 {
+		t.Fatalf("max %g, want 12", a.Max())
+	}
+	wantMean := (45.0 + 30.0) / 15.0
+	if a.Mean() != wantMean {
+		t.Fatalf("mean %g, want %g", a.Mean(), wantMean)
+	}
+	// Bucket 3 held one observation in each source.
+	for _, bk := range a.Snapshot() {
+		if bk.Lo == 3 && bk.Count != 2 {
+			t.Fatalf("bucket 3 count %d, want 2", bk.Count)
+		}
+	}
+	// b is untouched.
+	if b.Count() != 5 {
+		t.Fatalf("source count %d, want 5", b.Count())
+	}
+}
+
+func TestHistogramMergeMismatchedWidth(t *testing.T) {
+	a, b := NewHistogram(1), NewHistogram(0.5)
+	b.Observe(2.6) // b's bucket [2.5,3) -> a's bucket [2,3)
+	a.Merge(b)
+	if a.Count() != 1 {
+		t.Fatalf("count %d", a.Count())
+	}
+	snap := a.Snapshot()
+	if len(snap) != 1 || snap[0].Lo != 2 {
+		t.Fatalf("snapshot %+v, want one bucket at 2", snap)
+	}
+}
+
+func TestHistogramMergeNilAndSelf(t *testing.T) {
+	a := NewHistogram(1)
+	a.Observe(1)
+	a.Merge(nil)
+	a.Merge(a)
+	if a.Count() != 1 {
+		t.Fatalf("count %d after nil/self merge, want 1", a.Count())
+	}
+}
+
+func TestHistogramMergeQuantiles(t *testing.T) {
+	// Quantiles over a merged histogram match a single histogram fed the
+	// union — the property the cross-shard aggregation relies on.
+	union, a, b := NewHistogram(1), NewHistogram(1), NewHistogram(1)
+	for i := 0; i < 100; i++ {
+		v := float64(i % 20)
+		union.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != union.Quantile(q) {
+			t.Fatalf("q%g merged %g union %g", q, a.Quantile(q), union.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeConcurrent(t *testing.T) {
+	a, b := NewHistogram(1), NewHistogram(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Observe(float64(i % 8))
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); a.Merge(b) }()
+	go func() { defer wg.Done(); b.Merge(a) }() // cross-merge: must not deadlock
+	wg.Wait()
+	if b.Count() < 2000 {
+		t.Fatalf("b lost observations: %d", b.Count())
+	}
+}

@@ -38,6 +38,26 @@ func (l *Latency) Each(fn func(time.Duration)) {
 	}
 }
 
+// Merge appends other's samples into l — cross-shard aggregation without
+// replaying Add per sample through fn callbacks. Copies under other's lock,
+// appends under l's own; never holds both, so concurrent cross-merges cannot
+// deadlock.
+func (l *Latency) Merge(other *Latency) {
+	if other == nil || other == l {
+		return
+	}
+	other.mu.Lock()
+	samples := append([]time.Duration(nil), other.samples...)
+	other.mu.Unlock()
+	if len(samples) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.samples = append(l.samples, samples...)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
 // Count returns the number of samples.
 func (l *Latency) Count() int {
 	l.mu.Lock()

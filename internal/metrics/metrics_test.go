@@ -123,3 +123,41 @@ func TestGBSecondsOutOfOrderSampleIgnored(t *testing.T) {
 		t.Fatalf("total %v", total)
 	}
 }
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b Latency
+	for i := 1; i <= 4; i++ {
+		a.Add(time.Duration(i) * time.Millisecond)
+	}
+	b.Add(10 * time.Millisecond)
+	b.Add(20 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 6 {
+		t.Fatalf("count %d, want 6", a.Count())
+	}
+	if a.Max() != 20*time.Millisecond {
+		t.Fatalf("max %v", a.Max())
+	}
+	if a.Percentile(100) != 20*time.Millisecond {
+		t.Fatalf("p100 %v", a.Percentile(100))
+	}
+	if b.Count() != 2 {
+		t.Fatalf("source count %d, want 2", b.Count())
+	}
+	a.Merge(nil)
+	a.Merge(&a)
+	if a.Count() != 6 {
+		t.Fatalf("count %d after nil/self merge, want 6", a.Count())
+	}
+}
+
+func TestLatencyMergeAfterSortReSorts(t *testing.T) {
+	var a, b Latency
+	a.Add(5 * time.Millisecond)
+	_ = a.Percentile(50) // forces the sorted flag
+	b.Add(1 * time.Millisecond)
+	a.Merge(&b)
+	if got := a.Percentile(0); got != 1*time.Millisecond {
+		t.Fatalf("min after merge %v, want 1ms", got)
+	}
+}

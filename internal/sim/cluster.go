@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"sesemi/internal/autoscale"
@@ -126,6 +127,16 @@ type Config struct {
 	// InvokeOverhead is amortized across the batch — so simulated and
 	// measured gateway behavior stay comparable.
 	Batch BatchSpec
+	// Shards mirrors the frontier's sharded gateway tier
+	// (internal/frontier): requests hash by (endpoint, model, user) — the
+	// frontier's (action, model, tenant) route key — onto Shards logical
+	// gateway shards, and every stream-granular structure splits per shard:
+	// batch formation, DRR holds, the MaxInFlight dispatch bound and
+	// affinity homes all key on the shard-suffixed stream. A multi-tenant
+	// stream therefore forms batches — and earns dispatch ceiling —
+	// independently per shard, exactly as N frontier shards would split it.
+	// ≤ 1 leaves the single-gateway behavior byte-for-byte unchanged.
+	Shards int
 	// KeyCacheSize mirrors semirt.Config.KeyCacheSize: the per-sandbox LRU
 	// of cached ⟨model‖user⟩ key pairs. 0 means the live default (64);
 	// 1 reproduces the historical single-pair cache, where every user flip
@@ -255,6 +266,9 @@ func (c *Config) defaults() error {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.Batch.MaxBatch > 1 && c.Batch.MaxWait <= 0 {
 		c.Batch.MaxWait = 2 * time.Millisecond
 	}
@@ -381,6 +395,10 @@ type Result struct {
 	// KSRejects counts key fetches refused by an injected key-service
 	// outage (live: faults.Stats.KSRejects).
 	KSRejects int
+	// PerShard counts completed requests per logical shard (nil when
+	// Shards ≤ 1) — the input to costmodel.ShardImbalance, mirroring the
+	// frontier's per-shard Stats breakdown.
+	PerShard []int
 	// SandboxCrashes counts activations killed by injected sandbox death
 	// (live: faults.Stats.SandboxCrashes).
 	SandboxCrashes int
@@ -639,6 +657,9 @@ func New(cfg Config) (*Simulation, error) {
 			MemorySeries:  metrics.NewTimeSeries(cfg.SampleEvery),
 		},
 	}
+	if cfg.Shards > 1 {
+		s.res.PerShard = make([]int, cfg.Shards)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		s.nodes = append(s.nodes, &node{id: i, cores: cfg.CoresPerNode, memory: cfg.NodeMemory})
 	}
@@ -885,7 +906,7 @@ func (s *Simulation) drrBlocked(key string) bool {
 }
 
 func (s *Simulation) joinDRR(req *request) {
-	key := streamKey(req)
+	key := s.streamKey(req)
 	h := s.hold(key)
 	h.add(req, s.tenantWeight(req.ev.UserID))
 	s.releaseDRR(key, h, false)
@@ -951,7 +972,7 @@ type forming struct{ reqs []*request }
 // flushing when the batch fills or when the first member's deadline expires
 // — the discrete-event mirror of the gateway's MaxBatch/MaxWait batcher.
 func (s *Simulation) joinBatch(req *request) {
-	key := req.ep + "\x1f" + req.ev.ModelID
+	key := s.streamKey(req)
 	f := s.forming[key]
 	if f == nil {
 		f = &forming{}
@@ -988,8 +1009,40 @@ func (s *Simulation) flushBatch(key string, f *forming) {
 }
 
 // streamKey identifies one (endpoint, model) stream — the granularity of
-// both the MaxInFlight dispatch bound and affinity homing.
-func streamKey(req *request) string { return req.ep + "\x1f" + req.ev.ModelID }
+// batch formation, DRR holds, the MaxInFlight dispatch bound and affinity
+// homing. Under sharding (Config.Shards > 1) the key carries the request's
+// shard, so each of those structures splits per shard exactly as N frontier
+// shards would split them.
+func (s *Simulation) streamKey(req *request) string {
+	k := req.ep + "\x1f" + req.ev.ModelID
+	if s.cfg.Shards > 1 {
+		k += "\x1fs" + strconv.Itoa(s.shardOf(req))
+	}
+	return k
+}
+
+// shardOf hashes the request onto a logical shard — FNV-1a over the
+// separator-framed (endpoint, model, user) triple, the same route key the
+// frontier hashes onto its ring (internal/frontier.routeKey). The simulator
+// models shard ASSIGNMENT, not the ring's virtual-node geometry: a modulus
+// over the key hash places streams with the ring's uniform-key distribution,
+// which is what the mirrored experiments compare.
+func (s *Simulation) shardOf(req *request) int {
+	const (
+		fnvOffset uint64 = 14695981039346656037
+		fnvPrime  uint64 = 1099511628211
+	)
+	h := fnvOffset
+	for _, part := range [3]string{req.ep, req.ev.ModelID, req.ev.UserID} {
+		for i := 0; i < len(part); i++ {
+			h ^= uint64(part[i])
+			h *= fnvPrime
+		}
+		h ^= 0x1f
+		h *= fnvPrime
+	}
+	return int(h % uint64(s.cfg.Shards))
+}
 
 // bounded reports whether the request's stream is at its MaxInFlight
 // dispatch bound. Under DRR the bound is enforced at release time
@@ -997,7 +1050,7 @@ func streamKey(req *request) string { return req.ep + "\x1f" + req.ev.ModelID }
 // committed, so it is never passed over here.
 func (s *Simulation) bounded(req *request) bool {
 	return s.cfg.Batch.MaxBatch > 1 && !s.cfg.Batch.DRR && s.cfg.Batch.MaxInFlight > 0 &&
-		s.inflight[streamKey(req)] >= s.cfg.Batch.MaxInFlight
+		s.inflight[s.streamKey(req)] >= s.cfg.Batch.MaxInFlight
 }
 
 // dispatch drains the endpoint queue into eligible sandboxes, starting new
@@ -1022,7 +1075,7 @@ func (s *Simulation) dispatch(ep string) {
 			// hold's next release runs as a fresh engine event — dispatch
 			// must not re-enter itself mid-iteration.
 			if s.cfg.Batch.DRR && s.cfg.Batch.MaxInFlight > 0 {
-				key := streamKey(req)
+				key := s.streamKey(req)
 				if s.inflight[key]--; s.inflight[key] <= 0 {
 					delete(s.inflight, key)
 				}
@@ -1069,7 +1122,7 @@ func (s *Simulation) dispatch(ep string) {
 func (s *Simulation) takeAndServe(ep string, i int, sb *sandbox, req *request) {
 	s.queues[ep] = append(s.queues[ep][:i], s.queues[ep][i+1:]...)
 	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 && !s.cfg.Batch.DRR {
-		s.inflight[streamKey(req)]++ // DRR streams counted at release instead
+		s.inflight[s.streamKey(req)]++ // DRR streams counted at release instead
 	}
 	s.serve(sb, req)
 }
@@ -1082,7 +1135,7 @@ func (s *Simulation) takeAndServe(ep string, i int, sb *sandbox, req *request) {
 // cluster when the hinted node is saturated). Returns (nil, true) when the
 // caller should wait for capacity the home is already starting.
 func (s *Simulation) placeWithAffinity(spec *ActionSpec, req *request) (*sandbox, bool) {
-	key := streamKey(req)
+	key := s.streamKey(req)
 	home := s.homeFor(key)
 	for attempt := 0; attempt < 2; attempt++ {
 		if sb := s.pickSandboxOn(spec, req.ev.ModelID, home); sb != nil {
@@ -1092,7 +1145,7 @@ func (s *Simulation) placeWithAffinity(spec *ActionSpec, req *request) (*sandbox
 		// queued entries outnumber the slots already starting there.
 		demand := 0
 		for _, r := range s.queues[req.ep] {
-			if streamKey(r) == key {
+			if s.streamKey(r) == key {
 				demand++
 			}
 		}

@@ -126,7 +126,7 @@ func (s *Simulation) failActivation(sb *sandbox, req *request) {
 	}
 	f := s.cfg.Faults
 	willRetry := f.Retries > 0 && req.retries < f.Retries
-	key := streamKey(req)
+	key := s.streamKey(req)
 	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 &&
 		(!s.cfg.Batch.DRR || !willRetry) {
 		// The failed attempt's dispatch slot frees; a retried DRR entry

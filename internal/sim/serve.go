@@ -378,6 +378,9 @@ func (s *Simulation) finishMember(m *request, started, done time.Duration, k sem
 	}
 	ml.Add(lat)
 	s.res.LatencySeries.Observe(done, lat.Seconds())
+	if s.cfg.Shards > 1 {
+		s.res.PerShard[s.shardOf(m)]++
+	}
 	switch k {
 	case semirt.Cold:
 		s.res.Cold++
@@ -421,7 +424,7 @@ func (s *Simulation) finishBatch(req *request, now time.Duration) {
 		s.asAct(req.ep).compl++
 	}
 	if s.cfg.Batch.MaxBatch > 1 && s.cfg.Batch.MaxInFlight > 0 {
-		key := streamKey(req)
+		key := s.streamKey(req)
 		if s.inflight[key]--; s.inflight[key] <= 0 {
 			delete(s.inflight, key)
 		}
@@ -429,7 +432,7 @@ func (s *Simulation) finishBatch(req *request, now time.Duration) {
 	if s.cfg.Batch.DRR {
 		// A freed release slot lets the stream's backlog form its next batch
 		// (and re-arms the formation timer the closed bound suppressed).
-		key := streamKey(req)
+		key := s.streamKey(req)
 		if h := s.holds[key]; h != nil && h.size > 0 {
 			s.releaseDRR(key, h, s.eng.Now()-h.oldest >= s.cfg.Batch.MaxWait)
 			s.armHoldTimer(key, h)
