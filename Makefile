@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke frontier-snapshot frontier-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke frontier-snapshot frontier-smoke rollout-snapshot rollout-smoke clean
 
 all: build vet test
 
@@ -45,6 +45,9 @@ chaos-snapshot:
 frontier-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp frontier -json BENCH_frontier.json
 
+rollout-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp rollout -json BENCH_rollout.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -82,6 +85,13 @@ chaos-smoke:
 # BENCH_frontier.json.
 frontier-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp frontier -smoke
+
+# Tiny canary-rollout ramp against a deliberately slow revision: exits
+# non-zero unless the controller auto-rolls it back — drained, measurement
+# revoked — with zero lost requests. The CI gate on the rollback claim behind
+# BENCH_rollout.json.
+rollout-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp rollout -smoke
 
 clean:
 	$(GO) clean ./...

@@ -5,16 +5,23 @@
 // simulated attestation root (the "Intel" CA) and records its own address
 // and enclave identity E_K for clients and SeMIRT instances to pin.
 //
+// A plaintext HTTP stats endpoint (-stats-addr) exposes store sizes and the
+// per-measurement admit/reject counters of the provisioning allowlist at
+// /stats, so a rollout controller's revocations are observable from outside
+// the enclave.
+//
 // Usage:
 //
-//	keyservice -addr 127.0.0.1:7100 -state ./deploy
+//	keyservice -addr 127.0.0.1:7100 -state ./deploy -stats-addr 127.0.0.1:7101
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"sesemi/internal/cli"
@@ -24,8 +31,46 @@ import (
 	"sesemi/internal/vclock"
 )
 
+// statsPayload is the /stats JSON document.
+type statsPayload struct {
+	Identities   int                                   `json:"identities"`
+	Models       int                                   `json:"models"`
+	ReqKeys      int                                   `json:"req_keys"`
+	Grants       int                                   `json:"grants"`
+	Enforcing    bool                                  `json:"enforcing"`
+	Measurements map[string]keyservice.MeasurementStat `json:"measurements"`
+}
+
+// serveStats exposes the service counters over plaintext HTTP. Only counts
+// and measurement hashes leave the enclave — never key material.
+func serveStats(addr string, svc *keyservice.Service) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		ids, models, reqKeys, grants := svc.Counts()
+		payload := statsPayload{
+			Identities:   ids,
+			Models:       models,
+			ReqKeys:      reqKeys,
+			Grants:       grants,
+			Enforcing:    svc.Enforcing(),
+			Measurements: svc.MeasurementStats(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr(), nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	statsAddr := flag.String("stats-addr", "", "plaintext HTTP /stats listen address (\"\" = disabled)")
 	stateDir := flag.String("state", "./deploy", "deployment state directory")
 	tcs := flag.Int("tcs", keyservice.DefaultTCS, "enclave TCS count (max concurrent connections)")
 	hw := flag.String("hw", "sgx2", "hardware generation: sgx1 or sgx2")
@@ -73,6 +118,13 @@ func main() {
 	}
 	fmt.Printf("keyservice: listening on %s\n", ln.Addr())
 	fmt.Printf("keyservice: enclave identity E_K = %s\n", enc.Measurement().Hex())
+	if *statsAddr != "" {
+		sa, err := serveStats(*statsAddr, svc)
+		if err != nil {
+			log.Fatalf("keyservice: stats listener: %v", err)
+		}
+		fmt.Printf("keyservice: stats on http://%s/stats\n", sa)
+	}
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("keyservice: %v", err)
 	}

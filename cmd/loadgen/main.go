@@ -19,6 +19,7 @@
 //	loadgen -local -closed 32 -exec-tail 10 -exec-steps 20 -continuous
 //	loadgen -local -closed 256 -shards 4
 //	loadgen -local -closed 32 -nodes 2 -chaos -retries 3 -crash-at 500ms -restore-at 1s
+//	loadgen -local -closed 32 -revisions 2 -canary-weight 25
 //
 // The request keys derive from the same seeds cmd/owctl uses, so a
 // deployment set up with `owctl deploy` is directly loadable.
@@ -36,6 +37,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +52,7 @@ import (
 	_ "sesemi/internal/inference/tinytvm"
 	"sesemi/internal/metrics"
 	"sesemi/internal/model"
+	"sesemi/internal/rollout"
 	"sesemi/internal/secure"
 	"sesemi/internal/semirt"
 	"sesemi/internal/tensor"
@@ -79,6 +82,8 @@ func main() {
 	localNodes := flag.Int("nodes", 1, "with -local: invoker node count")
 	shards := flag.Int("shards", 0, "with -local -closed: front the deployment with a sharded frontier of this many gateway shards (one tenant per client; 0/1 = the single gateway)")
 	localModels := flag.Int("local-models", 1, "with -local: model ids deployed on the action")
+	revisions := flag.Int("revisions", 1, "with -local -closed: deployed revisions of the model (revision k is mbnet@v<k>); the highest is the canary")
+	canaryWeight := flag.Int("canary-weight", 0, "with -local -revisions >= 2: percent of traffic sticky-split to the canary revision (per closed-loop client)")
 	tenants := flag.Int("tenants", 0, "with -local: tenants drawing Zipf-skewed load through the v2 Submit surface (0 = single default tenant via Do)")
 	tenantSkew := flag.Float64("tenant-skew", 1.2, "with -local -tenants: Zipf skew s (>1; larger = hotter hottest tenant)")
 	tenantQuota := flag.Int("tenant-quota", 0, "with -local -tenants: per-tenant admission quota (0 = gateway default)")
@@ -138,6 +143,20 @@ func main() {
 		if *shards > 1 && *closed <= 0 {
 			log.Fatal("loadgen: -shards requires -closed (the frontier sweep is a closed-loop measurement)")
 		}
+		if *revisions < 1 || *canaryWeight < 0 || *canaryWeight > 100 {
+			log.Fatal("loadgen: -revisions must be >= 1 and -canary-weight in [0, 100]")
+		}
+		if *canaryWeight > 0 && *revisions < 2 {
+			log.Fatal("loadgen: -canary-weight needs a canary revision; deploy one with -revisions 2")
+		}
+		if *revisions > 1 {
+			if *closed <= 0 {
+				log.Fatal("loadgen: -revisions requires -closed (the sticky split is keyed per closed-loop client)")
+			}
+			if *shards > 1 || *tenants > 0 || *users > 1 || *localModels > 1 {
+				log.Fatal("loadgen: -revisions splits one model's traffic; it is mutually exclusive with -shards/-tenants/-users/-local-models")
+			}
+		}
 		if *execTail < 0 || (*execTail > 0 && *execSteps < 2) {
 			log.Fatal("loadgen: -exec-tail must be >= 0 and -exec-steps >= 2 when a tail is requested")
 		}
@@ -153,6 +172,7 @@ func main() {
 			seed: *seed, user: *userSeed,
 			affinity: *affinity, nodes: *localNodes, models: *localModels, shards: *shards,
 			tenants: *tenants, skew: *tenantSkew, quota: *tenantQuota,
+			revisions: *revisions, canaryWeight: *canaryWeight,
 			users: *users, userSkew: *userSkew, groupUsers: *groupUsers, keyCache: *keyCache,
 			period: *period, autoscale: *autoscaleOn, sandboxStart: *sandboxStart, keepWarm: *keepWarm,
 			execTail: *execTail, execSteps: *execSteps, execCost: *execCost,
@@ -304,6 +324,13 @@ type localCfg struct {
 	skew                       float64
 	quota                      int
 
+	// revisions > 1 deploys canary revisions mbnet@v2..mbnet@v<revisions>
+	// alongside the stable model; canaryWeight percent of closed-loop
+	// traffic is sticky-split (per client) to the highest revision through
+	// the same splitter the rollout controller ramps.
+	revisions    int
+	canaryWeight int
+
 	// users > 1 drives a Zipf-skewed multi-user mix against the enclave's
 	// key cache; groupUsers turns on gateway user-affinity grouping and
 	// keyCache sets the enclave LRU capacity.
@@ -370,6 +397,19 @@ func runLocal(c localCfg) {
 	}
 	wc.Gateway.MaxRetries = c.retries
 	wc.Gateway.RetryBackoff = c.retryBackoff
+	// -revisions deploys canary revisions next to the stable model. Traffic
+	// still arrives addressed to "mbnet"; the splitter re-targets the
+	// configured share BEFORE the request is built, so the revision choice
+	// binds the encryption key and the routed id together — a fixed-weight
+	// snapshot of the rollout controller's ramp.
+	var split *rollout.Splitter
+	if c.revisions > 1 {
+		for r := 2; r <= c.revisions; r++ {
+			wc.ExtraModels = append(wc.ExtraModels, fmt.Sprintf("mbnet@v%d", r))
+		}
+		split = rollout.NewSplitter("mbnet")
+		split.SetCanary(fmt.Sprintf("mbnet@v%d", c.revisions), c.canaryWeight)
+	}
 	var inj *faults.Injector
 	if c.chaos {
 		inj = faults.New(c.seed, nil)
@@ -453,6 +493,23 @@ func runLocal(c localCfg) {
 			return w.DoGatewayFor(ctx, model, seed)
 		}
 		mode := "gateway"
+		if split != nil {
+			// Sticky per client: a client never flaps between revisions, and
+			// Splitter.Do keeps the per-revision served/error ledgers.
+			mode = "split"
+			fmt.Printf("loadgen: revisions: %d deployed, canary %s at %d%% weight\n",
+				c.revisions, split.Canary(), split.Weight())
+			do = func(ctx context.Context, seed int) (semirt.Response, error) {
+				client := "c" + strconv.Itoa(seed/requests)
+				return split.Do(ctx, w.Gateway, "", client, func(modelID string) (gateway.Request, error) {
+					req, err := w.RequestFor(modelID, seed)
+					if err != nil {
+						return gateway.Request{}, err
+					}
+					return gateway.Request{Action: w.Action, Body: req}, nil
+				})
+			}
+		}
 		if c.shards > 1 {
 			// Route through the frontier, one tenant per client, so the ring
 			// spreads the closed-loop mix across shards by (model, tenant).
@@ -467,6 +524,11 @@ func runLocal(c localCfg) {
 			r.Requests-r.Errors, r.Errors, r.Seconds, r.RPS)
 		fmt.Printf("latency: mean %.1fms  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 			r.MeanMs, r.P50Ms, r.P95Ms, r.P99Ms)
+		if split != nil {
+			canary := split.Canary()
+			fmt.Printf("split: %-10s %d served (%d errors)\n", "mbnet", split.Served("mbnet"), split.Errored("mbnet"))
+			fmt.Printf("split: %-10s %d served (%d errors)\n", canary, split.Served(canary), split.Errored(canary))
+		}
 	} else {
 		// One arrival stream per deployed model, merged — so -local-models
 		// exercises a real multi-model mix, as HTTP mode's -models does.

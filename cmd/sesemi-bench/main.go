@@ -13,6 +13,7 @@
 //	sesemi-bench -exp hol -json BENCH_hol.json
 //	sesemi-bench -exp chaos -json BENCH_chaos.json
 //	sesemi-bench -exp frontier -json BENCH_frontier.json
+//	sesemi-bench -exp rollout -json BENCH_rollout.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 //	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
@@ -22,6 +23,9 @@
 //	                                     if any request is lost with recovery on)
 //	sesemi-bench -exp frontier -smoke   (2-shard world; exits non-zero unless
 //	                                     sharded throughput ≥ single-shard)
+//	sesemi-bench -exp rollout -smoke    (slow canary ramp; exits non-zero unless
+//	                                     it auto-rolls back with zero lost
+//	                                     requests and a revoked measurement)
 package main
 
 import (
@@ -37,12 +41,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos or frontier: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol, chaos or frontier: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" && *exp != "frontier" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol, chaos or frontier"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" && *exp != "frontier" && *exp != "rollout" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -140,8 +144,23 @@ func main() {
 			first, last := snap.Runs[0], snap.Runs[len(snap.Runs)-1]
 			fmt.Printf("frontier snapshot → %s (%d shard %.0f req/s → %d shards %.0f req/s, %.2fx)\n",
 				*jsonOut, first.Shards, first.RPS, last.Shards, last.RPS, last.Speedup)
+		case "rollout":
+			cfg := bench.RolloutBenchConfig{}
+			if *smoke {
+				cfg = bench.RolloutSmokeConfig()
+			}
+			snap, err := bench.WriteRolloutSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rollout snapshot → %s (splitter ratio %.3f, live %s in %d windows, rollback %.0fms, %d affected, lost %d)\n",
+				*jsonOut, snap.SplitterThroughputRatio, snap.Live.Phase, snap.Live.Windows,
+				snap.Live.TimeToRollbackMs, snap.Live.RequestsAffected, snap.Live.Errors)
+			if err := rolloutGate(snap); err != nil {
+				fatal(err)
+			}
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos or frontier"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout"))
 		}
 		return
 	}
@@ -214,6 +233,20 @@ func main() {
 			if sharded.Errors > 0 || single.Errors > 0 {
 				fatal(fmt.Errorf("frontier: smoke run had errors (%d/%d)", single.Errors, sharded.Errors))
 			}
+		case "rollout":
+			snap, err := bench.RunRolloutBench(bench.RolloutSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rollout smoke: live %s after %d windows (weight at breach %d%%), rollback %.0fms, %d canary requests affected, %d lost, revoked=%v\n",
+				snap.Live.Phase, snap.Live.Windows, snap.Live.WeightAtBreach,
+				snap.Live.TimeToRollbackMs, snap.Live.RequestsAffected, snap.Live.Errors, snap.Live.Revoked)
+			// The smoke is a gate: the deliberately slow canary must be
+			// auto-rolled back — drained, measurement revoked — and no
+			// request may be lost along the way.
+			if err := rolloutGate(snap); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
@@ -251,6 +284,29 @@ func main() {
 	if err := e.Run(w); err != nil {
 		fatal(err)
 	}
+}
+
+// rolloutGate enforces the rollout experiment's hard claims: the slow
+// canary rolled back with its measurement revoked, nothing was lost on any
+// plane, and the deterministic mirror agrees.
+func rolloutGate(snap *bench.RolloutSnapshot) error {
+	if snap.Live.Phase != "rolledback" {
+		return fmt.Errorf("rollout: slow canary was not rolled back (phase %q)", snap.Live.Phase)
+	}
+	if !snap.Live.Revoked {
+		return fmt.Errorf("rollout: rollback did not revoke the canary measurement")
+	}
+	if snap.Live.Errors > 0 {
+		return fmt.Errorf("rollout: %d requests lost during the live rollback (want 0)", snap.Live.Errors)
+	}
+	if !snap.SimRollback.RolledBack || snap.SimRollback.Lost > 0 || snap.SimRollback.Dropped > 0 {
+		return fmt.Errorf("rollout: sim mirror disagrees (rolled_back=%v lost=%d dropped=%d)",
+			snap.SimRollback.RolledBack, snap.SimRollback.Lost, snap.SimRollback.Dropped)
+	}
+	if !snap.SimHealthy.Promoted {
+		return fmt.Errorf("rollout: healthy sim canary failed to promote")
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -92,6 +92,10 @@ type LiveWorldConfig struct {
 	// serialized size, making the model-swap penalty (and therefore routing
 	// locality) proportional to a configurable model size.
 	ModelPadBytes int
+	// ExtraModels deploys additional model ids identically to the clones —
+	// each with its own keys, blob and grants. The rollout experiment uses
+	// it to deploy a canary revision ("mbnet@v2") alongside its stable base.
+	ExtraModels []string
 	// Users is how many user principals to register and grant on every
 	// model (default 1). Each gets its own request keys, so a user-diverse
 	// stream exercises the enclave's key cache for real: serving a user not
@@ -185,6 +189,7 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	for i := 1; i < cfg.Models; i++ {
 		w.Models = append(w.Models, fmt.Sprintf("m%d", i))
 	}
+	w.Models = append(w.Models, cfg.ExtraModels...)
 	fail := func(err error) (*LiveWorld, error) {
 		w.Close()
 		return nil, err

@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/gateway"
+	"sesemi/internal/rollout"
+	"sesemi/internal/semirt"
+	"sesemi/internal/sim"
+	"sesemi/internal/workload"
+)
+
+// ---------- Rollout experiment: attested canary ramp vs a bad revision ----------
+//
+// Three measurements back the canary-rollout claim:
+//
+//	overhead — the revision splitter sits on EVERY request's submit path, so
+//	           its cost is measured head-to-head: the same closed loop with
+//	           and without the splitter (weight 0: pure routing tax). Target
+//	           ≥ 0.97x the no-splitter baseline.
+//	live     — a real LiveWorld ramp of a deliberately slow canary revision
+//	           ("mbnet@v2", deployed with its own keys and blob): the
+//	           controller promotes on healthy windows and must catch the
+//	           slow build at a low ramp weight, drain it, and revoke its
+//	           measurement — with zero lost requests.
+//	sim      — the deterministic twin (sim.Config.Rollout): exact
+//	           time-to-rollback and requests-affected for a seeded slow
+//	           canary, plus a healthy ramp promoting end to end.
+//
+// The enclave twist that motivates the ordering: rolling back an attested
+// revision revokes its measurement at the KeyService, which kills key release
+// for that build CLUSTER-WIDE. So the rollback is weight-zero first, drain
+// in-flight second, revoke last — and "zero lost requests" is the gate.
+
+// RolloutLiveRun is the live ramp's outcome.
+type RolloutLiveRun struct {
+	// Requests / Errors aggregate every closed-loop window of the ramp.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Windows is how many observation windows ran before the terminal phase.
+	Windows int `json:"windows"`
+	// Phase is the controller's terminal phase ("promoted"/"rolledback").
+	Phase string `json:"phase"`
+	// WeightAtBreach is the ramp weight when the gate tripped (rollback runs).
+	WeightAtBreach int `json:"weight_at_breach,omitempty"`
+	// TimeToRollbackMs is wall time from Begin to rollback-complete (weight
+	// zeroed, in-flight drained, measurement revoked).
+	TimeToRollbackMs float64 `json:"time_to_rollback_ms,omitempty"`
+	// RequestsAffected is how many requests the canary served before the
+	// rollback completed.
+	RequestsAffected uint64 `json:"requests_affected,omitempty"`
+	// Revoked reports that the rollback invoked the measurement-revocation
+	// hook for the canary (the keyservice allowlist path).
+	Revoked bool `json:"revoked,omitempty"`
+}
+
+// RolloutSimRun is one deterministic sim outcome.
+type RolloutSimRun struct {
+	Promoted         bool    `json:"promoted,omitempty"`
+	RolledBack       bool    `json:"rolled_back,omitempty"`
+	TimeToRollbackMs float64 `json:"time_to_rollback_ms,omitempty"`
+	RequestsAffected int     `json:"requests_affected,omitempty"`
+	Lost             int     `json:"lost"`
+	Dropped          int     `json:"dropped"`
+}
+
+// RolloutSnapshot is the BENCH_rollout.json payload.
+type RolloutSnapshot struct {
+	Clients       int     `json:"clients"`
+	PerClient     int     `json:"requests_per_client"`
+	Users         int     `json:"users"`
+	Steps         []int   `json:"steps"`
+	PerWindow     int     `json:"requests_per_window"`
+	CanaryExtraMs float64 `json:"canary_extra_ms"`
+	SLORatio      float64 `json:"slo_latency_ratio"`
+
+	// Baseline vs Splitter is the steady-state overhead comparison.
+	Baseline                GatewayRunResult `json:"baseline"`
+	Splitter                GatewayRunResult `json:"splitter"`
+	SplitterThroughputRatio float64          `json:"splitter_throughput_ratio"`
+
+	// Live is the real-deployment ramp of the slow canary.
+	Live RolloutLiveRun `json:"live_rollback"`
+
+	// SimRollback / SimHealthy are the deterministic mirror outcomes.
+	SimRollback RolloutSimRun `json:"sim_rollback"`
+	SimHealthy  RolloutSimRun `json:"sim_healthy"`
+
+	// EstSplitterOverheadUs is costmodel.SplitterOverhead for the splitter
+	// run's request count at ~100ns per routing decision.
+	EstSplitterOverheadUs float64 `json:"est_splitter_overhead_us"`
+	// EstTimeToRollbackMs is costmodel.TimeToRollback for the sim's
+	// parameters — the analytic bound the measured sim value sits under.
+	EstTimeToRollbackMs float64 `json:"est_time_to_rollback_ms"`
+	// EstRequestsAffected is costmodel.RequestsAffected at the sim's arrival
+	// rate, first-step weight and detection window.
+	EstRequestsAffected int `json:"est_requests_affected"`
+}
+
+// RolloutBenchConfig sizes the experiment.
+type RolloutBenchConfig struct {
+	// Clients / PerClient size the overhead comparison's closed loop
+	// (defaults 16 / 150).
+	Clients   int
+	PerClient int
+	// Users is the caller population (default 32) — the sticky hash spreads
+	// canary share across callers, so it needs a population to spread over.
+	Users int
+	// Steps is the ramp (default {25, 50, 100}: the first step must be
+	// likely to catch at least one sticky caller at this population size).
+	Steps []int
+	// PerWindow is requests per client per observation window in the live
+	// ramp (default 8).
+	PerWindow int
+	// CanaryExtra is the injected per-request slowdown of the canary
+	// revision (default 15ms against a ~2ms stable request).
+	CanaryExtra time.Duration
+	// SLORatio is the canary/stable mean-latency gate (default 2).
+	SLORatio float64
+	// MinSamples is the minimum canary window to judge (default 5).
+	MinSamples int
+}
+
+func (c *RolloutBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 150
+	}
+	if c.Users <= 0 {
+		c.Users = 32
+	}
+	if len(c.Steps) == 0 {
+		c.Steps = []int{25, 50, 100}
+	}
+	if c.PerWindow <= 0 {
+		c.PerWindow = 8
+	}
+	if c.CanaryExtra <= 0 {
+		c.CanaryExtra = 15 * time.Millisecond
+	}
+	if c.SLORatio <= 0 {
+		c.SLORatio = 2
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+}
+
+// RolloutSmokeConfig is the tiny CI configuration: the gate is the live
+// rollback (slow canary caught, drained, revoked, nothing lost), not the
+// throughput ratio, which is too noisy at this scale.
+func RolloutSmokeConfig() RolloutBenchConfig {
+	return RolloutBenchConfig{Clients: 8, PerClient: 24, Users: 16, PerWindow: 6}
+}
+
+const canaryRevision = "mbnet@v2"
+
+// slowSubmitter injects the canary's misbehaviour: requests targeting the
+// slow revision pay extra latency at the dispatch boundary, as a slower
+// model build would. Everything else passes through to the gateway.
+type slowSubmitter struct {
+	g      *gateway.Gateway
+	slowID string
+	extra  time.Duration
+}
+
+func (s slowSubmitter) Submit(ctx context.Context, req gateway.Request) (*gateway.Ticket, error) {
+	if s.extra > 0 && req.Body.ModelID == s.slowID {
+		time.Sleep(s.extra)
+	}
+	return s.g.Submit(ctx, req)
+}
+
+// newRolloutWorld builds a world with the canary revision deployed beside
+// its stable base (own keys, own blob) and enough user principals for the
+// sticky split to spread over.
+func newRolloutWorld(users int) (*LiveWorld, error) {
+	return NewLiveWorld(LiveWorldConfig{
+		Users:       users,
+		ExtraModels: []string{canaryRevision},
+		Gateway: gateway.Config{
+			MaxBatch:     4,
+			MaxWait:      2 * time.Millisecond,
+			MaxQueue:     4096,
+			MaxInFlight:  8,
+			PrewarmDepth: 32,
+		},
+	})
+}
+
+// splitDo issues one request through the splitter: pick the revision, build
+// the encrypted request for it, submit, observe.
+func splitDo(ctx context.Context, w *LiveWorld, split *rollout.Splitter, sub rollout.Submitter, u, seed int) (semirt.Response, error) {
+	return split.Do(ctx, sub, "", "u"+strconv.Itoa(u),
+		func(modelID string) (gateway.Request, error) {
+			req, err := w.RequestForUser(u, modelID, seed)
+			if err != nil {
+				return gateway.Request{}, err
+			}
+			return gateway.Request{
+				Action: w.Action,
+				Hints:  gateway.Hints{User: string(req.UserID)},
+				Body:   req,
+			}, nil
+		})
+}
+
+// runRolloutOverhead measures the splitter's routing tax: the identical
+// closed loop straight at the gateway vs through Splitter.Do (canary parked
+// at weight 0, so every request still routes to stable — the comparison
+// isolates the hash + snapshot + window bookkeeping).
+func runRolloutOverhead(cfg RolloutBenchConfig) (base, spl GatewayRunResult, err error) {
+	w, err := newRolloutWorld(cfg.Users)
+	if err != nil {
+		return base, spl, err
+	}
+	defer w.Close()
+	base = ClosedLoop("no-splitter", cfg.Clients, cfg.PerClient, func(ctx context.Context, seed int) (semirt.Response, error) {
+		return w.DoGatewayUser(ctx, seed%cfg.Users, seed)
+	})
+	split := rollout.NewSplitter(w.Model)
+	split.SetCanary(canaryRevision, 0)
+	spl = ClosedLoop("splitter", cfg.Clients, cfg.PerClient, func(ctx context.Context, seed int) (semirt.Response, error) {
+		return splitDo(ctx, w, split, w.Gateway, seed%cfg.Users, seed)
+	})
+	return base, spl, nil
+}
+
+// runRolloutLive ramps the deliberately slow canary on a real deployment.
+// The controller is driven synchronously: one closed-loop observation window
+// of traffic, then one Tick — the timer loop's behaviour without its timing
+// jitter, so the smoke gate is deterministic.
+func runRolloutLive(cfg RolloutBenchConfig) (RolloutLiveRun, error) {
+	w, err := newRolloutWorld(cfg.Users)
+	if err != nil {
+		return RolloutLiveRun{}, err
+	}
+	defer w.Close()
+
+	split := rollout.NewSplitter(w.Model)
+	var revoked []string
+	ctrl, err := rollout.NewController(rollout.Config{
+		Splitter:   split,
+		Canary:     canaryRevision,
+		Steps:      cfg.Steps,
+		MinSamples: cfg.MinSamples,
+		SLO:        rollout.SLO{MaxLatencyRatio: cfg.SLORatio},
+		Revoke: func(canary string) error {
+			revoked = append(revoked, canary)
+			return nil
+		},
+	})
+	if err != nil {
+		return RolloutLiveRun{}, err
+	}
+	sub := slowSubmitter{g: w.Gateway, slowID: canaryRevision, extra: cfg.CanaryExtra}
+
+	run := RolloutLiveRun{}
+	ctrl.Begin()
+	weight := split.Weight()
+	// Bound the ramp: every healthy window promotes one step, so steps+3
+	// windows is promote-or-breach with slack for held (thin) windows.
+	for wnd := 0; wnd < len(cfg.Steps)+3; wnd++ {
+		select {
+		case <-ctrl.Done():
+		default:
+		}
+		if st := ctrl.Status(); st.Phase != rollout.PhaseRamping {
+			break
+		}
+		weight = split.Weight()
+		res := ClosedLoop("window", cfg.Clients, cfg.PerWindow, func(ctx context.Context, seed int) (semirt.Response, error) {
+			return splitDo(ctx, w, split, sub, seed%cfg.Users, seed)
+		})
+		run.Requests += res.Requests
+		run.Errors += res.Errors
+		run.Windows++
+		ctrl.Tick()
+	}
+	st := ctrl.Status()
+	run.Phase = string(st.Phase)
+	if st.Phase == rollout.PhaseRolledBack {
+		run.WeightAtBreach = weight
+		run.TimeToRollbackMs = float64(st.TimeToRollback) / 1e6
+		run.RequestsAffected = st.RequestsAffected
+		run.Revoked = len(revoked) == 1 && revoked[0] == canaryRevision
+	}
+	return run, nil
+}
+
+// rolloutSimSpec is the deterministic mirror configuration shared by the
+// rollback and healthy sim runs (internal/sim's rollout tests use the same
+// shape).
+func rolloutSimSpec(slowdown float64) (sim.Config, workload.Trace) {
+	cfg := sim.Config{
+		System:       sim.SeSeMI,
+		HW:           costmodel.SGX2,
+		Nodes:        1,
+		CoresPerNode: costmodel.Cores,
+		Actions: []sim.ActionSpec{{
+			Name: "fn", Framework: "tvm", Concurrency: 4, DefaultModel: "mbnet",
+		}},
+		Rollout: sim.RolloutSpec{
+			Enabled:        true,
+			Stable:         "mbnet",
+			Canary:         canaryRevision,
+			Steps:          []int{25, 50, 100},
+			StepInterval:   10 * time.Second,
+			MinSamples:     3,
+			SLO:            rollout.SLO{MaxErrorRate: 0.1, MaxLatencyRatio: 3},
+			CanarySlowdown: slowdown,
+		},
+	}
+	const users, periods = 8, 40
+	var tr workload.Trace
+	for p := 0; p < periods; p++ {
+		for u := 0; u < users; u++ {
+			at := time.Duration(p)*time.Second + time.Duration(u)*time.Second/users
+			tr = append(tr, workload.Event{At: at, ModelID: "mbnet", UserID: "u" + strconv.Itoa(u)})
+		}
+	}
+	return cfg, tr
+}
+
+func runRolloutSim(slowdown float64) (RolloutSimRun, error) {
+	cfg, tr := rolloutSimSpec(slowdown)
+	s, err := sim.New(cfg)
+	if err != nil {
+		return RolloutSimRun{}, err
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		return RolloutSimRun{}, err
+	}
+	return RolloutSimRun{
+		Promoted:         res.Promoted,
+		RolledBack:       res.RolledBack,
+		TimeToRollbackMs: float64(res.TimeToRollback) / 1e6,
+		RequestsAffected: res.RequestsAffected,
+		Lost:             res.Lost,
+		Dropped:          res.Dropped,
+	}, nil
+}
+
+// RunRolloutBench measures all three planes and assembles the snapshot.
+func RunRolloutBench(cfg RolloutBenchConfig) (*RolloutSnapshot, error) {
+	cfg.defaults()
+	snap := &RolloutSnapshot{
+		Clients:       cfg.Clients,
+		PerClient:     cfg.PerClient,
+		Users:         cfg.Users,
+		Steps:         cfg.Steps,
+		PerWindow:     cfg.PerWindow,
+		CanaryExtraMs: float64(cfg.CanaryExtra) / 1e6,
+		SLORatio:      cfg.SLORatio,
+	}
+	var err error
+	if snap.Baseline, snap.Splitter, err = runRolloutOverhead(cfg); err != nil {
+		return nil, err
+	}
+	if snap.Baseline.RPS > 0 {
+		snap.SplitterThroughputRatio = snap.Splitter.RPS / snap.Baseline.RPS
+	}
+	if snap.Live, err = runRolloutLive(cfg); err != nil {
+		return nil, err
+	}
+	if snap.SimRollback, err = runRolloutSim(8); err != nil {
+		return nil, err
+	}
+	if snap.SimHealthy, err = runRolloutSim(0); err != nil {
+		return nil, err
+	}
+	snap.EstSplitterOverheadUs = float64(costmodel.SplitterOverhead(
+		snap.Splitter.Requests, 100*time.Nanosecond)) / 1e3
+	// Sim parameters: cold starts blur the first 10s window, so detection
+	// takes two; ~2 sticky canary callers in flight at ~550ms per slowed
+	// serve when the gate trips.
+	snap.EstTimeToRollbackMs = float64(costmodel.TimeToRollback(
+		2, 10*time.Second, 2, 550*time.Millisecond, 30*time.Second)) / 1e6
+	// The first window runs at the 25% step, the second at 50% after a
+	// blurred promote — the bound is the sum of both windows' shares.
+	snap.EstRequestsAffected = costmodel.RequestsAffected(8, 25, 10*time.Second) +
+		costmodel.RequestsAffected(8, 50, 10*time.Second)
+	return snap, nil
+}
+
+// WriteRolloutSnapshot runs the experiment and writes BENCH_rollout.json.
+func WriteRolloutSnapshot(path string, cfg RolloutBenchConfig) (*RolloutSnapshot, error) {
+	snap, err := RunRolloutBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runRolloutExperiment(w io.Writer) error {
+	header(w, "Rollout: attested canary ramp, SLO gate, auto-rollback")
+	snap, err := RunRolloutBench(RolloutBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printGatewayRun(w, snap.Baseline)
+	printGatewayRun(w, snap.Splitter)
+	fmt.Fprintf(w, "splitter throughput ratio: %.3f (target ≥ 0.97), est. routing tax %.1fµs over %d requests\n",
+		snap.SplitterThroughputRatio, snap.EstSplitterOverheadUs, snap.Splitter.Requests)
+	fmt.Fprintf(w, "live ramp: %s after %d windows, %d requests, %d errors; weight at breach %d%%, rollback in %.0fms, %d canary requests affected, revoked=%v\n",
+		snap.Live.Phase, snap.Live.Windows, snap.Live.Requests, snap.Live.Errors,
+		snap.Live.WeightAtBreach, snap.Live.TimeToRollbackMs, snap.Live.RequestsAffected, snap.Live.Revoked)
+	fmt.Fprintf(w, "sim slow canary: rolled_back=%v in %.0fms (est ≤ %.0fms), %d affected (est ≤ %d), lost %d, dropped %d\n",
+		snap.SimRollback.RolledBack, snap.SimRollback.TimeToRollbackMs, snap.EstTimeToRollbackMs,
+		snap.SimRollback.RequestsAffected, snap.EstRequestsAffected, snap.SimRollback.Lost, snap.SimRollback.Dropped)
+	fmt.Fprintf(w, "sim healthy canary: promoted=%v, lost %d, dropped %d\n",
+		snap.SimHealthy.Promoted, snap.SimHealthy.Lost, snap.SimHealthy.Dropped)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "rollout",
+		Title: "Canary rollout: SLO-guarded ramp with auto-rollback",
+		Run:   runRolloutExperiment,
+	})
+}

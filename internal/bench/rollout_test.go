@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"sesemi/internal/rollout"
+)
+
+// The rollout experiment's CI contract, in-process: the deliberately slow
+// canary must be rolled back with zero lost requests and its measurement
+// revoked, the healthy mirror must promote, and the splitter must not tax
+// steady-state throughput.
+func TestRolloutSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	snap, err := RunRolloutBench(RolloutSmokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Live.Phase != string(rollout.PhaseRolledBack) {
+		t.Fatalf("live ramp ended %q, want rolled back", snap.Live.Phase)
+	}
+	if !snap.Live.Revoked {
+		t.Fatal("rollback did not revoke the canary measurement")
+	}
+	if snap.Live.Errors != 0 {
+		t.Fatalf("%d requests lost during the live ramp", snap.Live.Errors)
+	}
+	if !snap.SimRollback.RolledBack || snap.SimRollback.Lost != 0 || snap.SimRollback.Dropped != 0 {
+		t.Fatalf("sim rollback: %+v", snap.SimRollback)
+	}
+	if !snap.SimHealthy.Promoted {
+		t.Fatalf("sim healthy canary not promoted: %+v", snap.SimHealthy)
+	}
+	// The smoke config is small enough for scheduler noise, so gate looser
+	// than the committed snapshot's 0.97.
+	if snap.SplitterThroughputRatio < 0.8 {
+		t.Fatalf("splitter throughput ratio %.2f", snap.SplitterThroughputRatio)
+	}
+}

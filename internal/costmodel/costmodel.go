@@ -152,9 +152,11 @@ const requestCryptoDefault = 5 * time.Millisecond
 // are modeled separately through EPC paging and EPID attestation).
 const sgx1Penalty = 1.0
 
-// Stages returns the per-stage cost model for a combination.
+// Stages returns the per-stage cost model for a combination. Versioned
+// model ids ("mbnet@v2") resolve to their base model's costs: a revision is
+// the same architecture re-trained, so it shares the stage calibration.
 func Stages(hw HW, framework, modelID string) (StageCosts, error) {
-	key := framework + "/" + modelID
+	key := framework + "/" + model.BaseID(modelID)
 	var s StageCosts
 	var ok bool
 	switch hw {
@@ -498,7 +500,7 @@ func DRRExpectedWait(queued int, share, rate float64) time.Duration {
 // §VI-A for each model. Cluster (NFS) storage instead uses the ModelLoad
 // stage costs.
 func CloudDownload(modelID string) (time.Duration, error) {
-	switch modelID {
+	switch model.BaseID(modelID) {
 	case "mbnet":
 		return 180 * time.Millisecond, nil
 	case "dsnet":
@@ -521,14 +523,14 @@ func EnclaveConfigBytes(framework, modelID string, concurrency int) (int64, erro
 		"tvm/rsnet":  0x23000000,
 		"tvm/dsnet":  0x8000000,
 	}
-	b, ok := base[framework+"/"+modelID]
+	b, ok := base[framework+"/"+model.BaseID(modelID)]
 	if !ok {
 		return 0, fmt.Errorf("costmodel: unknown combination %s/%s", framework, modelID)
 	}
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	spec, ok := model.Zoo[modelID]
+	spec, ok := model.Zoo[model.BaseID(modelID)]
 	if !ok {
 		return 0, fmt.Errorf("costmodel: unknown model %q", modelID)
 	}
@@ -540,7 +542,7 @@ func EnclaveConfigBytes(framework, modelID string, concurrency int) (int64, erro
 // decrypted model, n runtime buffers, and a fixed overhead for code and TCS
 // stacks.
 func EnclaveMemoryBytes(framework, modelID string, concurrency int) (int64, error) {
-	spec, ok := model.Zoo[modelID]
+	spec, ok := model.Zoo[model.BaseID(modelID)]
 	if !ok {
 		return 0, fmt.Errorf("costmodel: unknown model %q", modelID)
 	}
@@ -745,7 +747,7 @@ func AvailabilityUnderFaults(failProb float64, attempts int) float64 {
 // small private arena, so co-located threads share the model pages
 // (§VI-B's explanation of TFLM-4 vs TFLM-1).
 func ExecWorkingSet(framework, modelID string, threadsPerEnclave int) (int64, error) {
-	spec, ok := model.Zoo[modelID]
+	spec, ok := model.Zoo[model.BaseID(modelID)]
 	if !ok {
 		return 0, fmt.Errorf("costmodel: unknown model %q", modelID)
 	}
@@ -779,6 +781,74 @@ func PagingDelay(workingSet int64, concurrentPagers int, residentEPC, epc int64)
 	}
 	sec := float64(workingSet) * float64(concurrentPagers) / PagingBandwidth
 	return time.Duration(sec * float64(time.Second))
+}
+
+// SplitterOverhead is the per-request routing tax of the revision splitter:
+// one sticky-hash evaluation (FNV over the caller key plus a mixing step) and
+// one atomic snapshot load, both lock-free on the submit path. perRequest is
+// the measured per-decision cost (~tens of nanoseconds in-process); the bench
+// gates the splitter's steady-state throughput at ≥ 0.97x the no-splitter
+// baseline, which this linear model predicts comfortably: O_split = n × c is
+// invisible next to a single request's crypto stage. Non-positive inputs
+// return 0.
+func SplitterOverhead(requests int, perRequest time.Duration) time.Duration {
+	if requests <= 0 || perRequest <= 0 {
+		return 0
+	}
+	return time.Duration(requests) * perRequest
+}
+
+// TimeToRollback is the worst-case interval from the moment a canary
+// revision starts misbehaving to the rollback completing:
+//
+//	T = detect + drain
+//	detect ≤ windows × stepInterval   (windows full observation windows
+//	                                   must breach before the gate trips —
+//	                                   1 for a hard breach, more when cold
+//	                                   starts blur the first window)
+//	drain  ≤ min(inflight × serve, drainTimeout)
+//
+// The rollback itself is O(1): zero the weight (one atomic store — no new
+// canary traffic from that instant) and revoke the measurement after the
+// drain. The drain term is what the enclave setting adds: revoking a
+// measurement kills key release CLUSTER-WIDE for that build, so in-flight
+// canary requests must land before revocation or they die mid-serve.
+func TimeToRollback(windows int, stepInterval time.Duration, inflight int, serve, drainTimeout time.Duration) time.Duration {
+	if windows < 1 {
+		windows = 1
+	}
+	if stepInterval < 0 {
+		stepInterval = 0
+	}
+	t := time.Duration(windows) * stepInterval
+	var drain time.Duration
+	if inflight > 0 && serve > 0 {
+		drain = time.Duration(inflight) * serve
+	}
+	if drainTimeout > 0 && drain > drainTimeout {
+		drain = drainTimeout
+	}
+	return t + drain
+}
+
+// RequestsAffected bounds a bad canary's blast radius: the requests the
+// canary absorbs before rollback at arrival rate `rate` (requests/second)
+// with ramp weight `weightPct` (percent) over detection time t,
+//
+//	N ≤ rate × (weight/100) × t
+//
+// The ramp's whole point is making this proportional to the FIRST step's
+// weight rather than full traffic: a 1% first step caps the damage at 1% of
+// one observation window's arrivals (plus the drain tail). Non-positive
+// inputs return 0; weights above 100 clamp.
+func RequestsAffected(rate float64, weightPct int, t time.Duration) int {
+	if rate <= 0 || weightPct <= 0 || t <= 0 {
+		return 0
+	}
+	if weightPct > 100 {
+		weightPct = 100
+	}
+	return int(rate * float64(weightPct) / 100 * t.Seconds())
 }
 
 func min(a, b int) int {

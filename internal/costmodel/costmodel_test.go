@@ -704,3 +704,59 @@ func TestAvailabilityUnderFaults(t *testing.T) {
 		t.Fatal("clamped inputs")
 	}
 }
+
+func TestSplitterOverhead(t *testing.T) {
+	// A thousand routing decisions at 50ns each: 50µs total — invisible
+	// next to a single request's 5ms crypto stage.
+	if got := SplitterOverhead(1000, 50*time.Nanosecond); got != 50*time.Microsecond {
+		t.Fatalf("O_split = %v, want 50µs", got)
+	}
+	// Linear in request count, like the other per-op taxes.
+	if SplitterOverhead(2000, 50*time.Nanosecond) != 2*SplitterOverhead(1000, 50*time.Nanosecond) {
+		t.Fatal("overhead must be linear in request count")
+	}
+	if SplitterOverhead(0, time.Second) != 0 || SplitterOverhead(-1, time.Second) != 0 ||
+		SplitterOverhead(5, 0) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}
+
+func TestTimeToRollback(t *testing.T) {
+	// One breached 10s window plus 20 in-flight at 100ms each: 12s.
+	if got := TimeToRollback(1, 10*time.Second, 20, 100*time.Millisecond, 30*time.Second); got != 12*time.Second {
+		t.Fatalf("T = %v, want 12s", got)
+	}
+	// The drain term is capped by the timeout: a wedged canary cannot stall
+	// the rollback forever.
+	if got := TimeToRollback(1, 10*time.Second, 1000, time.Second, 30*time.Second); got != 40*time.Second {
+		t.Fatalf("T = %v, want 40s (drain capped at timeout)", got)
+	}
+	// Cold-start blur costing an extra window adds exactly one interval.
+	if TimeToRollback(2, 10*time.Second, 0, 0, 0)-TimeToRollback(1, 10*time.Second, 0, 0, 0) != 10*time.Second {
+		t.Fatal("each extra detection window adds one step interval")
+	}
+	// Degenerate inputs floor sensibly.
+	if TimeToRollback(0, 5*time.Second, 0, 0, 0) != 5*time.Second {
+		t.Fatal("detection takes at least one window")
+	}
+}
+
+func TestRequestsAffected(t *testing.T) {
+	// 100 req/s at a 5% first step for a 10s window: 50 requests — the ramp
+	// caps blast radius at the first step's share, not full traffic.
+	if got := RequestsAffected(100, 5, 10*time.Second); got != 50 {
+		t.Fatalf("N = %d, want 50", got)
+	}
+	// Proportional to weight: the 1% step absorbs a fifth of the 5% step.
+	if RequestsAffected(100, 1, 10*time.Second)*5 != RequestsAffected(100, 5, 10*time.Second) {
+		t.Fatal("blast radius must scale with ramp weight")
+	}
+	// Weights clamp at 100%; non-positive inputs return 0.
+	if RequestsAffected(100, 150, time.Second) != 100 {
+		t.Fatal("weight must clamp at 100%")
+	}
+	if RequestsAffected(0, 5, time.Second) != 0 || RequestsAffected(100, 0, time.Second) != 0 ||
+		RequestsAffected(100, 5, 0) != 0 {
+		t.Fatal("non-positive inputs must return 0")
+	}
+}

@@ -245,6 +245,127 @@ func TestSpillToNextRingCandidate(t *testing.T) {
 	}
 }
 
+// TestSpillWalksDistinctSuccessorsAndTerminates saturates a key's home shard
+// AND its first ring successor: admission must land on the key's SECOND
+// distinct successor — never revisiting a shard, never touching a shard
+// outside the SpillDepth+1 candidate set — and once every candidate is
+// saturated it must return ErrOverloaded promptly instead of walking the
+// ring forever. Runs under -race in CI.
+func TestSpillWalksDistinctSuccessorsAndTerminates(t *testing.T) {
+	const shards = 4
+	invs := make([]gateway.Invoker, shards)
+	echos := make([]*echoInvoker, shards)
+	for i := range invs {
+		e := newEchoInvoker()
+		e.block = make(chan struct{})
+		echos[i], invs[i] = e, e
+	}
+	defer func() {
+		for _, e := range echos {
+			e.release()
+		}
+	}()
+	f := NewPerShard(Config{
+		Config: gateway.Config{MaxBatch: 1, MaxWait: time.Microsecond,
+			MaxQueue: 1, MaxInFlight: 1, TenantQuota: 1},
+		SpillDepth:    2,
+		StealInterval: -1, // isolate spilling
+	}, invs)
+	defer f.Close()
+	ctx := context.Background()
+
+	model := modelHomedOn(t, f, "a", 0)
+	var buf [8]int
+	cands := f.ring.Load().shardsFor(routeKey("a", model, gateway.DefaultTenant), f.cfg.SpillDepth+1, buf[:0])
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %v, want 3 distinct", cands)
+	}
+	outside := -1
+	for s := 0; s < shards; s++ {
+		if s != cands[0] && s != cands[1] && s != cands[2] {
+			outside = s
+		}
+	}
+
+	// Saturate home and first successor: one request in the (blocked)
+	// dispatch slot, one in the 1-deep queue. Direct shard submits keep the
+	// setup independent of the spill logic under test. Distinct tenants per
+	// filler sidestep TenantQuota; the spill probe uses the default tenant.
+	var held []*gateway.Ticket
+	for _, s := range cands[:2] {
+		for i := 0; i < 2; i++ {
+			tk, err := f.Shard(s).Submit(ctx, gateway.Request{
+				Action: "a", Tenant: fmt.Sprintf("filler%d", i),
+				Body: req(model, fmt.Sprintf("fill-%d-%d", s, i)),
+			})
+			if err != nil {
+				t.Fatalf("saturate shard %d: %v", s, err)
+			}
+			held = append(held, tk)
+		}
+		waitFor(t, func() bool { return f.Shard(s).Backlog() == 1 })
+	}
+
+	// The probe must walk home → successor 1 → successor 2 and admit there.
+	tk, err := f.Submit(ctx, gateway.Request{Action: "a", Body: req(model, "deep-spill")})
+	if err != nil {
+		t.Fatalf("deep spill submit: %v", err)
+	}
+	held = append(held, tk)
+	if s := f.Stats(); s.Spills != 1 {
+		t.Fatalf("spills = %d, want 1", s.Spills)
+	}
+	// It dispatched on the second successor (blocked slot), nowhere else.
+	waitFor(t, func() bool { return f.Shard(cands[2]).Stats().Accepted == 1 })
+
+	// Saturate the second successor's queue too: every candidate is now
+	// full, so admission must fail with ErrOverloaded after the bounded walk
+	// — not hang, not loop, not leak onto the non-candidate shard.
+	fill, err := f.Shard(cands[2]).Submit(ctx, gateway.Request{
+		Action: "a", Tenant: "filler0", Body: req(model, "fill-last"),
+	})
+	if err != nil {
+		t.Fatalf("saturate shard %d: %v", cands[2], err)
+	}
+	held = append(held, fill)
+	waitFor(t, func() bool { return f.Shard(cands[2]).Backlog() == 1 })
+	if _, err := f.Submit(ctx, gateway.Request{Action: "a", Body: req(model, "rejected")}); !errors.Is(err, gateway.ErrOverloaded) {
+		t.Fatalf("all candidates saturated: err = %v, want ErrOverloaded", err)
+	}
+	if st := f.Shard(outside).Stats(); st.Accepted != 0 {
+		t.Fatalf("non-candidate shard %d admitted %d requests", outside, st.Accepted)
+	}
+
+	// Fairness neutrality: releasing the backends completes every held
+	// request exactly once; nothing was lost or double-served by the walk.
+	for _, e := range echos {
+		e.release()
+	}
+	for i, tk := range held {
+		if _, err := tk.Wait(ctx); err != nil {
+			t.Fatalf("held request %d: %v", i, err)
+		}
+	}
+	total := 0
+	for _, e := range echos {
+		e.mu.Lock()
+		for p, c := range e.served {
+			if c != 1 {
+				e.mu.Unlock()
+				t.Fatalf("payload %s served %d times", p, c)
+			}
+			total++
+		}
+		e.mu.Unlock()
+	}
+	if total != len(held) {
+		t.Fatalf("served %d distinct payloads, want %d", total, len(held))
+	}
+	if s := f.Stats(); s.Served != uint64(len(held)) || s.Pending != 0 {
+		t.Fatalf("merged accounting off: %+v", s)
+	}
+}
+
 // TestStealCompletesSaturatedShardExactlyOnce is the work-stealing property
 // test (run under -race in CI): every request admitted to a saturated shard
 // completes exactly once — served either by the stealing shard (the stolen

@@ -65,6 +65,37 @@ func TestRetriesExhaustedTyped(t *testing.T) {
 	}
 }
 
+// badRequestInvoker answers every call with a wrapped semirt.ErrBadRequest,
+// as a backend whose envelope never parses (or decrypts) would.
+type badRequestInvoker struct{ calls atomic.Int32 }
+
+func (b *badRequestInvoker) Invoke(ctx context.Context, action string, payload []byte) ([]byte, error) {
+	b.calls.Add(1)
+	return nil, fmt.Errorf("%w: request decrypt: injected", semirt.ErrBadRequest)
+}
+
+// A deterministic request failure (malformed envelope, undecryptable
+// payload) must fail fast: one backend attempt, no retries burned, no
+// ErrRetriesExhausted — even with a generous retry budget.
+func TestBadRequestFailsFastWithoutRetry(t *testing.T) {
+	inv := &badRequestInvoker{}
+	g := New(Config{MaxBatch: 1, MaxRetries: 3, RetryBackoff: 100 * time.Microsecond}, inv)
+	defer g.Close()
+	_, err := g.Do(context.Background(), "fn", req("m", 0))
+	if !errors.Is(err, semirt.ErrBadRequest) {
+		t.Fatalf("err = %v, want semirt.ErrBadRequest", err)
+	}
+	if errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("bad request misclassified as exhausted retries: %v", err)
+	}
+	if got := inv.calls.Load(); got != 1 {
+		t.Fatalf("backend calls = %d, want 1 (no retries for deterministic failures)", got)
+	}
+	if st := g.Stats(); st.Retries != 0 {
+		t.Fatalf("Stats.Retries = %d, want 0", st.Retries)
+	}
+}
+
 // Satellite: a panicking backend must fail its batch with the typed
 // ErrBackendPanic — recovered in the dispatch goroutine — and the gateway
 // keeps serving afterwards.

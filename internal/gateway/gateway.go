@@ -1089,7 +1089,9 @@ func (g *Gateway) armDeadlineWatchdogLocked(q *queue, p *pending) {
 
 // retryable reports whether a dispatch error may be retried: backend faults
 // (node down, instance failure, recovered panic) are; outcomes the caller
-// chose or that cannot change (deadline, cancel, shutdown) are not.
+// chose or that cannot change are not — deadline, cancel, shutdown, and
+// deterministic request failures (semirt.ErrBadRequest: malformed envelope
+// or undecryptable payload, which would replay identically every attempt).
 func (g *Gateway) retryable(err error) bool {
 	if g.cfg.MaxRetries <= 0 || err == nil {
 		return false
@@ -1097,6 +1099,7 @@ func (g *Gateway) retryable(err error) bool {
 	switch {
 	case errors.Is(err, ErrDeadline), errors.Is(err, ErrCanceled),
 		errors.Is(err, ErrClosed), errors.Is(err, serverless.ErrClosed),
+		errors.Is(err, semirt.ErrBadRequest),
 		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return false
 	}

@@ -1,0 +1,138 @@
+package keyservice
+
+import (
+	"fmt"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/secure"
+)
+
+// Measurement allowlist: the admission layer of attested canary rollout.
+//
+// The ACM (Algorithm 1) decides which ⟨Moid‖ES‖uid⟩ triples may be
+// provisioned; the allowlist sits in front of it and decides which enclave
+// measurements ES may be provisioned AT ALL. It exists for revocation speed:
+// rolling back a bad model revision must strip its enclave build of key
+// access in one operation, without enumerating (and deleting) every grant
+// and request key deposited against it. Grants stay in place, so re-admitting
+// the measurement (a fixed canary re-ramp) restores service instantly.
+//
+// Enforcement is opt-in but latching: a service starts in admit-all mode
+// (every pre-revision deployment keeps working), the first ADMIT_MEASUREMENT
+// switches it to default-deny, and it never switches back — revoking every
+// admitted measurement fails closed, not open.
+
+// ErrNotAdmitted reports a provisioning attempt by an enclave whose
+// measurement is not on the allowlist (revoked, or never admitted while
+// enforcement is on).
+var ErrNotAdmitted = fmt.Errorf("%w: enclave measurement not admitted", ErrNotAuthorized)
+
+// MeasurementStat is one measurement's allowlist record: whether it is
+// currently admitted, and how many provisioning attempts it has had admitted
+// and rejected. Rejects on a previously-admitted measurement are the
+// observable trace of a rollback revocation.
+type MeasurementStat struct {
+	Admitted bool   `json:"admitted"`
+	Admits   uint64 `json:"admits"`
+	Rejects  uint64 `json:"rejects"`
+}
+
+// measurementMsg is the plaintext of [ES]_{K_pid} for admit/revoke.
+type measurementMsg struct {
+	Enclave attest.Measurement `json:"enclave"`
+}
+
+// AdmitMeasurement implements ADMIT_MEASUREMENT: a registered principal (the
+// platform operator in this deployment model) adds an enclave measurement to
+// the allowlist. The first admission turns enforcement on permanently.
+func (s *Service) AdmitMeasurement(pid secure.ID, sealed []byte) error {
+	es, err := s.openMeasurement(pid, "admit_measurement", sealed)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enforcing = true
+	s.allowed[es.Hex()] = true
+	return nil
+}
+
+// RevokeMeasurement implements REVOKE_MEASUREMENT: the measurement loses
+// key-provisioning rights immediately. Grants and request keys survive, so
+// re-admission restores service without re-running the owner/user workflow.
+func (s *Service) RevokeMeasurement(pid secure.ID, sealed []byte) error {
+	es, err := s.openMeasurement(pid, "revoke_measurement", sealed)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.allowed, es.Hex())
+	return nil
+}
+
+func (s *Service) openMeasurement(pid secure.ID, context string, sealed []byte) (attest.Measurement, error) {
+	kp, err := s.identityKey(pid)
+	if err != nil {
+		return attest.Measurement{}, err
+	}
+	var msg measurementMsg
+	if err := openInto(kp, context, sealed, &msg); err != nil {
+		return attest.Measurement{}, err
+	}
+	return msg.Enclave, nil
+}
+
+// MeasurementAdmitted reports whether es would pass the allowlist right now
+// (always true while enforcement is off). It does not count an attempt.
+func (s *Service) MeasurementAdmitted(es attest.Measurement) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.enforcing || s.allowed[es.Hex()]
+}
+
+// checkAdmission is the provisioning-path gate: it decides and counts.
+// Counting happens even in admit-all mode, so /stats shows per-measurement
+// provisioning traffic before any rollout policy is configured.
+func (s *Service) checkAdmission(es attest.Measurement) error {
+	hex := es.Hex()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.measurements[hex]
+	if st == nil {
+		st = &MeasurementStat{}
+		s.measurements[hex] = st
+	}
+	if s.enforcing && !s.allowed[hex] {
+		st.Rejects++
+		return fmt.Errorf("%w: %s", ErrNotAdmitted, hex[:8])
+	}
+	st.Admits++
+	return nil
+}
+
+// MeasurementStats snapshots the allowlist: every measurement that is
+// admitted or has attempted provisioning, with its admit/reject counters.
+func (s *Service) MeasurementStats() map[string]MeasurementStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]MeasurementStat, len(s.measurements))
+	for hex, st := range s.measurements {
+		cp := *st
+		cp.Admitted = !s.enforcing || s.allowed[hex]
+		out[hex] = cp
+	}
+	for hex := range s.allowed {
+		if _, ok := out[hex]; !ok {
+			out[hex] = MeasurementStat{Admitted: true}
+		}
+	}
+	return out
+}
+
+// Enforcing reports whether the allowlist is in default-deny mode.
+func (s *Service) Enforcing() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.enforcing
+}

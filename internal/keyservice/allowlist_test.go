@@ -1,0 +1,221 @@
+package keyservice
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"sesemi/internal/attest"
+	"sesemi/internal/costmodel"
+	"sesemi/internal/enclave"
+	"sesemi/internal/ratls"
+	"sesemi/internal/secure"
+	"sesemi/internal/vclock"
+)
+
+// allowlistWorld is a launched KeyService with one owner, one user, one
+// model, and two enclave identities (stable and canary) granted on it.
+type allowlistWorld struct {
+	t      *testing.T
+	svc    *Service
+	srv    *Server
+	addr   string
+	ca     *attest.CA
+	ksES   attest.Measurement
+	owner  *Client
+	user   *Client
+	userID secure.ID
+
+	stable, canary attest.Measurement
+	stableQ        ratls.Quoter
+	canaryQ        ratls.Quoter
+}
+
+func newAllowlistWorld(t *testing.T) *allowlistWorld {
+	t.Helper()
+	ca, err := attest.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.Real{Scale: 0}
+	ksKey, err := ca.Provision("ks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	ksEnc, err := enclave.NewPlatform(costmodel.SGX2, clock, ksKey).Launch(ManifestFor(4), svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ksEnc.Destroy)
+	srv, err := NewServer(svc, ca.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	w := &allowlistWorld{t: t, svc: svc, srv: srv, addr: ln.Addr().String(), ca: ca, ksES: ksEnc.Measurement()}
+	dial := TCPDialer(w.addr)
+	w.owner = NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("al-owner"))
+	t.Cleanup(func() { w.owner.Close() })
+	w.user = NewClient(dial, ca.PublicKey(), ksEnc.Measurement(), secure.KeyFromSeed("al-user"))
+	t.Cleanup(func() { w.user.Close() })
+	if err := w.owner.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.user.Register(); err != nil {
+		t.Fatal(err)
+	}
+	w.userID = w.user.ID()
+
+	// Two SeMIRT identities: the stable build and the canary revision's
+	// build. Each is a real enclave on its own platform so provisioning runs
+	// over genuine mutual attestation.
+	w.stable, w.stableQ = w.launchSemirt("stable", "mbnet")
+	w.canary, w.canaryQ = w.launchSemirt("canary", "mbnet@v2")
+	if w.stable == w.canary {
+		t.Fatal("revision measurements must differ")
+	}
+
+	for _, es := range []attest.Measurement{w.stable, w.canary} {
+		km := secure.KeyFromSeed("al-km")
+		if err := w.owner.AddModelKey("mbnet", km); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.owner.GrantAccess("mbnet", es, w.userID); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.user.AddReqKey("mbnet", es, secure.KeyFromSeed("al-kr")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// launchSemirt launches a minimal enclave whose measurement stands in for a
+// SeMIRT revision build (the manifest varies by the fixed model id, exactly
+// as semirt.Config.ForRevision varies it).
+func (w *allowlistWorld) launchSemirt(name, fixedModel string) (attest.Measurement, ratls.Quoter) {
+	w.t.Helper()
+	key, err := w.ca.Provision("node-" + name)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	man := enclave.Manifest{
+		Name:        "semirt-" + name,
+		CodeHash:    enclave.CodeIdentity("sesemi/semirt", "v1", "fixedmodel="+fixedModel),
+		TCSCount:    1,
+		MemoryBytes: 1 << 20,
+	}
+	enc, err := enclave.NewPlatform(costmodel.SGX2, vclock.Real{Scale: 0}, key).Launch(man, nopProgram{})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(enc.Destroy)
+	return enc.Measurement(), enc
+}
+
+type nopProgram struct{}
+
+func (nopProgram) Init(*enclave.Enclave) error { return nil }
+
+// provision runs one KEY_PROVISIONING round trip as the given enclave.
+func (w *allowlistWorld) provision(q ratls.Quoter) error {
+	ec := NewEnclaveClient(TCPDialer(w.addr), w.ca.PublicKey(), w.ksES, q)
+	sess, err := ec.Connect()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	_, _, err = sess.Provision(w.userID, "mbnet")
+	return err
+}
+
+func TestRevokedMeasurementRejectedAndCounted(t *testing.T) {
+	w := newAllowlistWorld(t)
+
+	// Admit-all mode: both identities provision (and are counted as admits).
+	if err := w.provision(w.stableQ); err != nil {
+		t.Fatalf("stable pre-enforcement: %v", err)
+	}
+	if err := w.provision(w.canaryQ); err != nil {
+		t.Fatalf("canary pre-enforcement: %v", err)
+	}
+
+	// Admit stable and canary explicitly: enforcement latches on.
+	if err := w.owner.AdmitMeasurement(w.stable); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.owner.AdmitMeasurement(w.canary); err != nil {
+		t.Fatal(err)
+	}
+	if !w.svc.Enforcing() {
+		t.Fatal("enforcement should latch on after first admit")
+	}
+	if err := w.provision(w.canaryQ); err != nil {
+		t.Fatalf("admitted canary: %v", err)
+	}
+
+	// Rollback: revoke the canary. It must be rejected immediately, the
+	// stable build must keep provisioning, and the rejection must be counted.
+	if err := w.owner.RevokeMeasurement(w.canary); err != nil {
+		t.Fatal(err)
+	}
+	err := w.provision(w.canaryQ)
+	if err == nil {
+		t.Fatal("revoked canary still obtained keys")
+	}
+	if !strings.Contains(err.Error(), "not admitted") {
+		t.Fatalf("want not-admitted rejection, got %v", err)
+	}
+	if err := w.provision(w.stableQ); err != nil {
+		t.Fatalf("stable after canary revocation: %v", err)
+	}
+
+	stats, err := w.owner.MeasurementStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canarySt := stats[w.canary.Hex()]
+	if canarySt.Admitted {
+		t.Fatal("canary still admitted in stats")
+	}
+	if canarySt.Admits != 2 || canarySt.Rejects != 1 {
+		t.Fatalf("canary counters = %+v, want 2 admits / 1 reject", canarySt)
+	}
+	stableSt := stats[w.stable.Hex()]
+	if !stableSt.Admitted || stableSt.Admits != 2 || stableSt.Rejects != 0 {
+		t.Fatalf("stable counters = %+v, want admitted, 2 admits / 0 rejects", stableSt)
+	}
+}
+
+func TestDirectServiceAllowlist(t *testing.T) {
+	// Service-level check without the wire: ErrNotAdmitted wraps
+	// ErrNotAuthorized so existing retry/shed classification keeps working.
+	svc := NewService()
+	es := enclave.Manifest{Name: "x", CodeHash: enclave.CodeIdentity("p", "v"), TCSCount: 1, MemoryBytes: 1 << 20}.Measure()
+	if !svc.MeasurementAdmitted(es) {
+		t.Fatal("admit-all mode should admit any measurement")
+	}
+	if err := svc.checkAdmission(es); err != nil {
+		t.Fatalf("admit-all checkAdmission: %v", err)
+	}
+	svc.mu.Lock()
+	svc.enforcing = true
+	svc.mu.Unlock()
+	err := svc.checkAdmission(es)
+	if !errors.Is(err, ErrNotAdmitted) || !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("want ErrNotAdmitted wrapping ErrNotAuthorized, got %v", err)
+	}
+	st := svc.MeasurementStats()[es.Hex()]
+	if st.Admits != 1 || st.Rejects != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}

@@ -154,6 +154,39 @@ func (c *Client) AddReqKey(modelID string, es attest.Measurement, kr secure.Key)
 	return err
 }
 
+// AdmitMeasurement adds an enclave measurement to the provisioning
+// allowlist (ADMIT_MEASUREMENT). The first admission switches the service
+// to default-deny: only admitted measurements can obtain keys after it.
+func (c *Client) AdmitMeasurement(es attest.Measurement) error {
+	sealed, err := sealFrom(c.key, "admit_measurement", measurementMsg{Enclave: es})
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(Request{Op: OpAdmitMeasurement, ID: c.id, Sealed: sealed})
+	return err
+}
+
+// RevokeMeasurement strips an enclave measurement of key-provisioning
+// rights (REVOKE_MEASUREMENT) — the rollback path of a canary rollout.
+func (c *Client) RevokeMeasurement(es attest.Measurement) error {
+	sealed, err := sealFrom(c.key, "revoke_measurement", measurementMsg{Enclave: es})
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(Request{Op: OpRevokeMeasurement, ID: c.id, Sealed: sealed})
+	return err
+}
+
+// MeasurementStats fetches the allowlist snapshot: per-measurement admitted
+// flag and admit/reject counters.
+func (c *Client) MeasurementStats() (map[string]MeasurementStat, error) {
+	resp, err := c.roundTrip(Request{Op: OpMeasurementStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Measurements, nil
+}
+
 // EnclaveClient is the SeMIRT side of key provisioning: it connects with
 // mutual attestation (its own quote + verification of E_K) and calls
 // KEY_PROVISIONING.

@@ -24,11 +24,14 @@ import (
 
 // Op names.
 const (
-	OpRegister    = "register"
-	OpAddModelKey = "add_model_key"
-	OpGrantAccess = "grant_access"
-	OpAddReqKey   = "add_req_key"
-	OpProvision   = "provision"
+	OpRegister          = "register"
+	OpAddModelKey       = "add_model_key"
+	OpGrantAccess       = "grant_access"
+	OpAddReqKey         = "add_req_key"
+	OpProvision         = "provision"
+	OpAdmitMeasurement  = "admit_measurement"
+	OpRevokeMeasurement = "revoke_measurement"
+	OpMeasurementStats  = "measurement_stats"
 )
 
 // Request is one client→KeyService message.
@@ -55,6 +58,8 @@ type Response struct {
 	// mutually attested channels).
 	ModelKey   *secure.Key `json:"model_key,omitempty"`
 	RequestKey *secure.Key `json:"request_key,omitempty"`
+	// Measurements carries the allowlist snapshot for OpMeasurementStats.
+	Measurements map[string]MeasurementStat `json:"measurements,omitempty"`
 }
 
 // Server exposes a Service over a listener. Each connection is handled by
@@ -80,9 +85,10 @@ type Server struct {
 }
 
 // NewServer wires a launched Service to its enclave. caPublicKey is the
-// attestation root used to verify connecting SeMIRT enclaves; the ACM
-// decides *which* measurements get keys, so the policy carries no
-// measurement allow-list.
+// attestation root used to verify connecting SeMIRT enclaves. The quote
+// policy itself carries no measurement allow-list: which measurements get
+// keys is decided inside the Service — by the ACM, and by the revocable
+// measurement allowlist in front of it (allowlist.go).
 func NewServer(svc *Service, caPublicKey []byte) (*Server, error) {
 	if svc.Enclave() == nil {
 		return nil, errors.New("keyservice: service not launched in an enclave")
@@ -233,6 +239,18 @@ func (s *Server) dispatch(ch *ratls.Conn, req *Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true}
+	case OpAdmitMeasurement:
+		if err := s.svc.AdmitMeasurement(req.ID, req.Sealed); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case OpRevokeMeasurement:
+		if err := s.svc.RevokeMeasurement(req.ID, req.Sealed); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case OpMeasurementStats:
+		return Response{OK: true, Measurements: s.svc.MeasurementStats()}
 	case OpProvision:
 		quote := ch.PeerQuote()
 		if quote == nil {

@@ -71,6 +71,12 @@ type Service struct {
 	reqKeys map[string]secure.Key
 	// acm is ACM: the set of authorized Moid‖ES‖uid records.
 	acm map[string]bool
+	// allowed is the enclave-measurement allowlist (allowlist.go); enforcing
+	// latches to true on the first admission and never resets.
+	allowed   map[string]bool
+	enforcing bool
+	// measurements carries per-measurement admit/reject counters.
+	measurements map[string]*MeasurementStat
 
 	enc *enclave.Enclave
 }
@@ -83,10 +89,12 @@ type modelKeyEntry struct {
 // NewService creates an empty KeyService program.
 func NewService() *Service {
 	return &Service{
-		identities: map[secure.ID]secure.Key{},
-		modelKeys:  map[string]modelKeyEntry{},
-		reqKeys:    map[string]secure.Key{},
-		acm:        map[string]bool{},
+		identities:   map[secure.ID]secure.Key{},
+		modelKeys:    map[string]modelKeyEntry{},
+		reqKeys:      map[string]secure.Key{},
+		acm:          map[string]bool{},
+		allowed:      map[string]bool{},
+		measurements: map[string]*MeasurementStat{},
 	}
 }
 
@@ -205,9 +213,13 @@ func (s *Service) AddReqKey(uid secure.ID, sealed []byte) error {
 
 // KeyProvisioning implements KEY_PROVISIONING (lines 21-26): a SeMIRT
 // enclave whose verified measurement is es requests the model and request
-// keys for (uid, moid). Both the ACM record and the user's deposited request
-// key must exist.
+// keys for (uid, moid). The measurement must pass the allowlist
+// (allowlist.go — the admit/reject is counted either way), and both the ACM
+// record and the user's deposited request key must exist.
 func (s *Service) KeyProvisioning(uid secure.ID, moid string, es attest.Measurement) (km, kr secure.Key, err error) {
+	if err := s.checkAdmission(es); err != nil {
+		return secure.Key{}, secure.Key{}, err
+	}
 	k := acKey(moid, es, uid)
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -1,0 +1,54 @@
+package model
+
+import "strings"
+
+// Model revisions.
+//
+// A revision is an immutable, individually deployable build of a model:
+// "mbnet@v2" is revision "v2" of base model "mbnet". The versioned id is the
+// identity everywhere keys, blobs, and traffic routing are concerned — the
+// keyservice stores K_M/K_R per versioned id, storage names the encrypted
+// blob by it, and the gateway splitter picks one per request — while cost
+// and architecture lookups (the model zoo, the cost model) resolve the base
+// id, because a revision is the same network retrained or re-exported, not a
+// different architecture class.
+//
+// The empty revision denotes the base (unversioned) deployment, so every
+// pre-revision id remains valid: Versioned(id, "") == id and
+// SplitRevision(id) == (id, "") for ids without a separator.
+
+// RevisionSep separates the base model id from its revision.
+const RevisionSep = "@"
+
+// Versioned joins a base model id and a revision into the versioned id.
+// An empty revision returns the base id unchanged.
+func Versioned(moid, rev string) string {
+	if rev == "" {
+		return moid
+	}
+	return moid + RevisionSep + rev
+}
+
+// SplitRevision splits a (possibly versioned) model id into its base id and
+// revision. Ids without a separator have an empty revision. Only the first
+// separator splits, so a revision string may itself contain "@".
+func SplitRevision(id string) (base, rev string) {
+	if i := strings.Index(id, RevisionSep); i >= 0 {
+		return id[:i], id[i+len(RevisionSep):]
+	}
+	return id, ""
+}
+
+// BaseID strips the revision from a model id: the key for zoo and cost-model
+// lookups shared by all revisions of one model.
+func BaseID(id string) string {
+	base, _ := SplitRevision(id)
+	return base
+}
+
+// Revision returns the revision component of a model id ("" for the base
+// deployment).
+func Revision(id string) string {
+	_, rev := SplitRevision(id)
+	return rev
+}

@@ -1,0 +1,56 @@
+package model
+
+import "testing"
+
+func TestVersionedSplit(t *testing.T) {
+	cases := []struct {
+		moid, rev string
+		want      string
+	}{
+		{"mbnet", "", "mbnet"},
+		{"mbnet", "v2", "mbnet@v2"},
+		{"rsnet", "2026-08-08", "rsnet@2026-08-08"},
+	}
+	for _, c := range cases {
+		if got := Versioned(c.moid, c.rev); got != c.want {
+			t.Errorf("Versioned(%q, %q) = %q, want %q", c.moid, c.rev, got, c.want)
+		}
+		base, rev := SplitRevision(c.want)
+		if base != c.moid || rev != c.rev {
+			t.Errorf("SplitRevision(%q) = (%q, %q), want (%q, %q)", c.want, base, rev, c.moid, c.rev)
+		}
+	}
+}
+
+func TestSplitRevisionFirstSeparatorWins(t *testing.T) {
+	base, rev := SplitRevision("mbnet@v2@hotfix")
+	if base != "mbnet" || rev != "v2@hotfix" {
+		t.Fatalf("got (%q, %q)", base, rev)
+	}
+}
+
+func TestBaseIDAndRevision(t *testing.T) {
+	if got := BaseID("mbnet@v3"); got != "mbnet" {
+		t.Fatalf("BaseID = %q", got)
+	}
+	if got := BaseID("mbnet"); got != "mbnet" {
+		t.Fatalf("BaseID unversioned = %q", got)
+	}
+	if got := Revision("mbnet@v3"); got != "v3" {
+		t.Fatalf("Revision = %q", got)
+	}
+	if got := Revision("mbnet"); got != "" {
+		t.Fatalf("Revision unversioned = %q", got)
+	}
+}
+
+func TestVersionedRoundTripsThroughZooLookup(t *testing.T) {
+	// A versioned id of a zoo model must resolve to a valid zoo entry via
+	// BaseID — the contract the cost model and runtime config rely on.
+	for _, id := range ZooIDs() {
+		v := Versioned(id, "canary")
+		if _, ok := Zoo[BaseID(v)]; !ok {
+			t.Fatalf("zoo lookup failed for %q via %q", v, BaseID(v))
+		}
+	}
+}

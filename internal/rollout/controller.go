@@ -1,0 +1,317 @@
+package rollout
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// Decision is the outcome of one SLO evaluation of the canary window.
+type Decision int
+
+const (
+	// Hold keeps the current weight: not enough canary samples yet.
+	Hold Decision = iota
+	// Promote advances the ramp to the next weight step.
+	Promote
+	// Rollback drops the canary to weight 0 and revokes its measurement.
+	Rollback
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Hold:
+		return "hold"
+	case Promote:
+		return "promote"
+	case Rollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("decision(%d)", int(d))
+}
+
+// SLO bounds the canary's behaviour relative to the stable revision. Zero
+// values disable the corresponding check.
+type SLO struct {
+	// MaxErrorRate bounds the canary window's error fraction (e.g. 0.02).
+	MaxErrorRate float64
+	// MaxLatencyRatio bounds canary mean latency as a multiple of the stable
+	// window's mean (e.g. 1.5). Skipped when the stable window is empty.
+	MaxLatencyRatio float64
+	// MaxP95 bounds the canary window's p95 latency absolutely.
+	MaxP95 time.Duration
+}
+
+// Evaluate is the pure SLO gate shared by the live controller and the sim
+// mirror: judge one canary window against the stable window. Fewer than
+// minSamples canary observations → Hold (never promote or roll back on
+// noise); any breached bound → Rollback; otherwise Promote.
+func Evaluate(slo SLO, canary, stable WindowStats, minSamples int) Decision {
+	if canary.Count < minSamples || canary.Count == 0 {
+		return Hold
+	}
+	if slo.MaxErrorRate > 0 && canary.ErrorRate() > slo.MaxErrorRate {
+		return Rollback
+	}
+	if slo.MaxLatencyRatio > 0 && stable.Mean > 0 && canary.Mean > 0 {
+		if float64(canary.Mean) > slo.MaxLatencyRatio*float64(stable.Mean) {
+			return Rollback
+		}
+	}
+	if slo.MaxP95 > 0 && canary.P95 > slo.MaxP95 {
+		return Rollback
+	}
+	return Promote
+}
+
+// DefaultSteps is the canary weight ramp, in percent.
+var DefaultSteps = []int{1, 5, 25, 50, 100}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Splitter is the traffic splitter being driven. Required.
+	Splitter *Splitter
+	// Canary is the versioned model id being rolled out. Required.
+	Canary string
+	// Steps is the weight ramp in percent (default DefaultSteps). The last
+	// step should be 100; passing it promotes the canary to stable.
+	Steps []int
+	// StepInterval is the observation window per step.
+	StepInterval time.Duration
+	// MinSamples is the minimum canary window size to judge (default 10).
+	MinSamples int
+	// SLO gates each promotion.
+	SLO SLO
+	// Clock defaults to vclock.System; tests inject vclock.Manual.
+	Clock vclock.Clock
+	// DrainTimeout bounds the wait for in-flight canary requests to finish
+	// before the measurement is revoked (default 30s). In-flight requests
+	// complete (or re-queue fairness-neutrally through the gateway's retry
+	// path) during the drain, which is what keeps a rollback lossless.
+	DrainTimeout time.Duration
+	// DrainPoll is the in-flight re-check interval during a drain
+	// (default 5ms).
+	DrainPoll time.Duration
+	// Revoke is called with the canary id after a rollback has drained —
+	// the hook that revokes the revision's measurement at the keyservice so
+	// it can no longer obtain user keys. Optional.
+	Revoke func(canary string) error
+	// Logf, when set, receives controller transitions.
+	Logf func(format string, args ...any)
+}
+
+// Phase is the controller's lifecycle position.
+type Phase string
+
+const (
+	PhaseIdle       Phase = "idle"
+	PhaseRamping    Phase = "ramping"
+	PhasePromoted   Phase = "promoted"
+	PhaseRolledBack Phase = "rolledback"
+)
+
+// Status is a snapshot of the controller.
+type Status struct {
+	Canary string `json:"canary"`
+	Phase  Phase  `json:"phase"`
+	// Step is the index into Steps currently being observed (-1 before
+	// Begin and after a terminal transition).
+	Step   int `json:"step"`
+	Weight int `json:"weight"`
+	// Holds counts evaluations that lacked MinSamples.
+	Holds int `json:"holds"`
+	// TimeToRollback is the elapsed time from Begin to rollback completion
+	// (weight 0, drained, revoked); zero unless rolled back.
+	TimeToRollback time.Duration `json:"time_to_rollback"`
+	// RequestsAffected is the number of requests the canary served (errors
+	// included) before the rollback completed; zero unless rolled back.
+	RequestsAffected uint64 `json:"requests_affected"`
+	// RevokeErr records a failed Revoke hook ("" on success).
+	RevokeErr string `json:"revoke_err,omitempty"`
+}
+
+// ErrDrainTimeout reports in-flight canary requests that outlived the drain
+// budget; the rollback proceeds anyway (weight is already 0) but can no
+// longer guarantee losslessness for the stragglers.
+var ErrDrainTimeout = errors.New("rollout: canary drain timed out")
+
+// Controller ramps a canary revision through the weight steps, gating each
+// promotion on the SLO, and rolls back automatically on a breach. It is a
+// synchronous state machine — Begin once, then Tick at each step boundary —
+// so tests drive it deterministically on a Manual clock; Run wraps the same
+// calls in a timer loop for live use.
+type Controller struct {
+	cfg     Config
+	stable  string
+	step    int
+	holds   int
+	began   time.Time
+	status  Status
+	stopped chan struct{}
+}
+
+// NewController validates and applies defaults.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Splitter == nil {
+		return nil, errors.New("rollout: Config.Splitter is required")
+	}
+	if cfg.Canary == "" {
+		return nil, errors.New("rollout: Config.Canary is required")
+	}
+	if len(cfg.Steps) == 0 {
+		cfg.Steps = DefaultSteps
+	}
+	for i, s := range cfg.Steps {
+		if s <= 0 || s > 100 {
+			return nil, fmt.Errorf("rollout: step %d weight %d out of (0, 100]", i, s)
+		}
+		if i > 0 && s <= cfg.Steps[i-1] {
+			return nil, fmt.Errorf("rollout: steps must increase (step %d: %d after %d)", i, s, cfg.Steps[i-1])
+		}
+	}
+	if cfg.StepInterval <= 0 {
+		cfg.StepInterval = 10 * time.Second
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 10
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.System
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.DrainPoll <= 0 {
+		cfg.DrainPoll = 5 * time.Millisecond
+	}
+	return &Controller{
+		cfg:     cfg,
+		stable:  cfg.Splitter.Stable(),
+		step:    -1,
+		status:  Status{Canary: cfg.Canary, Phase: PhaseIdle, Step: -1},
+		stopped: make(chan struct{}),
+	}, nil
+}
+
+// Status returns the current snapshot. Controller methods are not
+// goroutine-safe with each other (one driver owns the ramp), but Status is
+// only written between Begin/Tick calls by that same driver.
+func (c *Controller) Status() Status { return c.status }
+
+// Begin starts the ramp at the first weight step.
+func (c *Controller) Begin() {
+	if c.step >= 0 || c.status.Phase != PhaseIdle {
+		return
+	}
+	c.began = c.cfg.Clock.Now()
+	c.step = 0
+	c.apply()
+	c.logf("rollout: canary %s at %d%% (step 1/%d)", c.cfg.Canary, c.cfg.Steps[0], len(c.cfg.Steps))
+}
+
+// apply pushes the current step's weight into the splitter and the status.
+func (c *Controller) apply() {
+	w := c.cfg.Steps[c.step]
+	c.cfg.Splitter.SetCanary(c.cfg.Canary, w)
+	c.status.Phase = PhaseRamping
+	c.status.Step = c.step
+	c.status.Weight = w
+	c.status.Holds = c.holds
+}
+
+// Tick closes one observation window and applies the SLO decision. It
+// returns the decision taken; after a terminal transition (promoted or
+// rolled back) it returns Hold forever.
+func (c *Controller) Tick() Decision {
+	if c.step < 0 || c.status.Phase != PhaseRamping {
+		return Hold
+	}
+	canaryW := c.cfg.Splitter.TakeWindow(c.cfg.Canary)
+	stableW := c.cfg.Splitter.TakeWindow(c.stable)
+	d := Evaluate(c.cfg.SLO, canaryW, stableW, c.cfg.MinSamples)
+	switch d {
+	case Hold:
+		c.holds++
+		c.status.Holds = c.holds
+		c.logf("rollout: holding at %d%% (%d canary samples < %d)", c.cfg.Steps[c.step], canaryW.Count, c.cfg.MinSamples)
+	case Promote:
+		if c.step == len(c.cfg.Steps)-1 {
+			c.cfg.Splitter.SetCanary(c.cfg.Canary, 100)
+			c.cfg.Splitter.Promote()
+			c.status.Phase = PhasePromoted
+			c.status.Step = -1
+			c.status.Weight = 100
+			c.step = -1
+			c.logf("rollout: canary %s promoted to stable", c.cfg.Canary)
+			return Promote
+		}
+		c.step++
+		c.apply()
+		c.logf("rollout: canary %s promoted to %d%% (step %d/%d)", c.cfg.Canary, c.cfg.Steps[c.step], c.step+1, len(c.cfg.Steps))
+	case Rollback:
+		c.rollback(canaryW, stableW)
+	}
+	return d
+}
+
+// rollback executes the breach path in loss-safe order: stop new canary
+// traffic instantly (weight 0), let in-flight canary requests drain — they
+// finish or re-queue fairness-neutrally via the gateway retry path — and
+// only then revoke the revision's measurement at the keyservice, so no
+// request that was already admitted dies key-less.
+func (c *Controller) rollback(canaryW, stableW WindowStats) {
+	c.logf("rollout: SLO breach by %s (canary err %.3f mean %v p95 %v vs stable mean %v) — rolling back",
+		c.cfg.Canary, canaryW.ErrorRate(), canaryW.Mean, canaryW.P95, stableW.Mean)
+	c.cfg.Splitter.SetCanary(c.cfg.Canary, 0)
+	deadline := c.cfg.Clock.Now().Add(c.cfg.DrainTimeout)
+	for c.cfg.Splitter.InFlight(c.cfg.Canary) > 0 {
+		if c.cfg.Clock.Now().After(deadline) {
+			c.logf("rollout: %v (%d in flight)", ErrDrainTimeout, c.cfg.Splitter.InFlight(c.cfg.Canary))
+			break
+		}
+		c.cfg.Clock.Sleep(c.cfg.DrainPoll)
+	}
+	if c.cfg.Revoke != nil {
+		if err := c.cfg.Revoke(c.cfg.Canary); err != nil {
+			c.status.RevokeErr = err.Error()
+			c.logf("rollout: revoke %s: %v", c.cfg.Canary, err)
+		}
+	}
+	c.status.Phase = PhaseRolledBack
+	c.status.Step = -1
+	c.status.Weight = 0
+	c.status.TimeToRollback = c.cfg.Clock.Now().Sub(c.began)
+	c.status.RequestsAffected = c.cfg.Splitter.Served(c.cfg.Canary)
+	c.step = -1
+	c.logf("rollout: canary %s rolled back in %v after %d requests",
+		c.cfg.Canary, c.status.TimeToRollback, c.status.RequestsAffected)
+}
+
+// Run drives Begin + Tick on the configured clock until the ramp reaches a
+// terminal phase or stop is closed. It returns the final status. Live
+// deployments call Run in a goroutine; tests usually drive Begin/Tick
+// directly instead.
+func (c *Controller) Run(stop <-chan struct{}) Status {
+	defer close(c.stopped)
+	c.Begin()
+	for c.status.Phase == PhaseRamping {
+		select {
+		case <-stop:
+			return c.status
+		case <-vclock.After(c.cfg.Clock, c.cfg.StepInterval):
+		}
+		c.Tick()
+	}
+	return c.status
+}
+
+// Done is closed when Run returns.
+func (c *Controller) Done() <-chan struct{} { return c.stopped }
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,59 @@
+package semirt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A tampered payload is a deterministic failure: it must classify as
+// ErrBadRequest locally and survive the batch wire as the same sentinel, so
+// the gateway fails it fast instead of retrying identical bytes.
+func TestTamperedRequestClassifiesBadRequest(t *testing.T) {
+	w := newWorld(t)
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 1), w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w.deployModel("mbnet", rt.Measurement())
+
+	bad := w.requestFor("mbnet", 1)
+	bad.Payload[len(bad.Payload)/2] ^= 1
+	_, err = rt.Handle(bad)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("tampered request err %v, want ErrBadRequest", err)
+	}
+
+	// Across the activation wire: encode the failure as a batch result and
+	// decode it back — sentinel and detail must both survive.
+	raw, err := EncodeBatchResults([]BatchResult{{Err: err}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeBatchResponse(raw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(decoded[0].Err, ErrBadRequest) {
+		t.Fatalf("wire round trip lost ErrBadRequest: %v", decoded[0].Err)
+	}
+	if !strings.Contains(decoded[0].Err.Error(), "decrypt") {
+		t.Fatalf("wire round trip lost detail: %v", decoded[0].Err)
+	}
+}
+
+// A malformed activation envelope fails the whole activation with
+// ErrBadRequest — there is nothing retryable about unparseable bytes.
+func TestMalformedEnvelopeClassifiesBadRequest(t *testing.T) {
+	w := newWorld(t)
+	rt, err := New(mustConfig(t, "tvm", "mbnet", 1), w.deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	_, err = Instance{RT: rt}.Invoke([]byte("{not json"))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("malformed envelope err %v, want ErrBadRequest", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -20,6 +21,14 @@ import (
 // spending enclave time. DecodeBatchResponse restores it across the wire,
 // so errors.Is works on both sides of a remote activation.
 var ErrDeadline = errors.New("semirt: deadline exceeded")
+
+// ErrBadRequest marks a request-shaped failure that is DETERMINISTIC: a
+// malformed activation envelope or a payload that does not decrypt under the
+// provisioned request key. Retrying such a request replays the exact same
+// bytes against the exact same keys, so the gateway classifies it
+// non-retryable and fails the caller fast instead of burning backoff and
+// batch slots. It survives the activation wire (wireError) by prefix.
+var ErrBadRequest = errors.New("semirt: bad request")
 
 // BatchResult is the outcome of one request within a batch. Requests fail
 // individually (bad ciphertext, unknown model) without failing the batch.
@@ -139,7 +148,7 @@ type wireEnvelope struct {
 func decodeWire(raw []byte) (wireEnvelope, error) {
 	var env wireEnvelope
 	if err := json.Unmarshal(raw, &env); err != nil {
-		return wireEnvelope{}, fmt.Errorf("semirt: activation payload: %w", err)
+		return wireEnvelope{}, fmt.Errorf("%w: activation payload: %v", ErrBadRequest, err)
 	}
 	return env, nil
 }
@@ -156,6 +165,11 @@ func wireError(s string) error {
 		return ErrKeyServiceUnavailable
 	case ErrSandboxCrash.Error():
 		return ErrSandboxCrash
+	}
+	// ErrBadRequest is always wrapped with the offending detail, so restore
+	// it by prefix, keeping the detail in the message.
+	if rest, ok := strings.CutPrefix(s, ErrBadRequest.Error()); ok {
+		return fmt.Errorf("%w%s", ErrBadRequest, rest)
 	}
 	return errors.New(s)
 }

@@ -25,6 +25,7 @@ package semirt
 import (
 	"fmt"
 
+	"sesemi/internal/attest"
 	"sesemi/internal/costmodel"
 	"sesemi/internal/enclave"
 )
@@ -153,4 +154,22 @@ func (c Config) Manifest() enclave.Manifest {
 		TCSCount:    c.Concurrency,
 		MemoryBytes: c.EnclaveMemoryBytes,
 	}
+}
+
+// ForRevision returns the build configuration of one model revision: the
+// base configuration with FixedModel pinned to the versioned model id
+// ("mbnet@v2", internal/model's revision scheme). Because FixedModel is
+// folded into the enclave code identity, every revision carries its own
+// measurement ES — the identity the keyservice admits before a canary can
+// obtain user keys and revokes on rollback.
+func (c Config) ForRevision(versionedID string) Config {
+	c.FixedModel = versionedID
+	return c
+}
+
+// RevisionMeasurement derives the enclave measurement of one model revision
+// of this build — ForRevision + Manifest + Measure, the value rollout
+// tooling admits at (and revokes from) the keyservice allowlist.
+func (c Config) RevisionMeasurement(versionedID string) attest.Measurement {
+	return c.ForRevision(versionedID).Manifest().Measure()
 }

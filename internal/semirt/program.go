@@ -204,7 +204,8 @@ func (p *program) execLocked(req Request, kr secure.Key) ([]byte, error) {
 	// Request decryption (line 16).
 	plain, err := secure.Open(kr, secure.PurposeRequest, req.ModelID, req.Payload)
 	if err != nil {
-		return nil, fmt.Errorf("semirt: request decrypt: %w", err)
+		// Deterministic: the same ciphertext will never decrypt on a retry.
+		return nil, fmt.Errorf("%w: request decrypt: %v", ErrBadRequest, err)
 	}
 
 	// MODEL_EXEC (line 17); the modeled execution cost scales with the

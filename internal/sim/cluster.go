@@ -11,6 +11,7 @@ import (
 	"sesemi/internal/costmodel"
 	"sesemi/internal/fnpacker"
 	"sesemi/internal/metrics"
+	"sesemi/internal/model"
 	"sesemi/internal/semirt"
 	"sesemi/internal/workload"
 )
@@ -167,6 +168,10 @@ type Config struct {
 	// harness, so availability-under-faults curves are reproducible
 	// deterministically (same seed, same trace → same Result).
 	Faults FaultsSpec
+	// Rollout mirrors the canary rollout plane (internal/rollout) — sticky
+	// weighted revision split, SLO-gated ramp, drain-then-done rollback —
+	// on the virtual clock (rollout.go).
+	Rollout RolloutSpec
 }
 
 // AutoscaleSpec mirrors autoscale.Config for the simulator.
@@ -402,6 +407,16 @@ type Result struct {
 	// SandboxCrashes counts activations killed by injected sandbox death
 	// (live: faults.Stats.SandboxCrashes).
 	SandboxCrashes int
+	// Promoted / RolledBack report the rollout mirror's terminal phase
+	// (both false when Config.Rollout is off or the ramp never concluded).
+	Promoted, RolledBack bool
+	// TimeToRollback is the virtual time from ramp start (t=0) until the
+	// rollback completed — weight zeroed AND every in-flight canary member
+	// drained (zero unless RolledBack).
+	TimeToRollback time.Duration
+	// RequestsAffected counts the requests the canary revision absorbed
+	// before the rollback completed (zero unless RolledBack).
+	RequestsAffected int
 	// End is the virtual completion time of the run.
 	End time.Duration
 }
@@ -544,10 +559,18 @@ func (r *request) batchMembers() []*request {
 	return []*request{r}
 }
 
-// costID resolves a workload model id to its cost-model id.
+// costID resolves a workload model id to its cost-model id. Revisioned ids
+// (base@rev) resolve through their base, so a canary revision shares the
+// stable build's calibration unless aliased explicitly.
 func (c *Config) costID(modelID string) string {
 	if alias, ok := c.ModelCosts[modelID]; ok {
 		return alias
+	}
+	if base := model.BaseID(modelID); base != modelID {
+		if alias, ok := c.ModelCosts[base]; ok {
+			return alias
+		}
+		return base
 	}
 	return modelID
 }
@@ -610,6 +633,9 @@ type Simulation struct {
 	// frng drives fault-injection draws (Config.Faults.Seed); the engine is
 	// otherwise deterministic, so seeding it pins the whole run.
 	frng *rand.Rand
+
+	// roll is the rollout mirror's state (nil when Config.Rollout is off).
+	roll *rolloutMirror
 }
 
 // asStream is one (endpoint, model) stream's forecasting state — the
@@ -673,6 +699,9 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		s.actions[a.Name] = a
 	}
+	if err := s.initRollout(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -721,6 +750,7 @@ func (s *Simulation) Run(trace workload.Trace) (*Result, error) {
 	// past the last arrival (long enough to drain, bounded to avoid
 	// infinite reap loops).
 	horizon := trace.Duration() + s.cfg.KeepWarm + 10*time.Minute
+	s.scheduleRollout(horizon)
 	var maintain func()
 	maintain = func() {
 		s.sample()
@@ -768,6 +798,10 @@ func (s *Simulation) Inject(ev workload.Event) {
 }
 
 func (s *Simulation) arrive(ev workload.Event) {
+	// The rollout mirror re-targets ramped-model arrivals to a revision
+	// BEFORE routing and batching, exactly where the live splitter sits
+	// (revision choice binds the encrypted request, not just the route).
+	ev.ModelID = s.rolloutTarget(ev.ModelID, ev.UserID)
 	ep, err := s.route(ev)
 	if err != nil {
 		// Routing failures surface as panics: traces and configs are
@@ -1066,6 +1100,7 @@ func (s *Simulation) dispatch(ep string) {
 			s.queues[ep] = append(s.queues[ep][:i], s.queues[ep][i+1:]...)
 			for _, m := range req.batchMembers() {
 				s.res.Dropped++
+				s.rolloutLost(m.ev.ModelID)
 				if s.cfg.Route != nil {
 					s.cfg.Route.Done(m.ep, m.ev.ModelID)
 				}

@@ -148,6 +148,7 @@ func (s *Simulation) failActivation(sb *sandbox, req *request) {
 	}
 	for _, m := range req.batchMembers() {
 		s.res.Lost++
+		s.rolloutLost(m.ev.ModelID)
 		if s.cfg.Route != nil {
 			s.cfg.Route.Done(m.ep, m.ev.ModelID)
 		}
@@ -183,6 +184,7 @@ func (s *Simulation) failMember(m *request) {
 		return
 	}
 	s.res.Lost++
+	s.rolloutLost(m.ev.ModelID)
 	if s.cfg.Route != nil {
 		s.cfg.Route.Done(m.ep, m.ev.ModelID)
 	}

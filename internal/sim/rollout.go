@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sesemi/internal/model"
+	"sesemi/internal/rollout"
+)
+
+// Rollout mirror: the discrete-event twin of the canary rollout plane
+// (internal/rollout). It shares the LIVE pick and gate logic — the splitter's
+// sticky weighted Target and the pure rollout.Evaluate — on the engine's
+// virtual clock, so ramp-vs-rollback outcomes (time-to-rollback, requests
+// affected) replay deterministically from a (trace, spec) pair. The canary's
+// misbehaviour is injected per spec (a slowdown multiplier on its modeled
+// exec, a seeded app-level error rate), mirroring the bench's deliberately
+// slow revision without touching the trace.
+type RolloutSpec struct {
+	// Enabled turns the rollout mirror on; everything below is ignored off.
+	Enabled bool
+	// Stable is the workload model id the ramp applies to; arrivals for it
+	// are re-targeted through the splitter.
+	Stable string
+	// Canary is the canary's versioned model id (e.g. Stable + "@v2"). Its
+	// cost lookups resolve through model.BaseID, so it shares the stable
+	// revision's calibration unless skewed below.
+	Canary string
+	// Steps is the weight ramp in percent (default rollout.DefaultSteps).
+	Steps []int
+	// StepInterval is the observation window per step (default 10s).
+	StepInterval time.Duration
+	// MinSamples is the minimum canary window to judge (default 10).
+	MinSamples int
+	// SLO gates each promotion (rollout.Evaluate).
+	SLO rollout.SLO
+	// CanarySlowdown multiplies the canary's modeled exec stage (1 or 0 =
+	// no skew) — the "bad revision" of the rollback experiments.
+	CanarySlowdown float64
+	// CanaryErrorRate is a seeded per-request probability that a canary
+	// completion is counted as an application error in the SLO window (the
+	// request still occupies serving resources — a misbehaving model, not a
+	// crashing one).
+	CanaryErrorRate float64
+	// Seed pins the error draws (independent of Faults.Seed).
+	Seed int64
+}
+
+func (r *RolloutSpec) defaults() error {
+	if !r.Enabled {
+		return nil
+	}
+	if r.Stable == "" || r.Canary == "" {
+		return fmt.Errorf("sim: rollout needs Stable and Canary model ids")
+	}
+	if model.BaseID(r.Canary) != r.Stable {
+		return fmt.Errorf("sim: canary %q is not a revision of stable %q", r.Canary, r.Stable)
+	}
+	if len(r.Steps) == 0 {
+		r.Steps = rollout.DefaultSteps
+	}
+	if r.StepInterval <= 0 {
+		r.StepInterval = 10 * time.Second
+	}
+	if r.MinSamples <= 0 {
+		r.MinSamples = 10
+	}
+	return nil
+}
+
+// rolloutMirror is the live controller's state on the virtual clock.
+type rolloutMirror struct {
+	spec     RolloutSpec
+	split    *rollout.Splitter
+	rng      *rand.Rand
+	step     int
+	inFlight int // canary members arrived but not yet completed/lost/dropped
+	terminal bool
+}
+
+// initRollout builds the mirror (called from New).
+func (s *Simulation) initRollout() error {
+	spec := &s.cfg.Rollout
+	if err := spec.defaults(); err != nil {
+		return err
+	}
+	if !spec.Enabled {
+		return nil
+	}
+	s.roll = &rolloutMirror{
+		spec:  *spec,
+		split: rollout.NewSplitter(spec.Stable),
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+	}
+	return nil
+}
+
+// scheduleRollout begins the ramp at t=0 and arms the step ticks (called
+// from Run, like scheduleFaults). Ticks stop at the horizon so a ramp still
+// holding when the trace drains cannot keep the engine alive forever.
+func (s *Simulation) scheduleRollout(horizon time.Duration) {
+	r := s.roll
+	if r == nil {
+		return
+	}
+	r.split.SetCanary(r.spec.Canary, r.spec.Steps[0])
+	var tick func()
+	tick = func() {
+		if r.terminal {
+			return
+		}
+		s.rolloutTick()
+		if !r.terminal && s.eng.Now() < horizon {
+			s.eng.After(r.spec.StepInterval, tick)
+		}
+	}
+	s.eng.After(r.spec.StepInterval, tick)
+}
+
+// rolloutTick is one controller step: snapshot the windows, run the shared
+// SLO gate, and promote / hold / roll back exactly as the live controller
+// would.
+func (s *Simulation) rolloutTick() {
+	r := s.roll
+	canaryW := r.split.TakeWindow(r.spec.Canary)
+	stableW := r.split.TakeWindow(r.spec.Stable)
+	switch rollout.Evaluate(r.spec.SLO, canaryW, stableW, r.spec.MinSamples) {
+	case rollout.Hold:
+	case rollout.Promote:
+		if r.step == len(r.spec.Steps)-1 {
+			r.split.SetCanary(r.spec.Canary, 100)
+			r.split.Promote()
+			r.terminal = true
+			s.res.Promoted = true
+			return
+		}
+		r.step++
+		r.split.SetCanary(r.spec.Canary, r.spec.Steps[r.step])
+	case rollout.Rollback:
+		// Weight to zero stops new canary traffic this instant; the drain
+		// then waits for in-flight canary members (queued or executing) to
+		// land — complete, fail over, or drop — before the rollback is
+		// declared done, the live controller's revoke-after-drain ordering.
+		r.split.SetCanary(r.spec.Canary, 0)
+		r.terminal = true
+		var drain func()
+		drain = func() {
+			if r.inFlight > 0 {
+				s.eng.After(time.Millisecond, drain)
+				return
+			}
+			s.res.RolledBack = true
+			s.res.TimeToRollback = s.eng.Now()
+			s.res.RequestsAffected = int(r.split.Served(r.spec.Canary))
+		}
+		drain()
+	}
+}
+
+// rolloutTarget re-targets one arrival through the splitter (identity when
+// the mirror is off or the arrival is not the ramped model). The sim's
+// request streams have no tenant dimension, so stickiness keys on the user —
+// a user never flaps between revisions mid-ramp.
+func (s *Simulation) rolloutTarget(modelID, userID string) string {
+	r := s.roll
+	if r == nil || modelID != r.spec.Stable {
+		return modelID
+	}
+	target := r.split.Target("", userID)
+	if target == r.spec.Canary {
+		r.inFlight++
+	}
+	return target
+}
+
+// rolloutExecScale is the canary's injected exec-stage multiplier (1 for
+// every other model, or when no skew is configured).
+func (s *Simulation) rolloutExecScale(modelID string) float64 {
+	r := s.roll
+	if r == nil || modelID != r.spec.Canary || r.spec.CanarySlowdown <= 0 {
+		return 1
+	}
+	return r.spec.CanarySlowdown
+}
+
+// rolloutComplete feeds one completed member into its revision's SLO window.
+func (s *Simulation) rolloutComplete(modelID string, lat time.Duration) {
+	r := s.roll
+	if r == nil {
+		return
+	}
+	switch modelID {
+	case r.spec.Canary:
+		r.inFlight--
+		failed := r.spec.CanaryErrorRate > 0 && r.rng.Float64() < r.spec.CanaryErrorRate
+		r.split.Observe(modelID, lat, failed)
+	case r.spec.Stable:
+		r.split.Observe(modelID, lat, false)
+	}
+}
+
+// rolloutLost releases a canary member that will never complete (faulted
+// with the budget exhausted, or dropped at the queue timeout) and records it
+// as an error observation.
+func (s *Simulation) rolloutLost(modelID string) {
+	r := s.roll
+	if r == nil {
+		return
+	}
+	switch modelID {
+	case r.spec.Canary:
+		r.inFlight--
+		r.split.Observe(modelID, 0, true)
+	case r.spec.Stable:
+		r.split.Observe(modelID, 0, true)
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"sesemi/internal/rollout"
+	"sesemi/internal/workload"
+)
+
+// rampTrace is a steady open-loop stream against the ramped model: users
+// u0..u{n-1} each fire one request per period, for the whole window. Distinct
+// users matter — the splitter's sticky hash assigns canary share by caller,
+// so a single-user trace would be all-or-nothing.
+func rampTrace(users int, period, until time.Duration) workload.Trace {
+	var tr workload.Trace
+	for at := time.Duration(0); at < until; at += period {
+		for u := 0; u < users; u++ {
+			// Stagger callers inside the period: a synchronized burst every
+			// period would queue behind itself and pollute the latency
+			// windows the SLO gate reads.
+			off := time.Duration(u) * period / time.Duration(users)
+			tr = append(tr, workload.Event{At: at + off, ModelID: "mbnet", UserID: "u" + strconv.Itoa(u)})
+		}
+	}
+	return tr
+}
+
+// rolloutConfig keeps the offered load well inside one node's capacity:
+// the latency-ratio gate compares the canary to a HEALTHY stable baseline,
+// so the stable stream must not be queueing.
+func rolloutConfig(conc int) Config {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", conc)
+	cfg.Rollout = RolloutSpec{
+		Enabled:      true,
+		Stable:       "mbnet",
+		Canary:       "mbnet@v2",
+		Steps:        []int{25, 50, 100},
+		StepInterval: 10 * time.Second,
+		MinSamples:   3,
+		SLO:          rollout.SLO{MaxErrorRate: 0.1, MaxLatencyRatio: 3},
+	}
+	return cfg
+}
+
+// A healthy canary rides the full ramp: every window passes the SLO gate, the
+// final step promotes it to stable, and nothing is lost along the way.
+func TestRolloutHealthyCanaryPromotes(t *testing.T) {
+	cfg := rolloutConfig(4)
+	res := runTrace(t, cfg, rampTrace(8, time.Second, 40*time.Second))
+	if !res.Promoted || res.RolledBack {
+		t.Fatalf("promoted=%v rolledback=%v, want promoted", res.Promoted, res.RolledBack)
+	}
+	if res.Lost != 0 || res.Dropped != 0 {
+		t.Fatalf("lost=%d dropped=%d during a healthy ramp", res.Lost, res.Dropped)
+	}
+	// Both revisions actually served: the canary got its ramped share.
+	if res.PerModel["mbnet@v2"] == nil || res.PerModel["mbnet@v2"].Count() == 0 {
+		t.Fatal("canary revision never served")
+	}
+}
+
+// The headline robustness claim: a canary revision 8x slower than stable is
+// caught by the latency-ratio gate at a low ramp weight and rolled back —
+// with zero lost requests, bounded time-to-rollback, and blast radius capped
+// near the first step's weight.
+func TestRolloutSlowCanaryRollsBack(t *testing.T) {
+	cfg := rolloutConfig(4)
+	cfg.Rollout.CanarySlowdown = 8
+	total := 8 * 40 // users × periods
+	res := runTrace(t, cfg, rampTrace(8, time.Second, 40*time.Second))
+	if !res.RolledBack || res.Promoted {
+		t.Fatalf("promoted=%v rolledback=%v, want rollback", res.Promoted, res.RolledBack)
+	}
+	if res.Lost != 0 || res.Dropped != 0 {
+		t.Fatalf("lost=%d dropped=%d: rollback leaked requests", res.Lost, res.Dropped)
+	}
+	// Bounded detection: the breach is visible in the first or second window
+	// (cold starts blur window one), plus the drain.
+	if res.TimeToRollback <= 0 || res.TimeToRollback > 3*cfg.Rollout.StepInterval {
+		t.Fatalf("TimeToRollback = %v, want (0, %v]", res.TimeToRollback, 3*cfg.Rollout.StepInterval)
+	}
+	// Bounded blast radius: the breach is caught while the ramp weight is
+	// still low, so the canary absorbed only a small share of the trace.
+	if res.RequestsAffected <= 0 || res.RequestsAffected > total/4 {
+		t.Fatalf("RequestsAffected = %d of %d, want a small share", res.RequestsAffected, total)
+	}
+}
+
+// A canary that fails requests (rather than slowing down) trips the
+// error-rate gate the same way.
+func TestRolloutErrorRateRollsBack(t *testing.T) {
+	cfg := rolloutConfig(4)
+	cfg.Rollout.CanaryErrorRate = 0.5
+	cfg.Rollout.Seed = 7
+	res := runTrace(t, cfg, rampTrace(8, time.Second, 40*time.Second))
+	if !res.RolledBack {
+		t.Fatalf("50%% canary error rate not rolled back (promoted=%v)", res.Promoted)
+	}
+}
+
+// Determinism: the same (trace, spec) pair replays to the identical rollback
+// outcome — the property every bench number rests on.
+func TestRolloutDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := rolloutConfig(4)
+		cfg.Rollout.CanarySlowdown = 8
+		return runTrace(t, cfg, rampTrace(8, time.Second, 40*time.Second))
+	}
+	a, b := run(), run()
+	if a.TimeToRollback != b.TimeToRollback || a.RequestsAffected != b.RequestsAffected {
+		t.Fatalf("replay diverged: (%v, %d) vs (%v, %d)",
+			a.TimeToRollback, a.RequestsAffected, b.TimeToRollback, b.RequestsAffected)
+	}
+}
+
+// A canary id that is not a revision of the stable id is a config error.
+func TestRolloutSpecValidation(t *testing.T) {
+	cfg := rolloutConfig(1)
+	cfg.Rollout.Canary = "other@v2"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("mismatched canary base accepted")
+	}
+}

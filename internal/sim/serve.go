@@ -48,6 +48,11 @@ func (s *Simulation) serve(sb *sandbox, req *request) {
 	if err != nil {
 		panic(err)
 	}
+	if sc := s.rolloutExecScale(req.ev.ModelID); sc != 1 {
+		// The canary revision's injected misbehaviour: a slower build of the
+		// same model, visible only in its exec stage (Rollout.CanarySlowdown).
+		stg.ModelExec = time.Duration(float64(stg.ModelExec) * sc)
+	}
 	pr := &progress{phase: phEnclave, kind: semirt.Hot, stg: stg}
 	if s.crashDraw() {
 		// Injected sandbox death, drawn per dispatch like the live
@@ -370,6 +375,7 @@ func (s *Simulation) finishMember(m *request, started, done time.Duration, k sem
 	}
 	s.res.Requests = append(s.res.Requests, rr)
 	lat := rr.Latency()
+	s.rolloutComplete(rr.Model, lat)
 	s.res.All.Add(lat)
 	ml := s.res.PerModel[rr.Model]
 	if ml == nil {

@@ -1,0 +1,36 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+
+	"sesemi/internal/model"
+)
+
+// Revision-aware blob naming.
+//
+// Versioned model ids ("mbnet@v2", see internal/model's revision helpers)
+// compose with any blob-name scheme of the form prefix+id+suffix — the
+// encrypted-model scheme "models/<id>.enc" in particular — so a revision's
+// blob lives beside its siblings under the same prefix. ListRevisions is the
+// inverse: it scans a store for every deployed revision of one base id.
+
+// ListRevisions returns the revisions of one logical blob present in the
+// store, under the naming scheme prefix+id+suffix (for encrypted models:
+// prefix "models/", suffix ".enc"). The base (unversioned) blob is reported
+// as the empty revision. Results are sorted; a missing base id yields nil.
+func ListRevisions(s Store, prefix, suffix, base string) []string {
+	var revs []string
+	for _, name := range s.List() {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		id := name[len(prefix) : len(name)-len(suffix)]
+		if model.BaseID(id) != base {
+			continue
+		}
+		revs = append(revs, model.Revision(id))
+	}
+	sort.Strings(revs)
+	return revs
+}

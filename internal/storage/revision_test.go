@@ -1,0 +1,38 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+
+	"sesemi/internal/model"
+)
+
+func TestListRevisions(t *testing.T) {
+	st := NewMemory(nil, nil)
+	for _, id := range []string{"mbnet", "mbnet@v1", "mbnet@v2", "rsnet@v9", "mbnetx"} {
+		if err := st.Put("models/"+id+".enc", []byte("ct")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated blob under another prefix must not leak in.
+	if err := st.Put("images/mbnet@v3.enc", []byte("img")); err != nil {
+		t.Fatal(err)
+	}
+
+	got := ListRevisions(st, "models/", ".enc", "mbnet")
+	want := []string{"", "v1", "v2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ListRevisions = %v, want %v", got, want)
+	}
+	if revs := ListRevisions(st, "models/", ".enc", "dsnet"); revs != nil {
+		t.Fatalf("missing base: got %v", revs)
+	}
+	// Round trip: the names ListRevisions decodes are the ones Versioned
+	// builds.
+	for _, rev := range got {
+		id := model.Versioned("mbnet", rev)
+		if _, err := st.Get("models/" + id + ".enc"); err != nil {
+			t.Fatalf("blob for rev %q: %v", rev, err)
+		}
+	}
+}
