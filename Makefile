@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke frontier-snapshot frontier-smoke rollout-snapshot rollout-smoke clean
+.PHONY: all build vet test race bench gateway-snapshot routing-snapshot routing-smoke fairness-snapshot fairness-smoke keylocality-snapshot keylocality-smoke autoscale-snapshot autoscale-smoke hol-snapshot hol-smoke chaos-snapshot chaos-smoke frontier-snapshot frontier-smoke rollout-snapshot rollout-smoke obstax-snapshot obstax-smoke clean
 
 all: build vet test
 
@@ -48,6 +48,9 @@ frontier-snapshot:
 rollout-snapshot:
 	$(GO) run ./cmd/sesemi-bench -exp rollout -json BENCH_rollout.json
 
+obstax-snapshot:
+	$(GO) run ./cmd/sesemi-bench -exp obstax -json BENCH_obstax.json
+
 # Tiny-scale routing run + 1-iteration contention benchmark: keeps the
 # experiment binaries from rotting without paying for the full runs (CI).
 routing-smoke:
@@ -92,6 +95,13 @@ frontier-smoke:
 # BENCH_rollout.json.
 rollout-smoke:
 	$(GO) run ./cmd/sesemi-bench -exp rollout -smoke
+
+# Tiny observability-tax run: sampled tracing vs disabled on the same closed
+# loop. Exits non-zero if the sampled throughput falls below the overhead bar,
+# stitched coverage drifts, or the /metrics exposition fails to parse — the CI
+# gate on the "tracing is cheap" claim behind BENCH_obstax.json.
+obstax-smoke:
+	$(GO) run ./cmd/sesemi-bench -exp obstax -smoke
 
 clean:
 	$(GO) clean ./...

@@ -8,7 +8,8 @@
 // A plaintext HTTP stats endpoint (-stats-addr) exposes store sizes and the
 // per-measurement admit/reject counters of the provisioning allowlist at
 // /stats, so a rollout controller's revocations are observable from outside
-// the enclave.
+// the enclave. The same listener serves the unified metrics plane: Prometheus
+// text exposition at /metrics and net/http/pprof under /debug/pprof/.
 //
 // Usage:
 //
@@ -28,6 +29,7 @@ import (
 	"sesemi/internal/costmodel"
 	"sesemi/internal/enclave"
 	"sesemi/internal/keyservice"
+	"sesemi/internal/obs"
 	"sesemi/internal/vclock"
 )
 
@@ -41,10 +43,14 @@ type statsPayload struct {
 	Measurements map[string]keyservice.MeasurementStat `json:"measurements"`
 }
 
-// serveStats exposes the service counters over plaintext HTTP. Only counts
-// and measurement hashes leave the enclave — never key material.
+// serveStats exposes the service counters over plaintext HTTP — /stats JSON,
+// /metrics Prometheus exposition and pprof. Only counts and measurement
+// hashes leave the enclave — never key material.
 func serveStats(addr string, svc *keyservice.Service) (net.Addr, error) {
+	reg := obs.NewRegistry()
+	svc.RegisterMetrics(reg, nil)
 	mux := http.NewServeMux()
+	obs.Mount(mux, reg)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		ids, models, reqKeys, grants := svc.Counts()
 		payload := statsPayload{

@@ -35,6 +35,7 @@ import (
 	"io"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -52,6 +53,7 @@ import (
 	_ "sesemi/internal/inference/tinytvm"
 	"sesemi/internal/metrics"
 	"sesemi/internal/model"
+	"sesemi/internal/obs"
 	"sesemi/internal/rollout"
 	"sesemi/internal/secure"
 	"sesemi/internal/semirt"
@@ -106,6 +108,8 @@ func main() {
 	crashAt := flag.Duration("crash-at", 0, "with -local -chaos: crash node-0 and flap the key service this long into the run (0 = never)")
 	restoreAt := flag.Duration("restore-at", 0, "with -local -chaos: restore node-0 this long into the run (0 = never)")
 	ksOutage := flag.Duration("ks-outage", 100*time.Millisecond, "with -local -chaos: key-service outage window opened at -crash-at")
+	obsAddr := flag.String("obs-addr", "", "serve the unified metrics plane (/metrics + pprof) for this run on the given address (\"\" = disabled)")
+	traceSample := flag.Float64("trace-sample", 0, "with -local: head-sample this fraction of requests for lifecycle tracing and report the per-stage decomposition (0 = off; anomalous requests are always kept)")
 	flag.Parse()
 
 	// -shape is the autoscale experiment's shorthand over -pattern.
@@ -121,6 +125,12 @@ func main() {
 		log.Fatalf("loadgen: unknown -shape %q (steady, burst, diurnal)", *shape)
 	}
 
+	if *traceSample < 0 || *traceSample > 1 {
+		log.Fatal("loadgen: -trace-sample must be in [0, 1]")
+	}
+	if *traceSample > 0 && !*local {
+		log.Fatal("loadgen: -trace-sample requires -local (HTTP mode has no in-process trace plane)")
+	}
 	if *local {
 		if *url != "" || *packer != "" {
 			log.Fatal("loadgen: -local is mutually exclusive with -url/-via-packer")
@@ -180,6 +190,7 @@ func main() {
 			retries: *retries, retryBackoff: *retryBackoff,
 			chaos: *chaos, crashProb: *crashProb,
 			crashAt: *crashAt, restoreAt: *restoreAt, ksOutage: *ksOutage,
+			obsAddr: *obsAddr, traceSample: *traceSample,
 		})
 		return
 	}
@@ -229,6 +240,15 @@ func main() {
 	perKind := map[string]int{}
 	var mu sync.Mutex
 	var failures int
+	if *obsAddr != "" {
+		// HTTP mode has no in-process serving stack; the metrics plane serves
+		// the driver's own view — client-observed latency and failure count.
+		reg := obs.NewRegistry()
+		reg.SummaryFunc("sesemi_loadgen_latency_seconds", "Client-observed request latency.", nil, 1e-9, lat.Snapshot)
+		reg.CounterFunc("sesemi_loadgen_failures_total", "Requests failed (transport or application error).", nil,
+			func() float64 { mu.Lock(); defer mu.Unlock(); return float64(failures) })
+		serveObs(*obsAddr, reg)
+	}
 	sem := make(chan struct{}, *conc)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -271,18 +291,32 @@ func main() {
 	}
 	wg.Wait()
 
-	fmt.Printf("completed %d ok, %d failed\n", lat.Count(), failures)
-	if lat.Count() > 0 {
+	s := lat.Snapshot()
+	fmt.Printf("completed %d ok, %d failed\n", s.Count, failures)
+	if s.Count > 0 {
 		fmt.Printf("latency: mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
-			lat.Mean().Round(time.Millisecond), lat.Percentile(50).Round(time.Millisecond),
-			lat.Percentile(95).Round(time.Millisecond), lat.Percentile(99).Round(time.Millisecond),
-			lat.Max().Round(time.Millisecond))
+			s.Mean.Round(time.Millisecond), s.P50.Round(time.Millisecond),
+			s.P95.Round(time.Millisecond), s.P99.Round(time.Millisecond),
+			s.Max.Round(time.Millisecond))
 	}
 	for _, k := range []string{"cold", "warm", "hot"} {
 		if perKind[k] > 0 {
 			fmt.Printf("%-5s %d\n", k+":", perKind[k])
 		}
 	}
+}
+
+// serveObs starts the unified metrics plane (GET /metrics + pprof) on addr
+// for the lifetime of the run.
+func serveObs(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	obs.Mount(mux, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("loadgen: obs listener: %v", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	fmt.Printf("loadgen: metrics on http://%s/metrics\n", ln.Addr())
 }
 
 // buildTrace constructs one model's arrival stream from the pattern flags
@@ -364,6 +398,12 @@ type localCfg struct {
 	crashProb          float64
 	crashAt, restoreAt time.Duration
 	ksOutage           time.Duration
+
+	// obsAddr serves the world's unified registry over HTTP for the run;
+	// traceSample > 0 arms lifecycle tracing and the stage decomposition
+	// report.
+	obsAddr     string
+	traceSample float64
 }
 
 // runLocal drives the in-process gateway deployment (bench.LiveWorld):
@@ -378,6 +418,7 @@ func runLocal(c localCfg) {
 		SandboxStart: c.sandboxStart,
 		KeepWarm:     c.keepWarm,
 		Shards:       c.shards,
+		TraceSample:  c.traceSample,
 		Gateway: gateway.Config{
 			MaxBatch:     maxBatch,
 			MaxWait:      maxWait,
@@ -449,6 +490,10 @@ func runLocal(c localCfg) {
 		log.Fatalf("loadgen: local world: %v", err)
 	}
 	defer w.Close()
+	if c.obsAddr != "" {
+		serveObs(c.obsAddr, w.Registry)
+	}
+	defer reportTrace(w)
 	if inj != nil {
 		// The fault schedule is armed once serving starts, not at world
 		// construction, so -crash-at offsets mean what they say.
@@ -547,11 +592,12 @@ func runLocal(c localCfg) {
 		fmt.Printf("loadgen: open loop, %d requests over %v (avg %.1f rps, %d models), MaxBatch=%d\n",
 			len(tr), c.duration, tr.Rate(), len(w.Models), maxBatch)
 		lat, perKind, fails := bench.OpenLoopGateway(w, tr)
-		fmt.Printf("completed %d ok, %d failed\n", lat.Count(), fails)
-		if lat.Count() > 0 {
+		s := lat.Snapshot()
+		fmt.Printf("completed %d ok, %d failed\n", s.Count, fails)
+		if s.Count > 0 {
 			fmt.Printf("latency: mean %v  p50 %v  p95 %v  p99 %v\n",
-				lat.Mean().Round(time.Millisecond), lat.Percentile(50).Round(time.Millisecond),
-				lat.Percentile(95).Round(time.Millisecond), lat.Percentile(99).Round(time.Millisecond))
+				s.Mean.Round(time.Millisecond), s.P50.Round(time.Millisecond),
+				s.P95.Round(time.Millisecond), s.P99.Round(time.Millisecond))
 		}
 		for _, k := range []string{"cold", "warm", "hot"} {
 			if perKind[k] > 0 {
@@ -599,6 +645,24 @@ func runLocal(c localCfg) {
 		as := w.Autoscaler.Stats()
 		fmt.Printf("autoscaler: %d prewarmed over %d steps, forecast MAE %.2f rps (mean rate %.2f rps)\n",
 			as.Prewarmed, as.Steps, as.ForecastMAE, as.MeanRate)
+	}
+}
+
+// reportTrace prints the request-lifecycle decomposition when tracing was
+// armed: per-stage span counts and means over every finished trace, plus the
+// top-level span coverage of end-to-end time (1.0 = the stage partition is
+// gapless; the stitched-trace bar is a sum within 5% of e2e).
+func reportTrace(w *bench.LiveWorld) {
+	tr := w.Tracer
+	if tr == nil {
+		return
+	}
+	ts := tr.Stats()
+	fmt.Printf("trace: %d traces (%d kept, %d anomalous), top-level coverage %.3f of e2e\n",
+		ts.Started, ts.Kept, ts.Anomalous, tr.Coverage())
+	for _, st := range tr.Decomposition() {
+		fmt.Printf("  %-10s %8d spans  mean %8.3fms  total %10.1fms\n",
+			st.Stage, st.Count, float64(st.Mean)/1e6, float64(st.Total)/1e6)
 	}
 }
 
@@ -694,10 +758,9 @@ func tenantLoop(w *bench.LiveWorld, c localCfg) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		lat := perTenant[name]
+		s := perTenant[name].Snapshot()
 		fmt.Printf("  %-8s %6d req  mean %7.1fms  p50 %7.1fms  p99 %7.1fms\n",
-			name, lat.Count(), float64(lat.Mean())/1e6,
-			float64(lat.Percentile(50))/1e6, float64(lat.Percentile(99))/1e6)
+			name, s.Count, float64(s.Mean)/1e6, float64(s.P50)/1e6, float64(s.P99)/1e6)
 	}
 	gs := w.Gateway.Stats()
 	fmt.Printf("gateway: %d batches, %d overload-rejected, %d tenant-quota-rejected, %d deadline-shed\n",
@@ -764,10 +827,9 @@ func userLoop(w *bench.LiveWorld, c localCfg) {
 	}
 	sort.Ints(us)
 	for _, u := range us {
-		lat := perUser[u]
+		s := perUser[u].Snapshot()
 		fmt.Printf("  u%-7d %6d req  mean %7.1fms  p50 %7.1fms  p99 %7.1fms\n",
-			u, lat.Count(), float64(lat.Mean())/1e6,
-			float64(lat.Percentile(50))/1e6, float64(lat.Percentile(99))/1e6)
+			u, s.Count, float64(s.Mean)/1e6, float64(s.P50)/1e6, float64(s.P99)/1e6)
 	}
 	for _, k := range []string{"cold", "warm", "hot"} {
 		if perKind[k] > 0 {

@@ -5,7 +5,8 @@
 //	POST /run   — {"value": {"user_id", "model_id", "payload"(base64)}}
 //	              or a gateway batch envelope:
 //	              {"value": {"batch": [{"user_id", "model_id", "payload"}, …]}}
-//	GET  /stats — invocation counters
+//	GET  /stats — invocation counters (JSON; ?format=prom redirects to /metrics)
+//	GET  /metrics — Prometheus text exposition (plus pprof under /debug/pprof/)
 //
 // A batch envelope is served in ONE enclave entry (semirt.HandleBatch) and
 // answered with one result per request, so remote deployments fronted by a
@@ -37,6 +38,7 @@ import (
 	_ "sesemi/internal/inference/tinytflm"
 	_ "sesemi/internal/inference/tinytvm"
 	"sesemi/internal/keyservice"
+	"sesemi/internal/obs"
 	"sesemi/internal/secure"
 	"sesemi/internal/semirt"
 	"sesemi/internal/storage"
@@ -292,6 +294,28 @@ func handleRun(rt runner, tally *tenantTally, w http.ResponseWriter, r *http.Req
 	})
 }
 
+// registerTallyMetrics exports the action server's envelope-level accounting
+// on the unified registry. Tally entries only ever increment, so scrape-time
+// sums over the maps are monotone — valid Prometheus counters. Per-tenant
+// breakdowns stay on GET /stats (tenant ids are caller-supplied and unbounded;
+// they must not mint metric series).
+func registerTallyMetrics(reg *obs.Registry, tally *tenantTally, node string) {
+	labels := obs.Labels{}.With("node", node)
+	sum := func(m map[string]int) float64 {
+		n := 0
+		for _, v := range m {
+			n += v
+		}
+		return float64(n)
+	}
+	reg.CounterFunc("sesemi_semirt_envelope_served_total", "Requests answered by the enclave (per-item errors included).", labels,
+		func() float64 { served, _, _ := tally.snapshot(); return sum(served) })
+	reg.CounterFunc("sesemi_semirt_envelope_shed_total", "Requests shed at the envelope for lapsed deadlines.", labels,
+		func() float64 { _, shed, _ := tally.snapshot(); return sum(shed) })
+	reg.GaugeFunc("sesemi_semirt_users_seen", "Distinct enclave user ids served (tally-bounded).", labels,
+		func() float64 { _, _, users := tally.snapshot(); return float64(len(users)) })
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7200", "listen address")
 	stateDir := flag.String("state", "./deploy", "deployment state directory")
@@ -347,6 +371,10 @@ func main() {
 
 	tally := newTenantTally()
 	mux := http.NewServeMux()
+	reg := obs.NewRegistry()
+	rt.RegisterMetrics(reg, obs.Labels{}.With("node", *nodeName))
+	registerTallyMetrics(reg, tally, *nodeName)
+	obs.Mount(mux, reg)
 	mux.HandleFunc("POST /init", func(w http.ResponseWriter, r *http.Request) {
 		if err := rt.Start(); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -358,6 +386,12 @@ func main() {
 		handleRun(rt, tally, w, r)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			// Alias for scrapers configured against /stats: the canonical
+			// Prometheus exposition lives at /metrics.
+			http.Redirect(w, r, "/metrics", http.StatusSeeOther)
+			return
+		}
 		st := rt.Stats()
 		served, shed, users := tally.snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{

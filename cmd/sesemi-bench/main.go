@@ -14,6 +14,7 @@
 //	sesemi-bench -exp chaos -json BENCH_chaos.json
 //	sesemi-bench -exp frontier -json BENCH_frontier.json
 //	sesemi-bench -exp rollout -json BENCH_rollout.json
+//	sesemi-bench -exp obstax -json BENCH_obstax.json
 //	sesemi-bench -exp routing -smoke    (tiny CI configuration)
 //	sesemi-bench -exp fairness -smoke   (tiny CI configuration)
 //	sesemi-bench -exp keylocality -smoke (tiny CI configuration)
@@ -26,6 +27,9 @@
 //	sesemi-bench -exp rollout -smoke    (slow canary ramp; exits non-zero unless
 //	                                     it auto-rolls back with zero lost
 //	                                     requests and a revoked measurement)
+//	sesemi-bench -exp obstax -smoke     (tiny CI configuration; exits non-zero
+//	                                     if the tracing overhead gate trips or
+//	                                     /metrics fails the parse check)
 package main
 
 import (
@@ -41,12 +45,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments")
-	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout: also write the machine-readable snapshot here")
-	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout: run the tiny CI configuration instead of the full comparison")
+	jsonOut := flag.String("json", "", "with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos, frontier, rollout or obstax: also write the machine-readable snapshot here")
+	smoke := flag.Bool("smoke", false, "with -exp routing, fairness, keylocality, autoscale, hol, chaos, frontier, rollout or obstax: run the tiny CI configuration instead of the full comparison")
 	flag.Parse()
 
-	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" && *exp != "frontier" && *exp != "rollout" {
-		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout"))
+	if *smoke && *exp != "routing" && *exp != "fairness" && *exp != "keylocality" && *exp != "autoscale" && *exp != "hol" && *exp != "chaos" && *exp != "frontier" && *exp != "rollout" && *exp != "obstax" {
+		fatal(fmt.Errorf("-smoke is only meaningful with -exp routing, fairness, keylocality, autoscale, hol, chaos, frontier, rollout or obstax"))
 	}
 	if *jsonOut != "" {
 		if *list {
@@ -159,8 +163,22 @@ func main() {
 			if err := rolloutGate(snap); err != nil {
 				fatal(err)
 			}
+		case "obstax":
+			cfg := bench.ObstaxBenchConfig{}
+			if *smoke {
+				cfg = bench.ObstaxSmokeConfig()
+			}
+			snap, err := bench.WriteObstaxSnapshot(*jsonOut, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("obstax snapshot → %s (sampled %.3fx of disabled, full %.3fx, coverage %.3f, exposition ok=%v)\n",
+				*jsonOut, snap.SampledRatio, snap.FullRatio, snap.Full.Coverage, snap.ExpositionOK)
+			if err := bench.ObstaxGate(snap, 0.97); err != nil {
+				fatal(err)
+			}
 		default:
-			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos, frontier or rollout"))
+			fatal(fmt.Errorf("-json is only meaningful with -exp gateway, routing, fairness, keylocality, autoscale, hol, chaos, frontier, rollout or obstax"))
 		}
 		return
 	}
@@ -245,6 +263,21 @@ func main() {
 			// auto-rolled back — drained, measurement revoked — and no
 			// request may be lost along the way.
 			if err := rolloutGate(snap); err != nil {
+				fatal(err)
+			}
+		case "obstax":
+			snap, err := bench.RunObstaxBench(bench.ObstaxSmokeConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("obstax smoke: sampled %.3fx of disabled (full %.3fx), coverage %.3f, %d traces kept, exposition ok=%v (%d bytes)\n",
+				snap.SampledRatio, snap.FullRatio, snap.Full.Coverage,
+				snap.Sampled.Kept+snap.Full.Kept, snap.ExpositionOK, snap.ExpositionBytes)
+			// The smoke is a gate: tracing that taxes the serving path or a
+			// /metrics page that doesn't parse fails CI. The overhead bar is
+			// looser than the snapshot's 0.97 claim — CI machines are noisy
+			// and the smoke workload is tiny.
+			if err := bench.ObstaxGate(snap, 0.90); err != nil {
 				fatal(err)
 			}
 		}

@@ -23,6 +23,7 @@ import (
 	"sesemi/internal/keyservice"
 	"sesemi/internal/metrics"
 	"sesemi/internal/model"
+	"sesemi/internal/obs"
 	"sesemi/internal/secure"
 	"sesemi/internal/semirt"
 	"sesemi/internal/serverless"
@@ -48,6 +49,12 @@ type LiveWorld struct {
 	// Autoscaler is the predictive controller wired between the gateway and
 	// the cluster (nil unless LiveWorldConfig.Autoscale is set).
 	Autoscaler *autoscale.Controller
+	// Tracer is the deployment-wide request tracer (nil unless
+	// LiveWorldConfig.TraceSample > 0); Registry is the unified metrics
+	// registry every world carries — gateway (or frontier), key service and
+	// tracer series are pre-registered, ready for obs.Mount.
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
 	// Action is the single deployed endpoint; Model its default model id.
 	Action, Model string
 	// Models lists every deployed model id (Models[0] == Model). All models
@@ -153,6 +160,12 @@ type LiveWorldConfig struct {
 	KSRetries      int
 	KSRetryBackoff time.Duration
 	KSBrownout     time.Duration
+	// TraceSample, when positive, arms request-lifecycle tracing across the
+	// deployment: a shared obs.Tracer head-sampling this fraction of requests
+	// (anomalies always retained) is wired into the gateway (and frontier
+	// shards), and LiveWorld.Tracer/Registry expose the decomposition. Zero
+	// leaves tracing off — the historical zero-overhead configuration.
+	TraceSample float64
 	// Gateway tunes the front-end; zero values take gateway defaults.
 	Gateway gateway.Config
 	// Shards, when > 1, additionally builds a sharded frontier
@@ -392,6 +405,12 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 	if cfg.ReaperInterval > 0 {
 		w.closers = append(w.closers, w.Cluster.StartReaper(cfg.ReaperInterval))
 	}
+	if cfg.TraceSample > 0 {
+		// One tracer shared by the gateway and every frontier shard, so a
+		// stolen or spilled request's spans land in the same decomposition.
+		w.Tracer = obs.NewTracer(obs.Config{TraceSample: cfg.TraceSample})
+		cfg.Gateway.Tracer = w.Tracer
+	}
 	w.Gateway = gateway.New(cfg.Gateway, w.Cluster)
 	w.closers = append(w.closers, w.Gateway.Close)
 	if cfg.Shards > 1 {
@@ -401,6 +420,14 @@ func NewLiveWorld(cfg LiveWorldConfig) (*LiveWorld, error) {
 		w.Frontier = frontier.New(fcfg, w.Cluster)
 		w.closers = append(w.closers, w.Frontier.Close)
 	}
+	w.Registry = obs.NewRegistry()
+	if w.Frontier != nil {
+		w.Frontier.RegisterMetrics(w.Registry, nil)
+	} else {
+		w.Gateway.RegisterMetrics(w.Registry, nil)
+	}
+	svc.RegisterMetrics(w.Registry, nil)
+	w.Tracer.RegisterMetrics(w.Registry, nil)
 
 	// Warm one sandbox end to end so both access paths start hot.
 	if _, err := w.DoDirect(context.Background(), 0); err != nil {
@@ -674,16 +701,17 @@ func ClosedLoop(mode string, clients, perClient int, do func(ctx context.Context
 	wg.Wait()
 	elapsed := time.Since(start)
 	n := clients * perClient
+	s := lat.Snapshot()
 	return GatewayRunResult{
 		Mode:     mode,
 		Requests: n,
 		Errors:   errs,
 		Seconds:  elapsed.Seconds(),
 		RPS:      float64(n-errs) / elapsed.Seconds(),
-		MeanMs:   float64(lat.Mean()) / 1e6,
-		P50Ms:    float64(lat.Percentile(50)) / 1e6,
-		P95Ms:    float64(lat.Percentile(95)) / 1e6,
-		P99Ms:    float64(lat.Percentile(99)) / 1e6,
+		MeanMs:   float64(s.Mean) / 1e6,
+		P50Ms:    float64(s.P50) / 1e6,
+		P95Ms:    float64(s.P95) / 1e6,
+		P99Ms:    float64(s.P99) / 1e6,
 	}
 }
 

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"sesemi/internal/costmodel"
+	"sesemi/internal/gateway"
+	"sesemi/internal/obs"
+)
+
+// ---------- Obstax experiment: what does observability cost? ----------
+//
+// The tracing plane's contract is "low-overhead": head-sampled lifecycle
+// tracing must not tax the serving path measurably, because an observability
+// layer nobody can afford to leave on decomposes nothing. This experiment
+// measures that tax directly: the standard closed-loop gateway workload runs
+// on identical fresh worlds with tracing disabled, head-sampled at the
+// production rate, and at sample=1 (every request traced and its stage
+// measurement carried over the wire) — the worst case. Each mode runs
+// Trials times and the median throughput is compared.
+//
+// The same run yields the per-stage latency decomposition the tracing plane
+// exists to produce — admit/queue/form/dispatch/fanout partitioning the
+// end-to-end latency (coverage ≈ 1.0 by construction), with cold_start,
+// key_fetch and ecall as children inside the dispatch window — and exercises
+// the unified metrics registry: the sampled world's /metrics exposition is
+// written and parse-checked.
+//
+// The headline gates: sampled-tracing throughput ≥ 0.97x of disabled (the
+// ≤3% tax the tentpole claims), top-level span coverage within 5% of 1.0
+// (the stitched trace explains the end-to-end latency), and a well-formed
+// exposition.
+
+// ObstaxRun is one tracing mode's measured outcome.
+type ObstaxRun struct {
+	GatewayRunResult
+	// Sample is the head-sampling probability the mode ran with (-1 =
+	// tracing disabled entirely).
+	Sample float64 `json:"sample"`
+	// TrialRPS lists every trial's throughput; RPS (embedded) is the median.
+	TrialRPS []float64 `json:"trial_rps"`
+	// Traces / Kept are the tracer's lifetime counters from the median
+	// trial's world (zero when disabled).
+	Traces uint64 `json:"traces,omitempty"`
+	Kept   uint64 `json:"kept,omitempty"`
+	// Coverage is the aggregate top-level-span share of end-to-end time.
+	Coverage float64 `json:"coverage,omitempty"`
+	// Stages is the per-stage decomposition (mean per span, in ms).
+	Stages []ObstaxStage `json:"stages,omitempty"`
+}
+
+// ObstaxStage is one stage's aggregate share of the decomposition.
+type ObstaxStage struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	MeanMs  float64 `json:"mean_ms"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// ObstaxSnapshot is the BENCH_obstax.json payload.
+type ObstaxSnapshot struct {
+	Clients   int     `json:"clients"`
+	PerClient int     `json:"requests_per_client"`
+	MaxBatch  int     `json:"max_batch"`
+	Trials    int     `json:"trials"`
+	Sample    float64 `json:"sample"`
+
+	Disabled ObstaxRun `json:"disabled"`
+	Sampled  ObstaxRun `json:"sampled"`
+	Full     ObstaxRun `json:"full"`
+
+	// SampledRatio / FullRatio are median throughput relative to disabled.
+	// The tentpole's claim is SampledRatio ≥ 0.97.
+	SampledRatio float64 `json:"sampled_ratio"`
+	FullRatio    float64 `json:"full_ratio"`
+	// ExpositionOK reports the /metrics parse check over the sampled world's
+	// registry; ExpositionBytes its size.
+	ExpositionOK    bool `json:"exposition_ok"`
+	ExpositionBytes int  `json:"exposition_bytes"`
+	// EstOverheadRatio is costmodel.ObservabilityOverhead at the measured
+	// span count and request cost — the analytic prediction the measured
+	// SampledRatio is compared to.
+	EstOverheadRatio float64 `json:"est_overhead_ratio"`
+}
+
+// ObstaxBenchConfig sizes the experiment.
+type ObstaxBenchConfig struct {
+	// Clients is the closed-loop client count (default 32).
+	Clients int
+	// PerClient is requests per client (default 64).
+	PerClient int
+	// MaxBatch is the gateway batch bound (default 8).
+	MaxBatch int
+	// Trials is runs per mode; the median throughput is kept (default 3 —
+	// single runs of a sub-second workload are too noisy to gate a 3% claim).
+	Trials int
+	// Sample is the production head-sampling rate under test (default 0.1).
+	Sample float64
+}
+
+func (c *ObstaxBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Sample <= 0 {
+		c.Sample = 0.1
+	}
+}
+
+// ObstaxSmokeConfig is the tiny CI configuration.
+func ObstaxSmokeConfig() ObstaxBenchConfig {
+	return ObstaxBenchConfig{Clients: 8, PerClient: 24, Trials: 2}
+}
+
+// runObstaxMode drives the closed-loop population against Trials fresh
+// worlds at one sampling rate (sample < 0 disables tracing) and returns the
+// median-throughput run. checkExpo receives the median trial's world before
+// teardown (nil to skip).
+func runObstaxMode(cfg ObstaxBenchConfig, mode string, sample float64, snap *ObstaxSnapshot) (ObstaxRun, error) {
+	run := ObstaxRun{Sample: sample}
+	type trial struct {
+		res GatewayRunResult
+		tr  obs.TracerStats
+		cov float64
+		dec []obs.StageStat
+	}
+	var trials []trial
+	for t := 0; t < cfg.Trials; t++ {
+		wc := LiveWorldConfig{
+			Gateway: gateway.Config{
+				MaxBatch:     cfg.MaxBatch,
+				MaxWait:      2 * time.Millisecond,
+				MaxQueue:     4096,
+				MaxInFlight:  8,
+				PrewarmDepth: 32,
+			},
+		}
+		if sample > 0 {
+			wc.TraceSample = sample
+		}
+		w, err := NewLiveWorld(wc)
+		if err != nil {
+			return run, err
+		}
+		res := ClosedLoop(mode, cfg.Clients, cfg.PerClient, w.DoGateway)
+		tl := trial{res: res}
+		if w.Tracer != nil {
+			tl.tr = w.Tracer.Stats()
+			tl.cov = w.Tracer.Coverage()
+			tl.dec = w.Tracer.Decomposition()
+		}
+		if snap != nil && t == cfg.Trials-1 {
+			// Exposition check on the last sampled world, post-load, so every
+			// registered family has live values.
+			var buf bytes.Buffer
+			err := w.Registry.WritePrometheus(&buf)
+			snap.ExpositionBytes = buf.Len()
+			snap.ExpositionOK = err == nil && obs.CheckExposition(buf.Bytes()) == nil
+		}
+		w.Close()
+		trials = append(trials, tl)
+	}
+	sort.Slice(trials, func(i, j int) bool { return trials[i].res.RPS < trials[j].res.RPS })
+	med := trials[len(trials)/2]
+	run.GatewayRunResult = med.res
+	for _, tl := range trials {
+		run.TrialRPS = append(run.TrialRPS, tl.res.RPS)
+	}
+	sort.Float64s(run.TrialRPS)
+	run.Traces = med.tr.Started
+	run.Kept = med.tr.Kept
+	run.Coverage = med.cov
+	for _, st := range med.dec {
+		run.Stages = append(run.Stages, ObstaxStage{
+			Stage:   st.Stage,
+			Count:   st.Count,
+			MeanMs:  float64(st.Mean) / 1e6,
+			TotalMs: float64(st.Total) / 1e6,
+		})
+	}
+	return run, nil
+}
+
+// RunObstaxBench measures the three tracing modes and assembles the snapshot.
+func RunObstaxBench(cfg ObstaxBenchConfig) (*ObstaxSnapshot, error) {
+	cfg.defaults()
+	snap := &ObstaxSnapshot{
+		Clients:   cfg.Clients,
+		PerClient: cfg.PerClient,
+		MaxBatch:  cfg.MaxBatch,
+		Trials:    cfg.Trials,
+		Sample:    cfg.Sample,
+	}
+	var err error
+	if snap.Disabled, err = runObstaxMode(cfg, "disabled", -1, nil); err != nil {
+		return nil, err
+	}
+	if snap.Sampled, err = runObstaxMode(cfg, "sampled", cfg.Sample, snap); err != nil {
+		return nil, err
+	}
+	if snap.Full, err = runObstaxMode(cfg, "full", 1, nil); err != nil {
+		return nil, err
+	}
+	if snap.Disabled.RPS > 0 {
+		snap.SampledRatio = snap.Sampled.RPS / snap.Disabled.RPS
+		snap.FullRatio = snap.Full.RPS / snap.Disabled.RPS
+	}
+	// ~6 gateway-side span appends per traced request; the mean request cost
+	// comes from the disabled baseline (RPS per closed-loop client).
+	if snap.Disabled.RPS > 0 {
+		perReq := time.Duration(float64(time.Second) * float64(cfg.Clients) / snap.Disabled.RPS)
+		snap.EstOverheadRatio = costmodel.ObservabilityOverhead(cfg.Sample, 6, perReq)
+	}
+	return snap, nil
+}
+
+// WriteObstaxSnapshot runs the experiment and writes BENCH_obstax.json.
+func WriteObstaxSnapshot(path string, cfg ObstaxBenchConfig) (*ObstaxSnapshot, error) {
+	snap, err := RunObstaxBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ObstaxGate enforces the experiment's hard claims for the CI smoke: the
+// sampled tax within tolerance (ratio ≥ min; the smoke uses a looser bar
+// than the snapshot's 0.97 claim because CI machines are noisy), the
+// stitched decomposition explaining end-to-end latency, and a well-formed
+// /metrics exposition.
+func ObstaxGate(snap *ObstaxSnapshot, minRatio float64) error {
+	if snap.SampledRatio < minRatio {
+		return fmt.Errorf("obstax: sampled-tracing throughput ratio %.3f below %.2f", snap.SampledRatio, minRatio)
+	}
+	if cov := snap.Full.Coverage; cov < 0.95 || cov > 1.05 {
+		return fmt.Errorf("obstax: top-level span coverage %.3f outside [0.95, 1.05]", cov)
+	}
+	if !snap.ExpositionOK {
+		return fmt.Errorf("obstax: /metrics exposition failed the parse check")
+	}
+	if snap.Sampled.Errors > 0 || snap.Disabled.Errors > 0 || snap.Full.Errors > 0 {
+		return fmt.Errorf("obstax: run had errors (%d/%d/%d)",
+			snap.Disabled.Errors, snap.Sampled.Errors, snap.Full.Errors)
+	}
+	return nil
+}
+
+func printObstaxRun(w io.Writer, r ObstaxRun) {
+	mode := r.Mode
+	fmt.Fprintf(w, "%-10s %6d req %4d err %8.0f req/s  mean %6.1fms  p99 %6.1fms",
+		mode, r.Requests, r.Errors, r.RPS, r.MeanMs, r.P99Ms)
+	if r.Traces > 0 {
+		fmt.Fprintf(w, "  (%d traces, %d kept, coverage %.3f)", r.Traces, r.Kept, r.Coverage)
+	}
+	fmt.Fprintln(w)
+}
+
+func runObstaxExperiment(w io.Writer) error {
+	header(w, "Obstax: lifecycle-tracing overhead + per-stage decomposition")
+	snap, err := RunObstaxBench(ObstaxBenchConfig{})
+	if err != nil {
+		return err
+	}
+	printObstaxRun(w, snap.Disabled)
+	printObstaxRun(w, snap.Sampled)
+	printObstaxRun(w, snap.Full)
+	fmt.Fprintf(w, "throughput vs disabled: sampled %.3fx (claim ≥ 0.97), full %.3fx; est %.4f tax\n",
+		snap.SampledRatio, snap.FullRatio, snap.EstOverheadRatio)
+	fmt.Fprintf(w, "stage decomposition (full tracing, per-request means):\n")
+	for _, st := range snap.Full.Stages {
+		fmt.Fprintf(w, "  %-10s %8d spans  mean %8.3fms  total %10.1fms\n",
+			st.Stage, st.Count, st.MeanMs, st.TotalMs)
+	}
+	fmt.Fprintf(w, "exposition: ok=%v (%d bytes)\n", snap.ExpositionOK, snap.ExpositionBytes)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "obstax",
+		Title: "Observability tax: tracing overhead + stage decomposition",
+		Run:   runObstaxExperiment,
+	})
+}

@@ -760,3 +760,30 @@ func TestRequestsAffected(t *testing.T) {
 		t.Fatal("non-positive inputs must return 0")
 	}
 }
+
+func TestObservabilityOverhead(t *testing.T) {
+	// Millisecond-scale requests keep sub-microsecond bookkeeping far below
+	// the 3% budget — the analytic form of the obstax gate.
+	if tax := ObservabilityOverhead(0.1, 6, 3*time.Millisecond); tax <= 0 || tax > 0.03 {
+		t.Fatalf("tax = %v, want (0, 0.03]", tax)
+	}
+	// Sampling more costs more (retention is per-kept-trace); never less.
+	if ObservabilityOverhead(1, 6, time.Millisecond) <= ObservabilityOverhead(0, 6, time.Millisecond) {
+		t.Fatal("full sampling must cost more than anomaly-only")
+	}
+	// Inversely proportional to service time: a 10x faster request pays 10x
+	// the relative tax.
+	slow := ObservabilityOverhead(0.1, 6, 10*time.Millisecond)
+	fast := ObservabilityOverhead(0.1, 6, time.Millisecond)
+	if ratio := fast / slow; ratio < 9.99 || ratio > 10.01 {
+		t.Fatalf("tax ratio = %v, want 10", ratio)
+	}
+	// Degenerate inputs: no service time means no defined tax; microscopic
+	// requests clamp at 1.
+	if ObservabilityOverhead(0.5, 6, 0) != 0 {
+		t.Fatal("non-positive perRequest must return 0")
+	}
+	if ObservabilityOverhead(1, 1000, time.Nanosecond) != 1 {
+		t.Fatal("tax must clamp at 1")
+	}
+}

@@ -106,6 +106,11 @@ func NewPlatform(hw costmodel.HW, clock vclock.Clock, key *attest.PlatformKey) *
 // HW returns the platform's hardware generation.
 func (p *Platform) HW() costmodel.HW { return p.hw }
 
+// Clock returns the platform clock — the same clock enclave programs charge
+// modeled costs through, so untrusted-side stage timing (internal/obs spans)
+// and in-enclave costs share one monotonic timeline.
+func (p *Platform) Clock() vclock.Clock { return p.clock }
+
 // EPCBytes returns the platform's enclave page cache capacity.
 func (p *Platform) EPCBytes() int64 { return p.hw.EPCBytes() }
 

@@ -33,12 +33,14 @@ package frontier
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sesemi/internal/gateway"
 	"sesemi/internal/metrics"
+	"sesemi/internal/obs"
 	"sesemi/internal/semirt"
 )
 
@@ -296,6 +298,25 @@ func (f *Frontier) Metrics() gateway.Metrics {
 		m.E2E.Merge(gm.E2E)
 	}
 	return m
+}
+
+// RegisterMetrics exports the frontier's routing counters and every shard's
+// gateway metrics on reg. Shards register under a "shard" label so the
+// per-shard imbalance stays visible; the shared tracer (Config.Tracer) is
+// NOT registered here — it spans all shards, so its owner registers it once.
+func (f *Frontier) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("sesemi_frontier_spills_total", "Admissions that landed on a non-home ring candidate.", labels,
+		func() float64 { return float64(f.spills.Load()) })
+	reg.CounterFunc("sesemi_frontier_steals_total", "Steal operations performed.", labels,
+		func() float64 { return float64(f.steals.Load()) })
+	reg.CounterFunc("sesemi_frontier_stolen_total", "Requests moved by steals.", labels,
+		func() float64 { return float64(f.stolen.Load()) })
+	for i, g := range f.shards {
+		g.RegisterMetrics(reg, labels.With("shard", strconv.Itoa(i)))
+	}
 }
 
 // Close stops the steal pacer and closes every shard (concurrently — each

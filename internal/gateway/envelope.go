@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sesemi/internal/obs"
 	"sesemi/internal/semirt"
 )
 
@@ -174,6 +175,7 @@ func (t *Ticket) Cancel() bool {
 	}
 	removed := t.q.removeLocked(t.p)
 	if removed {
+		g.finishTrace(t.p) // before settle can recycle the envelope
 		g.pending--
 		g.tenantAddLocked(t.p.tenant, func(tc *tenantCounts) { tc.canceled++ })
 		g.reapLocked(t.q)
@@ -197,10 +199,14 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		return nil, err
 	}
 	req.normalize()
+	// The trace begins at admission; every rejection below seals it as an
+	// admit-only lifetime (anomalous, so rejections survive head sampling).
+	tr := g.cfg.Tracer.Start(req.Action, req.Model, req.Tenant)
 	now := time.Now()
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
+		g.finishRejected(tr, now, "")
 		return nil, ErrClosed
 	}
 	// Closed wins over every other admission outcome; only then is an
@@ -209,6 +215,7 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		g.tenantAddLocked(req.Tenant, func(tc *tenantCounts) { tc.shed++ })
 		g.mu.Unlock()
 		g.shed.Add(1)
+		g.finishRejected(tr, now, "shed")
 		return nil, ErrDeadline
 	}
 	key := queueKey(req.Action, req.Model)
@@ -222,6 +229,7 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		g.tenantAddLocked(req.Tenant, func(tc *tenantCounts) { tc.rejected++ })
 		g.mu.Unlock()
 		g.rejected.Add(1)
+		g.finishRejected(tr, now, "rejected")
 		return nil, ErrOverloaded
 	}
 	tq := q.tenant(req.Tenant, &g.cfg)
@@ -230,6 +238,7 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		g.tenantAddLocked(req.Tenant, func(tc *tenantCounts) { tc.rejected++ })
 		g.mu.Unlock()
 		g.tenantRejected.Add(1)
+		g.finishRejected(tr, now, "rejected")
 		return nil, ErrTenantOverloaded
 	}
 	// Envelope from the pool (pool.go): every field is overwritten here, and
@@ -245,6 +254,15 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	p.enq = now
 	p.resumed = false
 	p.retries = 0
+	p.tr = tr
+	if tr != nil {
+		// The admit span must close before enqueueLocked: the flush below can
+		// drain p into a batch under this same lock hold, and the dispatcher
+		// owns the trace from the moment p is queued.
+		enqueued := time.Now()
+		tr.Observe(obs.StageAdmit, now, enqueued)
+		p.trEnq = enqueued
+	}
 	q.enqueueLocked(tq, p)
 	g.pending++
 	g.accepted.Add(1)

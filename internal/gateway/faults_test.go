@@ -156,7 +156,7 @@ func TestRetryRequeueBurnsNoFreshDeficit(t *testing.T) {
 		q.enqueueLocked(q.tenant("A", &g.cfg), pA2)
 		q.enqueueLocked(q.tenant("B", &g.cfg), pB1)
 		if markResumed {
-			g.retryLocked(q, pA1) // the production path: resumed + insertResumed
+			g.retryLocked(q, pA1, base) // the production path: resumed + insertResumed
 		} else {
 			// Counterfactual: a naive re-enqueue that pays deficit again.
 			q.enqueueLocked(q.tenant("A", &g.cfg), pA1)

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"sesemi/internal/metrics"
+	"sesemi/internal/obs"
 	"sesemi/internal/semirt"
 	"sesemi/internal/serverless"
 )
@@ -261,6 +262,14 @@ type Config struct {
 	// dispatch slot is held during the backoff, so a flapping backend is
 	// paced instead of hammered.
 	RetryBackoff time.Duration
+	// Tracer, when non-nil, enables request-lifecycle tracing: Submit mints
+	// one trace per request and the dispatch paths record the stage spans
+	// (admit, queue, form, dispatch, fanout — plus stitched backend children)
+	// that decompose its end-to-end latency. Nil disables tracing; every
+	// trace call site then costs one pointer test. Frontier shards embedding
+	// this config share the tracer, so a request stolen across shards is
+	// finished against the same ring it was started on.
+	Tracer *obs.Tracer
 	// MinService floors the service-time estimate behind deadline-flush
 	// margins (deadlineWait, the deadline watchdog). A cold queue has
 	// svcEWMA == 0; unfloored, the margin degenerates to ~1ms and the
@@ -329,6 +338,15 @@ type pending struct {
 	// retries counts dispatch attempts that failed retryably for this request
 	// (bounded by Config.MaxRetries).
 	retries int
+	// tr is the request's lifecycle trace (nil when tracing is off). Owned by
+	// whichever goroutine owns p; every outcome path finishes it BEFORE the
+	// result send — the send is the last permitted touch of p (pool.go), and
+	// a finished trace is recycled by the tracer.
+	tr *obs.Trace
+	// trEnq is the absolute instant the request (re-)entered the queue — the
+	// start of its next queue span. Reset on retry and preemption re-queues so
+	// each wait is traced once.
+	trEnq time.Time
 	// gen is the envelope's recycle generation (see pool.go): bumped at every
 	// releasePending, captured by the Ticket at mint, checked by Cancel before
 	// the pointer-matching removal. Atomic because the settle that bumps it
@@ -987,6 +1005,11 @@ func (g *Gateway) shedLocked(p *pending, now time.Time, estimate time.Duration) 
 	if p.deadline.IsZero() || now.Add(estimate).Before(p.deadline) {
 		return false
 	}
+	if p.tr != nil {
+		p.tr.Observe(obs.StageQueue, p.trEnq, now)
+		p.tr.Anomaly("shed")
+		g.finishTrace(p)
+	}
 	tenant := p.tenant // the send is the last touch: a settled waiter may recycle p
 	p.done <- result{err: ErrDeadline}
 	g.pending--
@@ -1150,16 +1173,25 @@ func (g *Gateway) retryBackoff(attempt int) {
 // Identical fairness contract to requeueLocked (preemption): original enqueue
 // time, original-arrival position, no fresh DRR deficit — a retry must not
 // improve or worsen the tenant's share. After Close the member fails with
-// ErrClosed like any queued request.
-func (g *Gateway) retryLocked(q *queue, p *pending) {
+// ErrClosed like any queued request. from is the instant the failed attempt
+// ended — the retry span covers the backoff between failure and re-queue,
+// and marks the trace anomalous so it survives head sampling.
+func (g *Gateway) retryLocked(q *queue, p *pending, from time.Time) {
 	g.retries.Add(1)
 	if g.closed {
+		g.finishTrace(p)
 		tenant := p.tenant // send last: the waiter may recycle p on receipt
 		p.done <- result{err: ErrClosed}
 		g.served.Add(1)
 		g.pending--
 		g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.served++ })
 		return
+	}
+	if p.tr != nil {
+		now := time.Now()
+		p.tr.Anomaly("retry")
+		p.tr.Observe(obs.StageRetry, from, now)
+		p.trEnq = now
 	}
 	p.resumed = true
 	q.enqueueLocked(q.tenant(p.tenant, &g.cfg), p)
@@ -1168,7 +1200,7 @@ func (g *Gateway) retryLocked(q *queue, p *pending) {
 // invokeBatch runs the backend call for one batch with panics recovered: a
 // panicking instance fails its batch with ErrBackendPanic (retryable) instead
 // of killing the dispatch goroutine and stranding the queue.
-func (g *Gateway) invokeBatch(action, home, fallbackServedOn string, payload []byte) (raw []byte, servedOn string, err error) {
+func (g *Gateway) invokeBatch(ctx context.Context, action, home, fallbackServedOn string, payload []byte) (raw []byte, servedOn string, err error) {
 	servedOn = fallbackServedOn
 	defer func() {
 		if r := recover(); r != nil {
@@ -1177,9 +1209,9 @@ func (g *Gateway) invokeBatch(action, home, fallbackServedOn string, payload []b
 		}
 	}()
 	if g.rt != nil {
-		return g.rt.InvokeOn(g.ctx, action, home, payload)
+		return g.rt.InvokeOn(ctx, action, home, payload)
 	}
-	raw, err = g.inv.Invoke(g.ctx, action, payload)
+	raw, err = g.inv.Invoke(ctx, action, payload)
 	return raw, servedOn, err
 }
 
@@ -1189,10 +1221,24 @@ func (g *Gateway) invokeBatch(action, home, fallbackServedOn string, payload []b
 func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 	defer g.wg.Done()
 	start := time.Now()
+	traced := false
 	reqs := make([]semirt.Request, len(batch))
 	for i, p := range batch {
 		reqs[i] = p.req
 		g.m.QueueWait.Observe(float64(start.Sub(p.enq)) / float64(time.Millisecond))
+		if p.tr != nil {
+			// The queue span ends where the dispatch begins: the top-level
+			// stages tile the request's lifetime with shared boundaries, so
+			// their sum reconstructs the end-to-end latency.
+			p.tr.Observe(obs.StageQueue, p.trEnq, start)
+			if p.tr.Sampled() {
+				// Ask the backend to measure its activation stages only for
+				// traces that will be retained: unsampled traffic keeps the
+				// untraced wire path, byte for byte.
+				reqs[i].Trace = true
+				traced = true
+			}
+		}
 	}
 	if g.rt != nil && home == "" {
 		// First dispatch of a fresh queue: elect a home. The cluster scan
@@ -1208,20 +1254,64 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 		g.mu.Unlock()
 	}
 	var results []semirt.BatchResult
+	var stages []obs.StageDur
 	servedOn := home
 	var retry []*pending
+	var sink *obs.Sink
+	ictx := g.ctx
+	if traced {
+		// Placement-layer spans (cold starts) recorded during the invoke
+		// arrive here, to be grafted into every retained member trace.
+		sink = &obs.Sink{}
+		ictx = obs.NewContext(g.ctx, sink)
+	}
+	invokeStart := time.Now()
+	invokeEnd := invokeStart
 	payload, err := semirt.EncodeBatch(reqs)
 	if err == nil {
 		var raw []byte
-		raw, servedOn, err = g.invokeBatch(q.action, home, servedOn, payload)
+		raw, servedOn, err = g.invokeBatch(ictx, q.action, home, servedOn, payload)
 		if err == nil {
-			results, err = semirt.DecodeBatchResponse(raw, len(batch))
+			results, stages, err = semirt.DecodeBatchResponseStages(raw, len(batch))
 		}
+		invokeEnd = time.Now()
 		if err != nil {
 			// A backend fault (not an encode error — that one is
 			// deterministic): members with budget left go back to the queue,
 			// the rest fall through to the error fan-out below.
 			retry, batch = g.splitRetryable(batch, err)
+		}
+	}
+	// Seal the member traces before the sends: form and dispatch bracket the
+	// activation, the wire-reported (cold_start, key_fetch, ecall) and
+	// placement-recorded children stitch into the dispatch window, and fanout
+	// closes the partition. A finished trace is recycled by the tracer, so it
+	// must be sealed while the dispatcher still owns the envelope.
+	fanStart := time.Now()
+	for _, p := range batch {
+		if p.tr == nil {
+			continue
+		}
+		p.tr.Observe(obs.StageForm, start, invokeStart)
+		p.tr.Observe(obs.StageDispatch, invokeStart, invokeEnd)
+		if p.tr.Sampled() {
+			for _, sd := range stages {
+				p.tr.Attach(sd.Stage, invokeEnd, sd.Dur)
+			}
+			sink.Each(func(st obs.Stage, s, e time.Time) { p.tr.Observe(st, s, e) })
+		}
+		if !p.deadline.IsZero() && fanStart.After(p.deadline) {
+			p.tr.Anomaly("slo")
+		}
+		p.tr.Observe(obs.StageFanout, invokeEnd, fanStart)
+		g.finishTrace(p)
+	}
+	for _, p := range retry {
+		// A retried member's trace stays open across attempts; record this
+		// attempt's spans now (retryLocked adds the retry span and anomaly).
+		if p.tr != nil {
+			p.tr.Observe(obs.StageForm, start, invokeStart)
+			p.tr.Observe(obs.StageDispatch, invokeStart, invokeEnd)
 		}
 	}
 	// Capture the fields the post-fan-out accounting needs BEFORE the sends:
@@ -1258,7 +1348,7 @@ func (g *Gateway) dispatch(q *queue, batch []*pending, home string) {
 		// Fairness-neutral re-queue (original enqueue time, no fresh
 		// deficit); the tail's flush re-dispatches — by then the breaker has
 		// usually opened on the failed node, so the retry fails over.
-		g.retryLocked(q, p)
+		g.retryLocked(q, p, invokeEnd)
 	}
 	// Exponentially smoothed batch service time: the deadline shedder's
 	// estimate of how long a request dispatched now will take to answer.
@@ -1550,6 +1640,7 @@ func (g *Gateway) Close() {
 	for _, q := range g.queues {
 		for _, tq := range q.tenants {
 			for _, p := range tq.items {
+				g.finishTrace(p)
 				tenant := p.tenant // send last: the waiter may recycle p on receipt
 				p.done <- result{err: ErrClosed}
 				g.served.Add(1)

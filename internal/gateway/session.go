@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"sesemi/internal/obs"
 	"sesemi/internal/semirt"
 )
 
@@ -75,12 +76,21 @@ func (g *Gateway) stepSafe(sess InvokeSession, payload []byte) (raw []byte, err 
 func (g *Gateway) requeueLocked(q *queue, p *pending) {
 	g.preemptions.Add(1)
 	if g.closed {
+		g.finishTrace(p)
 		tenant := p.tenant // send last: the waiter may recycle p on receipt
 		p.done <- result{err: ErrClosed}
 		g.served.Add(1)
 		g.pending--
 		g.tenantAddLocked(tenant, func(tc *tenantCounts) { tc.served++ })
 		return
+	}
+	if p.tr != nil {
+		// A zero-width preempt marker plus the anomaly flag: the eviction
+		// itself is instantaneous — its cost is the next queue span.
+		now := time.Now()
+		p.tr.Anomaly("preempt")
+		p.tr.Observe(obs.StagePreempt, now, now)
+		p.trEnq = now
 	}
 	p.resumed = true
 	q.enqueueLocked(q.tenant(p.tenant, &g.cfg), p)
@@ -157,7 +167,18 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			js := make([]semirt.StepJoin, 0, len(join))
 			for _, p := range join {
 				members[nextID] = newSessMember(p, now)
-				js = append(js, semirt.StepJoin{ID: nextID, Req: p.req})
+				jr := p.req
+				if p.tr != nil {
+					// Queue span closes at admission into the session; the
+					// member's dispatch span starts here (sm.sent == now).
+					p.tr.Observe(obs.StageQueue, p.trEnq, now)
+					if p.tr.Sampled() {
+						// Ask the backend to measure step stages only for
+						// retained traces, like the form-then-fire path.
+						jr.Trace = true
+					}
+				}
+				js = append(js, semirt.StepJoin{ID: nextID, Req: jr})
 				nextID++
 				g.m.QueueWait.Observe(float64(now.Sub(p.enq)) / float64(time.Millisecond))
 			}
@@ -188,9 +209,31 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 				}
 				delete(members, d.ID)
 				if d.Preempted {
+					if sm.p.tr != nil {
+						// This residency's dispatch span; requeueLocked adds
+						// the preempt marker and re-opens the queue span.
+						sm.p.tr.Observe(obs.StageDispatch, sm.sent, now)
+					}
 					sm.p.req.StepsDone = d.StepsDone
 					requeue = append(requeue, sm.p)
 					continue
+				}
+				if sm.p.tr != nil {
+					// Seal the trace before the send (it is recycled at
+					// Finish): dispatch covers the whole session residency,
+					// and the final frame's backend stages stitch in as
+					// children. Fan-out at a step boundary is immediate, so
+					// there is no separate fanout span in continuous mode.
+					sm.p.tr.Observe(obs.StageDispatch, sm.sent, now)
+					if sm.p.tr.Sampled() {
+						for _, sd := range resp.Stages {
+							sm.p.tr.Attach(sd.Stage, now, sd.Dur)
+						}
+					}
+					if !sm.p.deadline.IsZero() && now.After(sm.p.deadline) {
+						sm.p.tr.Anomaly("slo")
+					}
+					g.finishTrace(sm.p)
 				}
 				// Fan out at the step boundary the member completed at — the
 				// whole point of the discipline: no waiting for the session.
@@ -279,6 +322,10 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 		now := time.Now()
 		g.mu.Lock()
 		for _, sm := range failed {
+			if sm.p.tr != nil {
+				sm.p.tr.Observe(obs.StageDispatch, sm.sent, now)
+				g.finishTrace(sm.p)
+			}
 			r := result{err: g.failFinal(sm.p, frameErr)}
 			sm.p.done <- r // last touch of sm.p; accounting uses the captures
 			g.served.Add(1)
@@ -287,8 +334,11 @@ func (g *Gateway) dispatchSession(q *queue, home string) {
 			g.tenantAddLocked(sm.tenant, func(tc *tenantCounts) { tc.served++ })
 		}
 		for _, sm := range retry {
+			if sm.p.tr != nil {
+				sm.p.tr.Observe(obs.StageDispatch, sm.sent, now)
+			}
 			sm.p.req.StepsDone = sm.steps
-			g.retryLocked(q, sm.p)
+			g.retryLocked(q, sm.p, now)
 		}
 		g.mu.Unlock()
 	}

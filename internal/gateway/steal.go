@@ -130,6 +130,7 @@ func (g *Gateway) AcceptStolen(s *Stolen) int {
 	g.mu.Lock()
 	if g.closed {
 		for _, p := range items {
+			g.finishTrace(p)
 			tenant := p.tenant // send last: the waiter may recycle p on receipt
 			p.done <- result{err: ErrClosed}
 			g.served.Add(1)

@@ -1,0 +1,93 @@
+package gateway
+
+// Observability adapters: the trace lifecycle helpers the dispatch paths
+// share, and the unified-registry export of the gateway's existing counters
+// and histograms. The gateway keeps its own accounting (Stats, Metrics) as
+// the source of truth; RegisterMetrics adapts it at scrape time instead of
+// double-counting on the hot path.
+
+import (
+	"time"
+
+	"sesemi/internal/obs"
+)
+
+// finishTrace seals and recycles p's trace (no-op when tracing is off or the
+// trace is already finished). Every outcome path calls it BEFORE the result
+// send: the send is the last permitted touch of p (pool.go), and Finish is
+// the last permitted touch of the trace.
+func (g *Gateway) finishTrace(p *pending) {
+	if p.tr == nil {
+		return
+	}
+	g.cfg.Tracer.Finish(p.tr)
+	p.tr = nil
+}
+
+// finishRejected seals a trace whose request never made it past admission:
+// the whole lifetime was the admit stage. reason, when non-empty, marks the
+// trace anomalous so rejections survive head sampling.
+func (g *Gateway) finishRejected(t *obs.Trace, start time.Time, reason string) {
+	if t == nil {
+		return
+	}
+	if reason != "" {
+		t.Anomaly(reason)
+	}
+	t.Observe(obs.StageAdmit, start, time.Now())
+	g.cfg.Tracer.Finish(t)
+}
+
+// RegisterMetrics exports the gateway's counters and latency distributions on
+// reg under the given base labels (shard, node...). Counters adapt the
+// existing atomics at scrape time; the four serving histograms export in
+// their native units (sizes, depth, milliseconds).
+func (g *Gateway) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	counters := []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"sesemi_gateway_accepted_total", "Requests admitted.", g.accepted.Load},
+		{"sesemi_gateway_rejected_total", "Admissions refused with ErrOverloaded.", g.rejected.Load},
+		{"sesemi_gateway_tenant_rejected_total", "Admissions refused by a tenant quota.", g.tenantRejected.Load},
+		{"sesemi_gateway_shed_total", "Requests failed fast on a deadline.", g.shed.Load},
+		{"sesemi_gateway_canceled_total", "Requests withdrawn while queued.", g.canceled.Load},
+		{"sesemi_gateway_batches_total", "Activations dispatched.", g.batches.Load},
+		{"sesemi_gateway_served_total", "Responses fanned out (errors included).", g.served.Load},
+		{"sesemi_gateway_retries_total", "Requests re-queued after a retryable dispatch failure.", g.retries.Load},
+		{"sesemi_gateway_preemptions_total", "Continuous-session members preempted at a step boundary.", g.preemptions.Load},
+		{"sesemi_gateway_backend_panics_total", "Panics recovered in the dispatch path.", g.panics.Load},
+		{"sesemi_gateway_prewarmed_total", "Sandboxes started by prewarming.", g.prewarmed.Load},
+		{"sesemi_gateway_rehomes_total", "Affinity re-homing decisions.", g.rehomes.Load},
+		{"sesemi_gateway_stolen_in_total", "Requests adopted from a stealing peer.", g.stolenIn.Load},
+		{"sesemi_gateway_stolen_out_total", "Requests given up to a stealing peer.", g.stolenOut.Load},
+	}
+	for _, c := range counters {
+		fn := c.fn
+		reg.CounterFunc(c.name, c.help, labels, func() float64 { return float64(fn()) })
+	}
+	reg.GaugeFunc("sesemi_gateway_pending", "Requests admitted but not yet answered.", labels, func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(g.pending)
+	})
+	reg.GaugeFunc("sesemi_gateway_queues", "Live (action, model) queues.", labels, func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(len(g.queues))
+	})
+	reg.HistogramFunc("sesemi_gateway_batch_size", "Dispatched batch-size distribution.", labels,
+		func() obs.HistSnapshot { return obs.HistogramSnapshot(g.m.BatchSizes) })
+	reg.HistogramFunc("sesemi_gateway_queue_depth", "Queue depth sampled at every enqueue.", labels,
+		func() obs.HistSnapshot { return obs.HistogramSnapshot(g.m.QueueDepth) })
+	reg.HistogramFunc("sesemi_gateway_queue_wait_ms", "Enqueue-to-dispatch wait in milliseconds.", labels,
+		func() obs.HistSnapshot { return obs.HistogramSnapshot(g.m.QueueWait) })
+	reg.HistogramFunc("sesemi_gateway_e2e_ms", "Enqueue-to-fan-out latency in milliseconds.", labels,
+		func() obs.HistSnapshot { return obs.HistogramSnapshot(g.m.E2E) })
+	// The tracer is deliberately NOT registered here: frontier shards share
+	// one tracer, so the owner registers it once (Tracer.RegisterMetrics)
+	// instead of once per shard label.
+}

@@ -1,0 +1,60 @@
+package keyservice
+
+// Unified-registry export of the KeyService's observable state. Everything
+// here is scrape-time adaptation of counters the service already keeps —
+// store sizes, allowlist mode, and the provisioning admit/reject totals whose
+// movement is the observable trace of a rollout revocation. Only counts leave
+// the enclave boundary, never key material or principal ids.
+
+import "sesemi/internal/obs"
+
+// RegisterMetrics exports the service's store sizes and allowlist counters on
+// reg under the given base labels (node...).
+func (s *Service) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("sesemi_keyservice_identities", "Registered principal identities (KS_I).", labels,
+		func() float64 { ids, _, _, _ := s.Counts(); return float64(ids) })
+	reg.GaugeFunc("sesemi_keyservice_models", "Deposited model keys (KS_M).", labels,
+		func() float64 { _, models, _, _ := s.Counts(); return float64(models) })
+	reg.GaugeFunc("sesemi_keyservice_req_keys", "Deposited request keys (KS_R).", labels,
+		func() float64 { _, _, reqKeys, _ := s.Counts(); return float64(reqKeys) })
+	reg.GaugeFunc("sesemi_keyservice_grants", "Access-control matrix records (ACM).", labels,
+		func() float64 { _, _, _, grants := s.Counts(); return float64(grants) })
+	reg.GaugeFunc("sesemi_keyservice_enforcing", "1 when the measurement allowlist is default-deny.", labels,
+		func() float64 {
+			if s.Enforcing() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("sesemi_keyservice_measurements_admitted", "Enclave measurements currently admitted.", labels,
+		func() float64 {
+			n := 0
+			for _, st := range s.MeasurementStats() {
+				if st.Admitted {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	// Allowlist entries are never deleted, so these scrape-time sums are
+	// monotone — valid Prometheus counters.
+	reg.CounterFunc("sesemi_keyservice_provision_admits_total", "Provisioning attempts admitted by the allowlist.", labels,
+		func() float64 {
+			var n uint64
+			for _, st := range s.MeasurementStats() {
+				n += st.Admits
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("sesemi_keyservice_provision_rejects_total", "Provisioning attempts rejected by the allowlist.", labels,
+		func() float64 {
+			var n uint64
+			for _, st := range s.MeasurementStats() {
+				n += st.Rejects
+			}
+			return float64(n)
+		})
+}

@@ -69,6 +69,14 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Sum returns the total of all observed values — with Count and Snapshot,
+// everything a Prometheus histogram exposition needs.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Quantile returns the lower bound of the bucket holding the q-th quantile
 // (0 < q <= 1) under nearest-rank, 0 when empty. For integer-valued counts
 // observed with unit width this is the observed value itself, so quantiles

@@ -16,14 +16,18 @@ import (
 type Latency struct {
 	mu      sync.Mutex
 	samples []time.Duration
-	sorted  bool
+	// sorted caches an ascending copy of samples for the percentile reads.
+	// It is a SEPARATE slice: sorting samples in place would silently break
+	// Each's insertion-order contract after the first Percentile call. nil
+	// means stale (invalidated by Add/Merge).
+	sorted []time.Duration
 }
 
 // Add records one sample.
 func (l *Latency) Add(d time.Duration) {
 	l.mu.Lock()
 	l.samples = append(l.samples, d)
-	l.sorted = false
+	l.sorted = nil
 	l.mu.Unlock()
 }
 
@@ -54,7 +58,7 @@ func (l *Latency) Merge(other *Latency) {
 	}
 	l.mu.Lock()
 	l.samples = append(l.samples, samples...)
-	l.sorted = false
+	l.sorted = nil
 	l.mu.Unlock()
 }
 
@@ -79,48 +83,87 @@ func (l *Latency) Mean() time.Duration {
 	return sum / time.Duration(len(l.samples))
 }
 
+// sortedLocked returns the ascending sample cache, rebuilding it (copy +
+// sort) when stale. Caller holds l.mu.
+func (l *Latency) sortedLocked() []time.Duration {
+	if l.sorted == nil {
+		l.sorted = append(make([]time.Duration, 0, len(l.samples)), l.samples...)
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+	}
+	return l.sorted
+}
+
+// percentileOf is nearest-rank over an ascending slice.
+func percentileOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100) using
 // nearest-rank.
 func (l *Latency) Percentile(p float64) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
-		return 0
-	}
-	if !l.sorted {
-		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
-		l.sorted = true
-	}
-	if p <= 0 {
-		return l.samples[0]
-	}
-	if p >= 100 {
-		return l.samples[len(l.samples)-1]
-	}
-	rank := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	return l.samples[rank]
+	return percentileOf(l.sortedLocked(), p)
 }
 
 // Max returns the largest sample.
 func (l *Latency) Max() time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var max time.Duration
-	for _, s := range l.samples {
-		if s > max {
-			max = s
-		}
+	if len(l.samples) == 0 {
+		return 0
 	}
-	return max
+	s := l.sortedLocked()
+	return s[len(s)-1]
+}
+
+// LatencySummary is one consistent view of a Latency distribution.
+type LatencySummary struct {
+	Count                    int
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// Snapshot computes (count, mean, p50, p95, p99, max) under one lock
+// acquisition — the report-path alternative to five separate calls, each
+// re-locking (and, before the sorted cache, re-sorting) the distribution.
+func (l *Latency) Snapshot() LatencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := LatencySummary{Count: len(l.samples)}
+	if out.Count == 0 {
+		return out
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	out.Mean = sum / time.Duration(out.Count)
+	s := l.sortedLocked()
+	out.P50 = percentileOf(s, 50)
+	out.P95 = percentileOf(s, 95)
+	out.P99 = percentileOf(s, 99)
+	out.Max = s[len(s)-1]
+	return out
 }
 
 // String formats a summary.
 func (l *Latency) String() string {
+	s := l.Snapshot()
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
-		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(95), l.Percentile(99))
+		s.Count, s.Mean, s.P50, s.P95, s.P99)
 }
 
 // Bucket is one window of a time series.

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sesemi/internal/metrics"
+	"sesemi/internal/vclock"
+)
+
+func TestStageNamesAndPartition(t *testing.T) {
+	want := []string{"admit", "queue", "form", "dispatch", "cold_start",
+		"key_fetch", "ecall", "fanout", "retry", "preempt"}
+	for i, name := range want {
+		if Stage(i).String() != name {
+			t.Fatalf("stage %d = %q, want %q", i, Stage(i), name)
+		}
+	}
+	top := 0
+	for s := Stage(0); s < NumStages; s++ {
+		if s.TopLevel() {
+			top++
+		}
+	}
+	if top != 5 {
+		t.Fatalf("top-level stages %d, want 5 (admit queue form dispatch fanout)", top)
+	}
+}
+
+// A contiguous stage walk under a manual clock decomposes exactly: the
+// top-level spans partition the end-to-end latency with coverage 1.0.
+func TestTraceDecompositionExact(t *testing.T) {
+	clk := vclock.NewManual()
+	tr := NewTracer(Config{TraceSample: 1, Clock: clk})
+	tc := tr.Start("act", "m", "tenant-a")
+	if !tc.Sampled() {
+		t.Fatal("sample=1 trace not head-sampled")
+	}
+	walk := []struct {
+		stage Stage
+		d     time.Duration
+	}{
+		{StageAdmit, 1 * time.Millisecond},
+		{StageQueue, 4 * time.Millisecond},
+		{StageForm, 2 * time.Millisecond},
+		{StageDispatch, 10 * time.Millisecond},
+		{StageFanout, 3 * time.Millisecond},
+	}
+	for _, w := range walk {
+		start := clk.Now()
+		clk.Advance(w.d)
+		tc.Observe(w.stage, start, clk.Now())
+	}
+	// Children inside dispatch must not perturb coverage.
+	tc.Attach(StageECall, clk.Now(), 8*time.Millisecond)
+	tr.Finish(tc)
+
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.E2E != 20*time.Millisecond {
+		t.Fatalf("e2e %v, want 20ms", r.E2E)
+	}
+	tot := r.StageTotals()
+	for _, w := range walk {
+		if tot[w.stage] != w.d {
+			t.Fatalf("stage %v total %v, want %v", w.stage, tot[w.stage], w.d)
+		}
+	}
+	if tot[StageECall] != 8*time.Millisecond {
+		t.Fatalf("attached ecall %v", tot[StageECall])
+	}
+	if c := r.Coverage(); c != 1.0 {
+		t.Fatalf("coverage %v, want 1.0", c)
+	}
+	if c := tr.Coverage(); c != 1.0 {
+		t.Fatalf("aggregate coverage %v, want 1.0", c)
+	}
+}
+
+func TestTracerHeadSampling(t *testing.T) {
+	tr := NewTracer(Config{TraceSample: 0, Ring: 64})
+	for i := 0; i < 100; i++ {
+		tr.Finish(tr.Start("a", "m", "t"))
+	}
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("sample=0 kept %d traces", got)
+	}
+	// Anomalies are retained regardless of the head decision.
+	tc := tr.Start("a", "m", "t")
+	tc.Anomaly("shed")
+	tr.Finish(tc)
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].Anomalies[0] != "shed" || recs[0].Sampled {
+		t.Fatalf("anomaly retention broken: %+v", recs)
+	}
+	st := tr.Stats()
+	if st.Started != 101 || st.Kept != 1 || st.Dropped != 100 || st.Anomalous != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Sampling rate lands near the configured probability.
+	tr = NewTracer(Config{TraceSample: 0.25, Ring: 4096})
+	for i := 0; i < 4000; i++ {
+		tr.Finish(tr.Start("a", "m", "t"))
+	}
+	kept := int(tr.Stats().Kept)
+	if kept < 800 || kept > 1200 {
+		t.Fatalf("sample=0.25 kept %d/4000", kept)
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(Config{TraceSample: 1, Ring: 16})
+	for i := 0; i < 500; i++ {
+		tr.Finish(tr.Start("a", "m", "t"))
+	}
+	recs := tr.Snapshot()
+	if len(recs) == 0 || len(recs) > 16+traceShards {
+		t.Fatalf("ring kept %d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID < recs[i-1].ID {
+			t.Fatal("snapshot not id-ordered")
+		}
+	}
+}
+
+// Nil tracer and nil trace are free no-ops — the disabled path.
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Start("a", "m", "t")
+	tc.Observe(StageAdmit, time.Time{}, time.Time{})
+	tc.Attach(StageECall, time.Time{}, time.Millisecond)
+	tc.Anomaly("x")
+	tr.Finish(tc)
+	if tr.Snapshot() != nil || tr.Decomposition() != nil || tc.Sampled() {
+		t.Fatal("nil tracer leaked state")
+	}
+	var sink *Sink
+	sink.Observe(StageColdStart, time.Time{}, time.Time{})
+	sink.DrainInto(nil)
+}
+
+func TestSinkThroughContext(t *testing.T) {
+	if SinkFrom(context.Background()) != nil {
+		t.Fatal("empty context produced a sink")
+	}
+	clk := vclock.NewManual()
+	sink := &Sink{}
+	ctx := NewContext(context.Background(), sink)
+	start := clk.Now()
+	clk.Advance(7 * time.Millisecond)
+	SinkFrom(ctx).Observe(StageColdStart, start, clk.Now())
+
+	tr := NewTracer(Config{TraceSample: 1, Clock: clk})
+	tc := tr.Start("a", "m", "t")
+	sink.DrainInto(tc)
+	tr.Finish(tc)
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].StageTotals()[StageColdStart] != 7*time.Millisecond {
+		t.Fatalf("sink span not grafted: %+v", recs)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(Config{TraceSample: 0.5, Ring: 128})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				tc := tr.Start("a", "m", "t")
+				now := tr.Now()
+				tc.Observe(StageQueue, now, now.Add(time.Millisecond))
+				if i%10 == 0 {
+					tc.Anomaly("retry")
+				}
+				tr.Finish(tc)
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Started != 2400 || st.Kept+st.Dropped != 2400 {
+		t.Fatalf("stats %+v", st)
+	}
+	_ = tr.Snapshot()
+	_ = tr.Decomposition()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("sesemi_test_requests_total", "Requests.", Labels{"tenant": "a", "model": "m"})
+	c.Add(3)
+	// Same name+labels returns the same handle.
+	if reg.Counter("sesemi_test_requests_total", "Requests.", Labels{"model": "m", "tenant": "a"}) != c {
+		t.Fatal("counter not idempotent on label order")
+	}
+	g := reg.Gauge("sesemi_test_depth", "Queue depth.", nil)
+	g.Set(4.5)
+	reg.GaugeFunc("sesemi_test_warm", "Warm sandboxes.", Labels{"node": "n0"}, func() float64 { return 2 })
+	reg.CounterFunc("sesemi_test_cold_total", "Cold starts.", Labels{"node": `quo"te`}, func() float64 { return 7 })
+
+	h := metrics.NewHistogram(1)
+	h.Observe(0.5)
+	h.Observe(2.5)
+	reg.HistogramFunc("sesemi_test_batch", "Batch sizes.", nil, func() HistSnapshot { return HistogramSnapshot(h) })
+
+	var lat metrics.Latency
+	lat.Add(10 * time.Millisecond)
+	lat.Add(20 * time.Millisecond)
+	reg.SummaryFunc("sesemi_test_e2e_seconds", "E2E latency.", nil, 1e-9, lat.Snapshot)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`sesemi_test_requests_total{model="m",tenant="a"} 3`,
+		`sesemi_test_depth 4.5`,
+		`sesemi_test_warm{node="n0"} 2`,
+		`sesemi_test_cold_total{node="quo\"te"} 7`,
+		`sesemi_test_batch_bucket{le="+Inf"} 2`,
+		`sesemi_test_batch_count 2`,
+		`sesemi_test_e2e_seconds{quantile="0.95"} 0.02`,
+		`sesemi_test_e2e_seconds_count 2`,
+		"# TYPE sesemi_test_batch histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails its own parse check: %v\n%s", err, out)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sesemi_x_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type conflict did not panic")
+		}
+	}()
+	reg.Gauge("sesemi_x_total", "", nil)
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no samples":    "# TYPE a counter\n",
+		"untyped":       "lonely_metric 1\n",
+		"bad value":     "# TYPE m counter\nm notanumber\n",
+		"bad name":      "# TYPE 9bad counter\n9bad 1\n",
+		"bad type":      "# TYPE m widget\nm 1\n",
+		"bad comment":   "# NOPE m counter\nm 1\n",
+		"unbalanced":    "# TYPE m counter\nm}x{ 1\n",
+		"empty output":  "",
+		"malformed typ": "# TYPE m\nm 1\n",
+	}
+	for name, in := range cases {
+		if err := CheckExposition([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestMountServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sesemi_up_total", "", nil).Inc()
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil || res.StatusCode != 200 {
+		t.Fatalf("/metrics: %v %v", err, res)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("served exposition invalid: %v", err)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil || res.StatusCode != 200 {
+		t.Fatalf("pprof: %v %v", err, res)
+	}
+	res.Body.Close()
+}

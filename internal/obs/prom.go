@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// withExtra inserts one more label pair into an already-encoded label block
+// — how bucket "le" and summary "quantile" labels join the series labels.
+func withExtra(enc, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if enc == "" {
+		return "{" + pair + "}"
+	}
+	return enc[:len(enc)-1] + "," + pair + "}"
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families and series in sorted order so
+// scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		// Series order: registration order is stable, but sort for scrape
+		// diffability (label sets are few per family).
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.series[key]
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(s.gauge.Value()))
+			case s.valueFn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(s.valueFn()))
+			case s.histFn != nil:
+				snap := s.histFn()
+				for _, b := range snap.Buckets {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, withExtra(s.labels, "le", fmtFloat(b.Upper)), b.Count)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, withExtra(s.labels, "le", "+Inf"), snap.Count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(snap.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+			case s.summaryFn != nil:
+				sum := s.summaryFn()
+				for _, q := range []struct {
+					q string
+					v float64
+				}{{"0.5", float64(sum.P50)}, {"0.95", float64(sum.P95)}, {"0.99", float64(sum.P99)}} {
+					fmt.Fprintf(bw, "%s%s %s\n", f.name, withExtra(s.labels, "quantile", q.q), fmtFloat(q.v*s.scale))
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(float64(sum.Mean)*float64(sum.Count)*s.scale))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, s.labels, sum.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP makes the registry a /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// Mount wires the observability endpoints onto a mux: GET /metrics serving
+// reg, and the net/http/pprof handlers under /debug/pprof/.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	if reg != nil {
+		mux.Handle("GET /metrics", reg)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CheckExposition is the minimal exposition-format parse check the obstax
+// smoke gates /metrics output on: every line is a HELP/TYPE comment or a
+// `name[{labels}] value` sample whose value parses as a float and whose
+// family (after stripping the histogram/summary _bucket/_sum/_count
+// suffixes) was declared by a preceding TYPE line.
+func CheckExposition(data []byte) error {
+	typed := map[string]bool{}
+	samples := 0
+	for n, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", n+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", n+1, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", n+1, fields[3])
+				}
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return fmt.Errorf("line %d: unbalanced label braces", n+1)
+			}
+			name, rest = line[:i], strings.TrimSpace(line[j+1:])
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name, rest = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", n+1, name)
+		}
+		val := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 { // optional timestamp
+			val = rest[:i]
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("line %d: sample value %q: %v", n+1, val, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(name, suf); t != name && typed[t] {
+				base = t
+				break
+			}
+		}
+		if !typed[base] {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", n+1, name)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sesemi/internal/metrics"
+)
+
+// Labels is one metric's label set (tenant, model, revision, shard, node...).
+type Labels map[string]string
+
+// With returns a copy of l with k=v added — the non-mutating builder the
+// per-stage and per-tenant registration loops use.
+func (l Labels) With(k, v string) Labels {
+	out := make(Labels, len(l)+1)
+	for lk, lv := range l {
+		out[lk] = lv
+	}
+	out[k] = v
+	return out
+}
+
+// encode renders the label set in Prometheus form, keys sorted, values
+// escaped. Empty labels encode to "".
+func (l Labels) encode() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistBucket is one cumulative bucket: Count observations ≤ Upper.
+type HistBucket struct {
+	Upper float64
+	Count uint64
+}
+
+// HistSnapshot is a point-in-time histogram view for scrape-time export.
+type HistSnapshot struct {
+	Buckets []HistBucket // cumulative, ascending Upper
+	Count   uint64
+	Sum     float64
+}
+
+// HistogramSnapshot adapts a metrics.Histogram (per-bucket counts) into the
+// cumulative form Prometheus expects — the bridge from every component's
+// existing histograms into the unified registry.
+func HistogramSnapshot(h *metrics.Histogram) HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	raw := h.Snapshot()
+	out := HistSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: make([]HistBucket, 0, len(raw))}
+	var cum uint64
+	for _, b := range raw {
+		cum += b.Count
+		out.Buckets = append(out.Buckets, HistBucket{Upper: b.Hi, Count: cum})
+	}
+	return out
+}
+
+// series is one (name, labels) time series and however it is read.
+type series struct {
+	labels    string
+	counter   *Counter
+	gauge     *Gauge
+	valueFn   func() float64
+	histFn    func() HistSnapshot
+	summaryFn func() metrics.LatencySummary
+	// scale multiplies summary/gauge values at exposition (e.g. ns→s).
+	scale float64
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*series
+	order           []string
+}
+
+// Registry is the process-wide metric namespace: named, labeled series
+// grouped into families, written in Prometheus text exposition format.
+// All registration methods are idempotent on (name, labels) and safe for
+// concurrent use; re-registering a name under a different type panics —
+// that is a programming error, not an operational condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	return f
+}
+
+func (f *family) get(labels Labels) (*series, bool) {
+	key := labels.encode()
+	s := f.series[key]
+	if s != nil {
+		return s, false
+	}
+	s = &series{labels: key, scale: 1}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s, true
+}
+
+// Counter returns (registering on first use) the counter for name+labels.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.family(name, help, "counter").get(labels)
+	if fresh {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns (registering on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.family(name, help, "gauge").get(labels)
+	if fresh {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a scrape-time counter read — the adapter for the
+// components' existing atomic Stats() counters, exported without a second
+// copy of the state. fn must be monotone for the series to behave as a
+// Prometheus counter.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, "counter").get(labels)
+	s.valueFn = fn
+}
+
+// GaugeFunc registers a scrape-time gauge read.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, "gauge").get(labels)
+	s.valueFn = fn
+}
+
+// HistogramFunc registers a scrape-time histogram read; fn typically wraps
+// HistogramSnapshot over a component-owned metrics.Histogram.
+func (r *Registry) HistogramFunc(name, help string, labels Labels, fn func() HistSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, "histogram").get(labels)
+	s.histFn = fn
+}
+
+// SummaryFunc registers a scrape-time summary read over a sample-backed
+// latency distribution; scale converts the duration values to the exported
+// unit (pass 1e-9 for seconds).
+func (r *Registry) SummaryFunc(name, help string, labels Labels, scale float64, fn func() metrics.LatencySummary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, "summary").get(labels)
+	s.summaryFn = fn
+	if scale > 0 {
+		s.scale = scale
+	}
+}

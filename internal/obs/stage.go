@@ -1,0 +1,96 @@
+// Package obs is the serving stack's observability plane: request-lifecycle
+// tracing (low-overhead spans over the injected vclock, stitched across the
+// gateway → serverless → semirt → keyservice hops) and a unified metrics
+// registry exported in Prometheus text format. The paper's claim is
+// amortization — enclave startup, key provisioning and ECall transitions
+// spread across requests — and obs is what turns that from an inference over
+// end-to-end histograms into a per-stage measurement.
+package obs
+
+import "time"
+
+// Stage identifies one segment of a request's lifecycle. The enum is fixed:
+// calibration (sim vs live) diffs stage-by-stage, so stages are a schema,
+// not a free-form label.
+type Stage uint8
+
+const (
+	// StageAdmit is admission control inside Submit: validation, quota and
+	// overload checks, envelope fill, up to the enqueue.
+	StageAdmit Stage = iota
+	// StageQueue is time parked in the per-(action, model) queue, from
+	// enqueue until a drain claims the request for a batch.
+	StageQueue
+	// StageForm is batch formation: from the drain until the batch payload
+	// is encoded and handed to placement.
+	StageForm
+	// StageDispatch is the serverless invoke: placement, sandbox transit,
+	// and the enclave's work. Cold start, key fetch and ECall nest inside.
+	StageDispatch
+	// StageColdStart is sandbox/enclave creation charged to this request's
+	// dispatch (child of dispatch).
+	StageColdStart
+	// StageKeyFetch is the enclave's KeyService provisioning round trip
+	// (child of dispatch; this is the keyservice hop of the trace).
+	StageKeyFetch
+	// StageECall is time inside the enclave transition serving the request's
+	// batch or step frame (child of dispatch).
+	StageECall
+	// StageFanout is result fan-out: from the invoke's return until this
+	// request's outcome is settled to its waiter.
+	StageFanout
+	// StageRetry is failover limbo: from a dispatch failure until the
+	// request is re-queued (annotation; overlaps the next queue span).
+	StageRetry
+	// StagePreempt is a continuous-batching preemption: from the
+	// step-boundary eviction until the member is re-queued (annotation).
+	StagePreempt
+
+	// NumStages bounds the enum for array-indexed aggregation.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"admit", "queue", "form", "dispatch", "cold_start",
+	"key_fetch", "ecall", "fanout", "retry", "preempt",
+}
+
+// String returns the stage's wire/report name.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// TopLevel reports whether the stage is part of the contiguous partition of
+// the request timeline (admit → queue → form → dispatch → fanout). Top-level
+// span durations sum to the end-to-end latency; the remaining stages are
+// children nested inside dispatch (cold_start, key_fetch, ecall) or
+// annotations overlapping other stages (retry, preempt).
+func (s Stage) TopLevel() bool {
+	switch s {
+	case StageAdmit, StageQueue, StageForm, StageDispatch, StageFanout:
+		return true
+	}
+	return false
+}
+
+// Span is one recorded stage: [Start, End) as offsets from the trace origin.
+type Span struct {
+	Stage Stage         `json:"stage"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+}
+
+// Dur is the span's duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// StageDur is a stage duration measured on the far side of a wire hop — the
+// semirt runtime reports (cold_start, key_fetch, ecall) per activation in
+// its batch/step response envelope, and the gateway grafts them into the
+// member traces as child spans of dispatch.
+type StageDur struct {
+	Stage Stage         `json:"s"`
+	Dur   time.Duration `json:"d"`
+}

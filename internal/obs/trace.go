@@ -1,0 +1,437 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sesemi/internal/vclock"
+)
+
+// Config tunes a Tracer.
+type Config struct {
+	// TraceSample is the head-sampling probability in [0, 1]: the fraction
+	// of requests whose finished trace is retained in the ring. The
+	// decision is made at Start (head sampling) from the trace id, so one
+	// request's spans either all survive or all drop. Anomalous traces
+	// (shed, retry, preemption, SLO breach) are ALWAYS retained regardless.
+	TraceSample float64
+	// Ring is the kept-trace ring capacity (default 512). Old traces are
+	// overwritten; Snapshot returns the survivors in id order.
+	Ring int
+	// Clock supplies monotonic timestamps (default vclock.Real). Under a
+	// Manual clock spans carry virtual durations, which is what lets the
+	// deterministic tests assert exact decompositions.
+	Clock vclock.Clock
+}
+
+// Tracer owns trace lifecycle: Start mints a trace for a request, Finish
+// folds its spans into the per-stage decomposition and retains it (sampled
+// or anomalous) in a lock-light sharded ring. A nil *Tracer is valid and
+// free: every method no-ops, and Start returns a nil *Trace whose methods
+// also no-op — tracing-disabled costs one pointer test per call site.
+type Tracer struct {
+	clock     vclock.Clock
+	threshold uint64 // head-sample iff mix64(id) < threshold
+	seq       atomic.Uint64
+
+	started   atomic.Uint64
+	kept      atomic.Uint64
+	dropped   atomic.Uint64
+	anomalous atomic.Uint64
+
+	// Per-stage decomposition over ALL finished traces (not just retained
+	// ones): span nanos and counts, plus end-to-end nanos for coverage.
+	stageNanos [NumStages]atomic.Int64
+	stageCount [NumStages]atomic.Int64
+	e2eNanos   atomic.Int64
+	e2eCount   atomic.Int64
+
+	shards [traceShards]traceShard
+	pool   sync.Pool
+}
+
+const traceShards = 8
+
+type traceShard struct {
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	n    int
+}
+
+// NewTracer builds a tracer. Returns nil when cfg.TraceSample < 0 — the
+// explicit "tracing off" spelling, so call sites hold one nil-able pointer.
+func NewTracer(cfg Config) *Tracer {
+	if cfg.TraceSample < 0 {
+		return nil
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 512
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	tr := &Tracer{clock: cfg.Clock}
+	if cfg.TraceSample >= 1 {
+		tr.threshold = ^uint64(0)
+	} else {
+		tr.threshold = uint64(cfg.TraceSample * float64(1<<63) * 2)
+	}
+	per := (cfg.Ring + traceShards - 1) / traceShards
+	for i := range tr.shards {
+		tr.shards[i].ring = make([]TraceRecord, per)
+	}
+	tr.pool.New = func() any { return new(Trace) }
+	return tr
+}
+
+// mix64 is a splitmix64 finalizer: turns the sequential trace id into a
+// uniform 64-bit hash, so head sampling needs no RNG state or lock.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Trace is one request's in-flight span collection. It is touched by the
+// admitting goroutine, then the dispatching goroutine (handed off under the
+// gateway lock), and stitched spans arrive from the invoke path — the
+// internal mutex makes all of that safe and is uncontended in practice.
+// A nil *Trace no-ops every method.
+type Trace struct {
+	id                    uint64
+	action, model, tenant string
+	begin                 time.Time
+	head                  bool // head-sample decision, made at Start
+
+	mu        sync.Mutex
+	spans     []Span
+	anomalies []string
+}
+
+// Start mints a trace for one request. The returned trace is pooled:
+// Finish is its last touch.
+func (tr *Tracer) Start(action, model, tenant string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	id := tr.seq.Add(1)
+	t := tr.pool.Get().(*Trace)
+	t.id = id
+	t.action, t.model, t.tenant = action, model, tenant
+	t.begin = tr.clock.Now()
+	t.head = mix64(id) < tr.threshold
+	t.spans = t.spans[:0]
+	t.anomalies = t.anomalies[:0]
+	tr.started.Add(1)
+	return t
+}
+
+// Now is the tracer's clock read, for call sites that bracket a stage
+// themselves. Returns the zero time on a nil tracer.
+func (tr *Tracer) Now() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.clock.Now()
+}
+
+// Observe records a stage spanning [start, end) in absolute clock time.
+func (t *Trace) Observe(stage Stage, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Stage: stage, Start: start.Sub(t.begin), End: end.Sub(t.begin)})
+	t.mu.Unlock()
+}
+
+// Attach grafts a remotely-measured duration as a child span ending at end
+// — how wire-reported (cold_start, key_fetch, ecall) stage durations from
+// the semirt envelope stitch into the gateway-side trace.
+func (t *Trace) Attach(stage Stage, end time.Time, d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	off := end.Sub(t.begin)
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Stage: stage, Start: off - d, End: off})
+	t.mu.Unlock()
+}
+
+// Anomaly marks the trace anomalous (shed, retry, preempt, SLO breach...):
+// it will be retained at Finish even when head sampling passed on it.
+func (t *Trace) Anomaly(reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.anomalies = append(t.anomalies, reason)
+	t.mu.Unlock()
+}
+
+// Sampled reports whether head sampling selected this trace. Anomalies are
+// retained regardless; call sites use this to skip optional work (e.g.
+// requesting wire stage measurement) for traces that will drop.
+func (t *Trace) Sampled() bool { return t != nil && t.head }
+
+// Finish seals the trace: folds its spans into the tracer's per-stage
+// decomposition, retains it in the ring when head-sampled or anomalous,
+// and recycles the Trace. The caller must not touch t afterwards.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	e2e := tr.clock.Now().Sub(t.begin)
+	t.mu.Lock()
+	spans, anomalies := t.spans, t.anomalies
+	for _, s := range spans {
+		tr.stageNanos[s.Stage].Add(int64(s.End - s.Start))
+		tr.stageCount[s.Stage].Add(1)
+	}
+	tr.e2eNanos.Add(int64(e2e))
+	tr.e2eCount.Add(1)
+	keep := t.head || len(anomalies) > 0
+	if len(anomalies) > 0 {
+		tr.anomalous.Add(1)
+	}
+	if keep {
+		rec := TraceRecord{
+			ID: t.id, Action: t.action, Model: t.model, Tenant: t.tenant,
+			E2E:     e2e,
+			Sampled: t.head,
+			Spans:   append([]Span(nil), spans...),
+		}
+		if len(anomalies) > 0 {
+			rec.Anomalies = append([]string(nil), anomalies...)
+		}
+		sh := &tr.shards[t.id%traceShards]
+		sh.mu.Lock()
+		sh.ring[sh.next] = rec
+		sh.next = (sh.next + 1) % len(sh.ring)
+		if sh.n < len(sh.ring) {
+			sh.n++
+		}
+		sh.mu.Unlock()
+		tr.kept.Add(1)
+	} else {
+		tr.dropped.Add(1)
+	}
+	t.mu.Unlock()
+	tr.pool.Put(t)
+}
+
+// TraceRecord is an immutable retained trace.
+type TraceRecord struct {
+	ID                    uint64        `json:"id"`
+	Action, Model, Tenant string        `json:"-"`
+	E2E                   time.Duration `json:"e2e"`
+	// Sampled distinguishes head-sampled retention from anomaly-only.
+	Sampled   bool     `json:"sampled"`
+	Spans     []Span   `json:"spans"`
+	Anomalies []string `json:"anomalies,omitempty"`
+}
+
+// StageTotals sums span durations per stage.
+func (r TraceRecord) StageTotals() [NumStages]time.Duration {
+	var out [NumStages]time.Duration
+	for _, s := range r.Spans {
+		out[s.Stage] += s.Dur()
+	}
+	return out
+}
+
+// Coverage is the fraction of the end-to-end latency explained by the
+// trace's top-level spans — 1.0 means the stage partition is gapless.
+func (r TraceRecord) Coverage() float64 {
+	if r.E2E <= 0 {
+		return 0
+	}
+	var sum time.Duration
+	for st, d := range r.StageTotals() {
+		if Stage(st).TopLevel() {
+			sum += d
+		}
+	}
+	return float64(sum) / float64(r.E2E)
+}
+
+// Snapshot returns the retained traces in id order.
+func (tr *Tracer) Snapshot() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	var out []TraceRecord
+	for i := range tr.shards {
+		sh := &tr.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < sh.n; j++ {
+			out = append(out, sh.ring[j])
+		}
+		sh.mu.Unlock()
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(recs []TraceRecord) {
+	// Insertion sort: rings are small and nearly ordered per shard.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].ID < recs[j-1].ID; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// TracerStats are the tracer's lifetime counters.
+type TracerStats struct {
+	// Started counts traces minted; Kept / Dropped partition the finished
+	// ones; Anomalous counts finishes carrying at least one anomaly mark.
+	Started, Kept, Dropped, Anomalous uint64
+}
+
+// Stats returns the lifetime counters.
+func (tr *Tracer) Stats() TracerStats {
+	if tr == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Started:   tr.started.Load(),
+		Kept:      tr.kept.Load(),
+		Dropped:   tr.dropped.Load(),
+		Anomalous: tr.anomalous.Load(),
+	}
+}
+
+// StageStat is one row of the aggregate decomposition.
+type StageStat struct {
+	Stage string        `json:"stage"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total"`
+	Mean  time.Duration `json:"mean"`
+}
+
+// Decomposition reports per-stage totals over every finished trace —
+// sampled, dropped and anomalous alike (the aggregation is atomic counters,
+// so it costs nothing to be complete). Stages never observed are omitted.
+func (tr *Tracer) Decomposition() []StageStat {
+	if tr == nil {
+		return nil
+	}
+	out := make([]StageStat, 0, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		n := tr.stageCount[st].Load()
+		if n == 0 {
+			continue
+		}
+		tot := time.Duration(tr.stageNanos[st].Load())
+		out = append(out, StageStat{Stage: st.String(), Count: n, Total: tot, Mean: tot / time.Duration(n)})
+	}
+	return out
+}
+
+// Coverage is the aggregate top-level-span share of end-to-end time across
+// all finished traces (0 when none finished).
+func (tr *Tracer) Coverage() float64 {
+	if tr == nil || tr.e2eNanos.Load() <= 0 {
+		return 0
+	}
+	var sum int64
+	for st := Stage(0); st < NumStages; st++ {
+		if st.TopLevel() {
+			sum += tr.stageNanos[st].Load()
+		}
+	}
+	return float64(sum) / float64(tr.e2eNanos.Load())
+}
+
+// RegisterMetrics exports the tracer's counters and per-stage totals on reg.
+func (tr *Tracer) RegisterMetrics(reg *Registry, labels Labels) {
+	if tr == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("sesemi_trace_started_total", "Traces minted.", labels,
+		func() float64 { return float64(tr.started.Load()) })
+	reg.CounterFunc("sesemi_trace_kept_total", "Finished traces retained in the ring.", labels,
+		func() float64 { return float64(tr.kept.Load()) })
+	reg.CounterFunc("sesemi_trace_anomalous_total", "Finished traces carrying an anomaly mark.", labels,
+		func() float64 { return float64(tr.anomalous.Load()) })
+	for st := Stage(0); st < NumStages; st++ {
+		st := st
+		l := labels.With("stage", st.String())
+		reg.CounterFunc("sesemi_trace_stage_seconds_total", "Per-stage time across finished traces.", l,
+			func() float64 { return time.Duration(tr.stageNanos[st].Load()).Seconds() })
+		reg.CounterFunc("sesemi_trace_stage_spans_total", "Per-stage span count across finished traces.", l,
+			func() float64 { return float64(tr.stageCount[st].Load()) })
+	}
+}
+
+// Sink collects absolute-time spans from layers that see a whole batch
+// rather than one request — the serverless placement path records cold
+// starts here via context, and the gateway grafts the drained spans into
+// every member trace of the dispatch. A nil *Sink no-ops.
+type Sink struct {
+	mu    sync.Mutex
+	spans []timedSpan
+}
+
+type timedSpan struct {
+	stage      Stage
+	start, end time.Time
+}
+
+// Observe records a stage over absolute [start, end).
+func (s *Sink) Observe(stage Stage, start, end time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.spans = append(s.spans, timedSpan{stage, start, end})
+	s.mu.Unlock()
+}
+
+// DrainInto replays the collected spans into a trace and clears the sink.
+func (s *Sink) DrainInto(t *Trace) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	spans := s.spans
+	s.spans = nil
+	s.mu.Unlock()
+	for _, sp := range spans {
+		t.Observe(sp.stage, sp.start, sp.end)
+	}
+}
+
+// Each visits the collected spans without clearing them.
+func (s *Sink) Each(fn func(stage Stage, start, end time.Time)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	spans := append([]timedSpan(nil), s.spans...)
+	s.mu.Unlock()
+	for _, sp := range spans {
+		fn(sp.stage, sp.start, sp.end)
+	}
+}
+
+type sinkKey struct{}
+
+// NewContext returns ctx carrying the sink.
+func NewContext(ctx context.Context, s *Sink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// SinkFrom extracts the sink from ctx (nil when absent — and a nil Sink is
+// safe to record into, so call sites need no branch).
+func SinkFrom(ctx context.Context) *Sink {
+	s, _ := ctx.Value(sinkKey{}).(*Sink)
+	return s
+}

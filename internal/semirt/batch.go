@@ -7,6 +7,9 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"sesemi/internal/obs"
+	"sesemi/internal/vclock"
 )
 
 // Batched invocation: the serving gateway (internal/gateway) coalesces
@@ -65,23 +68,55 @@ func batchOrder(reqs []Request) []int {
 // ErrDeadline. Only instance-level failures (the enclave cannot be launched
 // or was destroyed) fail the call as a whole.
 func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
+	results, _, err := r.HandleBatchStages(reqs)
+	return results, err
+}
+
+// HandleBatchStages is HandleBatch plus the activation-level stage durations
+// (cold_start, key_fetch, ecall) for trace stitching. Stages are measured —
+// a handful of clock reads per BATCH, not per member — only when at least
+// one member set Request.Trace; otherwise stages is nil and the path is
+// byte-for-byte the untraced one.
+func (r *Runtime) HandleBatchStages(reqs []Request) ([]BatchResult, []obs.StageDur, error) {
 	if len(reqs) == 0 {
-		return nil, nil
+		return nil, nil, nil
+	}
+	traced := false
+	for i := range reqs {
+		if reqs[i].Trace {
+			traced = true
+			break
+		}
+	}
+	var clk vclock.Clock
+	var t0 time.Time
+	if traced {
+		clk = r.clock()
+		t0 = clk.Now()
 	}
 	launched, err := r.ensureEnclave()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var stages []obs.StageDur
+	if traced && launched {
+		stages = append(stages, obs.StageDur{Stage: obs.StageColdStart, Dur: clk.Now().Sub(t0)})
 	}
 	if r.deps.Faults.SandboxCrash() {
 		// Injected mid-ECall crash: an instance-level failure, like a real
 		// sandbox death — the whole batch fails, never individual members.
-		return nil, ErrSandboxCrash
+		return nil, nil, ErrSandboxCrash
 	}
 	r.mu.Lock()
 	enc, prog := r.enc, r.prog
 	r.mu.Unlock()
 
 	results := make([]BatchResult, len(reqs))
+	var keyFetch time.Duration
+	var ec0 time.Time
+	if traced {
+		ec0 = clk.Now()
+	}
 	err = enc.ECall(func() error {
 		// The enclave launch is attributed to the batch's first successful
 		// request (an earlier failing request must not swallow the cold
@@ -98,6 +133,7 @@ func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 				results[i].Err = err
 				continue
 			}
+			keyFetch += kind.keyFetchDur
 			path := Hot
 			switch {
 			case coldPending:
@@ -111,7 +147,13 @@ func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if traced {
+		if keyFetch > 0 {
+			stages = append(stages, obs.StageDur{Stage: obs.StageKeyFetch, Dur: keyFetch})
+		}
+		stages = append(stages, obs.StageDur{Stage: obs.StageECall, Dur: clk.Now().Sub(ec0)})
 	}
 	sawCold := false
 	for _, res := range results {
@@ -133,7 +175,7 @@ func (r *Runtime) HandleBatch(reqs []Request) ([]BatchResult, error) {
 		// for: keep the cold counter honest.
 		r.cold.Add(1)
 	}
-	return results, nil
+	return results, stages, nil
 }
 
 // wireEnvelope is the JSON activation payload: one request (the OpenWhisk
@@ -181,9 +223,13 @@ type wireBatchItem struct {
 	Error   string         `json:"error,omitempty"`
 }
 
-// wireBatchResponse is the activation response for a batch envelope.
+// wireBatchResponse is the activation response for a batch envelope. Stages
+// carries the activation-level stage durations when the batch asked for
+// tracing — the piece that lets a gateway-side trace stitch in the backend's
+// cold_start / key_fetch / ecall time across the wire.
 type wireBatchResponse struct {
-	Batch []wireBatchItem `json:"batch"`
+	Batch  []wireBatchItem `json:"batch"`
+	Stages []obs.StageDur  `json:"stages,omitempty"`
 }
 
 // EncodeBatch serializes requests into the batch activation envelope.
@@ -210,7 +256,13 @@ func DecodeEnvelope(raw []byte) (req Request, batch []Request, err error) {
 // EncodeBatchResults serializes per-request outcomes as the batch activation
 // response — the inverse of DecodeBatchResponse.
 func EncodeBatchResults(results []BatchResult) ([]byte, error) {
-	wr := wireBatchResponse{Batch: make([]wireBatchItem, len(results))}
+	return EncodeBatchResultsStages(results, nil)
+}
+
+// EncodeBatchResultsStages is EncodeBatchResults carrying the activation's
+// measured stage durations alongside the member outcomes.
+func EncodeBatchResultsStages(results []BatchResult, stages []obs.StageDur) ([]byte, error) {
+	wr := wireBatchResponse{Batch: make([]wireBatchItem, len(results)), Stages: stages}
 	for i, res := range results {
 		if res.Err != nil {
 			wr.Batch[i] = wireBatchItem{Error: res.Err.Error()}
@@ -224,12 +276,19 @@ func EncodeBatchResults(results []BatchResult) ([]byte, error) {
 // DecodeBatchResponse parses a batch activation response into per-request
 // results, which must number want (the batch size the caller sent).
 func DecodeBatchResponse(raw []byte, want int) ([]BatchResult, error) {
+	results, _, err := DecodeBatchResponseStages(raw, want)
+	return results, err
+}
+
+// DecodeBatchResponseStages additionally returns the backend-measured stage
+// durations (nil when the batch was not traced).
+func DecodeBatchResponseStages(raw []byte, want int) ([]BatchResult, []obs.StageDur, error) {
 	var wr wireBatchResponse
 	if err := json.Unmarshal(raw, &wr); err != nil {
-		return nil, fmt.Errorf("semirt: batch response: %w", err)
+		return nil, nil, fmt.Errorf("semirt: batch response: %w", err)
 	}
 	if len(wr.Batch) != want {
-		return nil, fmt.Errorf("semirt: batch response has %d results, want %d", len(wr.Batch), want)
+		return nil, nil, fmt.Errorf("semirt: batch response has %d results, want %d", len(wr.Batch), want)
 	}
 	out := make([]BatchResult, len(wr.Batch))
 	for i, item := range wr.Batch {
@@ -241,7 +300,7 @@ func DecodeBatchResponse(raw []byte, want int) ([]BatchResult, error) {
 		}
 		out[i].Response = Response{Payload: item.Payload, Kind: item.Kind}
 	}
-	return out, nil
+	return out, wr.Stages, nil
 }
 
 // Instance adapts a Runtime to the serverless platform's opaque-payload
@@ -267,11 +326,11 @@ func (in Instance) Invoke(payload []byte) ([]byte, error) {
 		return EncodeStepResponse(resp)
 	}
 	if len(env.Batch) > 0 {
-		results, err := in.RT.HandleBatch(env.Batch)
+		results, stages, err := in.RT.HandleBatchStages(env.Batch)
 		if err != nil {
 			return nil, err
 		}
-		return EncodeBatchResults(results)
+		return EncodeBatchResultsStages(results, stages)
 	}
 	resp, err := in.RT.Handle(env.Request)
 	if err != nil {

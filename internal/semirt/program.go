@@ -74,6 +74,10 @@ type rtSlot struct {
 type invocationDetail struct {
 	loadedModel bool
 	fetchedKeys bool
+	// keyFetchDur is the KeyService provisioning round-trip time when this
+	// request performed one (fetchedKeys) — the key_fetch stage of a trace.
+	// Zero for cache hits and singleflight waiters.
+	keyFetchDur time.Duration
 }
 
 func newProgram(cfg Config, fw inference.Framework, deps Deps) *program {
@@ -160,23 +164,30 @@ func (p *program) obtainKeys(req Request, detail *invocationDetail) (secure.Key,
 		// shared state is never touched, so two concurrent users cannot
 		// thrash each other (the pre-LRU code ping-ponged a shared pair
 		// under a retry loop here).
+		t0 := p.enc.Clock().Now()
 		km, kr, err := p.provision(req.UserID, req.ModelID, req.KeyService)
 		if err != nil {
 			return secure.Key{}, secure.Key{}, err
 		}
 		detail.fetchedKeys = true
+		detail.keyFetchDur = p.enc.Clock().Now().Sub(t0)
 		p.fetches.Add(1)
 		return km, kr, nil
 	}
 	tag := cacheID(req.ModelID, req.UserID, req.KeyService)
+	var fetchDur time.Duration
 	km, kr, fetched, err := p.keys.get(tag, func() (secure.Key, secure.Key, error) {
-		return p.provision(req.UserID, req.ModelID, req.KeyService)
+		t0 := p.enc.Clock().Now()
+		km, kr, err := p.provision(req.UserID, req.ModelID, req.KeyService)
+		fetchDur = p.enc.Clock().Now().Sub(t0)
+		return km, kr, err
 	})
 	if err != nil {
 		return secure.Key{}, secure.Key{}, err
 	}
 	if fetched {
 		detail.fetchedKeys = true
+		detail.keyFetchDur = fetchDur
 		p.fetches.Add(1)
 	}
 	return km, kr, nil

@@ -12,8 +12,10 @@ import (
 	"sesemi/internal/faults"
 	"sesemi/internal/inference"
 	"sesemi/internal/keyservice"
+	"sesemi/internal/obs"
 	"sesemi/internal/secure"
 	"sesemi/internal/storage"
+	"sesemi/internal/vclock"
 )
 
 // Fault-tolerance sentinels. Both survive the activation wire (wireError).
@@ -87,6 +89,12 @@ type Request struct {
 	// preempted at a step boundary is re-queued by the gateway with its
 	// progress here, so resumption pays only the remaining steps.
 	StepsDone int `json:"steps_done,omitempty"`
+	// Trace asks the runtime to measure this activation's stage durations
+	// (cold_start, key_fetch, ecall) and return them in the response
+	// envelope, so a gateway-side trace stitches the backend hops in. The
+	// gateway sets it only for head-sampled requests — unsampled traffic
+	// pays zero timing overhead on the backend.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Response is the encrypted inference result.
@@ -95,6 +103,9 @@ type Response struct {
 	Payload []byte `json:"payload"`
 	// Kind reports the invocation path taken.
 	Kind InvocationKind `json:"kind"`
+	// Stages holds the runtime-measured stage durations (cold_start,
+	// key_fetch, ecall) when the request asked for them (Request.Trace).
+	Stages []obs.StageDur `json:"stages,omitempty"`
 }
 
 // Deps are the untrusted-world dependencies of a SeMIRT instance.
@@ -234,13 +245,26 @@ func (r *Runtime) ensureEnclave() (bool, error) {
 	return true, nil
 }
 
+// clock returns the platform clock the runtime's stage timings are taken on.
+func (r *Runtime) clock() vclock.Clock { return r.deps.Platform.Clock() }
+
 // Handle serves one request (the OpenWhisk action /run entry point). The
 // calling goroutine plays the role of a libuv pool thread: it enters the
 // enclave through one TCS for the duration of EC_MODEL_INF.
 func (r *Runtime) Handle(req Request) (Response, error) {
+	var clk vclock.Clock
+	var t0 time.Time
+	if req.Trace {
+		clk = r.clock()
+		t0 = clk.Now()
+	}
 	launched, err := r.ensureEnclave()
 	if err != nil {
 		return Response{}, err
+	}
+	var stages []obs.StageDur
+	if req.Trace && launched {
+		stages = append(stages, obs.StageDur{Stage: obs.StageColdStart, Dur: clk.Now().Sub(t0)})
 	}
 	if r.deps.Faults.SandboxCrash() {
 		return Response{}, ErrSandboxCrash
@@ -251,16 +275,20 @@ func (r *Runtime) Handle(req Request) (Response, error) {
 
 	var out []byte
 	var path InvocationKind
+	var detail invocationDetail
+	var ec0 time.Time
+	if req.Trace {
+		ec0 = clk.Now()
+	}
 	err = enc.ECall(func() error {
-		var kind invocationDetail
-		out, kind, err = prog.modelInf(req)
+		out, detail, err = prog.modelInf(req)
 		if err != nil {
 			return err
 		}
 		switch {
 		case launched:
 			path = Cold
-		case kind.loadedModel || kind.fetchedKeys:
+		case detail.loadedModel || detail.fetchedKeys:
 			// The paper's hot path requires both the same loaded model and
 			// the same user's cached keys (§IV-B); anything else that reuses
 			// the enclave is warm.
@@ -273,6 +301,12 @@ func (r *Runtime) Handle(req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	if req.Trace {
+		if detail.keyFetchDur > 0 {
+			stages = append(stages, obs.StageDur{Stage: obs.StageKeyFetch, Dur: detail.keyFetchDur})
+		}
+		stages = append(stages, obs.StageDur{Stage: obs.StageECall, Dur: clk.Now().Sub(ec0)})
+	}
 	switch path {
 	case Cold:
 		r.cold.Add(1)
@@ -281,7 +315,7 @@ func (r *Runtime) Handle(req Request) (Response, error) {
 	default:
 		r.hot.Add(1)
 	}
-	return Response{Payload: out, Kind: path}, nil
+	return Response{Payload: out, Kind: path, Stages: stages}, nil
 }
 
 // Stats returns the invocation counters.
@@ -290,6 +324,31 @@ func (r *Runtime) Stats() Stats {
 		KeyFetches:   r.keyFetches.Load(),
 		SessionSteps: r.sessionSteps.Load(),
 		Preempted:    r.preempted.Load()}
+}
+
+// RegisterMetrics exports the runtime's counters as labeled series on the
+// unified registry — the Stats() adapter of the observability plane. The
+// registrations are scrape-time reads over the existing atomics, so the
+// serving path pays nothing.
+func (r *Runtime) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	invHelp := "Invocations served, by warmth path."
+	reg.CounterFunc("sesemi_semirt_invocations_total", invHelp, labels.With("path", "cold"),
+		func() float64 { return float64(r.cold.Load()) })
+	reg.CounterFunc("sesemi_semirt_invocations_total", invHelp, labels.With("path", "warm"),
+		func() float64 { return float64(r.warm.Load()) })
+	reg.CounterFunc("sesemi_semirt_invocations_total", invHelp, labels.With("path", "hot"),
+		func() float64 { return float64(r.hot.Load()) })
+	reg.CounterFunc("sesemi_semirt_key_fetches_total", "KeyService provisioning round trips.", labels,
+		func() float64 { return float64(r.keyFetches.Load()) })
+	reg.CounterFunc("sesemi_semirt_session_steps_total", "Continuous-session scheduling frames executed.", labels,
+		func() float64 { return float64(r.sessionSteps.Load()) })
+	reg.CounterFunc("sesemi_semirt_preempted_total", "Members evicted at a step boundary.", labels,
+		func() float64 { return float64(r.preempted.Load()) })
+	reg.GaugeFunc("sesemi_semirt_enclave_bytes", "EPC-reserved enclave size (0 when not started).", labels,
+		func() float64 { return float64(r.EnclaveMemoryBytes()) })
 }
 
 // LoadedModel reports the id of the currently loaded model ("" if none).

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sesemi/internal/obs"
+	"sesemi/internal/vclock"
 )
 
 // Continuous batching: instead of forming a batch once and running it to
@@ -83,6 +86,11 @@ type StepResponse struct {
 	Done []StepResult
 	// Active is the number of members still resident after the step.
 	Active int
+	// Stages holds the frame's measured stage durations (cold_start on the
+	// opening frame, key_fetch, ecall) when any resident member asked for
+	// tracing — the continuous-batching counterpart of the batch envelope's
+	// stage report.
+	Stages []obs.StageDur
 }
 
 // stepSession is a live continuous batch: the members resident in the
@@ -93,6 +101,12 @@ type stepSession struct {
 	// coldPending attributes the enclave launch to the session's first
 	// successful completion (same rule as HandleBatch).
 	coldPending bool
+	// traced marks a session with at least one Request.Trace member: frames
+	// measure their stage durations until the session closes.
+	traced bool
+	// launchDur is the enclave launch time of the opening frame, reported
+	// once on the first traced frame.
+	launchDur time.Duration
 }
 
 // stepMember is one resident request. done counts executed steps across all
@@ -115,9 +129,26 @@ func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
 	if f.Session == "" {
 		return StepResponse{}, errors.New("semirt: step frame missing session id")
 	}
+	joinTraced := false
+	for i := range f.Join {
+		if f.Join[i].Req.Trace {
+			joinTraced = true
+			break
+		}
+	}
+	var clk vclock.Clock
+	var t0 time.Time
+	if joinTraced {
+		clk = r.clock()
+		t0 = clk.Now()
+	}
 	launched, err := r.ensureEnclave()
 	if err != nil {
 		return StepResponse{}, err
+	}
+	var launchDur time.Duration
+	if joinTraced && launched {
+		launchDur = clk.Now().Sub(t0)
 	}
 	if r.deps.Faults.SandboxCrash() {
 		return StepResponse{}, ErrSandboxCrash
@@ -144,10 +175,20 @@ func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
 		sess = &stepSession{coldPending: launched}
 		r.stepSessions[f.Session] = sess
 	}
+	if joinTraced {
+		sess.traced = true
+		if launchDur > 0 {
+			sess.launchDur = launchDur
+		}
+	}
+	traced := sess.traced
 	if f.Close {
 		delete(r.stepSessions, f.Session)
 	}
 	r.stepMu.Unlock()
+	if traced && clk == nil {
+		clk = r.clock()
+	}
 
 	if f.Close {
 		// Defensive drain: a normal driver closes an empty session, but if
@@ -169,6 +210,11 @@ func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
 	}
 
 	var resp StepResponse
+	var keyFetch time.Duration
+	var ec0 time.Time
+	if traced {
+		ec0 = clk.Now()
+	}
 	err = enc.ECall(func() error {
 		now := time.Now()
 		for _, j := range f.Join {
@@ -214,6 +260,7 @@ func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
 			req := m.req
 			req.StepsDone = total - 1
 			out, kind, err := prog.modelInf(req)
+			keyFetch += kind.keyFetchDur
 			if err != nil {
 				resp.Done = append(resp.Done, StepResult{ID: m.id, Err: err})
 				continue
@@ -234,6 +281,16 @@ func (r *Runtime) HandleStep(f StepFrame) (StepResponse, error) {
 	})
 	if err != nil {
 		return StepResponse{}, err
+	}
+	if traced {
+		if d := sess.launchDur; d > 0 {
+			resp.Stages = append(resp.Stages, obs.StageDur{Stage: obs.StageColdStart, Dur: d})
+			sess.launchDur = 0
+		}
+		if keyFetch > 0 {
+			resp.Stages = append(resp.Stages, obs.StageDur{Stage: obs.StageKeyFetch, Dur: keyFetch})
+		}
+		resp.Stages = append(resp.Stages, obs.StageDur{Stage: obs.StageECall, Dur: clk.Now().Sub(ec0)})
 	}
 	r.sessionSteps.Add(1)
 	for _, d := range resp.Done {
@@ -266,6 +323,7 @@ type wireStepResult struct {
 type wireStepResponse struct {
 	Step   []wireStepResult `json:"step"`
 	Active int              `json:"active"`
+	Stages []obs.StageDur   `json:"stages,omitempty"`
 }
 
 // EncodeStepFrame serializes a step frame as an activation payload; Instance
@@ -280,7 +338,7 @@ func EncodeStepFrame(f StepFrame) ([]byte, error) {
 // EncodeStepResponse serializes a frame's outcome — the inverse of
 // DecodeStepResponse.
 func EncodeStepResponse(resp StepResponse) ([]byte, error) {
-	wr := wireStepResponse{Step: make([]wireStepResult, len(resp.Done)), Active: resp.Active}
+	wr := wireStepResponse{Step: make([]wireStepResult, len(resp.Done)), Active: resp.Active, Stages: resp.Stages}
 	for i, d := range resp.Done {
 		if d.Err != nil {
 			wr.Step[i] = wireStepResult{ID: d.ID, Error: d.Err.Error(),
@@ -300,7 +358,7 @@ func DecodeStepResponse(raw []byte) (StepResponse, error) {
 	if err := json.Unmarshal(raw, &wr); err != nil {
 		return StepResponse{}, fmt.Errorf("semirt: step response: %w", err)
 	}
-	resp := StepResponse{Active: wr.Active}
+	resp := StepResponse{Active: wr.Active, Stages: wr.Stages}
 	for _, item := range wr.Step {
 		d := StepResult{ID: item.ID, Preempted: item.Preempted, StepsDone: item.StepsDone}
 		if item.Error != "" {

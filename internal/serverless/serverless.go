@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"sesemi/internal/faults"
+	"sesemi/internal/obs"
 	"sesemi/internal/vclock"
 )
 
@@ -683,7 +684,7 @@ func (c *Cluster) acquire(ctx context.Context, action, hint string) (*Sandbox, e
 		ch := *as.notifyCh.Load()
 		sb := c.claimReady(as, hintNode)
 		if sb == nil {
-			sb, err = c.place(as, hintNode)
+			sb, err = c.place(ctx, as, hintNode)
 		}
 		if err != nil || sb != nil {
 			as.waiters.Add(-1)
@@ -767,7 +768,7 @@ func (c *Cluster) claimFrom(snap []*Sandbox, only *Node, max int32) *Sandbox {
 // off-home now would trample warm state other streams built elsewhere), and
 // only then the unhinted ladder: any ready slot, any node with room,
 // eviction.
-func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
+func (c *Cluster) place(ctx context.Context, as *actionState, hint *Node) (*Sandbox, error) {
 	if hint != nil && !c.nodeAvailable(hint) {
 		// A hint pointing at a crashed or breaker-open node is void: walking
 		// its locality rungs would only wait on capacity that cannot serve.
@@ -791,7 +792,7 @@ func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
 			if err := c.confirmOpenOrAbort(sb); err != nil {
 				return nil, err
 			}
-			return c.startSandbox(sb)
+			return c.startSandboxTraced(ctx, sb)
 		}
 		if c.startingOn(hint, as) > 0 {
 			as.startMu.Unlock()
@@ -819,7 +820,24 @@ func (c *Cluster) place(as *actionState, hint *Node) (*Sandbox, error) {
 	if err := c.confirmOpenOrAbort(sb); err != nil {
 		return nil, err
 	}
-	return c.startSandbox(sb)
+	return c.startSandboxTraced(ctx, sb)
+}
+
+// startSandboxTraced wraps the cold start with the placement-level span: if
+// the invoking context carries an obs.Sink (the gateway's traced-dispatch
+// collector), the container start + instance factory time is recorded as a
+// cold_start span and stitched into every member trace of the dispatch.
+func (c *Cluster) startSandboxTraced(ctx context.Context, sb *Sandbox) (*Sandbox, error) {
+	sink := obs.SinkFrom(ctx)
+	if sink == nil {
+		return c.startSandbox(sb)
+	}
+	t0 := c.clock.Now()
+	out, err := c.startSandbox(sb)
+	if err == nil && out != nil {
+		sink.Observe(obs.StageColdStart, t0, c.clock.Now())
+	}
+	return out, err
 }
 
 // confirmOpenOrAbort is the post-registration closed re-check. Close() does
@@ -1327,6 +1345,36 @@ func (c *Cluster) Stats() Stats {
 		n.mu.Unlock()
 	}
 	return st
+}
+
+// RegisterMetrics exports the cluster's lifetime counters and per-node
+// health on the unified registry. Per-node series carry a "node" label on
+// top of the caller's labels; everything is a scrape-time read over state
+// the cluster already maintains.
+func (c *Cluster) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("sesemi_cluster_invocations_total", "Sandbox slots acquired.", labels,
+		func() float64 { return float64(c.invocations.Load()) })
+	reg.CounterFunc("sesemi_cluster_cold_starts_total", "Sandboxes started.", labels,
+		func() float64 { return float64(c.coldStarts.Load()) })
+	reg.CounterFunc("sesemi_cluster_evictions_total", "Idle sandboxes evicted.", labels,
+		func() float64 { return float64(c.evictions.Load()) })
+	reg.CounterFunc("sesemi_cluster_node_failures_total", "Node-crash teardowns.", labels,
+		func() float64 { return float64(c.nodeFails.Load()) })
+	reg.GaugeFunc("sesemi_cluster_memory_reserved_bytes", "Reserved container memory across nodes.", labels,
+		func() float64 { return float64(c.Stats().MemoryReserved) })
+	for _, n := range c.nodes {
+		n := n
+		l := labels.With("node", n.Name)
+		reg.GaugeFunc("sesemi_cluster_node_health", "Node invoke-success EWMA in [0, 1].", l,
+			func() float64 { return n.Health() })
+		reg.CounterFunc("sesemi_cluster_node_warm_hits_total", "Acquires served warm on this node.", l,
+			func() float64 { return float64(n.warmHits.Load()) })
+		reg.CounterFunc("sesemi_cluster_node_cold_starts_total", "Sandboxes started on this node.", l,
+			func() float64 { return float64(n.coldStarts.Load()) })
+	}
 }
 
 // NodeStat is one node's scheduling snapshot for an action — what an

@@ -12,6 +12,7 @@ import (
 	"sesemi/internal/fnpacker"
 	"sesemi/internal/metrics"
 	"sesemi/internal/model"
+	"sesemi/internal/obs"
 	"sesemi/internal/semirt"
 	"sesemi/internal/workload"
 )
@@ -417,8 +418,27 @@ type Result struct {
 	// RequestsAffected counts the requests the canary revision absorbed
 	// before the rollback completed (zero unless RolledBack).
 	RequestsAffected int
+	// Stages is the per-stage virtual-time decomposition of the run, indexed
+	// by obs.Stage — the sim-side mirror of the live tracer's Decomposition.
+	// Queue wait (arrival→dispatch) lands in queue, per-activation invoke
+	// overhead in dispatch, enclave launches in cold_start, KeyService round
+	// trips in key_fetch, and in-enclave load/init/exec/crypto in ecall.
+	Stages [obs.NumStages]time.Duration
 	// End is the virtual completion time of the run.
 	End time.Duration
+}
+
+// StageBreakdown returns the non-zero rows of Stages keyed by wire name, in
+// enum order — directly comparable, stage by stage, to the live tracer's
+// Decomposition for sim-vs-live calibration.
+func (r *Result) StageBreakdown() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for st, d := range r.Stages {
+		if d > 0 {
+			out[obs.Stage(st).String()] = d
+		}
+	}
+	return out
 }
 
 // node is one invoker machine's simulated state.

@@ -6,6 +6,7 @@ import (
 	"sesemi/internal/costmodel"
 	"sesemi/internal/metrics"
 	"sesemi/internal/model"
+	"sesemi/internal/obs"
 	"sesemi/internal/semirt"
 )
 
@@ -69,6 +70,7 @@ func (s *Simulation) serve(sb *sandbox, req *request) {
 	// formed batch is one activation (one queue entry, one slot), so the
 	// amortization the gateway measures is structural here.
 	if d := s.cfg.InvokeOverhead; d > 0 {
+		s.res.Stages[obs.StageDispatch] += d
 		s.eng.After(d, func() { s.advance(sb, req, pr) })
 		return
 	}
@@ -105,6 +107,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			pr.kind = semirt.Cold
 			n.launching++
 			d := costmodel.EnclaveInit(s.cfg.HW, sb.spec.EnclaveBytes, n.launching)
+			s.res.Stages[obs.StageColdStart] += d
 			sb.enclaveReadyAt = now + d
 			s.eng.After(d, func() {
 				n.launching--
@@ -166,6 +169,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				d = pr.stg.KeyFetchCold - costmodel.Attestation(s.cfg.HW, 1) +
 					costmodel.Attestation(s.cfg.HW, n.quoting)
 			}
+			s.res.Stages[obs.StageKeyFetch] += d
 			sb.fetchingPair = pair
 			sb.keysReadyAt = now + d
 			s.eng.After(d, func() {
@@ -214,6 +218,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 					}
 				}
 			}
+			s.res.Stages[obs.StageECall] += d
 			sb.loadingModel = req.ev.ModelID
 			sb.loadReadyAt = now + d
 			s.eng.After(d, func() {
@@ -240,6 +245,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				pr.phase++
 				continue
 			}
+			s.res.Stages[obs.StageECall] += pr.stg.RuntimeInit
 			s.eng.After(pr.stg.RuntimeInit, func() {
 				sb.slots[req.slot] = req.ev.ModelID
 				pr.phase = phExec
@@ -273,6 +279,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			}
 			d := time.Duration(steps) *
 				costmodel.ExecUnderLoad(pr.stg.ModelExec, n.activeExec, n.cores)
+			s.res.Stages[obs.StageECall] += d
 			for i := 1; i < len(members); i++ {
 				pair := members[i].ev.ModelID + "\x1f" + members[i].ev.UserID
 				if s.cfg.System != SeSeMI && s.cfg.System != IsoReuse {
@@ -280,6 +287,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				}
 				if s.cfg.DisableKeyCache || !sb.hasPair(pair) {
 					d += pr.stg.KeyFetchWarm
+					s.res.Stages[obs.StageKeyFetch] += pr.stg.KeyFetchWarm
 					s.res.KeyFetches++
 				}
 				sb.notePair(pair, s.cfg.keyCap())
@@ -292,7 +300,9 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 				if err == nil {
 					n.pagers++
 					paging = true
-					d += costmodel.PagingDelay(ws, n.pagers, n.epcUsed, s.cfg.HW.EPCBytes())
+					pd := costmodel.PagingDelay(ws, n.pagers, n.epcUsed, s.cfg.HW.EPCBytes())
+					d += pd
+					s.res.Stages[obs.StageECall] += pd
 				}
 			}
 			s.eng.After(d, func() {
@@ -312,6 +322,7 @@ func (s *Simulation) advance(sb *sandbox, req *request, pr *progress) {
 			}
 			// Request decrypt + result encrypt happen per batch member.
 			d := time.Duration(len(req.batchMembers())) * pr.stg.RequestCrypto
+			s.res.Stages[obs.StageECall] += d
 			s.eng.After(d, func() {
 				pr.phase = phDone
 				s.advance(sb, req, pr)
@@ -374,6 +385,9 @@ func (s *Simulation) finishMember(m *request, started, done time.Duration, k sem
 		Kind:     k,
 	}
 	s.res.Requests = append(s.res.Requests, rr)
+	if w := started - m.arrive; w > 0 {
+		s.res.Stages[obs.StageQueue] += w
+	}
 	lat := rr.Latency()
 	s.rolloutComplete(rr.Model, lat)
 	s.res.All.Add(lat)
@@ -485,6 +499,7 @@ func (s *Simulation) serveContinuous(sb *sandbox, req *request, pr *progress) {
 		}
 		if s.cfg.DisableKeyCache || !sb.hasPair(pair) {
 			extra[i] += pr.stg.KeyFetchWarm
+			s.res.Stages[obs.StageKeyFetch] += pr.stg.KeyFetchWarm
 			s.res.KeyFetches++
 		}
 		sb.notePair(pair, s.cfg.keyCap())
@@ -523,6 +538,10 @@ func (s *Simulation) serveContinuous(sb *sandbox, req *request, pr *progress) {
 		}
 	}
 	s.res.SchedSteps += frames
+	// The session's frame loop is one long enclave residency: charge the
+	// cumulative frame cost, plus each member's crypto and paging, to ecall.
+	s.res.Stages[obs.StageECall] += cum +
+		time.Duration(len(members))*(pr.stg.RequestCrypto+pagingDelay)
 	budget := s.cfg.Batch.PreemptAfter
 	last := time.Duration(0)
 	for i := range members {
@@ -533,7 +552,9 @@ func (s *Simulation) serveContinuous(sb *sandbox, req *request, pr *progress) {
 			// later frame.
 			pre := (steps[i] - 1) / budget
 			s.res.Preemptions += pre
-			offsets[i] += costmodel.PreemptionOverhead(pre, s.cfg.Batch.StepOverhead+stepCost)
+			po := costmodel.PreemptionOverhead(pre, s.cfg.Batch.StepOverhead+stepCost)
+			s.res.Stages[obs.StagePreempt] += po
+			offsets[i] += po
 		}
 		if offsets[i] > last {
 			last = offsets[i]

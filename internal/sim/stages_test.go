@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"sesemi/internal/obs"
+	"sesemi/internal/workload"
+)
+
+// A cold request's phase walk must land virtual time in the obs stage
+// taxonomy: enclave launch in cold_start, key provisioning in key_fetch, and
+// the in-enclave load/init/exec/crypto in ecall.
+func TestStageDecompositionColdPath(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	tr := workload.Trace{{At: 0, ModelID: "mbnet", UserID: "u"}}
+	res := runTrace(t, cfg, tr)
+	for _, st := range []obs.Stage{obs.StageColdStart, obs.StageKeyFetch, obs.StageECall} {
+		if res.Stages[st] <= 0 {
+			t.Errorf("stage %s empty", st)
+		}
+	}
+	// The charged service stages fit inside the request's dispatch-to-done
+	// window (cold sandbox start is deliberately outside the taxonomy).
+	svc := res.Requests[0].Done - res.Requests[0].Start
+	sum := res.Stages[obs.StageColdStart] + res.Stages[obs.StageKeyFetch] +
+		res.Stages[obs.StageECall]
+	if sum <= 0 || sum > svc+time.Millisecond {
+		t.Fatalf("service stages sum %v, want within (0, %v]", sum, svc)
+	}
+	br := res.StageBreakdown()
+	if br["cold_start"] != res.Stages[obs.StageColdStart] || len(br) < 3 {
+		t.Fatalf("breakdown %v inconsistent with Stages", br)
+	}
+}
+
+// Back-to-back requests on a single-slot action serialize: the second one's
+// wait must accrue to the queue stage.
+func TestStageDecompositionQueueWait(t *testing.T) {
+	cfg := oneAction(SeSeMI, "tvm", "mbnet", 1)
+	tr := workload.Trace{
+		{At: 0, ModelID: "mbnet", UserID: "u"},
+		{At: 0, ModelID: "mbnet", UserID: "u"},
+	}
+	res := runTrace(t, cfg, tr)
+	if res.Stages[obs.StageQueue] <= 0 {
+		t.Fatalf("queue stage %v, want > 0 for a serialized pair", res.Stages[obs.StageQueue])
+	}
+}
